@@ -1,0 +1,38 @@
+//! Criterion micro-benchmarks: histogram construction and estimation.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use stats::{Histogram, HistogramKind};
+use storage::Value;
+
+fn values(n: usize, distinct: i64) -> Vec<Value> {
+    (0..n as i64).map(|i| Value::Int((i * 2654435761) % distinct)).collect()
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("histogram_build");
+    for &n in &[1_000usize, 10_000, 50_000] {
+        let vals = values(n, 500);
+        for kind in [HistogramKind::EquiDepth, HistogramKind::MaxDiff] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{kind:?}"), n),
+                &vals,
+                |b, vals| b.iter(|| Histogram::build(kind, black_box(vals), 64)),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_estimate(c: &mut Criterion) {
+    let vals = values(50_000, 500);
+    let h = Histogram::build(HistogramKind::EquiDepth, &vals, 64);
+    c.bench_function("histogram_estimate_range", |b| {
+        b.iter(|| h.selectivity_between(black_box(&Value::Int(100)), black_box(&Value::Int(300))))
+    });
+    c.bench_function("histogram_estimate_eq", |b| {
+        b.iter(|| h.selectivity_eq(black_box(&Value::Int(250))))
+    });
+}
+
+criterion_group!(benches, bench_build, bench_estimate);
+criterion_main!(benches);

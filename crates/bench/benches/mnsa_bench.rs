@@ -1,0 +1,42 @@
+//! Criterion micro-benchmarks: MNSA end-to-end per query.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use autostats::{MnsaConfig, MnsaEngine};
+use datagen::{build_tpcd, tpcd_benchmark_queries, TpcdConfig, ZipfSpec};
+use query::{bind_statement, BoundStatement, Statement};
+use stats::StatsCatalog;
+
+fn bench_mnsa(c: &mut Criterion) {
+    let db = build_tpcd(&TpcdConfig {
+        scale: 0.003,
+        zipf: ZipfSpec::Mixed,
+        seed: 3,
+    });
+    let q6 = match bind_statement(&db, &Statement::Select(tpcd_benchmark_queries().remove(5)))
+        .unwrap()
+    {
+        BoundStatement::Select(b) => b,
+        _ => unreachable!(),
+    };
+    let engine = MnsaEngine::new(MnsaConfig::default());
+    c.bench_function("mnsa_q6_from_scratch", |b| {
+        b.iter(|| {
+            let mut cat = StatsCatalog::new();
+            engine.run_query(&db, &mut cat, &q6)
+        })
+    });
+
+    // Converged case: statistics already exist, MNSA should exit in 3 calls.
+    let mut warm = StatsCatalog::new();
+    engine.run_query(&db, &mut warm, &q6);
+    c.bench_function("mnsa_q6_already_tuned", |b| {
+        b.iter(|| {
+            let mut cat_view = warm.creation_work();
+            std::hint::black_box(&mut cat_view);
+            engine.run_query(&db, &mut warm, &q6)
+        })
+    });
+}
+
+criterion_group!(benches, bench_mnsa);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Criterion micro-benchmarks: optimizer calls with and without statistics.
+//!
+//! §4.3 argues MNSA is cheap because "the time to create a statistic
+//! typically far exceeds the time to optimize a query" — these benches back
+//! that claim for our substrate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use datagen::{build_tpcd, tpcd_benchmark_queries, TpcdConfig, ZipfSpec};
+use optimizer::{OptimizeOptions, Optimizer};
+use query::{bind_statement, BoundStatement, Statement};
+use stats::StatsCatalog;
+
+fn bench_optimize(c: &mut Criterion) {
+    let db = build_tpcd(&TpcdConfig {
+        scale: 0.004,
+        zipf: ZipfSpec::Mixed,
+        seed: 3,
+    });
+    let queries: Vec<_> = tpcd_benchmark_queries()
+        .into_iter()
+        .map(|q| match bind_statement(&db, &Statement::Select(q)).unwrap() {
+            BoundStatement::Select(b) => b,
+            _ => unreachable!(),
+        })
+        .collect();
+    let optimizer = Optimizer::default();
+
+    // No statistics: everything on magic numbers.
+    let empty = StatsCatalog::new();
+    c.bench_function("optimize_q1_no_stats", |b| {
+        b.iter(|| optimizer.optimize(&db, &queries[0], empty.full_view(), &OptimizeOptions::default()))
+    });
+    c.bench_function("optimize_q8_eight_way_join", |b| {
+        b.iter(|| optimizer.optimize(&db, &queries[7], empty.full_view(), &OptimizeOptions::default()))
+    });
+
+    // With full candidate statistics.
+    let mut full = StatsCatalog::new();
+    for q in &queries {
+        for d in autostats::candidate_statistics(q) {
+            full.create_statistic(&db, d);
+        }
+    }
+    c.bench_function("optimize_q8_with_stats", |b| {
+        b.iter(|| optimizer.optimize(&db, &queries[7], full.full_view(), &OptimizeOptions::default()))
+    });
+
+    // Statistic creation for comparison (the expensive side of the tradeoff).
+    let lineitem = db.table_id("lineitem").unwrap();
+    c.bench_function("create_statistic_lineitem_col", |b| {
+        b.iter(|| {
+            let mut cat = StatsCatalog::new();
+            cat.create_statistic(&db, stats::StatDescriptor::single(lineitem, 10))
+        })
+    });
+}
+
+criterion_group!(benches, bench_optimize);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Aging policy evaluation (see `bench::experiments::aging`).
+//!
+//! Usage: `cargo run -p bench --bin exp_aging [--full]`
+
+use bench::common::{report, ExperimentScale};
+use bench::experiments::aging;
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let scale = if full {
+        ExperimentScale::full()
+    } else {
+        ExperimentScale::default_run()
+    };
+    println!("== Aging: dampened re-creation of recently dropped statistics ==");
+    let results = aging::run(&scale);
+    for r in &results {
+        println!(
+            "{:<16} recreations per epoch {:?}",
+            r.policy, r.recreations_per_epoch
+        );
+    }
+    report(&aging::rows(&results), Some("results/aging.jsonl"));
+}

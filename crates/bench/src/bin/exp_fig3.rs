@@ -1,0 +1,18 @@
+//! Regenerates Figure 3 (see `bench::experiments::fig3`).
+//!
+//! Usage: `cargo run -p bench --bin exp_fig3 [--full]`
+
+use bench::common::{report, ExperimentScale};
+use bench::experiments::fig3;
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let scale = if full {
+        ExperimentScale::full()
+    } else {
+        ExperimentScale::default_run()
+    };
+    println!("== Figure 3: Candidate Statistics algorithm vs Exhaustive ==");
+    let results = fig3::run(&scale);
+    report(&fig3::rows(&results), Some("results/fig3.jsonl"));
+}

@@ -1,0 +1,31 @@
+//! Regenerates Figure 4 (see `bench::experiments::fig4`).
+//!
+//! Usage: `cargo run -p bench --bin exp_fig4 [--full]`
+
+use bench::common::{report, ExperimentScale};
+use bench::experiments::fig4;
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let ablation = std::env::args().any(|a| a == "--ablation");
+    let scale = if full {
+        ExperimentScale::full()
+    } else {
+        ExperimentScale::default_run()
+    };
+    if ablation {
+        println!("== Figure 4 ablation: FindNextStatToBuild node order ==");
+        let results = fig4::run_ablation(&scale);
+        report(&fig4::ablation_rows(&results), Some("results/fig4_ablation.jsonl"));
+        return;
+    }
+    println!("== Figure 4: MNSA vs create-all-candidates (t = 20%) ==");
+    let results = fig4::run(&scale);
+    for r in &results {
+        println!(
+            "{:<9} {:<12} [{:<13}] stats {:>3} -> {:>3}",
+            r.database, r.workload, r.mode, r.all_stats_built, r.mnsa_stats_built
+        );
+    }
+    report(&fig4::rows(&results), Some("results/fig4.jsonl"));
+}

@@ -1,0 +1,24 @@
+//! Regenerates the §1 intro experiment (see `bench::experiments::intro`).
+//!
+//! Usage: `cargo run -p bench --bin exp_intro [--full]`
+
+use bench::common::{report, ExperimentScale};
+use bench::experiments::intro;
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let scale = if full {
+        ExperimentScale::full()
+    } else {
+        ExperimentScale::default_run()
+    };
+    println!("== Intro experiment: do statistics change TPC-D plans? ==");
+    let results = intro::run(&scale);
+    for r in &results {
+        println!(
+            "Q{:<2} tree_changed={:<5} estimate_shifted={:<5} est cost {:>12.1} -> {:>12.1}",
+            r.query, r.plan_changed, r.estimate_shifted, r.cost_before, r.cost_after
+        );
+    }
+    report(&intro::rows(&results), Some("results/intro.jsonl"));
+}

@@ -1,0 +1,22 @@
+//! Shrinking Set evaluation (see `bench::experiments::shrink`).
+//!
+//! Usage: `cargo run -p bench --bin exp_shrink [--full]`
+
+use bench::common::{report, ExperimentScale};
+use bench::experiments::shrink;
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let scale = if full {
+        ExperimentScale::full()
+    } else {
+        ExperimentScale::default_run()
+    };
+    println!("== Shrinking Set: guaranteed essential sets ==");
+    let r = shrink::run(&scale);
+    println!(
+        "optimizer calls spent by Shrinking Set: {}",
+        r.shrink_optimizer_calls
+    );
+    report(&shrink::rows(&r), Some("results/shrink.jsonl"));
+}

@@ -1,0 +1,24 @@
+//! Regenerates Table 1 (see `bench::experiments::table1`).
+//!
+//! Usage: `cargo run -p bench --bin exp_table1 [--full]`
+
+use bench::common::{report, ExperimentScale};
+use bench::experiments::table1;
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let scale = if full {
+        ExperimentScale::full()
+    } else {
+        ExperimentScale::default_run()
+    };
+    println!("== Table 1: MNSA/D update-cost reduction vs MNSA (U25-C-100) ==");
+    let results = table1::run(&scale);
+    for r in &results {
+        println!(
+            "{:<9} stats MNSA={:>3} MNSA/D-active={:>3}",
+            r.database, r.mnsa_stats, r.mnsad_active_stats
+        );
+    }
+    report(&table1::rows(&results), Some("results/table1.jsonl"));
+}

@@ -1,0 +1,18 @@
+//! t / ε parameter sweep (see `bench::experiments::tsweep`).
+//!
+//! Usage: `cargo run -p bench --bin exp_tsweep [--full]`
+
+use bench::common::{report, ExperimentScale};
+use bench::experiments::tsweep;
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let scale = if full {
+        ExperimentScale::full()
+    } else {
+        ExperimentScale::default_run()
+    };
+    println!("== t-Optimizer-Cost threshold and epsilon sweep ==");
+    let results = tsweep::run(&scale);
+    report(&tsweep::rows(&results), Some("results/tsweep.jsonl"));
+}

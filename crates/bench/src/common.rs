@@ -1,0 +1,158 @@
+//! Shared experiment plumbing.
+
+use executor::WorkloadRunner;
+use query::{bind_statement, BoundSelect, BoundStatement, Statement};
+use serde::{Deserialize, Serialize};
+use stats::{StatDescriptor, StatsCatalog};
+use storage::Database;
+
+/// How big an experiment run is. Results are ratios, so the default small
+/// scale reproduces the paper's *shape*; `full()` runs larger databases for
+/// tighter numbers.
+#[derive(Debug, Clone, Copy)]
+pub struct ExperimentScale {
+    /// TPC-D scale factor for generated databases.
+    pub scale: f64,
+    /// Statements per Rags workload.
+    pub workload_len: usize,
+    pub seed: u64,
+}
+
+impl ExperimentScale {
+    /// Tiny scale for unit tests of the harness itself.
+    pub fn tiny() -> Self {
+        ExperimentScale {
+            scale: 0.001,
+            workload_len: 12,
+            seed: 7,
+        }
+    }
+
+    /// Default experiment scale (seconds per experiment).
+    pub fn default_run() -> Self {
+        ExperimentScale {
+            scale: 0.004,
+            workload_len: 60,
+            seed: 7,
+        }
+    }
+
+    /// Larger run for the recorded EXPERIMENTS.md numbers.
+    pub fn full() -> Self {
+        ExperimentScale {
+            scale: 0.01,
+            workload_len: 100,
+            seed: 7,
+        }
+    }
+}
+
+/// One reported measurement, with the paper's band alongside.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Row {
+    pub experiment: String,
+    pub database: String,
+    pub workload: String,
+    pub metric: String,
+    pub measured: f64,
+    pub paper_band: String,
+}
+
+impl Row {
+    pub fn print(&self) {
+        println!(
+            "{:<12} {:<10} {:<12} {:<42} measured={:>9.2}  paper: {}",
+            self.experiment, self.database, self.workload, self.metric, self.measured,
+            self.paper_band
+        );
+    }
+}
+
+/// Print a table of rows and optionally write them as JSON lines.
+pub fn report(rows: &[Row], json_path: Option<&str>) {
+    for r in rows {
+        r.print();
+    }
+    if let Some(path) = json_path {
+        let mut out = String::new();
+        for r in rows {
+            out.push_str(&serde_json::to_string(r).expect("row serializes"));
+            out.push('\n');
+        }
+        if let Some(parent) = std::path::Path::new(path).parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        std::fs::write(path, out).expect("write results file");
+        println!("results written to {path}");
+    }
+}
+
+/// Bind a workload of parsed statements, panicking on generator bugs.
+pub fn bind_all(db: &Database, stmts: &[Statement]) -> Vec<BoundStatement> {
+    stmts
+        .iter()
+        .map(|s| bind_statement(db, s).expect("generated workload binds"))
+        .collect()
+}
+
+/// The SELECT statements of a bound workload.
+pub fn queries_of(bound: &[BoundStatement]) -> Vec<BoundSelect> {
+    bound
+        .iter()
+        .filter_map(|s| s.as_select().cloned())
+        .collect()
+}
+
+/// Execute a workload against a *clone* of the database (so repeated
+/// measurements start from identical state) under the given statistics
+/// catalog. Returns total deterministic execution work.
+pub fn execute_workload(db: &Database, catalog: &StatsCatalog, workload: &[BoundStatement]) -> f64 {
+    let mut db = db.clone();
+    let runner = WorkloadRunner::default();
+    runner.run(&mut db, catalog.full_view(), workload).total_work
+}
+
+/// Create every descriptor in `descriptors` (deduplicating against the
+/// catalog) and return the creation work spent.
+pub fn create_all(
+    db: &Database,
+    catalog: &mut StatsCatalog,
+    descriptors: impl IntoIterator<Item = StatDescriptor>,
+) -> f64 {
+    let before = catalog.creation_work();
+    for d in descriptors {
+        catalog.create_statistic(db, d);
+    }
+    catalog.creation_work() - before
+}
+
+/// Percentage change from `base` to `variant` (positive = variant larger).
+pub fn pct_change(base: f64, variant: f64) -> f64 {
+    if base <= 0.0 {
+        return 0.0;
+    }
+    (variant - base) / base * 100.0
+}
+
+/// Percentage reduction from `base` to `variant` (positive = variant smaller).
+pub fn pct_reduction(base: f64, variant: f64) -> f64 {
+    -pct_change(base, variant)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pct_helpers() {
+        assert_eq!(pct_change(100.0, 120.0), 20.0);
+        assert_eq!(pct_reduction(100.0, 60.0), 40.0);
+        assert_eq!(pct_change(0.0, 50.0), 0.0);
+    }
+
+    #[test]
+    fn scales_ordered() {
+        assert!(ExperimentScale::tiny().scale < ExperimentScale::default_run().scale);
+        assert!(ExperimentScale::default_run().scale <= ExperimentScale::full().scale);
+    }
+}

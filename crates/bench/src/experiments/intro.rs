@@ -1,0 +1,154 @@
+//! The §1 intro experiment.
+//!
+//! "Consider a tuned TPC-D 1GB database … with 13 indexes, and a workload
+//! consisting of the 17 queries defined in the benchmark. We recorded the
+//! plans for each query when no additional statistics on columns (besides
+//! statistics on indexed columns) were available. We then created a set of
+//! relevant statistics … and re-optimized. In all but 2 queries, the
+//! execution plans chosen with additional statistics were different, and
+//! resulted in improved execution cost."
+
+use crate::common::{ExperimentScale, Row};
+use autostats::candidate_statistics;
+use optimizer::costs_within_t;
+use datagen::{build_tpcd, create_tuned_indexes, tpcd_benchmark_queries, TpcdConfig, ZipfSpec};
+use optimizer::{OptimizeOptions, Optimizer};
+use query::{bind_statement, BoundStatement, Statement};
+use stats::{StatDescriptor, StatsCatalog};
+
+/// Per-query outcome of the intro experiment.
+#[derive(Debug, Clone)]
+pub struct IntroResult {
+    pub query: usize,
+    /// The execution tree itself changed.
+    pub plan_changed: bool,
+    /// The optimizer's cost view shifted beyond t = 20% — the paper's own
+    /// t-Optimizer-Cost notion of "materially different". Our simulator's
+    /// plan space is coarser than SQL Server 7.0's (no parallelism, index
+    /// intersection, or alternative aggregation strategies), so a large
+    /// estimate shift does not always flip the tree here even though it
+    /// would in the paper's system; this metric captures those cases.
+    pub estimate_shifted: bool,
+    pub cost_before: f64,
+    pub cost_after: f64,
+}
+
+/// Run the intro experiment; returns per-query outcomes.
+pub fn run(scale: &ExperimentScale) -> Vec<IntroResult> {
+    // The paper's tuned database is skewed in our reproduction (TPCD_MIX) so
+    // that statistics actually carry information the magic numbers lack.
+    let mut db = build_tpcd(&TpcdConfig {
+        scale: scale.scale,
+        zipf: ZipfSpec::Mixed,
+        seed: scale.seed,
+    });
+    create_tuned_indexes(&mut db);
+
+    // Baseline: statistics only on indexed (leading) columns.
+    let mut catalog = StatsCatalog::new();
+    for idx in db.indexes() {
+        catalog.create_statistic(&db, StatDescriptor::single(idx.table, idx.leading_column()));
+    }
+
+    let optimizer = Optimizer::default();
+    let queries: Vec<_> = tpcd_benchmark_queries()
+        .into_iter()
+        .map(|q| {
+            match bind_statement(&db, &Statement::Select(q)).expect("tpcd query binds") {
+                BoundStatement::Select(b) => b,
+                _ => unreachable!(),
+            }
+        })
+        .collect();
+
+    // First record every "before" plan against the untouched baseline (the
+    // paper recorded all plans, then created the statistics).
+    let before: Vec<_> = queries
+        .iter()
+        .map(|q| optimizer.optimize(&db, q, catalog.full_view(), &OptimizeOptions::default()))
+        .collect();
+
+    // Then create the relevant statistics for the whole workload…
+    for q in &queries {
+        for d in candidate_statistics(q) {
+            catalog.create_statistic(&db, d);
+        }
+    }
+
+    // …and re-optimize everything.
+    queries
+        .iter()
+        .zip(before)
+        .enumerate()
+        .map(|(i, (q, b))| {
+            let after =
+                optimizer.optimize(&db, q, catalog.full_view(), &OptimizeOptions::default());
+            IntroResult {
+                query: i + 1,
+                plan_changed: !b.plan.same_tree(&after.plan),
+                estimate_shifted: !costs_within_t(b.cost, after.cost, 20.0),
+                cost_before: b.cost,
+                cost_after: after.cost,
+            }
+        })
+        .collect()
+}
+
+/// Summarize into report rows.
+pub fn rows(results: &[IntroResult]) -> Vec<Row> {
+    let changed = results.iter().filter(|r| r.plan_changed).count();
+    let shifted = results
+        .iter()
+        .filter(|r| r.plan_changed || r.estimate_shifted)
+        .count();
+    vec![
+        Row {
+            experiment: "intro".into(),
+            database: "TPCD_MIX".into(),
+            workload: "TPCD-ORIG".into(),
+            metric: "queries materially affected by statistics, t=20% (of 17)".into(),
+            measured: shifted as f64,
+            paper_band: "15 of 17 plans changed".into(),
+        },
+        Row {
+            experiment: "intro".into(),
+            database: "TPCD_MIX".into(),
+            workload: "TPCD-ORIG".into(),
+            metric: "queries whose execution tree changed (of 17)".into(),
+            measured: changed as f64,
+            paper_band: "15 of 17 (richer plan space)".into(),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn statistics_affect_most_queries() {
+        let results = run(&ExperimentScale::default_run());
+        assert_eq!(results.len(), 17);
+        let shifted = results
+            .iter()
+            .filter(|r| r.plan_changed || r.estimate_shifted)
+            .count();
+        let changed = results.iter().filter(|r| r.plan_changed).count();
+        // The paper saw 15/17 plans change on SQL Server. Our plan space is
+        // coarser, so we require the shape: a clear majority of queries are
+        // materially affected (t = 20%), and several trees actually flip.
+        assert!(shifted >= 11, "only {shifted}/17 queries affected");
+        assert!(changed >= 4, "only {changed}/17 trees changed");
+    }
+
+    #[test]
+    fn rows_summarize() {
+        let results = vec![
+            IntroResult { query: 1, plan_changed: true, estimate_shifted: true, cost_before: 2.0, cost_after: 1.0 },
+            IntroResult { query: 2, plan_changed: false, estimate_shifted: false, cost_before: 1.0, cost_after: 1.0 },
+        ];
+        let rows = rows(&results);
+        assert_eq!(rows[0].measured, 1.0);
+        assert_eq!(rows[1].measured, 1.0);
+    }
+}

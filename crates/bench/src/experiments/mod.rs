@@ -1,0 +1,9 @@
+//! One module per paper table/figure.
+
+pub mod aging;
+pub mod fig3;
+pub mod fig4;
+pub mod intro;
+pub mod shrink;
+pub mod table1;
+pub mod tsweep;

@@ -1,0 +1,117 @@
+//! Parameter sensitivity: the t threshold and the ε probe value.
+//!
+//! §3.2/§8.2: "we have found that a value of t = 20% is a conservative
+//! choice" — larger t prunes more statistics (cheaper creation) at some risk
+//! to plan quality; t = 0 degenerates to creating statistics whenever any
+//! magic variable exists. §4.1 requires predicate selectivities to lie in
+//! [ε, 1−ε] for MNSA's guarantee, with the paper using ε = 0.0005.
+
+use crate::common::{
+    bind_all, create_all, execute_workload, pct_change, pct_reduction, queries_of,
+    ExperimentScale, Row,
+};
+use autostats::policy::optimizer_call_work;
+use autostats::{candidate_statistics, MnsaConfig, MnsaEngine};
+use datagen::{build_tpcd, Complexity, RagsGenerator, TpcdConfig, WorkloadSpec, ZipfSpec};
+use stats::StatsCatalog;
+
+/// One sweep point.
+#[derive(Debug, Clone)]
+pub struct SweepResult {
+    pub t_percent: f64,
+    pub epsilon: f64,
+    pub stats_built: usize,
+    pub creation_reduction_pct: f64,
+    pub exec_increase_pct: f64,
+}
+
+/// Sweep t (at ε = 0.0005) then ε (at t = 20) on TPCD_MIX, U0-C workload.
+pub fn run(scale: &ExperimentScale) -> Vec<SweepResult> {
+    let db = build_tpcd(&TpcdConfig {
+        scale: scale.scale,
+        zipf: ZipfSpec::Mixed,
+        seed: scale.seed,
+    });
+    let spec = WorkloadSpec::new(0, Complexity::Complex, scale.workload_len).with_seed(scale.seed);
+    let stmts = RagsGenerator::generate(&db, &spec);
+    let bound = bind_all(&db, &stmts);
+    let queries = queries_of(&bound);
+
+    // Baseline: all candidates.
+    let mut cat_all = StatsCatalog::new();
+    let mut work_all = 0.0;
+    for q in &queries {
+        work_all += create_all(&db, &mut cat_all, candidate_statistics(q));
+    }
+    let exec_all = execute_workload(&db, &cat_all, &bound);
+
+    let mut points: Vec<(f64, f64)> = [0.0, 5.0, 10.0, 20.0, 40.0, 80.0]
+        .into_iter()
+        .map(|t| (t, 0.0005))
+        .collect();
+    points.extend([(20.0, 0.01), (20.0, 0.1)]);
+
+    let mut out = Vec::new();
+    for (t, eps) in points {
+        let engine = MnsaEngine::new(MnsaConfig {
+            t_percent: t,
+            epsilon: eps,
+            ..Default::default()
+        });
+        let mut cat = StatsCatalog::new();
+        let mut work = 0.0;
+        for q in &queries {
+            let before = cat.creation_work();
+            let outcome = engine.run_query(&db, &mut cat, q);
+            work += (cat.creation_work() - before)
+                + outcome.optimizer_calls as f64 * optimizer_call_work(q.relations.len());
+        }
+        let exec = execute_workload(&db, &cat, &bound);
+        out.push(SweepResult {
+            t_percent: t,
+            epsilon: eps,
+            stats_built: cat.active_count(),
+            creation_reduction_pct: pct_reduction(work_all, work),
+            exec_increase_pct: pct_change(exec_all, exec),
+        });
+    }
+    out
+}
+
+/// Convert to report rows.
+pub fn rows(results: &[SweepResult]) -> Vec<Row> {
+    results
+        .iter()
+        .map(|r| Row {
+            experiment: "tsweep".into(),
+            database: "TPCD_MIX".into(),
+            workload: format!("t={} eps={}", r.t_percent, r.epsilon),
+            metric: format!(
+                "stats={} creation-reduction% (exec-increase {:.2}%)",
+                r.stats_built, r.exec_increase_pct
+            ),
+            measured: r.creation_reduction_pct,
+            paper_band: "t=20% conservative".into(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn larger_t_prunes_at_least_as_much() {
+        let mut scale = ExperimentScale::tiny();
+        scale.workload_len = 15;
+        let results = run(&scale);
+        let at = |t: f64| {
+            results
+                .iter()
+                .find(|r| r.t_percent == t && r.epsilon == 0.0005)
+                .unwrap()
+        };
+        // t = 80 must build no more statistics than t = 0.
+        assert!(at(80.0).stats_built <= at(0.0).stats_built);
+    }
+}

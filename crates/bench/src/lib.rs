@@ -1,0 +1,22 @@
+//! Experiment harness for the reproduction.
+//!
+//! One module per table/figure of the paper's evaluation (§8), each exposing
+//! a `run(...) -> Vec<Row>` function that the corresponding `exp_*` binary
+//! wraps. Every experiment prints a human-readable table, states the paper's
+//! reported band next to the measured value, and can emit machine-readable
+//! JSON (consumed when updating `EXPERIMENTS.md`).
+//!
+//! | Binary       | Paper result                                            |
+//! |--------------|---------------------------------------------------------|
+//! | `exp_intro`  | §1 intro experiment — plans change for all but 2 of 17  |
+//! | `exp_fig3`   | Figure 3 — candidate algorithm vs Exhaustive            |
+//! | `exp_fig4`   | Figure 4 — MNSA vs create-all-candidates                |
+//! | `exp_table1` | Table 1 — MNSA/D vs MNSA update cost                    |
+//! | `exp_tsweep` | §3.2/§8.2 — sensitivity to the t and ε parameters       |
+//! | `exp_shrink` | §5.2 — Shrinking Set essential sets                     |
+//! | `exp_all`    | everything above, at the default scale                  |
+
+pub mod common;
+pub mod experiments;
+
+pub use common::{ExperimentScale, Row};

@@ -1,0 +1,290 @@
+//! Candidate statistics for a query.
+//!
+//! §3.1 of the paper: a column is *relevant* when it appears in the WHERE
+//! clause or the GROUP BY clause; candidate statistics are built over
+//! relevant columns. The heuristic algorithm of §7.1 proposes, per query:
+//!
+//! (a) one single-column statistic per relevant column;
+//! (b) per table, one multi-column statistic on the selection columns;
+//! (c) per table, one multi-column statistic on the join columns;
+//! (d) per table, one multi-column statistic on the GROUP BY columns.
+//!
+//! (Example 3: for `R1 ⋈ R2 on (a=b, c=d)` with predicates on e, f, g the
+//! candidates are singles plus `(a,c)`, `(b,d)`, `(e,f,g)` — but *not*
+//! `(e,f)`, `(f,g)`, `(e,g)`.) The **Exhaustive** strategy that Figure 3
+//! compares against proposes every subset of each per-table column group.
+
+use query::BoundSelect;
+use stats::StatDescriptor;
+use storage::TableId;
+
+fn push_unique(out: &mut Vec<StatDescriptor>, d: StatDescriptor) {
+    if !out.contains(&d) {
+        out.push(d);
+    }
+}
+
+/// Per-table relevant column groups of a query.
+struct ColumnGroups {
+    /// `(table, ordered columns)` — selection-predicate columns per table.
+    selection: Vec<(TableId, Vec<usize>)>,
+    /// Join columns per table.
+    join: Vec<(TableId, Vec<usize>)>,
+    /// GROUP BY columns per table.
+    group_by: Vec<(TableId, Vec<usize>)>,
+}
+
+fn add_to_group(groups: &mut Vec<(TableId, Vec<usize>)>, table: TableId, col: usize) {
+    if let Some((_, cols)) = groups.iter_mut().find(|(t, _)| *t == table) {
+        if !cols.contains(&col) {
+            cols.push(col);
+        }
+    } else {
+        groups.push((table, vec![col]));
+    }
+}
+
+fn column_groups(q: &BoundSelect) -> ColumnGroups {
+    let mut g = ColumnGroups {
+        selection: Vec::new(),
+        join: Vec::new(),
+        group_by: Vec::new(),
+    };
+    for p in &q.selections {
+        add_to_group(&mut g.selection, q.table_of(p.column.relation), p.column.column);
+    }
+    for e in &q.join_edges {
+        for &(l, r) in &e.pairs {
+            add_to_group(&mut g.join, q.table_of(e.left_rel), l);
+            add_to_group(&mut g.join, q.table_of(e.right_rel), r);
+        }
+    }
+    for c in &q.group_by {
+        add_to_group(&mut g.group_by, q.table_of(c.relation), c.column);
+    }
+    g
+}
+
+/// The §7.1 candidate-statistics algorithm.
+pub fn candidate_statistics(q: &BoundSelect) -> Vec<StatDescriptor> {
+    let groups = column_groups(q);
+    let mut out = Vec::new();
+    // (a) one single-column statistic per relevant column.
+    for (table, col) in q.relevant_columns() {
+        push_unique(&mut out, StatDescriptor::single(table, col));
+    }
+    // (b)–(d) one multi-column statistic per table per group.
+    for group in [&groups.selection, &groups.join, &groups.group_by] {
+        for (table, cols) in group {
+            if cols.len() >= 2 {
+                push_unique(&mut out, StatDescriptor::multi(*table, cols.clone()));
+            }
+        }
+    }
+    out
+}
+
+/// Only the single-column candidates — the §8.2 variant experiment
+/// ("candidate statistics considered were only single-column statistics on
+/// relevant columns"), and also what SQL Server 7.0's auto-statistics mode
+/// creates.
+pub fn single_column_candidates(q: &BoundSelect) -> Vec<StatDescriptor> {
+    q.relevant_columns()
+        .into_iter()
+        .map(|(t, c)| StatDescriptor::single(t, c))
+        .collect()
+}
+
+/// The Exhaustive strategy (Figure 3's comparison point): *all*
+/// syntactically relevant statistics — every single-column statistic plus a
+/// multi-column statistic on **every subset of size ≥ 2 of each table's
+/// relevant columns** (§3.1: "given a multi-column candidate statistic for a
+/// query, any subset of those columns is also a candidate statistic").
+/// Subset enumeration per table is capped at `max_group` columns (tables
+/// with more relevant columns contribute their per-category groups and the
+/// full union only) to keep the construction bounded.
+pub fn exhaustive_candidates(q: &BoundSelect, max_group: usize) -> Vec<StatDescriptor> {
+    let mut out = Vec::new();
+    for (table, col) in q.relevant_columns() {
+        push_unique(&mut out, StatDescriptor::single(table, col));
+    }
+    // Union of relevant columns per table, in first-occurrence order.
+    let mut per_table: Vec<(TableId, Vec<usize>)> = Vec::new();
+    for (table, col) in q.relevant_columns() {
+        add_to_group(&mut per_table, table, col);
+    }
+    for (table, cols) in &per_table {
+        if cols.len() < 2 {
+            continue;
+        }
+        if cols.len() > max_group {
+            // Too wide to enumerate: fall back to the heuristic's groups
+            // plus the full union.
+            for d in candidate_statistics(q) {
+                if d.table == *table && d.is_multi_column() {
+                    push_unique(&mut out, d);
+                }
+            }
+            push_unique(&mut out, StatDescriptor::multi(*table, cols.clone()));
+            continue;
+        }
+        // All subsets of size >= 2, columns kept in union order.
+        let n = cols.len();
+        for mask in 1u32..(1 << n) {
+            if mask.count_ones() < 2 {
+                continue;
+            }
+            let subset: Vec<usize> = (0..n)
+                .filter(|i| mask & (1 << i) != 0)
+                .map(|i| cols[i])
+                .collect();
+            push_unique(&mut out, StatDescriptor::multi(*table, subset));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use query::{bind_statement, parse_statement, BoundStatement};
+    use storage::{ColumnDef, DataType, Database, Schema};
+
+    /// The schema of the paper's Example 3: R1(a, c, e, f, g), R2(b, d).
+    fn example3_db() -> Database {
+        let mut db = Database::new();
+        db.create_table(
+            "r1",
+            Schema::new(vec![
+                ColumnDef::new("a", DataType::Int),
+                ColumnDef::new("c", DataType::Int),
+                ColumnDef::new("e", DataType::Int),
+                ColumnDef::new("f", DataType::Int),
+                ColumnDef::new("g", DataType::Int),
+            ]),
+        )
+        .unwrap();
+        db.create_table(
+            "r2",
+            Schema::new(vec![
+                ColumnDef::new("b", DataType::Int),
+                ColumnDef::new("d", DataType::Int),
+            ]),
+        )
+        .unwrap();
+        db
+    }
+
+    fn bind(db: &Database, sql: &str) -> BoundSelect {
+        match bind_statement(db, &parse_statement(sql).unwrap()).unwrap() {
+            BoundStatement::Select(q) => q,
+            _ => panic!(),
+        }
+    }
+
+    const EXAMPLE3_SQL: &str = "SELECT * FROM r1, r2 \
+        WHERE r1.a = r2.b AND r1.c = r2.d \
+          AND r1.e < 100 AND r1.f > 10 AND r1.g = 25";
+
+    #[test]
+    fn example3_candidates_match_paper() {
+        let db = example3_db();
+        let q = bind(&db, EXAMPLE3_SQL);
+        let r1 = db.table_id("r1").unwrap();
+        let r2 = db.table_id("r2").unwrap();
+        let cands = candidate_statistics(&q);
+
+        // Singles on a, c, e, f, g (r1 ordinals 0..5) and b, d (r2 0, 1).
+        for c in 0..5 {
+            assert!(cands.contains(&StatDescriptor::single(r1, c)), "missing single r1.{c}");
+        }
+        for c in 0..2 {
+            assert!(cands.contains(&StatDescriptor::single(r2, c)), "missing single r2.{c}");
+        }
+        // Multi-column: (a, c) on r1, (b, d) on r2, (e, f, g) on r1.
+        assert!(cands.contains(&StatDescriptor::multi(r1, vec![0, 1])));
+        assert!(cands.contains(&StatDescriptor::multi(r2, vec![0, 1])));
+        assert!(cands.contains(&StatDescriptor::multi(r1, vec![2, 3, 4])));
+        // NOT proposed: (e, f), (f, g), (e, g).
+        assert!(!cands.contains(&StatDescriptor::multi(r1, vec![2, 3])));
+        assert!(!cands.contains(&StatDescriptor::multi(r1, vec![3, 4])));
+        assert!(!cands.contains(&StatDescriptor::multi(r1, vec![2, 4])));
+        assert_eq!(cands.len(), 7 + 3);
+    }
+
+    #[test]
+    fn exhaustive_includes_all_selection_subsets() {
+        let db = example3_db();
+        let q = bind(&db, EXAMPLE3_SQL);
+        let r1 = db.table_id("r1").unwrap();
+        let cands = exhaustive_candidates(&q, 8);
+        // The subsets the heuristic skips are present here.
+        assert!(cands.contains(&StatDescriptor::multi(r1, vec![2, 3])));
+        assert!(cands.contains(&StatDescriptor::multi(r1, vec![3, 4])));
+        assert!(cands.contains(&StatDescriptor::multi(r1, vec![2, 4])));
+        assert!(cands.contains(&StatDescriptor::multi(r1, vec![2, 3, 4])));
+        assert!(cands.len() > candidate_statistics(&q).len());
+    }
+
+    #[test]
+    fn exhaustive_caps_large_groups() {
+        let db = example3_db();
+        let q = bind(&db, EXAMPLE3_SQL);
+        let capped = exhaustive_candidates(&q, 2);
+        let r1 = db.table_id("r1").unwrap();
+        // With max_group=2 the 3-column selection group only yields (e,f,g).
+        assert!(capped.contains(&StatDescriptor::multi(r1, vec![2, 3, 4])));
+        assert!(!capped.contains(&StatDescriptor::multi(r1, vec![2, 3])));
+    }
+
+    #[test]
+    fn single_column_mode() {
+        let db = example3_db();
+        let q = bind(&db, EXAMPLE3_SQL);
+        let singles = single_column_candidates(&q);
+        assert_eq!(singles.len(), 7);
+        assert!(singles.iter().all(|d| !d.is_multi_column()));
+    }
+
+    #[test]
+    fn group_by_columns_produce_candidates() {
+        let db = example3_db();
+        let q = bind(&db, "SELECT e, f, COUNT(*) FROM r1 GROUP BY e, f");
+        let r1 = db.table_id("r1").unwrap();
+        let cands = candidate_statistics(&q);
+        assert!(cands.contains(&StatDescriptor::single(r1, 2)));
+        assert!(cands.contains(&StatDescriptor::single(r1, 3)));
+        assert!(cands.contains(&StatDescriptor::multi(r1, vec![2, 3])));
+        assert_eq!(cands.len(), 3);
+    }
+
+    /// The paper's footnote 1: a column referenced only in ORDER BY is not
+    /// relevant — no statistics are proposed for it.
+    #[test]
+    fn order_by_columns_are_not_relevant() {
+        let db = example3_db();
+        let q = bind(&db, "SELECT * FROM r1 WHERE e < 100 ORDER BY f DESC, g");
+        let r1 = db.table_id("r1").unwrap();
+        let cands = candidate_statistics(&q);
+        assert_eq!(cands, vec![StatDescriptor::single(r1, 2)]);
+        let ex = exhaustive_candidates(&q, 8);
+        assert_eq!(ex, vec![StatDescriptor::single(r1, 2)]);
+    }
+
+    #[test]
+    fn no_predicates_no_candidates() {
+        let db = example3_db();
+        let q = bind(&db, "SELECT * FROM r1");
+        assert!(candidate_statistics(&q).is_empty());
+    }
+
+    #[test]
+    fn duplicate_columns_deduplicated() {
+        let db = example3_db();
+        // e appears in two predicates and in GROUP BY.
+        let q = bind(&db, "SELECT e, COUNT(*) FROM r1 WHERE e > 1 AND e < 100 GROUP BY e");
+        let cands = candidate_statistics(&q);
+        let r1 = db.table_id("r1").unwrap();
+        assert_eq!(cands, vec![StatDescriptor::single(r1, 2)]);
+    }
+}

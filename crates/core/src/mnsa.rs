@@ -1,0 +1,684 @@
+//! Magic Number Sensitivity Analysis (MNSA) — §4 of the paper, Figure 1 —
+//! and its drop-detecting variant MNSA/D (§5.1).
+//!
+//! MNSA sidesteps the chicken-and-egg problem of statistics selection
+//! ("usefulness can be determined only after construction"): instead of
+//! building a statistic to see whether it matters, it asks the optimizer how
+//! *sensitive* the plan cost is to the selectivity variables that currently
+//! fall back to magic numbers. It forces all of them to ε (plan `P_low`) and
+//! to 1−ε (plan `P_high`); under the cost-monotonicity assumption these
+//! bound every cost reachable with real statistics, so if the two costs are
+//! within t% the existing statistics already include an essential set and no
+//! more need be built.
+//!
+//! When the test fails, `FindNextStatToBuild` (§4.2) picks the next
+//! statistic: the candidates relevant to the **most expensive operator** of
+//! the current (magic-number) plan, where an operator's own cost is its
+//! subtree cost minus its children's subtree costs. Join-column statistics
+//! are created in **pairs** (the dependency noted in §4.2).
+//!
+//! MNSA/D additionally compares the plan after each creation with the plan
+//! before it; if they are execution-tree-equivalent the new statistic is
+//! heuristically marked non-essential and moved to the drop-list (§5.1).
+
+use crate::candidates::{candidate_statistics, exhaustive_candidates, single_column_candidates};
+use optimizer::{Operator, OptimizeOptions, OptimizedQuery, Optimizer, PlanNode};
+use query::{BoundSelect, PredicateId};
+use serde::{Deserialize, Serialize};
+use stats::{AgingPolicy, StatDescriptor, StatId, StatsCatalog};
+use storage::Database;
+
+/// Which candidate-statistics strategy feeds MNSA.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum CandidateMode {
+    /// The §7.1 heuristic (default).
+    #[default]
+    Heuristic,
+    /// Single-column statistics only (the §8.2 variant).
+    SingleColumnOnly,
+    /// Every subset of each relevant column group (Figure 3's comparison).
+    Exhaustive,
+}
+
+/// Order in which `FindNextStatToBuild` walks the plan — the §4.2 heuristic
+/// and two ablation baselines (the Figure 4 `--ablation` mode compares them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum NextStatOrder {
+    /// The paper's heuristic: most expensive operator first, by own cost
+    /// (subtree − children).
+    #[default]
+    MostExpensiveNode,
+    /// Plan order (pre-order traversal) — ignores costs entirely.
+    Syntactic,
+    /// Cheapest operator first — the adversarial baseline.
+    CheapestNode,
+}
+
+/// MNSA configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MnsaConfig {
+    /// t-Optimizer-Cost threshold in percent (paper: 20%).
+    pub t_percent: f64,
+    /// The ε of the sensitivity probe (paper: 0.0005). MNSA guarantees an
+    /// essential set only when real predicate selectivities lie within
+    /// [ε, 1−ε].
+    pub epsilon: f64,
+    pub candidate_mode: CandidateMode,
+    /// Candidates on tables with at most this many rows are created outright
+    /// without analysis — "creating candidate statistics on small tables is
+    /// inexpensive" (§4.3).
+    pub small_table_rows: usize,
+    /// Enable MNSA/D drop detection (§5.1).
+    pub drop_detection: bool,
+    /// Cap on subset size for exhaustive candidate enumeration.
+    pub exhaustive_max_group: usize,
+    /// Skip candidates dampened by the aging registry (§6); `None` disables
+    /// aging checks.
+    pub aging: Option<AgingPolicy>,
+    /// Node-ranking order used by `FindNextStatToBuild` (ablation knob).
+    pub next_stat_order: NextStatOrder,
+}
+
+impl Default for MnsaConfig {
+    fn default() -> Self {
+        MnsaConfig {
+            t_percent: 20.0,
+            epsilon: 0.0005,
+            candidate_mode: CandidateMode::Heuristic,
+            small_table_rows: 0,
+            drop_detection: false,
+            exhaustive_max_group: 8,
+            aging: None,
+            next_stat_order: NextStatOrder::MostExpensiveNode,
+        }
+    }
+}
+
+impl MnsaConfig {
+    /// MNSA/D: MNSA with drop detection enabled.
+    pub fn with_drop_detection(mut self) -> Self {
+        self.drop_detection = true;
+        self
+    }
+}
+
+/// Why MNSA stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Termination {
+    /// `P_low` and `P_high` became t-Optimizer-Cost equivalent — the
+    /// existing statistics include an essential set.
+    CostConverged,
+    /// No candidate statistics remain to build.
+    NoMoreCandidates,
+}
+
+/// What one MNSA run did for one query.
+#[derive(Debug, Clone)]
+pub struct MnsaOutcome {
+    /// Statistics created (in creation order), including small-table
+    /// pre-creations and both members of join pairs.
+    pub created: Vec<StatId>,
+    /// Statistics moved to the drop-list by MNSA/D.
+    pub drop_listed: Vec<StatId>,
+    /// Candidates never built because the sensitivity test passed first.
+    pub skipped: Vec<StatDescriptor>,
+    /// Candidates skipped due to aging.
+    pub aged_out: Vec<StatDescriptor>,
+    pub optimizer_calls: usize,
+    pub terminated_by: Termination,
+}
+
+impl MnsaOutcome {
+    fn new() -> Self {
+        MnsaOutcome {
+            created: Vec::new(),
+            drop_listed: Vec::new(),
+            skipped: Vec::new(),
+            aged_out: Vec::new(),
+            optimizer_calls: 0,
+            terminated_by: Termination::CostConverged,
+        }
+    }
+}
+
+/// The MNSA engine: wraps an optimizer and applies Figure 1.
+#[derive(Debug, Clone, Default)]
+pub struct MnsaEngine {
+    pub optimizer: Optimizer,
+    pub config: MnsaConfig,
+}
+
+impl MnsaEngine {
+    pub fn new(config: MnsaConfig) -> Self {
+        MnsaEngine {
+            optimizer: Optimizer::default(),
+            config,
+        }
+    }
+
+    /// The candidate set for a query under the configured mode.
+    pub fn candidates(&self, query: &BoundSelect) -> Vec<StatDescriptor> {
+        match self.config.candidate_mode {
+            CandidateMode::Heuristic => candidate_statistics(query),
+            CandidateMode::SingleColumnOnly => single_column_candidates(query),
+            CandidateMode::Exhaustive => {
+                exhaustive_candidates(query, self.config.exhaustive_max_group)
+            }
+        }
+    }
+
+    fn optimize(
+        &self,
+        db: &Database,
+        catalog: &StatsCatalog,
+        query: &BoundSelect,
+        options: &OptimizeOptions,
+        outcome: &mut MnsaOutcome,
+    ) -> OptimizedQuery {
+        outcome.optimizer_calls += 1;
+        self.optimizer
+            .optimize(db, query, catalog.full_view(), options)
+    }
+
+    /// Run MNSA (Figure 1) for one query, creating statistics in `catalog`.
+    pub fn run_query(
+        &self,
+        db: &Database,
+        catalog: &mut StatsCatalog,
+        query: &BoundSelect,
+    ) -> MnsaOutcome {
+        let mut outcome = MnsaOutcome::new();
+        let mut remaining: Vec<StatDescriptor> = self
+            .candidates(query)
+            .into_iter()
+            .filter(|d| catalog.find_built(d).is_none())
+            .collect();
+
+        // Small-table pre-creation (§4.3).
+        if self.config.small_table_rows > 0 {
+            let mut rest = Vec::with_capacity(remaining.len());
+            for d in remaining {
+                if db.table(d.table).row_count() <= self.config.small_table_rows {
+                    outcome.created.push(catalog.create_statistic(db, d));
+                } else {
+                    rest.push(d);
+                }
+            }
+            remaining = rest;
+        }
+
+        // Step 2: P = plan of Q with default magic numbers.
+        let mut current =
+            self.optimize(db, catalog, query, &OptimizeOptions::default(), &mut outcome);
+
+        loop {
+            // Step 4: the selectivity variables still on magic numbers.
+            let magic: Vec<PredicateId> = current.magic_variables.clone();
+
+            // Steps 5–7: P_low / P_high sensitivity probe.
+            if magic.is_empty() {
+                outcome.terminated_by = Termination::CostConverged;
+                break;
+            }
+            let p_low = self.optimize(
+                db,
+                catalog,
+                query,
+                &OptimizeOptions::inject_all(&magic, self.config.epsilon),
+                &mut outcome,
+            );
+            let p_high = self.optimize(
+                db,
+                catalog,
+                query,
+                &OptimizeOptions::inject_all(&magic, 1.0 - self.config.epsilon),
+                &mut outcome,
+            );
+            let lo = p_low.cost.min(p_high.cost);
+            let hi = p_low.cost.max(p_high.cost);
+            if lo <= 0.0 || (hi - lo) / lo <= self.config.t_percent / 100.0 {
+                outcome.terminated_by = Termination::CostConverged;
+                break;
+            }
+
+            // Step 8: FindNextStatToBuild on the magic-number plan P.
+            let Some(group) = self.find_next_stats(db, catalog, query, &current.plan, &mut remaining, &mut outcome)
+            else {
+                outcome.terminated_by = Termination::NoMoreCandidates;
+                break;
+            };
+
+            // Step 10: build the statistic(s).
+            let before_plan = current.plan.clone();
+            let round_ids: Vec<StatId> = group
+                .into_iter()
+                .map(|d| catalog.create_statistic(db, d))
+                .collect();
+            outcome.created.extend(&round_ids);
+
+            // Steps 11–12: re-optimize with the new statistics.
+            current =
+                self.optimize(db, catalog, query, &OptimizeOptions::default(), &mut outcome);
+
+            // MNSA/D (§5.1): if the plan did not change, the statistics just
+            // built are heuristically non-essential.
+            if self.config.drop_detection && current.plan.same_tree(&before_plan) {
+                for id in round_ids {
+                    catalog.move_to_drop_list(id);
+                    outcome.drop_listed.push(id);
+                }
+                // Re-optimize without the hidden statistics so the loop's
+                // invariant (current == plan under active stats) holds.
+                current = self.optimize(
+                    db,
+                    catalog,
+                    query,
+                    &OptimizeOptions::default(),
+                    &mut outcome,
+                );
+            }
+        }
+
+        outcome.skipped = remaining;
+        outcome
+    }
+
+    /// §4.2: rank plan operators by own cost (subtree − children) and return
+    /// the unbuilt candidate statistics relevant to the most expensive
+    /// operator that has any — as a group, so join statistics come in pairs.
+    fn find_next_stats(
+        &self,
+        db: &Database,
+        catalog: &StatsCatalog,
+        query: &BoundSelect,
+        plan: &PlanNode,
+        remaining: &mut Vec<StatDescriptor>,
+        outcome: &mut MnsaOutcome,
+    ) -> Option<Vec<StatDescriptor>> {
+        let mut nodes = plan.nodes();
+        match self.config.next_stat_order {
+            NextStatOrder::MostExpensiveNode => {
+                nodes.sort_by(|a, b| b.own_cost().total_cmp(&a.own_cost()))
+            }
+            NextStatOrder::Syntactic => {} // pre-order as returned by nodes()
+            NextStatOrder::CheapestNode => {
+                nodes.sort_by(|a, b| a.own_cost().total_cmp(&b.own_cost()))
+            }
+        }
+
+        for node in nodes {
+            let group = self.stats_for_node(query, node, remaining);
+            if group.is_empty() {
+                continue;
+            }
+            // Aging (§6): dampen re-creation of recently dropped statistics.
+            let mut usable = Vec::with_capacity(group.len());
+            for d in group {
+                let aged = self
+                    .config
+                    .aging
+                    .map(|policy| catalog.is_aged_out(&d, &policy, plan.est_cost))
+                    .unwrap_or(false);
+                let _ = db;
+                if aged {
+                    remaining.retain(|r| r != &d);
+                    outcome.aged_out.push(d);
+                } else {
+                    usable.push(d);
+                }
+            }
+            if usable.is_empty() {
+                continue;
+            }
+            for d in &usable {
+                remaining.retain(|r| r != d);
+            }
+            return Some(usable);
+        }
+        None
+    }
+
+    /// The unbuilt candidates relevant to one plan node.
+    fn stats_for_node(
+        &self,
+        query: &BoundSelect,
+        node: &PlanNode,
+        remaining: &[StatDescriptor],
+    ) -> Vec<StatDescriptor> {
+        match &node.op {
+            Operator::SeqScan { rel, preds, .. }
+            | Operator::IndexScan {
+                rel,
+                seek_preds: preds,
+                ..
+            } => {
+                let table = query.table_of(*rel);
+                let pred_cols: Vec<usize> = preds
+                    .iter()
+                    .chain(match &node.op {
+                        Operator::IndexScan { residual, .. } => residual.iter(),
+                        _ => [].iter(),
+                    })
+                    .map(|&i| query.selections[i].column.column)
+                    .collect();
+                // First matching candidate (candidate order: singles first).
+                remaining
+                    .iter()
+                    .find(|d| {
+                        d.table == table && d.columns.iter().all(|c| pred_cols.contains(c))
+                    })
+                    .cloned()
+                    .into_iter()
+                    .collect()
+            }
+            Operator::HashJoin { edges }
+            | Operator::MergeJoin { edges }
+            | Operator::NestedLoopJoin { edges }
+            | Operator::IndexNLJoin { edges, .. } => {
+                // Join statistics come in pairs: propose the matching
+                // candidate on each side of the first edge with any unbuilt.
+                for &e in edges {
+                    let edge = &query.join_edges[e];
+                    let lt = query.table_of(edge.left_rel);
+                    let rt = query.table_of(edge.right_rel);
+                    let lcols: Vec<usize> = edge.pairs.iter().map(|&(l, _)| l).collect();
+                    let rcols: Vec<usize> = edge.pairs.iter().map(|&(_, r)| r).collect();
+                    let matches = |d: &&StatDescriptor, t: storage::TableId, cols: &[usize]| {
+                        d.table == t
+                            && d.columns.len() == cols.len()
+                            && d.columns.iter().all(|c| cols.contains(c))
+                    };
+                    let left = remaining.iter().find(|d| matches(d, lt, &lcols)).cloned();
+                    let right = remaining.iter().find(|d| matches(d, rt, &rcols)).cloned();
+                    let group: Vec<StatDescriptor> =
+                        left.into_iter().chain(right).collect();
+                    if !group.is_empty() {
+                        return group;
+                    }
+                }
+                Vec::new()
+            }
+            // Footnote 1 of the paper: ORDER BY columns are not relevant —
+            // no statistics are proposed for a sort node.
+            Operator::Sort { .. } => Vec::new(),
+            Operator::HashAggregate { group } => {
+                let cols: Vec<(storage::TableId, usize)> = group
+                    .iter()
+                    .map(|g| (query.table_of(g.relation), g.column))
+                    .collect();
+                remaining
+                    .iter()
+                    .find(|d| {
+                        d.columns
+                            .iter()
+                            .all(|c| cols.contains(&(d.table, *c)))
+                    })
+                    .cloned()
+                    .into_iter()
+                    .collect()
+            }
+        }
+    }
+
+    /// Run MNSA over a whole workload (§4.3: "a sufficient set of statistics
+    /// for a workload can be obtained by invoking MNSA for each query").
+    pub fn run_workload(
+        &self,
+        db: &Database,
+        catalog: &mut StatsCatalog,
+        queries: &[BoundSelect],
+    ) -> Vec<MnsaOutcome> {
+        queries
+            .iter()
+            .map(|q| self.run_query(db, catalog, q))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use query::{bind_statement, parse_statement, BoundStatement};
+    use storage::{ColumnDef, DataType, Schema, Value};
+
+    /// employees(age skewed, salary skewed) + departments, Example 2 style.
+    fn setup() -> Database {
+        let mut db = Database::new();
+        let emp = db
+            .create_table(
+                "employees",
+                Schema::new(vec![
+                    ColumnDef::new("empid", DataType::Int),
+                    ColumnDef::new("deptid", DataType::Int),
+                    ColumnDef::new("age", DataType::Int),
+                    ColumnDef::new("salary", DataType::Int),
+                ]),
+            )
+            .unwrap();
+        let dept = db
+            .create_table(
+                "departments",
+                Schema::new(vec![
+                    ColumnDef::new("deptid", DataType::Int),
+                    ColumnDef::new("dname", DataType::Str),
+                ]),
+            )
+            .unwrap();
+        for i in 0..3000i64 {
+            // salary > 200 is rare (~1%), age < 30 is common (~60%).
+            let salary = if i % 100 == 0 { 250 } else { i % 200 };
+            let age = 20 + (i % 50);
+            db.table_mut(emp)
+                .insert(vec![
+                    Value::Int(i),
+                    Value::Int(i % 20),
+                    Value::Int(age),
+                    Value::Int(salary),
+                ])
+                .unwrap();
+        }
+        for d in 0..20i64 {
+            db.table_mut(dept)
+                .insert(vec![Value::Int(d), Value::Str(format!("d{d}"))])
+                .unwrap();
+        }
+        db
+    }
+
+    fn bind(db: &Database, sql: &str) -> BoundSelect {
+        match bind_statement(db, &parse_statement(sql).unwrap()).unwrap() {
+            BoundStatement::Select(q) => q,
+            _ => panic!(),
+        }
+    }
+
+    const EXAMPLE2_SQL: &str = "SELECT e.empid, d.dname FROM employees e, departments d \
+        WHERE e.deptid = d.deptid AND e.age < 30 AND e.salary > 200";
+
+    #[test]
+    fn mnsa_builds_fewer_than_all_candidates() {
+        let db = setup();
+        let q = bind(&db, EXAMPLE2_SQL);
+        let engine = MnsaEngine::new(MnsaConfig::default());
+        let all = engine.candidates(&q).len();
+        let mut catalog = StatsCatalog::new();
+        let outcome = engine.run_query(&db, &mut catalog, &q);
+        assert!(
+            outcome.created.len() < all,
+            "MNSA built all {all} candidates — no pruning happened"
+        );
+        assert!(
+            !outcome.skipped.is_empty() || outcome.terminated_by == Termination::NoMoreCandidates
+        );
+    }
+
+    #[test]
+    fn mnsa_converges_and_reports_three_calls_per_round() {
+        let db = setup();
+        let q = bind(&db, EXAMPLE2_SQL);
+        let engine = MnsaEngine::new(MnsaConfig::default());
+        let mut catalog = StatsCatalog::new();
+        let outcome = engine.run_query(&db, &mut catalog, &q);
+        // Figure 1: 1 initial call + 2 probe calls per round + 1 re-optimize
+        // per creation round.
+        assert!(outcome.optimizer_calls >= 3);
+        assert_eq!(outcome.terminated_by, Termination::CostConverged);
+    }
+
+    #[test]
+    fn mnsa_noop_when_no_candidates() {
+        let db = setup();
+        let q = bind(&db, "SELECT * FROM departments");
+        let engine = MnsaEngine::new(MnsaConfig::default());
+        let mut catalog = StatsCatalog::new();
+        let outcome = engine.run_query(&db, &mut catalog, &q);
+        assert!(outcome.created.is_empty());
+        assert_eq!(catalog.active_count(), 0);
+    }
+
+    #[test]
+    fn mnsa_skips_everything_when_insensitive() {
+        // A predicate on a one-row table: plan cost barely moves between
+        // P_low and P_high, so MNSA should create nothing.
+        let mut db = Database::new();
+        let t = db
+            .create_table("tiny", Schema::new(vec![ColumnDef::new("a", DataType::Int)]))
+            .unwrap();
+        db.table_mut(t).insert(vec![Value::Int(1)]).unwrap();
+        let q = bind(&db, "SELECT * FROM tiny WHERE a = 1");
+        let engine = MnsaEngine::new(MnsaConfig::default());
+        let mut catalog = StatsCatalog::new();
+        let outcome = engine.run_query(&db, &mut catalog, &q);
+        assert_eq!(outcome.terminated_by, Termination::CostConverged);
+        assert!(outcome.created.is_empty());
+        assert_eq!(outcome.skipped.len(), 1);
+    }
+
+    #[test]
+    fn small_table_pre_creation() {
+        let db = setup();
+        let q = bind(&db, EXAMPLE2_SQL);
+        let engine = MnsaEngine::new(MnsaConfig {
+            small_table_rows: 100, // departments (20 rows) qualifies
+            ..Default::default()
+        });
+        let mut catalog = StatsCatalog::new();
+        let outcome = engine.run_query(&db, &mut catalog, &q);
+        let dept = db.table_id("departments").unwrap();
+        let dept_stats: Vec<_> = catalog.active_on_table(dept).collect();
+        assert!(!dept_stats.is_empty(), "small-table stats created outright");
+        assert!(!outcome.created.is_empty());
+    }
+
+    #[test]
+    fn join_statistics_created_in_pairs() {
+        let mut db = Database::new();
+        // Two mid-size tables joined on a column; no selection predicates, so
+        // the join edge is the only magic variable and the join node the most
+        // expensive operator.
+        for name in ["r1", "r2"] {
+            let t = db
+                .create_table(
+                    name,
+                    Schema::new(vec![
+                        ColumnDef::new("k", DataType::Int),
+                        ColumnDef::new("v", DataType::Int),
+                    ]),
+                )
+                .unwrap();
+            for i in 0..2000i64 {
+                db.table_mut(t)
+                    .insert(vec![Value::Int(i % 100), Value::Int(i)])
+                    .unwrap();
+            }
+        }
+        let q = bind(&db, "SELECT * FROM r1, r2 WHERE r1.k = r2.k");
+        let engine = MnsaEngine::new(MnsaConfig::default());
+        let mut catalog = StatsCatalog::new();
+        let outcome = engine.run_query(&db, &mut catalog, &q);
+        if !outcome.created.is_empty() {
+            assert_eq!(outcome.created.len(), 2, "join stats must come in pairs");
+            let tables: Vec<_> = outcome
+                .created
+                .iter()
+                .map(|&id| catalog.statistic(id).unwrap().descriptor.table)
+                .collect();
+            assert_ne!(tables[0], tables[1]);
+        }
+    }
+
+    #[test]
+    fn mnsad_drop_lists_useless_statistics() {
+        let db = setup();
+        // age < 90 is always true: its statistic will not change the plan.
+        let q = bind(
+            &db,
+            "SELECT e.empid FROM employees e, departments d \
+             WHERE e.deptid = d.deptid AND e.age < 90 AND e.salary > 200",
+        );
+        let engine = MnsaEngine::new(MnsaConfig::default().with_drop_detection());
+        let mut catalog = StatsCatalog::new();
+        let outcome = engine.run_query(&db, &mut catalog, &q);
+        // MNSA/D may or may not fire depending on creation order, but every
+        // drop-listed statistic must actually be on the catalog's drop-list.
+        for id in &outcome.drop_listed {
+            assert!(catalog.is_drop_listed(*id));
+        }
+        assert!(outcome.created.len() >= outcome.drop_listed.len());
+    }
+
+    #[test]
+    fn aging_suppresses_recreation() {
+        let db = setup();
+        let q = bind(&db, EXAMPLE2_SQL);
+        let aging = AgingPolicy {
+            window_epochs: 10,
+            expensive_query_cost: f64::INFINITY,
+        };
+        // First run creates statistics; physically drop them all.
+        let engine = MnsaEngine::new(MnsaConfig::default());
+        let mut catalog = StatsCatalog::new();
+        let first = engine.run_query(&db, &mut catalog, &q);
+        assert!(!first.created.is_empty());
+        for id in first.created.clone() {
+            catalog.physically_drop(id);
+        }
+        // Second run with aging: the dropped statistics are dampened.
+        let engine2 = MnsaEngine::new(MnsaConfig {
+            aging: Some(aging),
+            ..Default::default()
+        });
+        let second = engine2.run_query(&db, &mut catalog, &q);
+        assert!(
+            !second.aged_out.is_empty(),
+            "aging should have suppressed at least one re-creation"
+        );
+        assert!(second.created.len() < first.created.len() + 1);
+    }
+
+    #[test]
+    fn workload_runner_shares_catalog() {
+        let db = setup();
+        let q1 = bind(&db, EXAMPLE2_SQL);
+        let q2 = bind(&db, EXAMPLE2_SQL);
+        let engine = MnsaEngine::new(MnsaConfig::default());
+        let mut catalog = StatsCatalog::new();
+        let outcomes = engine.run_workload(&db, &mut catalog, &[q1, q2]);
+        assert_eq!(outcomes.len(), 2);
+        // The second identical query must not rebuild anything.
+        assert!(outcomes[1].created.is_empty());
+        assert!(outcomes[1].optimizer_calls <= 3);
+    }
+
+    #[test]
+    fn exhaustive_mode_builds_more() {
+        let db = setup();
+        let q = bind(&db, EXAMPLE2_SQL);
+        let h = MnsaEngine::new(MnsaConfig::default());
+        let e = MnsaEngine::new(MnsaConfig {
+            candidate_mode: CandidateMode::Exhaustive,
+            ..Default::default()
+        });
+        assert!(e.candidates(&q).len() >= h.candidates(&q).len());
+    }
+}

@@ -1,0 +1,28 @@
+//! Data and workload generation for the experiments.
+//!
+//! Reproduces the paper's experimental setup (§8.1):
+//!
+//! * **TPC-D with skew** — the paper modified the TPC-D dbgen to draw every
+//!   column from a Zipfian distribution with parameter `z ∈ [0, 4]`, and to
+//!   support a *mixed* mode assigning each column a random `z`. [`tpcd`]
+//!   rebuilds that generator: `TPCD_0` (uniform), `TPCD_2`, `TPCD_4`, and
+//!   `TPCD_MIX` databases at a configurable scale factor.
+//! * **Rags-like workloads** — Slutz's Rags tool [15] generated stochastic
+//!   SQL; [`rags`] is a seedable generator with the paper's three knobs:
+//!   update percentage (0/25/50), complexity (Simple ≤ 2 tables /
+//!   Complex ≤ 8 tables), and statement count, with names like `U25-S-1000`.
+//! * **The 17 TPC-D benchmark queries** — [`tpcd_queries`] renders Q1–Q17 in
+//!   the supported SPJ+GROUP BY subset (subqueries flattened) for the intro
+//!   experiment and the `TPCD-ORIG` workload.
+
+pub mod rags;
+pub mod tpcd;
+pub mod workload_io;
+pub mod tpcd_queries;
+pub mod zipf;
+
+pub use rags::{Complexity, RagsGenerator, WorkloadSpec};
+pub use tpcd::{build_tpcd, create_tuned_indexes, standard_databases, TpcdConfig, ZipfSpec};
+pub use tpcd_queries::tpcd_benchmark_queries;
+pub use workload_io::{read_workload, workload_from_sql, workload_to_sql, write_workload};
+pub use zipf::Zipf;

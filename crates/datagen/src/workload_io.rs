@@ -1,0 +1,138 @@
+//! Reading and writing workload files.
+//!
+//! The §6 offline tuning policy consumes "the workload the database system
+//! experiences" — in practice a log of SQL statements. This module persists
+//! workloads as plain `.sql` files (one statement per line, `--` comments
+//! allowed) so generated workloads can be saved, edited by hand, and replayed
+//! through the [`OfflineTuner`](../autostats/policy/struct.OfflineTuner.html).
+
+use query::{parse_statement, render, ParseError, Statement};
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Errors from reading a workload file.
+#[derive(Debug)]
+pub enum WorkloadIoError {
+    Io(io::Error),
+    /// Parse failure with the 1-based line number.
+    Parse { line: usize, error: ParseError },
+}
+
+impl std::fmt::Display for WorkloadIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkloadIoError::Io(e) => write!(f, "{e}"),
+            WorkloadIoError::Parse { line, error } => {
+                write!(f, "line {line}: {error}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WorkloadIoError {}
+
+impl From<io::Error> for WorkloadIoError {
+    fn from(e: io::Error) -> Self {
+        WorkloadIoError::Io(e)
+    }
+}
+
+/// Serialize a workload to SQL text (one statement per line).
+pub fn workload_to_sql(workload: &[Statement]) -> String {
+    let mut out = String::new();
+    for stmt in workload {
+        out.push_str(&render(stmt));
+        out.push('\n');
+    }
+    out
+}
+
+/// Write a workload to a `.sql` file.
+pub fn write_workload(path: impl AsRef<Path>, workload: &[Statement]) -> Result<(), WorkloadIoError> {
+    fs::write(path, workload_to_sql(workload))?;
+    Ok(())
+}
+
+/// Parse a workload from SQL text. Blank lines and `--` comment lines are
+/// skipped.
+pub fn workload_from_sql(text: &str) -> Result<Vec<Statement>, WorkloadIoError> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with("--") {
+            continue;
+        }
+        match parse_statement(line) {
+            Ok(stmt) => out.push(stmt),
+            Err(error) => return Err(WorkloadIoError::Parse { line: i + 1, error }),
+        }
+    }
+    Ok(out)
+}
+
+/// Read a workload from a `.sql` file.
+pub fn read_workload(path: impl AsRef<Path>) -> Result<Vec<Statement>, WorkloadIoError> {
+    workload_from_sql(&fs::read_to_string(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rags::{Complexity, RagsGenerator, WorkloadSpec};
+    use crate::tpcd::{build_tpcd, TpcdConfig};
+
+    #[test]
+    fn workload_roundtrips_through_sql_file() {
+        let db = build_tpcd(&TpcdConfig {
+            scale: 0.001,
+            ..Default::default()
+        });
+        let spec = WorkloadSpec::new(30, Complexity::Complex, 40).with_seed(17);
+        let workload = RagsGenerator::generate(&db, &spec);
+        let text = workload_to_sql(&workload);
+        let reloaded = workload_from_sql(&text).unwrap();
+        assert_eq!(workload, reloaded);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let text = "-- the morning batch\n\nSELECT * FROM t WHERE a < 5\n\n-- done\n";
+        let w = workload_from_sql(text).unwrap();
+        assert_eq!(w.len(), 1);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let text = "SELECT * FROM t\nSELEC oops\n";
+        match workload_from_sql(text) {
+            Err(WorkloadIoError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("autostats_wl_test");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("w.sql");
+        let db = build_tpcd(&TpcdConfig {
+            scale: 0.001,
+            ..Default::default()
+        });
+        let spec = WorkloadSpec::new(0, Complexity::Simple, 10).with_seed(3);
+        let workload = RagsGenerator::generate(&db, &spec);
+        write_workload(&path, &workload).unwrap();
+        let reloaded = read_workload(&path).unwrap();
+        assert_eq!(workload, reloaded);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        match read_workload("/nonexistent/nowhere.sql") {
+            Err(WorkloadIoError::Io(_)) => {}
+            other => panic!("expected io error, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Zipfian sampling.
+//!
+//! Rank `r` (0-based) of `n` has probability proportional to `1/(r+1)^z`.
+//! `z = 0` degenerates to the uniform distribution; the paper's generator
+//! supports `z` up to 4 (highly skewed).
+
+use rand::Rng;
+
+/// A Zipfian distribution over `0..n` with precomputed CDF for O(log n)
+/// sampling.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build a Zipf(z) distribution over `n` ranks.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `z < 0`.
+    pub fn new(n: usize, z: f64) -> Zipf {
+        assert!(n > 0, "Zipf needs a non-empty domain");
+        assert!(z >= 0.0, "Zipf parameter must be non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for r in 0..n {
+            acc += 1.0 / ((r + 1) as f64).powf(z);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn domain(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Draw one rank.
+    pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        let u: f64 = rng.gen();
+        // First index whose cdf >= u.
+        match self
+            .cdf
+            .binary_search_by(|probe| probe.partial_cmp(&u).expect("cdf is finite"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+
+    /// Probability of rank `r`.
+    pub fn pmf(&self, r: usize) -> f64 {
+        if r == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[r] - self.cdf[r - 1]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn z0_is_uniform() {
+        let z = Zipf::new(10, 0.0);
+        for r in 0..10 {
+            assert!((z.pmf(r) - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        for zp in [0.0, 0.5, 1.0, 2.0, 4.0] {
+            let z = Zipf::new(100, zp);
+            let total: f64 = (0..100).map(|r| z.pmf(r)).sum();
+            assert!((total - 1.0).abs() < 1e-9, "z={zp}: {total}");
+        }
+    }
+
+    #[test]
+    fn skew_increases_with_z() {
+        let z1 = Zipf::new(100, 1.0);
+        let z4 = Zipf::new(100, 4.0);
+        assert!(z4.pmf(0) > z1.pmf(0));
+        assert!(z4.pmf(99) < z1.pmf(99));
+        assert!(z4.pmf(0) > 0.9, "z=4 concentrates almost all mass on rank 0");
+    }
+
+    #[test]
+    fn empirical_frequencies_follow_zipf_law() {
+        let z = Zipf::new(50, 1.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = vec![0usize; 50];
+        let n = 200_000;
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        // rank 0 / rank 9 frequency ratio should approximate (10/1)^1 = 10.
+        let ratio = counts[0] as f64 / counts[9].max(1) as f64;
+        assert!((ratio - 10.0).abs() < 2.0, "ratio={ratio}");
+    }
+
+    #[test]
+    fn sample_in_domain() {
+        let z = Zipf::new(7, 2.5);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 7);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_domain_panics() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

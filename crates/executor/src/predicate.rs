@@ -1,0 +1,92 @@
+//! Shared predicate evaluation over stored values.
+
+use query::{CmpOp, PredOp, SelectionPredicate};
+use std::cmp::Ordering;
+use storage::{Table, Value};
+
+/// SQL three-valued comparison collapsed to a boolean (NULL comparisons are
+/// false, as in a WHERE clause).
+pub fn cmp_matches(op: CmpOp, lhs: &Value, rhs: &Value) -> bool {
+    let Some(ord) = lhs.sql_cmp(rhs) else {
+        return false;
+    };
+    match op {
+        CmpOp::Eq => ord == Ordering::Equal,
+        CmpOp::Ne => ord != Ordering::Equal,
+        CmpOp::Lt => ord == Ordering::Less,
+        CmpOp::Le => ord != Ordering::Greater,
+        CmpOp::Gt => ord == Ordering::Greater,
+        CmpOp::Ge => ord != Ordering::Less,
+    }
+}
+
+/// Evaluate one selection predicate against a concrete value.
+pub fn pred_matches(op: &PredOp, value: &Value) -> bool {
+    match op {
+        PredOp::Cmp(c, rhs) => cmp_matches(*c, value, rhs),
+        PredOp::Between(lo, hi) => {
+            cmp_matches(CmpOp::Ge, value, lo) && cmp_matches(CmpOp::Le, value, hi)
+        }
+    }
+}
+
+/// Evaluate a predicate against row `row` of `table` (the predicate's column
+/// ordinal is interpreted against that table).
+pub fn row_matches(table: &Table, row: usize, pred: &SelectionPredicate) -> bool {
+    pred_matches(&pred.op, &table.value(row, pred.column.column))
+}
+
+/// Row indices of `table` matching all `preds`.
+pub fn filter_table(table: &Table, preds: &[&SelectionPredicate]) -> Vec<usize> {
+    (0..table.row_count())
+        .filter(|&r| preds.iter().all(|p| row_matches(table, r, p)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use query::BoundColumn;
+    use storage::{ColumnDef, DataType, Schema};
+
+    #[test]
+    fn cmp_semantics() {
+        assert!(cmp_matches(CmpOp::Lt, &Value::Int(1), &Value::Int(2)));
+        assert!(cmp_matches(CmpOp::Ge, &Value::Int(2), &Value::Int(2)));
+        assert!(cmp_matches(CmpOp::Ne, &Value::Str("a".into()), &Value::Str("b".into())));
+        assert!(!cmp_matches(CmpOp::Eq, &Value::Null, &Value::Null), "NULL = NULL is false");
+        assert!(!cmp_matches(CmpOp::Le, &Value::Null, &Value::Int(5)));
+    }
+
+    #[test]
+    fn between_inclusive() {
+        let op = PredOp::Between(Value::Int(2), Value::Int(4));
+        assert!(pred_matches(&op, &Value::Int(2)));
+        assert!(pred_matches(&op, &Value::Int(4)));
+        assert!(!pred_matches(&op, &Value::Int(5)));
+        assert!(!pred_matches(&op, &Value::Null));
+    }
+
+    #[test]
+    fn filter_table_conjunction() {
+        let mut t = Table::new(
+            "t",
+            Schema::new(vec![
+                ColumnDef::new("a", DataType::Int),
+                ColumnDef::new("b", DataType::Int),
+            ]),
+        );
+        for i in 0..10i64 {
+            t.insert(vec![Value::Int(i), Value::Int(i % 3)]).unwrap();
+        }
+        let p1 = SelectionPredicate {
+            column: BoundColumn::new(0, 0),
+            op: PredOp::Cmp(CmpOp::Ge, Value::Int(4)),
+        };
+        let p2 = SelectionPredicate {
+            column: BoundColumn::new(0, 1),
+            op: PredOp::Cmp(CmpOp::Eq, Value::Int(0)),
+        };
+        assert_eq!(filter_table(&t, &[&p1, &p2]), vec![6, 9]);
+    }
+}

@@ -1,0 +1,116 @@
+//! Physical-operator cost formulas.
+//!
+//! Textbook CPU+I/O costs in abstract work units, chosen so that the
+//! executor's measured work tracks the optimizer's estimates to first order.
+//! Every formula is monotone non-decreasing in its input cardinalities,
+//! which (together with cardinalities being monotone in selectivities) gives
+//! the cost-monotonicity property MNSA relies on (§4.1).
+
+use serde::{Deserialize, Serialize};
+
+/// Tunable constants of the plan cost model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostParams {
+    /// Per-row cost of a sequential scan.
+    pub seq_row: f64,
+    /// Fixed cost of opening an index (tree descent).
+    pub index_lookup: f64,
+    /// Per-fetched-row cost of an index scan (random access penalty).
+    pub index_row: f64,
+    /// Per-row cost of building a hash table.
+    pub hash_build: f64,
+    /// Per-row cost of probing a hash table.
+    pub hash_probe: f64,
+    /// Per-comparison cost of sorting (`n log n` comparisons).
+    pub sort_cmp: f64,
+    /// Per-row cost of the merge phase of a sort-merge join.
+    pub merge_row: f64,
+    /// Per-output-row cost of any join.
+    pub join_output: f64,
+    /// Per-input-row cost of hash aggregation.
+    pub agg_row: f64,
+    /// Per-group output cost of aggregation.
+    pub agg_group: f64,
+}
+
+impl Default for CostParams {
+    fn default() -> Self {
+        CostParams {
+            seq_row: 1.0,
+            index_lookup: 8.0,
+            index_row: 4.0,
+            hash_build: 2.0,
+            hash_probe: 1.2,
+            sort_cmp: 0.3,
+            merge_row: 1.0,
+            join_output: 0.1,
+            agg_row: 1.5,
+            agg_group: 1.0,
+        }
+    }
+}
+
+impl CostParams {
+    pub fn seq_scan(&self, table_rows: f64) -> f64 {
+        self.seq_row * table_rows
+    }
+
+    /// Index scan fetching `seek_rows` of `table_rows` via the index.
+    pub fn index_scan(&self, table_rows: f64, seek_rows: f64) -> f64 {
+        let _ = table_rows;
+        self.index_lookup + self.index_row * seek_rows
+    }
+
+    /// Hash join: build on the right input, probe with the left.
+    pub fn hash_join(&self, probe_rows: f64, build_rows: f64, out_rows: f64) -> f64 {
+        self.hash_build * build_rows + self.hash_probe * probe_rows + self.join_output * out_rows
+    }
+
+    /// Sort-merge join including both sorts.
+    pub fn merge_join(&self, left_rows: f64, right_rows: f64, out_rows: f64) -> f64 {
+        self.sort(left_rows)
+            + self.sort(right_rows)
+            + self.merge_row * (left_rows + right_rows)
+            + self.join_output * out_rows
+    }
+
+    /// Nested-loop join: the inner subtree is re-evaluated per outer row.
+    pub fn nested_loop(&self, outer_rows: f64, inner_cost: f64, out_rows: f64) -> f64 {
+        outer_rows.max(1.0) * inner_cost + self.join_output * out_rows
+    }
+
+    pub fn sort(&self, rows: f64) -> f64 {
+        let n = rows.max(2.0);
+        self.sort_cmp * n * n.log2()
+    }
+
+    pub fn hash_aggregate(&self, input_rows: f64, groups: f64) -> f64 {
+        self.agg_row * input_rows + self.agg_group * groups
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formulas_monotone_in_rows() {
+        let p = CostParams::default();
+        assert!(p.seq_scan(100.0) < p.seq_scan(200.0));
+        assert!(p.index_scan(1000.0, 10.0) < p.index_scan(1000.0, 50.0));
+        assert!(p.hash_join(100.0, 50.0, 10.0) < p.hash_join(200.0, 50.0, 10.0));
+        assert!(p.hash_join(100.0, 50.0, 10.0) < p.hash_join(100.0, 80.0, 10.0));
+        assert!(p.merge_join(100.0, 50.0, 10.0) < p.merge_join(100.0, 50.0, 500.0));
+        assert!(p.nested_loop(10.0, 100.0, 5.0) < p.nested_loop(20.0, 100.0, 5.0));
+        assert!(p.hash_aggregate(100.0, 5.0) < p.hash_aggregate(100.0, 50.0));
+        assert!(p.sort(100.0) < p.sort(1000.0));
+    }
+
+    #[test]
+    fn index_beats_seq_scan_only_when_selective() {
+        let p = CostParams::default();
+        let rows = 10_000.0;
+        assert!(p.index_scan(rows, rows * 0.001) < p.seq_scan(rows));
+        assert!(p.index_scan(rows, rows * 0.9) > p.seq_scan(rows));
+    }
+}

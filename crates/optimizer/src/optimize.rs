@@ -1,0 +1,789 @@
+//! The optimizer proper: access-path selection and dynamic-programming join
+//! enumeration (Selinger-style, over relation subsets), followed by
+//! aggregation placement.
+
+use crate::cost::CostParams;
+use crate::magic::MagicNumbers;
+use crate::plan::{Operator, PlanNode};
+use crate::selectivity::{build_profile, SelectivityProfile};
+use query::{BoundSelect, CmpOp, PredOp, PredicateId};
+use std::collections::HashMap;
+use stats::StatsView;
+use storage::Database;
+
+/// Per-call optimization options.
+#[derive(Debug, Clone, Default)]
+pub struct OptimizeOptions {
+    /// Forced selectivity values per variable — the §7.2 server extension
+    /// ("accept the selectivity of such predicates as a parameter rather
+    /// than using the default magic number"). Values are clamped to [0, 1].
+    pub injected: HashMap<PredicateId, f64>,
+}
+
+impl OptimizeOptions {
+    /// Inject the same selectivity for every listed variable (how MNSA
+    /// builds `P_low` and `P_high`).
+    pub fn inject_all(vars: &[PredicateId], value: f64) -> Self {
+        OptimizeOptions {
+            injected: vars.iter().map(|&v| (v, value)).collect(),
+        }
+    }
+}
+
+/// The result of one optimizer call.
+#[derive(Debug, Clone)]
+pub struct OptimizedQuery {
+    pub plan: PlanNode,
+    /// Optimizer-estimated cost of the chosen plan (`Estimated-Cost(Q, S)`
+    /// in the paper's notation).
+    pub cost: f64,
+    /// Selectivity variables that fell back to magic numbers.
+    pub magic_variables: Vec<PredicateId>,
+    /// The full selectivity profile used.
+    pub profile: SelectivityProfile,
+}
+
+/// The query optimizer. Stateless apart from configuration; every call is a
+/// pure function of `(query, statistics view, options)`.
+#[derive(Debug, Clone)]
+pub struct Optimizer {
+    pub magic: MagicNumbers,
+    pub params: CostParams,
+    /// Maximum relations optimizable with exhaustive DP.
+    pub max_relations: usize,
+}
+
+impl Default for Optimizer {
+    fn default() -> Self {
+        Optimizer {
+            magic: MagicNumbers::default(),
+            params: CostParams::default(),
+            max_relations: 12,
+        }
+    }
+}
+
+/// Join strategy chosen for one DP split.
+#[derive(Debug, Clone, PartialEq)]
+enum Decision {
+    Hash(Vec<usize>),
+    Merge(Vec<usize>),
+    NestedLoop(Vec<usize>),
+    /// Index nested-loop: probe an index of the (single-relation) right side.
+    IndexNl { edges: Vec<usize>, index: String },
+}
+
+/// One DP table entry: enough to reconstruct the best plan for a relation
+/// subset without cloning subtrees during enumeration.
+#[derive(Debug, Clone)]
+struct DpEntry {
+    cost: f64,
+    rows: f64,
+    /// `None` for single-relation entries (access paths).
+    split: Option<(u32, u32, Decision)>,
+}
+
+impl Optimizer {
+    /// Optimize a bound query against the visible statistics.
+    ///
+    /// # Panics
+    /// Panics if the query has no relations or more than `max_relations`.
+    pub fn optimize(
+        &self,
+        db: &Database,
+        query: &BoundSelect,
+        stats: StatsView<'_>,
+        options: &OptimizeOptions,
+    ) -> OptimizedQuery {
+        let n = query.relations.len();
+        assert!(n >= 1, "query must reference at least one relation");
+        assert!(
+            n <= self.max_relations,
+            "query joins {n} relations; max is {}",
+            self.max_relations
+        );
+
+        let profile = build_profile(db, &stats, query, &self.magic, &options.injected);
+
+        // Base (filtered) cardinality per relation and best access path.
+        let (base_rows, access): (Vec<f64>, Vec<PlanNode>) = (0..n)
+            .map(|rel| self.best_access_path(db, query, &profile, rel))
+            .unzip();
+
+        // Join-edge selectivities.
+        let edge_sel: Vec<f64> = (0..query.join_edges.len())
+            .map(|i| profile.value(PredicateId::JoinEdge(i)))
+            .collect();
+
+        // Consistent cardinality per relation subset.
+        let full = (1u32 << n) - 1;
+        let mut card = vec![0.0f64; (full + 1) as usize];
+        for mask in 1..=full {
+            let mut c = 1.0;
+            for (rel, rows) in base_rows.iter().enumerate() {
+                if mask & (1 << rel) != 0 {
+                    c *= rows;
+                }
+            }
+            for (i, e) in query.join_edges.iter().enumerate() {
+                if mask & (1 << e.left_rel) != 0 && mask & (1 << e.right_rel) != 0 {
+                    c *= edge_sel[i];
+                }
+            }
+            card[mask as usize] = c;
+        }
+
+        // DP over subsets: store (cost, rows, split decision) per mask and
+        // reconstruct the tree once at the end — no subtree cloning inside
+        // the enumeration loop.
+        let mut best: Vec<Option<DpEntry>> = vec![None; (full + 1) as usize];
+        for rel in 0..n {
+            best[1 << rel] = Some(DpEntry {
+                cost: access[rel].est_cost,
+                rows: access[rel].est_rows,
+                split: None,
+            });
+        }
+        for mask in 1..=full {
+            if mask.count_ones() < 2 {
+                continue;
+            }
+            let out_rows = card[mask as usize];
+            let mut chosen: Option<DpEntry> = None;
+            // Two passes over all ordered splits (left = sub, right = mask \
+            // sub): cartesian splits are considered only when no connected
+            // split exists — a cartesian product must never tie-break a
+            // connected join away (cardinality estimates of zero would
+            // otherwise make everything cost-equivalent).
+            for allow_cartesian in [false, true] {
+                if chosen.is_some() {
+                    break;
+                }
+                let mut sub = (mask - 1) & mask;
+                while sub > 0 {
+                    let other = mask ^ sub;
+                    if let (Some(left), Some(right)) = (&best[sub as usize], &best[other as usize])
+                    {
+                        let crossing: Vec<usize> = query
+                            .join_edges
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, e)| {
+                                (sub & (1 << e.left_rel) != 0 && other & (1 << e.right_rel) != 0)
+                                    || (sub & (1 << e.right_rel) != 0
+                                        && other & (1 << e.left_rel) != 0)
+                            })
+                            .map(|(i, _)| i)
+                            .collect();
+                        if crossing.is_empty() && !allow_cartesian {
+                            sub = (sub - 1) & mask;
+                            continue;
+                        }
+                        let lrows = card[sub as usize];
+                        let rrows = card[other as usize];
+                        let base = left.cost + right.cost;
+                        let mut consider = |decision: Decision, cost: f64| {
+                            if chosen.as_ref().is_none_or(|c| cost < c.cost) {
+                                chosen = Some(DpEntry {
+                                    cost,
+                                    rows: out_rows,
+                                    split: Some((sub, other, decision)),
+                                });
+                            }
+                        };
+                        if !crossing.is_empty() {
+                            consider(
+                                Decision::Hash(crossing.clone()),
+                                base + self.params.hash_join(lrows, rrows, out_rows),
+                            );
+                            consider(
+                                Decision::Merge(crossing.clone()),
+                                base + self.params.merge_join(lrows, rrows, out_rows),
+                            );
+                            // Index nested-loop: only when the right side is
+                            // one base relation with an index on a joined
+                            // column.
+                            if other.count_ones() == 1 {
+                                let rel = other.trailing_zeros() as usize;
+                                if let Some(index) = self.index_for_join(db, query, rel, &crossing)
+                                {
+                                    let raw = db.table(query.table_of(rel)).row_count() as f64;
+                                    let edge_sel_product: f64 = crossing
+                                        .iter()
+                                        .map(|&e| profile.value(PredicateId::JoinEdge(e)))
+                                        .product();
+                                    let fetched = raw * edge_sel_product;
+                                    let cost = left.cost
+                                        + lrows.max(1.0)
+                                            * (self.params.index_lookup
+                                                + self.params.index_row * fetched)
+                                        + self.params.join_output * out_rows;
+                                    consider(
+                                        Decision::IndexNl {
+                                            edges: crossing.clone(),
+                                            index,
+                                        },
+                                        cost,
+                                    );
+                                }
+                            }
+                        }
+                        consider(
+                            Decision::NestedLoop(crossing.clone()),
+                            left.cost + self.params.nested_loop(lrows, right.cost, out_rows),
+                        );
+                    }
+                    sub = (sub - 1) & mask;
+                }
+            }
+            best[mask as usize] = chosen;
+        }
+
+        let mut plan = self.reconstruct(query, &best, &access, full);
+
+        // Aggregation on top.
+        if !query.group_by.is_empty() || !query.aggregates.is_empty() {
+            let input_rows = plan.est_rows;
+            let groups = if query.group_by.is_empty() {
+                1.0
+            } else {
+                (input_rows * profile.value(PredicateId::GroupBy)).max(1.0)
+            };
+            let cost = plan.est_cost + self.params.hash_aggregate(input_rows, groups);
+            plan = PlanNode {
+                op: Operator::HashAggregate {
+                    group: query.group_by.clone(),
+                },
+                est_rows: groups,
+                est_cost: cost,
+                children: vec![plan],
+            };
+        }
+
+        // Final ORDER BY sort. Note that sort cost depends only on the input
+        // cardinality — statistics on the sort keys cannot change the plan
+        // (the paper's footnote 1).
+        if !query.order_by.is_empty() {
+            let rows = plan.est_rows;
+            let cost = plan.est_cost + self.params.sort(rows);
+            plan = PlanNode {
+                op: Operator::Sort {
+                    keys: query.order_by.clone(),
+                },
+                est_rows: rows,
+                est_cost: cost,
+                children: vec![plan],
+            };
+        }
+
+        OptimizedQuery {
+            cost: plan.est_cost,
+            magic_variables: profile.magic_variables(),
+            plan,
+            profile,
+        }
+    }
+
+    /// Best access path (seq scan vs index seek) for one relation.
+    fn best_access_path(
+        &self,
+        db: &Database,
+        query: &BoundSelect,
+        profile: &SelectivityProfile,
+        rel: usize,
+    ) -> (f64, PlanNode) {
+        let table_id = query.table_of(rel);
+        let table = db.table(table_id);
+        let n = table.row_count() as f64;
+        let filter = profile.relation_filter(query, rel);
+        let out_rows = n * filter;
+        let all_preds: Vec<usize> = query.selections_on(rel).map(|(i, _)| i).collect();
+
+        let mut best = PlanNode::leaf(
+            Operator::SeqScan {
+                rel,
+                table: table_id,
+                preds: all_preds.clone(),
+            },
+            out_rows,
+            self.params.seq_scan(n),
+        );
+
+        for index in db.indexes_on(table_id) {
+            // Seekable predicates: comparisons (except <>) and BETWEEN on the
+            // index's leading column.
+            let seek_preds: Vec<usize> = query
+                .selections_on(rel)
+                .filter(|(_, p)| p.column.column == index.leading_column())
+                .filter(|(_, p)| {
+                    !matches!(p.op, PredOp::Cmp(CmpOp::Ne, _))
+                })
+                .map(|(i, _)| i)
+                .collect();
+            if seek_preds.is_empty() {
+                continue;
+            }
+            let seek_sel: f64 = seek_preds
+                .iter()
+                .map(|&i| profile.value(PredicateId::Selection(i)))
+                .product();
+            let residual: Vec<usize> = all_preds
+                .iter()
+                .copied()
+                .filter(|i| !seek_preds.contains(i))
+                .collect();
+            let cost = self.params.index_scan(n, n * seek_sel);
+            if cost < best.est_cost {
+                best = PlanNode::leaf(
+                    Operator::IndexScan {
+                        rel,
+                        table: table_id,
+                        index: index.name.clone(),
+                        seek_preds: seek_preds.clone(),
+                        residual,
+                    },
+                    out_rows,
+                    cost,
+                );
+            }
+        }
+        (out_rows, best)
+    }
+
+    /// An index on relation `rel` whose leading column participates in one
+    /// of the crossing join edges (that is, an index usable for an index
+    /// nested-loop probe).
+    fn index_for_join(
+        &self,
+        db: &Database,
+        query: &BoundSelect,
+        rel: usize,
+        crossing: &[usize],
+    ) -> Option<String> {
+        let table = query.table_of(rel);
+        let mut join_cols = Vec::new();
+        for &e in crossing {
+            let edge = &query.join_edges[e];
+            for &(lc, rc) in &edge.pairs {
+                if edge.left_rel == rel {
+                    join_cols.push(lc);
+                }
+                if edge.right_rel == rel {
+                    join_cols.push(rc);
+                }
+            }
+        }
+        db.indexes_on(table)
+            .find(|i| join_cols.contains(&i.leading_column()))
+            .map(|i| i.name.clone())
+    }
+
+    /// Rebuild the chosen plan tree from the DP table.
+    fn reconstruct(
+        &self,
+        query: &BoundSelect,
+        best: &[Option<DpEntry>],
+        access: &[PlanNode],
+        mask: u32,
+    ) -> PlanNode {
+        let entry = best[mask as usize]
+            .as_ref()
+            .expect("DP always produces a plan (cartesian NL joins are allowed)");
+        match &entry.split {
+            None => {
+                let rel = mask.trailing_zeros() as usize;
+                access[rel].clone()
+            }
+            Some((lmask, rmask, decision)) => {
+                let left = self.reconstruct(query, best, access, *lmask);
+                match decision {
+                    Decision::IndexNl { edges, index } => {
+                        let inner_rel = rmask.trailing_zeros() as usize;
+                        let inner_table = query.table_of(inner_rel);
+                        let inner_preds: Vec<usize> =
+                            query.selections_on(inner_rel).map(|(i, _)| i).collect();
+                        PlanNode {
+                            op: Operator::IndexNLJoin {
+                                edges: edges.clone(),
+                                inner_rel,
+                                inner_table,
+                                index: index.clone(),
+                                inner_preds,
+                            },
+                            est_rows: entry.rows,
+                            est_cost: entry.cost,
+                            children: vec![left],
+                        }
+                    }
+                    _ => {
+                        let right = self.reconstruct(query, best, access, *rmask);
+                        let op = match decision {
+                            Decision::Hash(edges) => Operator::HashJoin {
+                                edges: edges.clone(),
+                            },
+                            Decision::Merge(edges) => Operator::MergeJoin {
+                                edges: edges.clone(),
+                            },
+                            Decision::NestedLoop(edges) => Operator::NestedLoopJoin {
+                                edges: edges.clone(),
+                            },
+                            Decision::IndexNl { .. } => unreachable!(),
+                        };
+                        PlanNode {
+                            op,
+                            est_rows: entry.rows,
+                            est_cost: entry.cost,
+                            children: vec![left, right],
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use query::{bind_statement, parse_statement, BoundStatement};
+    use stats::{StatDescriptor, StatsCatalog};
+    use storage::{ColumnDef, DataType, Schema, Value};
+
+    /// emp(1000 rows: empid unique, deptid ∈ 0..10, age ∈ 0..100 skewed,
+    /// salary ∈ 0..500) and dept(10 rows).
+    fn setup() -> (Database, StatsCatalog) {
+        let mut db = Database::new();
+        let emp = db
+            .create_table(
+                "emp",
+                Schema::new(vec![
+                    ColumnDef::new("empid", DataType::Int),
+                    ColumnDef::new("deptid", DataType::Int),
+                    ColumnDef::new("age", DataType::Int),
+                    ColumnDef::new("salary", DataType::Float),
+                ]),
+            )
+            .unwrap();
+        let dept = db
+            .create_table(
+                "dept",
+                Schema::new(vec![
+                    ColumnDef::new("deptid", DataType::Int),
+                    ColumnDef::new("dname", DataType::Str),
+                ]),
+            )
+            .unwrap();
+        for i in 0..1000i64 {
+            // Nearly everyone is young: age < 30 is ~95% selective the other way
+            let age = if i % 20 == 0 { 30 + (i % 40) } else { i % 30 };
+            db.table_mut(emp)
+                .insert(vec![
+                    Value::Int(i),
+                    Value::Int(i % 10),
+                    Value::Int(age),
+                    Value::Float((i % 500) as f64),
+                ])
+                .unwrap();
+        }
+        for d in 0..10i64 {
+            db.table_mut(dept)
+                .insert(vec![Value::Int(d), Value::Str(format!("d{d}"))])
+                .unwrap();
+        }
+        db.create_index("idx_emp_empid", emp, vec![0]).unwrap();
+        (db, StatsCatalog::new())
+    }
+
+    fn bind(db: &Database, sql: &str) -> BoundSelect {
+        match bind_statement(db, &parse_statement(sql).unwrap()).unwrap() {
+            BoundStatement::Select(q) => q,
+            _ => panic!("not a select"),
+        }
+    }
+
+    fn optimize(db: &Database, cat: &StatsCatalog, sql: &str) -> OptimizedQuery {
+        let q = bind(db, sql);
+        Optimizer::default().optimize(db, &q, cat.full_view(), &OptimizeOptions::default())
+    }
+
+    #[test]
+    fn single_table_scan() {
+        let (db, cat) = setup();
+        let r = optimize(&db, &cat, "SELECT * FROM dept");
+        assert!(matches!(r.plan.op, Operator::SeqScan { .. }));
+        assert_eq!(r.plan.est_rows, 10.0);
+        assert!(r.magic_variables.is_empty());
+    }
+
+    #[test]
+    fn magic_variables_reported_without_stats() {
+        let (db, cat) = setup();
+        let r = optimize(
+            &db,
+            &cat,
+            "SELECT * FROM emp e, dept d WHERE e.deptid = d.deptid AND e.age < 30",
+        );
+        assert_eq!(
+            r.magic_variables,
+            vec![PredicateId::Selection(0), PredicateId::JoinEdge(0)]
+        );
+    }
+
+    #[test]
+    fn statistics_remove_magic_variables() {
+        let (db, mut cat) = setup();
+        let emp = db.table_id("emp").unwrap();
+        let dept = db.table_id("dept").unwrap();
+        cat.create_statistic(&db, StatDescriptor::single(emp, 2)); // age
+        cat.create_statistic(&db, StatDescriptor::single(emp, 1)); // deptid
+        cat.create_statistic(&db, StatDescriptor::single(dept, 0)); // deptid
+        let r = optimize(
+            &db,
+            &cat,
+            "SELECT * FROM emp e, dept d WHERE e.deptid = d.deptid AND e.age < 30",
+        );
+        assert!(r.magic_variables.is_empty());
+        // join sel should be 1/max(10,10) = 0.1 and age<30 ≈ 0.95
+        let jsel = r.profile.value(PredicateId::JoinEdge(0));
+        assert!((jsel - 0.1).abs() < 1e-6, "jsel={jsel}");
+        let asel = r.profile.value(PredicateId::Selection(0));
+        assert!(asel > 0.8, "asel={asel}");
+    }
+
+    #[test]
+    fn index_seek_chosen_for_selective_predicate() {
+        let (db, mut cat) = setup();
+        let emp = db.table_id("emp").unwrap();
+        cat.create_statistic(&db, StatDescriptor::single(emp, 0));
+        let r = optimize(&db, &cat, "SELECT * FROM emp WHERE empid = 17");
+        assert!(
+            matches!(r.plan.op, Operator::IndexScan { .. }),
+            "plan: {}",
+            r.plan
+        );
+        // And an unselective predicate sticks with the sequential scan.
+        let r2 = optimize(&db, &cat, "SELECT * FROM emp WHERE empid >= 0");
+        assert!(matches!(r2.plan.op, Operator::SeqScan { .. }));
+    }
+
+    #[test]
+    fn injection_overrides_magic_and_changes_cost_monotonically() {
+        let (db, cat) = setup();
+        let q = bind(&db, "SELECT * FROM emp e, dept d WHERE e.deptid = d.deptid AND e.age < 30");
+        let opt = Optimizer::default();
+        let vars = [PredicateId::Selection(0), PredicateId::JoinEdge(0)];
+        let mut prev = 0.0;
+        for (i, s) in [0.001, 0.1, 0.5, 0.999].iter().enumerate() {
+            let r = opt.optimize(
+                &db,
+                &q,
+                cat.full_view(),
+                &OptimizeOptions::inject_all(&vars, *s),
+            );
+            assert!(r.magic_variables.is_empty(), "injected variables are not magic");
+            if i > 0 {
+                assert!(
+                    r.cost >= prev - 1e-9,
+                    "cost must be monotone in injected selectivity: {} < {prev}",
+                    r.cost
+                );
+            }
+            prev = r.cost;
+        }
+    }
+
+    #[test]
+    fn join_plan_has_two_scans() {
+        let (db, cat) = setup();
+        let r = optimize(
+            &db,
+            &cat,
+            "SELECT * FROM emp e, dept d WHERE e.deptid = d.deptid",
+        );
+        assert!(r.plan.op.is_join());
+        let scans = r
+            .plan
+            .nodes()
+            .iter()
+            .filter(|n| n.op.is_scan())
+            .count();
+        assert_eq!(scans, 2);
+    }
+
+    #[test]
+    fn cartesian_product_uses_nested_loops() {
+        let (db, cat) = setup();
+        let r = optimize(&db, &cat, "SELECT * FROM emp, dept");
+        assert!(matches!(r.plan.op, Operator::NestedLoopJoin { ref edges } if edges.is_empty()));
+        assert_eq!(r.plan.est_rows, 10_000.0);
+    }
+
+    #[test]
+    fn group_by_adds_aggregate_node() {
+        let (db, cat) = setup();
+        let r = optimize(
+            &db,
+            &cat,
+            "SELECT deptid, COUNT(*) FROM emp GROUP BY deptid",
+        );
+        assert!(matches!(r.plan.op, Operator::HashAggregate { .. }));
+        assert!(r.magic_variables.contains(&PredicateId::GroupBy));
+        // With stats, group count is estimated from NDV.
+        let (db2, mut cat2) = setup();
+        let emp = db2.table_id("emp").unwrap();
+        cat2.create_statistic(&db2, StatDescriptor::single(emp, 1));
+        let r2 = optimize(
+            &db2,
+            &cat2,
+            "SELECT deptid, COUNT(*) FROM emp GROUP BY deptid",
+        );
+        assert!(r2.magic_variables.is_empty());
+        assert!((r2.plan.est_rows - 10.0).abs() < 1.0, "groups={}", r2.plan.est_rows);
+    }
+
+    #[test]
+    fn ignore_statistics_subset_changes_estimates() {
+        use std::collections::HashSet;
+        let (db, mut cat) = setup();
+        let emp = db.table_id("emp").unwrap();
+        let sid = cat.create_statistic(&db, StatDescriptor::single(emp, 2));
+        let q = bind(&db, "SELECT * FROM emp WHERE age < 30");
+        let opt = Optimizer::default();
+        let with = opt.optimize(&db, &q, cat.full_view(), &OptimizeOptions::default());
+        let ignore: HashSet<_> = [sid].into_iter().collect();
+        let without = opt.optimize(&db, &q, cat.view(&ignore), &OptimizeOptions::default());
+        assert!(with.magic_variables.is_empty());
+        assert_eq!(without.magic_variables, vec![PredicateId::Selection(0)]);
+        assert_ne!(with.plan.est_rows, without.plan.est_rows);
+    }
+
+    /// Correlated predicates: without a joint histogram the optimizer
+    /// multiplies marginals (attribute-value independence); with one, the
+    /// pair estimate reflects the actual joint distribution.
+    #[test]
+    fn joint_histogram_breaks_independence_assumption() {
+        use stats::BuildOptions;
+        let mut db = Database::new();
+        let t = db
+            .create_table(
+                "m",
+                Schema::new(vec![
+                    ColumnDef::new("x", DataType::Int),
+                    ColumnDef::new("y", DataType::Int),
+                ]),
+            )
+            .unwrap();
+        // y == x: perfectly correlated.
+        for i in 0..2000i64 {
+            db.table_mut(t)
+                .insert(vec![Value::Int(i % 100), Value::Int(i % 100)])
+                .unwrap();
+        }
+        let q = bind(&db, "SELECT * FROM m WHERE x < 50 AND y >= 50");
+        let opt = Optimizer::default();
+
+        // Independence: ~0.5 * 0.5 = 0.25 of rows survive the (empty) filter.
+        let mut marginal_cat = StatsCatalog::new();
+        marginal_cat.create_statistic(&db, StatDescriptor::multi(t, vec![0, 1]));
+        marginal_cat.create_statistic(&db, StatDescriptor::single(t, 0));
+        marginal_cat.create_statistic(&db, StatDescriptor::single(t, 1));
+        let r1 = opt.optimize(&db, &q, marginal_cat.full_view(), &OptimizeOptions::default());
+        assert!(r1.plan.est_rows > 300.0, "independence estimate: {}", r1.plan.est_rows);
+
+        // Joint: the contradiction is visible — almost nothing survives.
+        let mut joint_cat =
+            StatsCatalog::new().with_build_options(BuildOptions::default().with_joint_histograms());
+        joint_cat.create_statistic(&db, StatDescriptor::multi(t, vec![0, 1]));
+        joint_cat.create_statistic(&db, StatDescriptor::single(t, 0));
+        joint_cat.create_statistic(&db, StatDescriptor::single(t, 1));
+        let r2 = opt.optimize(&db, &q, joint_cat.full_view(), &OptimizeOptions::default());
+        assert!(
+            r2.plan.est_rows < 120.0,
+            "joint estimate should be near zero: {}",
+            r2.plan.est_rows
+        );
+        assert!(r1.magic_variables.is_empty() && r2.magic_variables.is_empty());
+    }
+
+    /// Injected selectivities bypass the joint refinement (MNSA's probes
+    /// must reach the cost model exactly).
+    #[test]
+    fn injection_bypasses_joint_refinement() {
+        use stats::BuildOptions;
+        let mut db = Database::new();
+        let t = db
+            .create_table(
+                "m",
+                Schema::new(vec![
+                    ColumnDef::new("x", DataType::Int),
+                    ColumnDef::new("y", DataType::Int),
+                ]),
+            )
+            .unwrap();
+        for i in 0..500i64 {
+            db.table_mut(t)
+                .insert(vec![Value::Int(i % 10), Value::Int(i % 10)])
+                .unwrap();
+        }
+        let q = bind(&db, "SELECT * FROM m WHERE x < 5 AND y >= 5");
+        let mut cat =
+            StatsCatalog::new().with_build_options(BuildOptions::default().with_joint_histograms());
+        cat.create_statistic(&db, StatDescriptor::multi(t, vec![0, 1]));
+        let opt = Optimizer::default();
+        let vars = q.predicate_ids();
+        let r = opt.optimize(
+            &db,
+            &q,
+            cat.full_view(),
+            &OptimizeOptions::inject_all(&vars, 0.5),
+        );
+        for id in vars {
+            assert_eq!(r.profile.value(id), 0.5, "{id} was not passed through");
+        }
+    }
+
+    #[test]
+    fn plans_are_deterministic() {
+        let (db, cat) = setup();
+        let sql = "SELECT * FROM emp e, dept d WHERE e.deptid = d.deptid AND e.age < 30";
+        let a = optimize(&db, &cat, sql);
+        let b = optimize(&db, &cat, sql);
+        assert!(a.plan.same_tree(&b.plan));
+        assert_eq!(a.cost, b.cost);
+    }
+
+    #[test]
+    fn eight_way_join_optimizes() {
+        // Chain of 8 relations — the paper's "Complex" workload bound.
+        let mut db = Database::new();
+        let mut ids = Vec::new();
+        for t in 0..8 {
+            let id = db
+                .create_table(
+                    format!("t{t}"),
+                    Schema::new(vec![
+                        ColumnDef::new("k", DataType::Int),
+                        ColumnDef::new("fk", DataType::Int),
+                    ]),
+                )
+                .unwrap();
+            for i in 0..50i64 {
+                db.table_mut(id)
+                    .insert(vec![Value::Int(i), Value::Int(i % 10)])
+                    .unwrap();
+            }
+            ids.push(id);
+        }
+        let cat = StatsCatalog::new();
+        let mut sql = String::from("SELECT * FROM t0");
+        for t in 1..8 {
+            sql.push_str(&format!(", t{t}"));
+        }
+        sql.push_str(" WHERE ");
+        let conds: Vec<String> = (1..8).map(|t| format!("t{}.fk = t{}.k", t - 1, t)).collect();
+        sql.push_str(&conds.join(" AND "));
+        let r = optimize(&db, &cat, &sql);
+        assert_eq!(r.plan.nodes().iter().filter(|n| n.op.is_scan()).count(), 8);
+        assert!(r.cost > 0.0);
+    }
+}

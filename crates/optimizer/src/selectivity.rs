@@ -1,0 +1,348 @@
+//! Selectivity estimation: the statistics consumer.
+//!
+//! For each selectivity variable of a bound query (§4.1: one per selection
+//! predicate, one per join edge, one for GROUP BY) this module produces a
+//! value in `[0, 1]` and records *how* it was produced:
+//!
+//! * `Injected` — the caller forced the value (the §7.2 server extension that
+//!   MNSA's `P_low`/`P_high` construction requires);
+//! * `Statistics` — estimated from a visible histogram / density;
+//! * `Magic` — no applicable statistics; the class default was used.
+//!
+//! The `Magic` set is exactly the `{s_1 … s_k}` of step (a) in §4.1.
+
+use crate::magic::MagicNumbers;
+use query::{BoundSelect, CmpOp, JoinEdge, PredClass, PredOp, PredicateId, SelectionPredicate};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use stats::{StatId, StatsView};
+use storage::Database;
+
+/// Floor applied to statistics-derived selectivities. A histogram can
+/// legitimately estimate zero (no bucket contains the constant), but letting
+/// cardinalities collapse to exactly 0 makes every plan cost-equivalent and
+/// the join enumeration degenerate; real optimizers floor at "about one
+/// row" for the same reason. Injected values are NOT floored — MNSA's ε
+/// probe must reach the optimizer exactly.
+const MIN_STATS_SELECTIVITY: f64 = 1e-5;
+
+/// How one selectivity value was obtained.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SelectivitySource {
+    Injected,
+    /// Statistics used, with the ids involved.
+    Statistics(Vec<StatId>),
+    Magic(PredClass),
+}
+
+/// The estimated selectivity of every variable of one query.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SelectivityProfile {
+    values: HashMap<PredicateId, f64>,
+    sources: HashMap<PredicateId, SelectivitySource>,
+}
+
+impl SelectivityProfile {
+    /// Selectivity of one variable (1.0 for an id the query does not have —
+    /// harmless identity for cardinality products).
+    pub fn value(&self, id: PredicateId) -> f64 {
+        self.values.get(&id).copied().unwrap_or(1.0)
+    }
+
+    pub fn source(&self, id: PredicateId) -> Option<&SelectivitySource> {
+        self.sources.get(&id)
+    }
+
+    /// The selectivity variables that fell back to magic numbers — the
+    /// `{s_1, …, s_k}` set MNSA perturbs.
+    pub fn magic_variables(&self) -> Vec<PredicateId> {
+        let mut v: Vec<PredicateId> = self
+            .sources
+            .iter()
+            .filter(|(_, s)| matches!(s, SelectivitySource::Magic(_)))
+            .map(|(id, _)| *id)
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Statistics consulted anywhere in the profile.
+    pub fn statistics_used(&self) -> Vec<StatId> {
+        let mut out = Vec::new();
+        for s in self.sources.values() {
+            if let SelectivitySource::Statistics(ids) = s {
+                for id in ids {
+                    if !out.contains(id) {
+                        out.push(*id);
+                    }
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// Combined selectivity of all selection predicates on relation `rel`
+    /// (independence assumption across conjuncts).
+    pub fn relation_filter(&self, query: &BoundSelect, rel: usize) -> f64 {
+        query
+            .selections_on(rel)
+            .map(|(i, _)| self.value(PredicateId::Selection(i)))
+            .product()
+    }
+}
+
+/// Estimate one selection predicate from the statistics view. Returns
+/// `(selectivity, ids used)` or `None` when no statistics apply.
+fn selection_from_stats(
+    view: &StatsView<'_>,
+    query: &BoundSelect,
+    pred: &SelectionPredicate,
+) -> Option<(f64, Vec<StatId>)> {
+    let table = query.table_of(pred.column.relation);
+    let stat = view.histogram_for(table, pred.column.column)?;
+    let h = &stat.histogram;
+    let non_null = 1.0 - stat.null_fraction;
+    let sel = match &pred.op {
+        PredOp::Cmp(CmpOp::Eq, v) => h.selectivity_eq(v),
+        PredOp::Cmp(CmpOp::Ne, v) => h.selectivity_ne(v),
+        PredOp::Cmp(CmpOp::Lt, v) => h.selectivity_lt(v),
+        PredOp::Cmp(CmpOp::Le, v) => h.selectivity_le(v),
+        PredOp::Cmp(CmpOp::Gt, v) => h.selectivity_gt(v),
+        PredOp::Cmp(CmpOp::Ge, v) => h.selectivity_ge(v),
+        PredOp::Between(lo, hi) => h.selectivity_between(lo, hi),
+    };
+    Some(((sel * non_null).clamp(0.0, 1.0), vec![stat.id]))
+}
+
+/// The inclusive numeric range a predicate restricts its column to, or
+/// `None` for predicates a 2-D histogram cannot serve (`<>`).
+fn pred_range(op: &PredOp) -> Option<(Option<f64>, Option<f64>)> {
+    match op {
+        PredOp::Cmp(CmpOp::Eq, v) => {
+            let k = v.numeric_key();
+            Some((Some(k), Some(k)))
+        }
+        PredOp::Cmp(CmpOp::Lt | CmpOp::Le, v) => Some((None, Some(v.numeric_key()))),
+        PredOp::Cmp(CmpOp::Gt | CmpOp::Ge, v) => Some((Some(v.numeric_key()), None)),
+        PredOp::Cmp(CmpOp::Ne, _) => None,
+        PredOp::Between(l, h) => Some((Some(l.numeric_key()), Some(h.numeric_key()))),
+    }
+}
+
+/// Joint-histogram refinement (the paper's [13] — estimation *without* the
+/// attribute-value-independence assumption). When two statistics-estimated
+/// predicates of the same relation touch a column pair covered by a Phased
+/// 2-D histogram, the second predicate's marginal selectivity is replaced
+/// with the conditional `joint / marginal`, so the product the optimizer
+/// forms equals the joint estimate. Injected and magic variables are left
+/// untouched — MNSA's probes must pass through exactly.
+fn apply_joint_refinement(
+    view: &StatsView<'_>,
+    query: &BoundSelect,
+    values: &mut HashMap<PredicateId, f64>,
+    sources: &mut HashMap<PredicateId, SelectivitySource>,
+) {
+    let n = query.selections.len();
+    let mut consumed = vec![false; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if consumed[i] || consumed[j] {
+                continue;
+            }
+            let (pi, pj) = (&query.selections[i], &query.selections[j]);
+            if pi.column.relation != pj.column.relation || pi.column.column == pj.column.column {
+                continue;
+            }
+            let (idi, idj) = (PredicateId::Selection(i), PredicateId::Selection(j));
+            let stats_sourced = |id: &PredicateId| {
+                matches!(sources.get(id), Some(SelectivitySource::Statistics(_)))
+            };
+            if !stats_sourced(&idi) || !stats_sourced(&idj) {
+                continue;
+            }
+            let (Some(ri), Some(rj)) = (pred_range(&pi.op), pred_range(&pj.op)) else {
+                continue;
+            };
+            let table = query.table_of(pi.column.relation);
+            let Some((stat, flipped)) = view.joint_for(table, pi.column.column, pj.column.column)
+            else {
+                continue;
+            };
+            let joint_hist = stat.joint.as_ref().expect("joint_for returned a joint stat");
+            let (xr, yr) = if flipped { (rj, ri) } else { (ri, rj) };
+            let joint = joint_hist.selectivity(&stats::RangeQuery {
+                x_lo: xr.0,
+                x_hi: xr.1,
+                y_lo: yr.0,
+                y_hi: yr.1,
+            });
+            let marginal_i = values[&idi];
+            if marginal_i > 0.0 {
+                values.insert(idj, (joint / marginal_i).clamp(0.0, 1.0));
+                if let Some(SelectivitySource::Statistics(ids)) = sources.get_mut(&idj) {
+                    if !ids.contains(&stat.id) {
+                        ids.push(stat.id);
+                    }
+                }
+                consumed[i] = true;
+                consumed[j] = true;
+            }
+        }
+    }
+}
+
+/// Estimate one join edge. Statistics must be available on **both** sides
+/// (join statistics are useful in pairs, §4.2).
+///
+/// Single-column edges with histograms on both sides use the histogram
+/// dot-product `Σ_v p_l(v)·p_r(v)`, which models skewed-key fan-out;
+/// multi-column edges fall back to the density-based
+/// `1 / max(NDV_left, NDV_right)` over the joined column sets.
+fn join_from_stats(
+    view: &StatsView<'_>,
+    query: &BoundSelect,
+    edge: &JoinEdge,
+) -> Option<(f64, Vec<StatId>)> {
+    let lt = query.table_of(edge.left_rel);
+    let rt = query.table_of(edge.right_rel);
+    let lcols: Vec<usize> = edge.pairs.iter().map(|&(l, _)| l).collect();
+    let rcols: Vec<usize> = edge.pairs.iter().map(|&(_, r)| r).collect();
+
+    if edge.pairs.len() == 1 {
+        let ls = view.histogram_for(lt, lcols[0])?;
+        let rs = view.histogram_for(rt, rcols[0])?;
+        let sel = stats::join_selectivity(&ls.histogram, &rs.histogram)
+            * (1.0 - ls.null_fraction)
+            * (1.0 - rs.null_fraction);
+        return Some((sel.clamp(0.0, 1.0), vec![ls.id, rs.id]));
+    }
+
+    let side = |table, cols: &[usize]| -> Option<(f64, StatId)> {
+        let (s, density) = view.density_for_set(table, cols)?;
+        Some((if density > 0.0 { 1.0 / density } else { 0.0 }, s.id))
+    };
+    let (lndv, lid) = side(lt, &lcols)?;
+    let (rndv, rid) = side(rt, &rcols)?;
+    let denom = lndv.max(rndv).max(1.0);
+    Some(((1.0 / denom).clamp(0.0, 1.0), vec![lid, rid]))
+}
+
+/// Estimate the GROUP BY distinct fraction: estimated distinct group count
+/// divided by the aggregate input cardinality (capped at 1).
+///
+/// Statistics must cover **every** grouping column (via a single-column NDV
+/// or a multi-column density per table); otherwise the class magic number is
+/// used, matching §4.1's aggregation extension.
+fn group_by_from_stats(
+    view: &StatsView<'_>,
+    query: &BoundSelect,
+    input_rows: f64,
+) -> Option<(f64, Vec<StatId>)> {
+    if query.group_by.is_empty() {
+        return None;
+    }
+    // Group grouping columns per relation; per relation prefer one
+    // multi-column density, else multiply single-column NDVs.
+    let mut per_rel: HashMap<usize, Vec<usize>> = HashMap::new();
+    for g in &query.group_by {
+        per_rel.entry(g.relation).or_default().push(g.column);
+    }
+    let mut distinct = 1.0f64;
+    let mut ids = Vec::new();
+    for (rel, cols) in per_rel {
+        let table = query.table_of(rel);
+        if cols.len() > 1 {
+            if let Some((s, density)) = view.density_for_set(table, &cols) {
+                distinct *= if density > 0.0 { 1.0 / density } else { 1.0 };
+                ids.push(s.id);
+                continue;
+            }
+        }
+        for &c in &cols {
+            let s = view.histogram_for(table, c)?;
+            distinct *= s.leading_ndv().max(1.0);
+            ids.push(s.id);
+        }
+    }
+    let fraction = (distinct / input_rows.max(1.0)).clamp(0.0, 1.0);
+    Some((fraction, ids))
+}
+
+/// Build the full selectivity profile for a query.
+///
+/// `injected` overrides statistics and magic numbers for the given variables
+/// (§7.2's modified selectivity-estimation module). `input_rows_for_agg` is
+/// the estimated aggregate input cardinality, needed to convert a distinct
+/// count into a fraction.
+pub fn build_profile(
+    db: &Database,
+    view: &StatsView<'_>,
+    query: &BoundSelect,
+    magic: &MagicNumbers,
+    injected: &HashMap<PredicateId, f64>,
+) -> SelectivityProfile {
+    let mut values = HashMap::new();
+    let mut sources = HashMap::new();
+
+    for (i, pred) in query.selections.iter().enumerate() {
+        let id = PredicateId::Selection(i);
+        if let Some(&v) = injected.get(&id) {
+            values.insert(id, v.clamp(0.0, 1.0));
+            sources.insert(id, SelectivitySource::Injected);
+        } else if let Some((v, ids)) = selection_from_stats(view, query, pred) {
+            values.insert(id, v.max(MIN_STATS_SELECTIVITY));
+            sources.insert(id, SelectivitySource::Statistics(ids));
+        } else {
+            let class = pred.op.class();
+            values.insert(id, magic.for_class(class));
+            sources.insert(id, SelectivitySource::Magic(class));
+        }
+    }
+
+    // Joint 2-D histograms refine pairs of selection estimates, when built.
+    apply_joint_refinement(view, query, &mut values, &mut sources);
+
+    for (i, edge) in query.join_edges.iter().enumerate() {
+        let id = PredicateId::JoinEdge(i);
+        if let Some(&v) = injected.get(&id) {
+            values.insert(id, v.clamp(0.0, 1.0));
+            sources.insert(id, SelectivitySource::Injected);
+        } else if let Some((v, ids)) = join_from_stats(view, query, edge) {
+            values.insert(id, v.max(MIN_STATS_SELECTIVITY / 10.0));
+            sources.insert(id, SelectivitySource::Statistics(ids));
+        } else {
+            values.insert(id, magic.for_class(PredClass::Join));
+            sources.insert(id, SelectivitySource::Magic(PredClass::Join));
+        }
+    }
+
+    if !query.group_by.is_empty() {
+        let id = PredicateId::GroupBy;
+        // Aggregate input cardinality under the values chosen so far.
+        let mut input_rows = 1.0f64;
+        for (rel, (tid, _)) in query.relations.iter().enumerate() {
+            let base = db.table(*tid).row_count() as f64;
+            let filter: f64 = query
+                .selections_on(rel)
+                .map(|(i, _)| values[&PredicateId::Selection(i)])
+                .product();
+            input_rows *= base * filter;
+        }
+        for (i, _) in query.join_edges.iter().enumerate() {
+            input_rows *= values[&PredicateId::JoinEdge(i)];
+        }
+        if let Some(&v) = injected.get(&id) {
+            values.insert(id, v.clamp(0.0, 1.0));
+            sources.insert(id, SelectivitySource::Injected);
+        } else if let Some((v, ids)) = group_by_from_stats(view, query, input_rows) {
+            values.insert(id, v);
+            sources.insert(id, SelectivitySource::Statistics(ids));
+        } else {
+            values.insert(id, magic.for_class(PredClass::GroupBy));
+            sources.insert(id, SelectivitySource::Magic(PredClass::GroupBy));
+        }
+    }
+
+    SelectivityProfile { values, sources }
+}

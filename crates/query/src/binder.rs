@@ -1,0 +1,453 @@
+//! Name resolution against a `storage::Database`.
+
+use crate::ast::*;
+use crate::bound::*;
+use std::collections::HashMap;
+use std::fmt;
+use storage::{Database, DataType, TableId, Value};
+
+/// Binding errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BindError {
+    UnknownTable(String),
+    UnknownColumn(String),
+    AmbiguousColumn(String),
+    DuplicateBindingName(String),
+    SelfJoinColumnPair(String),
+    TypeMismatch { column: String, expected: String, found: String },
+    ArityMismatch { table: String, expected: usize, found: usize },
+}
+
+impl fmt::Display for BindError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BindError::UnknownTable(t) => write!(f, "unknown table '{t}'"),
+            BindError::UnknownColumn(c) => write!(f, "unknown column '{c}'"),
+            BindError::AmbiguousColumn(c) => write!(f, "ambiguous column '{c}'"),
+            BindError::DuplicateBindingName(n) => {
+                write!(f, "duplicate table binding name '{n}' in FROM")
+            }
+            BindError::SelfJoinColumnPair(c) => write!(
+                f,
+                "join predicate '{c}' relates two columns of the same relation; not supported"
+            ),
+            BindError::TypeMismatch { column, expected, found } => {
+                write!(f, "type mismatch on {column}: expected {expected}, found {found}")
+            }
+            BindError::ArityMismatch { table, expected, found } => write!(
+                f,
+                "INSERT into {table} expects {expected} values, found {found}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BindError {}
+
+struct Scope<'a> {
+    db: &'a Database,
+    /// binding name (lowercased) → relation ordinal
+    by_name: HashMap<String, usize>,
+    relations: Vec<(TableId, String)>,
+}
+
+impl<'a> Scope<'a> {
+    fn build(db: &'a Database, from: &[TableRef]) -> Result<Self, BindError> {
+        let mut by_name = HashMap::new();
+        let mut relations = Vec::with_capacity(from.len());
+        for (ord, t) in from.iter().enumerate() {
+            let id = db
+                .table_id(&t.table)
+                .ok_or_else(|| BindError::UnknownTable(t.table.clone()))?;
+            let name = t.binding_name().to_string();
+            if by_name.insert(name.to_ascii_lowercase(), ord).is_some() {
+                return Err(BindError::DuplicateBindingName(name));
+            }
+            relations.push((id, name));
+        }
+        Ok(Scope { db, by_name, relations })
+    }
+
+    fn resolve(&self, c: &ColumnRef) -> Result<BoundColumn, BindError> {
+        if let Some(q) = &c.qualifier {
+            let rel = *self
+                .by_name
+                .get(&q.to_ascii_lowercase())
+                .ok_or_else(|| BindError::UnknownTable(q.clone()))?;
+            let table = self.db.table(self.relations[rel].0);
+            let col = table
+                .schema()
+                .index_of(&c.column)
+                .ok_or_else(|| BindError::UnknownColumn(c.to_string()))?;
+            return Ok(BoundColumn::new(rel, col));
+        }
+        let mut found: Option<BoundColumn> = None;
+        for (rel, (tid, _)) in self.relations.iter().enumerate() {
+            if let Some(col) = self.db.table(*tid).schema().index_of(&c.column) {
+                if found.is_some() {
+                    return Err(BindError::AmbiguousColumn(c.column.clone()));
+                }
+                found = Some(BoundColumn::new(rel, col));
+            }
+        }
+        found.ok_or_else(|| BindError::UnknownColumn(c.column.clone()))
+    }
+
+    fn column_type(&self, c: BoundColumn) -> DataType {
+        self.db
+            .table(self.relations[c.relation].0)
+            .schema()
+            .column(c.column)
+            .data_type
+    }
+
+    fn check_literal(&self, col: BoundColumn, name: &ColumnRef, v: &Value) -> Result<(), BindError> {
+        let Some(vt) = v.data_type() else { return Ok(()) };
+        let expected = self.column_type(col);
+        let ok = vt == expected
+            || matches!((vt, expected), (DataType::Int, DataType::Float | DataType::Date));
+        if ok {
+            Ok(())
+        } else {
+            Err(BindError::TypeMismatch {
+                column: name.to_string(),
+                expected: expected.to_string(),
+                found: vt.to_string(),
+            })
+        }
+    }
+}
+
+/// Group raw join conjuncts into per-relation-pair join edges, pair columns
+/// normalized so `left_rel < right_rel`.
+fn build_join_edges(raw: Vec<(BoundColumn, BoundColumn)>) -> Vec<JoinEdge> {
+    let mut edges: Vec<JoinEdge> = Vec::new();
+    for (a, b) in raw {
+        let (l, r) = if a.relation <= b.relation { (a, b) } else { (b, a) };
+        if let Some(e) = edges
+            .iter_mut()
+            .find(|e| e.left_rel == l.relation && e.right_rel == r.relation)
+        {
+            if !e.pairs.contains(&(l.column, r.column)) {
+                e.pairs.push((l.column, r.column));
+            }
+        } else {
+            edges.push(JoinEdge {
+                left_rel: l.relation,
+                right_rel: r.relation,
+                pairs: vec![(l.column, r.column)],
+            });
+        }
+    }
+    edges
+}
+
+fn bind_select(db: &Database, q: &SelectStmt) -> Result<BoundSelect, BindError> {
+    let scope = Scope::build(db, &q.from)?;
+
+    let mut selections = Vec::new();
+    let mut raw_joins = Vec::new();
+    for c in &q.conditions {
+        match c {
+            Condition::Compare { column, op, value } => {
+                let col = scope.resolve(column)?;
+                scope.check_literal(col, column, value)?;
+                selections.push(SelectionPredicate {
+                    column: col,
+                    op: PredOp::Cmp(*op, value.clone()),
+                });
+            }
+            Condition::Between { column, low, high } => {
+                let col = scope.resolve(column)?;
+                scope.check_literal(col, column, low)?;
+                scope.check_literal(col, column, high)?;
+                selections.push(SelectionPredicate {
+                    column: col,
+                    op: PredOp::Between(low.clone(), high.clone()),
+                });
+            }
+            Condition::Join { left, right } => {
+                let l = scope.resolve(left)?;
+                let r = scope.resolve(right)?;
+                if l.relation == r.relation {
+                    return Err(BindError::SelfJoinColumnPair(format!("{left} = {right}")));
+                }
+                raw_joins.push((l, r));
+            }
+        }
+    }
+
+    let mut group_by = Vec::with_capacity(q.group_by.len());
+    for g in &q.group_by {
+        group_by.push(scope.resolve(g)?);
+    }
+
+    let mut order_by = Vec::with_capacity(q.order_by.len());
+    for k in &q.order_by {
+        order_by.push((scope.resolve(&k.column)?, k.descending));
+    }
+
+    let mut aggregates = Vec::new();
+    let mut proj_cols = Vec::new();
+    let mut star = false;
+    for item in &q.items {
+        match item {
+            SelectItem::Star => star = true,
+            SelectItem::Column(c) => proj_cols.push(scope.resolve(c)?),
+            SelectItem::Aggregate(f, arg) => {
+                let input = match arg {
+                    Some(c) => Some(scope.resolve(c)?),
+                    None => None,
+                };
+                aggregates.push(BoundAggregate { func: *f, input });
+            }
+        }
+    }
+    let projection = if star || proj_cols.is_empty() {
+        Projection::Star
+    } else {
+        Projection::Columns(proj_cols)
+    };
+
+    Ok(BoundSelect {
+        relations: scope.relations,
+        projection,
+        aggregates,
+        selections,
+        join_edges: build_join_edges(raw_joins),
+        group_by,
+        order_by,
+    })
+}
+
+fn bind_filter_for_table(
+    db: &Database,
+    table: TableId,
+    table_name: &str,
+    conds: &[Condition],
+) -> Result<Vec<SelectionPredicate>, BindError> {
+    // Reuse the select machinery with a synthetic single-table scope.
+    let scope = Scope::build(db, &[TableRef::new(table_name)])?;
+    debug_assert_eq!(scope.relations[0].0, table);
+    let mut out = Vec::new();
+    for c in conds {
+        match c {
+            Condition::Compare { column, op, value } => {
+                let col = scope.resolve(column)?;
+                scope.check_literal(col, column, value)?;
+                out.push(SelectionPredicate {
+                    column: col,
+                    op: PredOp::Cmp(*op, value.clone()),
+                });
+            }
+            Condition::Between { column, low, high } => {
+                let col = scope.resolve(column)?;
+                out.push(SelectionPredicate {
+                    column: col,
+                    op: PredOp::Between(low.clone(), high.clone()),
+                });
+            }
+            Condition::Join { left, right } => {
+                return Err(BindError::SelfJoinColumnPair(format!("{left} = {right}")));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Bind a statement against the database.
+pub fn bind_statement(db: &Database, stmt: &Statement) -> Result<BoundStatement, BindError> {
+    match stmt {
+        Statement::Select(q) => Ok(BoundStatement::Select(bind_select(db, q)?)),
+        Statement::Insert(i) => {
+            let table = db
+                .table_id(&i.table)
+                .ok_or_else(|| BindError::UnknownTable(i.table.clone()))?;
+            let schema = db.table(table).schema();
+            if schema.len() != i.values.len() {
+                return Err(BindError::ArityMismatch {
+                    table: i.table.clone(),
+                    expected: schema.len(),
+                    found: i.values.len(),
+                });
+            }
+            Ok(BoundStatement::Insert(BoundInsert {
+                table,
+                values: i.values.clone(),
+            }))
+        }
+        Statement::Update(u) => {
+            let table = db
+                .table_id(&u.table)
+                .ok_or_else(|| BindError::UnknownTable(u.table.clone()))?;
+            let set_column = db
+                .table(table)
+                .schema()
+                .index_of(&u.set_column)
+                .ok_or_else(|| BindError::UnknownColumn(u.set_column.clone()))?;
+            let selections = bind_filter_for_table(db, table, &u.table, &u.conditions)?;
+            Ok(BoundStatement::Update(BoundUpdate {
+                table,
+                set_column,
+                set_value: u.set_value.clone(),
+                selections,
+            }))
+        }
+        Statement::Delete(d) => {
+            let table = db
+                .table_id(&d.table)
+                .ok_or_else(|| BindError::UnknownTable(d.table.clone()))?;
+            let selections = bind_filter_for_table(db, table, &d.table, &d.conditions)?;
+            Ok(BoundStatement::Delete(BoundDelete { table, selections }))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_statement;
+    use storage::{ColumnDef, Schema};
+
+    fn test_db() -> Database {
+        let mut db = Database::new();
+        db.create_table(
+            "emp",
+            Schema::new(vec![
+                ColumnDef::new("empid", DataType::Int),
+                ColumnDef::new("deptid", DataType::Int),
+                ColumnDef::new("age", DataType::Int),
+                ColumnDef::new("salary", DataType::Float),
+            ]),
+        )
+        .unwrap();
+        db.create_table(
+            "dept",
+            Schema::new(vec![
+                ColumnDef::new("deptid", DataType::Int),
+                ColumnDef::new("dname", DataType::Str),
+            ]),
+        )
+        .unwrap();
+        db
+    }
+
+    fn bind(db: &Database, sql: &str) -> Result<BoundStatement, BindError> {
+        bind_statement(db, &parse_statement(sql).unwrap())
+    }
+
+    #[test]
+    fn binds_example2_query() {
+        // Example 2 from the paper.
+        let db = test_db();
+        let b = bind(
+            &db,
+            "SELECT e.empid, d.dname FROM emp e, dept d \
+             WHERE e.deptid = d.deptid AND e.age < 30 AND e.salary > 200",
+        )
+        .unwrap();
+        let q = b.as_select().unwrap();
+        assert_eq!(q.relations.len(), 2);
+        assert_eq!(q.selections.len(), 2);
+        assert_eq!(q.join_edges.len(), 1);
+        assert_eq!(q.join_edges[0].pairs, vec![(1, 0)]);
+        assert_eq!(
+            q.predicate_ids(),
+            vec![
+                PredicateId::Selection(0),
+                PredicateId::Selection(1),
+                PredicateId::JoinEdge(0)
+            ]
+        );
+    }
+
+    #[test]
+    fn multi_column_join_fuses_into_one_edge() {
+        let mut db = Database::new();
+        for t in ["r1", "r2"] {
+            db.create_table(
+                t,
+                Schema::new(vec![
+                    ColumnDef::new("a", DataType::Int),
+                    ColumnDef::new("b", DataType::Int),
+                ]),
+            )
+            .unwrap();
+        }
+        let b = bind(
+            &db,
+            "SELECT * FROM r1, r2 WHERE r1.a = r2.a AND r1.b = r2.b",
+        )
+        .unwrap();
+        let q = b.as_select().unwrap();
+        assert_eq!(q.join_edges.len(), 1);
+        assert_eq!(q.join_edges[0].pairs.len(), 2);
+    }
+
+    #[test]
+    fn unqualified_ambiguous_column_rejected() {
+        let db = test_db();
+        let err = bind(&db, "SELECT * FROM emp, dept WHERE deptid = 1").unwrap_err();
+        assert!(matches!(err, BindError::AmbiguousColumn(_)));
+    }
+
+    #[test]
+    fn unqualified_unique_column_resolves() {
+        let db = test_db();
+        let b = bind(&db, "SELECT * FROM emp, dept WHERE age < 30").unwrap();
+        let q = b.as_select().unwrap();
+        assert_eq!(q.selections[0].column, BoundColumn::new(0, 2));
+    }
+
+    #[test]
+    fn type_mismatch_rejected() {
+        let db = test_db();
+        let err = bind(&db, "SELECT * FROM emp WHERE age = 'old'").unwrap_err();
+        assert!(matches!(err, BindError::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn duplicate_binding_rejected() {
+        let db = test_db();
+        let err = bind(&db, "SELECT * FROM emp e, dept e").unwrap_err();
+        assert!(matches!(err, BindError::DuplicateBindingName(_)));
+    }
+
+    #[test]
+    fn self_join_pair_rejected() {
+        let db = test_db();
+        let err = bind(&db, "SELECT * FROM emp WHERE empid = deptid").unwrap_err();
+        assert!(matches!(err, BindError::SelfJoinColumnPair(_)));
+    }
+
+    #[test]
+    fn binds_dml() {
+        let db = test_db();
+        let ins = bind(&db, "INSERT INTO dept VALUES (1, 'eng')").unwrap();
+        assert!(matches!(ins, BoundStatement::Insert(_)));
+        let upd = bind(&db, "UPDATE emp SET salary = 100.0 WHERE age > 60").unwrap();
+        match upd {
+            BoundStatement::Update(u) => {
+                assert_eq!(u.set_column, 3);
+                assert_eq!(u.selections.len(), 1);
+            }
+            _ => panic!(),
+        }
+        let err = bind(&db, "INSERT INTO dept VALUES (1)").unwrap_err();
+        assert!(matches!(err, BindError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn group_by_and_aggregates_bind() {
+        let db = test_db();
+        let b = bind(
+            &db,
+            "SELECT deptid, COUNT(*), AVG(salary) FROM emp GROUP BY deptid",
+        )
+        .unwrap();
+        let q = b.as_select().unwrap();
+        assert_eq!(q.group_by.len(), 1);
+        assert_eq!(q.aggregates.len(), 2);
+        assert_eq!(q.predicate_ids(), vec![PredicateId::GroupBy]);
+    }
+}

@@ -1,0 +1,683 @@
+//! A hand-written recursive-descent parser for the supported SQL subset.
+//!
+//! Grammar (case-insensitive keywords, conjunctive WHERE only):
+//!
+//! ```text
+//! statement   := select | insert | update | delete
+//! select      := SELECT items FROM tables [WHERE conds] [GROUP BY columns]
+//!                [ORDER BY column [ASC|DESC] (',' column [ASC|DESC])*]
+//! items       := '*' | item (',' item)*
+//! item        := column | agg '(' ('*' | column) ')'
+//! tables      := table (',' table)*
+//! table       := ident [AS] [ident]
+//! conds       := cond (AND cond)*
+//! cond        := column op literal | literal op column
+//!              | column BETWEEN literal AND literal
+//!              | column '=' column                       -- equi-join
+//! insert      := INSERT INTO ident VALUES '(' literal (',' literal)* ')'
+//! update      := UPDATE ident SET ident '=' literal [WHERE conds]
+//! delete      := DELETE FROM ident [WHERE conds]
+//! literal     := int | float | string | DATE int | NULL
+//! ```
+
+use crate::ast::*;
+use std::fmt;
+use storage::Value;
+
+/// Parse failure with a human-readable message and byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    pub message: String,
+    pub offset: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Symbol(&'static str), // one of , ( ) * . = <> < <= > >=
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer { src, pos: 0 }
+    }
+
+    fn error(&self, msg: impl Into<String>) -> ParseError {
+        ParseError {
+            message: msg.into(),
+            offset: self.pos,
+        }
+    }
+
+    fn tokenize(mut self) -> Result<Vec<(Token, usize)>, ParseError> {
+        let bytes = self.src.as_bytes();
+        let mut out = Vec::new();
+        while self.pos < bytes.len() {
+            let start = self.pos;
+            let c = bytes[self.pos] as char;
+            if c.is_ascii_whitespace() {
+                self.pos += 1;
+                continue;
+            }
+            if c.is_ascii_alphabetic() || c == '_' {
+                let mut end = self.pos;
+                while end < bytes.len()
+                    && ((bytes[end] as char).is_ascii_alphanumeric() || bytes[end] == b'_')
+                {
+                    end += 1;
+                }
+                out.push((Token::Ident(self.src[self.pos..end].to_string()), start));
+                self.pos = end;
+                continue;
+            }
+            if c.is_ascii_digit()
+                || (c == '-' && self.pos + 1 < bytes.len() && (bytes[self.pos + 1] as char).is_ascii_digit())
+            {
+                let mut end = self.pos + 1;
+                let mut is_float = false;
+                while end < bytes.len() {
+                    let d = bytes[end] as char;
+                    if d.is_ascii_digit() {
+                        end += 1;
+                    } else if d == '.'
+                        && !is_float
+                        && end + 1 < bytes.len()
+                        && (bytes[end + 1] as char).is_ascii_digit()
+                    {
+                        is_float = true;
+                        end += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let text = &self.src[self.pos..end];
+                let tok = if is_float {
+                    Token::Float(text.parse().map_err(|_| self.error("bad float literal"))?)
+                } else {
+                    Token::Int(text.parse().map_err(|_| self.error("bad int literal"))?)
+                };
+                out.push((tok, start));
+                self.pos = end;
+                continue;
+            }
+            if c == '\'' {
+                let mut end = self.pos + 1;
+                let mut s = String::new();
+                loop {
+                    if end >= bytes.len() {
+                        return Err(self.error("unterminated string literal"));
+                    }
+                    if bytes[end] == b'\'' {
+                        // '' is an escaped quote
+                        if end + 1 < bytes.len() && bytes[end + 1] == b'\'' {
+                            s.push('\'');
+                            end += 2;
+                            continue;
+                        }
+                        end += 1;
+                        break;
+                    }
+                    s.push(bytes[end] as char);
+                    end += 1;
+                }
+                out.push((Token::Str(s), start));
+                self.pos = end;
+                continue;
+            }
+            let sym: &'static str = match c {
+                ',' => ",",
+                '(' => "(",
+                ')' => ")",
+                '*' => "*",
+                '.' => ".",
+                '=' => "=",
+                '<' => {
+                    if self.pos + 1 < bytes.len() && bytes[self.pos + 1] == b'>' {
+                        self.pos += 1;
+                        "<>"
+                    } else if self.pos + 1 < bytes.len() && bytes[self.pos + 1] == b'=' {
+                        self.pos += 1;
+                        "<="
+                    } else {
+                        "<"
+                    }
+                }
+                '>' => {
+                    if self.pos + 1 < bytes.len() && bytes[self.pos + 1] == b'=' {
+                        self.pos += 1;
+                        ">="
+                    } else {
+                        ">"
+                    }
+                }
+                ';' => {
+                    self.pos += 1;
+                    continue; // trailing semicolons are allowed and ignored
+                }
+                _ => return Err(self.error(format!("unexpected character '{c}'"))),
+            };
+            out.push((Token::Symbol(sym), start));
+            self.pos += 1;
+        }
+        Ok(out)
+    }
+}
+
+struct Parser {
+    tokens: Vec<(Token, usize)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens
+            .get(self.pos)
+            .map(|&(_, o)| o)
+            .unwrap_or(usize::MAX)
+    }
+
+    fn error(&self, msg: impl Into<String>) -> ParseError {
+        ParseError {
+            message: msg.into(),
+            offset: self.offset(),
+        }
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).map(|(t, _)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// Consume a keyword (case-insensitive); error if absent.
+    fn expect_kw(&mut self, kw: &str) -> Result<(), ParseError> {
+        match self.next() {
+            Some(Token::Ident(s)) if s.eq_ignore_ascii_case(kw) => Ok(()),
+            other => Err(self.error(format!("expected keyword {kw}, found {other:?}"))),
+        }
+    }
+
+    /// Consume a keyword if it is next; return whether it was.
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if let Some(Token::Ident(s)) = self.peek() {
+            if s.eq_ignore_ascii_case(kw) {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn eat_symbol(&mut self, sym: &str) -> bool {
+        if let Some(Token::Symbol(s)) = self.peek() {
+            if *s == sym {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_symbol(&mut self, sym: &str) -> Result<(), ParseError> {
+        if self.eat_symbol(sym) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected '{sym}'")))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            other => Err(self.error(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn is_keyword(s: &str) -> bool {
+        const KEYWORDS: &[&str] = &[
+            "select", "from", "where", "group", "by", "and", "between", "insert", "into",
+            "values", "update", "set", "delete", "as", "date", "null", "order", "asc", "desc",
+        ];
+        KEYWORDS.iter().any(|k| s.eq_ignore_ascii_case(k))
+    }
+
+    fn literal(&mut self) -> Result<Value, ParseError> {
+        match self.next() {
+            Some(Token::Int(i)) => Ok(Value::Int(i)),
+            Some(Token::Float(f)) => Ok(Value::Float(f)),
+            Some(Token::Str(s)) => Ok(Value::Str(s)),
+            Some(Token::Ident(s)) if s.eq_ignore_ascii_case("null") => Ok(Value::Null),
+            Some(Token::Ident(s)) if s.eq_ignore_ascii_case("date") => match self.next() {
+                Some(Token::Int(d)) => Ok(Value::Date(d as i32)),
+                _ => Err(self.error("expected integer after DATE")),
+            },
+            other => Err(self.error(format!("expected literal, found {other:?}"))),
+        }
+    }
+
+    /// `ident['.'ident]` as a column reference.
+    fn column_ref(&mut self) -> Result<ColumnRef, ParseError> {
+        let first = self.ident()?;
+        if self.eat_symbol(".") {
+            let second = self.ident()?;
+            Ok(ColumnRef::new(first, second))
+        } else {
+            Ok(ColumnRef::bare(first))
+        }
+    }
+
+    fn looks_like_column(&self) -> bool {
+        matches!(self.peek(), Some(Token::Ident(s)) if !Self::is_keyword(s))
+            || matches!(self.peek(), Some(Token::Ident(s)) if s.eq_ignore_ascii_case("date"))
+                && !matches!(self.tokens.get(self.pos + 1).map(|(t, _)| t), Some(Token::Int(_)))
+    }
+
+    fn cmp_op(&mut self) -> Result<CmpOp, ParseError> {
+        match self.next() {
+            Some(Token::Symbol("=")) => Ok(CmpOp::Eq),
+            Some(Token::Symbol("<>")) => Ok(CmpOp::Ne),
+            Some(Token::Symbol("<")) => Ok(CmpOp::Lt),
+            Some(Token::Symbol("<=")) => Ok(CmpOp::Le),
+            Some(Token::Symbol(">")) => Ok(CmpOp::Gt),
+            Some(Token::Symbol(">=")) => Ok(CmpOp::Ge),
+            other => Err(self.error(format!("expected comparison operator, found {other:?}"))),
+        }
+    }
+
+    fn condition(&mut self) -> Result<Condition, ParseError> {
+        if self.looks_like_column() {
+            let column = self.column_ref()?;
+            if self.eat_kw("between") {
+                let low = self.literal()?;
+                self.expect_kw("and")?;
+                let high = self.literal()?;
+                return Ok(Condition::Between { column, low, high });
+            }
+            let op = self.cmp_op()?;
+            if self.looks_like_column() {
+                let right = self.column_ref()?;
+                if op != CmpOp::Eq {
+                    return Err(self.error("column-to-column predicates must be equi-joins"));
+                }
+                return Ok(Condition::Join {
+                    left: column,
+                    right,
+                });
+            }
+            let value = self.literal()?;
+            Ok(Condition::Compare { column, op, value })
+        } else {
+            // literal op column  →  normalize to column-first
+            let value = self.literal()?;
+            let op = self.cmp_op()?;
+            let column = self.column_ref()?;
+            Ok(Condition::Compare {
+                column,
+                op: op.flipped(),
+                value,
+            })
+        }
+    }
+
+    fn conditions(&mut self) -> Result<Vec<Condition>, ParseError> {
+        let mut out = vec![self.condition()?];
+        while self.eat_kw("and") {
+            out.push(self.condition()?);
+        }
+        Ok(out)
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem, ParseError> {
+        if self.eat_symbol("*") {
+            return Ok(SelectItem::Star);
+        }
+        if let Some(Token::Ident(s)) = self.peek() {
+            let agg = match s.to_ascii_lowercase().as_str() {
+                "count" => Some(AggFunc::Count),
+                "sum" => Some(AggFunc::Sum),
+                "avg" => Some(AggFunc::Avg),
+                "min" => Some(AggFunc::Min),
+                "max" => Some(AggFunc::Max),
+                _ => None,
+            };
+            if let Some(func) = agg {
+                // Only treat as an aggregate when followed by '('.
+                if matches!(
+                    self.tokens.get(self.pos + 1).map(|(t, _)| t),
+                    Some(Token::Symbol("("))
+                ) {
+                    self.pos += 1; // func name
+                    self.expect_symbol("(")?;
+                    let input = if self.eat_symbol("*") {
+                        None
+                    } else {
+                        Some(self.column_ref()?)
+                    };
+                    self.expect_symbol(")")?;
+                    return Ok(SelectItem::Aggregate(func, input));
+                }
+            }
+        }
+        Ok(SelectItem::Column(self.column_ref()?))
+    }
+
+    fn table_ref(&mut self) -> Result<TableRef, ParseError> {
+        let table = self.ident()?;
+        let _ = self.eat_kw("as");
+        if let Some(Token::Ident(s)) = self.peek() {
+            if !Self::is_keyword(s) {
+                let alias = self.ident()?;
+                return Ok(TableRef::aliased(table, alias));
+            }
+        }
+        Ok(TableRef::new(table))
+    }
+
+    fn select(&mut self) -> Result<SelectStmt, ParseError> {
+        self.expect_kw("select")?;
+        let mut items = vec![self.select_item()?];
+        while self.eat_symbol(",") {
+            items.push(self.select_item()?);
+        }
+        self.expect_kw("from")?;
+        let mut from = vec![self.table_ref()?];
+        while self.eat_symbol(",") {
+            from.push(self.table_ref()?);
+        }
+        let conditions = if self.eat_kw("where") {
+            self.conditions()?
+        } else {
+            Vec::new()
+        };
+        let group_by = if self.eat_kw("group") {
+            self.expect_kw("by")?;
+            let mut cols = vec![self.column_ref()?];
+            while self.eat_symbol(",") {
+                cols.push(self.column_ref()?);
+            }
+            cols
+        } else {
+            Vec::new()
+        };
+        let order_by = if self.eat_kw("order") {
+            self.expect_kw("by")?;
+            let mut keys = vec![self.order_key()?];
+            while self.eat_symbol(",") {
+                keys.push(self.order_key()?);
+            }
+            keys
+        } else {
+            Vec::new()
+        };
+        Ok(SelectStmt {
+            items,
+            from,
+            conditions,
+            group_by,
+            order_by,
+        })
+    }
+
+    fn order_key(&mut self) -> Result<OrderKey, ParseError> {
+        let column = self.column_ref()?;
+        let descending = if self.eat_kw("desc") {
+            true
+        } else {
+            let _ = self.eat_kw("asc");
+            false
+        };
+        Ok(OrderKey { column, descending })
+    }
+
+    fn insert(&mut self) -> Result<InsertStmt, ParseError> {
+        self.expect_kw("insert")?;
+        self.expect_kw("into")?;
+        let table = self.ident()?;
+        self.expect_kw("values")?;
+        self.expect_symbol("(")?;
+        let mut values = vec![self.literal()?];
+        while self.eat_symbol(",") {
+            values.push(self.literal()?);
+        }
+        self.expect_symbol(")")?;
+        Ok(InsertStmt { table, values })
+    }
+
+    fn update(&mut self) -> Result<UpdateStmt, ParseError> {
+        self.expect_kw("update")?;
+        let table = self.ident()?;
+        self.expect_kw("set")?;
+        let set_column = self.ident()?;
+        self.expect_symbol("=")?;
+        let set_value = self.literal()?;
+        let conditions = if self.eat_kw("where") {
+            self.conditions()?
+        } else {
+            Vec::new()
+        };
+        Ok(UpdateStmt {
+            table,
+            set_column,
+            set_value,
+            conditions,
+        })
+    }
+
+    fn delete(&mut self) -> Result<DeleteStmt, ParseError> {
+        self.expect_kw("delete")?;
+        self.expect_kw("from")?;
+        let table = self.ident()?;
+        let conditions = if self.eat_kw("where") {
+            self.conditions()?
+        } else {
+            Vec::new()
+        };
+        Ok(DeleteStmt { table, conditions })
+    }
+
+    fn statement(&mut self) -> Result<Statement, ParseError> {
+        match self.peek() {
+            Some(Token::Ident(s)) if s.eq_ignore_ascii_case("select") => {
+                Ok(Statement::Select(self.select()?))
+            }
+            Some(Token::Ident(s)) if s.eq_ignore_ascii_case("insert") => {
+                Ok(Statement::Insert(self.insert()?))
+            }
+            Some(Token::Ident(s)) if s.eq_ignore_ascii_case("update") => {
+                Ok(Statement::Update(self.update()?))
+            }
+            Some(Token::Ident(s)) if s.eq_ignore_ascii_case("delete") => {
+                Ok(Statement::Delete(self.delete()?))
+            }
+            other => Err(self.error(format!("expected a statement, found {other:?}"))),
+        }
+    }
+}
+
+/// Parse one SQL statement in the supported subset.
+///
+/// ```
+/// use query::parse_statement;
+/// let stmt = parse_statement(
+///     "SELECT l_returnflag, COUNT(*) FROM lineitem \
+///      WHERE l_quantity < 24.0 GROUP BY l_returnflag",
+/// ).unwrap();
+/// let q = stmt.as_select().unwrap();
+/// assert_eq!(q.group_by.len(), 1);
+/// assert!(parse_statement("SELECT FROM nothing").is_err());
+/// ```
+pub fn parse_statement(sql: &str) -> Result<Statement, ParseError> {
+    let tokens = Lexer::new(sql).tokenize()?;
+    let mut parser = Parser { tokens, pos: 0 };
+    let stmt = parser.statement()?;
+    if parser.peek().is_some() {
+        return Err(parser.error("trailing tokens after statement"));
+    }
+    Ok(stmt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_select_star() {
+        let s = parse_statement("SELECT * FROM t WHERE a < 10").unwrap();
+        let q = s.as_select().unwrap();
+        assert_eq!(q.from, vec![TableRef::new("t")]);
+        assert_eq!(
+            q.conditions,
+            vec![Condition::Compare {
+                column: ColumnRef::bare("a"),
+                op: CmpOp::Lt,
+                value: Value::Int(10),
+            }]
+        );
+    }
+
+    #[test]
+    fn parses_join_and_aliases() {
+        let s = parse_statement(
+            "SELECT e.name, d.dname FROM emp e, dept AS d \
+             WHERE e.deptid = d.deptid AND e.age < 30 AND e.salary > 200",
+        )
+        .unwrap();
+        let q = s.as_select().unwrap();
+        assert_eq!(q.from.len(), 2);
+        assert_eq!(q.from[1].binding_name(), "d");
+        assert!(matches!(q.conditions[0], Condition::Join { .. }));
+        assert_eq!(q.conditions.len(), 3);
+    }
+
+    #[test]
+    fn parses_between_and_group_by() {
+        let s = parse_statement(
+            "SELECT brand, COUNT(*), SUM(price) FROM part \
+             WHERE size BETWEEN 1 AND 15 GROUP BY brand",
+        )
+        .unwrap();
+        let q = s.as_select().unwrap();
+        assert_eq!(q.group_by, vec![ColumnRef::bare("brand")]);
+        assert!(matches!(
+            q.items[1],
+            SelectItem::Aggregate(AggFunc::Count, None)
+        ));
+        assert!(matches!(
+            q.conditions[0],
+            Condition::Between { .. }
+        ));
+    }
+
+    #[test]
+    fn normalizes_literal_first_comparison() {
+        let s = parse_statement("SELECT * FROM t WHERE 10 > a").unwrap();
+        let q = s.as_select().unwrap();
+        assert_eq!(
+            q.conditions[0],
+            Condition::Compare {
+                column: ColumnRef::bare("a"),
+                op: CmpOp::Lt,
+                value: Value::Int(10),
+            }
+        );
+    }
+
+    #[test]
+    fn parses_dml() {
+        let ins = parse_statement("INSERT INTO t VALUES (1, 'x', 2.5, DATE 100, NULL)").unwrap();
+        match ins {
+            Statement::Insert(i) => {
+                assert_eq!(i.values.len(), 5);
+                assert_eq!(i.values[3], Value::Date(100));
+                assert_eq!(i.values[4], Value::Null);
+            }
+            _ => panic!("not an insert"),
+        }
+        let upd = parse_statement("UPDATE t SET a = 5 WHERE b = 'q'").unwrap();
+        assert!(matches!(upd, Statement::Update(_)));
+        let del = parse_statement("DELETE FROM t WHERE a >= 3").unwrap();
+        assert!(matches!(del, Statement::Delete(_)));
+    }
+
+    #[test]
+    fn string_escape_roundtrip() {
+        let s = parse_statement("SELECT * FROM t WHERE name = 'o''brien'").unwrap();
+        let q = s.as_select().unwrap();
+        match &q.conditions[0] {
+            Condition::Compare { value, .. } => {
+                assert_eq!(*value, Value::Str("o'brien".into()))
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_statement("SELECT FROM").is_err());
+        assert!(parse_statement("SELECT * FROM t WHERE a ! 3").is_err());
+        assert!(parse_statement("SELECT * FROM t extra junk, here").is_err());
+        assert!(parse_statement("SELECT * FROM t WHERE a < b").is_err()); // non-eq join
+    }
+
+    #[test]
+    fn parses_order_by() {
+        let s = parse_statement(
+            "SELECT * FROM t WHERE a > 1 ORDER BY b DESC, c ASC, d",
+        )
+        .unwrap();
+        let q = s.as_select().unwrap();
+        assert_eq!(q.order_by.len(), 3);
+        assert!(q.order_by[0].descending);
+        assert!(!q.order_by[1].descending);
+        assert!(!q.order_by[2].descending);
+    }
+
+    #[test]
+    fn order_by_after_group_by() {
+        let s = parse_statement(
+            "SELECT b, COUNT(*) FROM t GROUP BY b ORDER BY b",
+        )
+        .unwrap();
+        let q = s.as_select().unwrap();
+        assert_eq!(q.group_by.len(), 1);
+        assert_eq!(q.order_by.len(), 1);
+    }
+
+    #[test]
+    fn trailing_semicolon_ok() {
+        assert!(parse_statement("SELECT * FROM t;").is_ok());
+    }
+
+    #[test]
+    fn negative_numbers() {
+        let s = parse_statement("SELECT * FROM t WHERE a > -5 AND b = -1.5").unwrap();
+        let q = s.as_select().unwrap();
+        assert_eq!(q.conditions.len(), 2);
+        match &q.conditions[1] {
+            Condition::Compare { value, .. } => assert_eq!(*value, Value::Float(-1.5)),
+            _ => panic!(),
+        }
+    }
+}

@@ -1,0 +1,725 @@
+//! The statistics catalog: creation, lookup, ignore-views, the drop-list,
+//! aging, and the SQL Server-style auto-maintenance policy.
+
+use crate::cost::CostModel;
+use crate::statistic::{build_statistic, BuildOptions, StatDescriptor, StatId, Statistic};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use storage::{Database, TableId};
+
+/// Aging (§6): a statistic that was recently dropped as non-essential should
+/// not be immediately re-created when a similar workload repeats — unless
+/// the query at hand is expensive enough that a bad plan would hurt.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AgingPolicy {
+    /// A dropped statistic is dampened for this many catalog epochs.
+    pub window_epochs: u64,
+    /// Queries whose optimizer-estimated cost exceeds this value override
+    /// aging and may re-create the statistic anyway.
+    pub expensive_query_cost: f64,
+}
+
+impl Default for AgingPolicy {
+    fn default() -> Self {
+        AgingPolicy {
+            window_epochs: 5,
+            expensive_query_cost: f64::INFINITY,
+        }
+    }
+}
+
+/// The SQL Server 7.0 maintenance policy (§6): statistics on a table are
+/// updated when the table's modification counter exceeds a fraction of its
+/// size; a statistic updated more than `max_updates` times is physically
+/// dropped. Our modification restricts the physical drop to statistics on
+/// the drop-list (`drop_only_droplisted = true`), which is exactly the
+/// improvement the paper proposes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MaintenancePolicy {
+    /// Update statistics when `modification_counter > update_fraction * rows`.
+    pub update_fraction: f64,
+    /// Minimum modified-row count before an update can trigger.
+    pub min_modified_rows: u64,
+    /// Physically drop a statistic after this many updates.
+    pub max_updates: u32,
+    /// If true (the paper's improved policy) only drop-listed statistics are
+    /// physically dropped; if false (vanilla SQL Server 7.0) any statistic
+    /// hitting `max_updates` is dropped.
+    pub drop_only_droplisted: bool,
+}
+
+impl Default for MaintenancePolicy {
+    fn default() -> Self {
+        MaintenancePolicy {
+            update_fraction: 0.2,
+            min_modified_rows: 500,
+            max_updates: 4,
+            drop_only_droplisted: true,
+        }
+    }
+}
+
+/// What one `maintain` pass did.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MaintenanceReport {
+    pub tables_updated: Vec<TableId>,
+    pub statistics_updated: usize,
+    pub statistics_dropped: usize,
+    pub update_work: f64,
+}
+
+/// Serializable catalog state (see [`StatsCatalog::snapshot`]).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CatalogSnapshot {
+    pub stats: Vec<Statistic>,
+    pub drop_list: Vec<StatId>,
+    pub next_id: u32,
+    pub epoch: u64,
+    pub creation_work: f64,
+    pub update_work: f64,
+    pub build_options: BuildOptions,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct AgingEntry {
+    dropped_epoch: u64,
+    build_cost: f64,
+}
+
+/// The statistics catalog.
+///
+/// Statistics are **active** (visible to the optimizer), **drop-listed**
+/// (built but hidden — candidates for physical deletion, reactivatable for
+/// free, §5), or physically absent. All creation/update work is accumulated
+/// in deterministic work units.
+#[derive(Debug)]
+pub struct StatsCatalog {
+    stats: BTreeMap<StatId, Statistic>,
+    by_descriptor: HashMap<StatDescriptor, StatId>,
+    drop_list: BTreeSet<StatId>,
+    aging: HashMap<StatDescriptor, AgingEntry>,
+    next_id: u32,
+    epoch: u64,
+    creation_work: f64,
+    update_work: f64,
+    cost_model: CostModel,
+    build_options: BuildOptions,
+    /// Base seed for per-statistic sampling.
+    seed: u64,
+}
+
+impl Default for StatsCatalog {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StatsCatalog {
+    pub fn new() -> Self {
+        StatsCatalog {
+            stats: BTreeMap::new(),
+            by_descriptor: HashMap::new(),
+            drop_list: BTreeSet::new(),
+            aging: HashMap::new(),
+            next_id: 0,
+            epoch: 0,
+            creation_work: 0.0,
+            update_work: 0.0,
+            cost_model: CostModel::default(),
+            build_options: BuildOptions::default(),
+            seed: 0x000A_0705_2000, // ICDE 2000
+        }
+    }
+
+    pub fn with_build_options(mut self, options: BuildOptions) -> Self {
+        self.build_options = options;
+        self
+    }
+
+    pub fn build_options(&self) -> &BuildOptions {
+        &self.build_options
+    }
+
+    /// Current catalog epoch (advanced by the policy layer once per workload
+    /// pass or tuning round).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    pub fn advance_epoch(&mut self) {
+        self.epoch += 1;
+    }
+
+    /// Total deterministic work spent creating statistics.
+    pub fn creation_work(&self) -> f64 {
+        self.creation_work
+    }
+
+    /// Total deterministic work spent updating (rebuilding) statistics.
+    pub fn update_work(&self) -> f64 {
+        self.update_work
+    }
+
+    /// Number of active (optimizer-visible) statistics.
+    pub fn active_count(&self) -> usize {
+        self.stats.len() - self.drop_list.len()
+    }
+
+    /// Number of built statistics including drop-listed ones.
+    pub fn total_count(&self) -> usize {
+        self.stats.len()
+    }
+
+    /// Create (and build) a statistic, or reactivate/reuse an existing one.
+    ///
+    /// * If an active statistic with this descriptor exists, its id is
+    ///   returned and no work is charged.
+    /// * If a drop-listed statistic with this descriptor exists, it is
+    ///   reactivated for free (§5: "instead of re-creating the statistic, it
+    ///   can simply be removed from the drop-list").
+    /// * Otherwise the statistic is built from the table data and charged to
+    ///   the creation-work meter.
+    pub fn create_statistic(&mut self, db: &Database, descriptor: StatDescriptor) -> StatId {
+        if let Some(&id) = self.by_descriptor.get(&descriptor) {
+            self.drop_list.remove(&id);
+            return id;
+        }
+        let id = StatId(self.next_id);
+        self.next_id += 1;
+        let table = db.table(descriptor.table);
+        let seed = self.seed ^ ((id.0 as u64) << 17) ^ descriptor.table.0 as u64;
+        let stat = build_statistic(id, table, descriptor.clone(), &self.build_options, seed, self.epoch);
+        self.creation_work += stat.build_cost;
+        self.by_descriptor.insert(descriptor, id);
+        self.stats.insert(id, stat);
+        id
+    }
+
+    /// Look up an **active** statistic by descriptor.
+    pub fn find_active(&self, descriptor: &StatDescriptor) -> Option<StatId> {
+        self.by_descriptor
+            .get(descriptor)
+            .copied()
+            .filter(|id| !self.drop_list.contains(id))
+    }
+
+    /// Look up any built statistic (active or drop-listed) by descriptor.
+    pub fn find_built(&self, descriptor: &StatDescriptor) -> Option<StatId> {
+        self.by_descriptor.get(descriptor).copied()
+    }
+
+    pub fn statistic(&self, id: StatId) -> Option<&Statistic> {
+        self.stats.get(&id)
+    }
+
+    /// Iterate over active statistics.
+    pub fn active(&self) -> impl Iterator<Item = &Statistic> {
+        self.stats
+            .values()
+            .filter(move |s| !self.drop_list.contains(&s.id))
+    }
+
+    /// Iterate over active statistics on one table.
+    pub fn active_on_table(&self, table: TableId) -> impl Iterator<Item = &Statistic> {
+        self.active().filter(move |s| s.descriptor.table == table)
+    }
+
+    /// All active statistic ids.
+    pub fn active_ids(&self) -> Vec<StatId> {
+        self.active().map(|s| s.id).collect()
+    }
+
+    /// Move a statistic to the drop-list (mark non-essential, §5). The
+    /// statistic stays built but becomes invisible to the optimizer.
+    pub fn move_to_drop_list(&mut self, id: StatId) {
+        if self.stats.contains_key(&id) {
+            self.drop_list.insert(id);
+        }
+    }
+
+    /// Remove a statistic from the drop-list, making it optimizer-visible
+    /// again at zero cost.
+    pub fn reactivate(&mut self, id: StatId) {
+        self.drop_list.remove(&id);
+    }
+
+    pub fn is_drop_listed(&self, id: StatId) -> bool {
+        self.drop_list.contains(&id)
+    }
+
+    pub fn drop_list(&self) -> impl Iterator<Item = StatId> + '_ {
+        self.drop_list.iter().copied()
+    }
+
+    /// Physically delete a statistic and record it in the aging registry.
+    pub fn physically_drop(&mut self, id: StatId) -> bool {
+        let Some(stat) = self.stats.remove(&id) else {
+            return false;
+        };
+        self.drop_list.remove(&id);
+        self.by_descriptor.remove(&stat.descriptor);
+        self.aging.insert(
+            stat.descriptor.clone(),
+            AgingEntry {
+                dropped_epoch: self.epoch,
+                build_cost: stat.build_cost,
+            },
+        );
+        true
+    }
+
+    /// Aging test (§6): true when re-creating `descriptor` should be
+    /// dampened — it was physically dropped within the policy window and the
+    /// requesting query's estimated cost does not qualify as "expensive".
+    pub fn is_aged_out(
+        &self,
+        descriptor: &StatDescriptor,
+        policy: &AgingPolicy,
+        query_cost: f64,
+    ) -> bool {
+        let Some(entry) = self.aging.get(descriptor) else {
+            return false;
+        };
+        if query_cost >= policy.expensive_query_cost {
+            return false;
+        }
+        self.epoch.saturating_sub(entry.dropped_epoch) < policy.window_epochs
+    }
+
+    /// Recorded build cost of an aged (dropped) statistic, if any.
+    pub fn aged_build_cost(&self, descriptor: &StatDescriptor) -> Option<f64> {
+        self.aging.get(descriptor).map(|e| e.build_cost)
+    }
+
+    /// Rebuild every built statistic on `table`, charging the update-work
+    /// meter and bumping per-statistic update counts; resets the table's
+    /// modification counter. Returns the number of statistics updated.
+    pub fn update_table_statistics(&mut self, db: &mut Database, table: TableId) -> usize {
+        let ids: Vec<StatId> = self
+            .stats
+            .values()
+            .filter(|s| s.descriptor.table == table)
+            .map(|s| s.id)
+            .collect();
+        let epoch = self.epoch;
+        for &id in &ids {
+            let (descriptor, update_count, created_epoch) = {
+                let s = &self.stats[&id];
+                (s.descriptor.clone(), s.update_count, s.created_epoch)
+            };
+            let seed = self.seed ^ ((id.0 as u64) << 17) ^ table.0 as u64 ^ (update_count as u64 + 1);
+            let mut rebuilt = build_statistic(
+                id,
+                db.table(table),
+                descriptor,
+                &self.build_options,
+                seed,
+                created_epoch,
+            );
+            rebuilt.update_count = update_count + 1;
+            let _ = epoch;
+            self.update_work += rebuilt.build_cost;
+            self.stats.insert(id, rebuilt);
+        }
+        db.table_mut(table).reset_modification_counter();
+        ids.len()
+    }
+
+    /// One pass of the auto-maintenance policy (§6) over every table.
+    pub fn maintain(&mut self, db: &mut Database, policy: &MaintenancePolicy) -> MaintenanceReport {
+        let mut report = MaintenanceReport::default();
+        let before_update_work = self.update_work;
+        let tables: Vec<TableId> = db.table_ids().collect();
+        for table in tables {
+            let t = db.table(table);
+            let threshold =
+                ((t.row_count() as f64 * policy.update_fraction) as u64).max(policy.min_modified_rows);
+            if t.modification_counter() > threshold {
+                report.statistics_updated += self.update_table_statistics(db, table);
+                report.tables_updated.push(table);
+            }
+        }
+        // Physical drop of over-updated statistics.
+        let to_drop: Vec<StatId> = self
+            .stats
+            .values()
+            .filter(|s| s.update_count > policy.max_updates)
+            .filter(|s| !policy.drop_only_droplisted || self.drop_list.contains(&s.id))
+            .map(|s| s.id)
+            .collect();
+        for id in to_drop {
+            if self.physically_drop(id) {
+                report.statistics_dropped += 1;
+            }
+        }
+        report.update_work = self.update_work - before_update_work;
+        report
+    }
+
+    /// Sum of the *current* rebuild cost of the given statistics — the
+    /// "cost of updating the set of statistics left behind" metric of §8.2
+    /// (Table 1).
+    pub fn update_cost_of(&self, db: &Database, ids: impl IntoIterator<Item = StatId>) -> f64 {
+        let mut total = 0.0;
+        for id in ids {
+            if let Some(s) = self.stats.get(&id) {
+                let table = db.table(s.descriptor.table);
+                let rows_read = self.build_options.sample.rows_read(table.row_count());
+                let col_bytes: usize = s
+                    .descriptor
+                    .columns
+                    .iter()
+                    .map(|&c| table.schema().column(c).data_type.byte_width())
+                    .sum();
+                total += self
+                    .cost_model
+                    .build_cost(rows_read, col_bytes, s.descriptor.columns.len());
+            }
+        }
+        total
+    }
+
+    /// Serializable snapshot of the catalog (statistics, drop-list, epoch,
+    /// work meters). Lets a deployment persist tuned statistics across
+    /// restarts instead of re-learning the workload from scratch.
+    pub fn snapshot(&self) -> CatalogSnapshot {
+        CatalogSnapshot {
+            stats: self.stats.values().cloned().collect(),
+            drop_list: self.drop_list.iter().copied().collect(),
+            next_id: self.next_id,
+            epoch: self.epoch,
+            creation_work: self.creation_work,
+            update_work: self.update_work,
+            build_options: self.build_options.clone(),
+        }
+    }
+
+    /// Rebuild a catalog from a snapshot. The aging registry is not
+    /// persisted (it dampens only the recent past).
+    pub fn restore(snapshot: CatalogSnapshot) -> StatsCatalog {
+        let mut cat = StatsCatalog::new().with_build_options(snapshot.build_options);
+        for stat in snapshot.stats {
+            cat.by_descriptor.insert(stat.descriptor.clone(), stat.id);
+            cat.stats.insert(stat.id, stat);
+        }
+        cat.drop_list = snapshot.drop_list.into_iter().collect();
+        cat.next_id = snapshot.next_id;
+        cat.epoch = snapshot.epoch;
+        cat.creation_work = snapshot.creation_work;
+        cat.update_work = snapshot.update_work;
+        cat
+    }
+
+    /// A read view with an ignore set — the `Ignore_Statistics_Subset`
+    /// server extension of §7.2.
+    pub fn view<'a>(&'a self, ignore: &'a HashSet<StatId>) -> StatsView<'a> {
+        StatsView {
+            catalog: self,
+            ignore,
+        }
+    }
+
+    /// A view that ignores nothing.
+    pub fn full_view(&self) -> StatsView<'_> {
+        static EMPTY: std::sync::OnceLock<HashSet<StatId>> = std::sync::OnceLock::new();
+        StatsView {
+            catalog: self,
+            ignore: EMPTY.get_or_init(HashSet::new),
+        }
+    }
+}
+
+/// Read-only view of the catalog with a subset of statistics hidden — the
+/// optimizer-side embodiment of `Ignore_Statistics_Subset(db_id,
+/// stat_id_list)` from §7.2 of the paper.
+#[derive(Clone, Copy)]
+pub struct StatsView<'a> {
+    catalog: &'a StatsCatalog,
+    ignore: &'a HashSet<StatId>,
+}
+
+impl<'a> StatsView<'a> {
+    fn visible(&self, s: &Statistic) -> bool {
+        !self.ignore.contains(&s.id) && !self.catalog.is_drop_listed(s.id)
+    }
+
+    /// Best statistic whose histogram can answer a predicate on
+    /// `(table, column)`: an exact single-column statistic wins, otherwise a
+    /// multi-column statistic with this leading column (its histogram is on
+    /// the leading column, per the SQL Server asymmetry).
+    pub fn histogram_for(&self, table: TableId, column: usize) -> Option<&'a Statistic> {
+        let mut fallback = None;
+        for s in self.catalog.active_on_table(table) {
+            if !self.visible(s) || s.descriptor.leading_column() != column {
+                continue;
+            }
+            if !s.descriptor.is_multi_column() {
+                return Some(s);
+            }
+            fallback.get_or_insert(s);
+        }
+        fallback
+    }
+
+    /// Statistic providing a prefix density for an (unordered) equality
+    /// column set; prefers the tightest statistic (fewest total columns).
+    pub fn density_for_set(&self, table: TableId, set: &[usize]) -> Option<(&'a Statistic, f64)> {
+        let mut best: Option<&Statistic> = None;
+        for s in self.catalog.active_on_table(table) {
+            if self.visible(s) && s.descriptor.prefix_covers_set(set) {
+                match best {
+                    Some(b) if b.descriptor.columns.len() <= s.descriptor.columns.len() => {}
+                    _ => best = Some(s),
+                }
+            }
+        }
+        best.map(|s| (s, s.prefix_densities[set.len() - 1]))
+    }
+
+    /// NDV of a single column, from the best visible statistic.
+    pub fn ndv_for(&self, table: TableId, column: usize) -> Option<f64> {
+        self.histogram_for(table, column)
+            .map(|s| s.leading_ndv())
+            .or_else(|| {
+                self.density_for_set(table, &[column])
+                    .map(|(_, d)| if d > 0.0 { 1.0 / d } else { 0.0 })
+            })
+    }
+
+    pub fn statistic(&self, id: StatId) -> Option<&'a Statistic> {
+        self.catalog
+            .statistic(id)
+            .filter(|s| self.visible(s))
+    }
+
+    /// A visible multi-column statistic carrying a Phased 2-D histogram over
+    /// exactly the unordered column pair `(a, b)`. The returned flag is true
+    /// when `(a, b)` is flipped relative to the statistic's column order.
+    pub fn joint_for(&self, table: TableId, a: usize, b: usize) -> Option<(&'a Statistic, bool)> {
+        for s in self.catalog.active_on_table(table) {
+            if !self.visible(s) || s.joint.is_none() || s.descriptor.columns.len() < 2 {
+                continue;
+            }
+            let c0 = s.descriptor.columns[0];
+            let c1 = s.descriptor.columns[1];
+            if c0 == a && c1 == b {
+                return Some((s, false));
+            }
+            if c0 == b && c1 == a {
+                return Some((s, true));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use storage::{ColumnDef, DataType, Schema, Value};
+
+    fn test_db() -> (Database, TableId) {
+        let mut db = Database::new();
+        let id = db
+            .create_table(
+                "t",
+                Schema::new(vec![
+                    ColumnDef::new("a", DataType::Int),
+                    ColumnDef::new("b", DataType::Int),
+                ]),
+            )
+            .unwrap();
+        for i in 0..2000i64 {
+            db.table_mut(id)
+                .insert(vec![Value::Int(i % 50), Value::Int(i % 8)])
+                .unwrap();
+        }
+        (db, id)
+    }
+
+    #[test]
+    fn create_is_idempotent_and_charges_once() {
+        let (db, t) = test_db();
+        let mut cat = StatsCatalog::new();
+        let s1 = cat.create_statistic(&db, StatDescriptor::single(t, 0));
+        let work = cat.creation_work();
+        assert!(work > 0.0);
+        let s2 = cat.create_statistic(&db, StatDescriptor::single(t, 0));
+        assert_eq!(s1, s2);
+        assert_eq!(cat.creation_work(), work);
+    }
+
+    #[test]
+    fn drop_list_hides_and_reactivates_free() {
+        let (db, t) = test_db();
+        let mut cat = StatsCatalog::new();
+        let id = cat.create_statistic(&db, StatDescriptor::single(t, 0));
+        cat.move_to_drop_list(id);
+        assert_eq!(cat.active_count(), 0);
+        assert!(cat.find_active(&StatDescriptor::single(t, 0)).is_none());
+        assert!(cat.find_built(&StatDescriptor::single(t, 0)).is_some());
+        let work = cat.creation_work();
+        let again = cat.create_statistic(&db, StatDescriptor::single(t, 0));
+        assert_eq!(again, id);
+        assert_eq!(cat.creation_work(), work, "reactivation must be free");
+        assert_eq!(cat.active_count(), 1);
+    }
+
+    #[test]
+    fn physical_drop_registers_aging() {
+        let (db, t) = test_db();
+        let mut cat = StatsCatalog::new();
+        let id = cat.create_statistic(&db, StatDescriptor::single(t, 0));
+        let desc = StatDescriptor::single(t, 0);
+        assert!(cat.physically_drop(id));
+        assert!(!cat.physically_drop(id));
+        let policy = AgingPolicy {
+            window_epochs: 3,
+            expensive_query_cost: 1000.0,
+        };
+        assert!(cat.is_aged_out(&desc, &policy, 10.0));
+        assert!(!cat.is_aged_out(&desc, &policy, 5000.0), "expensive query overrides aging");
+        cat.advance_epoch();
+        cat.advance_epoch();
+        cat.advance_epoch();
+        assert!(!cat.is_aged_out(&desc, &policy, 10.0), "window expired");
+        assert!(cat.aged_build_cost(&desc).is_some());
+    }
+
+    #[test]
+    fn ignore_view_hides_statistics() {
+        let (db, t) = test_db();
+        let mut cat = StatsCatalog::new();
+        let id = cat.create_statistic(&db, StatDescriptor::single(t, 0));
+        assert!(cat.full_view().histogram_for(t, 0).is_some());
+        let ignore: HashSet<StatId> = [id].into_iter().collect();
+        assert!(cat.view(&ignore).histogram_for(t, 0).is_none());
+    }
+
+    #[test]
+    fn histogram_prefers_exact_single_column() {
+        let (db, t) = test_db();
+        let mut cat = StatsCatalog::new();
+        let multi = cat.create_statistic(&db, StatDescriptor::multi(t, vec![0, 1]));
+        let single = cat.create_statistic(&db, StatDescriptor::single(t, 0));
+        let view = cat.full_view();
+        assert_eq!(view.histogram_for(t, 0).unwrap().id, single);
+        // For leading column of only the multi stat, fallback applies.
+        let ignore: HashSet<StatId> = [single].into_iter().collect();
+        assert_eq!(cat.view(&ignore).histogram_for(t, 0).unwrap().id, multi);
+        // Column 1 is not the leading column of any stat: no histogram.
+        assert!(view.histogram_for(t, 1).is_none());
+    }
+
+    #[test]
+    fn density_for_set_prefers_tightest() {
+        let (db, t) = test_db();
+        let mut cat = StatsCatalog::new();
+        cat.create_statistic(&db, StatDescriptor::multi(t, vec![0, 1]));
+        let pair = cat.full_view().density_for_set(t, &[1, 0]).unwrap();
+        // (a, b) over i%50, i%8 has lcm(50,8)=200 combos in 2000 rows.
+        assert!((pair.1 - 1.0 / 200.0).abs() < 1e-9);
+        assert!(cat.full_view().density_for_set(t, &[1]).is_none());
+    }
+
+    #[test]
+    fn maintenance_updates_and_drops() {
+        let (mut db, t) = test_db();
+        let mut cat = StatsCatalog::new();
+        let id = cat.create_statistic(&db, StatDescriptor::single(t, 0));
+        // Simulate heavy modification.
+        let policy = MaintenancePolicy {
+            update_fraction: 0.1,
+            min_modified_rows: 10,
+            max_updates: 1,
+            drop_only_droplisted: true,
+        };
+        for i in 0..500 {
+            db.table_mut(t)
+                .insert(vec![Value::Int(i), Value::Int(i)])
+                .unwrap();
+        }
+        let r1 = cat.maintain(&mut db, &policy);
+        assert_eq!(r1.statistics_updated, 1);
+        assert!(r1.update_work > 0.0);
+        assert_eq!(r1.statistics_dropped, 0);
+        assert_eq!(db.table(t).modification_counter(), 0);
+
+        // Second heavy modification round: update_count exceeds max_updates,
+        // but the stat is not drop-listed, so the improved policy keeps it.
+        for i in 0..500 {
+            db.table_mut(t)
+                .insert(vec![Value::Int(i), Value::Int(i)])
+                .unwrap();
+        }
+        let r2 = cat.maintain(&mut db, &policy);
+        assert_eq!(r2.statistics_dropped, 0);
+
+        // Drop-list it; the next maintenance pass may drop it physically.
+        cat.move_to_drop_list(id);
+        let r3 = cat.maintain(&mut db, &policy);
+        assert_eq!(r3.statistics_dropped, 1);
+        assert_eq!(cat.total_count(), 0);
+    }
+
+    #[test]
+    fn vanilla_policy_drops_useful_statistics() {
+        let (mut db, t) = test_db();
+        let mut cat = StatsCatalog::new();
+        cat.create_statistic(&db, StatDescriptor::single(t, 0));
+        let policy = MaintenancePolicy {
+            update_fraction: 0.01,
+            min_modified_rows: 1,
+            max_updates: 0,
+            drop_only_droplisted: false,
+        };
+        for i in 0..500 {
+            db.table_mut(t)
+                .insert(vec![Value::Int(i), Value::Int(i)])
+                .unwrap();
+        }
+        let r = cat.maintain(&mut db, &policy);
+        assert_eq!(r.statistics_dropped, 1, "vanilla policy drops regardless of usefulness");
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let (db, t) = test_db();
+        let mut cat = StatsCatalog::new();
+        let a = cat.create_statistic(&db, StatDescriptor::single(t, 0));
+        let b = cat.create_statistic(&db, StatDescriptor::multi(t, vec![0, 1]));
+        cat.move_to_drop_list(b);
+        cat.advance_epoch();
+
+        let snap = cat.snapshot();
+        let restored = StatsCatalog::restore(snap);
+        assert_eq!(restored.active_count(), 1);
+        assert_eq!(restored.total_count(), 2);
+        assert!(restored.is_drop_listed(b));
+        assert_eq!(restored.epoch(), 1);
+        assert_eq!(restored.creation_work(), cat.creation_work());
+        // Lookups and histograms survive.
+        assert_eq!(restored.find_active(&StatDescriptor::single(t, 0)), Some(a));
+        let s = restored.statistic(a).unwrap();
+        assert_eq!(s.leading_ndv(), 50.0);
+        // New statistics continue from the persisted id counter.
+        let mut restored = restored;
+        let c = restored.create_statistic(&db, StatDescriptor::single(t, 1));
+        assert!(c.0 >= 2);
+    }
+
+    #[test]
+    fn update_cost_of_reflects_table_growth() {
+        let (mut db, t) = test_db();
+        let mut cat = StatsCatalog::new();
+        let id = cat.create_statistic(&db, StatDescriptor::single(t, 0));
+        let before = cat.update_cost_of(&db, [id]);
+        for i in 0..2000 {
+            db.table_mut(t)
+                .insert(vec![Value::Int(i), Value::Int(i)])
+                .unwrap();
+        }
+        let after = cat.update_cost_of(&db, [id]);
+        assert!(after > before * 1.5);
+    }
+}

@@ -1,0 +1,586 @@
+//! Histograms over a single column.
+//!
+//! Two classical structures are provided, matching the paper's §3 examples of
+//! "commonly used statistics": **equi-depth** and **MaxDiff** [Poosala et al.,
+//! SIGMOD 1996]. Both operate on the `numeric_key` projection of values, which
+//! preserves order for all supported types (strings are keyed by their first
+//! eight bytes).
+//!
+//! The paper treats histogram structure as orthogonal (§2: "we have studied
+//! the orthogonal problem of deciding *which* columns to build statistics
+//! on"), so the choice of kind is a [`BuildOptions`](crate::BuildOptions)
+//! knob; every algorithm in `autostats` works with either.
+
+use serde::{Deserialize, Serialize};
+use storage::Value;
+
+/// Which construction strategy to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum HistogramKind {
+    /// Buckets hold (approximately) equal row counts.
+    #[default]
+    EquiDepth,
+    /// Bucket boundaries are placed at the largest area differences between
+    /// adjacent attribute values.
+    MaxDiff,
+}
+
+/// One histogram bucket over the numeric-key domain `[lo, hi]` (inclusive).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Bucket {
+    pub lo: f64,
+    pub hi: f64,
+    /// Fraction of (non-null) rows in this bucket.
+    pub fraction: f64,
+    /// Number of distinct values in this bucket.
+    pub distinct: f64,
+}
+
+/// A histogram over the non-null values of one column.
+///
+/// ```
+/// use stats::{Histogram, HistogramKind};
+/// use storage::Value;
+///
+/// let values: Vec<Value> = (0..1000).map(|i| Value::Int(i % 100)).collect();
+/// let h = Histogram::build(HistogramKind::EquiDepth, &values, 32);
+/// assert_eq!(h.ndv(), 100.0);
+/// let sel = h.selectivity_lt(&Value::Int(50));
+/// assert!((sel - 0.5).abs() < 0.05);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    kind: HistogramKind,
+    buckets: Vec<Bucket>,
+    /// Total distinct values observed (or estimated from a sample).
+    ndv: f64,
+    /// Number of (non-null) rows summarized.
+    rows: f64,
+    /// For all-string columns: the longest common prefix of the summarized
+    /// values, stripped before keying. Label columns ("Supplier#000000042")
+    /// would otherwise collapse onto one 8-byte key, making every equality
+    /// estimate 1.0 and every inequality 0.0.
+    str_prefix: Option<String>,
+}
+
+/// Longest common prefix of an all-string value set; `None` when any value
+/// is not a string (mixed or non-string columns key directly).
+fn common_string_prefix(values: &[Value]) -> Option<String> {
+    let mut iter = values.iter();
+    let first = match iter.next()? {
+        Value::Str(s) => s.as_str(),
+        _ => return None,
+    };
+    let mut prefix = first;
+    for v in iter {
+        let Value::Str(s) = v else { return None };
+        let common = prefix
+            .bytes()
+            .zip(s.bytes())
+            .take_while(|(a, b)| a == b)
+            .count();
+        prefix = &prefix[..common];
+        if prefix.is_empty() {
+            break;
+        }
+    }
+    Some(prefix.to_string())
+}
+
+/// 8-byte big-endian key of a byte string (order-preserving over the first
+/// eight bytes).
+fn key8(bytes: &[u8]) -> f64 {
+    let mut key: u64 = 0;
+    for (i, b) in bytes.iter().take(8).enumerate() {
+        key |= (*b as u64) << (56 - 8 * i);
+    }
+    key as f64
+}
+
+impl Histogram {
+    /// Build a histogram from a bag of values with at most `max_buckets`
+    /// buckets. NULLs must be filtered out by the caller ([`Statistic`]
+    /// accounts for the null fraction separately).
+    pub fn build(kind: HistogramKind, values: &[Value], max_buckets: usize) -> Histogram {
+        assert!(max_buckets >= 1, "need at least one bucket");
+        let str_prefix = common_string_prefix(values).filter(|p| !p.is_empty());
+        let key_of = |v: &Value| -> f64 {
+            match (&str_prefix, v) {
+                (Some(p), Value::Str(s)) => key8(&s.as_bytes()[p.len()..]),
+                _ => v.numeric_key(),
+            }
+        };
+        let mut keys: Vec<f64> = values.iter().map(key_of).collect();
+        keys.sort_by(f64::total_cmp);
+        let rows = keys.len() as f64;
+        if keys.is_empty() {
+            return Histogram {
+                kind,
+                buckets: Vec::new(),
+                ndv: 0.0,
+                rows: 0.0,
+                str_prefix: None,
+            };
+        }
+
+        // Run-length encode into (value, frequency) pairs.
+        let mut runs: Vec<(f64, usize)> = Vec::new();
+        for &k in &keys {
+            match runs.last_mut() {
+                Some((v, n)) if *v == k => *n += 1,
+                _ => runs.push((k, 1)),
+            }
+        }
+        let ndv = runs.len() as f64;
+
+        let buckets = match kind {
+            HistogramKind::EquiDepth => Self::equi_depth(&runs, rows, max_buckets),
+            HistogramKind::MaxDiff => Self::max_diff(&runs, rows, max_buckets),
+        };
+        Histogram {
+            kind,
+            buckets,
+            ndv,
+            rows,
+            str_prefix,
+        }
+    }
+
+    /// The key a probe value maps to under this histogram's domain
+    /// transformation. Strings that diverge from the stored common prefix
+    /// fall entirely before or after the domain.
+    fn key_of(&self, v: &Value) -> f64 {
+        match (&self.str_prefix, v) {
+            (Some(p), Value::Str(s)) => match s.as_bytes().strip_prefix(p.as_bytes()) {
+                Some(rest) => key8(rest),
+                None => {
+                    if s.as_str() < p.as_str() {
+                        f64::NEG_INFINITY
+                    } else {
+                        f64::INFINITY
+                    }
+                }
+            },
+            _ => v.numeric_key(),
+        }
+    }
+
+    fn equi_depth(runs: &[(f64, usize)], rows: f64, max_buckets: usize) -> Vec<Bucket> {
+        let target = (rows / max_buckets as f64).max(1.0);
+        let mut buckets = Vec::with_capacity(max_buckets);
+        let mut cur_rows = 0usize;
+        let mut cur_distinct = 0usize;
+        // None = the next run's value opens a fresh bucket; buckets never
+        // overlap (each covers exactly the values it summarizes).
+        let mut cur_lo: Option<f64> = None;
+        let mut prev_val = runs[0].0;
+        for &(v, n) in runs {
+            if cur_rows > 0
+                && (cur_rows + n) as f64 > target * 1.5
+                && buckets.len() + 1 < max_buckets
+            {
+                buckets.push(Bucket {
+                    lo: cur_lo.take().unwrap_or(prev_val),
+                    hi: prev_val,
+                    fraction: cur_rows as f64 / rows,
+                    distinct: cur_distinct as f64,
+                });
+                cur_rows = 0;
+                cur_distinct = 0;
+            }
+            cur_lo.get_or_insert(v);
+            cur_rows += n;
+            cur_distinct += 1;
+            prev_val = v;
+            if cur_rows as f64 >= target && buckets.len() + 1 < max_buckets {
+                buckets.push(Bucket {
+                    lo: cur_lo.take().unwrap_or(v),
+                    hi: v,
+                    fraction: cur_rows as f64 / rows,
+                    distinct: cur_distinct as f64,
+                });
+                cur_rows = 0;
+                cur_distinct = 0;
+            }
+        }
+        if cur_rows > 0 {
+            buckets.push(Bucket {
+                lo: cur_lo.unwrap_or(prev_val),
+                hi: prev_val,
+                fraction: cur_rows as f64 / rows,
+                distinct: cur_distinct as f64,
+            });
+        }
+        buckets
+    }
+
+    fn max_diff(runs: &[(f64, usize)], rows: f64, max_buckets: usize) -> Vec<Bucket> {
+        if runs.len() <= max_buckets {
+            // One bucket per distinct value: exact histogram.
+            return runs
+                .iter()
+                .map(|&(v, n)| Bucket {
+                    lo: v,
+                    hi: v,
+                    fraction: n as f64 / rows,
+                    distinct: 1.0,
+                })
+                .collect();
+        }
+        // Area of a value = frequency * spread to the next value.
+        // Place boundaries after the (max_buckets - 1) largest differences in
+        // area between adjacent values.
+        let mut diffs: Vec<(f64, usize)> = Vec::with_capacity(runs.len() - 1);
+        for i in 0..runs.len() - 1 {
+            let spread_i = runs[i + 1].0 - runs[i].0;
+            let area_i = runs[i].1 as f64 * spread_i.max(f64::MIN_POSITIVE);
+            let spread_next = if i + 2 < runs.len() {
+                runs[i + 2].0 - runs[i + 1].0
+            } else {
+                spread_i
+            };
+            let area_next = runs[i + 1].1 as f64 * spread_next.max(f64::MIN_POSITIVE);
+            diffs.push(((area_next - area_i).abs(), i));
+        }
+        diffs.sort_by(|a, b| b.0.total_cmp(&a.0));
+        let mut cut_after: Vec<usize> = diffs
+            .iter()
+            .take(max_buckets - 1)
+            .map(|&(_, i)| i)
+            .collect();
+        cut_after.sort_unstable();
+
+        let mut buckets = Vec::with_capacity(max_buckets);
+        let mut start = 0usize;
+        for &cut in cut_after.iter().chain(std::iter::once(&(runs.len() - 1))) {
+            let slice = &runs[start..=cut];
+            let count: usize = slice.iter().map(|&(_, n)| n).sum();
+            buckets.push(Bucket {
+                lo: slice[0].0,
+                hi: slice[slice.len() - 1].0,
+                fraction: count as f64 / rows,
+                distinct: slice.len() as f64,
+            });
+            start = cut + 1;
+            if start >= runs.len() {
+                break;
+            }
+        }
+        buckets
+    }
+
+    pub fn kind(&self) -> HistogramKind {
+        self.kind
+    }
+
+    pub fn buckets(&self) -> &[Bucket] {
+        &self.buckets
+    }
+
+    /// Number of distinct values summarized.
+    pub fn ndv(&self) -> f64 {
+        self.ndv
+    }
+
+    /// Number of rows summarized.
+    pub fn rows(&self) -> f64 {
+        self.rows
+    }
+
+    /// Override the distinct count (used when scaling a sample-built
+    /// histogram up to the full table with an NDV estimator).
+    pub fn set_ndv(&mut self, ndv: f64) {
+        self.ndv = ndv.max(1.0);
+    }
+
+    /// Minimum and maximum keys covered.
+    pub fn bounds(&self) -> Option<(f64, f64)> {
+        let first = self.buckets.first()?;
+        let last = self.buckets.last()?;
+        Some((first.lo, last.hi))
+    }
+
+    /// Estimated selectivity of `column = value` among non-null rows.
+    pub fn selectivity_eq(&self, value: &Value) -> f64 {
+        let key = self.key_of(value);
+        for b in &self.buckets {
+            if key >= b.lo && key <= b.hi {
+                return (b.fraction / b.distinct.max(1.0)).clamp(0.0, 1.0);
+            }
+        }
+        0.0
+    }
+
+    /// Estimated selectivity of `column < value` (strict) among non-null
+    /// rows, with continuous interpolation inside the containing bucket.
+    pub fn selectivity_lt(&self, value: &Value) -> f64 {
+        let key = self.key_of(value);
+        let mut acc = 0.0;
+        for b in &self.buckets {
+            if key > b.hi {
+                acc += b.fraction;
+            } else if key <= b.lo {
+                break;
+            } else {
+                let width = (b.hi - b.lo).max(f64::MIN_POSITIVE);
+                acc += b.fraction * ((key - b.lo) / width);
+                break;
+            }
+        }
+        acc.clamp(0.0, 1.0)
+    }
+
+    /// `column <= value`.
+    pub fn selectivity_le(&self, value: &Value) -> f64 {
+        (self.selectivity_lt(value) + self.selectivity_eq(value)).clamp(0.0, 1.0)
+    }
+
+    /// `column > value`.
+    pub fn selectivity_gt(&self, value: &Value) -> f64 {
+        (1.0 - self.selectivity_le(value)).clamp(0.0, 1.0)
+    }
+
+    /// `column >= value`.
+    pub fn selectivity_ge(&self, value: &Value) -> f64 {
+        (1.0 - self.selectivity_lt(value)).clamp(0.0, 1.0)
+    }
+
+    /// `column BETWEEN low AND high` (inclusive).
+    pub fn selectivity_between(&self, low: &Value, high: &Value) -> f64 {
+        if self.key_of(low) > self.key_of(high) {
+            return 0.0;
+        }
+        (self.selectivity_le(high) - self.selectivity_lt(low)).clamp(0.0, 1.0)
+    }
+
+    /// `column <> value`.
+    pub fn selectivity_ne(&self, value: &Value) -> f64 {
+        (1.0 - self.selectivity_eq(value)).clamp(0.0, 1.0)
+    }
+}
+
+/// Estimated selectivity of an equi-join between two columns summarized by
+/// these histograms: the dot product `Σ_v p_a(v) · p_b(v)` of the two value
+/// distributions, approximated bucket-pair-wise under the uniform-within-
+/// bucket assumption.
+///
+/// This degrades gracefully to the textbook `1 / max(NDV)` on uniform data
+/// but — unlike it — correctly predicts the large fan-out of joins on
+/// *skewed* keys (hot values match hot values), which is what makes plans
+/// like index nested-loop joins safe to cost.
+pub fn join_selectivity(a: &Histogram, b: &Histogram) -> f64 {
+    if a.rows() == 0.0 || b.rows() == 0.0 {
+        return 0.0;
+    }
+    // Different string-prefix domains make bucket keys incomparable; fall
+    // back to the textbook uniform estimate.
+    if a.str_prefix != b.str_prefix {
+        return (1.0 / a.ndv().max(b.ndv()).max(1.0)).clamp(0.0, 1.0);
+    }
+    let mut sel = 0.0;
+    for ba in a.buckets() {
+        for bb in b.buckets() {
+            let lo = ba.lo.max(bb.lo);
+            let hi = ba.hi.min(bb.hi);
+            if hi < lo {
+                continue;
+            }
+            // Expected number of a bucket's distinct values falling in the
+            // overlap, modelling values as evenly spaced with inter-value
+            // spacing s = w / (d - 1). The `+ s` padding makes a single-point
+            // overlap contribute ~one value instead of zero, which matters
+            // when a MaxDiff point-bucket (a hot value) meets a wide bucket.
+            let count_in = |b: &Bucket| -> f64 {
+                let w = b.hi - b.lo;
+                let d = b.distinct.max(1.0);
+                if w <= 0.0 {
+                    return d; // point bucket entirely inside the overlap
+                }
+                let s = w / (d - 1.0).max(1.0);
+                (d * ((hi - lo) + s) / (w + s)).min(d)
+            };
+            let common = count_in(ba).min(count_in(bb));
+            if common <= 0.0 {
+                continue;
+            }
+            let mass_a = ba.fraction / ba.distinct.max(1.0);
+            let mass_b = bb.fraction / bb.distinct.max(1.0);
+            sel += common * mass_a * mass_b;
+        }
+    }
+    sel.clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ints(vals: impl IntoIterator<Item = i64>) -> Vec<Value> {
+        vals.into_iter().map(Value::Int).collect()
+    }
+
+    fn uniform_0_99() -> Vec<Value> {
+        ints((0..1000).map(|i| i % 100))
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let h = Histogram::build(HistogramKind::EquiDepth, &[], 10);
+        assert_eq!(h.ndv(), 0.0);
+        assert_eq!(h.selectivity_eq(&Value::Int(5)), 0.0);
+        assert_eq!(h.selectivity_lt(&Value::Int(5)), 0.0);
+        assert!(h.bounds().is_none());
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        for kind in [HistogramKind::EquiDepth, HistogramKind::MaxDiff] {
+            let h = Histogram::build(kind, &uniform_0_99(), 10);
+            let total: f64 = h.buckets().iter().map(|b| b.fraction).sum();
+            assert!((total - 1.0).abs() < 1e-9, "{kind:?}: total={total}");
+        }
+    }
+
+    #[test]
+    fn eq_selectivity_uniform() {
+        let h = Histogram::build(HistogramKind::EquiDepth, &uniform_0_99(), 20);
+        // Every value occurs 10/1000 of the time.
+        let est = h.selectivity_eq(&Value::Int(42));
+        assert!((est - 0.01).abs() < 0.01, "est={est}");
+    }
+
+    #[test]
+    fn range_selectivity_uniform() {
+        let h = Histogram::build(HistogramKind::EquiDepth, &uniform_0_99(), 20);
+        let est = h.selectivity_lt(&Value::Int(50));
+        assert!((est - 0.5).abs() < 0.08, "est={est}");
+        assert!(h.selectivity_lt(&Value::Int(-5)).abs() < 1e-12);
+        assert!((h.selectivity_lt(&Value::Int(1000)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn between_consistent_with_lt() {
+        let h = Histogram::build(HistogramKind::EquiDepth, &uniform_0_99(), 20);
+        let b = h.selectivity_between(&Value::Int(20), &Value::Int(40));
+        let diff = h.selectivity_le(&Value::Int(40)) - h.selectivity_lt(&Value::Int(20));
+        assert!((b - diff).abs() < 1e-12);
+        assert_eq!(h.selectivity_between(&Value::Int(40), &Value::Int(20)), 0.0);
+    }
+
+    #[test]
+    fn maxdiff_exact_for_few_distinct() {
+        // 3 distinct values, 10 buckets available: exact representation.
+        let vals = ints([1, 1, 1, 1, 5, 5, 9, 9, 9, 9]);
+        let h = Histogram::build(HistogramKind::MaxDiff, &vals, 10);
+        assert_eq!(h.buckets().len(), 3);
+        assert!((h.selectivity_eq(&Value::Int(1)) - 0.4).abs() < 1e-12);
+        assert!((h.selectivity_eq(&Value::Int(5)) - 0.2).abs() < 1e-12);
+        assert_eq!(h.selectivity_eq(&Value::Int(7)), 0.0);
+    }
+
+    #[test]
+    fn maxdiff_respects_bucket_budget() {
+        let vals = ints((0..500).map(|i| (i * i) % 251));
+        let h = Histogram::build(HistogramKind::MaxDiff, &vals, 8);
+        assert!(h.buckets().len() <= 8);
+        let total: f64 = h.buckets().iter().map(|b| b.fraction).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn skewed_distribution_eq_estimates() {
+        // 900 copies of 1, 100 distinct others.
+        let mut vals = ints(std::iter::repeat_n(1, 900));
+        vals.extend(ints(1000..1100));
+        let h = Histogram::build(HistogramKind::MaxDiff, &vals, 20);
+        let hot = h.selectivity_eq(&Value::Int(1));
+        assert!(hot > 0.5, "hot value underestimated: {hot}");
+    }
+
+    #[test]
+    fn ndv_counts_distincts() {
+        let h = Histogram::build(HistogramKind::EquiDepth, &uniform_0_99(), 10);
+        assert_eq!(h.ndv(), 100.0);
+    }
+
+    #[test]
+    fn complement_identities() {
+        let h = Histogram::build(HistogramKind::EquiDepth, &uniform_0_99(), 16);
+        let v = Value::Int(37);
+        assert!((h.selectivity_le(&v) + h.selectivity_gt(&v) - 1.0).abs() < 1e-9);
+        assert!((h.selectivity_lt(&v) + h.selectivity_ge(&v) - 1.0).abs() < 1e-9);
+        assert!((h.selectivity_eq(&v) + h.selectivity_ne(&v) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn join_selectivity_uniform_matches_textbook() {
+        // Two uniform columns over 0..99: textbook sel = 1/100.
+        let a = Histogram::build(HistogramKind::EquiDepth, &uniform_0_99(), 20);
+        let b = Histogram::build(HistogramKind::EquiDepth, &uniform_0_99(), 20);
+        let sel = join_selectivity(&a, &b);
+        assert!((sel - 0.01).abs() < 0.004, "sel={sel}");
+    }
+
+    #[test]
+    fn join_selectivity_skew_exceeds_textbook() {
+        // 90% of both sides is the single value 1: the join fan-out is huge
+        // and 1/max(ndv) would wildly underestimate it.
+        let mut vals = ints(std::iter::repeat_n(1, 900));
+        vals.extend(ints(1000..1100));
+        let a = Histogram::build(HistogramKind::MaxDiff, &vals, 30);
+        let sel = join_selectivity(&a, &a);
+        let textbook = 1.0 / a.ndv();
+        assert!(sel > 0.5, "sel={sel}");
+        assert!(sel > 10.0 * textbook);
+    }
+
+    #[test]
+    fn join_selectivity_disjoint_domains_is_zero() {
+        let a = Histogram::build(HistogramKind::EquiDepth, &ints(0..100), 10);
+        let b = Histogram::build(HistogramKind::EquiDepth, &ints(1000..1100), 10);
+        assert_eq!(join_selectivity(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn join_selectivity_empty_side_is_zero() {
+        let a = Histogram::build(HistogramKind::EquiDepth, &ints(0..10), 4);
+        let e = Histogram::build(HistogramKind::EquiDepth, &[], 4);
+        assert_eq!(join_selectivity(&a, &e), 0.0);
+    }
+
+    #[test]
+    fn shared_prefix_strings_stay_distinct() {
+        // Label columns like "Supplier#000000042" share a long prefix; the
+        // histogram must still distinguish them.
+        let vals: Vec<Value> = (0..100)
+            .map(|i| Value::Str(format!("Supplier#{i:09}")))
+            .collect();
+        let h = Histogram::build(HistogramKind::MaxDiff, &vals, 64);
+        assert_eq!(h.ndv(), 100.0);
+        let eq = h.selectivity_eq(&Value::Str("Supplier#000000042".into()));
+        assert!((eq - 0.01).abs() < 0.01, "eq={eq}");
+        let ne = h.selectivity_ne(&Value::Str("Supplier#000000042".into()));
+        assert!(ne > 0.9, "ne={ne}");
+        // A probe outside the shared prefix misses entirely.
+        assert_eq!(h.selectivity_eq(&Value::Str("Customer#1".into())), 0.0);
+        assert_eq!(h.selectivity_lt(&Value::Str("A".into())), 0.0);
+        assert!((h.selectivity_lt(&Value::Str("Z".into())) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mixed_prefix_join_falls_back_to_ndv() {
+        let a: Vec<Value> = (0..50).map(|i| Value::Str(format!("aa{i:03}"))).collect();
+        let b: Vec<Value> = (0..50).map(|i| Value::Str(format!("bb{i:03}"))).collect();
+        let ha = Histogram::build(HistogramKind::EquiDepth, &a, 16);
+        let hb = Histogram::build(HistogramKind::EquiDepth, &b, 16);
+        let sel = join_selectivity(&ha, &hb);
+        assert!((sel - 1.0 / 50.0).abs() < 1e-9, "sel={sel}");
+    }
+
+    #[test]
+    fn single_bucket_histogram() {
+        let h = Histogram::build(HistogramKind::EquiDepth, &ints(0..100), 1);
+        assert_eq!(h.buckets().len(), 1);
+        assert!((h.selectivity_lt(&Value::Int(50)) - 0.5).abs() < 0.02);
+    }
+}

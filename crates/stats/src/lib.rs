@@ -1,0 +1,35 @@
+//! The statistics subsystem.
+//!
+//! A *statistic* (§3 of the paper) is a summary structure on one or more
+//! columns of a relation. Mirroring Microsoft SQL Server 7.0 as described in
+//! §7.1, a multi-column statistic on `(a, b, c)` is **asymmetric**: it holds
+//! a full histogram on the leading column `a` plus *density* information
+//! (average fraction of rows per distinct combination, i.e. `1/NDV`) for each
+//! leading prefix `(a)`, `(a, b)`, `(a, b, c)`.
+//!
+//! The [`StatsCatalog`] stores built statistics, supports the
+//! `Ignore_Statistics_Subset` server extension (§7.2) via [`StatsView`],
+//! maintains the **drop-list** of statistics identified as non-essential
+//! (§5), the **aging registry** that dampens re-creation of recently dropped
+//! statistics (§6), and the per-table auto-update/auto-drop counters of the
+//! SQL Server policy (§6).
+//!
+//! All creation and update work is metered through a deterministic cost model
+//! ([`cost`]) so that the paper's "statistics creation time" and "update
+//! cost" results can be reproduced as ratios without hardware timing noise.
+
+pub mod catalog;
+pub mod cost;
+pub mod histogram;
+pub mod mhist;
+pub mod ndv;
+pub mod sampler;
+pub mod statistic;
+
+pub use catalog::{AgingPolicy, CatalogSnapshot, MaintenancePolicy, MaintenanceReport, StatsCatalog, StatsView};
+pub use cost::CostModel;
+pub use histogram::{join_selectivity, Histogram, HistogramKind};
+pub use mhist::{Histogram2d, RangeQuery};
+pub use ndv::estimate_ndv;
+pub use sampler::SampleSpec;
+pub use statistic::{BuildOptions, StatDescriptor, StatId, Statistic};

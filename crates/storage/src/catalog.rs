@@ -1,0 +1,170 @@
+//! The database catalog: tables by id/name plus index metadata.
+
+use crate::error::StorageError;
+use crate::index::Index;
+use crate::schema::Schema;
+use crate::table::Table;
+use crate::Result;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Stable identifier of a table within a [`Database`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TableId(pub u32);
+
+impl fmt::Display for TableId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// An in-memory database: a set of tables and their indexes.
+#[derive(Debug, Default, Clone)]
+pub struct Database {
+    tables: Vec<Table>,
+    by_name: HashMap<String, TableId>,
+    indexes: Vec<Index>,
+}
+
+impl Database {
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Create a table; returns its id.
+    pub fn create_table(&mut self, name: impl Into<String>, schema: Schema) -> Result<TableId> {
+        let name = name.into();
+        let key = name.to_ascii_lowercase();
+        if self.by_name.contains_key(&key) {
+            return Err(StorageError::DuplicateTable(name));
+        }
+        let id = TableId(self.tables.len() as u32);
+        self.tables.push(Table::new(name, schema));
+        self.by_name.insert(key, id);
+        Ok(id)
+    }
+
+    pub fn table_id(&self, name: &str) -> Option<TableId> {
+        self.by_name.get(&name.to_ascii_lowercase()).copied()
+    }
+
+    pub fn table(&self, id: TableId) -> &Table {
+        &self.tables[id.0 as usize]
+    }
+
+    pub fn table_mut(&mut self, id: TableId) -> &mut Table {
+        &mut self.tables[id.0 as usize]
+    }
+
+    pub fn table_by_name(&self, name: &str) -> Result<&Table> {
+        self.table_id(name)
+            .map(|id| self.table(id))
+            .ok_or_else(|| StorageError::UnknownTable(name.to_string()))
+    }
+
+    pub fn table_by_name_mut(&mut self, name: &str) -> Result<&mut Table> {
+        let id = self
+            .table_id(name)
+            .ok_or_else(|| StorageError::UnknownTable(name.to_string()))?;
+        Ok(self.table_mut(id))
+    }
+
+    /// All table ids, in creation order.
+    pub fn table_ids(&self) -> impl Iterator<Item = TableId> + '_ {
+        (0..self.tables.len() as u32).map(TableId)
+    }
+
+    pub fn table_count(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Create an index over `columns` (ordinals) of `table`.
+    pub fn create_index(
+        &mut self,
+        name: impl Into<String>,
+        table: TableId,
+        columns: Vec<usize>,
+    ) -> Result<&Index> {
+        let name = name.into();
+        if self.indexes.iter().any(|i| i.name == name) {
+            return Err(StorageError::DuplicateIndex(name));
+        }
+        self.indexes.push(Index::new(name, table, columns));
+        Ok(self.indexes.last().expect("just pushed"))
+    }
+
+    pub fn indexes(&self) -> &[Index] {
+        &self.indexes
+    }
+
+    /// Indexes on the given table.
+    pub fn indexes_on(&self, table: TableId) -> impl Iterator<Item = &Index> {
+        self.indexes.iter().filter(move |i| i.table == table)
+    }
+
+    /// Total rows across all tables (used for scale diagnostics).
+    pub fn total_rows(&self) -> usize {
+        self.tables.iter().map(|t| t.row_count()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnDef;
+    use crate::value::{DataType, Value};
+
+    fn db_with_table() -> (Database, TableId) {
+        let mut db = Database::new();
+        let id = db
+            .create_table(
+                "t",
+                Schema::new(vec![
+                    ColumnDef::new("a", DataType::Int),
+                    ColumnDef::new("b", DataType::Int),
+                ]),
+            )
+            .unwrap();
+        (db, id)
+    }
+
+    #[test]
+    fn create_and_lookup_table() {
+        let (db, id) = db_with_table();
+        assert_eq!(db.table_id("T"), Some(id));
+        assert_eq!(db.table(id).name(), "t");
+        assert!(db.table_by_name("missing").is_err());
+    }
+
+    #[test]
+    fn duplicate_table_rejected() {
+        let (mut db, _) = db_with_table();
+        let err = db
+            .create_table("T", Schema::new(vec![ColumnDef::new("x", DataType::Int)]))
+            .unwrap_err();
+        assert!(matches!(err, StorageError::DuplicateTable(_)));
+    }
+
+    #[test]
+    fn indexes_on_filters_by_table() {
+        let (mut db, id) = db_with_table();
+        let id2 = db
+            .create_table("u", Schema::new(vec![ColumnDef::new("x", DataType::Int)]))
+            .unwrap();
+        db.create_index("i1", id, vec![0]).unwrap();
+        db.create_index("i2", id2, vec![0]).unwrap();
+        assert_eq!(db.indexes_on(id).count(), 1);
+        assert_eq!(db.indexes().len(), 2);
+        assert!(db.create_index("i1", id, vec![1]).is_err());
+    }
+
+    #[test]
+    fn total_rows_sums_tables() {
+        let (mut db, id) = db_with_table();
+        db.table_mut(id)
+            .insert(vec![Value::Int(1), Value::Int(2)])
+            .unwrap();
+        assert_eq!(db.total_rows(), 1);
+    }
+}

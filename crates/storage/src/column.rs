@@ -1,0 +1,284 @@
+//! Columnar value storage.
+//!
+//! Each column is a typed `Vec` plus a validity bitmap. Deleted rows are
+//! compacted eagerly (tables here are small enough that shifting is cheaper
+//! than tombstone bookkeeping, and statistics builders want dense columns).
+
+use crate::value::{DataType, Value};
+
+/// Storage for one column of a table.
+#[derive(Debug, Clone)]
+pub struct ColumnData {
+    data_type: DataType,
+    ints: Vec<i64>,
+    floats: Vec<f64>,
+    strs: Vec<String>,
+    /// validity[i] == false means row i is NULL.
+    validity: Vec<bool>,
+}
+
+impl ColumnData {
+    pub fn new(data_type: DataType) -> Self {
+        ColumnData {
+            data_type,
+            ints: Vec::new(),
+            floats: Vec::new(),
+            strs: Vec::new(),
+            validity: Vec::new(),
+        }
+    }
+
+    pub fn with_capacity(data_type: DataType, cap: usize) -> Self {
+        let mut c = ColumnData::new(data_type);
+        match data_type {
+            DataType::Int | DataType::Date => c.ints.reserve(cap),
+            DataType::Float => c.floats.reserve(cap),
+            DataType::Str => c.strs.reserve(cap),
+        }
+        c.validity.reserve(cap);
+        c
+    }
+
+    pub fn data_type(&self) -> DataType {
+        self.data_type
+    }
+
+    pub fn len(&self) -> usize {
+        self.validity.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.validity.is_empty()
+    }
+
+    /// Append a value. The caller (Table) is responsible for type checking;
+    /// this method panics on a type mismatch since it indicates a bug above.
+    pub fn push(&mut self, v: Value) {
+        match (&v, self.data_type) {
+            (Value::Null, _) => {
+                self.validity.push(false);
+                match self.data_type {
+                    DataType::Int | DataType::Date => self.ints.push(0),
+                    DataType::Float => self.floats.push(0.0),
+                    DataType::Str => self.strs.push(String::new()),
+                }
+            }
+            (Value::Int(i), DataType::Int) => {
+                self.ints.push(*i);
+                self.validity.push(true);
+            }
+            (Value::Date(d), DataType::Date) => {
+                self.ints.push(*d as i64);
+                self.validity.push(true);
+            }
+            (Value::Int(i), DataType::Date) => {
+                self.ints.push(*i);
+                self.validity.push(true);
+            }
+            (Value::Float(f), DataType::Float) => {
+                self.floats.push(*f);
+                self.validity.push(true);
+            }
+            (Value::Int(i), DataType::Float) => {
+                self.floats.push(*i as f64);
+                self.validity.push(true);
+            }
+            (Value::Str(_), DataType::Str) => {
+                if let Value::Str(s) = v {
+                    self.strs.push(s);
+                    self.validity.push(true);
+                }
+            }
+            _ => panic!(
+                "type mismatch pushing {:?} into {:?} column",
+                v.data_type(),
+                self.data_type
+            ),
+        }
+    }
+
+    /// Value at row `i`.
+    pub fn get(&self, i: usize) -> Value {
+        if !self.validity[i] {
+            return Value::Null;
+        }
+        match self.data_type {
+            DataType::Int => Value::Int(self.ints[i]),
+            DataType::Date => Value::Date(self.ints[i] as i32),
+            DataType::Float => Value::Float(self.floats[i]),
+            DataType::Str => Value::Str(self.strs[i].clone()),
+        }
+    }
+
+    /// Overwrite row `i`.
+    pub fn set(&mut self, i: usize, v: Value) {
+        match (&v, self.data_type) {
+            (Value::Null, _) => self.validity[i] = false,
+            (Value::Int(x), DataType::Int) => {
+                self.ints[i] = *x;
+                self.validity[i] = true;
+            }
+            (Value::Date(d), DataType::Date) => {
+                self.ints[i] = *d as i64;
+                self.validity[i] = true;
+            }
+            (Value::Int(x), DataType::Date) => {
+                self.ints[i] = *x;
+                self.validity[i] = true;
+            }
+            (Value::Float(x), DataType::Float) => {
+                self.floats[i] = *x;
+                self.validity[i] = true;
+            }
+            (Value::Int(x), DataType::Float) => {
+                self.floats[i] = *x as f64;
+                self.validity[i] = true;
+            }
+            (Value::Str(_), DataType::Str) => {
+                if let Value::Str(s) = v {
+                    self.strs[i] = s;
+                    self.validity[i] = true;
+                }
+            }
+            _ => panic!(
+                "type mismatch setting {:?} into {:?} column",
+                v.data_type(),
+                self.data_type
+            ),
+        }
+    }
+
+    /// Remove the rows whose indices are in `sorted_rows` (ascending, unique)
+    /// by compaction.
+    pub fn delete_rows(&mut self, sorted_rows: &[usize]) {
+        if sorted_rows.is_empty() {
+            return;
+        }
+        let mut drop_iter = sorted_rows.iter().peekable();
+        let mut write = 0usize;
+        let n = self.len();
+        for read in 0..n {
+            if drop_iter.peek() == Some(&&read) {
+                drop_iter.next();
+                continue;
+            }
+            if write != read {
+                self.validity[write] = self.validity[read];
+                match self.data_type {
+                    DataType::Int | DataType::Date => self.ints[write] = self.ints[read],
+                    DataType::Float => self.floats[write] = self.floats[read],
+                    DataType::Str => self.strs[write] = std::mem::take(&mut self.strs[read]),
+                }
+            }
+            write += 1;
+        }
+        self.validity.truncate(write);
+        match self.data_type {
+            DataType::Int | DataType::Date => self.ints.truncate(write),
+            DataType::Float => self.floats.truncate(write),
+            DataType::Str => self.strs.truncate(write),
+        }
+    }
+
+    /// Iterator over all values including NULLs.
+    pub fn iter(&self) -> impl Iterator<Item = Value> + '_ {
+        (0..self.len()).map(move |i| self.get(i))
+    }
+
+    /// Dense vector of all non-null values (statistics builders use this).
+    pub fn non_null_values(&self) -> Vec<Value> {
+        let mut out = Vec::with_capacity(self.len());
+        for i in 0..self.len() {
+            if self.validity[i] {
+                out.push(self.get(i));
+            }
+        }
+        out
+    }
+
+    /// Count of NULL entries.
+    pub fn null_count(&self) -> usize {
+        self.validity.iter().filter(|v| !**v).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_get_roundtrip_all_types() {
+        let mut c = ColumnData::new(DataType::Int);
+        c.push(Value::Int(5));
+        c.push(Value::Null);
+        assert_eq!(c.get(0), Value::Int(5));
+        assert_eq!(c.get(1), Value::Null);
+        assert_eq!(c.null_count(), 1);
+
+        let mut s = ColumnData::new(DataType::Str);
+        s.push(Value::Str("hi".into()));
+        assert_eq!(s.get(0), Value::Str("hi".into()));
+
+        let mut d = ColumnData::new(DataType::Date);
+        d.push(Value::Date(100));
+        d.push(Value::Int(101)); // int coerces into date storage
+        assert_eq!(d.get(0), Value::Date(100));
+        assert_eq!(d.get(1), Value::Date(101));
+
+        let mut f = ColumnData::new(DataType::Float);
+        f.push(Value::Int(3)); // widening coercion
+        assert_eq!(f.get(0), Value::Float(3.0));
+    }
+
+    #[test]
+    fn delete_rows_compacts() {
+        let mut c = ColumnData::new(DataType::Int);
+        for i in 0..6 {
+            c.push(Value::Int(i));
+        }
+        c.delete_rows(&[1, 4]);
+        let vals: Vec<Value> = c.iter().collect();
+        assert_eq!(
+            vals,
+            vec![Value::Int(0), Value::Int(2), Value::Int(3), Value::Int(5)]
+        );
+    }
+
+    #[test]
+    fn delete_rows_string_column() {
+        let mut c = ColumnData::new(DataType::Str);
+        for s in ["a", "b", "c", "d"] {
+            c.push(Value::Str(s.into()));
+        }
+        c.delete_rows(&[0, 3]);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(0), Value::Str("b".into()));
+        assert_eq!(c.get(1), Value::Str("c".into()));
+    }
+
+    #[test]
+    fn set_overwrites_and_nulls() {
+        let mut c = ColumnData::new(DataType::Int);
+        c.push(Value::Int(1));
+        c.set(0, Value::Int(9));
+        assert_eq!(c.get(0), Value::Int(9));
+        c.set(0, Value::Null);
+        assert_eq!(c.get(0), Value::Null);
+    }
+
+    #[test]
+    #[should_panic(expected = "type mismatch")]
+    fn push_wrong_type_panics() {
+        let mut c = ColumnData::new(DataType::Int);
+        c.push(Value::Str("oops".into()));
+    }
+
+    #[test]
+    fn non_null_values_skips_nulls() {
+        let mut c = ColumnData::new(DataType::Int);
+        c.push(Value::Int(1));
+        c.push(Value::Null);
+        c.push(Value::Int(2));
+        assert_eq!(c.non_null_values(), vec![Value::Int(1), Value::Int(2)]);
+    }
+}

@@ -1,0 +1,57 @@
+//! Storage-level errors.
+
+use std::fmt;
+
+/// Errors raised by the storage engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// The named table does not exist.
+    UnknownTable(String),
+    /// The named column does not exist in the given table.
+    UnknownColumn { table: String, column: String },
+    /// A value's type does not match the column definition.
+    TypeMismatch {
+        table: String,
+        column: String,
+        expected: String,
+        found: String,
+    },
+    /// A row had the wrong number of values.
+    ArityMismatch { expected: usize, found: usize },
+    /// A table with this name already exists.
+    DuplicateTable(String),
+    /// An index with this name already exists.
+    DuplicateIndex(String),
+    /// NULL was inserted into a NOT NULL column.
+    NullViolation { table: String, column: String },
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::UnknownTable(t) => write!(f, "unknown table '{t}'"),
+            StorageError::UnknownColumn { table, column } => {
+                write!(f, "unknown column '{column}' in table '{table}'")
+            }
+            StorageError::TypeMismatch {
+                table,
+                column,
+                expected,
+                found,
+            } => write!(
+                f,
+                "type mismatch in {table}.{column}: expected {expected}, found {found}"
+            ),
+            StorageError::ArityMismatch { expected, found } => {
+                write!(f, "row arity mismatch: expected {expected} values, found {found}")
+            }
+            StorageError::DuplicateTable(t) => write!(f, "table '{t}' already exists"),
+            StorageError::DuplicateIndex(i) => write!(f, "index '{i}' already exists"),
+            StorageError::NullViolation { table, column } => {
+                write!(f, "NULL inserted into NOT NULL column {table}.{column}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}

@@ -1,0 +1,237 @@
+//! Tables: a schema, one `ColumnData` per column, and the row-modification
+//! counter that drives the auto-update/auto-drop statistics policy (§6 of the
+//! paper: "the server maintains a counter for each table that records the
+//! number of rows modified since the last time statistics on the table were
+//! updated").
+
+use crate::column::ColumnData;
+use crate::error::StorageError;
+use crate::schema::Schema;
+use crate::value::Value;
+use crate::Result;
+
+/// A stored table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    name: String,
+    schema: Schema,
+    columns: Vec<ColumnData>,
+    /// Rows modified (inserted + deleted + updated) since the counter was
+    /// last reset by a statistics update.
+    modification_counter: u64,
+}
+
+impl Table {
+    pub fn new(name: impl Into<String>, schema: Schema) -> Self {
+        let columns = schema
+            .columns()
+            .iter()
+            .map(|c| ColumnData::new(c.data_type))
+            .collect();
+        Table {
+            name: name.into(),
+            schema,
+            columns,
+            modification_counter: 0,
+        }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    pub fn row_count(&self) -> usize {
+        self.columns.first().map_or(0, |c| c.len())
+    }
+
+    pub fn column(&self, idx: usize) -> &ColumnData {
+        &self.columns[idx]
+    }
+
+    /// Value of column `col` at row `row`.
+    pub fn value(&self, row: usize, col: usize) -> Value {
+        self.columns[col].get(row)
+    }
+
+    /// Modification counter since last statistics refresh.
+    pub fn modification_counter(&self) -> u64 {
+        self.modification_counter
+    }
+
+    /// Reset the modification counter (called when statistics on this table
+    /// are rebuilt).
+    pub fn reset_modification_counter(&mut self) {
+        self.modification_counter = 0;
+    }
+
+    fn check_row(&self, row: &[Value]) -> Result<()> {
+        if row.len() != self.schema.len() {
+            return Err(StorageError::ArityMismatch {
+                expected: self.schema.len(),
+                found: row.len(),
+            });
+        }
+        for (i, v) in row.iter().enumerate() {
+            let def = self.schema.column(i);
+            if v.is_null() {
+                if !def.nullable {
+                    return Err(StorageError::NullViolation {
+                        table: self.name.clone(),
+                        column: def.name.clone(),
+                    });
+                }
+                continue;
+            }
+            let vt = v.data_type().expect("non-null value has a type");
+            let compatible = vt == def.data_type
+                || matches!(
+                    (vt, def.data_type),
+                    (
+                        crate::value::DataType::Int,
+                        crate::value::DataType::Float | crate::value::DataType::Date
+                    )
+                );
+            if !compatible {
+                return Err(StorageError::TypeMismatch {
+                    table: self.name.clone(),
+                    column: def.name.clone(),
+                    expected: def.data_type.to_string(),
+                    found: vt.to_string(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Insert one row.
+    pub fn insert(&mut self, row: Vec<Value>) -> Result<()> {
+        self.check_row(&row)?;
+        for (col, v) in self.columns.iter_mut().zip(row) {
+            col.push(v);
+        }
+        self.modification_counter += 1;
+        Ok(())
+    }
+
+    /// Insert many rows; validates each row before mutating anything for it.
+    pub fn insert_many(&mut self, rows: Vec<Vec<Value>>) -> Result<()> {
+        for row in rows {
+            self.insert(row)?;
+        }
+        Ok(())
+    }
+
+    /// Delete the given row indices (need not be sorted). Returns the number
+    /// of rows deleted.
+    pub fn delete_rows(&mut self, mut rows: Vec<usize>) -> usize {
+        rows.sort_unstable();
+        rows.dedup();
+        rows.retain(|&r| r < self.row_count());
+        for col in &mut self.columns {
+            col.delete_rows(&rows);
+        }
+        self.modification_counter += rows.len() as u64;
+        rows.len()
+    }
+
+    /// Update column `col` of each row in `rows` to `value`.
+    pub fn update_rows(&mut self, rows: &[usize], col: usize, value: &Value) -> usize {
+        let mut n = 0;
+        for &r in rows {
+            if r < self.row_count() {
+                self.columns[col].set(r, value.clone());
+                n += 1;
+            }
+        }
+        self.modification_counter += n as u64;
+        n
+    }
+
+    /// Byte width of a full row under the cost model.
+    pub fn row_width(&self) -> usize {
+        self.schema.row_width()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnDef;
+    use crate::value::DataType;
+
+    fn people() -> Table {
+        Table::new(
+            "people",
+            Schema::new(vec![
+                ColumnDef::new("id", DataType::Int),
+                ColumnDef::new("name", DataType::Str),
+                ColumnDef::new("age", DataType::Int).nullable(),
+            ]),
+        )
+    }
+
+    #[test]
+    fn insert_and_read_back() {
+        let mut t = people();
+        t.insert(vec![Value::Int(1), "ann".into(), Value::Int(30)])
+            .unwrap();
+        t.insert(vec![Value::Int(2), "bob".into(), Value::Null])
+            .unwrap();
+        assert_eq!(t.row_count(), 2);
+        assert_eq!(t.value(0, 1), Value::Str("ann".into()));
+        assert_eq!(t.value(1, 2), Value::Null);
+    }
+
+    #[test]
+    fn modification_counter_tracks_dml() {
+        let mut t = people();
+        for i in 0..5 {
+            t.insert(vec![Value::Int(i), "x".into(), Value::Int(i)])
+                .unwrap();
+        }
+        assert_eq!(t.modification_counter(), 5);
+        t.delete_rows(vec![0, 2]);
+        assert_eq!(t.modification_counter(), 7);
+        t.update_rows(&[0], 2, &Value::Int(99));
+        assert_eq!(t.modification_counter(), 8);
+        t.reset_modification_counter();
+        assert_eq!(t.modification_counter(), 0);
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let mut t = people();
+        let err = t.insert(vec![Value::Int(1)]).unwrap_err();
+        assert!(matches!(err, StorageError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn type_mismatch_rejected() {
+        let mut t = people();
+        let err = t
+            .insert(vec!["oops".into(), "ann".into(), Value::Int(1)])
+            .unwrap_err();
+        assert!(matches!(err, StorageError::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn null_violation_rejected() {
+        let mut t = people();
+        let err = t
+            .insert(vec![Value::Null, "ann".into(), Value::Int(1)])
+            .unwrap_err();
+        assert!(matches!(err, StorageError::NullViolation { .. }));
+    }
+
+    #[test]
+    fn delete_out_of_range_ignored() {
+        let mut t = people();
+        t.insert(vec![Value::Int(1), "a".into(), Value::Null]).unwrap();
+        assert_eq!(t.delete_rows(vec![5, 0, 0]), 1);
+        assert_eq!(t.row_count(), 0);
+    }
+}

@@ -1,0 +1,265 @@
+//! Typed scalar values and their data types.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// The data types supported by the storage engine.
+///
+/// `Date` is stored as days since 1970-01-01, which is enough for TPC-D style
+/// date arithmetic and range predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataType {
+    Int,
+    Float,
+    Str,
+    Date,
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataType::Int => write!(f, "INT"),
+            DataType::Float => write!(f, "FLOAT"),
+            DataType::Str => write!(f, "VARCHAR"),
+            DataType::Date => write!(f, "DATE"),
+        }
+    }
+}
+
+impl DataType {
+    /// Approximate width in bytes of one value of this type; used by the
+    /// statistics-creation cost model (cost of scanning a column is
+    /// proportional to `rows * width`).
+    pub fn byte_width(self) -> usize {
+        match self {
+            DataType::Int => 8,
+            DataType::Float => 8,
+            DataType::Str => 16,
+            DataType::Date => 4,
+        }
+    }
+}
+
+/// A scalar value. `Null` compares less than every non-null value so that
+/// sorting and histogram construction have a total order.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Value {
+    Null,
+    Int(i64),
+    Float(f64),
+    Str(String),
+    /// Days since the Unix epoch.
+    Date(i32),
+}
+
+impl Value {
+    /// The data type of this value, or `None` for `Null`.
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Int(_) => Some(DataType::Int),
+            Value::Float(_) => Some(DataType::Float),
+            Value::Str(_) => Some(DataType::Str),
+            Value::Date(_) => Some(DataType::Date),
+        }
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Numeric view of the value used for histogram bucket boundaries.
+    /// Strings hash onto a stable numeric key preserving lexicographic order
+    /// over the first eight bytes, which is the usual trick for string
+    /// histograms.
+    pub fn numeric_key(&self) -> f64 {
+        match self {
+            Value::Null => f64::NEG_INFINITY,
+            Value::Int(i) => *i as f64,
+            Value::Float(f) => *f,
+            Value::Date(d) => *d as f64,
+            Value::Str(s) => {
+                let mut key: u64 = 0;
+                for (i, b) in s.bytes().take(8).enumerate() {
+                    key |= (b as u64) << (56 - 8 * i);
+                }
+                key as f64
+            }
+        }
+    }
+
+    /// True when `self op other` holds under SQL comparison semantics
+    /// (`Null` compared with anything is false).
+    pub fn sql_cmp(&self, other: &Value) -> Option<Ordering> {
+        if self.is_null() || other.is_null() {
+            return None;
+        }
+        Some(self.total_cmp(other))
+    }
+
+    /// Total order used for sorting; `Null` sorts first.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Null, _) => Ordering::Less,
+            (_, Null) => Ordering::Greater,
+            (Int(a), Int(b)) => a.cmp(b),
+            (Float(a), Float(b)) => a.total_cmp(b),
+            (Int(a), Float(b)) => (*a as f64).total_cmp(b),
+            (Float(a), Int(b)) => a.total_cmp(&(*b as f64)),
+            (Date(a), Date(b)) => a.cmp(b),
+            (Int(a), Date(b)) => a.cmp(&(*b as i64)),
+            (Date(a), Int(b)) => (*a as i64).cmp(b),
+            (Str(a), Str(b)) => a.cmp(b),
+            // Cross-type comparisons between incompatible types fall back to
+            // the numeric key so the order is still total.
+            (a, b) => a.numeric_key().total_cmp(&b.numeric_key()),
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.total_cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.total_cmp(other)
+    }
+}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => 0u8.hash(state),
+            Value::Int(i) => {
+                1u8.hash(state);
+                i.hash(state);
+            }
+            Value::Float(f) => {
+                // Hash floats by bit pattern of the canonicalized value so
+                // that `Int(2)` and `Float(2.0)` do NOT collide silently:
+                // join keys are always same-typed in our plans.
+                2u8.hash(state);
+                f.to_bits().hash(state);
+            }
+            Value::Str(s) => {
+                3u8.hash(state);
+                s.hash(state);
+            }
+            Value::Date(d) => {
+                4u8.hash(state);
+                d.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "'{}'", s.replace('\'', "''")),
+            Value::Date(d) => write!(f, "DATE {d}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of(v: &Value) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn null_sorts_first() {
+        let mut vals = [Value::Int(3), Value::Null, Value::Int(-1)];
+        vals.sort();
+        assert_eq!(vals[0], Value::Null);
+        assert_eq!(vals[1], Value::Int(-1));
+    }
+
+    #[test]
+    fn sql_cmp_with_null_is_none() {
+        assert!(Value::Null.sql_cmp(&Value::Int(1)).is_none());
+        assert!(Value::Int(1).sql_cmp(&Value::Null).is_none());
+        assert_eq!(
+            Value::Int(1).sql_cmp(&Value::Int(2)),
+            Some(Ordering::Less)
+        );
+    }
+
+    #[test]
+    fn mixed_numeric_comparison() {
+        assert_eq!(Value::Int(2).total_cmp(&Value::Float(2.0)), Ordering::Equal);
+        assert_eq!(Value::Int(2).total_cmp(&Value::Float(2.5)), Ordering::Less);
+        assert_eq!(Value::Date(10).total_cmp(&Value::Int(9)), Ordering::Greater);
+    }
+
+    #[test]
+    fn string_numeric_key_preserves_prefix_order() {
+        let a = Value::Str("apple".into());
+        let b = Value::Str("banana".into());
+        assert!(a.numeric_key() < b.numeric_key());
+    }
+
+    #[test]
+    fn equal_values_hash_equal() {
+        let a = Value::Str("x".into());
+        let b = Value::Str("x".into());
+        assert_eq!(hash_of(&a), hash_of(&b));
+    }
+
+    #[test]
+    fn display_quotes_strings() {
+        assert_eq!(Value::Str("o'brien".into()).to_string(), "'o''brien'");
+        assert_eq!(Value::Int(7).to_string(), "7");
+    }
+
+    #[test]
+    fn byte_widths() {
+        assert_eq!(DataType::Int.byte_width(), 8);
+        assert_eq!(DataType::Date.byte_width(), 4);
+    }
+}

@@ -1,0 +1,172 @@
+//! An interactive SQL shell over the self-tuning database.
+//!
+//! Loads a skewed TPC-D instance behind an [`AutoStatsManager`] (on-the-fly
+//! MNSA/D policy) and reads commands from stdin:
+//!
+//! ```text
+//! autostats> SELECT o_orderpriority, COUNT(*) FROM orders GROUP BY o_orderpriority
+//! autostats> EXPLAIN SELECT * FROM lineitem WHERE l_quantity < 5.0
+//! autostats> .stats        -- list the statistics the policy has built
+//! autostats> .maintain     -- run one auto-update/auto-drop pass
+//! autostats> .quit
+//! ```
+//!
+//! Run with: `cargo run --example sql_shell` (pipe a script in for
+//! non-interactive use, e.g. `echo 'SELECT COUNT(*) FROM orders' | cargo run
+//! --example sql_shell`).
+
+use autostats::manager::{AutoStatsManager, ManagerConfig};
+use autostats::policy::CreationPolicy;
+use autostats::MnsaConfig;
+use datagen::{build_tpcd, TpcdConfig, ZipfSpec};
+use executor::StatementOutcome;
+use std::io::{self, BufRead, Write};
+
+fn main() {
+    println!("loading TPC-D (skew: mixed) ...");
+    let db = build_tpcd(&TpcdConfig {
+        scale: 0.004,
+        zipf: ZipfSpec::Mixed,
+        seed: 42,
+    });
+    println!(
+        "{} tables, {} rows. Policy: on-the-fly MNSA/D (t = 20%).\n\
+         Type SQL, EXPLAIN <sql>, .stats, .maintain, .help or .quit\n",
+        db.table_count(),
+        db.total_rows()
+    );
+    let mut mgr = AutoStatsManager::new(
+        db,
+        ManagerConfig {
+            creation: CreationPolicy::Mnsa(MnsaConfig::default().with_drop_detection()),
+            ..Default::default()
+        },
+    );
+
+    let stdin = io::stdin();
+    loop {
+        print!("autostats> ");
+        let _ = io::stdout().flush();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) | Err(_) => break, // EOF
+            Ok(_) => {}
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        match line.to_ascii_lowercase().as_str() {
+            ".quit" | ".exit" => break,
+            ".help" => {
+                println!(
+                    "  <sql>            execute a statement (tuning statistics first)\n  \
+                     explain <sql>    show the current plan without executing\n  \
+                     .stats           list built statistics (drop-listed ones marked)\n  \
+                     .maintain        run one auto-update/auto-drop pass\n  \
+                     .report          cumulative tuning and execution totals\n  \
+                     .quit            leave"
+                );
+                continue;
+            }
+            ".stats" => {
+                let db = mgr.database();
+                let mut any = false;
+                let drop_listed: Vec<_> = mgr.catalog().drop_list().collect();
+                // Iterate ids via active() plus drop-list lookups.
+                for stat in mgr.catalog().active() {
+                    any = true;
+                    print_stat(db, stat, false);
+                }
+                for id in drop_listed {
+                    if let Some(stat) = mgr.catalog().statistic(id) {
+                        any = true;
+                        print_stat(db, stat, true);
+                    }
+                }
+                if !any {
+                    println!("  (no statistics built yet)");
+                }
+                continue;
+            }
+            ".maintain" => {
+                let r = mgr.maintain();
+                println!(
+                    "  updated {} statistics on {} tables, dropped {}, update work {:.0}",
+                    r.statistics_updated,
+                    r.tables_updated.len(),
+                    r.statistics_dropped,
+                    r.update_work
+                );
+                continue;
+            }
+            ".report" => {
+                let t = mgr.tuning_report();
+                println!(
+                    "  statistics created {}, drop-listed {}, optimizer calls {}\n  \
+                     creation work {:.0} + analysis overhead {:.0}; execution work {:.0}",
+                    t.statistics_created,
+                    t.statistics_drop_listed,
+                    t.optimizer_calls,
+                    t.creation_work,
+                    t.overhead_work,
+                    mgr.execution_work()
+                );
+                continue;
+            }
+            _ => {}
+        }
+        if let Some(rest) = line
+            .strip_prefix("explain ")
+            .or_else(|| line.strip_prefix("EXPLAIN "))
+            .or_else(|| line.strip_prefix("Explain "))
+        {
+            match mgr.explain_sql(rest) {
+                Ok(text) => print!("{text}"),
+                Err(e) => println!("error: {e}"),
+            }
+            continue;
+        }
+        match mgr.execute_sql(line) {
+            Ok(StatementOutcome::Query { output, estimated_cost }) => {
+                for row in output.rows.iter().take(20) {
+                    let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+                    println!("  {}", cells.join(" | "));
+                }
+                if output.rows.len() > 20 {
+                    println!("  ... ({} rows total)", output.rows.len());
+                }
+                println!(
+                    "  -- {} rows, estimated cost {:.0}, execution work {:.0}",
+                    output.rows.len(),
+                    estimated_cost,
+                    output.work
+                );
+            }
+            Ok(StatementOutcome::Dml { rows_affected, .. }) => {
+                println!("  -- {rows_affected} rows affected");
+            }
+            Err(e) => println!("error: {e}"),
+        }
+    }
+    println!("bye");
+}
+
+fn print_stat(db: &storage::Database, stat: &stats::Statistic, dropped: bool) {
+    let table = db.table(stat.descriptor.table);
+    let cols: Vec<&str> = stat
+        .descriptor
+        .columns
+        .iter()
+        .map(|&c| table.schema().column(c).name.as_str())
+        .collect();
+    println!(
+        "  {} {}({})  ndv={:.0} updates={}{}",
+        stat.id,
+        table.name(),
+        cols.join(", "),
+        stat.leading_ndv(),
+        stat.update_count,
+        if dropped { "  [drop-list]" } else { "" }
+    );
+}

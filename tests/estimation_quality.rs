@@ -1,0 +1,144 @@
+//! Estimation-quality integration tests: the q-error of the optimizer's
+//! root cardinality estimate, with and without statistics.
+//!
+//! The paper's premise ("in the absence of statistics, cost estimates can be
+//! dramatically different") is quantified here: across a Rags workload,
+//! statistics must substantially reduce the median q-error
+//! `max(est, actual) / min(est, actual)` of the final result-size estimate.
+
+use autostats::candidate_statistics;
+use datagen::{build_tpcd, Complexity, RagsGenerator, TpcdConfig, WorkloadSpec, ZipfSpec};
+use executor::execute_plan;
+use optimizer::{OptimizeOptions, Optimizer};
+use query::{bind_statement, BoundSelect, BoundStatement};
+use stats::StatsCatalog;
+use storage::Database;
+
+fn q_error(est: f64, actual: f64) -> f64 {
+    let est = est.max(0.5);
+    let actual = actual.max(0.5);
+    (est / actual).max(actual / est)
+}
+
+fn median(mut v: Vec<f64>) -> f64 {
+    v.sort_by(f64::total_cmp);
+    v[v.len() / 2]
+}
+
+fn workload(db: &Database, n: usize, seed: u64) -> Vec<BoundSelect> {
+    let spec = WorkloadSpec::new(0, Complexity::Complex, n).with_seed(seed);
+    RagsGenerator::generate(db, &spec)
+        .iter()
+        .filter_map(|s| match bind_statement(db, s).unwrap() {
+            BoundStatement::Select(q) => Some(q),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Root-cardinality q-errors for each query under the given catalog.
+fn q_errors(db: &Database, catalog: &StatsCatalog, queries: &[BoundSelect]) -> Vec<f64> {
+    let optimizer = Optimizer::default();
+    queries
+        .iter()
+        .map(|q| {
+            let r = optimizer.optimize(db, q, catalog.full_view(), &OptimizeOptions::default());
+            let out = execute_plan(db, q, &r.plan, &optimizer.params);
+            q_error(r.plan.est_rows, out.row_count() as f64)
+        })
+        .collect()
+}
+
+#[test]
+fn statistics_reduce_median_q_error_on_skewed_data() {
+    let db = build_tpcd(&TpcdConfig {
+        scale: 0.003,
+        zipf: ZipfSpec::Mixed,
+        seed: 11,
+    });
+    let queries = workload(&db, 40, 11);
+
+    let bare = StatsCatalog::new();
+    let without = q_errors(&db, &bare, &queries);
+
+    let mut tuned = StatsCatalog::new();
+    for q in &queries {
+        for d in candidate_statistics(q) {
+            tuned.create_statistic(&db, d);
+        }
+    }
+    let with = q_errors(&db, &tuned, &queries);
+
+    let m_without = median(without);
+    let m_with = median(with);
+    assert!(
+        m_with < m_without,
+        "statistics did not improve median q-error: {m_with:.2} vs {m_without:.2}"
+    );
+    assert!(
+        m_with < 10.0,
+        "median q-error with full statistics too large: {m_with:.2}"
+    );
+}
+
+#[test]
+fn mnsa_estimates_close_to_full_statistics() {
+    // MNSA builds fewer statistics; its estimation quality must stay in the
+    // same ballpark as create-all (that is the whole point of the paper).
+    use autostats::{MnsaConfig, MnsaEngine};
+    let db = build_tpcd(&TpcdConfig {
+        scale: 0.003,
+        zipf: ZipfSpec::Fixed(2.0),
+        seed: 23,
+    });
+    let queries = workload(&db, 30, 23);
+
+    let mut full = StatsCatalog::new();
+    for q in &queries {
+        for d in candidate_statistics(q) {
+            full.create_statistic(&db, d);
+        }
+    }
+    let engine = MnsaEngine::new(MnsaConfig::default());
+    let mut mnsa = StatsCatalog::new();
+    for q in &queries {
+        engine.run_query(&db, &mut mnsa, q);
+    }
+    assert!(mnsa.active_count() <= full.active_count());
+
+    let m_full = median(q_errors(&db, &full, &queries));
+    let m_mnsa = median(q_errors(&db, &mnsa, &queries));
+    assert!(
+        m_mnsa <= m_full * 3.0 + 1.0,
+        "MNSA q-error {m_mnsa:.2} far worse than create-all {m_full:.2}"
+    );
+}
+
+#[test]
+fn skew_hurts_magic_numbers_more_than_statistics() {
+    // The gap between no-stats and full-stats estimation should widen with
+    // skew — that is why the paper generates Zipfian data at all.
+    let gap = |z: f64| -> f64 {
+        let db = build_tpcd(&TpcdConfig {
+            scale: 0.002,
+            zipf: ZipfSpec::Fixed(z),
+            seed: 31,
+        });
+        let queries = workload(&db, 25, 31);
+        let bare = StatsCatalog::new();
+        let mut tuned = StatsCatalog::new();
+        for q in &queries {
+            for d in candidate_statistics(q) {
+                tuned.create_statistic(&db, d);
+            }
+        }
+        median(q_errors(&db, &bare, &queries)) / median(q_errors(&db, &tuned, &queries))
+    };
+    let uniform_gap = gap(0.0);
+    let skewed_gap = gap(3.0);
+    assert!(
+        skewed_gap >= uniform_gap * 0.8,
+        "skew should not shrink the statistics advantage much: uniform {uniform_gap:.2}, skewed {skewed_gap:.2}"
+    );
+    assert!(skewed_gap > 1.0, "statistics must help on skewed data");
+}

@@ -1,0 +1,132 @@
+//! End-to-end tests of the optional Phased 2-D histograms (§3's MHIST
+//! reference): catalog integration, persistence, and MNSA compatibility.
+
+use autostats::{candidate_statistics, MnsaConfig, MnsaEngine};
+use query::{bind_statement, parse_statement, BoundSelect, BoundStatement};
+use stats::{BuildOptions, StatDescriptor, StatsCatalog};
+use storage::{ColumnDef, DataType, Database, Schema, Value};
+
+/// A table whose two filter columns are strongly correlated.
+fn correlated_db() -> Database {
+    let mut db = Database::new();
+    let t = db
+        .create_table(
+            "sensor",
+            Schema::new(vec![
+                ColumnDef::new("id", DataType::Int),
+                ColumnDef::new("temp", DataType::Int),
+                ColumnDef::new("alarm", DataType::Int),
+            ]),
+        )
+        .unwrap();
+    for i in 0..4000i64 {
+        let temp = i % 100;
+        let alarm = if temp >= 90 { 1 } else { 0 }; // alarm ⟺ hot
+        db.table_mut(t)
+            .insert(vec![Value::Int(i), Value::Int(temp), Value::Int(alarm)])
+            .unwrap();
+    }
+    db.create_index("idx_sensor_temp", t, vec![1]).unwrap();
+    db
+}
+
+fn bind(db: &Database, sql: &str) -> BoundSelect {
+    match bind_statement(db, &parse_statement(sql).unwrap()).unwrap() {
+        BoundStatement::Select(q) => q,
+        _ => panic!(),
+    }
+}
+
+#[test]
+fn joint_histograms_fix_correlated_conjunctions() {
+    let db = correlated_db();
+    let t = db.table_id("sensor").unwrap();
+    // temp < 90 AND alarm = 1 is contradictory; independence estimates ~9%.
+    let q = bind(&db, "SELECT * FROM sensor WHERE temp < 90 AND alarm = 1");
+    let optimizer = optimizer::Optimizer::default();
+
+    let mut marginal = StatsCatalog::new();
+    for d in [
+        StatDescriptor::single(t, 1),
+        StatDescriptor::single(t, 2),
+        StatDescriptor::multi(t, vec![1, 2]),
+    ] {
+        marginal.create_statistic(&db, d);
+    }
+    let r1 = optimizer.optimize(
+        &db,
+        &q,
+        marginal.full_view(),
+        &optimizer::OptimizeOptions::default(),
+    );
+
+    let mut joint =
+        StatsCatalog::new().with_build_options(BuildOptions::default().with_joint_histograms());
+    for d in [
+        StatDescriptor::single(t, 1),
+        StatDescriptor::single(t, 2),
+        StatDescriptor::multi(t, vec![1, 2]),
+    ] {
+        joint.create_statistic(&db, d);
+    }
+    let r2 = optimizer.optimize(
+        &db,
+        &q,
+        joint.full_view(),
+        &optimizer::OptimizeOptions::default(),
+    );
+
+    // Actual result is empty; the joint estimate must be much closer to it.
+    assert!(
+        r2.plan.est_rows < r1.plan.est_rows / 3.0,
+        "joint {} vs marginal {}",
+        r2.plan.est_rows,
+        r1.plan.est_rows
+    );
+}
+
+#[test]
+fn joint_histograms_survive_snapshot_restore() {
+    let db = correlated_db();
+    let t = db.table_id("sensor").unwrap();
+    let mut cat =
+        StatsCatalog::new().with_build_options(BuildOptions::default().with_joint_histograms());
+    let id = cat.create_statistic(&db, StatDescriptor::multi(t, vec![1, 2]));
+    assert!(cat.statistic(id).unwrap().joint.is_some());
+
+    let restored = StatsCatalog::restore(cat.snapshot());
+    let stat = restored.statistic(id).unwrap();
+    let joint = stat.joint.as_ref().expect("joint histogram persisted");
+    let total: f64 = joint.cells().iter().map(|c| c.fraction).sum();
+    assert!((total - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn mnsa_works_with_joint_histograms_enabled() {
+    let db = correlated_db();
+    let q = bind(&db, "SELECT * FROM sensor WHERE temp < 90 AND alarm = 1");
+    let engine = MnsaEngine::new(MnsaConfig::default());
+    let mut cat =
+        StatsCatalog::new().with_build_options(BuildOptions::default().with_joint_histograms());
+    let outcome = engine.run_query(&db, &mut cat, &q);
+    // MNSA terminates normally and never builds outside the candidate set.
+    let candidates = candidate_statistics(&q);
+    for id in outcome.created {
+        assert!(candidates.contains(&cat.statistic(id).unwrap().descriptor));
+    }
+}
+
+#[test]
+fn joint_build_costs_more_than_plain_multicolumn() {
+    let db = correlated_db();
+    let t = db.table_id("sensor").unwrap();
+    let mut plain = StatsCatalog::new();
+    plain.create_statistic(&db, StatDescriptor::multi(t, vec![1, 2]));
+    let mut joint =
+        StatsCatalog::new().with_build_options(BuildOptions::default().with_joint_histograms());
+    joint.create_statistic(&db, StatDescriptor::multi(t, vec![1, 2]));
+    assert!(
+        joint.creation_work() > plain.creation_work(),
+        "the second construction phase must be charged"
+    );
+}

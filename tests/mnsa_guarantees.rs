@@ -1,0 +1,189 @@
+//! Integration tests of the paper's central claims, over generated data:
+//!
+//! * MNSA's sensitivity test is sound: when it creates nothing, the plan
+//!   obtained with *all* candidate statistics is t-Optimizer-Cost
+//!   equivalent to the plan obtained without them (the definition of the
+//!   existing set containing an essential set, §4.1).
+//! * MNSA never builds more than the candidate set, and what it skips is
+//!   genuinely skippable cheaply.
+//! * Shrinking Set output is an essential set for a whole workload.
+
+use autostats::{
+    candidate_statistics, shrinking_set, Equivalence, MnsaConfig, MnsaEngine, Termination,
+};
+use datagen::{build_tpcd, Complexity, RagsGenerator, TpcdConfig, WorkloadSpec, ZipfSpec};
+use optimizer::{OptimizeOptions, Optimizer};
+use query::{bind_statement, BoundSelect, BoundStatement};
+use stats::StatsCatalog;
+use std::collections::HashSet;
+use storage::Database;
+
+fn db(z: f64, seed: u64) -> Database {
+    build_tpcd(&TpcdConfig {
+        scale: 0.002,
+        zipf: ZipfSpec::Fixed(z),
+        seed,
+    })
+}
+
+fn execute_workload(
+    db: &Database,
+    catalog: &StatsCatalog,
+    workload: &[BoundStatement],
+) -> f64 {
+    let mut db = db.clone();
+    executor::WorkloadRunner::default()
+        .run(&mut db, catalog.full_view(), workload)
+        .total_work
+}
+
+fn workload_queries(db: &Database, spec: &WorkloadSpec) -> Vec<BoundSelect> {
+    RagsGenerator::generate(db, spec)
+        .iter()
+        .filter_map(|s| match bind_statement(db, s).unwrap() {
+            BoundStatement::Select(q) => Some(q),
+            _ => None,
+        })
+        .collect()
+}
+
+/// The soundness property of the MNSA termination test.
+#[test]
+fn mnsa_convergence_implies_t_equivalence_with_full_candidates() {
+    let optimizer = Optimizer::default();
+    let t = 20.0;
+    for seed in [1u64, 2, 3] {
+        let db = db(2.0, seed);
+        let spec = WorkloadSpec::new(0, Complexity::Simple, 15).with_seed(seed);
+        for q in workload_queries(&db, &spec) {
+            let engine = MnsaEngine::new(MnsaConfig {
+                t_percent: t,
+                ..Default::default()
+            });
+            let mut catalog = StatsCatalog::new();
+            let outcome = engine.run_query(&db, &mut catalog, &q);
+            if outcome.terminated_by != Termination::CostConverged {
+                continue;
+            }
+            // Plan/cost with MNSA's chosen statistics.
+            let with_mnsa =
+                optimizer.optimize(&db, &q, catalog.full_view(), &OptimizeOptions::default());
+            // Now build ALL candidates and re-optimize.
+            for d in candidate_statistics(&q) {
+                catalog.create_statistic(&db, d);
+            }
+            let with_all =
+                optimizer.optimize(&db, &q, catalog.full_view(), &OptimizeOptions::default());
+            assert!(
+                Equivalence::TCost(t).equivalent(&with_mnsa, &with_all),
+                "MNSA declared convergence but full candidates changed cost \
+                 {:.1} -> {:.1} (seed {seed})",
+                with_mnsa.cost,
+                with_all.cost,
+            );
+        }
+    }
+}
+
+#[test]
+fn mnsa_builds_subset_of_candidates() {
+    let db = db(3.0, 5);
+    let spec = WorkloadSpec::new(0, Complexity::Complex, 25).with_seed(5);
+    let engine = MnsaEngine::new(MnsaConfig::default());
+    let mut catalog = StatsCatalog::new();
+    for q in workload_queries(&db, &spec) {
+        let candidates: HashSet<_> = engine.candidates(&q).into_iter().collect();
+        let outcome = engine.run_query(&db, &mut catalog, &q);
+        for id in outcome.created {
+            let d = &catalog.statistic(id).unwrap().descriptor;
+            assert!(
+                candidates.contains(d),
+                "MNSA created a non-candidate statistic {d:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn shrinking_set_yields_workload_essential_set() {
+    let db = db(2.0, 9);
+    let spec = WorkloadSpec::new(0, Complexity::Simple, 12).with_seed(9);
+    let workload = workload_queries(&db, &spec);
+    let optimizer = Optimizer::default();
+    let equiv = Equivalence::ExecutionTree;
+
+    // Superset: all candidates of all queries.
+    let mut catalog = StatsCatalog::new();
+    for q in &workload {
+        for d in candidate_statistics(q) {
+            catalog.create_statistic(&db, d);
+        }
+    }
+    let initial = catalog.active_ids();
+    let out = shrinking_set(&db, &mut catalog, &optimizer, &workload, &initial, equiv, false);
+
+    // Definition 2: equivalent to C for every query…
+    let all: HashSet<_> = initial.iter().copied().collect();
+    let keep: HashSet<_> = out.essential.iter().copied().collect();
+    let ignore: HashSet<_> = all.difference(&keep).copied().collect();
+    for (i, q) in workload.iter().enumerate() {
+        let full = optimizer.optimize(&db, q, catalog.full_view(), &OptimizeOptions::default());
+        let shrunk = optimizer.optimize(&db, q, catalog.view(&ignore), &OptimizeOptions::default());
+        assert!(
+            equiv.equivalent(&full, &shrunk),
+            "query {i}: shrunk set not equivalent"
+        );
+    }
+    // …and minimal.
+    for &s in &out.essential {
+        let mut worse = ignore.clone();
+        worse.insert(s);
+        let mut changed = false;
+        for q in &workload {
+            let a = optimizer.optimize(&db, q, catalog.view(&ignore), &OptimizeOptions::default());
+            let b = optimizer.optimize(&db, q, catalog.view(&worse), &OptimizeOptions::default());
+            if !equiv.equivalent(&a, &b) {
+                changed = true;
+                break;
+            }
+        }
+        assert!(changed, "{s} is removable — result not minimal");
+    }
+}
+
+#[test]
+fn mnsad_rerun_cost_increase_is_bounded() {
+    // The Table 1 companion claim: after MNSA/D drops statistics, re-running
+    // the workload costs at most a few percent more. We allow a loose bound
+    // here (the paper saw <= 6%) since scale is tiny.
+    let db = db(4.0, 13);
+    let spec = WorkloadSpec::new(25, Complexity::Complex, 30).with_seed(13);
+    let stmts = RagsGenerator::generate(&db, &spec);
+    let bound: Vec<BoundStatement> = stmts
+        .iter()
+        .map(|s| bind_statement(&db, s).unwrap())
+        .collect();
+    let queries: Vec<BoundSelect> = bound
+        .iter()
+        .filter_map(|s| s.as_select().cloned())
+        .collect();
+
+    let mnsa = MnsaEngine::new(MnsaConfig::default());
+    let mut cat_a = StatsCatalog::new();
+    for q in &queries {
+        mnsa.run_query(&db, &mut cat_a, q);
+    }
+    let mnsad = MnsaEngine::new(MnsaConfig::default().with_drop_detection());
+    let mut cat_b = StatsCatalog::new();
+    for q in &queries {
+        mnsad.run_query(&db, &mut cat_b, q);
+    }
+
+    let exec_a = execute_workload(&db, &cat_a, &bound);
+    let exec_b = execute_workload(&db, &cat_b, &bound);
+    let increase = (exec_b - exec_a) / exec_a * 100.0;
+    assert!(
+        increase <= 25.0,
+        "MNSA/D rerun cost increase {increase:.1}% is way out of band"
+    );
+}

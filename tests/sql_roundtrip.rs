@@ -1,0 +1,147 @@
+//! Property-based round-trip tests of the SQL parser/renderer over randomly
+//! constructed ASTs: `parse(render(stmt)) == stmt`.
+
+use proptest::prelude::*;
+use query::ast::OrderKey;
+use query::{
+    parse_statement, render, AggFunc, CmpOp, ColumnRef, Condition, DeleteStmt, InsertStmt,
+    SelectItem, SelectStmt, Statement, TableRef, UpdateStmt,
+};
+use storage::Value;
+
+fn ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,8}".prop_filter("not a keyword", |s| {
+        ![
+            "select", "from", "where", "group", "by", "and", "between", "insert", "into",
+            "values", "update", "set", "delete", "as", "date", "null", "count", "sum", "avg",
+            "min", "max",
+        ]
+        .contains(&s.as_str())
+    })
+}
+
+fn literal() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        any::<i32>().prop_map(|i| Value::Int(i as i64)),
+        (-1000i64..1000, 1u32..100).prop_map(|(m, d)| Value::Float(m as f64 / d as f64)),
+        "[a-zA-Z' ]{0,12}".prop_map(Value::Str),
+        (-10000i32..10000).prop_map(Value::Date),
+        Just(Value::Null),
+    ]
+}
+
+fn column_ref() -> impl Strategy<Value = ColumnRef> {
+    (prop::option::of(ident()), ident()).prop_map(|(q, c)| ColumnRef {
+        qualifier: q,
+        column: c,
+    })
+}
+
+fn cmp_op() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+    ]
+}
+
+fn condition() -> impl Strategy<Value = Condition> {
+    prop_oneof![
+        (column_ref(), cmp_op(), literal().prop_filter("no null cmp", |v| !v.is_null()))
+            .prop_map(|(column, op, value)| Condition::Compare { column, op, value }),
+        (column_ref(), -100i64..100, 0i64..100).prop_map(|(column, lo, w)| Condition::Between {
+            column,
+            low: Value::Int(lo),
+            high: Value::Int(lo + w),
+        }),
+        (column_ref(), column_ref()).prop_map(|(left, right)| Condition::Join { left, right }),
+    ]
+}
+
+fn select_item() -> impl Strategy<Value = SelectItem> {
+    prop_oneof![
+        Just(SelectItem::Star),
+        column_ref().prop_map(SelectItem::Column),
+        (
+            prop_oneof![
+                Just(AggFunc::Count),
+                Just(AggFunc::Sum),
+                Just(AggFunc::Avg),
+                Just(AggFunc::Min),
+                Just(AggFunc::Max)
+            ],
+            prop::option::of(column_ref())
+        )
+            .prop_map(|(f, c)| SelectItem::Aggregate(f, c)),
+    ]
+}
+
+fn table_ref() -> impl Strategy<Value = TableRef> {
+    (ident(), prop::option::of(ident())).prop_map(|(t, a)| TableRef { table: t, alias: a })
+}
+
+fn order_key() -> impl Strategy<Value = OrderKey> {
+    (column_ref(), any::<bool>()).prop_map(|(column, descending)| OrderKey {
+        column,
+        descending,
+    })
+}
+
+fn select_stmt() -> impl Strategy<Value = Statement> {
+    (
+        prop::collection::vec(select_item(), 1..4),
+        prop::collection::vec(table_ref(), 1..4),
+        prop::collection::vec(condition(), 0..4),
+        prop::collection::vec(column_ref(), 0..3),
+        prop::collection::vec(order_key(), 0..3),
+    )
+        .prop_map(|(items, from, conditions, group_by, order_by)| {
+            Statement::Select(SelectStmt {
+                items,
+                from,
+                conditions,
+                group_by,
+                order_by,
+            })
+        })
+}
+
+fn statement() -> impl Strategy<Value = Statement> {
+    prop_oneof![
+        select_stmt(),
+        (ident(), prop::collection::vec(literal(), 1..5))
+            .prop_map(|(table, values)| Statement::Insert(InsertStmt { table, values })),
+        (
+            ident(),
+            ident(),
+            literal().prop_filter("set value non-null str ok", |_| true),
+            prop::collection::vec(condition(), 0..3)
+        )
+            .prop_map(|(table, set_column, set_value, conditions)| {
+                Statement::Update(UpdateStmt {
+                    table,
+                    set_column,
+                    set_value,
+                    conditions,
+                })
+            }),
+        (ident(), prop::collection::vec(condition(), 0..3))
+            .prop_map(|(table, conditions)| Statement::Delete(DeleteStmt { table, conditions })),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn render_parse_roundtrip(stmt in statement()) {
+        let sql = render(&stmt);
+        match parse_statement(&sql) {
+            Ok(reparsed) => prop_assert_eq!(stmt, reparsed, "round-trip mismatch for: {}", sql),
+            Err(e) => prop_assert!(false, "rendered SQL failed to parse: {e}\n{}", sql),
+        }
+    }
+}
