@@ -5,7 +5,9 @@ use stats::{Histogram, HistogramKind};
 use storage::Value;
 
 fn values(n: usize, distinct: i64) -> Vec<Value> {
-    (0..n as i64).map(|i| Value::Int((i * 2654435761) % distinct)).collect()
+    (0..n as i64)
+        .map(|i| Value::Int((i * 2654435761) % distinct))
+        .collect()
 }
 
 fn bench_build(c: &mut Criterion) {

@@ -1,7 +1,7 @@
 //! Criterion micro-benchmarks: MNSA end-to-end per query.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use autostats::{MnsaConfig, MnsaEngine};
+use criterion::{criterion_group, criterion_main, Criterion};
 use datagen::{build_tpcd, tpcd_benchmark_queries, TpcdConfig, ZipfSpec};
 use query::{bind_statement, BoundStatement, Statement};
 use stats::StatsCatalog;

@@ -18,20 +18,36 @@ fn bench_optimize(c: &mut Criterion) {
     });
     let queries: Vec<_> = tpcd_benchmark_queries()
         .into_iter()
-        .map(|q| match bind_statement(&db, &Statement::Select(q)).unwrap() {
-            BoundStatement::Select(b) => b,
-            _ => unreachable!(),
-        })
+        .map(
+            |q| match bind_statement(&db, &Statement::Select(q)).unwrap() {
+                BoundStatement::Select(b) => b,
+                _ => unreachable!(),
+            },
+        )
         .collect();
     let optimizer = Optimizer::default();
 
     // No statistics: everything on magic numbers.
     let empty = StatsCatalog::new();
     c.bench_function("optimize_q1_no_stats", |b| {
-        b.iter(|| optimizer.optimize(&db, &queries[0], empty.full_view(), &OptimizeOptions::default()))
+        b.iter(|| {
+            optimizer.optimize(
+                &db,
+                &queries[0],
+                empty.full_view(),
+                &OptimizeOptions::default(),
+            )
+        })
     });
     c.bench_function("optimize_q8_eight_way_join", |b| {
-        b.iter(|| optimizer.optimize(&db, &queries[7], empty.full_view(), &OptimizeOptions::default()))
+        b.iter(|| {
+            optimizer.optimize(
+                &db,
+                &queries[7],
+                empty.full_view(),
+                &OptimizeOptions::default(),
+            )
+        })
     });
 
     // With full candidate statistics.
@@ -42,7 +58,14 @@ fn bench_optimize(c: &mut Criterion) {
         }
     }
     c.bench_function("optimize_q8_with_stats", |b| {
-        b.iter(|| optimizer.optimize(&db, &queries[7], full.full_view(), &OptimizeOptions::default()))
+        b.iter(|| {
+            optimizer.optimize(
+                &db,
+                &queries[7],
+                full.full_view(),
+                &OptimizeOptions::default(),
+            )
+        })
     });
 
     // Statistic creation for comparison (the expensive side of the tradeoff).

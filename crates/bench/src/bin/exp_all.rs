@@ -1,12 +1,14 @@
 //! Runs every experiment at the default scale and collects all rows.
 //!
-//! Usage: `cargo run -p bench --bin exp_all [--full]`
+//! Usage: `cargo run -p bench --bin exp_all [--full] [--threads N]`
 
-use bench::common::{report, ExperimentScale, Row};
+use bench::common::{parse_threads, report, ExperimentScale, Row};
 use bench::experiments::{aging, fig3, fig4, intro, shrink, table1, tsweep};
 
 fn main() {
-    let full = std::env::args().any(|a| a == "--full");
+    let args: Vec<String> = std::env::args().collect();
+    let full = args.iter().any(|a| a == "--full");
+    let threads = parse_threads(&args);
     let scale = if full {
         ExperimentScale::full()
     } else {
@@ -16,13 +18,13 @@ fn main() {
     println!("[1/7] intro");
     rows.extend(intro::rows(&intro::run(&scale)));
     println!("[2/7] figure 3");
-    rows.extend(fig3::rows(&fig3::run(&scale)));
+    rows.extend(fig3::rows(&fig3::run(&scale, threads)));
     println!("[3/7] figure 4");
     rows.extend(fig4::rows(&fig4::run(&scale)));
     println!("[4/7] table 1");
     rows.extend(table1::rows(&table1::run(&scale)));
     println!("[5/7] t/eps sweep");
-    rows.extend(tsweep::rows(&tsweep::run(&scale)));
+    rows.extend(tsweep::rows(&tsweep::run(&scale, threads)));
     println!("[6/7] shrinking set");
     rows.extend(shrink::rows(&shrink::run(&scale)));
     println!("[7/7] aging");

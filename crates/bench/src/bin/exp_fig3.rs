@@ -1,18 +1,20 @@
 //! Regenerates Figure 3 (see `bench::experiments::fig3`).
 //!
-//! Usage: `cargo run -p bench --bin exp_fig3 [--full]`
+//! Usage: `cargo run -p bench --bin exp_fig3 [--full] [--threads N]`
 
-use bench::common::{report, ExperimentScale};
+use bench::common::{parse_threads, report, ExperimentScale};
 use bench::experiments::fig3;
 
 fn main() {
-    let full = std::env::args().any(|a| a == "--full");
+    let args: Vec<String> = std::env::args().collect();
+    let full = args.iter().any(|a| a == "--full");
+    let threads = parse_threads(&args);
     let scale = if full {
         ExperimentScale::full()
     } else {
         ExperimentScale::default_run()
     };
     println!("== Figure 3: Candidate Statistics algorithm vs Exhaustive ==");
-    let results = fig3::run(&scale);
+    let results = fig3::run(&scale, threads);
     report(&fig3::rows(&results), Some("results/fig3.jsonl"));
 }

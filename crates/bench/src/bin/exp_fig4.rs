@@ -16,7 +16,10 @@ fn main() {
     if ablation {
         println!("== Figure 4 ablation: FindNextStatToBuild node order ==");
         let results = fig4::run_ablation(&scale);
-        report(&fig4::ablation_rows(&results), Some("results/fig4_ablation.jsonl"));
+        report(
+            &fig4::ablation_rows(&results),
+            Some("results/fig4_ablation.jsonl"),
+        );
         return;
     }
     println!("== Figure 4: MNSA vs create-all-candidates (t = 20%) ==");

@@ -1,18 +1,20 @@
 //! t / ε parameter sweep (see `bench::experiments::tsweep`).
 //!
-//! Usage: `cargo run -p bench --bin exp_tsweep [--full]`
+//! Usage: `cargo run -p bench --bin exp_tsweep [--full] [--threads N]`
 
-use bench::common::{report, ExperimentScale};
+use bench::common::{parse_threads, report, ExperimentScale};
 use bench::experiments::tsweep;
 
 fn main() {
-    let full = std::env::args().any(|a| a == "--full");
+    let args: Vec<String> = std::env::args().collect();
+    let full = args.iter().any(|a| a == "--full");
+    let threads = parse_threads(&args);
     let scale = if full {
         ExperimentScale::full()
     } else {
         ExperimentScale::default_run()
     };
     println!("== t-Optimizer-Cost threshold and epsilon sweep ==");
-    let results = tsweep::run(&scale);
+    let results = tsweep::run(&scale, threads);
     report(&tsweep::rows(&results), Some("results/tsweep.jsonl"));
 }

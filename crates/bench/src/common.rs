@@ -1,9 +1,13 @@
 //! Shared experiment plumbing.
 
-use executor::WorkloadRunner;
+use executor::{execute_plan, WorkloadRunner};
+use optimizer::{OptimizeCache, OptimizeOptions, Optimizer};
+use parking_lot::Mutex;
 use query::{bind_statement, BoundSelect, BoundStatement, Statement};
 use serde::{Deserialize, Serialize};
 use stats::{StatDescriptor, StatsCatalog};
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
 use storage::Database;
 
 /// How big an experiment run is. Results are ratios, so the default small
@@ -58,11 +62,50 @@ pub struct Row {
     pub paper_band: String,
 }
 
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 impl Row {
+    /// Hand-rolled JSON (no serde_json offline). Fields are flat strings
+    /// plus one number, so this stays trivially correct.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"experiment\":\"{}\",\"database\":\"{}\",\"workload\":\"{}\",\"metric\":\"{}\",\"measured\":{},\"paper_band\":\"{}\"}}",
+            json_escape(&self.experiment),
+            json_escape(&self.database),
+            json_escape(&self.workload),
+            json_escape(&self.metric),
+            if self.measured.is_finite() {
+                format!("{}", self.measured)
+            } else {
+                "null".to_string()
+            },
+            json_escape(&self.paper_band),
+        )
+    }
+
     pub fn print(&self) {
         println!(
             "{:<12} {:<10} {:<12} {:<42} measured={:>9.2}  paper: {}",
-            self.experiment, self.database, self.workload, self.metric, self.measured,
+            self.experiment,
+            self.database,
+            self.workload,
+            self.metric,
+            self.measured,
             self.paper_band
         );
     }
@@ -76,7 +119,7 @@ pub fn report(rows: &[Row], json_path: Option<&str>) {
     if let Some(path) = json_path {
         let mut out = String::new();
         for r in rows {
-            out.push_str(&serde_json::to_string(r).expect("row serializes"));
+            out.push_str(&r.to_json());
             out.push('\n');
         }
         if let Some(parent) = std::path::Path::new(path).parent() {
@@ -85,6 +128,16 @@ pub fn report(rows: &[Row], json_path: Option<&str>) {
         std::fs::write(path, out).expect("write results file");
         println!("results written to {path}");
     }
+}
+
+/// Parse a `--threads N` flag from CLI args; defaults to 1 (serial).
+pub fn parse_threads(args: &[String]) -> usize {
+    args.iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|n| n.parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1)
 }
 
 /// Bind a workload of parsed statements, panicking on generator bugs.
@@ -109,7 +162,75 @@ pub fn queries_of(bound: &[BoundStatement]) -> Vec<BoundSelect> {
 pub fn execute_workload(db: &Database, catalog: &StatsCatalog, workload: &[BoundStatement]) -> f64 {
     let mut db = db.clone();
     let runner = WorkloadRunner::default();
-    runner.run(&mut db, catalog.full_view(), workload).total_work
+    runner
+        .run(&mut db, catalog.full_view(), workload)
+        .total_work
+}
+
+/// Memo of per-statement execution work, shared across the repeated
+/// workload executions of a parameter sweep.
+///
+/// For a read-only statement, deterministic execution work is a pure
+/// function of (database contents, statement, chosen operator tree) — the
+/// interpreter never reads the plan's cardinality/cost *estimates* — so the
+/// key is `(statement index, plan structural fingerprint)`. Two sweep points
+/// whose catalogs lead the optimizer to the same tree for a statement share
+/// one execution, no matter how their estimates differ. One memo is scoped
+/// to exactly one (database, workload) pair: the statement index only
+/// identifies a statement within that workload.
+///
+/// Entries are [`OnceLock`] cells, giving *single-flight* semantics: when
+/// several worker threads reach the same cold key at once (the first wave of
+/// a fanned-out sweep), one executes and the rest block on the cell instead
+/// of redundantly executing the same statement.
+/// Single-flight cell: computed once, concurrent readers block until ready.
+type WorkCell = Arc<OnceLock<f64>>;
+
+#[derive(Default)]
+pub struct ExecWorkMemo {
+    per_statement: Mutex<HashMap<(usize, u64), WorkCell>>,
+}
+
+impl ExecWorkMemo {
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// [`execute_workload`] with plan-level memoization of execution work.
+///
+/// Returns exactly what `execute_workload` returns (same optimizer, same
+/// options, statements executed in order against unmutated data), but serves
+/// repeated (statement, plan-tree) pairs from `memo` and repeated
+/// optimizations from `cache`. Workloads containing DML fall back to the
+/// plain path: a mutating statement changes the data later statements see,
+/// so their work is no longer a function of the plan alone.
+pub fn execute_workload_memo(
+    db: &Database,
+    catalog: &StatsCatalog,
+    workload: &[BoundStatement],
+    cache: &OptimizeCache,
+    memo: &ExecWorkMemo,
+) -> f64 {
+    if workload
+        .iter()
+        .any(|s| !matches!(s, BoundStatement::Select(_)))
+    {
+        return execute_workload(db, catalog, workload);
+    }
+    let optimizer = Optimizer::default();
+    let options = OptimizeOptions::default();
+    let mut total = 0.0;
+    for (i, stmt) in workload.iter().enumerate() {
+        let BoundStatement::Select(q) = stmt else {
+            unreachable!("checked above")
+        };
+        let optimized = optimizer.optimize_cached(db, q, catalog.full_view(), &options, cache);
+        let key = (i, optimized.plan.structural_fingerprint());
+        let cell = Arc::clone(memo.per_statement.lock().entry(key).or_default());
+        total += *cell.get_or_init(|| execute_plan(db, q, &optimized.plan, &optimizer.params).work);
+    }
+    total
 }
 
 /// Create every descriptor in `descriptors` (deduplicating against the

@@ -6,11 +6,13 @@
 //! with workload execution cost increasing by no more than 3%.
 
 use crate::common::{
-    bind_all, create_all, execute_workload, pct_change, pct_reduction, queries_of,
-    ExperimentScale, Row,
+    bind_all, create_all, execute_workload, pct_change, pct_reduction, queries_of, ExperimentScale,
+    Row,
 };
 use autostats::{candidate_statistics, exhaustive_candidates};
-use datagen::{standard_databases, tpcd_benchmark_queries, Complexity, RagsGenerator, WorkloadSpec};
+use datagen::{
+    standard_databases, tpcd_benchmark_queries, Complexity, RagsGenerator, WorkloadSpec,
+};
 use query::Statement;
 use stats::StatsCatalog;
 use storage::Database;
@@ -73,15 +75,46 @@ fn measure(db: &Database, name: &str, wl_name: &str, stmts: &[Statement]) -> Fig
     }
 }
 
-/// Run Figure 3 across the four standard databases.
-pub fn run(scale: &ExperimentScale) -> Vec<Fig3Result> {
-    let mut out = Vec::new();
+/// Run Figure 3 across the four standard databases. The (database,
+/// workload) measurements are independent, so `threads > 1` fans them
+/// across worker threads; the merge is index-ordered, so output is
+/// identical for every thread count.
+pub fn run(scale: &ExperimentScale, threads: usize) -> Vec<Fig3Result> {
+    let mut inputs = Vec::new();
     for (name, db) in standard_databases(scale.scale, scale.seed) {
-        for (wl_name, stmts) in workloads(&db, scale) {
-            out.push(measure(&db, &name, &wl_name, &stmts));
+        let wls = workloads(&db, scale);
+        let db = std::sync::Arc::new(db);
+        for (wl_name, stmts) in wls {
+            inputs.push((std::sync::Arc::clone(&db), name.clone(), wl_name, stmts));
         }
     }
-    out
+    if threads <= 1 {
+        return inputs
+            .iter()
+            .map(|(db, name, wl_name, stmts)| measure(db, name, wl_name, stmts))
+            .collect();
+    }
+    let slots: Vec<parking_lot::Mutex<Option<Fig3Result>>> = (0..inputs.len())
+        .map(|_| parking_lot::Mutex::new(None))
+        .collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    crossbeam::thread::scope(|s| {
+        for _ in 0..threads.min(inputs.len()) {
+            s.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= inputs.len() {
+                    break;
+                }
+                let (db, name, wl_name, stmts) = &inputs[i];
+                *slots[i].lock() = Some(measure(db, name, wl_name, stmts));
+            });
+        }
+    })
+    .expect("fig3 worker panicked");
+    slots
+        .into_iter()
+        .map(|m| m.into_inner().expect("missing fig3 measurement"))
+        .collect()
 }
 
 /// Convert to report rows.
@@ -144,6 +177,10 @@ mod tests {
         });
         let (wl_name, stmts) = workloads(&db, &scale).remove(0);
         let r = measure(&db, "TPCD_2", &wl_name, &stmts);
-        assert!(r.creation_reduction_pct > 0.0, "reduction: {}", r.creation_reduction_pct);
+        assert!(
+            r.creation_reduction_pct > 0.0,
+            "reduction: {}",
+            r.creation_reduction_pct
+        );
     }
 }

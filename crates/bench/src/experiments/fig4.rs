@@ -8,11 +8,13 @@
 //! more than 30%.
 
 use crate::common::{
-    bind_all, create_all, execute_workload, pct_change, pct_reduction, queries_of,
-    ExperimentScale, Row,
+    bind_all, create_all, execute_workload, pct_change, pct_reduction, queries_of, ExperimentScale,
+    Row,
 };
 use autostats::policy::optimizer_call_work;
-use autostats::{candidate_statistics, single_column_candidates, CandidateMode, MnsaConfig, MnsaEngine};
+use autostats::{
+    candidate_statistics, single_column_candidates, CandidateMode, MnsaConfig, MnsaEngine,
+};
 use datagen::{standard_databases, Complexity, RagsGenerator, WorkloadSpec};
 use query::Statement;
 use stats::StatsCatalog;
@@ -107,7 +109,13 @@ pub fn run(scale: &ExperimentScale) -> Vec<Fig4Result> {
     let mut out = Vec::new();
     for (name, db) in standard_databases(scale.scale, scale.seed) {
         for (wl_name, stmts) in workloads(&db, scale) {
-            out.push(measure(&db, &name, &wl_name, &stmts, CandidateMode::Heuristic));
+            out.push(measure(
+                &db,
+                &name,
+                &wl_name,
+                &stmts,
+                CandidateMode::Heuristic,
+            ));
         }
         if name == "TPCD_MIX" {
             for (wl_name, stmts) in workloads(&db, scale) {
@@ -269,7 +277,10 @@ mod tests {
         }
         // The paper's heuristic should not do materially more work than the
         // adversarial cheapest-node order.
-        let expensive = results.iter().find(|r| r.order == "most-expensive").unwrap();
+        let expensive = results
+            .iter()
+            .find(|r| r.order == "most-expensive")
+            .unwrap();
         let cheapest = results.iter().find(|r| r.order == "cheapest").unwrap();
         assert!(expensive.mnsa_work <= cheapest.mnsa_work * 1.5);
     }
@@ -283,7 +294,13 @@ mod tests {
             seed: scale.seed,
         });
         let (wl_name, stmts) = workloads(&db, &scale).remove(0);
-        let r = measure(&db, "TPCD_2", &wl_name, &stmts, CandidateMode::SingleColumnOnly);
+        let r = measure(
+            &db,
+            "TPCD_2",
+            &wl_name,
+            &stmts,
+            CandidateMode::SingleColumnOnly,
+        );
         assert!(r.creation_reduction_pct >= 0.0);
     }
 }

@@ -10,8 +10,8 @@
 
 use crate::common::{ExperimentScale, Row};
 use autostats::candidate_statistics;
-use optimizer::costs_within_t;
 use datagen::{build_tpcd, create_tuned_indexes, tpcd_benchmark_queries, TpcdConfig, ZipfSpec};
+use optimizer::costs_within_t;
 use optimizer::{OptimizeOptions, Optimizer};
 use query::{bind_statement, BoundStatement, Statement};
 use stats::{StatDescriptor, StatsCatalog};
@@ -53,12 +53,12 @@ pub fn run(scale: &ExperimentScale) -> Vec<IntroResult> {
     let optimizer = Optimizer::default();
     let queries: Vec<_> = tpcd_benchmark_queries()
         .into_iter()
-        .map(|q| {
-            match bind_statement(&db, &Statement::Select(q)).expect("tpcd query binds") {
+        .map(
+            |q| match bind_statement(&db, &Statement::Select(q)).expect("tpcd query binds") {
                 BoundStatement::Select(b) => b,
                 _ => unreachable!(),
-            }
-        })
+            },
+        )
         .collect();
 
     // First record every "before" plan against the untouched baseline (the
@@ -144,8 +144,20 @@ mod tests {
     #[test]
     fn rows_summarize() {
         let results = vec![
-            IntroResult { query: 1, plan_changed: true, estimate_shifted: true, cost_before: 2.0, cost_after: 1.0 },
-            IntroResult { query: 2, plan_changed: false, estimate_shifted: false, cost_before: 1.0, cost_after: 1.0 },
+            IntroResult {
+                query: 1,
+                plan_changed: true,
+                estimate_shifted: true,
+                cost_before: 2.0,
+                cost_after: 1.0,
+            },
+            IntroResult {
+                query: 2,
+                plan_changed: false,
+                estimate_shifted: false,
+                cost_before: 1.0,
+                cost_after: 1.0,
+            },
         ];
         let rows = rows(&results);
         assert_eq!(rows[0].measured, 1.0);

@@ -5,15 +5,44 @@
 //! to plan quality; t = 0 degenerates to creating statistics whenever any
 //! magic variable exists. §4.1 requires predicate selectivities to lie in
 //! [ε, 1−ε] for MNSA's guarantee, with the paper using ε = 0.0005.
+//!
+//! The sweep points are independent measurements over the same database and
+//! workload. Serial (`threads <= 1`) runs the paper-faithful reference path:
+//! every point tunes and executes from scratch, no memoization. `--threads
+//! N` opts into the *tuning-service* path: points are fanned across worker
+//! threads and share two memo structures —
+//!
+//! * a detached [`OptimizeCache`]: the cache key fingerprints every
+//!   optimizer input, so entries are valid across the points' unrelated
+//!   catalogs, and points with the same ε share most of their analysis
+//!   calls;
+//! * an [`ExecWorkMemo`]: deterministic execution work is a pure function of
+//!   (data, statement, operator tree), so points whose catalogs lead to the
+//!   same plan for a statement share one execution.
+//!
+//! Each fanned point's tuning pass is additionally **re-run from a second
+//! empty catalog**: the rerun must reproduce the exact per-query outcomes (a
+//! built-in determinism differential check) and, because its trajectory
+//! repeats the first pass verbatim, it is served almost entirely from the
+//! cache. Both paths produce bit-identical results (asserted by
+//! `parallel_sweep_matches_serial` below); the memoized path reports
+//! wall-clock and cache counters.
 
 use crate::common::{
-    bind_all, create_all, execute_workload, pct_change, pct_reduction, queries_of,
-    ExperimentScale, Row,
+    bind_all, create_all, execute_workload, execute_workload_memo, pct_change, pct_reduction,
+    queries_of, ExecWorkMemo, ExperimentScale, Row,
 };
 use autostats::policy::optimizer_call_work;
-use autostats::{candidate_statistics, MnsaConfig, MnsaEngine};
+use autostats::{candidate_statistics, MnsaConfig, MnsaEngine, MnsaOutcome};
 use datagen::{build_tpcd, Complexity, RagsGenerator, TpcdConfig, WorkloadSpec, ZipfSpec};
+use optimizer::OptimizeCache;
+use parking_lot::Mutex;
+use query::{BoundSelect, BoundStatement};
 use stats::StatsCatalog;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+use storage::Database;
 
 /// One sweep point.
 #[derive(Debug, Clone)]
@@ -25,8 +54,106 @@ pub struct SweepResult {
     pub exec_increase_pct: f64,
 }
 
+/// Tune one sweep point: MNSA per query on a fresh catalog, accumulating
+/// creation + analysis work.
+fn tune_point(
+    db: &Database,
+    queries: &[BoundSelect],
+    engine: &MnsaEngine,
+) -> (StatsCatalog, f64, Vec<MnsaOutcome>) {
+    let mut cat = StatsCatalog::new();
+    let mut work = 0.0;
+    let mut outcomes = Vec::with_capacity(queries.len());
+    for q in queries {
+        let before = cat.creation_work();
+        let outcome = engine.run_query(db, &mut cat, q);
+        work += (cat.creation_work() - before)
+            + outcome.optimizer_calls as f64 * optimizer_call_work(q.relations.len());
+        outcomes.push(outcome);
+    }
+    (cat, work, outcomes)
+}
+
+fn point_result(
+    t: f64,
+    eps: f64,
+    cat: &StatsCatalog,
+    work: f64,
+    exec: f64,
+    work_all: f64,
+    exec_all: f64,
+) -> SweepResult {
+    SweepResult {
+        t_percent: t,
+        epsilon: eps,
+        stats_built: cat.active_count(),
+        creation_reduction_pct: pct_reduction(work_all, work),
+        exec_increase_pct: pct_change(exec_all, exec),
+    }
+}
+
+/// Reference path: tune + execute from scratch, nothing shared or memoized.
+fn measure_point_plain(
+    db: &Database,
+    bound: &[BoundStatement],
+    queries: &[BoundSelect],
+    work_all: f64,
+    exec_all: f64,
+    t: f64,
+    eps: f64,
+) -> SweepResult {
+    let engine = MnsaEngine::new(MnsaConfig {
+        t_percent: t,
+        epsilon: eps,
+        ..Default::default()
+    });
+    let (cat, work, _) = tune_point(db, queries, &engine);
+    let exec = execute_workload(db, &cat, bound);
+    point_result(t, eps, &cat, work, exec, work_all, exec_all)
+}
+
+/// Tuning-service path: memoized optimizer + execution-work sharing, with a
+/// verification rerun (see module docs).
+#[allow(clippy::too_many_arguments)]
+fn measure_point_memo(
+    db: &Database,
+    bound: &[BoundStatement],
+    queries: &[BoundSelect],
+    work_all: f64,
+    exec_all: f64,
+    t: f64,
+    eps: f64,
+    cache: &Arc<OptimizeCache>,
+    memo: &ExecWorkMemo,
+) -> SweepResult {
+    let engine = MnsaEngine::new(MnsaConfig {
+        t_percent: t,
+        epsilon: eps,
+        ..Default::default()
+    })
+    .with_cache(Arc::clone(cache));
+
+    let (cat, work, outcomes) = tune_point(db, queries, &engine);
+    // Differential determinism check: tuning again from an empty catalog
+    // must replay the identical trajectory (same StatIds too — both runs
+    // allocate from zero). The rerun's optimizer calls all repeat the first
+    // pass, so the cache serves them.
+    let (_, work_rerun, outcomes_rerun) = tune_point(db, queries, &engine);
+    assert_eq!(
+        outcomes, outcomes_rerun,
+        "nondeterministic tuning trajectory at t={t} eps={eps}"
+    );
+    assert_eq!(work, work_rerun, "nondeterministic work at t={t} eps={eps}");
+
+    let exec = execute_workload_memo(db, &cat, bound, cache, memo);
+    point_result(t, eps, &cat, work, exec, work_all, exec_all)
+}
+
 /// Sweep t (at ε = 0.0005) then ε (at t = 20) on TPCD_MIX, U0-C workload.
-pub fn run(scale: &ExperimentScale) -> Vec<SweepResult> {
+/// `threads > 1` fans the sweep points across worker threads with shared
+/// memoization; results are identical for every thread count.
+pub fn run(scale: &ExperimentScale, threads: usize) -> Vec<SweepResult> {
+    let started = Instant::now();
     let db = build_tpcd(&TpcdConfig {
         scale: scale.scale,
         zipf: ZipfSpec::Mixed,
@@ -37,13 +164,23 @@ pub fn run(scale: &ExperimentScale) -> Vec<SweepResult> {
     let bound = bind_all(&db, &stmts);
     let queries = queries_of(&bound);
 
+    // Shared, detached optimizer cache + execution-work memo for the
+    // threaded path (see module docs). Created before the baseline so the
+    // baseline execution warms the memo.
+    let cache = Arc::new(OptimizeCache::new());
+    let memo = ExecWorkMemo::new();
+
     // Baseline: all candidates.
     let mut cat_all = StatsCatalog::new();
     let mut work_all = 0.0;
     for q in &queries {
         work_all += create_all(&db, &mut cat_all, candidate_statistics(q));
     }
-    let exec_all = execute_workload(&db, &cat_all, &bound);
+    let exec_all = if threads <= 1 {
+        execute_workload(&db, &cat_all, &bound)
+    } else {
+        execute_workload_memo(&db, &cat_all, &bound, &cache, &memo)
+    };
 
     let mut points: Vec<(f64, f64)> = [0.0, 5.0, 10.0, 20.0, 40.0, 80.0]
         .into_iter()
@@ -51,30 +188,50 @@ pub fn run(scale: &ExperimentScale) -> Vec<SweepResult> {
         .collect();
     points.extend([(20.0, 0.01), (20.0, 0.1)]);
 
-    let mut out = Vec::new();
-    for (t, eps) in points {
-        let engine = MnsaEngine::new(MnsaConfig {
-            t_percent: t,
-            epsilon: eps,
-            ..Default::default()
-        });
-        let mut cat = StatsCatalog::new();
-        let mut work = 0.0;
-        for q in &queries {
-            let before = cat.creation_work();
-            let outcome = engine.run_query(&db, &mut cat, q);
-            work += (cat.creation_work() - before)
-                + outcome.optimizer_calls as f64 * optimizer_call_work(q.relations.len());
-        }
-        let exec = execute_workload(&db, &cat, &bound);
-        out.push(SweepResult {
-            t_percent: t,
-            epsilon: eps,
-            stats_built: cat.active_count(),
-            creation_reduction_pct: pct_reduction(work_all, work),
-            exec_increase_pct: pct_change(exec_all, exec),
-        });
-    }
+    let out: Vec<SweepResult> = if threads <= 1 {
+        let out = points
+            .iter()
+            .map(|&(t, eps)| measure_point_plain(&db, &bound, &queries, work_all, exec_all, t, eps))
+            .collect();
+        println!(
+            "tsweep: threads=1 wall-clock={:.2}s cache: off (serial reference path; \
+             --threads N enables the memoized parallel path)",
+            started.elapsed().as_secs_f64()
+        );
+        out
+    } else {
+        let slots: Vec<Mutex<Option<SweepResult>>> =
+            (0..points.len()).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        crossbeam::thread::scope(|s| {
+            for _ in 0..threads.min(points.len()) {
+                s.spawn(|_| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= points.len() {
+                        break;
+                    }
+                    let (t, eps) = points[i];
+                    *slots[i].lock() = Some(measure_point_memo(
+                        &db, &bound, &queries, work_all, exec_all, t, eps, &cache, &memo,
+                    ));
+                });
+            }
+        })
+        .expect("sweep worker panicked");
+        println!(
+            "tsweep: threads={} wall-clock={:.2}s cache: {}",
+            threads,
+            started.elapsed().as_secs_f64(),
+            cache.counters()
+        );
+        // Index-ordered merge: output order is point order, independent of
+        // which worker measured which point.
+        slots
+            .into_iter()
+            .map(|m| m.into_inner().expect("missing sweep point"))
+            .collect()
+    };
+
     out
 }
 
@@ -104,7 +261,7 @@ mod tests {
     fn larger_t_prunes_at_least_as_much() {
         let mut scale = ExperimentScale::tiny();
         scale.workload_len = 15;
-        let results = run(&scale);
+        let results = run(&scale, 1);
         let at = |t: f64| {
             results
                 .iter()
@@ -113,5 +270,24 @@ mod tests {
         };
         // t = 80 must build no more statistics than t = 0.
         assert!(at(80.0).stats_built <= at(0.0).stats_built);
+    }
+
+    #[test]
+    fn parallel_sweep_matches_serial() {
+        // The differential guarantee for the whole experiment: the memoized
+        // parallel path (shared optimizer cache, shared execution-work memo,
+        // verification reruns) is bit-identical to the plain serial path.
+        let mut scale = ExperimentScale::tiny();
+        scale.workload_len = 10;
+        let serial = run(&scale, 1);
+        let parallel = run(&scale, 4);
+        assert_eq!(serial.len(), parallel.len());
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.t_percent, b.t_percent);
+            assert_eq!(a.epsilon, b.epsilon);
+            assert_eq!(a.stats_built, b.stats_built);
+            assert_eq!(a.creation_reduction_pct, b.creation_reduction_pct);
+            assert_eq!(a.exec_increase_pct, b.exec_increase_pct);
+        }
     }
 }

@@ -12,6 +12,7 @@
 
 use crate::equivalence::Equivalence;
 use crate::mnsa::{MnsaConfig, MnsaEngine};
+use crate::parallel::ParallelTuner;
 use crate::shrinking::shrinking_set;
 use query::BoundSelect;
 use serde::{Deserialize, Serialize};
@@ -78,14 +79,20 @@ impl AdvisorReport {
         );
         for r in &self.recommendations {
             match r {
-                Recommendation::Create { descriptor, build_work } => {
+                Recommendation::Create {
+                    descriptor,
+                    build_work,
+                } => {
                     out.push_str(&format!(
                         "  CREATE STATISTICS ON {:<40} (build work {:.0})\n",
                         name(descriptor),
                         build_work
                     ));
                 }
-                Recommendation::Drop { descriptor, update_work_saved } => {
+                Recommendation::Drop {
+                    descriptor,
+                    update_work_saved,
+                } => {
                     out.push_str(&format!(
                         "  DROP   STATISTICS ON {:<40} (saves {:.0}/refresh)\n",
                         name(descriptor),
@@ -111,20 +118,33 @@ pub fn advise(
     config: MnsaConfig,
     equivalence: Equivalence,
 ) -> AdvisorReport {
+    advise_parallel(db, catalog, workload, config, equivalence, 1)
+}
+
+/// [`advise`] with the per-query MNSA phase fanned over `threads` worker
+/// threads. The report is bit-identical for every thread count (see
+/// [`ParallelTuner`]).
+pub fn advise_parallel(
+    db: &Database,
+    catalog: &StatsCatalog,
+    workload: &[BoundSelect],
+    config: MnsaConfig,
+    equivalence: Equivalence,
+    threads: usize,
+) -> AdvisorReport {
     // Work on a restored snapshot so the live catalog is untouched.
     let mut scratch = StatsCatalog::restore(catalog.snapshot());
-    let original_active: Vec<StatDescriptor> = catalog
-        .active()
-        .map(|s| s.descriptor.clone())
-        .collect();
+    let original_active: Vec<StatDescriptor> =
+        catalog.active().map(|s| s.descriptor.clone()).collect();
 
     let engine = MnsaEngine::new(config);
     let mut report = AdvisorReport {
         queries_analyzed: workload.len(),
         ..Default::default()
     };
-    for q in workload {
-        report.optimizer_calls += engine.run_query(db, &mut scratch, q).optimizer_calls;
+    let tuner = ParallelTuner::new(engine.clone(), threads);
+    for outcome in tuner.run_workload(db, &mut scratch, workload) {
+        report.optimizer_calls += outcome.optimizer_calls;
     }
     let after_mnsa = scratch.active_ids();
     let shrink = shrinking_set(
@@ -217,7 +237,10 @@ mod tests {
         let db = setup();
         let workload = vec![
             bind(&db, "SELECT * FROM events WHERE severity = 99"),
-            bind(&db, "SELECT kind, COUNT(*) FROM events WHERE severity = 99 GROUP BY kind"),
+            bind(
+                &db,
+                "SELECT kind, COUNT(*) FROM events WHERE severity = 99 GROUP BY kind",
+            ),
         ];
         let catalog = StatsCatalog::new();
         let report = advise(
@@ -277,9 +300,9 @@ mod tests {
             Equivalence::paper_default(),
         );
         // severity stat is needed (plan-changing) — must not be dropped.
-        assert!(
-            !report.drops().any(|r| matches!(r, Recommendation::Drop { descriptor, .. }
-                if descriptor == &StatDescriptor::single(t, 2))),
-        );
+        assert!(!report
+            .drops()
+            .any(|r| matches!(r, Recommendation::Drop { descriptor, .. }
+                if descriptor == &StatDescriptor::single(t, 2))),);
     }
 }

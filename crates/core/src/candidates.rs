@@ -51,7 +51,11 @@ fn column_groups(q: &BoundSelect) -> ColumnGroups {
         group_by: Vec::new(),
     };
     for p in &q.selections {
-        add_to_group(&mut g.selection, q.table_of(p.column.relation), p.column.column);
+        add_to_group(
+            &mut g.selection,
+            q.table_of(p.column.relation),
+            p.column.column,
+        );
     }
     for e in &q.join_edges {
         for &(l, r) in &e.pairs {
@@ -196,10 +200,16 @@ mod tests {
 
         // Singles on a, c, e, f, g (r1 ordinals 0..5) and b, d (r2 0, 1).
         for c in 0..5 {
-            assert!(cands.contains(&StatDescriptor::single(r1, c)), "missing single r1.{c}");
+            assert!(
+                cands.contains(&StatDescriptor::single(r1, c)),
+                "missing single r1.{c}"
+            );
         }
         for c in 0..2 {
-            assert!(cands.contains(&StatDescriptor::single(r2, c)), "missing single r2.{c}");
+            assert!(
+                cands.contains(&StatDescriptor::single(r2, c)),
+                "missing single r2.{c}"
+            );
         }
         // Multi-column: (a, c) on r1, (b, d) on r2, (e, f, g) on r1.
         assert!(cands.contains(&StatDescriptor::multi(r1, vec![0, 1])));
@@ -282,7 +292,10 @@ mod tests {
     fn duplicate_columns_deduplicated() {
         let db = example3_db();
         // e appears in two predicates and in GROUP BY.
-        let q = bind(&db, "SELECT e, COUNT(*) FROM r1 WHERE e > 1 AND e < 100 GROUP BY e");
+        let q = bind(
+            &db,
+            "SELECT e, COUNT(*) FROM r1 WHERE e > 1 AND e < 100 GROUP BY e",
+        );
         let cands = candidate_statistics(&q);
         let r1 = db.table_id("r1").unwrap();
         assert_eq!(cands, vec![StatDescriptor::single(r1, 2)]);

@@ -40,9 +40,7 @@ impl Equivalence {
     /// costs alone and returns exact-cost comparison instead).
     pub fn costs_equivalent(&self, a: f64, b: f64) -> bool {
         match self {
-            Equivalence::ExecutionTree | Equivalence::OptimizerCost => {
-                costs_within_t(a, b, 1e-9)
-            }
+            Equivalence::ExecutionTree | Equivalence::OptimizerCost => costs_within_t(a, b, 1e-9),
             Equivalence::TCost(t) => costs_within_t(a, b, *t),
         }
     }

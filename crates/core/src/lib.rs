@@ -50,13 +50,15 @@ pub mod candidates;
 pub mod equivalence;
 pub mod manager;
 pub mod mnsa;
+pub mod parallel;
 pub mod policy;
 pub mod shrinking;
 
-pub use advisor::{advise, AdvisorReport, Recommendation};
+pub use advisor::{advise, advise_parallel, AdvisorReport, Recommendation};
 pub use candidates::{candidate_statistics, exhaustive_candidates, single_column_candidates};
 pub use equivalence::Equivalence;
 pub use manager::{AutoStatsManager, ManagerConfig};
 pub use mnsa::{CandidateMode, MnsaConfig, MnsaEngine, MnsaOutcome, NextStatOrder, Termination};
+pub use parallel::ParallelTuner;
 pub use policy::{CreationPolicy, OfflineTuner, TuningReport};
 pub use shrinking::{shrinking_set, ShrinkingOutcome};

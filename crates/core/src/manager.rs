@@ -5,13 +5,14 @@
 //! examples and experiments can drive the whole system the way an
 //! application would drive a server.
 
-use crate::policy::{apply_policy, CreationPolicy, TuningReport};
+use crate::policy::{apply_policy_cached, CreationPolicy, TuningReport};
 use crate::Equivalence;
 use executor::{run_statement, StatementOutcome};
-use optimizer::{OptimizeOptions, Optimizer};
+use optimizer::{CacheCounters, OptimizeCache, OptimizeOptions, Optimizer};
 use query::{bind_statement, parse_statement, BindError, BoundStatement, ParseError, Statement};
 use stats::{MaintenancePolicy, MaintenanceReport, StatsCatalog};
 use std::fmt;
+use std::sync::Arc;
 use storage::Database;
 
 /// Errors surfaced by the manager.
@@ -55,6 +56,10 @@ pub struct ManagerConfig {
     pub auto_maintain: bool,
     /// Equivalence notion reported by diagnostic helpers.
     pub equivalence: Equivalence,
+    /// Memoize the tuning-time optimizer calls in an [`OptimizeCache`]
+    /// attached to the catalog (mutations evict affected entries). Results
+    /// are identical either way; repeated tuning just gets cheaper.
+    pub optimizer_cache: bool,
 }
 
 impl Default for ManagerConfig {
@@ -64,6 +69,7 @@ impl Default for ManagerConfig {
             maintenance: MaintenancePolicy::default(),
             auto_maintain: true,
             equivalence: Equivalence::paper_default(),
+            optimizer_cache: true,
         }
     }
 }
@@ -78,17 +84,26 @@ pub struct AutoStatsManager {
     tuning: TuningReport,
     /// Cumulative execution work.
     execution_work: f64,
+    /// Memoized-optimizer cache for tuning calls, attached to the catalog.
+    cache: Option<Arc<OptimizeCache>>,
 }
 
 impl AutoStatsManager {
     pub fn new(db: Database, config: ManagerConfig) -> Self {
+        let mut catalog = StatsCatalog::new();
+        let cache = config.optimizer_cache.then(|| {
+            let cache = Arc::new(OptimizeCache::new());
+            cache.attach(&mut catalog);
+            cache
+        });
         AutoStatsManager {
             db,
-            catalog: StatsCatalog::new(),
+            catalog,
             optimizer: Optimizer::default(),
             config,
             tuning: TuningReport::default(),
             execution_work: 0.0,
+            cache,
         }
     }
 
@@ -122,6 +137,12 @@ impl AutoStatsManager {
         self.execution_work
     }
 
+    /// Hit/miss/invalidation counters of the tuning-time optimizer cache;
+    /// `None` when `ManagerConfig::optimizer_cache` is off.
+    pub fn cache_counters(&self) -> Option<CacheCounters> {
+        self.cache.as_ref().map(|c| c.counters())
+    }
+
     /// Parse, bind, tune (per policy), and execute one SQL statement.
     pub fn execute_sql(&mut self, sql: &str) -> Result<StatementOutcome, ManagerError> {
         let stmt = parse_statement(sql)?;
@@ -137,7 +158,13 @@ impl AutoStatsManager {
     /// Execute a pre-bound statement.
     pub fn execute_bound(&mut self, bound: &BoundStatement) -> StatementOutcome {
         if let BoundStatement::Select(q) = bound {
-            let (report, _) = apply_policy(&self.db, &mut self.catalog, &self.config.creation, q);
+            let (report, _) = apply_policy_cached(
+                &self.db,
+                &mut self.catalog,
+                &self.config.creation,
+                q,
+                self.cache.as_ref(),
+            );
             self.tuning.absorb(&report);
         }
         let outcome = run_statement(
@@ -155,7 +182,8 @@ impl AutoStatsManager {
 
     /// One pass of the §6 auto-update/auto-drop maintenance policy.
     pub fn maintain(&mut self) -> MaintenanceReport {
-        self.catalog.maintain(&mut self.db, &self.config.maintenance)
+        self.catalog
+            .maintain(&mut self.db, &self.config.maintenance)
     }
 
     /// EXPLAIN: the plan the optimizer currently picks for a query, without
@@ -249,7 +277,8 @@ mod tests {
                 ..Default::default()
             },
         );
-        mgr.execute_sql("SELECT * FROM items WHERE price > 1500").unwrap();
+        mgr.execute_sql("SELECT * FROM items WHERE price > 1500")
+            .unwrap();
         let stats_before = mgr.catalog().total_count();
         mgr.execute_sql("DELETE FROM items WHERE id < 30").unwrap();
         // Maintenance ran: modification counter was reset by the update.
@@ -291,7 +320,8 @@ mod tests {
                 ..Default::default()
             },
         );
-        mgr.execute_sql("SELECT * FROM items WHERE price > 1500").unwrap();
+        mgr.execute_sql("SELECT * FROM items WHERE price > 1500")
+            .unwrap();
         assert_eq!(mgr.catalog().total_count(), 0);
     }
 }

@@ -22,10 +22,11 @@
 //! heuristically marked non-essential and moved to the drop-list (§5.1).
 
 use crate::candidates::{candidate_statistics, exhaustive_candidates, single_column_candidates};
-use optimizer::{Operator, OptimizeOptions, OptimizedQuery, Optimizer, PlanNode};
+use optimizer::{Operator, OptimizeCache, OptimizeOptions, OptimizedQuery, Optimizer, PlanNode};
 use query::{BoundSelect, PredicateId};
 use serde::{Deserialize, Serialize};
 use stats::{AgingPolicy, StatDescriptor, StatId, StatsCatalog};
+use std::sync::Arc;
 use storage::Database;
 
 /// Which candidate-statistics strategy feeds MNSA.
@@ -113,7 +114,7 @@ pub enum Termination {
 }
 
 /// What one MNSA run did for one query.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MnsaOutcome {
     /// Statistics created (in creation order), including small-table
     /// pre-creations and both members of join pairs.
@@ -146,6 +147,15 @@ impl MnsaOutcome {
 pub struct MnsaEngine {
     pub optimizer: Optimizer,
     pub config: MnsaConfig,
+    /// Optional memoized-optimizer cache. MNSA's call pattern is extremely
+    /// repetitive (the same query is re-optimized after every creation, and
+    /// tuning tools replay whole call sequences), so a shared cache removes
+    /// most of the dynamic-programming work without changing any answer —
+    /// cache keys fingerprint every optimizer input, so a hit is bit-identical
+    /// to a fresh optimization. `optimizer_calls` still counts every logical
+    /// call: the paper's call-count economics are a property of the
+    /// algorithm, not of this memoization.
+    pub cache: Option<Arc<OptimizeCache>>,
 }
 
 impl MnsaEngine {
@@ -153,7 +163,14 @@ impl MnsaEngine {
         MnsaEngine {
             optimizer: Optimizer::default(),
             config,
+            cache: None,
         }
+    }
+
+    /// Route this engine's optimizer calls through `cache`.
+    pub fn with_cache(mut self, cache: Arc<OptimizeCache>) -> Self {
+        self.cache = Some(cache);
+        self
     }
 
     /// The candidate set for a query under the configured mode.
@@ -176,8 +193,15 @@ impl MnsaEngine {
         outcome: &mut MnsaOutcome,
     ) -> OptimizedQuery {
         outcome.optimizer_calls += 1;
-        self.optimizer
-            .optimize(db, query, catalog.full_view(), options)
+        match &self.cache {
+            Some(cache) => {
+                self.optimizer
+                    .optimize_cached(db, query, catalog.full_view(), options, cache)
+            }
+            None => self
+                .optimizer
+                .optimize(db, query, catalog.full_view(), options),
+        }
     }
 
     /// Run MNSA (Figure 1) for one query, creating statistics in `catalog`.
@@ -188,10 +212,14 @@ impl MnsaEngine {
         query: &BoundSelect,
     ) -> MnsaOutcome {
         let mut outcome = MnsaOutcome::new();
+        // A drop-listed statistic is invisible to the optimizer, so for
+        // candidate purposes it counts as unbuilt: if this query's
+        // sensitivity loop picks it again, `create_statistic` reactivates it
+        // from the drop-list for free (§5).
         let mut remaining: Vec<StatDescriptor> = self
             .candidates(query)
             .into_iter()
-            .filter(|d| catalog.find_built(d).is_none())
+            .filter(|d| catalog.find_active(d).is_none())
             .collect();
 
         // Small-table pre-creation (§4.3).
@@ -208,8 +236,13 @@ impl MnsaEngine {
         }
 
         // Step 2: P = plan of Q with default magic numbers.
-        let mut current =
-            self.optimize(db, catalog, query, &OptimizeOptions::default(), &mut outcome);
+        let mut current = self.optimize(
+            db,
+            catalog,
+            query,
+            &OptimizeOptions::default(),
+            &mut outcome,
+        );
 
         loop {
             // Step 4: the selectivity variables still on magic numbers.
@@ -242,8 +275,14 @@ impl MnsaEngine {
             }
 
             // Step 8: FindNextStatToBuild on the magic-number plan P.
-            let Some(group) = self.find_next_stats(db, catalog, query, &current.plan, &mut remaining, &mut outcome)
-            else {
+            let Some(group) = self.find_next_stats(
+                db,
+                catalog,
+                query,
+                &current.plan,
+                &mut remaining,
+                &mut outcome,
+            ) else {
                 outcome.terminated_by = Termination::NoMoreCandidates;
                 break;
             };
@@ -257,25 +296,42 @@ impl MnsaEngine {
             outcome.created.extend(&round_ids);
 
             // Steps 11–12: re-optimize with the new statistics.
-            current =
-                self.optimize(db, catalog, query, &OptimizeOptions::default(), &mut outcome);
+            current = self.optimize(
+                db,
+                catalog,
+                query,
+                &OptimizeOptions::default(),
+                &mut outcome,
+            );
 
             // MNSA/D (§5.1): if the plan did not change, the statistics just
-            // built are heuristically non-essential.
+            // built are heuristically non-essential. The heuristic alone can
+            // misfire when the new statistics interact with earlier ones
+            // (dropping them would change the plan even though adding them
+            // did not), so the drop is verified: hide the statistics,
+            // re-optimize, and keep the drop only if the plan tree is still
+            // unchanged.
             if self.config.drop_detection && current.plan.same_tree(&before_plan) {
-                for id in round_ids {
+                for &id in &round_ids {
                     catalog.move_to_drop_list(id);
-                    outcome.drop_listed.push(id);
                 }
-                // Re-optimize without the hidden statistics so the loop's
-                // invariant (current == plan under active stats) holds.
-                current = self.optimize(
+                let without = self.optimize(
                     db,
                     catalog,
                     query,
                     &OptimizeOptions::default(),
                     &mut outcome,
                 );
+                if without.plan.same_tree(&current.plan) {
+                    outcome.drop_listed.extend(&round_ids);
+                    // The loop invariant (current == plan under active stats)
+                    // holds with the re-optimized plan.
+                    current = without;
+                } else {
+                    for &id in &round_ids {
+                        catalog.reactivate(id);
+                    }
+                }
             }
         }
 
@@ -364,9 +420,7 @@ impl MnsaEngine {
                 // First matching candidate (candidate order: singles first).
                 remaining
                     .iter()
-                    .find(|d| {
-                        d.table == table && d.columns.iter().all(|c| pred_cols.contains(c))
-                    })
+                    .find(|d| d.table == table && d.columns.iter().all(|c| pred_cols.contains(c)))
                     .cloned()
                     .into_iter()
                     .collect()
@@ -390,8 +444,7 @@ impl MnsaEngine {
                     };
                     let left = remaining.iter().find(|d| matches(d, lt, &lcols)).cloned();
                     let right = remaining.iter().find(|d| matches(d, rt, &rcols)).cloned();
-                    let group: Vec<StatDescriptor> =
-                        left.into_iter().chain(right).collect();
+                    let group: Vec<StatDescriptor> = left.into_iter().chain(right).collect();
                     if !group.is_empty() {
                         return group;
                     }
@@ -408,11 +461,7 @@ impl MnsaEngine {
                     .collect();
                 remaining
                     .iter()
-                    .find(|d| {
-                        d.columns
-                            .iter()
-                            .all(|c| cols.contains(&(d.table, *c)))
-                    })
+                    .find(|d| d.columns.iter().all(|c| cols.contains(&(d.table, *c))))
                     .cloned()
                     .into_iter()
                     .collect()
@@ -542,7 +591,10 @@ mod tests {
         // P_low and P_high, so MNSA should create nothing.
         let mut db = Database::new();
         let t = db
-            .create_table("tiny", Schema::new(vec![ColumnDef::new("a", DataType::Int)]))
+            .create_table(
+                "tiny",
+                Schema::new(vec![ColumnDef::new("a", DataType::Int)]),
+            )
             .unwrap();
         db.table_mut(t).insert(vec![Value::Int(1)]).unwrap();
         let q = bind(&db, "SELECT * FROM tiny WHERE a = 1");

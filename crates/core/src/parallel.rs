@@ -1,0 +1,277 @@
+//! Parallel workload tuning with optimistic speculation.
+//!
+//! §4.3 of the paper derives workload-level tuning from per-query MNSA:
+//! "a sufficient set of statistics for a workload can be obtained by
+//! invoking MNSA for each query". The per-query runs are *almost*
+//! independent — each one reads and mutates only the statistics of the
+//! tables its query references — and that locality is what
+//! [`ParallelTuner`] exploits.
+//!
+//! ## Protocol
+//!
+//! 1. **Snapshot.** The catalog is snapshotted once.
+//! 2. **Speculate** (parallel). Each worker picks the next unprocessed query,
+//!    restores a private scratch catalog from the snapshot, runs MNSA on it,
+//!    and records (a) the outcome, (b) the *descriptors* created in creation
+//!    order, and (c) a **base signature**: a fingerprint of the snapshot's
+//!    built statistics on the query's referenced tables.
+//! 3. **Commit** (serial, in query order — this is the deterministic merge
+//!    rule). For each query in workload order, the tuner re-fingerprints the
+//!    *live* catalog over the same tables:
+//!    * **signature match** — no earlier commit touched the tables this
+//!      speculation depends on, so its trajectory is exactly what a serial
+//!      run would have done here. The creations are *replayed* onto the live
+//!      catalog (same descriptors, same order — hence the same `StatId`s a
+//!      serial run would allocate), drop-list moves are applied, and the
+//!      outcome's ids are rewritten to the live ids.
+//!    * **signature mismatch** — an earlier query changed this query's
+//!      statistics context; the speculation is discarded and MNSA re-runs
+//!      serially on the live catalog.
+//!
+//! Because commits happen in workload order and each commit either replays a
+//! trajectory proven identical to the serial one or actually runs serially,
+//! the final catalog state and every returned [`MnsaOutcome`] are
+//! **bit-identical to a serial run** — `tests/parallel_tuner_equivalence.rs`
+//! verifies this differentially across thread counts and workload seeds.
+//!
+//! ## When speculation is sound
+//!
+//! The signature check covers everything a per-query MNSA run reads from
+//! shared mutable state, under two preconditions enforced by serial
+//! fallback:
+//!
+//! * **Full-scan statistics builds.** Under sampling, a statistic's content
+//!   depends on its sampling seed, which mixes in the allocated `StatId` —
+//!   scratch-catalog ids differ from live ids, so replayed content could
+//!   differ. With [`SampleSpec::FullScan`] (the default) content is
+//!   id-independent.
+//! * **No aging policy.** Aging consults drop timestamps of *any* table's
+//!   statistics, which the per-table signature does not cover.
+
+use crate::mnsa::{MnsaEngine, MnsaOutcome};
+use optimizer::cache::Fnv;
+use parking_lot::Mutex;
+use query::BoundSelect;
+use stats::{SampleSpec, StatDescriptor, StatsCatalog};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use storage::{Database, TableId};
+
+/// One worker's speculative MNSA run for one query.
+struct Speculation {
+    outcome: MnsaOutcome,
+    /// Descriptors of `outcome.created`, in creation order (ids are
+    /// scratch-local and meaningless outside the worker).
+    created_descs: Vec<StatDescriptor>,
+    /// Fingerprint of the snapshot's statistics on `tables`.
+    base_sig: u64,
+    /// The query's referenced tables, sorted and deduplicated.
+    tables: Vec<TableId>,
+}
+
+/// Fans per-query MNSA across a thread pool; output is bit-identical to
+/// [`MnsaEngine::run_workload`].
+#[derive(Debug, Clone)]
+pub struct ParallelTuner {
+    pub engine: MnsaEngine,
+    /// Worker thread count; `<= 1` runs serially.
+    pub threads: usize,
+}
+
+impl ParallelTuner {
+    pub fn new(engine: MnsaEngine, threads: usize) -> Self {
+        ParallelTuner { engine, threads }
+    }
+
+    /// True when the optimistic protocol's preconditions hold (see module
+    /// docs); otherwise `run_workload` falls back to the serial loop.
+    fn can_speculate(&self, catalog: &StatsCatalog, queries: &[BoundSelect]) -> bool {
+        self.threads > 1
+            && queries.len() > 1
+            && self.engine.config.aging.is_none()
+            && catalog.build_options().sample == SampleSpec::FullScan
+    }
+
+    /// Run MNSA for every query of `queries`, in workload order semantics.
+    pub fn run_workload(
+        &self,
+        db: &Database,
+        catalog: &mut StatsCatalog,
+        queries: &[BoundSelect],
+    ) -> Vec<MnsaOutcome> {
+        if !self.can_speculate(catalog, queries) {
+            return self.engine.run_workload(db, catalog, queries);
+        }
+
+        let snapshot = catalog.snapshot();
+        let n = queries.len();
+        let slots: Vec<Mutex<Option<Speculation>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        let workers = self.threads.min(n);
+
+        crossbeam::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|_| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let query = &queries[i];
+                    let tables = referenced_tables(query);
+                    // The snapshot state is what this speculation reads; its
+                    // fingerprint is recomputed over the live catalog at
+                    // commit time to validate the speculation.
+                    let mut scratch = StatsCatalog::restore(snapshot.clone());
+                    let base_sig = tables_signature(&scratch, &tables);
+                    let outcome = self.engine.run_query(db, &mut scratch, query);
+                    let created_descs = outcome
+                        .created
+                        .iter()
+                        .map(|&id| {
+                            scratch
+                                .statistic(id)
+                                .expect("created stat")
+                                .descriptor
+                                .clone()
+                        })
+                        .collect();
+                    *slots[i].lock() = Some(Speculation {
+                        outcome,
+                        created_descs,
+                        base_sig,
+                        tables,
+                    });
+                });
+            }
+        })
+        .expect("tuner worker panicked");
+
+        // Deterministic merge: commit in workload order.
+        let mut results = Vec::with_capacity(n);
+        for (i, slot) in slots.into_iter().enumerate() {
+            let spec = slot.into_inner().expect("missing speculation");
+            if tables_signature(catalog, &spec.tables) == spec.base_sig {
+                results.push(replay(db, catalog, spec));
+            } else {
+                // An earlier query changed this query's statistics context:
+                // the speculation is stale, run on the live catalog instead.
+                results.push(self.engine.run_query(db, catalog, &queries[i]));
+            }
+        }
+        results
+    }
+}
+
+/// The query's referenced tables, sorted and deduplicated.
+fn referenced_tables(query: &BoundSelect) -> Vec<TableId> {
+    let mut tables: Vec<TableId> = query.relations.iter().map(|&(t, _)| t).collect();
+    tables.sort();
+    tables.dedup();
+    tables
+}
+
+/// Fingerprint of every *built* statistic (active and drop-listed) on the
+/// given tables: id, descriptor, visibility, refresh generation, and build
+/// provenance. Two catalog states with equal signatures present an MNSA run
+/// on these tables with indistinguishable shared state.
+fn tables_signature(catalog: &StatsCatalog, tables: &[TableId]) -> u64 {
+    let mut h = Fnv::new();
+    for &table in tables {
+        h.write(table.0 as u64);
+        for s in catalog.built_on_table(table) {
+            h.write(s.id.0 as u64)
+                .write(s.descriptor.columns.len() as u64);
+            for &c in &s.descriptor.columns {
+                h.write(c as u64);
+            }
+            h.write(catalog.is_drop_listed(s.id) as u64)
+                .write(s.update_count as u64)
+                .write(s.row_count_at_build as u64);
+        }
+    }
+    h.finish()
+}
+
+/// Apply a validated speculation to the live catalog: replay creations in
+/// order (allocating exactly the ids a serial run would), apply drop-list
+/// moves, and rewrite the outcome's scratch-local ids to live ids.
+fn replay(db: &Database, catalog: &mut StatsCatalog, spec: Speculation) -> MnsaOutcome {
+    let mut outcome = spec.outcome;
+    let mut id_map = HashMap::with_capacity(outcome.created.len());
+    for (old, desc) in outcome.created.iter().zip(spec.created_descs) {
+        id_map.insert(*old, catalog.create_statistic(db, desc));
+    }
+    for id in &mut outcome.created {
+        *id = id_map[id];
+    }
+    // MNSA/D only drop-lists statistics it created itself, so every
+    // drop-listed id is in the map.
+    for id in &mut outcome.drop_listed {
+        *id = id_map[id];
+        catalog.move_to_drop_list(*id);
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mnsa::MnsaConfig;
+    use datagen::{build_tpcd, Complexity, RagsGenerator, TpcdConfig, WorkloadSpec, ZipfSpec};
+    use query::{bind_statement, BoundStatement};
+
+    fn tpcd(scale: f64, seed: u64) -> Database {
+        build_tpcd(&TpcdConfig {
+            scale,
+            zipf: ZipfSpec::Mixed,
+            seed,
+        })
+    }
+
+    fn workload(db: &Database, n: usize, seed: u64) -> Vec<BoundSelect> {
+        let spec = WorkloadSpec::new(0, Complexity::Complex, n).with_seed(seed);
+        RagsGenerator::generate(db, &spec)
+            .iter()
+            .filter_map(|stmt| match bind_statement(db, stmt) {
+                Ok(BoundStatement::Select(q)) => Some(q),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_matches_serial_bit_for_bit() {
+        let db = tpcd(0.01, 42);
+        let queries = workload(&db, 12, 7);
+        let engine = MnsaEngine::new(MnsaConfig::default().with_drop_detection());
+
+        let mut serial_catalog = StatsCatalog::new();
+        let serial = engine.run_workload(&db, &mut serial_catalog, &queries);
+
+        let tuner = ParallelTuner::new(engine, 4);
+        let mut par_catalog = StatsCatalog::new();
+        let parallel = tuner.run_workload(&db, &mut par_catalog, &queries);
+
+        assert_eq!(serial, parallel);
+        assert_eq!(serial_catalog.active_ids(), par_catalog.active_ids());
+        assert_eq!(
+            serial_catalog.drop_list().collect::<Vec<_>>(),
+            par_catalog.drop_list().collect::<Vec<_>>()
+        );
+        assert_eq!(serial_catalog.creation_work(), par_catalog.creation_work());
+    }
+
+    #[test]
+    fn single_thread_is_plain_serial() {
+        let db = tpcd(0.01, 1);
+        let queries = workload(&db, 4, 3);
+        let engine = MnsaEngine::new(MnsaConfig::default());
+        let tuner = ParallelTuner::new(engine.clone(), 1);
+        let mut a = StatsCatalog::new();
+        let mut b = StatsCatalog::new();
+        assert_eq!(
+            tuner.run_workload(&db, &mut a, &queries),
+            engine.run_workload(&db, &mut b, &queries)
+        );
+    }
+}

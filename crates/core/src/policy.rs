@@ -20,10 +20,13 @@
 
 use crate::equivalence::Equivalence;
 use crate::mnsa::{MnsaConfig, MnsaEngine};
+use crate::parallel::ParallelTuner;
 use crate::shrinking::shrinking_set;
+use optimizer::OptimizeCache;
 use query::BoundSelect;
 use serde::{Deserialize, Serialize};
 use stats::{StatId, StatsCatalog};
+use std::sync::Arc;
 use storage::Database;
 
 /// How statistics are created for incoming queries.
@@ -91,6 +94,19 @@ pub fn apply_policy(
     policy: &CreationPolicy,
     query: &BoundSelect,
 ) -> (TuningReport, Vec<StatId>) {
+    apply_policy_cached(db, catalog, policy, query, None)
+}
+
+/// [`apply_policy`] with an optional memoized-optimizer cache routed into
+/// the MNSA analysis calls. Reports and created-statistics sets are
+/// identical with or without a cache.
+pub fn apply_policy_cached(
+    db: &Database,
+    catalog: &mut StatsCatalog,
+    policy: &CreationPolicy,
+    query: &BoundSelect,
+    cache: Option<&Arc<OptimizeCache>>,
+) -> (TuningReport, Vec<StatId>) {
     let mut report = TuningReport::default();
     let before_work = catalog.creation_work();
     let mut created = Vec::new();
@@ -111,7 +127,10 @@ pub fn apply_policy(
             }
         }
         CreationPolicy::Mnsa(cfg) => {
-            let engine = MnsaEngine::new(*cfg);
+            let mut engine = MnsaEngine::new(*cfg);
+            if let Some(cache) = cache {
+                engine = engine.with_cache(Arc::clone(cache));
+            }
             let outcome = engine.run_query(db, catalog, query);
             report.optimizer_calls = outcome.optimizer_calls;
             report.overhead_work =
@@ -132,6 +151,10 @@ pub struct OfflineTuner {
     pub mnsa: MnsaConfig,
     /// Equivalence used by the Shrinking Set pass; `None` skips shrinking.
     pub shrink: Option<Equivalence>,
+    /// Worker threads for the per-query MNSA phase; `1` tunes serially. Any
+    /// value yields bit-identical reports and catalog state (see
+    /// [`ParallelTuner`]).
+    pub threads: usize,
 }
 
 impl Default for OfflineTuner {
@@ -139,6 +162,7 @@ impl Default for OfflineTuner {
         OfflineTuner {
             mnsa: MnsaConfig::default(),
             shrink: Some(Equivalence::paper_default()),
+            threads: 1,
         }
     }
 }
@@ -152,12 +176,30 @@ impl OfflineTuner {
         catalog: &mut StatsCatalog,
         workload: &[BoundSelect],
     ) -> TuningReport {
+        self.tune_cached(db, catalog, workload, None)
+    }
+
+    /// [`OfflineTuner::tune`] with an optional memoized-optimizer cache for
+    /// the MNSA analysis calls.
+    pub fn tune_cached(
+        &self,
+        db: &Database,
+        catalog: &mut StatsCatalog,
+        workload: &[BoundSelect],
+        cache: Option<&Arc<OptimizeCache>>,
+    ) -> TuningReport {
         let mut report = TuningReport::default();
-        let engine = MnsaEngine::new(self.mnsa);
+        let mut engine = MnsaEngine::new(self.mnsa);
+        if let Some(cache) = cache {
+            engine = engine.with_cache(Arc::clone(cache));
+        }
         let before_work = catalog.creation_work();
         let mut created_ids = Vec::new();
-        for q in workload {
-            let outcome = engine.run_query(db, catalog, q);
+        let tuner = ParallelTuner::new(engine.clone(), self.threads);
+        for (q, outcome) in workload
+            .iter()
+            .zip(tuner.run_workload(db, catalog, workload))
+        {
             report.optimizer_calls += outcome.optimizer_calls;
             report.overhead_work +=
                 outcome.optimizer_calls as f64 * optimizer_call_work(q.relations.len());
@@ -179,9 +221,14 @@ impl OfflineTuner {
                 true,
             );
             report.optimizer_calls += out.optimizer_calls;
-            report.overhead_work += out
-                .optimizer_calls as f64
-                * optimizer_call_work(workload.iter().map(|q| q.relations.len()).max().unwrap_or(1));
+            report.overhead_work += out.optimizer_calls as f64
+                * optimizer_call_work(
+                    workload
+                        .iter()
+                        .map(|q| q.relations.len())
+                        .max()
+                        .unwrap_or(1),
+                );
             report.statistics_drop_listed += out.removed.len();
         }
         catalog.advance_epoch();
@@ -277,7 +324,10 @@ mod tests {
         let db = setup();
         let workload = vec![
             bind(&db, "SELECT * FROM sales WHERE amount > 800"),
-            bind(&db, "SELECT region, COUNT(*) FROM sales WHERE amount > 800 GROUP BY region"),
+            bind(
+                &db,
+                "SELECT region, COUNT(*) FROM sales WHERE amount > 800 GROUP BY region",
+            ),
         ];
         let mut catalog = StatsCatalog::new();
         let tuner = OfflineTuner::default();

@@ -17,8 +17,8 @@
 use crate::equivalence::Equivalence;
 use optimizer::{OptimizeOptions, OptimizedQuery, Optimizer};
 use query::BoundSelect;
-use std::collections::HashSet;
 use stats::{StatId, StatsCatalog};
+use std::collections::HashSet;
 use storage::Database;
 
 /// The result of a Shrinking Set pass.
@@ -70,10 +70,11 @@ pub fn shrinking_set(
     let base_ignore: HashSet<StatId> = all_active.difference(&initial_set).copied().collect();
 
     let mut calls = 0usize;
-    let mut optimize = |catalog: &StatsCatalog, q: &BoundSelect, ignore: &HashSet<StatId>| -> OptimizedQuery {
-        calls += 1;
-        optimizer.optimize(db, q, catalog.view(ignore), &OptimizeOptions::default())
-    };
+    let mut optimize =
+        |catalog: &StatsCatalog, q: &BoundSelect, ignore: &HashSet<StatId>| -> OptimizedQuery {
+            calls += 1;
+            optimizer.optimize(db, q, catalog.view(ignore), &OptimizeOptions::default())
+        };
 
     // Reference plans: Plan(Q, S).
     let reference: Vec<OptimizedQuery> = workload
@@ -189,7 +190,10 @@ mod tests {
     fn result_is_an_essential_set() {
         let db = setup();
         let workload = vec![
-            bind(&db, "SELECT * FROM facts, dim WHERE facts.k = dim.k AND a = 1"),
+            bind(
+                &db,
+                "SELECT * FROM facts, dim WHERE facts.k = dim.k AND a = 1",
+            ),
             bind(&db, "SELECT b, COUNT(*) FROM facts WHERE a = 1 GROUP BY b"),
         ];
         // Start from ALL candidate statistics (a superset of essential).
@@ -203,7 +207,15 @@ mod tests {
         let initial = catalog.active_ids();
         let optimizer = Optimizer::default();
         let equiv = Equivalence::ExecutionTree;
-        let out = shrinking_set(&db, &mut catalog, &optimizer, &workload, &initial, equiv, false);
+        let out = shrinking_set(
+            &db,
+            &mut catalog,
+            &optimizer,
+            &workload,
+            &initial,
+            equiv,
+            false,
+        );
 
         assert_eq!(out.essential.len() + out.removed.len(), initial.len());
 
@@ -218,8 +230,12 @@ mod tests {
                 catalog.view(&HashSet::new()),
                 &OptimizeOptions::default(),
             );
-            let with_r =
-                optimizer.optimize(&db, q, catalog.view(&ignore_to_r), &OptimizeOptions::default());
+            let with_r = optimizer.optimize(
+                &db,
+                q,
+                catalog.view(&ignore_to_r),
+                &OptimizeOptions::default(),
+            );
             assert!(equiv.equivalent(&with_s, &with_r), "R not equivalent to S");
         }
 
@@ -242,7 +258,10 @@ mod tests {
                     break;
                 }
             }
-            assert!(any_changed, "statistic {s} in R is removable — R not minimal");
+            assert!(
+                any_changed,
+                "statistic {s} in R is removable — R not minimal"
+            );
         }
     }
 

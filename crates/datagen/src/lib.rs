@@ -17,8 +17,8 @@
 
 pub mod rags;
 pub mod tpcd;
-pub mod workload_io;
 pub mod tpcd_queries;
+pub mod workload_io;
 pub mod zipf;
 
 pub use rags::{Complexity, RagsGenerator, WorkloadSpec};

@@ -14,7 +14,7 @@
 use crate::zipf::Zipf;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use storage::{ColumnDef, Database, DataType, Schema, TableId, Value};
+use storage::{ColumnDef, DataType, Database, Schema, TableId, Value};
 
 /// How skew is assigned to columns.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -105,12 +105,26 @@ enum ColGen {
     /// Sequential 0..n primary key.
     Serial,
     /// Zipfian over 0..n mapped through a function.
-    ZipfInt { zipf: Zipf, map: fn(usize) -> i64 },
-    ZipfChoice { zipf: Zipf, choices: Vec<String> },
-    ZipfFloat { zipf: Zipf, lo: f64, step: f64 },
-    ZipfDate { zipf: Zipf },
+    ZipfInt {
+        zipf: Zipf,
+        map: fn(usize) -> i64,
+    },
+    ZipfChoice {
+        zipf: Zipf,
+        choices: Vec<String>,
+    },
+    ZipfFloat {
+        zipf: Zipf,
+        lo: f64,
+        step: f64,
+    },
+    ZipfDate {
+        zipf: Zipf,
+    },
     /// Zipfian foreign key into 0..parent_rows.
-    ZipfFk { zipf: Zipf },
+    ZipfFk {
+        zipf: Zipf,
+    },
     /// `row % n` — spreads a foreign key evenly so composite keys built on
     /// top of it stay (nearly) unique, like TPC-D's partsupp primary key.
     SerialMod(usize),
@@ -140,7 +154,9 @@ impl ColGen {
 fn fill_table(db: &mut Database, id: TableId, rows: usize, cols: Vec<ColGen>, rng: &mut StdRng) {
     for row in 0..rows {
         let values: Vec<Value> = cols.iter().map(|c| c.value(row, rng)).collect();
-        db.table_mut(id).insert(values).expect("generated row is valid");
+        db.table_mut(id)
+            .insert(values)
+            .expect("generated row is valid");
     }
     db.table_mut(id).reset_modification_counter();
 }
@@ -228,8 +244,14 @@ pub fn build_tpcd(config: &TpcdConfig) -> Database {
         let cols = vec![
             ColGen::Serial,
             ColGen::Label("Supplier"),
-            ColGen::ZipfFk { zipf: g.zipf_fk(n_nation) },
-            ColGen::ZipfFloat { zipf: g.zipf(1000), lo: -999.0, step: 11.0 },
+            ColGen::ZipfFk {
+                zipf: g.zipf_fk(n_nation),
+            },
+            ColGen::ZipfFloat {
+                zipf: g.zipf(1000),
+                lo: -999.0,
+                step: 11.0,
+            },
         ];
         fill_table(&mut db, supplier, n_supplier, cols, &mut g.rng);
     }
@@ -252,18 +274,38 @@ pub fn build_tpcd(config: &TpcdConfig) -> Database {
     {
         let brands: Vec<String> = (1..=25).map(|i| format!("Brand#{i}")).collect();
         let types = choices(&[
-            "STANDARD ANODIZED TIN", "SMALL PLATED COPPER", "MEDIUM BURNISHED NICKEL",
-            "LARGE BRUSHED STEEL", "ECONOMY POLISHED BRASS", "PROMO BURNISHED COPPER",
+            "STANDARD ANODIZED TIN",
+            "SMALL PLATED COPPER",
+            "MEDIUM BURNISHED NICKEL",
+            "LARGE BRUSHED STEEL",
+            "ECONOMY POLISHED BRASS",
+            "PROMO BURNISHED COPPER",
         ]);
         let containers = choices(&["SM CASE", "MED BOX", "LG DRUM", "JUMBO PKG", "WRAP JAR"]);
         let cols = vec![
             ColGen::Serial,
             ColGen::Label("part"),
-            ColGen::ZipfChoice { zipf: g.zipf(25), choices: brands },
-            ColGen::ZipfChoice { zipf: g.zipf(6), choices: types },
-            ColGen::ZipfInt { zipf: g.zipf(50), map: |r| r as i64 + 1 },
-            ColGen::ZipfChoice { zipf: g.zipf(5), choices: containers },
-            ColGen::ZipfFloat { zipf: g.zipf(1000), lo: 900.0, step: 1.1 },
+            ColGen::ZipfChoice {
+                zipf: g.zipf(25),
+                choices: brands,
+            },
+            ColGen::ZipfChoice {
+                zipf: g.zipf(6),
+                choices: types,
+            },
+            ColGen::ZipfInt {
+                zipf: g.zipf(50),
+                map: |r| r as i64 + 1,
+            },
+            ColGen::ZipfChoice {
+                zipf: g.zipf(5),
+                choices: containers,
+            },
+            ColGen::ZipfFloat {
+                zipf: g.zipf(1000),
+                lo: 900.0,
+                step: 1.1,
+            },
         ];
         fill_table(&mut db, part, n_part, cols, &mut g.rng);
     }
@@ -286,9 +328,18 @@ pub fn build_tpcd(config: &TpcdConfig) -> Database {
         // pair joins against lineitem keep bounded fan-out.
         let cols = vec![
             ColGen::SerialMod(n_part),
-            ColGen::ZipfFk { zipf: g.zipf_fk(n_supplier) },
-            ColGen::ZipfInt { zipf: g.zipf(10_000), map: |r| r as i64 },
-            ColGen::ZipfFloat { zipf: g.zipf(1000), lo: 1.0, step: 1.0 },
+            ColGen::ZipfFk {
+                zipf: g.zipf_fk(n_supplier),
+            },
+            ColGen::ZipfInt {
+                zipf: g.zipf(10_000),
+                map: |r| r as i64,
+            },
+            ColGen::ZipfFloat {
+                zipf: g.zipf(1000),
+                lo: 1.0,
+                step: 1.0,
+            },
         ];
         fill_table(&mut db, partsupp, n_partsupp, cols, &mut g.rng);
     }
@@ -307,13 +358,28 @@ pub fn build_tpcd(config: &TpcdConfig) -> Database {
         )
         .unwrap();
     {
-        let segments = choices(&["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"]);
+        let segments = choices(&[
+            "AUTOMOBILE",
+            "BUILDING",
+            "FURNITURE",
+            "MACHINERY",
+            "HOUSEHOLD",
+        ]);
         let cols = vec![
             ColGen::Serial,
             ColGen::Label("Customer"),
-            ColGen::ZipfFk { zipf: g.zipf_fk(n_nation) },
-            ColGen::ZipfFloat { zipf: g.zipf(1000), lo: -999.0, step: 11.0 },
-            ColGen::ZipfChoice { zipf: g.zipf(5), choices: segments },
+            ColGen::ZipfFk {
+                zipf: g.zipf_fk(n_nation),
+            },
+            ColGen::ZipfFloat {
+                zipf: g.zipf(1000),
+                lo: -999.0,
+                step: 11.0,
+            },
+            ColGen::ZipfChoice {
+                zipf: g.zipf(5),
+                choices: segments,
+            },
         ];
         fill_table(&mut db, customer, n_customer, cols, &mut g.rng);
     }
@@ -337,12 +403,29 @@ pub fn build_tpcd(config: &TpcdConfig) -> Database {
         let priorities = choices(&["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"]);
         let cols = vec![
             ColGen::Serial,
-            ColGen::ZipfFk { zipf: g.zipf_fk(n_customer) },
-            ColGen::ZipfChoice { zipf: g.zipf(3), choices: choices(&["F", "O", "P"]) },
-            ColGen::ZipfFloat { zipf: g.zipf(10_000), lo: 850.0, step: 45.0 },
-            ColGen::ZipfDate { zipf: g.zipf(DATE_DAYS) },
-            ColGen::ZipfChoice { zipf: g.zipf(5), choices: priorities },
-            ColGen::ZipfInt { zipf: g.zipf(2), map: |r| r as i64 },
+            ColGen::ZipfFk {
+                zipf: g.zipf_fk(n_customer),
+            },
+            ColGen::ZipfChoice {
+                zipf: g.zipf(3),
+                choices: choices(&["F", "O", "P"]),
+            },
+            ColGen::ZipfFloat {
+                zipf: g.zipf(10_000),
+                lo: 850.0,
+                step: 45.0,
+            },
+            ColGen::ZipfDate {
+                zipf: g.zipf(DATE_DAYS),
+            },
+            ColGen::ZipfChoice {
+                zipf: g.zipf(5),
+                choices: priorities,
+            },
+            ColGen::ZipfInt {
+                zipf: g.zipf(2),
+                map: |r| r as i64,
+            },
         ];
         fill_table(&mut db, orders, n_orders, cols, &mut g.rng);
     }
@@ -371,19 +454,57 @@ pub fn build_tpcd(config: &TpcdConfig) -> Database {
     {
         let modes = choices(&["MAIL", "SHIP", "AIR", "TRUCK", "RAIL", "FOB", "REG AIR"]);
         let cols = vec![
-            ColGen::ZipfFk { zipf: g.zipf_fk(n_orders) },
-            ColGen::ZipfFk { zipf: g.zipf_fk(n_part) },
-            ColGen::ZipfFk { zipf: g.zipf_fk(n_supplier) },
-            ColGen::ZipfInt { zipf: g.zipf(7), map: |r| r as i64 + 1 },
-            ColGen::ZipfFloat { zipf: g.zipf(50), lo: 1.0, step: 1.0 },
-            ColGen::ZipfFloat { zipf: g.zipf(10_000), lo: 900.0, step: 9.5 },
-            ColGen::ZipfFloat { zipf: g.zipf(11), lo: 0.0, step: 0.01 },
-            ColGen::ZipfFloat { zipf: g.zipf(9), lo: 0.0, step: 0.01 },
-            ColGen::ZipfChoice { zipf: g.zipf(3), choices: choices(&["A", "N", "R"]) },
-            ColGen::ZipfChoice { zipf: g.zipf(2), choices: choices(&["F", "O"]) },
-            ColGen::ZipfDate { zipf: g.zipf(DATE_DAYS) },
-            ColGen::ZipfDate { zipf: g.zipf(DATE_DAYS) },
-            ColGen::ZipfChoice { zipf: g.zipf(7), choices: modes },
+            ColGen::ZipfFk {
+                zipf: g.zipf_fk(n_orders),
+            },
+            ColGen::ZipfFk {
+                zipf: g.zipf_fk(n_part),
+            },
+            ColGen::ZipfFk {
+                zipf: g.zipf_fk(n_supplier),
+            },
+            ColGen::ZipfInt {
+                zipf: g.zipf(7),
+                map: |r| r as i64 + 1,
+            },
+            ColGen::ZipfFloat {
+                zipf: g.zipf(50),
+                lo: 1.0,
+                step: 1.0,
+            },
+            ColGen::ZipfFloat {
+                zipf: g.zipf(10_000),
+                lo: 900.0,
+                step: 9.5,
+            },
+            ColGen::ZipfFloat {
+                zipf: g.zipf(11),
+                lo: 0.0,
+                step: 0.01,
+            },
+            ColGen::ZipfFloat {
+                zipf: g.zipf(9),
+                lo: 0.0,
+                step: 0.01,
+            },
+            ColGen::ZipfChoice {
+                zipf: g.zipf(3),
+                choices: choices(&["A", "N", "R"]),
+            },
+            ColGen::ZipfChoice {
+                zipf: g.zipf(2),
+                choices: choices(&["F", "O"]),
+            },
+            ColGen::ZipfDate {
+                zipf: g.zipf(DATE_DAYS),
+            },
+            ColGen::ZipfDate {
+                zipf: g.zipf(DATE_DAYS),
+            },
+            ColGen::ZipfChoice {
+                zipf: g.zipf(7),
+                choices: modes,
+            },
         ];
         fill_table(&mut db, lineitem, n_lineitem, cols, &mut g.rng);
     }

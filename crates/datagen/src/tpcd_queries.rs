@@ -159,8 +159,7 @@ mod tests {
     fn queries_have_relevant_columns() {
         let db = build_tpcd(&TpcdConfig::default());
         for q in tpcd_benchmark_queries() {
-            let BoundStatement::Select(b) =
-                bind_statement(&db, &Statement::Select(q)).unwrap()
+            let BoundStatement::Select(b) = bind_statement(&db, &Statement::Select(q)).unwrap()
             else {
                 panic!()
             };

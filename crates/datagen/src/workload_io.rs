@@ -16,7 +16,10 @@ use std::path::Path;
 pub enum WorkloadIoError {
     Io(io::Error),
     /// Parse failure with the 1-based line number.
-    Parse { line: usize, error: ParseError },
+    Parse {
+        line: usize,
+        error: ParseError,
+    },
 }
 
 impl std::fmt::Display for WorkloadIoError {
@@ -49,7 +52,10 @@ pub fn workload_to_sql(workload: &[Statement]) -> String {
 }
 
 /// Write a workload to a `.sql` file.
-pub fn write_workload(path: impl AsRef<Path>, workload: &[Statement]) -> Result<(), WorkloadIoError> {
+pub fn write_workload(
+    path: impl AsRef<Path>,
+    workload: &[Statement],
+) -> Result<(), WorkloadIoError> {
     fs::write(path, workload_to_sql(workload))?;
     Ok(())
 }

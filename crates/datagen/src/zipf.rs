@@ -91,7 +91,10 @@ mod tests {
         let z4 = Zipf::new(100, 4.0);
         assert!(z4.pmf(0) > z1.pmf(0));
         assert!(z4.pmf(99) < z1.pmf(99));
-        assert!(z4.pmf(0) > 0.9, "z=4 concentrates almost all mass on rank 0");
+        assert!(
+            z4.pmf(0) > 0.9,
+            "z=4 concentrates almost all mass on rank 0"
+        );
     }
 
     #[test]

@@ -78,10 +78,14 @@ impl<'a> Interp<'a> {
             } => {
                 let t = self.db.table(*table);
                 // Rows reachable through the index seek.
-                let seek_refs: Vec<_> =
-                    seek_preds.iter().map(|&i| &self.query.selections[i]).collect();
+                let seek_refs: Vec<_> = seek_preds
+                    .iter()
+                    .map(|&i| &self.query.selections[i])
+                    .collect();
                 let seek_rows = filter_table(t, &seek_refs);
-                self.work += self.params.index_scan(t.row_count() as f64, seek_rows.len() as f64);
+                self.work += self
+                    .params
+                    .index_scan(t.row_count() as f64, seek_rows.len() as f64);
                 let rows: Vec<usize> = seek_rows
                     .into_iter()
                     .filter(|&r| {
@@ -234,7 +238,12 @@ impl<'a> Interp<'a> {
         (lk, rk)
     }
 
-    fn equi_join(&self, left: &Intermediate, right: &Intermediate, edges: &[usize]) -> Intermediate {
+    fn equi_join(
+        &self,
+        left: &Intermediate,
+        right: &Intermediate,
+        edges: &[usize],
+    ) -> Intermediate {
         let (lk, rk) = self.oriented_keys(left, edges);
         // Build on the right.
         let mut table: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
@@ -367,7 +376,11 @@ pub fn execute_plan(
                 .order_by
                 .iter()
                 .filter_map(|&(col, desc)| {
-                    query.group_by.iter().position(|&g| g == col).map(|p| (p, desc))
+                    query
+                        .group_by
+                        .iter()
+                        .position(|&g| g == col)
+                        .map(|p| (p, desc))
                 })
                 .collect();
             rows.sort_by(|a, b| {
@@ -432,7 +445,11 @@ pub fn execute_plan(
     let rows: Vec<Vec<Value>> = input
         .tuples
         .iter()
-        .map(|t| cols.iter().map(|&c| interp.value_of(&input, t, c)).collect())
+        .map(|t| {
+            cols.iter()
+                .map(|&c| interp.value_of(&input, t, c))
+                .collect()
+        })
         .collect();
     ExecOutput {
         rows,
@@ -574,11 +591,20 @@ mod tests {
     #[test]
     fn order_by_sorts_output() {
         let db = setup();
-        let out = run(&db, "SELECT empid FROM emp WHERE empid < 5 ORDER BY empid DESC");
+        let out = run(
+            &db,
+            "SELECT empid FROM emp WHERE empid < 5 ORDER BY empid DESC",
+        );
         let ids: Vec<Value> = out.rows.iter().map(|r| r[0].clone()).collect();
         assert_eq!(
             ids,
-            vec![Value::Int(4), Value::Int(3), Value::Int(2), Value::Int(1), Value::Int(0)]
+            vec![
+                Value::Int(4),
+                Value::Int(3),
+                Value::Int(2),
+                Value::Int(1),
+                Value::Int(0)
+            ]
         );
     }
 

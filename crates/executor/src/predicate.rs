@@ -53,8 +53,15 @@ mod tests {
     fn cmp_semantics() {
         assert!(cmp_matches(CmpOp::Lt, &Value::Int(1), &Value::Int(2)));
         assert!(cmp_matches(CmpOp::Ge, &Value::Int(2), &Value::Int(2)));
-        assert!(cmp_matches(CmpOp::Ne, &Value::Str("a".into()), &Value::Str("b".into())));
-        assert!(!cmp_matches(CmpOp::Eq, &Value::Null, &Value::Null), "NULL = NULL is false");
+        assert!(cmp_matches(
+            CmpOp::Ne,
+            &Value::Str("a".into()),
+            &Value::Str("b".into())
+        ));
+        assert!(
+            !cmp_matches(CmpOp::Eq, &Value::Null, &Value::Null),
+            "NULL = NULL is false"
+        );
         assert!(!cmp_matches(CmpOp::Le, &Value::Null, &Value::Int(5)));
     }
 

@@ -112,7 +112,6 @@ pub struct WorkloadRunner {
     pub optimizer: Optimizer,
 }
 
-
 impl WorkloadRunner {
     /// Execute the whole workload in order, accumulating execution work.
     /// The statistics view is re-fetched per statement via the closure so
@@ -178,13 +177,22 @@ mod tests {
 
         let ins = bound(&db, "INSERT INTO t VALUES (100, 9)");
         let o = run_statement(&mut db, cat.full_view(), &opt, &ins);
-        assert!(matches!(o, StatementOutcome::Dml { rows_affected: 1, .. }));
+        assert!(matches!(
+            o,
+            StatementOutcome::Dml {
+                rows_affected: 1,
+                ..
+            }
+        ));
         assert_eq!(db.table(t).row_count(), 51);
 
         let upd = bound(&db, "UPDATE t SET b = 0 WHERE a >= 45");
         let o = run_statement(&mut db, cat.full_view(), &opt, &upd);
         match o {
-            StatementOutcome::Dml { rows_affected, work } => {
+            StatementOutcome::Dml {
+                rows_affected,
+                work,
+            } => {
                 assert_eq!(rows_affected, 6);
                 assert!(work > 0.0);
             }
@@ -193,7 +201,13 @@ mod tests {
 
         let del = bound(&db, "DELETE FROM t WHERE a < 10");
         let o = run_statement(&mut db, cat.full_view(), &opt, &del);
-        assert!(matches!(o, StatementOutcome::Dml { rows_affected: 10, .. }));
+        assert!(matches!(
+            o,
+            StatementOutcome::Dml {
+                rows_affected: 10,
+                ..
+            }
+        ));
         assert_eq!(db.table(t).row_count(), 41);
         assert_eq!(db.table(t).modification_counter(), 1 + 6 + 10);
     }

@@ -24,12 +24,14 @@
 //! selectivity (the paper's *cost-monotonicity* assumption, §4.1), which a
 //! property test in this crate verifies.
 
+pub mod cache;
 pub mod cost;
 pub mod magic;
 pub mod optimize;
 pub mod plan;
 pub mod selectivity;
 
+pub use cache::{CacheCounters, OptimizeCache};
 pub use cost::CostParams;
 pub use magic::MagicNumbers;
 pub use optimize::{OptimizeOptions, OptimizedQuery, Optimizer};

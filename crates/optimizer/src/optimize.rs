@@ -7,8 +7,8 @@ use crate::magic::MagicNumbers;
 use crate::plan::{Operator, PlanNode};
 use crate::selectivity::{build_profile, SelectivityProfile};
 use query::{BoundSelect, CmpOp, PredOp, PredicateId};
-use std::collections::HashMap;
 use stats::StatsView;
+use std::collections::HashMap;
 use storage::Database;
 
 /// Per-call optimization options.
@@ -70,7 +70,10 @@ enum Decision {
     Merge(Vec<usize>),
     NestedLoop(Vec<usize>),
     /// Index nested-loop: probe an index of the (single-relation) right side.
-    IndexNl { edges: Vec<usize>, index: String },
+    IndexNl {
+        edges: Vec<usize>,
+        index: String,
+    },
 }
 
 /// One DP table entry: enough to reconstruct the best plan for a relation
@@ -95,6 +98,20 @@ impl Optimizer {
         stats: StatsView<'_>,
         options: &OptimizeOptions,
     ) -> OptimizedQuery {
+        let profile = build_profile(db, &stats, query, &self.magic, &options.injected);
+        self.optimize_with_profile(db, query, profile)
+    }
+
+    /// Optimize with a pre-computed selectivity profile. The profile is the
+    /// only channel through which statistics reach plan selection, so
+    /// `optimize` is a pure function of `(query, profile, table metadata,
+    /// optimizer config)` — the fact the optimize cache relies on.
+    pub(crate) fn optimize_with_profile(
+        &self,
+        db: &Database,
+        query: &BoundSelect,
+        profile: SelectivityProfile,
+    ) -> OptimizedQuery {
         let n = query.relations.len();
         assert!(n >= 1, "query must reference at least one relation");
         assert!(
@@ -102,8 +119,6 @@ impl Optimizer {
             "query joins {n} relations; max is {}",
             self.max_relations
         );
-
-        let profile = build_profile(db, &stats, query, &self.magic, &options.injected);
 
         // Base (filtered) cardinality per relation and best access path.
         let (base_rows, access): (Vec<f64>, Vec<PlanNode>) = (0..n)
@@ -315,9 +330,7 @@ impl Optimizer {
             let seek_preds: Vec<usize> = query
                 .selections_on(rel)
                 .filter(|(_, p)| p.column.column == index.leading_column())
-                .filter(|(_, p)| {
-                    !matches!(p.op, PredOp::Cmp(CmpOp::Ne, _))
-                })
+                .filter(|(_, p)| !matches!(p.op, PredOp::Cmp(CmpOp::Ne, _)))
                 .map(|(i, _)| i)
                 .collect();
             if seek_preds.is_empty() {
@@ -569,7 +582,10 @@ mod tests {
     #[test]
     fn injection_overrides_magic_and_changes_cost_monotonically() {
         let (db, cat) = setup();
-        let q = bind(&db, "SELECT * FROM emp e, dept d WHERE e.deptid = d.deptid AND e.age < 30");
+        let q = bind(
+            &db,
+            "SELECT * FROM emp e, dept d WHERE e.deptid = d.deptid AND e.age < 30",
+        );
         let opt = Optimizer::default();
         let vars = [PredicateId::Selection(0), PredicateId::JoinEdge(0)];
         let mut prev = 0.0;
@@ -580,7 +596,10 @@ mod tests {
                 cat.full_view(),
                 &OptimizeOptions::inject_all(&vars, *s),
             );
-            assert!(r.magic_variables.is_empty(), "injected variables are not magic");
+            assert!(
+                r.magic_variables.is_empty(),
+                "injected variables are not magic"
+            );
             if i > 0 {
                 assert!(
                     r.cost >= prev - 1e-9,
@@ -601,12 +620,7 @@ mod tests {
             "SELECT * FROM emp e, dept d WHERE e.deptid = d.deptid",
         );
         assert!(r.plan.op.is_join());
-        let scans = r
-            .plan
-            .nodes()
-            .iter()
-            .filter(|n| n.op.is_scan())
-            .count();
+        let scans = r.plan.nodes().iter().filter(|n| n.op.is_scan()).count();
         assert_eq!(scans, 2);
     }
 
@@ -638,7 +652,11 @@ mod tests {
             "SELECT deptid, COUNT(*) FROM emp GROUP BY deptid",
         );
         assert!(r2.magic_variables.is_empty());
-        assert!((r2.plan.est_rows - 10.0).abs() < 1.0, "groups={}", r2.plan.est_rows);
+        assert!(
+            (r2.plan.est_rows - 10.0).abs() < 1.0,
+            "groups={}",
+            r2.plan.est_rows
+        );
     }
 
     #[test]
@@ -687,8 +705,17 @@ mod tests {
         marginal_cat.create_statistic(&db, StatDescriptor::multi(t, vec![0, 1]));
         marginal_cat.create_statistic(&db, StatDescriptor::single(t, 0));
         marginal_cat.create_statistic(&db, StatDescriptor::single(t, 1));
-        let r1 = opt.optimize(&db, &q, marginal_cat.full_view(), &OptimizeOptions::default());
-        assert!(r1.plan.est_rows > 300.0, "independence estimate: {}", r1.plan.est_rows);
+        let r1 = opt.optimize(
+            &db,
+            &q,
+            marginal_cat.full_view(),
+            &OptimizeOptions::default(),
+        );
+        assert!(
+            r1.plan.est_rows > 300.0,
+            "independence estimate: {}",
+            r1.plan.est_rows
+        );
 
         // Joint: the contradiction is visible — almost nothing survives.
         let mut joint_cat =
@@ -780,7 +807,9 @@ mod tests {
             sql.push_str(&format!(", t{t}"));
         }
         sql.push_str(" WHERE ");
-        let conds: Vec<String> = (1..8).map(|t| format!("t{}.fk = t{}.k", t - 1, t)).collect();
+        let conds: Vec<String> = (1..8)
+            .map(|t| format!("t{}.fk = t{}.k", t - 1, t))
+            .collect();
         sql.push_str(&conds.join(" AND "));
         let r = optimize(&db, &cat, &sql);
         assert_eq!(r.plan.nodes().iter().filter(|n| n.op.is_scan()).count(), 8);

@@ -127,6 +127,23 @@ impl PlanNode {
                 .all(|(a, b)| a.same_tree(b))
     }
 
+    /// Stable fingerprint of the operator tree *ignoring the estimates* —
+    /// the hash companion of [`same_tree`](Self::same_tree): two plans are
+    /// execution-tree equivalent iff their structural fingerprints collide
+    /// (modulo the usual 64-bit hash caveat). Lets callers memoize
+    /// plan-determined quantities (e.g. deterministic execution work) across
+    /// optimizations whose estimates differ but whose chosen trees agree.
+    pub fn structural_fingerprint(&self) -> u64 {
+        let mut h = crate::cache::Fnv::new();
+        self.walk(&mut |node| {
+            // `Operator`'s Debug output is structural only (no floats), so
+            // it is a stable encoding of everything execution depends on.
+            h.write_bytes(format!("{:?}", node.op).as_bytes())
+                .write(node.children.len() as u64);
+        });
+        h.finish()
+    }
+
     /// Depth-first pre-order traversal.
     pub fn walk<'a>(&'a self, visit: &mut dyn FnMut(&'a PlanNode)) {
         visit(self);
@@ -192,7 +209,13 @@ impl PlanNode {
             Operator::Sort { keys } => {
                 let _ = write!(out, "sort(");
                 for (k, d) in keys {
-                    let _ = write!(out, "{}:{}{},", k.relation, k.column, if *d { "v" } else { "^" });
+                    let _ = write!(
+                        out,
+                        "{}:{}{},",
+                        k.relation,
+                        k.column,
+                        if *d { "v" } else { "^" }
+                    );
                 }
                 let _ = write!(out, ")");
             }
@@ -301,6 +324,22 @@ mod tests {
         assert!(a.same_tree(&b));
         a.children.swap(0, 1);
         assert!(!a.same_tree(&b), "join order matters");
+    }
+
+    #[test]
+    fn structural_fingerprint_tracks_same_tree() {
+        let mut a = join(scan(0, 10.0), scan(1, 20.0), 100.0);
+        let b = join(scan(0, 99.0), scan(1, 1.0), 5.0);
+        assert_eq!(
+            a.structural_fingerprint(),
+            b.structural_fingerprint(),
+            "estimates must not affect the fingerprint"
+        );
+        a.children.swap(0, 1);
+        assert_ne!(a.structural_fingerprint(), b.structural_fingerprint());
+        let mut c = b.clone();
+        c.op = Operator::MergeJoin { edges: vec![0] };
+        assert_ne!(c.structural_fingerprint(), b.structural_fingerprint());
     }
 
     #[test]

@@ -14,8 +14,8 @@
 use crate::magic::MagicNumbers;
 use query::{BoundSelect, CmpOp, JoinEdge, PredClass, PredOp, PredicateId, SelectionPredicate};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 use stats::{StatId, StatsView};
+use std::collections::HashMap;
 use storage::Database;
 
 /// Floor applied to statistics-derived selectivities. A histogram can
@@ -80,6 +80,40 @@ impl SelectivityProfile {
         }
         out.sort();
         out
+    }
+
+    /// Canonical content hash of the profile: every `(variable, value,
+    /// source)` triple in sorted variable order, with f64 values hashed via
+    /// their bit patterns. Two profiles with equal fingerprints drive the
+    /// optimizer to the same plan for the same query and table metadata —
+    /// this is the *statistics-subset signature* of the optimize cache.
+    pub fn fingerprint(&self) -> u64 {
+        let mut ids: Vec<PredicateId> = self.values.keys().copied().collect();
+        ids.sort();
+        let mut h = crate::cache::Fnv::new();
+        for id in ids {
+            match id {
+                PredicateId::Selection(i) => h.write(0).write(i as u64),
+                PredicateId::JoinEdge(i) => h.write(1).write(i as u64),
+                PredicateId::GroupBy => h.write(2),
+            };
+            h.write(self.values[&id].to_bits());
+            match &self.sources[&id] {
+                SelectivitySource::Injected => {
+                    h.write(3);
+                }
+                SelectivitySource::Statistics(stat_ids) => {
+                    h.write(4).write(stat_ids.len() as u64);
+                    for s in stat_ids {
+                        h.write(s.0 as u64);
+                    }
+                }
+                SelectivitySource::Magic(class) => {
+                    h.write(5).write(*class as u64);
+                }
+            }
+        }
+        h.finish()
     }
 
     /// Combined selectivity of all selection predicates on relation `rel`
@@ -169,7 +203,10 @@ fn apply_joint_refinement(
             else {
                 continue;
             };
-            let joint_hist = stat.joint.as_ref().expect("joint_for returned a joint stat");
+            let joint_hist = stat
+                .joint
+                .as_ref()
+                .expect("joint_for returned a joint stat");
             let (xr, yr) = if flipped { (rj, ri) } else { (ri, rj) };
             let joint = joint_hist.selectivity(&stats::RangeQuery {
                 x_lo: xr.0,
@@ -243,8 +280,11 @@ fn group_by_from_stats(
         return None;
     }
     // Group grouping columns per relation; per relation prefer one
-    // multi-column density, else multiply single-column NDVs.
-    let mut per_rel: HashMap<usize, Vec<usize>> = HashMap::new();
+    // multi-column density, else multiply single-column NDVs. Relations are
+    // visited in sorted order (BTreeMap): the f64 product and the statistic
+    // id list must not depend on hash-map iteration order, which differs
+    // across threads and would break bit-identical parallel tuning.
+    let mut per_rel: std::collections::BTreeMap<usize, Vec<usize>> = Default::default();
     for g in &query.group_by {
         per_rel.entry(g.relation).or_default().push(g.column);
     }

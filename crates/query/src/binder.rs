@@ -4,7 +4,7 @@ use crate::ast::*;
 use crate::bound::*;
 use std::collections::HashMap;
 use std::fmt;
-use storage::{Database, DataType, TableId, Value};
+use storage::{DataType, Database, TableId, Value};
 
 /// Binding errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -14,8 +14,16 @@ pub enum BindError {
     AmbiguousColumn(String),
     DuplicateBindingName(String),
     SelfJoinColumnPair(String),
-    TypeMismatch { column: String, expected: String, found: String },
-    ArityMismatch { table: String, expected: usize, found: usize },
+    TypeMismatch {
+        column: String,
+        expected: String,
+        found: String,
+    },
+    ArityMismatch {
+        table: String,
+        expected: usize,
+        found: usize,
+    },
 }
 
 impl fmt::Display for BindError {
@@ -31,10 +39,21 @@ impl fmt::Display for BindError {
                 f,
                 "join predicate '{c}' relates two columns of the same relation; not supported"
             ),
-            BindError::TypeMismatch { column, expected, found } => {
-                write!(f, "type mismatch on {column}: expected {expected}, found {found}")
+            BindError::TypeMismatch {
+                column,
+                expected,
+                found,
+            } => {
+                write!(
+                    f,
+                    "type mismatch on {column}: expected {expected}, found {found}"
+                )
             }
-            BindError::ArityMismatch { table, expected, found } => write!(
+            BindError::ArityMismatch {
+                table,
+                expected,
+                found,
+            } => write!(
                 f,
                 "INSERT into {table} expects {expected} values, found {found}"
             ),
@@ -65,7 +84,11 @@ impl<'a> Scope<'a> {
             }
             relations.push((id, name));
         }
-        Ok(Scope { db, by_name, relations })
+        Ok(Scope {
+            db,
+            by_name,
+            relations,
+        })
     }
 
     fn resolve(&self, c: &ColumnRef) -> Result<BoundColumn, BindError> {
@@ -101,11 +124,21 @@ impl<'a> Scope<'a> {
             .data_type
     }
 
-    fn check_literal(&self, col: BoundColumn, name: &ColumnRef, v: &Value) -> Result<(), BindError> {
-        let Some(vt) = v.data_type() else { return Ok(()) };
+    fn check_literal(
+        &self,
+        col: BoundColumn,
+        name: &ColumnRef,
+        v: &Value,
+    ) -> Result<(), BindError> {
+        let Some(vt) = v.data_type() else {
+            return Ok(());
+        };
         let expected = self.column_type(col);
         let ok = vt == expected
-            || matches!((vt, expected), (DataType::Int, DataType::Float | DataType::Date));
+            || matches!(
+                (vt, expected),
+                (DataType::Int, DataType::Float | DataType::Date)
+            );
         if ok {
             Ok(())
         } else {
@@ -123,7 +156,11 @@ impl<'a> Scope<'a> {
 fn build_join_edges(raw: Vec<(BoundColumn, BoundColumn)>) -> Vec<JoinEdge> {
     let mut edges: Vec<JoinEdge> = Vec::new();
     for (a, b) in raw {
-        let (l, r) = if a.relation <= b.relation { (a, b) } else { (b, a) };
+        let (l, r) = if a.relation <= b.relation {
+            (a, b)
+        } else {
+            (b, a)
+        };
         if let Some(e) = edges
             .iter_mut()
             .find(|e| e.left_rel == l.relation && e.right_rel == r.relation)

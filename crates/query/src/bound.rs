@@ -158,6 +158,17 @@ impl BoundSelect {
         self.relations[rel].0
     }
 
+    /// Stable structural fingerprint of the bound query (FNV-1a over the
+    /// `Debug` rendering, which is deterministic: every field is a `Vec`).
+    /// Used as the query component of optimizer cache keys.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in format!("{self:?}").bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
     /// All selectivity variables of this query, in a stable order.
     pub fn predicate_ids(&self) -> Vec<PredicateId> {
         let mut ids = Vec::with_capacity(self.selections.len() + self.join_edges.len() + 1);

@@ -26,5 +26,5 @@ pub use bound::{
     BoundAggregate, BoundColumn, BoundDelete, BoundInsert, BoundSelect, BoundStatement,
     BoundUpdate, JoinEdge, PredClass, PredOp, PredicateId, Projection, SelectionPredicate,
 };
-pub use render::render;
 pub use parser::{parse_statement, ParseError};
+pub use render::render;

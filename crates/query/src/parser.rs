@@ -87,7 +87,9 @@ impl<'a> Lexer<'a> {
                 continue;
             }
             if c.is_ascii_digit()
-                || (c == '-' && self.pos + 1 < bytes.len() && (bytes[self.pos + 1] as char).is_ascii_digit())
+                || (c == '-'
+                    && self.pos + 1 < bytes.len()
+                    && (bytes[self.pos + 1] as char).is_ascii_digit())
             {
                 let mut end = self.pos + 1;
                 let mut is_float = false;
@@ -257,8 +259,8 @@ impl Parser {
 
     fn is_keyword(s: &str) -> bool {
         const KEYWORDS: &[&str] = &[
-            "select", "from", "where", "group", "by", "and", "between", "insert", "into",
-            "values", "update", "set", "delete", "as", "date", "null", "order", "asc", "desc",
+            "select", "from", "where", "group", "by", "and", "between", "insert", "into", "values",
+            "update", "set", "delete", "as", "date", "null", "order", "asc", "desc",
         ];
         KEYWORDS.iter().any(|k| s.eq_ignore_ascii_case(k))
     }
@@ -291,7 +293,10 @@ impl Parser {
     fn looks_like_column(&self) -> bool {
         matches!(self.peek(), Some(Token::Ident(s)) if !Self::is_keyword(s))
             || matches!(self.peek(), Some(Token::Ident(s)) if s.eq_ignore_ascii_case("date"))
-                && !matches!(self.tokens.get(self.pos + 1).map(|(t, _)| t), Some(Token::Int(_)))
+                && !matches!(
+                    self.tokens.get(self.pos + 1).map(|(t, _)| t),
+                    Some(Token::Int(_))
+                )
     }
 
     fn cmp_op(&mut self) -> Result<CmpOp, ParseError> {
@@ -584,10 +589,7 @@ mod tests {
             q.items[1],
             SelectItem::Aggregate(AggFunc::Count, None)
         ));
-        assert!(matches!(
-            q.conditions[0],
-            Condition::Between { .. }
-        ));
+        assert!(matches!(q.conditions[0], Condition::Between { .. }));
     }
 
     #[test]
@@ -643,10 +645,7 @@ mod tests {
 
     #[test]
     fn parses_order_by() {
-        let s = parse_statement(
-            "SELECT * FROM t WHERE a > 1 ORDER BY b DESC, c ASC, d",
-        )
-        .unwrap();
+        let s = parse_statement("SELECT * FROM t WHERE a > 1 ORDER BY b DESC, c ASC, d").unwrap();
         let q = s.as_select().unwrap();
         assert_eq!(q.order_by.len(), 3);
         assert!(q.order_by[0].descending);
@@ -656,10 +655,7 @@ mod tests {
 
     #[test]
     fn order_by_after_group_by() {
-        let s = parse_statement(
-            "SELECT b, COUNT(*) FROM t GROUP BY b ORDER BY b",
-        )
-        .unwrap();
+        let s = parse_statement("SELECT b, COUNT(*) FROM t GROUP BY b ORDER BY b").unwrap();
         let q = s.as_select().unwrap();
         assert_eq!(q.group_by.len(), 1);
         assert_eq!(q.order_by.len(), 1);

@@ -103,7 +103,11 @@ pub fn render(stmt: &Statement) -> String {
             out.push(')');
         }
         Statement::Update(u) => {
-            let _ = write!(out, "UPDATE {} SET {} = {}", u.table, u.set_column, u.set_value);
+            let _ = write!(
+                out,
+                "UPDATE {} SET {} = {}",
+                u.table, u.set_column, u.set_value
+            );
             render_conditions(&u.conditions, &mut out);
         }
         Statement::Delete(d) => {

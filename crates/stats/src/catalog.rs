@@ -5,6 +5,8 @@ use crate::cost::CostModel;
 use crate::statistic::{build_statistic, BuildOptions, StatDescriptor, StatId, Statistic};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::fmt;
+use std::sync::Weak;
 use storage::{Database, TableId};
 
 /// Aging (§6): a statistic that was recently dropped as non-essential should
@@ -86,6 +88,39 @@ struct AgingEntry {
     build_cost: f64,
 }
 
+/// Callback interface for catalog mutations.
+///
+/// Observers are notified whenever the set of optimizer-visible statistics
+/// on a table changes (create, drop-list, reactivate, physical drop) or the
+/// content of a table's statistics changes (refresh). The optimizer's
+/// `OptimizeCache` registers itself here to evict affected entries.
+pub trait CatalogObserver: Send + Sync {
+    fn on_table_mutation(&self, table: TableId);
+    /// Catalog-wide reset (bulk state replacement).
+    fn on_reset(&self) {}
+}
+
+/// Weakly-held observer registry. Weak references keep the catalog from
+/// prolonging observer lifetimes; dead entries are pruned on registration.
+#[derive(Default)]
+struct ObserverList(Vec<Weak<dyn CatalogObserver>>);
+
+impl fmt::Debug for ObserverList {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ObserverList({} registered)", self.0.len())
+    }
+}
+
+impl ObserverList {
+    fn notify_table(&self, table: TableId) {
+        for obs in &self.0 {
+            if let Some(obs) = obs.upgrade() {
+                obs.on_table_mutation(table);
+            }
+        }
+    }
+}
+
 /// The statistics catalog.
 ///
 /// Statistics are **active** (visible to the optimizer), **drop-listed**
@@ -106,6 +141,7 @@ pub struct StatsCatalog {
     build_options: BuildOptions,
     /// Base seed for per-statistic sampling.
     seed: u64,
+    observers: ObserverList,
 }
 
 impl Default for StatsCatalog {
@@ -128,7 +164,14 @@ impl StatsCatalog {
             cost_model: CostModel::default(),
             build_options: BuildOptions::default(),
             seed: 0x000A_0705_2000, // ICDE 2000
+            observers: ObserverList::default(),
         }
+    }
+
+    /// Register a mutation observer (weakly held; see [`CatalogObserver`]).
+    pub fn register_observer(&mut self, observer: Weak<dyn CatalogObserver>) {
+        self.observers.0.retain(|o| o.upgrade().is_some());
+        self.observers.0.push(observer);
     }
 
     pub fn with_build_options(mut self, options: BuildOptions) -> Self {
@@ -181,15 +224,25 @@ impl StatsCatalog {
     ///   the creation-work meter.
     pub fn create_statistic(&mut self, db: &Database, descriptor: StatDescriptor) -> StatId {
         if let Some(&id) = self.by_descriptor.get(&descriptor) {
-            self.drop_list.remove(&id);
+            if self.drop_list.remove(&id) {
+                self.observers.notify_table(descriptor.table);
+            }
             return id;
         }
         let id = StatId(self.next_id);
         self.next_id += 1;
         let table = db.table(descriptor.table);
         let seed = self.seed ^ ((id.0 as u64) << 17) ^ descriptor.table.0 as u64;
-        let stat = build_statistic(id, table, descriptor.clone(), &self.build_options, seed, self.epoch);
+        let stat = build_statistic(
+            id,
+            table,
+            descriptor.clone(),
+            &self.build_options,
+            seed,
+            self.epoch,
+        );
         self.creation_work += stat.build_cost;
+        self.observers.notify_table(descriptor.table);
         self.by_descriptor.insert(descriptor, id);
         self.stats.insert(id, stat);
         id
@@ -224,6 +277,14 @@ impl StatsCatalog {
         self.active().filter(move |s| s.descriptor.table == table)
     }
 
+    /// Iterate over **all built** statistics on one table (active and
+    /// drop-listed), in id order.
+    pub fn built_on_table(&self, table: TableId) -> impl Iterator<Item = &Statistic> {
+        self.stats
+            .values()
+            .filter(move |s| s.descriptor.table == table)
+    }
+
     /// All active statistic ids.
     pub fn active_ids(&self) -> Vec<StatId> {
         self.active().map(|s| s.id).collect()
@@ -232,15 +293,22 @@ impl StatsCatalog {
     /// Move a statistic to the drop-list (mark non-essential, §5). The
     /// statistic stays built but becomes invisible to the optimizer.
     pub fn move_to_drop_list(&mut self, id: StatId) {
-        if self.stats.contains_key(&id) {
-            self.drop_list.insert(id);
+        if let Some(stat) = self.stats.get(&id) {
+            let table = stat.descriptor.table;
+            if self.drop_list.insert(id) {
+                self.observers.notify_table(table);
+            }
         }
     }
 
     /// Remove a statistic from the drop-list, making it optimizer-visible
     /// again at zero cost.
     pub fn reactivate(&mut self, id: StatId) {
-        self.drop_list.remove(&id);
+        if self.drop_list.remove(&id) {
+            if let Some(stat) = self.stats.get(&id) {
+                self.observers.notify_table(stat.descriptor.table);
+            }
+        }
     }
 
     pub fn is_drop_listed(&self, id: StatId) -> bool {
@@ -258,6 +326,7 @@ impl StatsCatalog {
         };
         self.drop_list.remove(&id);
         self.by_descriptor.remove(&stat.descriptor);
+        self.observers.notify_table(stat.descriptor.table);
         self.aging.insert(
             stat.descriptor.clone(),
             AgingEntry {
@@ -307,7 +376,8 @@ impl StatsCatalog {
                 let s = &self.stats[&id];
                 (s.descriptor.clone(), s.update_count, s.created_epoch)
             };
-            let seed = self.seed ^ ((id.0 as u64) << 17) ^ table.0 as u64 ^ (update_count as u64 + 1);
+            let seed =
+                self.seed ^ ((id.0 as u64) << 17) ^ table.0 as u64 ^ (update_count as u64 + 1);
             let mut rebuilt = build_statistic(
                 id,
                 db.table(table),
@@ -321,6 +391,9 @@ impl StatsCatalog {
             self.update_work += rebuilt.build_cost;
             self.stats.insert(id, rebuilt);
         }
+        if !ids.is_empty() {
+            self.observers.notify_table(table);
+        }
         db.table_mut(table).reset_modification_counter();
         ids.len()
     }
@@ -332,8 +405,8 @@ impl StatsCatalog {
         let tables: Vec<TableId> = db.table_ids().collect();
         for table in tables {
             let t = db.table(table);
-            let threshold =
-                ((t.row_count() as f64 * policy.update_fraction) as u64).max(policy.min_modified_rows);
+            let threshold = ((t.row_count() as f64 * policy.update_fraction) as u64)
+                .max(policy.min_modified_rows);
             if t.modification_counter() > threshold {
                 report.statistics_updated += self.update_table_statistics(db, table);
                 report.tables_updated.push(table);
@@ -371,9 +444,9 @@ impl StatsCatalog {
                     .iter()
                     .map(|&c| table.schema().column(c).data_type.byte_width())
                     .sum();
-                total += self
-                    .cost_model
-                    .build_cost(rows_read, col_bytes, s.descriptor.columns.len());
+                total +=
+                    self.cost_model
+                        .build_cost(rows_read, col_bytes, s.descriptor.columns.len());
             }
         }
         total
@@ -487,9 +560,7 @@ impl<'a> StatsView<'a> {
     }
 
     pub fn statistic(&self, id: StatId) -> Option<&'a Statistic> {
-        self.catalog
-            .statistic(id)
-            .filter(|s| self.visible(s))
+        self.catalog.statistic(id).filter(|s| self.visible(s))
     }
 
     /// A visible multi-column statistic carrying a Phased 2-D histogram over
@@ -578,7 +649,10 @@ mod tests {
             expensive_query_cost: 1000.0,
         };
         assert!(cat.is_aged_out(&desc, &policy, 10.0));
-        assert!(!cat.is_aged_out(&desc, &policy, 5000.0), "expensive query overrides aging");
+        assert!(
+            !cat.is_aged_out(&desc, &policy, 5000.0),
+            "expensive query overrides aging"
+        );
         cat.advance_epoch();
         cat.advance_epoch();
         cat.advance_epoch();
@@ -679,7 +753,10 @@ mod tests {
                 .unwrap();
         }
         let r = cat.maintain(&mut db, &policy);
-        assert_eq!(r.statistics_dropped, 1, "vanilla policy drops regardless of usefulness");
+        assert_eq!(
+            r.statistics_dropped, 1,
+            "vanilla policy drops regardless of usefulness"
+        );
     }
 
     #[test]

@@ -26,7 +26,10 @@ pub mod ndv;
 pub mod sampler;
 pub mod statistic;
 
-pub use catalog::{AgingPolicy, CatalogSnapshot, MaintenancePolicy, MaintenanceReport, StatsCatalog, StatsView};
+pub use catalog::{
+    AgingPolicy, CatalogObserver, CatalogSnapshot, MaintenancePolicy, MaintenanceReport,
+    StatsCatalog, StatsView,
+};
 pub use cost::CostModel;
 pub use histogram::{join_selectivity, Histogram, HistogramKind};
 pub use mhist::{Histogram2d, RangeQuery};

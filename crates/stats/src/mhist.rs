@@ -164,13 +164,19 @@ mod tests {
             y_lo: Some(500.0),
             ..Default::default()
         });
-        assert!(contradictory < 0.05, "joint estimate {contradictory} should be near 0");
+        assert!(
+            contradictory < 0.05,
+            "joint estimate {contradictory} should be near 0"
+        );
         let consistent = h.selectivity(&RangeQuery {
             x_hi: Some(499.0),
             y_hi: Some(499.0),
             ..Default::default()
         });
-        assert!((consistent - 0.5).abs() < 0.1, "joint estimate {consistent} should be ~0.5");
+        assert!(
+            (consistent - 0.5).abs() < 0.1,
+            "joint estimate {consistent} should be ~0.5"
+        );
     }
 
     #[test]
@@ -227,6 +233,10 @@ mod tests {
             .filter(|c| c.x_lo <= 5.0 && 5.0 <= c.x_hi)
             .map(|c| (c.x_lo.to_bits(), c.x_hi.to_bits()))
             .collect();
-        assert_eq!(slabs_with_5.len(), 1, "x=5 straddles slabs: {slabs_with_5:?}");
+        assert_eq!(
+            slabs_with_5.len(),
+            1,
+            "x=5 straddles slabs: {slabs_with_5:?}"
+        );
     }
 }

@@ -36,7 +36,11 @@ pub fn estimate_ndv(sample: &[Value], total_rows: usize) -> f64 {
     let f1 = freq.values().filter(|&&c| c == 1).count() as f64;
     let q = n as f64 / total_rows as f64;
     let denom = 1.0 - f1 * (1.0 - q) / n as f64;
-    let est = if denom <= 0.0 { total_rows as f64 } else { d / denom };
+    let est = if denom <= 0.0 {
+        total_rows as f64
+    } else {
+        d / denom
+    };
     est.clamp(d, total_rows as f64)
 }
 
@@ -60,7 +64,11 @@ pub fn estimate_tuple_ndv(columns: &[&[Value]], total_rows: usize) -> f64 {
     let f1 = freq.values().filter(|&&c| c == 1).count() as f64;
     let q = n as f64 / total_rows as f64;
     let denom = 1.0 - f1 * (1.0 - q) / n as f64;
-    let est = if denom <= 0.0 { total_rows as f64 } else { d / denom };
+    let est = if denom <= 0.0 {
+        total_rows as f64
+    } else {
+        d / denom
+    };
     est.clamp(d, total_rows as f64)
 }
 

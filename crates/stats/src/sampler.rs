@@ -10,8 +10,7 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 /// How to read the base data when building a statistic.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum SampleSpec {
     /// Scan every row.
     #[default]
@@ -32,14 +31,15 @@ pub enum SampleSpec {
 
 use serde::{Deserialize, Serialize};
 
-
 impl SampleSpec {
     /// Number of rows this spec reads from a table of `total_rows` rows.
     pub fn rows_read(&self, total_rows: usize) -> usize {
         match *self {
             SampleSpec::FullScan => total_rows,
             SampleSpec::Fraction { fraction, min_rows }
-            | SampleSpec::Blocks { fraction, min_rows, .. } => {
+            | SampleSpec::Blocks {
+                fraction, min_rows, ..
+            } => {
                 let n = (total_rows as f64 * fraction).ceil() as usize;
                 n.max(min_rows).min(total_rows)
             }

@@ -255,8 +255,13 @@ mod tests {
             ]),
         );
         for i in 0..1000i64 {
-            let c = if i % 10 == 0 { Value::Null } else { Value::Int(i % 7) };
-            t.insert(vec![Value::Int(i % 100), Value::Int(i % 4), c]).unwrap();
+            let c = if i % 10 == 0 {
+                Value::Null
+            } else {
+                Value::Int(i % 7)
+            };
+            t.insert(vec![Value::Int(i % 100), Value::Int(i % 4), c])
+                .unwrap();
         }
         t
     }

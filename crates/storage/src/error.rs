@@ -43,7 +43,10 @@ impl fmt::Display for StorageError {
                 "type mismatch in {table}.{column}: expected {expected}, found {found}"
             ),
             StorageError::ArityMismatch { expected, found } => {
-                write!(f, "row arity mismatch: expected {expected} values, found {found}")
+                write!(
+                    f,
+                    "row arity mismatch: expected {expected} values, found {found}"
+                )
             }
             StorageError::DuplicateTable(t) => write!(f, "table '{t}' already exists"),
             StorageError::DuplicateIndex(i) => write!(f, "index '{i}' already exists"),

@@ -230,7 +230,8 @@ mod tests {
     #[test]
     fn delete_out_of_range_ignored() {
         let mut t = people();
-        t.insert(vec![Value::Int(1), "a".into(), Value::Null]).unwrap();
+        t.insert(vec![Value::Int(1), "a".into(), Value::Null])
+            .unwrap();
         assert_eq!(t.delete_rows(vec![5, 0, 0]), 1);
         assert_eq!(t.row_count(), 0);
     }

@@ -224,10 +224,7 @@ mod tests {
     fn sql_cmp_with_null_is_none() {
         assert!(Value::Null.sql_cmp(&Value::Int(1)).is_none());
         assert!(Value::Int(1).sql_cmp(&Value::Null).is_none());
-        assert_eq!(
-            Value::Int(1).sql_cmp(&Value::Int(2)),
-            Some(Ordering::Less)
-        );
+        assert_eq!(Value::Int(1).sql_cmp(&Value::Int(2)), Some(Ordering::Less));
     }
 
     #[test]

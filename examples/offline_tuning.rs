@@ -35,12 +35,19 @@ fn main() {
     let tuner = OfflineTuner {
         mnsa: MnsaConfig::default(),
         shrink: Some(Equivalence::paper_default()),
+        threads: 1,
     };
     let report = tuner.tune(&db, &mut catalog, &queries);
 
     println!("\noffline tuning pass:");
-    println!("  statistics created ........ {}", report.statistics_created);
-    println!("  moved to drop-list ........ {}", report.statistics_drop_listed);
+    println!(
+        "  statistics created ........ {}",
+        report.statistics_created
+    );
+    println!(
+        "  moved to drop-list ........ {}",
+        report.statistics_drop_listed
+    );
     println!("  optimizer calls ........... {}", report.optimizer_calls);
     println!("  creation work ............. {:.0}", report.creation_work);
     println!("  analysis overhead work .... {:.0}", report.overhead_work);
@@ -63,7 +70,10 @@ fn main() {
     }
 
     let update_cost = catalog.update_cost_of(&db, catalog.active_ids());
-    println!("\nupdate cost carried forward: {:.0} work units", update_cost);
+    println!(
+        "\nupdate cost carried forward: {:.0} work units",
+        update_cost
+    );
 
     // The same machinery as a read-only what-if advisor: a new month of
     // workload arrives; ask what should change before touching anything.
@@ -85,5 +95,8 @@ fn main() {
     );
     println!("\nwhat-if analysis for next month's workload ({new_spec}):");
     print!("{}", report.render(&db));
-    println!("(live catalog untouched: {} statistics active)", catalog.active_count());
+    println!(
+        "(live catalog untouched: {} statistics active)",
+        catalog.active_count()
+    );
 }

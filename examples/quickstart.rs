@@ -38,17 +38,27 @@ fn main() {
 
     // Executing the query triggers the on-the-fly MNSA policy first.
     let outcome = mgr.execute_sql(query).unwrap();
-    if let StatementOutcome::Query { output, estimated_cost } = &outcome {
-        println!("\nexecuted: {} groups, estimated cost {:.0}, execution work {:.0}",
-            output.row_count(), estimated_cost, output.work);
+    if let StatementOutcome::Query {
+        output,
+        estimated_cost,
+    } = &outcome
+    {
+        println!(
+            "\nexecuted: {} groups, estimated cost {:.0}, execution work {:.0}",
+            output.row_count(),
+            estimated_cost,
+            output.work
+        );
     }
 
     println!("\n--- plan after MNSA built what mattered ---");
     print!("{}", mgr.explain_sql(query).unwrap());
 
     let report = mgr.tuning_report();
-    println!("\nMNSA: {} statistics created, {} optimizer calls, creation work {:.0}",
-        report.statistics_created, report.optimizer_calls, report.creation_work);
+    println!(
+        "\nMNSA: {} statistics created, {} optimizer calls, creation work {:.0}",
+        report.statistics_created, report.optimizer_calls, report.creation_work
+    );
     println!("statistics now in the catalog:");
     for stat in mgr.catalog().active() {
         let table = mgr.database().table(stat.descriptor.table);

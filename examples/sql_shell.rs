@@ -128,7 +128,10 @@ fn main() {
             continue;
         }
         match mgr.execute_sql(line) {
-            Ok(StatementOutcome::Query { output, estimated_cost }) => {
+            Ok(StatementOutcome::Query {
+                output,
+                estimated_cost,
+            }) => {
                 for row in output.rows.iter().take(20) {
                     let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
                     println!("  {}", cells.join(" | "));

@@ -38,12 +38,12 @@ fn main() {
     // relevant statistics for the whole workload, then re-optimize.
     let queries: Vec<_> = tpcd_benchmark_queries()
         .into_iter()
-        .map(|q| {
-            match bind_statement(&db, &Statement::Select(q)).expect("tpcd query binds") {
+        .map(
+            |q| match bind_statement(&db, &Statement::Select(q)).expect("tpcd query binds") {
                 BoundStatement::Select(b) => b,
                 _ => unreachable!(),
-            }
-        })
+            },
+        )
         .collect();
     let before: Vec<_> = queries
         .iter()

@@ -1,0 +1,17 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace uses `Serialize`/`Deserialize` only as derive markers; no
+//! serde data format runs offline (report JSON is hand-rolled in the bench
+//! crate). The traits are therefore empty markers with blanket impls, and
+//! the re-exported derives expand to nothing. Trait and derive-macro names
+//! may coexist because they live in different namespaces.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub trait Serialize {}
+
+pub trait Deserialize<'de>: Sized {}
+
+impl<T> Serialize for T {}
+
+impl<'de, T> Deserialize<'de> for T {}

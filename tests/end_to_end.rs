@@ -152,10 +152,8 @@ fn heavy_update_traffic_triggers_maintenance_cycle() {
         },
     );
     // Query first so statistics exist.
-    mgr.execute_sql(
-        "SELECT * FROM supplier WHERE s_acctbal > 0.0 AND s_nationkey = 3",
-    )
-    .unwrap();
+    mgr.execute_sql("SELECT * FROM supplier WHERE s_acctbal > 0.0 AND s_nationkey = 3")
+        .unwrap();
     // Hammer the supplier table with inserts.
     for i in 0..200 {
         mgr.execute_sql(&format!(

@@ -41,8 +41,12 @@ fn reference_eval(db: &Database, q: &BoundSelect) -> Vec<Vec<Value>> {
                             })
                             .unwrap_or(false),
                         PredOp::Between(lo, hi) => {
-                            v.sql_cmp(lo).map(|o| o != std::cmp::Ordering::Less).unwrap_or(false)
-                                && v.sql_cmp(hi).map(|o| o != std::cmp::Ordering::Greater).unwrap_or(false)
+                            v.sql_cmp(lo)
+                                .map(|o| o != std::cmp::Ordering::Less)
+                                .unwrap_or(false)
+                                && v.sql_cmp(hi)
+                                    .map(|o| o != std::cmp::Ordering::Greater)
+                                    .unwrap_or(false)
                         }
                     };
                     if !ok {
@@ -81,7 +85,8 @@ fn reference_eval(db: &Database, q: &BoundSelect) -> Vec<Vec<Value>> {
     }
 
     let value_of = |t: &[usize], c: BoundColumn| -> Value {
-        db.table(q.table_of(c.relation)).value(t[c.relation], c.column)
+        db.table(q.table_of(c.relation))
+            .value(t[c.relation], c.column)
     };
 
     if !q.group_by.is_empty() || !q.aggregates.is_empty() {

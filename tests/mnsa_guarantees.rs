@@ -26,11 +26,7 @@ fn db(z: f64, seed: u64) -> Database {
     })
 }
 
-fn execute_workload(
-    db: &Database,
-    catalog: &StatsCatalog,
-    workload: &[BoundStatement],
-) -> f64 {
+fn execute_workload(db: &Database, catalog: &StatsCatalog, workload: &[BoundStatement]) -> f64 {
     let mut db = db.clone();
     executor::WorkloadRunner::default()
         .run(&mut db, catalog.full_view(), workload)
@@ -120,7 +116,15 @@ fn shrinking_set_yields_workload_essential_set() {
         }
     }
     let initial = catalog.active_ids();
-    let out = shrinking_set(&db, &mut catalog, &optimizer, &workload, &initial, equiv, false);
+    let out = shrinking_set(
+        &db,
+        &mut catalog,
+        &optimizer,
+        &workload,
+        &initial,
+        equiv,
+        false,
+    );
 
     // Definition 2: equivalent to C for every query…
     let all: HashSet<_> = initial.iter().copied().collect();

@@ -50,10 +50,15 @@ fn indexed_db() -> Database {
     }
     for i in 0..20_000i64 {
         db.table_mut(orders)
-            .insert(vec![Value::Int(i), Value::Int(i % 500), Value::Int(i % 1000)])
+            .insert(vec![
+                Value::Int(i),
+                Value::Int(i % 500),
+                Value::Int(i % 1000),
+            ])
             .unwrap();
     }
-    db.create_index("idx_orders_custkey", orders, vec![1]).unwrap();
+    db.create_index("idx_orders_custkey", orders, vec![1])
+        .unwrap();
     db
 }
 
@@ -135,7 +140,10 @@ fn injected_selectivity_controls_join_method() {
 #[test]
 fn order_by_adds_sort_node_on_top() {
     let db = indexed_db();
-    let q = bind(&db, "SELECT * FROM customer WHERE c_segment = 9 ORDER BY c_custkey DESC");
+    let q = bind(
+        &db,
+        "SELECT * FROM customer WHERE c_segment = 9 ORDER BY c_custkey DESC",
+    );
     let optimizer = Optimizer::default();
     let cat = StatsCatalog::new();
     let r = optimizer.optimize(&db, &q, cat.full_view(), &OptimizeOptions::default());
@@ -149,7 +157,10 @@ fn order_by_adds_sort_node_on_top() {
 #[test]
 fn order_by_does_not_add_selectivity_variables() {
     let db = indexed_db();
-    let with_order = bind(&db, "SELECT * FROM customer WHERE c_segment = 9 ORDER BY c_custkey");
+    let with_order = bind(
+        &db,
+        "SELECT * FROM customer WHERE c_segment = 9 ORDER BY c_custkey",
+    );
     let without = bind(&db, "SELECT * FROM customer WHERE c_segment = 9");
     assert_eq!(with_order.predicate_ids(), without.predicate_ids());
 }
@@ -210,7 +221,11 @@ fn join_order_reacts_to_filtered_cardinalities() {
     assert_eq!(r.plan.nodes().iter().filter(|n| n.op.is_scan()).count(), 3);
     for n in r.plan.nodes() {
         if let Operator::NestedLoopJoin { edges } = &n.op {
-            assert!(!edges.is_empty(), "cartesian product in a connected query:\n{}", r.plan);
+            assert!(
+                !edges.is_empty(),
+                "cartesian product in a connected query:\n{}",
+                r.plan
+            );
         }
     }
 }
@@ -245,8 +260,7 @@ fn tpcd_profiles_always_valid() {
     let mut cat = StatsCatalog::new();
     let optimizer = Optimizer::default();
     for q in datagen::tpcd_benchmark_queries() {
-        let BoundStatement::Select(b) =
-            bind_statement(&db, &query::Statement::Select(q)).unwrap()
+        let BoundStatement::Select(b) = bind_statement(&db, &query::Statement::Select(q)).unwrap()
         else {
             panic!()
         };

@@ -1,0 +1,202 @@
+//! Differential test harness: parallel workload tuning must be
+//! **bit-identical** to serial tuning.
+//!
+//! [`ParallelTuner`] speculates per-query MNSA runs on snapshot catalogs and
+//! commits them in workload order (replaying validated speculations,
+//! re-running invalidated ones). Its contract is exact equivalence with
+//! [`MnsaEngine::run_workload`] — same per-query outcomes (including
+//! `StatId`s and optimizer call counts), same final catalog. This harness
+//! checks the contract differentially across thread counts, workload seeds,
+//! MNSA variants, and the [`OfflineTuner`] / advisor layers above.
+
+use autostats::{
+    advise, advise_parallel, Equivalence, MnsaConfig, MnsaEngine, OfflineTuner, ParallelTuner,
+};
+use datagen::{build_tpcd, Complexity, RagsGenerator, TpcdConfig, WorkloadSpec, ZipfSpec};
+use query::{bind_statement, BoundSelect, BoundStatement};
+use stats::{StatDescriptor, StatsCatalog};
+use storage::Database;
+
+fn test_db(seed: u64) -> Database {
+    build_tpcd(&TpcdConfig {
+        scale: 0.004,
+        zipf: ZipfSpec::Mixed,
+        seed,
+    })
+}
+
+fn workload(db: &Database, n: usize, seed: u64) -> Vec<BoundSelect> {
+    let spec = WorkloadSpec::new(0, Complexity::Complex, n).with_seed(seed);
+    RagsGenerator::generate(db, &spec)
+        .iter()
+        .filter_map(|stmt| match bind_statement(db, stmt) {
+            Ok(BoundStatement::Select(q)) => Some(q),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Catalog state relevant to equivalence: active descriptors with their
+/// ids, plus the drop-list, plus work meters.
+fn catalog_state(catalog: &StatsCatalog) -> (Vec<(u32, StatDescriptor)>, Vec<u32>, f64) {
+    let mut active: Vec<(u32, StatDescriptor)> = catalog
+        .active()
+        .map(|s| (s.id.0, s.descriptor.clone()))
+        .collect();
+    active.sort_by_key(|(id, _)| *id);
+    (
+        active,
+        catalog.drop_list().map(|id| id.0).collect(),
+        catalog.creation_work(),
+    )
+}
+
+#[test]
+fn outcomes_identical_across_thread_counts() {
+    for seed in [3u64, 11, 29] {
+        let db = test_db(seed);
+        let queries = workload(&db, 18, seed * 7 + 1);
+        assert!(
+            queries.len() > 4,
+            "workload generator produced too few queries"
+        );
+        let engine = MnsaEngine::new(MnsaConfig::default());
+
+        let mut serial_catalog = StatsCatalog::new();
+        let serial = engine.run_workload(&db, &mut serial_catalog, &queries);
+        let serial_state = catalog_state(&serial_catalog);
+
+        for threads in [2usize, 4, 8] {
+            let tuner = ParallelTuner::new(engine.clone(), threads);
+            let mut catalog = StatsCatalog::new();
+            let outcomes = tuner.run_workload(&db, &mut catalog, &queries);
+            assert_eq!(
+                serial, outcomes,
+                "outcome divergence at seed={seed} threads={threads}"
+            );
+            assert_eq!(
+                serial_state,
+                catalog_state(&catalog),
+                "catalog divergence at seed={seed} threads={threads}"
+            );
+        }
+    }
+}
+
+#[test]
+fn mnsad_drop_lists_identical_across_thread_counts() {
+    let db = test_db(5);
+    let queries = workload(&db, 16, 13);
+    let engine = MnsaEngine::new(MnsaConfig::default().with_drop_detection());
+
+    let mut serial_catalog = StatsCatalog::new();
+    let serial = engine.run_workload(&db, &mut serial_catalog, &queries);
+
+    for threads in [2usize, 4, 8] {
+        let tuner = ParallelTuner::new(engine.clone(), threads);
+        let mut catalog = StatsCatalog::new();
+        let outcomes = tuner.run_workload(&db, &mut catalog, &queries);
+        assert_eq!(serial, outcomes, "MNSA/D divergence at threads={threads}");
+        assert_eq!(
+            serial_catalog.drop_list().collect::<Vec<_>>(),
+            catalog.drop_list().collect::<Vec<_>>(),
+            "drop-list divergence at threads={threads}"
+        );
+    }
+}
+
+#[test]
+fn parallel_on_pretuned_catalog_matches_serial() {
+    // Start from a non-empty catalog (some statistics already built), so
+    // speculation validates against real pre-existing state and replayed
+    // ids must line up with non-zero-based serial ids.
+    let db = test_db(17);
+    let queries = workload(&db, 14, 23);
+    let (first_half, second_half) = queries.split_at(queries.len() / 2);
+    let engine = MnsaEngine::new(MnsaConfig::default());
+
+    let mut serial_catalog = StatsCatalog::new();
+    engine.run_workload(&db, &mut serial_catalog, first_half);
+    let serial = engine.run_workload(&db, &mut serial_catalog, second_half);
+
+    let tuner = ParallelTuner::new(engine.clone(), 4);
+    let mut catalog = StatsCatalog::new();
+    engine.run_workload(&db, &mut catalog, first_half);
+    let parallel = tuner.run_workload(&db, &mut catalog, second_half);
+
+    assert_eq!(serial, parallel);
+    assert_eq!(catalog_state(&serial_catalog), catalog_state(&catalog));
+}
+
+#[test]
+fn offline_tuner_report_identical_across_thread_counts() {
+    let db = test_db(9);
+    let queries = workload(&db, 14, 31);
+
+    let serial_tuner = OfflineTuner::default();
+    let mut serial_catalog = StatsCatalog::new();
+    let serial_report = serial_tuner.tune(&db, &mut serial_catalog, &queries);
+
+    for threads in [2usize, 4, 8] {
+        let tuner = OfflineTuner {
+            threads,
+            ..OfflineTuner::default()
+        };
+        let mut catalog = StatsCatalog::new();
+        let report = tuner.tune(&db, &mut catalog, &queries);
+        assert_eq!(
+            serial_report, report,
+            "TuningReport divergence at threads={threads}"
+        );
+        assert_eq!(catalog_state(&serial_catalog), catalog_state(&catalog));
+        assert_eq!(serial_catalog.epoch(), catalog.epoch());
+    }
+}
+
+#[test]
+fn advisor_report_identical_across_thread_counts() {
+    let db = test_db(21);
+    let queries = workload(&db, 12, 41);
+    let mut catalog = StatsCatalog::new();
+    // Pre-build one statistic the workload may not need, so Drop
+    // recommendations are possible.
+    let t = db.table_ids().next().unwrap();
+    catalog.create_statistic(&db, StatDescriptor::single(t, 0));
+
+    let serial = advise(
+        &db,
+        &catalog,
+        &queries,
+        MnsaConfig::default(),
+        Equivalence::paper_default(),
+    );
+    for threads in [2usize, 4, 8] {
+        let parallel = advise_parallel(
+            &db,
+            &catalog,
+            &queries,
+            MnsaConfig::default(),
+            Equivalence::paper_default(),
+            threads,
+        );
+        assert_eq!(serial, parallel, "advisor divergence at threads={threads}");
+    }
+}
+
+#[test]
+fn aging_config_falls_back_to_serial_semantics() {
+    // With aging enabled the tuner must not speculate; output still equals
+    // the serial engine because it *is* the serial engine path.
+    let db = test_db(2);
+    let queries = workload(&db, 8, 19);
+    let engine = MnsaEngine::new(MnsaConfig {
+        aging: Some(stats::AgingPolicy::default()),
+        ..MnsaConfig::default()
+    });
+    let mut a = StatsCatalog::new();
+    let mut b = StatsCatalog::new();
+    let serial = engine.run_workload(&db, &mut a, &queries);
+    let tuner = ParallelTuner::new(engine, 8);
+    let parallel = tuner.run_workload(&db, &mut b, &queries);
+    assert_eq!(serial, parallel);
+}

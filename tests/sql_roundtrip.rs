@@ -12,9 +12,8 @@ use storage::Value;
 fn ident() -> impl Strategy<Value = String> {
     "[a-z][a-z0-9_]{0,8}".prop_filter("not a keyword", |s| {
         ![
-            "select", "from", "where", "group", "by", "and", "between", "insert", "into",
-            "values", "update", "set", "delete", "as", "date", "null", "count", "sum", "avg",
-            "min", "max",
+            "select", "from", "where", "group", "by", "and", "between", "insert", "into", "values",
+            "update", "set", "delete", "as", "date", "null", "count", "sum", "avg", "min", "max",
         ]
         .contains(&s.as_str())
     })
@@ -50,7 +49,11 @@ fn cmp_op() -> impl Strategy<Value = CmpOp> {
 
 fn condition() -> impl Strategy<Value = Condition> {
     prop_oneof![
-        (column_ref(), cmp_op(), literal().prop_filter("no null cmp", |v| !v.is_null()))
+        (
+            column_ref(),
+            cmp_op(),
+            literal().prop_filter("no null cmp", |v| !v.is_null())
+        )
             .prop_map(|(column, op, value)| Condition::Compare { column, op, value }),
         (column_ref(), -100i64..100, 0i64..100).prop_map(|(column, lo, w)| Condition::Between {
             column,
@@ -84,10 +87,7 @@ fn table_ref() -> impl Strategy<Value = TableRef> {
 }
 
 fn order_key() -> impl Strategy<Value = OrderKey> {
-    (column_ref(), any::<bool>()).prop_map(|(column, descending)| OrderKey {
-        column,
-        descending,
-    })
+    (column_ref(), any::<bool>()).prop_map(|(column, descending)| OrderKey { column, descending })
 }
 
 fn select_stmt() -> impl Strategy<Value = Statement> {

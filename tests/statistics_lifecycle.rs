@@ -41,6 +41,7 @@ fn drop_listed_statistics_reactivate_for_free_on_repeat_workload() {
     let tuner = OfflineTuner {
         mnsa: MnsaConfig::default(),
         shrink: Some(Equivalence::paper_default()),
+        threads: 1,
     };
     tuner.tune(&db, &mut catalog, &workload);
     let work_after_tune = catalog.creation_work();
@@ -118,7 +119,10 @@ fn aging_window_expires() {
     });
     let mut within = 0usize;
     for q in &workload {
-        within += aged_engine.run_query(&database, &mut catalog, q).created.len();
+        within += aged_engine
+            .run_query(&database, &mut catalog, q)
+            .created
+            .len();
     }
 
     // Past the window: re-creation allowed again.
@@ -130,7 +134,10 @@ fn aging_window_expires() {
     catalog.advance_epoch();
     let mut after = 0usize;
     for q in &workload {
-        after += aged_engine.run_query(&database, &mut catalog, q).created.len();
+        after += aged_engine
+            .run_query(&database, &mut catalog, q)
+            .created
+            .len();
     }
     assert!(
         after >= within,

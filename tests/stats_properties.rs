@@ -2,7 +2,9 @@
 
 use proptest::prelude::*;
 use stats::statistic::build_statistic;
-use stats::{join_selectivity, BuildOptions, Histogram, HistogramKind, SampleSpec, StatDescriptor, StatId};
+use stats::{
+    join_selectivity, BuildOptions, Histogram, HistogramKind, SampleSpec, StatDescriptor, StatId,
+};
 use storage::{ColumnDef, DataType, Schema, Table, TableId, Value};
 
 fn table_from(cols: Vec<Vec<i64>>) -> Table {
