@@ -28,7 +28,7 @@ fn bench_mnsa(c: &mut Criterion) {
 
     // Converged case: statistics already exist, MNSA should exit in 3 calls.
     let mut warm = StatsCatalog::new();
-    engine.run_query(&db, &mut warm, &q6);
+    engine.run_query(&db, &mut warm, &q6).expect("mnsa tunes");
     c.bench_function("mnsa_q6_already_tuned", |b| {
         b.iter(|| {
             let mut cat_view = warm.creation_work();

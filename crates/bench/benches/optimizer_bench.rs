@@ -54,7 +54,7 @@ fn bench_optimize(c: &mut Criterion) {
     let mut full = StatsCatalog::new();
     for q in &queries {
         for d in autostats::candidate_statistics(q) {
-            full.create_statistic(&db, d);
+            full.create_statistic(&db, d).expect("statistic builds");
         }
     }
     c.bench_function("optimize_q8_with_stats", |b| {

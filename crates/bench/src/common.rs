@@ -123,10 +123,18 @@ pub fn report(rows: &[Row], json_path: Option<&str>) {
             out.push('\n');
         }
         if let Some(parent) = std::path::Path::new(path).parent() {
-            let _ = std::fs::create_dir_all(parent);
+            if let Err(e) = std::fs::create_dir_all(parent) {
+                eprintln!(
+                    "error: cannot create results directory {}: {e}",
+                    parent.display()
+                );
+                return;
+            }
         }
-        std::fs::write(path, out).expect("write results file");
-        println!("results written to {path}");
+        match std::fs::write(path, out) {
+            Ok(()) => println!("results written to {path}"),
+            Err(e) => eprintln!("error: cannot write results file {path}: {e}"),
+        }
     }
 }
 
@@ -164,6 +172,7 @@ pub fn execute_workload(db: &Database, catalog: &StatsCatalog, workload: &[Bound
     let runner = WorkloadRunner::default();
     runner
         .run(&mut db, catalog.full_view(), workload)
+        .expect("bench workload executes")
         .total_work
 }
 
@@ -225,10 +234,16 @@ pub fn execute_workload_memo(
         let BoundStatement::Select(q) = stmt else {
             unreachable!("checked above")
         };
-        let optimized = optimizer.optimize_cached(db, q, catalog.full_view(), &options, cache);
+        let optimized = optimizer
+            .optimize_cached(db, q, catalog.full_view(), &options, cache)
+            .expect("bench workload optimizes");
         let key = (i, optimized.plan.structural_fingerprint());
         let cell = Arc::clone(memo.per_statement.lock().entry(key).or_default());
-        total += *cell.get_or_init(|| execute_plan(db, q, &optimized.plan, &optimizer.params).work);
+        total += *cell.get_or_init(|| {
+            execute_plan(db, q, &optimized.plan, &optimizer.params)
+                .expect("bench workload executes")
+                .work
+        });
     }
     total
 }
@@ -242,7 +257,9 @@ pub fn create_all(
 ) -> f64 {
     let before = catalog.creation_work();
     for d in descriptors {
-        catalog.create_statistic(db, d);
+        catalog
+            .create_statistic(db, d)
+            .expect("bench statistic builds");
     }
     catalog.creation_work() - before
 }

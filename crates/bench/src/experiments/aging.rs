@@ -64,7 +64,11 @@ pub fn run(scale: &ExperimentScale) -> Vec<AgingResult> {
                 let before_work = catalog.creation_work();
                 let mut created = 0usize;
                 for q in &queries {
-                    created += engine.run_query(&db, &mut catalog, q).created.len();
+                    created += engine
+                        .run_query(&db, &mut catalog, q)
+                        .expect("mnsa tunes")
+                        .created
+                        .len();
                 }
                 recreations.push(created);
                 work.push(catalog.creation_work() - before_work);

@@ -78,7 +78,7 @@ pub fn measure(
     let mut built = 0usize;
     for q in &queries {
         let before = cat_mnsa.creation_work();
-        let outcome = engine.run_query(db, &mut cat_mnsa, q);
+        let outcome = engine.run_query(db, &mut cat_mnsa, q).expect("mnsa tunes");
         built += outcome.created.len();
         mnsa_work += (cat_mnsa.creation_work() - before)
             + outcome.optimizer_calls as f64 * optimizer_call_work(q.relations.len());
@@ -176,7 +176,7 @@ pub fn run_ablation(scale: &ExperimentScale) -> Vec<AblationResult> {
         let mut calls = 0usize;
         for q in &queries {
             let before = cat.creation_work();
-            let outcome = engine.run_query(&db, &mut cat, q);
+            let outcome = engine.run_query(&db, &mut cat, q).expect("mnsa tunes");
             calls += outcome.optimizer_calls;
             work += (cat.creation_work() - before)
                 + outcome.optimizer_calls as f64 * optimizer_call_work(q.relations.len());

@@ -47,7 +47,9 @@ pub fn run(scale: &ExperimentScale) -> Vec<IntroResult> {
     // Baseline: statistics only on indexed (leading) columns.
     let mut catalog = StatsCatalog::new();
     for idx in db.indexes() {
-        catalog.create_statistic(&db, StatDescriptor::single(idx.table, idx.leading_column()));
+        catalog
+            .create_statistic(&db, StatDescriptor::single(idx.table, idx.leading_column()))
+            .expect("bench statistic builds");
     }
 
     let optimizer = Optimizer::default();
@@ -65,13 +67,19 @@ pub fn run(scale: &ExperimentScale) -> Vec<IntroResult> {
     // paper recorded all plans, then created the statistics).
     let before: Vec<_> = queries
         .iter()
-        .map(|q| optimizer.optimize(&db, q, catalog.full_view(), &OptimizeOptions::default()))
+        .map(|q| {
+            optimizer
+                .optimize(&db, q, catalog.full_view(), &OptimizeOptions::default())
+                .expect("bench query optimizes")
+        })
         .collect();
 
     // Then create the relevant statistics for the whole workload…
     for q in &queries {
         for d in candidate_statistics(q) {
-            catalog.create_statistic(&db, d);
+            catalog
+                .create_statistic(&db, d)
+                .expect("bench statistic builds");
         }
     }
 
@@ -81,8 +89,9 @@ pub fn run(scale: &ExperimentScale) -> Vec<IntroResult> {
         .zip(before)
         .enumerate()
         .map(|(i, (q, b))| {
-            let after =
-                optimizer.optimize(&db, q, catalog.full_view(), &OptimizeOptions::default());
+            let after = optimizer
+                .optimize(&db, q, catalog.full_view(), &OptimizeOptions::default())
+                .expect("bench query optimizes");
             IntroResult {
                 query: i + 1,
                 plan_changed: !b.plan.same_tree(&after.plan),

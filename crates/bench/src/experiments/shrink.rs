@@ -41,7 +41,7 @@ pub fn run(scale: &ExperimentScale) -> ShrinkResult {
     let engine = MnsaEngine::new(MnsaConfig::default());
     let mut cat = StatsCatalog::new();
     for q in &queries {
-        engine.run_query(&db, &mut cat, q);
+        engine.run_query(&db, &mut cat, q).expect("mnsa tunes");
     }
     let mnsa_ids = cat.active_ids();
     let mnsa_update_cost = cat.update_cost_of(&db, mnsa_ids.iter().copied());
@@ -51,7 +51,7 @@ pub fn run(scale: &ExperimentScale) -> ShrinkResult {
     let mnsad = MnsaEngine::new(MnsaConfig::default().with_drop_detection());
     let mut cat_d = StatsCatalog::new();
     for q in &queries {
-        mnsad.run_query(&db, &mut cat_d, q);
+        mnsad.run_query(&db, &mut cat_d, q).expect("mnsa tunes");
     }
 
     // Shrinking Set on top of the MNSA catalog.
@@ -63,7 +63,8 @@ pub fn run(scale: &ExperimentScale) -> ShrinkResult {
         &mnsa_ids,
         Equivalence::paper_default(),
         true,
-    );
+    )
+    .expect("shrinking set runs");
     let shrunk_update_cost = cat.update_cost_of(&db, out.essential.iter().copied());
     let exec_after = execute_workload(&db, &cat, &bound);
 

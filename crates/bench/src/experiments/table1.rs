@@ -37,7 +37,7 @@ pub fn measure(db: &Database, name: &str, wl_name: &str, stmts: &[Statement]) ->
     let mnsa = MnsaEngine::new(MnsaConfig::default());
     let mut cat_mnsa = StatsCatalog::new();
     for q in &queries {
-        mnsa.run_query(db, &mut cat_mnsa, q);
+        mnsa.run_query(db, &mut cat_mnsa, q).expect("mnsa tunes");
     }
     let mnsa_ids = cat_mnsa.active_ids();
     let mnsa_update_cost = cat_mnsa.update_cost_of(db, mnsa_ids.iter().copied());
@@ -46,7 +46,7 @@ pub fn measure(db: &Database, name: &str, wl_name: &str, stmts: &[Statement]) ->
     let mnsad = MnsaEngine::new(MnsaConfig::default().with_drop_detection());
     let mut cat_mnsad = StatsCatalog::new();
     for q in &queries {
-        mnsad.run_query(db, &mut cat_mnsad, q);
+        mnsad.run_query(db, &mut cat_mnsad, q).expect("mnsa tunes");
     }
     let mnsad_ids = cat_mnsad.active_ids();
     let mnsad_update_cost = cat_mnsad.update_cost_of(db, mnsad_ids.iter().copied());

@@ -66,7 +66,7 @@ fn tune_point(
     let mut outcomes = Vec::with_capacity(queries.len());
     for q in queries {
         let before = cat.creation_work();
-        let outcome = engine.run_query(db, &mut cat, q);
+        let outcome = engine.run_query(db, &mut cat, q).expect("mnsa tunes");
         work += (cat.creation_work() - before)
             + outcome.optimizer_calls as f64 * optimizer_call_work(q.relations.len());
         outcomes.push(outcome);

@@ -11,6 +11,7 @@
 //! touching the live catalog.
 
 use crate::equivalence::Equivalence;
+use crate::error::TuneError;
 use crate::mnsa::{MnsaConfig, MnsaEngine};
 use crate::parallel::ParallelTuner;
 use crate::shrinking::shrinking_set;
@@ -65,11 +66,23 @@ impl AdvisorReport {
     /// Human-readable rendering (column names resolved against `db`).
     pub fn render(&self, db: &Database) -> String {
         let name = |d: &StatDescriptor| -> String {
-            let table = db.table(d.table);
-            let cols: Vec<&str> = d
+            // The table may have been dropped since the report was produced;
+            // fall back to raw ids rather than failing the rendering.
+            let Ok(table) = db.try_table(d.table) else {
+                let cols: Vec<String> = d.columns.iter().map(|c| format!("#{c}")).collect();
+                return format!("<dropped table {}>({})", d.table.0, cols.join(", "));
+            };
+            let cols: Vec<String> = d
                 .columns
                 .iter()
-                .map(|&c| table.schema().column(c).name.as_str())
+                .map(|&c| {
+                    table
+                        .schema()
+                        .columns()
+                        .get(c)
+                        .map(|col| col.name.clone())
+                        .unwrap_or_else(|| format!("#{c}"))
+                })
                 .collect();
             format!("{}({})", table.name(), cols.join(", "))
         };
@@ -117,7 +130,7 @@ pub fn advise(
     workload: &[BoundSelect],
     config: MnsaConfig,
     equivalence: Equivalence,
-) -> AdvisorReport {
+) -> Result<AdvisorReport, TuneError> {
     advise_parallel(db, catalog, workload, config, equivalence, 1)
 }
 
@@ -131,7 +144,7 @@ pub fn advise_parallel(
     config: MnsaConfig,
     equivalence: Equivalence,
     threads: usize,
-) -> AdvisorReport {
+) -> Result<AdvisorReport, TuneError> {
     // Work on a restored snapshot so the live catalog is untouched.
     let mut scratch = StatsCatalog::restore(catalog.snapshot());
     let original_active: Vec<StatDescriptor> =
@@ -143,7 +156,7 @@ pub fn advise_parallel(
         ..Default::default()
     };
     let tuner = ParallelTuner::new(engine.clone(), threads);
-    for outcome in tuner.run_workload(db, &mut scratch, workload) {
+    for outcome in tuner.run_workload(db, &mut scratch, workload)? {
         report.optimizer_calls += outcome.optimizer_calls;
     }
     let after_mnsa = scratch.active_ids();
@@ -155,7 +168,7 @@ pub fn advise_parallel(
         &after_mnsa,
         equivalence,
         true,
-    );
+    )?;
     report.optimizer_calls += shrink.optimizer_calls;
 
     // Diff the surviving essential set against the original catalog.
@@ -186,7 +199,7 @@ pub fn advise_parallel(
             });
         }
     }
-    report
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -249,7 +262,8 @@ mod tests {
             &workload,
             MnsaConfig::default(),
             Equivalence::paper_default(),
-        );
+        )
+        .unwrap();
         assert_eq!(catalog.total_count(), 0, "live catalog must stay untouched");
         assert!(report.creates().count() > 0, "no creates recommended");
         assert_eq!(report.drops().count(), 0);
@@ -264,7 +278,9 @@ mod tests {
         let t = db.table_id("events").unwrap();
         let mut catalog = StatsCatalog::new();
         // A statistic on a column no workload query touches.
-        catalog.create_statistic(&db, StatDescriptor::single(t, 3));
+        catalog
+            .create_statistic(&db, StatDescriptor::single(t, 3))
+            .unwrap();
         let workload = vec![bind(&db, "SELECT * FROM events WHERE severity = 99")];
         let report = advise(
             &db,
@@ -272,7 +288,8 @@ mod tests {
             &workload,
             MnsaConfig::default(),
             Equivalence::paper_default(),
-        );
+        )
+        .unwrap();
         assert!(
             report
                 .drops()
@@ -290,7 +307,9 @@ mod tests {
         let db = setup();
         let t = db.table_id("events").unwrap();
         let mut catalog = StatsCatalog::new();
-        catalog.create_statistic(&db, StatDescriptor::single(t, 2)); // severity
+        catalog
+            .create_statistic(&db, StatDescriptor::single(t, 2))
+            .unwrap(); // severity
         let workload = vec![bind(&db, "SELECT * FROM events WHERE severity = 99")];
         let report = advise(
             &db,
@@ -298,7 +317,8 @@ mod tests {
             &workload,
             MnsaConfig::default(),
             Equivalence::paper_default(),
-        );
+        )
+        .unwrap();
         // severity stat is needed (plan-changing) — must not be dropped.
         assert!(!report
             .drops()

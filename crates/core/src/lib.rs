@@ -39,15 +39,21 @@
 //! let out = mgr.execute_sql(
 //!     "SELECT o_orderpriority, COUNT(*) FROM orders \
 //!      WHERE o_orderdate < 9000 GROUP BY o_orderpriority",
-//! ).unwrap();
+//! )?;
 //! assert!(out.work() > 0.0);
 //! // MNSA decided which of the candidate statistics were worth building:
 //! assert!(mgr.tuning_report().optimizer_calls >= 3);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+
+// Library code must stay panic-free on arbitrary input; tests may unwrap.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod advisor;
 pub mod candidates;
 pub mod equivalence;
+pub mod error;
+pub mod faults;
 pub mod manager;
 pub mod mnsa;
 pub mod parallel;
@@ -57,6 +63,8 @@ pub mod shrinking;
 pub use advisor::{advise, advise_parallel, AdvisorReport, Recommendation};
 pub use candidates::{candidate_statistics, exhaustive_candidates, single_column_candidates};
 pub use equivalence::Equivalence;
+pub use error::TuneError;
+pub use faults::{Fault, FaultPlan};
 pub use manager::{AutoStatsManager, ManagerConfig};
 pub use mnsa::{CandidateMode, MnsaConfig, MnsaEngine, MnsaOutcome, NextStatOrder, Termination};
 pub use parallel::ParallelTuner;

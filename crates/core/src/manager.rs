@@ -5,9 +5,11 @@
 //! examples and experiments can drive the whole system the way an
 //! application would drive a server.
 
+use crate::error::TuneError;
 use crate::policy::{apply_policy_cached, CreationPolicy, TuningReport};
 use crate::Equivalence;
-use executor::{run_statement, StatementOutcome};
+use executor::{run_statement, ExecError, StatementOutcome};
+use optimizer::PlanError;
 use optimizer::{CacheCounters, OptimizeCache, OptimizeOptions, Optimizer};
 use query::{bind_statement, parse_statement, BindError, BoundStatement, ParseError, Statement};
 use stats::{MaintenancePolicy, MaintenanceReport, StatsCatalog};
@@ -15,11 +17,16 @@ use std::fmt;
 use std::sync::Arc;
 use storage::Database;
 
-/// Errors surfaced by the manager.
+/// Errors surfaced by the manager: every stage of the
+/// parse → bind → tune → optimize → execute funnel has a typed variant.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ManagerError {
     Parse(ParseError),
     Bind(BindError),
+    /// Statistics tuning (the creation policy) failed.
+    Tune(TuneError),
+    /// Optimizing or executing the statement failed.
+    Exec(ExecError),
 }
 
 impl fmt::Display for ManagerError {
@@ -27,11 +34,21 @@ impl fmt::Display for ManagerError {
         match self {
             ManagerError::Parse(e) => write!(f, "{e}"),
             ManagerError::Bind(e) => write!(f, "{e}"),
+            ManagerError::Tune(e) => write!(f, "{e}"),
+            ManagerError::Exec(e) => write!(f, "{e}"),
         }
     }
 }
 
-impl std::error::Error for ManagerError {}
+impl std::error::Error for ManagerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ManagerError::Parse(_) | ManagerError::Bind(_) => None,
+            ManagerError::Tune(e) => Some(e),
+            ManagerError::Exec(e) => Some(e),
+        }
+    }
+}
 
 impl From<ParseError> for ManagerError {
     fn from(e: ParseError) -> Self {
@@ -42,6 +59,24 @@ impl From<ParseError> for ManagerError {
 impl From<BindError> for ManagerError {
     fn from(e: BindError) -> Self {
         ManagerError::Bind(e)
+    }
+}
+
+impl From<TuneError> for ManagerError {
+    fn from(e: TuneError) -> Self {
+        ManagerError::Tune(e)
+    }
+}
+
+impl From<ExecError> for ManagerError {
+    fn from(e: ExecError) -> Self {
+        ManagerError::Exec(e)
+    }
+}
+
+impl From<PlanError> for ManagerError {
+    fn from(e: PlanError) -> Self {
+        ManagerError::Exec(ExecError::Plan(e))
     }
 }
 
@@ -152,11 +187,14 @@ impl AutoStatsManager {
     /// Bind, tune, and execute a parsed statement.
     pub fn execute(&mut self, stmt: &Statement) -> Result<StatementOutcome, ManagerError> {
         let bound = bind_statement(&self.db, stmt)?;
-        Ok(self.execute_bound(&bound))
+        self.execute_bound(&bound)
     }
 
     /// Execute a pre-bound statement.
-    pub fn execute_bound(&mut self, bound: &BoundStatement) -> StatementOutcome {
+    pub fn execute_bound(
+        &mut self,
+        bound: &BoundStatement,
+    ) -> Result<StatementOutcome, ManagerError> {
         if let BoundStatement::Select(q) = bound {
             let (report, _) = apply_policy_cached(
                 &self.db,
@@ -164,7 +202,7 @@ impl AutoStatsManager {
                 &self.config.creation,
                 q,
                 self.cache.as_ref(),
-            );
+            )?;
             self.tuning.absorb(&report);
         }
         let outcome = run_statement(
@@ -172,12 +210,12 @@ impl AutoStatsManager {
             self.catalog.full_view(),
             &self.optimizer,
             bound,
-        );
+        )?;
         self.execution_work += outcome.work();
         if self.config.auto_maintain && !matches!(bound, BoundStatement::Select(_)) {
             self.maintain();
         }
-        outcome
+        Ok(outcome)
     }
 
     /// One pass of the §6 auto-update/auto-drop maintenance policy.
@@ -198,7 +236,7 @@ impl AutoStatsManager {
                     &q,
                     self.catalog.full_view(),
                     &OptimizeOptions::default(),
-                );
+                )?;
                 Ok(format!(
                     "{}magic variables: {:?}\n",
                     r.plan, r.magic_variables

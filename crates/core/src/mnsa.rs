@@ -22,7 +22,10 @@
 //! heuristically marked non-essential and moved to the drop-list (§5.1).
 
 use crate::candidates::{candidate_statistics, exhaustive_candidates, single_column_candidates};
-use optimizer::{Operator, OptimizeCache, OptimizeOptions, OptimizedQuery, Optimizer, PlanNode};
+use crate::error::TuneError;
+use optimizer::{
+    Operator, OptimizeCache, OptimizeOptions, OptimizedQuery, Optimizer, PlanError, PlanNode,
+};
 use query::{BoundSelect, PredicateId};
 use serde::{Deserialize, Serialize};
 use stats::{AgingPolicy, StatDescriptor, StatId, StatsCatalog};
@@ -191,7 +194,7 @@ impl MnsaEngine {
         query: &BoundSelect,
         options: &OptimizeOptions,
         outcome: &mut MnsaOutcome,
-    ) -> OptimizedQuery {
+    ) -> Result<OptimizedQuery, PlanError> {
         outcome.optimizer_calls += 1;
         match &self.cache {
             Some(cache) => {
@@ -210,24 +213,27 @@ impl MnsaEngine {
         db: &Database,
         catalog: &mut StatsCatalog,
         query: &BoundSelect,
-    ) -> MnsaOutcome {
+    ) -> Result<MnsaOutcome, TuneError> {
         let mut outcome = MnsaOutcome::new();
         // A drop-listed statistic is invisible to the optimizer, so for
         // candidate purposes it counts as unbuilt: if this query's
         // sensitivity loop picks it again, `create_statistic` reactivates it
-        // from the drop-list for free (§5).
+        // from the drop-list for free (§5). Candidates whose table vanished
+        // under us (a concurrent drop) are not tunable and are filtered out.
         let mut remaining: Vec<StatDescriptor> = self
             .candidates(query)
             .into_iter()
             .filter(|d| catalog.find_active(d).is_none())
+            .filter(|d| db.try_table(d.table).is_ok())
             .collect();
 
         // Small-table pre-creation (§4.3).
         if self.config.small_table_rows > 0 {
             let mut rest = Vec::with_capacity(remaining.len());
             for d in remaining {
-                if db.table(d.table).row_count() <= self.config.small_table_rows {
-                    outcome.created.push(catalog.create_statistic(db, d));
+                let rows = db.try_table(d.table).map(|t| t.row_count())?;
+                if rows <= self.config.small_table_rows {
+                    outcome.created.push(catalog.create_statistic(db, d)?);
                 } else {
                     rest.push(d);
                 }
@@ -242,7 +248,7 @@ impl MnsaEngine {
             query,
             &OptimizeOptions::default(),
             &mut outcome,
-        );
+        )?;
 
         loop {
             // Step 4: the selectivity variables still on magic numbers.
@@ -259,14 +265,14 @@ impl MnsaEngine {
                 query,
                 &OptimizeOptions::inject_all(&magic, self.config.epsilon),
                 &mut outcome,
-            );
+            )?;
             let p_high = self.optimize(
                 db,
                 catalog,
                 query,
                 &OptimizeOptions::inject_all(&magic, 1.0 - self.config.epsilon),
                 &mut outcome,
-            );
+            )?;
             let lo = p_low.cost.min(p_high.cost);
             let hi = p_low.cost.max(p_high.cost);
             if lo <= 0.0 || (hi - lo) / lo <= self.config.t_percent / 100.0 {
@@ -292,7 +298,7 @@ impl MnsaEngine {
             let round_ids: Vec<StatId> = group
                 .into_iter()
                 .map(|d| catalog.create_statistic(db, d))
-                .collect();
+                .collect::<Result<_, _>>()?;
             outcome.created.extend(&round_ids);
 
             // Steps 11–12: re-optimize with the new statistics.
@@ -302,7 +308,7 @@ impl MnsaEngine {
                 query,
                 &OptimizeOptions::default(),
                 &mut outcome,
-            );
+            )?;
 
             // MNSA/D (§5.1): if the plan did not change, the statistics just
             // built are heuristically non-essential. The heuristic alone can
@@ -321,7 +327,7 @@ impl MnsaEngine {
                     query,
                     &OptimizeOptions::default(),
                     &mut outcome,
-                );
+                )?;
                 if without.plan.same_tree(&current.plan) {
                     outcome.drop_listed.extend(&round_ids);
                     // The loop invariant (current == plan under active stats)
@@ -336,7 +342,7 @@ impl MnsaEngine {
         }
 
         outcome.skipped = remaining;
-        outcome
+        Ok(outcome)
     }
 
     /// §4.2: rank plan operators by own cost (subtree − children) and return
@@ -408,14 +414,16 @@ impl MnsaEngine {
                 seek_preds: preds,
                 ..
             } => {
-                let table = query.table_of(*rel);
+                let Some(&(table, _)) = query.relations.get(*rel) else {
+                    return Vec::new();
+                };
                 let pred_cols: Vec<usize> = preds
                     .iter()
                     .chain(match &node.op {
                         Operator::IndexScan { residual, .. } => residual.iter(),
                         _ => [].iter(),
                     })
-                    .map(|&i| query.selections[i].column.column)
+                    .filter_map(|&i| query.selections.get(i).map(|s| s.column.column))
                     .collect();
                 // First matching candidate (candidate order: singles first).
                 remaining
@@ -432,9 +440,15 @@ impl MnsaEngine {
                 // Join statistics come in pairs: propose the matching
                 // candidate on each side of the first edge with any unbuilt.
                 for &e in edges {
-                    let edge = &query.join_edges[e];
-                    let lt = query.table_of(edge.left_rel);
-                    let rt = query.table_of(edge.right_rel);
+                    let Some(edge) = query.join_edges.get(e) else {
+                        continue;
+                    };
+                    let (Some(&(lt, _)), Some(&(rt, _))) = (
+                        query.relations.get(edge.left_rel),
+                        query.relations.get(edge.right_rel),
+                    ) else {
+                        continue;
+                    };
                     let lcols: Vec<usize> = edge.pairs.iter().map(|&(l, _)| l).collect();
                     let rcols: Vec<usize> = edge.pairs.iter().map(|&(_, r)| r).collect();
                     let matches = |d: &&StatDescriptor, t: storage::TableId, cols: &[usize]| {
@@ -457,7 +471,7 @@ impl MnsaEngine {
             Operator::HashAggregate { group } => {
                 let cols: Vec<(storage::TableId, usize)> = group
                     .iter()
-                    .map(|g| (query.table_of(g.relation), g.column))
+                    .filter_map(|g| query.relations.get(g.relation).map(|&(t, _)| (t, g.column)))
                     .collect();
                 remaining
                     .iter()
@@ -476,7 +490,7 @@ impl MnsaEngine {
         db: &Database,
         catalog: &mut StatsCatalog,
         queries: &[BoundSelect],
-    ) -> Vec<MnsaOutcome> {
+    ) -> Result<Vec<MnsaOutcome>, TuneError> {
         queries
             .iter()
             .map(|q| self.run_query(db, catalog, q))
@@ -551,7 +565,7 @@ mod tests {
         let engine = MnsaEngine::new(MnsaConfig::default());
         let all = engine.candidates(&q).len();
         let mut catalog = StatsCatalog::new();
-        let outcome = engine.run_query(&db, &mut catalog, &q);
+        let outcome = engine.run_query(&db, &mut catalog, &q).unwrap();
         assert!(
             outcome.created.len() < all,
             "MNSA built all {all} candidates — no pruning happened"
@@ -567,7 +581,7 @@ mod tests {
         let q = bind(&db, EXAMPLE2_SQL);
         let engine = MnsaEngine::new(MnsaConfig::default());
         let mut catalog = StatsCatalog::new();
-        let outcome = engine.run_query(&db, &mut catalog, &q);
+        let outcome = engine.run_query(&db, &mut catalog, &q).unwrap();
         // Figure 1: 1 initial call + 2 probe calls per round + 1 re-optimize
         // per creation round.
         assert!(outcome.optimizer_calls >= 3);
@@ -580,7 +594,7 @@ mod tests {
         let q = bind(&db, "SELECT * FROM departments");
         let engine = MnsaEngine::new(MnsaConfig::default());
         let mut catalog = StatsCatalog::new();
-        let outcome = engine.run_query(&db, &mut catalog, &q);
+        let outcome = engine.run_query(&db, &mut catalog, &q).unwrap();
         assert!(outcome.created.is_empty());
         assert_eq!(catalog.active_count(), 0);
     }
@@ -600,7 +614,7 @@ mod tests {
         let q = bind(&db, "SELECT * FROM tiny WHERE a = 1");
         let engine = MnsaEngine::new(MnsaConfig::default());
         let mut catalog = StatsCatalog::new();
-        let outcome = engine.run_query(&db, &mut catalog, &q);
+        let outcome = engine.run_query(&db, &mut catalog, &q).unwrap();
         assert_eq!(outcome.terminated_by, Termination::CostConverged);
         assert!(outcome.created.is_empty());
         assert_eq!(outcome.skipped.len(), 1);
@@ -615,7 +629,7 @@ mod tests {
             ..Default::default()
         });
         let mut catalog = StatsCatalog::new();
-        let outcome = engine.run_query(&db, &mut catalog, &q);
+        let outcome = engine.run_query(&db, &mut catalog, &q).unwrap();
         let dept = db.table_id("departments").unwrap();
         let dept_stats: Vec<_> = catalog.active_on_table(dept).collect();
         assert!(!dept_stats.is_empty(), "small-table stats created outright");
@@ -647,7 +661,7 @@ mod tests {
         let q = bind(&db, "SELECT * FROM r1, r2 WHERE r1.k = r2.k");
         let engine = MnsaEngine::new(MnsaConfig::default());
         let mut catalog = StatsCatalog::new();
-        let outcome = engine.run_query(&db, &mut catalog, &q);
+        let outcome = engine.run_query(&db, &mut catalog, &q).unwrap();
         if !outcome.created.is_empty() {
             assert_eq!(outcome.created.len(), 2, "join stats must come in pairs");
             let tables: Vec<_> = outcome
@@ -670,7 +684,7 @@ mod tests {
         );
         let engine = MnsaEngine::new(MnsaConfig::default().with_drop_detection());
         let mut catalog = StatsCatalog::new();
-        let outcome = engine.run_query(&db, &mut catalog, &q);
+        let outcome = engine.run_query(&db, &mut catalog, &q).unwrap();
         // MNSA/D may or may not fire depending on creation order, but every
         // drop-listed statistic must actually be on the catalog's drop-list.
         for id in &outcome.drop_listed {
@@ -690,7 +704,7 @@ mod tests {
         // First run creates statistics; physically drop them all.
         let engine = MnsaEngine::new(MnsaConfig::default());
         let mut catalog = StatsCatalog::new();
-        let first = engine.run_query(&db, &mut catalog, &q);
+        let first = engine.run_query(&db, &mut catalog, &q).unwrap();
         assert!(!first.created.is_empty());
         for id in first.created.clone() {
             catalog.physically_drop(id);
@@ -700,7 +714,7 @@ mod tests {
             aging: Some(aging),
             ..Default::default()
         });
-        let second = engine2.run_query(&db, &mut catalog, &q);
+        let second = engine2.run_query(&db, &mut catalog, &q).unwrap();
         assert!(
             !second.aged_out.is_empty(),
             "aging should have suppressed at least one re-creation"
@@ -715,7 +729,7 @@ mod tests {
         let q2 = bind(&db, EXAMPLE2_SQL);
         let engine = MnsaEngine::new(MnsaConfig::default());
         let mut catalog = StatsCatalog::new();
-        let outcomes = engine.run_workload(&db, &mut catalog, &[q1, q2]);
+        let outcomes = engine.run_workload(&db, &mut catalog, &[q1, q2]).unwrap();
         assert_eq!(outcomes.len(), 2);
         // The second identical query must not rebuild anything.
         assert!(outcomes[1].created.is_empty());

@@ -48,12 +48,14 @@
 //! * **No aging policy.** Aging consults drop timestamps of *any* table's
 //!   statistics, which the per-table signature does not cover.
 
+use crate::error::TuneError;
 use crate::mnsa::{MnsaEngine, MnsaOutcome};
 use optimizer::cache::Fnv;
 use parking_lot::Mutex;
 use query::BoundSelect;
 use stats::{SampleSpec, StatDescriptor, StatsCatalog};
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use storage::{Database, TableId};
 
@@ -93,12 +95,17 @@ impl ParallelTuner {
     }
 
     /// Run MNSA for every query of `queries`, in workload order semantics.
+    ///
+    /// Speculation is best-effort: a worker whose per-query run errors or
+    /// panics simply leaves its slot empty, and that query re-runs serially
+    /// at commit time — so a fault injected into one speculation degrades to
+    /// the serial path instead of poisoning the whole workload.
     pub fn run_workload(
         &self,
         db: &Database,
         catalog: &mut StatsCatalog,
         queries: &[BoundSelect],
-    ) -> Vec<MnsaOutcome> {
+    ) -> Result<Vec<MnsaOutcome>, TuneError> {
         if !self.can_speculate(catalog, queries) {
             return self.engine.run_workload(db, catalog, queries);
         }
@@ -109,7 +116,7 @@ impl ParallelTuner {
         let next = AtomicUsize::new(0);
         let workers = self.threads.min(n);
 
-        crossbeam::thread::scope(|s| {
+        let scope_ok = crossbeam::thread::scope(|s| {
             for _ in 0..workers {
                 s.spawn(|_| loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
@@ -117,48 +124,69 @@ impl ParallelTuner {
                         break;
                     }
                     let query = &queries[i];
-                    let tables = referenced_tables(query);
-                    // The snapshot state is what this speculation reads; its
-                    // fingerprint is recomputed over the live catalog at
-                    // commit time to validate the speculation.
-                    let mut scratch = StatsCatalog::restore(snapshot.clone());
-                    let base_sig = tables_signature(&scratch, &tables);
-                    let outcome = self.engine.run_query(db, &mut scratch, query);
-                    let created_descs = outcome
-                        .created
-                        .iter()
-                        .map(|&id| {
-                            scratch
-                                .statistic(id)
-                                .expect("created stat")
-                                .descriptor
-                                .clone()
-                        })
-                        .collect();
-                    *slots[i].lock() = Some(Speculation {
-                        outcome,
-                        created_descs,
-                        base_sig,
-                        tables,
-                    });
+                    // A panic inside one speculation must not take down the
+                    // workload: catch it and leave the slot empty, which the
+                    // commit loop treats as "re-run serially".
+                    let spec =
+                        catch_unwind(AssertUnwindSafe(|| self.speculate(db, &snapshot, query)))
+                            .ok()
+                            .flatten();
+                    *slots[i].lock() = spec;
                 });
             }
         })
-        .expect("tuner worker panicked");
+        .is_ok();
+        if !scope_ok {
+            // A worker died in a way the per-query guard could not contain;
+            // the live catalog is untouched, so the serial path is still valid.
+            return self.engine.run_workload(db, catalog, queries);
+        }
 
         // Deterministic merge: commit in workload order.
         let mut results = Vec::with_capacity(n);
         for (i, slot) in slots.into_iter().enumerate() {
-            let spec = slot.into_inner().expect("missing speculation");
-            if tables_signature(catalog, &spec.tables) == spec.base_sig {
-                results.push(replay(db, catalog, spec));
-            } else {
-                // An earlier query changed this query's statistics context:
-                // the speculation is stale, run on the live catalog instead.
-                results.push(self.engine.run_query(db, catalog, &queries[i]));
+            match slot.into_inner() {
+                Some(spec) if tables_signature(catalog, &spec.tables) == spec.base_sig => {
+                    results.push(replay(db, catalog, spec)?);
+                }
+                _ => {
+                    // Either an earlier query changed this query's statistics
+                    // context (stale speculation) or the speculation itself
+                    // failed: run on the live catalog instead.
+                    results.push(self.engine.run_query(db, catalog, &queries[i])?);
+                }
             }
         }
-        results
+        Ok(results)
+    }
+
+    /// One speculative per-query MNSA run against a scratch catalog restored
+    /// from `snapshot`. `None` means the speculation failed (typed error in
+    /// the scratch run); the caller falls back to the serial path.
+    fn speculate(
+        &self,
+        db: &Database,
+        snapshot: &stats::CatalogSnapshot,
+        query: &BoundSelect,
+    ) -> Option<Speculation> {
+        let tables = referenced_tables(query);
+        // The snapshot state is what this speculation reads; its fingerprint
+        // is recomputed over the live catalog at commit time to validate the
+        // speculation.
+        let mut scratch = StatsCatalog::restore(snapshot.clone());
+        let base_sig = tables_signature(&scratch, &tables);
+        let outcome = self.engine.run_query(db, &mut scratch, query).ok()?;
+        let created_descs = outcome
+            .created
+            .iter()
+            .map(|&id| Some(scratch.statistic(id)?.descriptor.clone()))
+            .collect::<Option<Vec<_>>>()?;
+        Some(Speculation {
+            outcome,
+            created_descs,
+            base_sig,
+            tables,
+        })
     }
 }
 
@@ -195,22 +223,30 @@ fn tables_signature(catalog: &StatsCatalog, tables: &[TableId]) -> u64 {
 /// Apply a validated speculation to the live catalog: replay creations in
 /// order (allocating exactly the ids a serial run would), apply drop-list
 /// moves, and rewrite the outcome's scratch-local ids to live ids.
-fn replay(db: &Database, catalog: &mut StatsCatalog, spec: Speculation) -> MnsaOutcome {
+fn replay(
+    db: &Database,
+    catalog: &mut StatsCatalog,
+    spec: Speculation,
+) -> Result<MnsaOutcome, TuneError> {
     let mut outcome = spec.outcome;
     let mut id_map = HashMap::with_capacity(outcome.created.len());
     for (old, desc) in outcome.created.iter().zip(spec.created_descs) {
-        id_map.insert(*old, catalog.create_statistic(db, desc));
+        id_map.insert(*old, catalog.create_statistic(db, desc)?);
     }
     for id in &mut outcome.created {
-        *id = id_map[id];
+        if let Some(&live) = id_map.get(id) {
+            *id = live;
+        }
     }
     // MNSA/D only drop-lists statistics it created itself, so every
-    // drop-listed id is in the map.
+    // drop-listed id is in the map; an unknown id is simply left alone.
     for id in &mut outcome.drop_listed {
-        *id = id_map[id];
-        catalog.move_to_drop_list(*id);
+        if let Some(&live) = id_map.get(id) {
+            *id = live;
+            catalog.move_to_drop_list(*id);
+        }
     }
-    outcome
+    Ok(outcome)
 }
 
 #[cfg(test)]
@@ -246,11 +282,13 @@ mod tests {
         let engine = MnsaEngine::new(MnsaConfig::default().with_drop_detection());
 
         let mut serial_catalog = StatsCatalog::new();
-        let serial = engine.run_workload(&db, &mut serial_catalog, &queries);
+        let serial = engine
+            .run_workload(&db, &mut serial_catalog, &queries)
+            .unwrap();
 
         let tuner = ParallelTuner::new(engine, 4);
         let mut par_catalog = StatsCatalog::new();
-        let parallel = tuner.run_workload(&db, &mut par_catalog, &queries);
+        let parallel = tuner.run_workload(&db, &mut par_catalog, &queries).unwrap();
 
         assert_eq!(serial, parallel);
         assert_eq!(serial_catalog.active_ids(), par_catalog.active_ids());
@@ -270,8 +308,8 @@ mod tests {
         let mut a = StatsCatalog::new();
         let mut b = StatsCatalog::new();
         assert_eq!(
-            tuner.run_workload(&db, &mut a, &queries),
-            engine.run_workload(&db, &mut b, &queries)
+            tuner.run_workload(&db, &mut a, &queries).unwrap(),
+            engine.run_workload(&db, &mut b, &queries).unwrap()
         );
     }
 }

@@ -19,6 +19,7 @@
 //!   per the paper's improved policy.
 
 use crate::equivalence::Equivalence;
+use crate::error::TuneError;
 use crate::mnsa::{MnsaConfig, MnsaEngine};
 use crate::parallel::ParallelTuner;
 use crate::shrinking::shrinking_set;
@@ -93,7 +94,7 @@ pub fn apply_policy(
     catalog: &mut StatsCatalog,
     policy: &CreationPolicy,
     query: &BoundSelect,
-) -> (TuningReport, Vec<StatId>) {
+) -> Result<(TuningReport, Vec<StatId>), TuneError> {
     apply_policy_cached(db, catalog, policy, query, None)
 }
 
@@ -106,7 +107,7 @@ pub fn apply_policy_cached(
     policy: &CreationPolicy,
     query: &BoundSelect,
     cache: Option<&Arc<OptimizeCache>>,
-) -> (TuningReport, Vec<StatId>) {
+) -> Result<(TuningReport, Vec<StatId>), TuneError> {
     let mut report = TuningReport::default();
     let before_work = catalog.creation_work();
     let mut created = Vec::new();
@@ -115,14 +116,14 @@ pub fn apply_policy_cached(
         CreationPolicy::CreateAllSyntactic => {
             for d in crate::candidates::single_column_candidates(query) {
                 if catalog.find_built(&d).is_none() {
-                    created.push(catalog.create_statistic(db, d));
+                    created.push(catalog.create_statistic(db, d)?);
                 }
             }
         }
         CreationPolicy::CreateAllCandidates => {
             for d in crate::candidates::candidate_statistics(query) {
                 if catalog.find_built(&d).is_none() {
-                    created.push(catalog.create_statistic(db, d));
+                    created.push(catalog.create_statistic(db, d)?);
                 }
             }
         }
@@ -131,7 +132,7 @@ pub fn apply_policy_cached(
             if let Some(cache) = cache {
                 engine = engine.with_cache(Arc::clone(cache));
             }
-            let outcome = engine.run_query(db, catalog, query);
+            let outcome = engine.run_query(db, catalog, query)?;
             report.optimizer_calls = outcome.optimizer_calls;
             report.overhead_work =
                 outcome.optimizer_calls as f64 * optimizer_call_work(query.relations.len());
@@ -141,7 +142,7 @@ pub fn apply_policy_cached(
     }
     report.statistics_created = created.len();
     report.creation_work = catalog.creation_work() - before_work;
-    (report, created)
+    Ok((report, created))
 }
 
 /// The conservative periodic process of §6: MNSA over every workload query,
@@ -175,7 +176,7 @@ impl OfflineTuner {
         db: &Database,
         catalog: &mut StatsCatalog,
         workload: &[BoundSelect],
-    ) -> TuningReport {
+    ) -> Result<TuningReport, TuneError> {
         self.tune_cached(db, catalog, workload, None)
     }
 
@@ -187,7 +188,7 @@ impl OfflineTuner {
         catalog: &mut StatsCatalog,
         workload: &[BoundSelect],
         cache: Option<&Arc<OptimizeCache>>,
-    ) -> TuningReport {
+    ) -> Result<TuningReport, TuneError> {
         let mut report = TuningReport::default();
         let mut engine = MnsaEngine::new(self.mnsa);
         if let Some(cache) = cache {
@@ -198,7 +199,7 @@ impl OfflineTuner {
         let tuner = ParallelTuner::new(engine.clone(), self.threads);
         for (q, outcome) in workload
             .iter()
-            .zip(tuner.run_workload(db, catalog, workload))
+            .zip(tuner.run_workload(db, catalog, workload)?)
         {
             report.optimizer_calls += outcome.optimizer_calls;
             report.overhead_work +=
@@ -219,7 +220,7 @@ impl OfflineTuner {
                 &initial,
                 equiv,
                 true,
-            );
+            )?;
             report.optimizer_calls += out.optimizer_calls;
             report.overhead_work += out.optimizer_calls as f64
                 * optimizer_call_work(
@@ -232,7 +233,7 @@ impl OfflineTuner {
             report.statistics_drop_listed += out.removed.len();
         }
         catalog.advance_epoch();
-        report
+        Ok(report)
     }
 }
 
@@ -276,7 +277,7 @@ mod tests {
         let q = bind(&db, "SELECT * FROM sales WHERE region = 3 AND amount > 800");
         let mut catalog = StatsCatalog::new();
         let (report, created) =
-            apply_policy(&db, &mut catalog, &CreationPolicy::CreateAllSyntactic, &q);
+            apply_policy(&db, &mut catalog, &CreationPolicy::CreateAllSyntactic, &q).unwrap();
         assert_eq!(created.len(), 2);
         assert_eq!(report.statistics_created, 2);
         assert!(report.creation_work > 0.0);
@@ -289,7 +290,7 @@ mod tests {
         let q = bind(&db, "SELECT * FROM sales WHERE region = 3 AND amount > 800");
         let mut catalog = StatsCatalog::new();
         let (_, created) =
-            apply_policy(&db, &mut catalog, &CreationPolicy::CreateAllCandidates, &q);
+            apply_policy(&db, &mut catalog, &CreationPolicy::CreateAllCandidates, &q).unwrap();
         assert_eq!(created.len(), 3); // region, amount, (region, amount)
     }
 
@@ -303,7 +304,8 @@ mod tests {
             &mut catalog,
             &CreationPolicy::Mnsa(MnsaConfig::default()),
             &q,
-        );
+        )
+        .unwrap();
         assert!(report.optimizer_calls >= 3);
         assert!(report.overhead_work > 0.0);
         assert!(report.total_work() >= report.creation_work);
@@ -314,7 +316,8 @@ mod tests {
         let db = setup();
         let q = bind(&db, "SELECT * FROM sales WHERE region = 3");
         let mut catalog = StatsCatalog::new();
-        let (report, created) = apply_policy(&db, &mut catalog, &CreationPolicy::Manual, &q);
+        let (report, created) =
+            apply_policy(&db, &mut catalog, &CreationPolicy::Manual, &q).unwrap();
         assert!(created.is_empty());
         assert_eq!(report, TuningReport::default());
     }
@@ -331,7 +334,7 @@ mod tests {
         ];
         let mut catalog = StatsCatalog::new();
         let tuner = OfflineTuner::default();
-        let report = tuner.tune(&db, &mut catalog, &workload);
+        let report = tuner.tune(&db, &mut catalog, &workload).unwrap();
         // Whatever was created, the active set is minimal afterwards; epoch
         // advanced for aging bookkeeping.
         assert_eq!(catalog.epoch(), 1);

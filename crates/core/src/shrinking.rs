@@ -15,7 +15,7 @@
 //! filtered by the relevance test before any optimizer call is spent.
 
 use crate::equivalence::Equivalence;
-use optimizer::{OptimizeOptions, OptimizedQuery, Optimizer};
+use optimizer::{OptimizeOptions, OptimizedQuery, Optimizer, PlanError};
 use query::BoundSelect;
 use stats::{StatId, StatsCatalog};
 use std::collections::HashSet;
@@ -63,24 +63,26 @@ pub fn shrinking_set(
     initial: &[StatId],
     equivalence: Equivalence,
     apply: bool,
-) -> ShrinkingOutcome {
+) -> Result<ShrinkingOutcome, PlanError> {
     let all_active: HashSet<StatId> = catalog.active_ids().into_iter().collect();
     let initial_set: HashSet<StatId> = initial.iter().copied().collect();
     // Statistics outside S stay hidden for every optimization in this pass.
     let base_ignore: HashSet<StatId> = all_active.difference(&initial_set).copied().collect();
 
     let mut calls = 0usize;
-    let mut optimize =
-        |catalog: &StatsCatalog, q: &BoundSelect, ignore: &HashSet<StatId>| -> OptimizedQuery {
-            calls += 1;
-            optimizer.optimize(db, q, catalog.view(ignore), &OptimizeOptions::default())
-        };
+    let mut optimize = |catalog: &StatsCatalog,
+                        q: &BoundSelect,
+                        ignore: &HashSet<StatId>|
+     -> Result<OptimizedQuery, PlanError> {
+        calls += 1;
+        optimizer.optimize(db, q, catalog.view(ignore), &OptimizeOptions::default())
+    };
 
     // Reference plans: Plan(Q, S).
     let reference: Vec<OptimizedQuery> = workload
         .iter()
         .map(|q| optimize(catalog, q, &base_ignore))
-        .collect();
+        .collect::<Result<_, _>>()?;
 
     let mut r: Vec<StatId> = initial.to_vec();
     let mut removed: Vec<StatId> = Vec::new();
@@ -104,7 +106,7 @@ pub fn shrinking_set(
                 if !potentially_relevant(catalog, s, q) {
                     continue;
                 }
-                let trial = optimize(catalog, q, &ignore);
+                let trial = optimize(catalog, q, &ignore)?;
                 if !equivalence.equivalent(&trial, &reference[qi]) {
                     removable = false;
                     break;
@@ -127,11 +129,11 @@ pub fn shrinking_set(
         }
     }
 
-    ShrinkingOutcome {
+    Ok(ShrinkingOutcome {
         essential: r,
         removed,
         optimizer_calls: calls,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -201,7 +203,7 @@ mod tests {
         let engine = MnsaEngine::new(MnsaConfig::default());
         for q in &workload {
             for d in engine.candidates(q) {
-                catalog.create_statistic(&db, d);
+                catalog.create_statistic(&db, d).unwrap();
             }
         }
         let initial = catalog.active_ids();
@@ -215,7 +217,8 @@ mod tests {
             &initial,
             equiv,
             false,
-        );
+        )
+        .unwrap();
 
         assert_eq!(out.essential.len() + out.removed.len(), initial.len());
 
@@ -224,18 +227,22 @@ mod tests {
         let r_set: HashSet<StatId> = out.essential.iter().copied().collect();
         let ignore_to_r: HashSet<StatId> = all.difference(&r_set).copied().collect();
         for q in &workload {
-            let with_s = optimizer.optimize(
-                &db,
-                q,
-                catalog.view(&HashSet::new()),
-                &OptimizeOptions::default(),
-            );
-            let with_r = optimizer.optimize(
-                &db,
-                q,
-                catalog.view(&ignore_to_r),
-                &OptimizeOptions::default(),
-            );
+            let with_s = optimizer
+                .optimize(
+                    &db,
+                    q,
+                    catalog.view(&HashSet::new()),
+                    &OptimizeOptions::default(),
+                )
+                .unwrap();
+            let with_r = optimizer
+                .optimize(
+                    &db,
+                    q,
+                    catalog.view(&ignore_to_r),
+                    &OptimizeOptions::default(),
+                )
+                .unwrap();
             assert!(equiv.equivalent(&with_s, &with_r), "R not equivalent to S");
         }
 
@@ -245,14 +252,17 @@ mod tests {
             ignore.insert(s);
             let mut any_changed = false;
             for q in &workload {
-                let with_r = optimizer.optimize(
-                    &db,
-                    q,
-                    catalog.view(&ignore_to_r),
-                    &OptimizeOptions::default(),
-                );
-                let without =
-                    optimizer.optimize(&db, q, catalog.view(&ignore), &OptimizeOptions::default());
+                let with_r = optimizer
+                    .optimize(
+                        &db,
+                        q,
+                        catalog.view(&ignore_to_r),
+                        &OptimizeOptions::default(),
+                    )
+                    .unwrap();
+                let without = optimizer
+                    .optimize(&db, q, catalog.view(&ignore), &OptimizeOptions::default())
+                    .unwrap();
                 if !equiv.equivalent(&with_r, &without) {
                     any_changed = true;
                     break;
@@ -272,7 +282,9 @@ mod tests {
         let mut catalog = StatsCatalog::new();
         let facts = db.table_id("facts").unwrap();
         for c in [1usize, 2] {
-            catalog.create_statistic(&db, StatDescriptor::single(facts, c));
+            catalog
+                .create_statistic(&db, StatDescriptor::single(facts, c))
+                .unwrap();
         }
         let initial = catalog.active_ids();
         let out = shrinking_set(
@@ -283,7 +295,8 @@ mod tests {
             &initial,
             Equivalence::ExecutionTree,
             true,
-        );
+        )
+        .unwrap();
         for id in &out.removed {
             assert!(catalog.is_drop_listed(*id));
         }
@@ -298,7 +311,9 @@ mod tests {
         let workload = vec![bind(&db, "SELECT * FROM facts WHERE a = 1")];
         let mut catalog = StatsCatalog::new();
         let dim = db.table_id("dim").unwrap();
-        let irrelevant = catalog.create_statistic(&db, StatDescriptor::single(dim, 1));
+        let irrelevant = catalog
+            .create_statistic(&db, StatDescriptor::single(dim, 1))
+            .unwrap();
         let initial = vec![irrelevant];
         let out = shrinking_set(
             &db,
@@ -308,7 +323,8 @@ mod tests {
             &initial,
             Equivalence::ExecutionTree,
             false,
-        );
+        )
+        .unwrap();
         assert_eq!(out.removed, vec![irrelevant]);
         // Only the reference plan needed an optimizer call.
         assert_eq!(out.optimizer_calls, workload.len());
@@ -324,7 +340,9 @@ mod tests {
         let mut catalog = StatsCatalog::new();
         let facts = db.table_id("facts").unwrap();
         for c in [0usize, 1, 2] {
-            catalog.create_statistic(&db, StatDescriptor::single(facts, c));
+            catalog
+                .create_statistic(&db, StatDescriptor::single(facts, c))
+                .unwrap();
         }
         let initial = catalog.active_ids();
         let out = shrinking_set(
@@ -335,7 +353,8 @@ mod tests {
             &initial,
             Equivalence::TCost(20.0),
             false,
-        );
+        )
+        .unwrap();
         // Per-pass bound |S|*|W|, at most |S|+1 passes, plus the references.
         assert!(
             out.optimizer_calls

@@ -42,11 +42,9 @@ impl Zipf {
     /// Draw one rank.
     pub fn sample(&self, rng: &mut impl Rng) -> usize {
         let u: f64 = rng.gen();
-        // First index whose cdf >= u.
-        match self
-            .cdf
-            .binary_search_by(|probe| probe.partial_cmp(&u).expect("cdf is finite"))
-        {
+        // First index whose cdf >= u. `total_cmp` keeps the search total
+        // even if a degenerate parameterization ever produced a NaN entry.
+        match self.cdf.binary_search_by(|probe| probe.total_cmp(&u)) {
             Ok(i) => i,
             Err(i) => i.min(self.cdf.len() - 1),
         }

@@ -4,10 +4,16 @@
 //! per relation present in the subtree) so joins never copy column data;
 //! values are materialized only at the very end for the projection and
 //! aggregates.
+//!
+//! The interpreter never trusts the plan tree: a node that reads a relation
+//! its input does not produce, or references a predicate/join-edge ordinal
+//! the query does not define, yields a typed [`ExecError`] identifying the
+//! inconsistency instead of panicking.
 
+use crate::error::ExecError;
 use crate::predicate::{filter_table, row_matches};
 use optimizer::{CostParams, Operator, PlanNode};
-use query::{AggFunc, BoundColumn, BoundSelect, Projection};
+use query::{AggFunc, BoundColumn, BoundSelect, Projection, SelectionPredicate};
 use std::collections::HashMap;
 use storage::{Database, Value};
 
@@ -35,11 +41,8 @@ struct Intermediate {
 }
 
 impl Intermediate {
-    fn slot_of(&self, rel: usize) -> usize {
-        self.rels
-            .iter()
-            .position(|&r| r == rel)
-            .expect("relation present in intermediate")
+    fn slot_of(&self, rel: usize) -> Option<usize> {
+        self.rels.iter().position(|&r| r == rel)
     }
 }
 
@@ -51,23 +54,63 @@ struct Interp<'a> {
 }
 
 impl<'a> Interp<'a> {
-    fn value_of(&self, inter: &Intermediate, tuple: &[usize], col: BoundColumn) -> Value {
-        let slot = inter.slot_of(col.relation);
-        let table = self.db.table(self.query.table_of(col.relation));
-        table.value(tuple[slot], col.column)
+    fn value_of(
+        &self,
+        inter: &Intermediate,
+        tuple: &[usize],
+        col: BoundColumn,
+    ) -> Result<Value, ExecError> {
+        let missing = ExecError::MissingRelation {
+            relation: col.relation,
+        };
+        let slot = inter.slot_of(col.relation).ok_or_else(|| missing.clone())?;
+        let &(tid, _) = self.query.relations.get(col.relation).ok_or(missing)?;
+        let table = self.db.try_table(tid)?;
+        Ok(table.value(tuple[slot], col.column))
     }
 
-    fn run(&mut self, node: &PlanNode) -> Intermediate {
+    /// The query's selection predicates at the given plan-node ordinals, or
+    /// `MalformedPlan` if an ordinal is out of range.
+    fn selections(&self, idxs: &[usize]) -> Result<Vec<&'a SelectionPredicate>, ExecError> {
+        idxs.iter()
+            .map(|&i| {
+                self.query
+                    .selections
+                    .get(i)
+                    .ok_or_else(|| ExecError::MalformedPlan {
+                        detail: format!(
+                            "plan references selection predicate #{i}, but the query \
+                             defines only {}",
+                            self.query.selections.len()
+                        ),
+                    })
+            })
+            .collect()
+    }
+
+    fn edge(&self, e: usize) -> Result<&'a query::JoinEdge, ExecError> {
+        self.query
+            .join_edges
+            .get(e)
+            .ok_or_else(|| ExecError::MalformedPlan {
+                detail: format!(
+                    "plan references join edge #{e}, but the query defines only {}",
+                    self.query.join_edges.len()
+                ),
+            })
+    }
+
+    fn run(&mut self, node: &PlanNode) -> Result<Intermediate, ExecError> {
         match &node.op {
             Operator::SeqScan { rel, table, preds } => {
-                let t = self.db.table(*table);
+                let t = self.db.try_table(*table)?;
                 self.work += self.params.seq_scan(t.row_count() as f64);
-                let pred_refs: Vec<_> = preds.iter().map(|&i| &self.query.selections[i]).collect();
+                let pred_refs = self.selections(preds)?;
                 let rows = filter_table(t, &pred_refs);
-                Intermediate {
+                Ok(Intermediate {
                     rels: vec![*rel],
                     tuples: rows.into_iter().map(|r| vec![r]).collect(),
-                }
+                })
             }
             Operator::IndexScan {
                 rel,
@@ -76,58 +119,52 @@ impl<'a> Interp<'a> {
                 residual,
                 ..
             } => {
-                let t = self.db.table(*table);
+                let t = self.db.try_table(*table)?;
                 // Rows reachable through the index seek.
-                let seek_refs: Vec<_> = seek_preds
-                    .iter()
-                    .map(|&i| &self.query.selections[i])
-                    .collect();
+                let seek_refs = self.selections(seek_preds)?;
                 let seek_rows = filter_table(t, &seek_refs);
                 self.work += self
                     .params
                     .index_scan(t.row_count() as f64, seek_rows.len() as f64);
+                let residual_refs = self.selections(residual)?;
                 let rows: Vec<usize> = seek_rows
                     .into_iter()
-                    .filter(|&r| {
-                        residual
-                            .iter()
-                            .all(|&i| row_matches(t, r, &self.query.selections[i]))
-                    })
+                    .filter(|&r| residual_refs.iter().all(|p| row_matches(t, r, p)))
                     .collect();
-                Intermediate {
+                Ok(Intermediate {
                     rels: vec![*rel],
                     tuples: rows.into_iter().map(|r| vec![r]).collect(),
-                }
+                })
             }
             Operator::HashJoin { edges } => {
-                let left = self.run(&node.children[0]);
-                let right = self.run(&node.children[1]);
-                let out = self.equi_join(&left, &right, edges);
+                let left = self.run(&node.children[0])?;
+                let right = self.run(&node.children[1])?;
+                let out = self.equi_join(&left, &right, edges)?;
                 self.work += self.params.hash_join(
                     left.tuples.len() as f64,
                     right.tuples.len() as f64,
                     out.tuples.len() as f64,
                 );
-                out
+                Ok(out)
             }
             Operator::MergeJoin { edges } => {
-                let left = self.run(&node.children[0]);
-                let right = self.run(&node.children[1]);
-                let out = self.equi_join(&left, &right, edges);
+                let left = self.run(&node.children[0])?;
+                let right = self.run(&node.children[1])?;
+                let out = self.equi_join(&left, &right, edges)?;
                 self.work += self.params.merge_join(
                     left.tuples.len() as f64,
                     right.tuples.len() as f64,
                     out.tuples.len() as f64,
                 );
-                out
+                Ok(out)
             }
             Operator::NestedLoopJoin { edges } => {
-                let left = self.run(&node.children[0]);
-                let right = self.run(&node.children[1]);
+                let left = self.run(&node.children[0])?;
+                let right = self.run(&node.children[1])?;
                 let out = if edges.is_empty() {
                     self.cartesian(&left, &right)
                 } else {
-                    self.equi_join(&left, &right, edges)
+                    self.equi_join(&left, &right, edges)?
                 };
                 // A nested-loop join re-walks the inner input once per outer
                 // row; meter it that way even though we materialize.
@@ -136,7 +173,7 @@ impl<'a> Interp<'a> {
                     self.params.seq_row * right.tuples.len() as f64,
                     out.tuples.len() as f64,
                 );
-                out
+                Ok(out)
             }
             Operator::IndexNLJoin {
                 edges,
@@ -145,13 +182,13 @@ impl<'a> Interp<'a> {
                 inner_preds,
                 ..
             } => {
-                let outer = self.run(&node.children[0]);
-                let table = self.db.table(*inner_table);
+                let outer = self.run(&node.children[0])?;
+                let table = self.db.try_table(*inner_table)?;
                 // Outer-side and inner-side key columns per crossing edge.
                 let mut outer_keys: Vec<BoundColumn> = Vec::new();
                 let mut inner_cols: Vec<usize> = Vec::new();
                 for &e in edges {
-                    let edge = &self.query.join_edges[e];
+                    let edge = self.edge(e)?;
                     for &(lc, rc) in &edge.pairs {
                         if edge.left_rel == *inner_rel {
                             inner_cols.push(lc);
@@ -162,6 +199,7 @@ impl<'a> Interp<'a> {
                         }
                     }
                 }
+                let inner_pred_refs = self.selections(inner_preds)?;
                 // The "index": inner rows keyed by the joined columns.
                 let mut by_key: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
                 for r in 0..table.row_count() {
@@ -176,20 +214,17 @@ impl<'a> Interp<'a> {
                 let mut tuples = Vec::new();
                 let mut fetched_total = 0usize;
                 for tup in &outer.tuples {
-                    let key: Vec<Value> = outer_keys
-                        .iter()
-                        .map(|&c| self.value_of(&outer, tup, c))
-                        .collect();
+                    let mut key = Vec::with_capacity(outer_keys.len());
+                    for &c in &outer_keys {
+                        key.push(self.value_of(&outer, tup, c)?);
+                    }
                     if key.iter().any(Value::is_null) {
                         continue;
                     }
                     if let Some(matches) = by_key.get(&key) {
                         fetched_total += matches.len();
                         for &r in matches {
-                            if inner_preds
-                                .iter()
-                                .all(|&i| row_matches(table, r, &self.query.selections[i]))
-                            {
+                            if inner_pred_refs.iter().all(|p| row_matches(table, r, p)) {
                                 let mut t = tup.clone();
                                 t.push(r);
                                 tuples.push(t);
@@ -202,13 +237,18 @@ impl<'a> Interp<'a> {
                 self.work += outer.tuples.len() as f64 * self.params.index_lookup
                     + fetched_total as f64 * self.params.index_row
                     + self.params.join_output * tuples.len() as f64;
-                Intermediate { rels, tuples }
+                Ok(Intermediate { rels, tuples })
             }
             Operator::HashAggregate { .. } | Operator::Sort { .. } => {
                 // Aggregation and final ordering are handled at the top
                 // level in execute_plan; running them standalone passes the
                 // input through.
-                self.run(&node.children[0])
+                match node.children.first() {
+                    Some(child) => self.run(child),
+                    None => Err(ExecError::MalformedPlan {
+                        detail: "aggregate/sort node has no input".to_string(),
+                    }),
+                }
             }
         }
     }
@@ -219,11 +259,11 @@ impl<'a> Interp<'a> {
         &self,
         left: &Intermediate,
         edges: &[usize],
-    ) -> (Vec<BoundColumn>, Vec<BoundColumn>) {
+    ) -> Result<(Vec<BoundColumn>, Vec<BoundColumn>), ExecError> {
         let mut lk = Vec::new();
         let mut rk = Vec::new();
         for &e in edges {
-            let edge = &self.query.join_edges[e];
+            let edge = self.edge(e)?;
             let left_has = left.rels.contains(&edge.left_rel);
             for &(lc, rc) in &edge.pairs {
                 if left_has {
@@ -235,7 +275,7 @@ impl<'a> Interp<'a> {
                 }
             }
         }
-        (lk, rk)
+        Ok((lk, rk))
     }
 
     fn equi_join(
@@ -243,12 +283,15 @@ impl<'a> Interp<'a> {
         left: &Intermediate,
         right: &Intermediate,
         edges: &[usize],
-    ) -> Intermediate {
-        let (lk, rk) = self.oriented_keys(left, edges);
+    ) -> Result<Intermediate, ExecError> {
+        let (lk, rk) = self.oriented_keys(left, edges)?;
         // Build on the right.
         let mut table: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
         for (i, tuple) in right.tuples.iter().enumerate() {
-            let key: Vec<Value> = rk.iter().map(|&c| self.value_of(right, tuple, c)).collect();
+            let mut key = Vec::with_capacity(rk.len());
+            for &c in &rk {
+                key.push(self.value_of(right, tuple, c)?);
+            }
             if key.iter().any(Value::is_null) {
                 continue; // NULL keys never join
             }
@@ -258,7 +301,10 @@ impl<'a> Interp<'a> {
         rels.extend(&right.rels);
         let mut tuples = Vec::new();
         for ltuple in &left.tuples {
-            let key: Vec<Value> = lk.iter().map(|&c| self.value_of(left, ltuple, c)).collect();
+            let mut key = Vec::with_capacity(lk.len());
+            for &c in &lk {
+                key.push(self.value_of(left, ltuple, c)?);
+            }
             if key.iter().any(Value::is_null) {
                 continue;
             }
@@ -270,7 +316,7 @@ impl<'a> Interp<'a> {
                 }
             }
         }
-        Intermediate { rels, tuples }
+        Ok(Intermediate { rels, tuples })
     }
 
     fn cartesian(&self, left: &Intermediate, right: &Intermediate) -> Intermediate {
@@ -294,16 +340,21 @@ fn agg_output(
     query: &BoundSelect,
     group_tuples: &[&Vec<usize>],
     key: &[Value],
-) -> Vec<Value> {
+) -> Result<Vec<Value>, ExecError> {
     let mut row: Vec<Value> = key.to_vec();
     for agg in &query.aggregates {
         let vals: Vec<Value> = match agg.input {
             None => Vec::new(),
-            Some(col) => group_tuples
-                .iter()
-                .map(|t| interp.value_of(inter, t, col))
-                .filter(|v| !v.is_null())
-                .collect(),
+            Some(col) => {
+                let mut vals = Vec::with_capacity(group_tuples.len());
+                for t in group_tuples {
+                    let v = interp.value_of(inter, t, col)?;
+                    if !v.is_null() {
+                        vals.push(v);
+                    }
+                }
+                vals
+            }
         };
         let out = match agg.func {
             AggFunc::Count => Value::Int(match agg.input {
@@ -327,17 +378,18 @@ fn agg_output(
         };
         row.push(out);
     }
-    row
+    Ok(row)
 }
 
 /// Execute a physical plan for `query` against `db`, returning materialized
-/// output rows and the deterministic work metric.
+/// output rows and the deterministic work metric. Errors if the plan tree is
+/// inconsistent with the query or references a stale table.
 pub fn execute_plan(
     db: &Database,
     query: &BoundSelect,
     plan: &PlanNode,
     params: &CostParams,
-) -> ExecOutput {
+) -> Result<ExecOutput, ExecError> {
     let mut interp = Interp {
         db,
         query,
@@ -346,17 +398,16 @@ pub fn execute_plan(
     };
 
     let has_agg = !query.group_by.is_empty() || !query.aggregates.is_empty();
-    let mut input = interp.run(plan);
+    let mut input = interp.run(plan)?;
 
     if has_agg {
         // Group by the grouping key values.
         let mut groups: HashMap<Vec<Value>, Vec<&Vec<usize>>> = HashMap::new();
         for tuple in &input.tuples {
-            let key: Vec<Value> = query
-                .group_by
-                .iter()
-                .map(|&g| interp.value_of(&input, tuple, g))
-                .collect();
+            let mut key = Vec::with_capacity(query.group_by.len());
+            for &g in &query.group_by {
+                key.push(interp.value_of(&input, tuple, g)?);
+            }
             groups.entry(key).or_default().push(tuple);
         }
         interp.work += interp
@@ -364,10 +415,10 @@ pub fn execute_plan(
             .hash_aggregate(input.tuples.len() as f64, groups.len() as f64);
         let mut keys: Vec<&Vec<Value>> = groups.keys().collect();
         keys.sort();
-        let mut rows: Vec<Vec<Value>> = keys
-            .into_iter()
-            .map(|k| agg_output(&interp, &input, query, &groups[k], k))
-            .collect();
+        let mut rows = Vec::with_capacity(keys.len());
+        for k in keys {
+            rows.push(agg_output(&interp, &input, query, &groups[k], k)?);
+        }
         // ORDER BY over aggregate output: keys must be grouping columns;
         // their output position is their position in the GROUP BY list.
         if !query.order_by.is_empty() {
@@ -393,29 +444,24 @@ pub fn execute_plan(
                 std::cmp::Ordering::Equal
             });
         }
-        return ExecOutput {
+        return Ok(ExecOutput {
             rows,
             work: interp.work,
-        };
+        });
     }
 
     // ORDER BY on plain queries sorts the tuples before projection (the sort
     // key need not be projected).
     if !query.order_by.is_empty() {
         interp.work += interp.params.sort(input.tuples.len() as f64);
-        let keys: Vec<(Vec<Value>, Vec<usize>)> = input
-            .tuples
-            .iter()
-            .map(|t| {
-                let k: Vec<Value> = query
-                    .order_by
-                    .iter()
-                    .map(|&(col, _)| interp.value_of(&input, t, col))
-                    .collect();
-                (k, t.clone())
-            })
-            .collect();
-        let mut keyed = keys;
+        let mut keyed: Vec<(Vec<Value>, Vec<usize>)> = Vec::with_capacity(input.tuples.len());
+        for t in &input.tuples {
+            let mut k = Vec::with_capacity(query.order_by.len());
+            for &(col, _) in &query.order_by {
+                k.push(interp.value_of(&input, t, col)?);
+            }
+            keyed.push((k, t.clone()));
+        }
         let descs: Vec<bool> = query.order_by.iter().map(|&(_, d)| d).collect();
         keyed.sort_by(|a, b| {
             for (i, (x, y)) in a.0.iter().zip(&b.0).enumerate() {
@@ -435,26 +481,25 @@ pub fn execute_plan(
         Projection::Star => {
             let mut all = Vec::new();
             for (rel, (tid, _)) in query.relations.iter().enumerate() {
-                for c in 0..db.table(*tid).schema().len() {
+                for c in 0..db.try_table(*tid)?.schema().len() {
                     all.push(BoundColumn::new(rel, c));
                 }
             }
             all
         }
     };
-    let rows: Vec<Vec<Value>> = input
-        .tuples
-        .iter()
-        .map(|t| {
-            cols.iter()
-                .map(|&c| interp.value_of(&input, t, c))
-                .collect()
-        })
-        .collect();
-    ExecOutput {
+    let mut rows = Vec::with_capacity(input.tuples.len());
+    for t in &input.tuples {
+        let mut row = Vec::with_capacity(cols.len());
+        for &c in &cols {
+            row.push(interp.value_of(&input, t, c)?);
+        }
+        rows.push(row);
+    }
+    Ok(ExecOutput {
         rows,
         work: interp.work,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -503,15 +548,21 @@ mod tests {
         db
     }
 
-    fn run(db: &Database, sql: &str) -> ExecOutput {
-        let q = match bind_statement(db, &parse_statement(sql).unwrap()).unwrap() {
+    fn bind(db: &Database, sql: &str) -> BoundSelect {
+        match bind_statement(db, &parse_statement(sql).unwrap()).unwrap() {
             BoundStatement::Select(q) => q,
             _ => panic!(),
-        };
+        }
+    }
+
+    fn run(db: &Database, sql: &str) -> ExecOutput {
+        let q = bind(db, sql);
         let cat = StatsCatalog::new();
         let opt = Optimizer::default();
-        let r = opt.optimize(db, &q, cat.full_view(), &OptimizeOptions::default());
-        execute_plan(db, &q, &r.plan, &opt.params)
+        let r = opt
+            .optimize(db, &q, cat.full_view(), &OptimizeOptions::default())
+            .unwrap();
+        execute_plan(db, &q, &r.plan, &opt.params).unwrap()
     }
 
     #[test]
@@ -634,5 +685,45 @@ mod tests {
         let a = run(&db, "SELECT * FROM emp e, dept d WHERE e.deptid = d.deptid");
         let b = run(&db, "SELECT * FROM emp e, dept d WHERE e.deptid = d.deptid");
         assert_eq!(a.work, b.work);
+    }
+
+    #[test]
+    fn inconsistent_plan_reports_missing_relation() {
+        // A hand-built plan whose scan produces relation ordinal 1 while the
+        // query's projection reads relation 0: the executor must name the
+        // missing relation instead of panicking.
+        let db = setup();
+        let q = bind(&db, "SELECT * FROM emp");
+        let t = db.table_id("emp").unwrap();
+        let plan = PlanNode::leaf(
+            Operator::SeqScan {
+                rel: 1,
+                table: t,
+                preds: vec![],
+            },
+            100.0,
+            100.0,
+        );
+        let err = execute_plan(&db, &q, &plan, &Optimizer::default().params).unwrap_err();
+        assert_eq!(err, ExecError::MissingRelation { relation: 0 });
+        assert!(err.to_string().contains("relation #0"), "{err}");
+    }
+
+    #[test]
+    fn out_of_range_predicate_is_malformed_plan() {
+        let db = setup();
+        let q = bind(&db, "SELECT * FROM emp");
+        let t = db.table_id("emp").unwrap();
+        let plan = PlanNode::leaf(
+            Operator::SeqScan {
+                rel: 0,
+                table: t,
+                preds: vec![9],
+            },
+            100.0,
+            100.0,
+        );
+        let err = execute_plan(&db, &q, &plan, &Optimizer::default().params).unwrap_err();
+        assert!(matches!(err, ExecError::MalformedPlan { .. }), "{err:?}");
     }
 }

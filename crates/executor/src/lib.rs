@@ -13,9 +13,14 @@
 //! per-table modification counters that the §6 auto-maintenance policy
 //! consumes.
 
+// Library code must stay panic-free on arbitrary input; tests may unwrap.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod error;
 pub mod exec;
 pub mod predicate;
 pub mod runner;
 
+pub use error::ExecError;
 pub use exec::{execute_plan, ExecOutput};
 pub use runner::{run_statement, StatementOutcome, WorkloadReport, WorkloadRunner};

@@ -6,6 +6,7 @@
 //! and reports per-statement and total execution work — the paper's
 //! "execution cost of the workload" metric.
 
+use crate::error::ExecError;
 use crate::exec::{execute_plan, ExecOutput};
 use crate::predicate::filter_table;
 use optimizer::{OptimizeOptions, Optimizer};
@@ -35,41 +36,53 @@ impl StatementOutcome {
     }
 }
 
-fn run_insert(db: &mut Database, ins: &BoundInsert, opt: &Optimizer) -> StatementOutcome {
-    let table = db.table_mut(ins.table);
+fn run_insert(
+    db: &mut Database,
+    ins: &BoundInsert,
+    opt: &Optimizer,
+) -> Result<StatementOutcome, ExecError> {
+    let table = db.try_table_mut(ins.table)?;
     let work = opt.params.seq_row; // append cost
     let affected = match table.insert(ins.values.clone()) {
         Ok(()) => 1,
         Err(_) => 0,
     };
-    StatementOutcome::Dml {
+    Ok(StatementOutcome::Dml {
         rows_affected: affected,
         work,
-    }
+    })
 }
 
-fn run_update(db: &mut Database, upd: &BoundUpdate, opt: &Optimizer) -> StatementOutcome {
-    let table = db.table_mut(upd.table);
+fn run_update(
+    db: &mut Database,
+    upd: &BoundUpdate,
+    opt: &Optimizer,
+) -> Result<StatementOutcome, ExecError> {
+    let table = db.try_table_mut(upd.table)?;
     let scan_work = opt.params.seq_scan(table.row_count() as f64);
     let preds: Vec<_> = upd.selections.iter().collect();
     let rows = filter_table(table, &preds);
     let n = table.update_rows(&rows, upd.set_column, &upd.set_value);
-    StatementOutcome::Dml {
+    Ok(StatementOutcome::Dml {
         rows_affected: n,
         work: scan_work + n as f64,
-    }
+    })
 }
 
-fn run_delete(db: &mut Database, del: &BoundDelete, opt: &Optimizer) -> StatementOutcome {
-    let table = db.table_mut(del.table);
+fn run_delete(
+    db: &mut Database,
+    del: &BoundDelete,
+    opt: &Optimizer,
+) -> Result<StatementOutcome, ExecError> {
+    let table = db.try_table_mut(del.table)?;
     let scan_work = opt.params.seq_scan(table.row_count() as f64);
     let preds: Vec<_> = del.selections.iter().collect();
     let rows = filter_table(table, &preds);
     let n = table.delete_rows(rows);
-    StatementOutcome::Dml {
+    Ok(StatementOutcome::Dml {
         rows_affected: n,
         work: scan_work + n as f64,
-    }
+    })
 }
 
 /// Execute one bound statement. Queries are optimized against `stats` and
@@ -79,15 +92,15 @@ pub fn run_statement(
     stats: StatsView<'_>,
     optimizer: &Optimizer,
     stmt: &BoundStatement,
-) -> StatementOutcome {
+) -> Result<StatementOutcome, ExecError> {
     match stmt {
         BoundStatement::Select(q) => {
-            let optimized = optimizer.optimize(db, q, stats, &OptimizeOptions::default());
-            let output = execute_plan(db, q, &optimized.plan, &optimizer.params);
-            StatementOutcome::Query {
+            let optimized = optimizer.optimize(db, q, stats, &OptimizeOptions::default())?;
+            let output = execute_plan(db, q, &optimized.plan, &optimizer.params)?;
+            Ok(StatementOutcome::Query {
                 output,
                 estimated_cost: optimized.cost,
-            }
+            })
         }
         BoundStatement::Insert(i) => run_insert(db, i, optimizer),
         BoundStatement::Update(u) => run_update(db, u, optimizer),
@@ -115,16 +128,17 @@ pub struct WorkloadRunner {
 impl WorkloadRunner {
     /// Execute the whole workload in order, accumulating execution work.
     /// The statistics view is re-fetched per statement via the closure so
-    /// callers can keep mutating the catalog between statements.
+    /// callers can keep mutating the catalog between statements. Fails on
+    /// the first statement whose optimization or execution errors.
     pub fn run<'a>(
         &self,
         db: &mut Database,
         stats: StatsView<'_>,
         workload: impl IntoIterator<Item = &'a BoundStatement>,
-    ) -> WorkloadReport {
+    ) -> Result<WorkloadReport, ExecError> {
         let mut report = WorkloadReport::default();
         for stmt in workload {
-            let outcome = run_statement(db, stats, &self.optimizer, stmt);
+            let outcome = run_statement(db, stats, &self.optimizer, stmt)?;
             let w = outcome.work();
             report.per_statement.push(w);
             report.total_work += w;
@@ -133,7 +147,7 @@ impl WorkloadRunner {
                 StatementOutcome::Dml { .. } => report.dml_statements += 1,
             }
         }
-        report
+        Ok(report)
     }
 }
 
@@ -176,7 +190,7 @@ mod tests {
         let t = db.table_id("t").unwrap();
 
         let ins = bound(&db, "INSERT INTO t VALUES (100, 9)");
-        let o = run_statement(&mut db, cat.full_view(), &opt, &ins);
+        let o = run_statement(&mut db, cat.full_view(), &opt, &ins).unwrap();
         assert!(matches!(
             o,
             StatementOutcome::Dml {
@@ -187,7 +201,7 @@ mod tests {
         assert_eq!(db.table(t).row_count(), 51);
 
         let upd = bound(&db, "UPDATE t SET b = 0 WHERE a >= 45");
-        let o = run_statement(&mut db, cat.full_view(), &opt, &upd);
+        let o = run_statement(&mut db, cat.full_view(), &opt, &upd).unwrap();
         match o {
             StatementOutcome::Dml {
                 rows_affected,
@@ -200,7 +214,7 @@ mod tests {
         }
 
         let del = bound(&db, "DELETE FROM t WHERE a < 10");
-        let o = run_statement(&mut db, cat.full_view(), &opt, &del);
+        let o = run_statement(&mut db, cat.full_view(), &opt, &del).unwrap();
         assert!(matches!(
             o,
             StatementOutcome::Dml {
@@ -222,7 +236,7 @@ mod tests {
             bound(&db, "SELECT COUNT(*) FROM t GROUP BY b"),
         ];
         let runner = WorkloadRunner::default();
-        let report = runner.run(&mut db, cat.full_view(), &stmts);
+        let report = runner.run(&mut db, cat.full_view(), &stmts).unwrap();
         assert_eq!(report.per_statement.len(), 3);
         assert_eq!(report.queries, 2);
         assert_eq!(report.dml_statements, 1);
@@ -235,7 +249,7 @@ mod tests {
         let cat = StatsCatalog::new();
         let opt = Optimizer::default();
         let sel = bound(&db, "SELECT * FROM t WHERE b = 1");
-        match run_statement(&mut db, cat.full_view(), &opt, &sel) {
+        match run_statement(&mut db, cat.full_view(), &opt, &sel).unwrap() {
             StatementOutcome::Query {
                 output,
                 estimated_cost,

@@ -40,6 +40,7 @@
 //!   *multiple* catalogs (e.g. the sweep points of `exp_tsweep`, which
 //!   re-optimize the same workload under many catalog trajectories).
 
+use crate::error::PlanError;
 use crate::optimize::{OptimizeOptions, OptimizedQuery, Optimizer};
 use crate::selectivity::build_profile;
 use parking_lot::RwLock;
@@ -260,8 +261,14 @@ impl CatalogObserver for OptimizeCache {
 fn context_fingerprint(optimizer: &Optimizer, db: &Database, query: &BoundSelect) -> u64 {
     let mut h = Fnv::new();
     for &(table_id, _) in &query.relations {
-        let table = db.table(table_id);
-        h.write(table_id.0 as u64).write(table.row_count() as u64);
+        h.write(table_id.0 as u64);
+        // A stale table id contributes only its id to the fingerprint; the
+        // subsequent optimization reports the error itself (and errors are
+        // never cached), so no stale entry can form.
+        let Ok(table) = db.try_table(table_id) else {
+            continue;
+        };
+        h.write(table.row_count() as u64);
         for index in db.indexes_on(table_id) {
             h.write_bytes(index.name.as_bytes())
                 .write(index.columns.len() as u64);
@@ -303,7 +310,9 @@ fn context_fingerprint(optimizer: &Optimizer, db: &Database, query: &BoundSelect
 impl Optimizer {
     /// [`Optimizer::optimize`] through a cache. Bit-identical to the uncached
     /// call: on a miss the real optimization runs and is stored; a hit
-    /// returns a clone of a result produced by identical inputs.
+    /// returns a clone of a result produced by identical inputs. Errors are
+    /// reported but never cached, so a later call with a repaired catalog or
+    /// database sees a fresh optimization.
     pub fn optimize_cached(
         &self,
         db: &Database,
@@ -311,7 +320,7 @@ impl Optimizer {
         stats: StatsView<'_>,
         options: &OptimizeOptions,
         cache: &OptimizeCache,
-    ) -> OptimizedQuery {
+    ) -> Result<OptimizedQuery, PlanError> {
         let profile = build_profile(db, &stats, query, &self.magic, &options.injected);
         let key = CacheKey {
             query: query.fingerprint(),
@@ -319,14 +328,14 @@ impl Optimizer {
             context: context_fingerprint(self, db, query),
         };
         if let Some(hit) = cache.lookup(&key) {
-            return hit;
+            return Ok(hit);
         }
         let mut tables: Vec<TableId> = query.relations.iter().map(|&(t, _)| t).collect();
         tables.sort();
         tables.dedup();
-        let result = self.optimize_with_profile(db, query, profile);
+        let result = self.optimize_with_profile(db, query, profile)?;
         cache.store(key, tables, result.clone());
-        result
+        Ok(result)
     }
 }
 
@@ -370,21 +379,27 @@ mod tests {
         let opt = Optimizer::default();
         let cache = OptimizeCache::new();
         let catalog = StatsCatalog::new();
-        let fresh = opt.optimize(&db, &q, catalog.full_view(), &OptimizeOptions::default());
-        let first = opt.optimize_cached(
-            &db,
-            &q,
-            catalog.full_view(),
-            &OptimizeOptions::default(),
-            &cache,
-        );
-        let second = opt.optimize_cached(
-            &db,
-            &q,
-            catalog.full_view(),
-            &OptimizeOptions::default(),
-            &cache,
-        );
+        let fresh = opt
+            .optimize(&db, &q, catalog.full_view(), &OptimizeOptions::default())
+            .unwrap();
+        let first = opt
+            .optimize_cached(
+                &db,
+                &q,
+                catalog.full_view(),
+                &OptimizeOptions::default(),
+                &cache,
+            )
+            .unwrap();
+        let second = opt
+            .optimize_cached(
+                &db,
+                &q,
+                catalog.full_view(),
+                &OptimizeOptions::default(),
+                &cache,
+            )
+            .unwrap();
         assert_eq!(cache.hits(), 1);
         assert_eq!(cache.misses(), 1);
         for r in [&first, &second] {
@@ -409,18 +424,25 @@ mod tests {
             catalog.full_view(),
             &OptimizeOptions::default(),
             &cache,
-        );
-        catalog.create_statistic(&db, StatDescriptor::single(t, 0));
+        )
+        .unwrap();
+        catalog
+            .create_statistic(&db, StatDescriptor::single(t, 0))
+            .unwrap();
         // New statistics => new profile => miss, and the result matches an
         // uncached optimization against the new catalog.
-        let cached = opt.optimize_cached(
-            &db,
-            &q,
-            catalog.full_view(),
-            &OptimizeOptions::default(),
-            &cache,
-        );
-        let fresh = opt.optimize(&db, &q, catalog.full_view(), &OptimizeOptions::default());
+        let cached = opt
+            .optimize_cached(
+                &db,
+                &q,
+                catalog.full_view(),
+                &OptimizeOptions::default(),
+                &cache,
+            )
+            .unwrap();
+        let fresh = opt
+            .optimize(&db, &q, catalog.full_view(), &OptimizeOptions::default())
+            .unwrap();
         assert_eq!(cache.misses(), 2);
         assert_eq!(cached.cost, fresh.cost);
         assert_eq!(cached.profile, fresh.profile);
@@ -436,11 +458,17 @@ mod tests {
         let vars = [query::PredicateId::Selection(0)];
         let low = OptimizeOptions::inject_all(&vars, 0.0005);
         let high = OptimizeOptions::inject_all(&vars, 0.9995);
-        let a = opt.optimize_cached(&db, &q, catalog.full_view(), &low, &cache);
-        let b = opt.optimize_cached(&db, &q, catalog.full_view(), &high, &cache);
+        let a = opt
+            .optimize_cached(&db, &q, catalog.full_view(), &low, &cache)
+            .unwrap();
+        let b = opt
+            .optimize_cached(&db, &q, catalog.full_view(), &high, &cache)
+            .unwrap();
         assert_eq!(cache.misses(), 2, "distinct injections must not collide");
         assert!(a.cost != b.cost || !a.plan.same_tree(&b.plan) || a.profile != b.profile);
-        let a2 = opt.optimize_cached(&db, &q, catalog.full_view(), &low, &cache);
+        let a2 = opt
+            .optimize_cached(&db, &q, catalog.full_view(), &low, &cache)
+            .unwrap();
         assert_eq!(cache.hits(), 1);
         assert_eq!(a2.cost, a.cost);
     }
@@ -460,9 +488,12 @@ mod tests {
             catalog.full_view(),
             &OptimizeOptions::default(),
             &cache,
-        );
+        )
+        .unwrap();
         assert_eq!(cache.len(), 1);
-        catalog.create_statistic(&db, StatDescriptor::single(t, 0));
+        catalog
+            .create_statistic(&db, StatDescriptor::single(t, 0))
+            .unwrap();
         assert_eq!(cache.len(), 0, "mutation must evict the table's entries");
         assert_eq!(cache.invalidations(), 1);
     }
@@ -481,7 +512,8 @@ mod tests {
                 catalog.full_view(),
                 &OptimizeOptions::default(),
                 &cache,
-            );
+            )
+            .unwrap();
         }
         let c = cache.counters();
         assert_eq!(c.hits + c.misses, 5);

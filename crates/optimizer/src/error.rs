@@ -1,0 +1,62 @@
+//! Optimizer-level errors.
+//!
+//! Plan search returns [`PlanError`] instead of panicking so that a
+//! degenerate query (zero relations, too many relations for exhaustive DP)
+//! or a stale table id surfaces as a typed, recoverable failure in the
+//! tuning loop above it.
+
+use std::fmt;
+use storage::StorageError;
+
+/// Errors raised during plan search.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanError {
+    /// The query references no relations; there is nothing to plan.
+    NoRelations,
+    /// The query joins more relations than exhaustive DP can enumerate.
+    TooManyRelations { n: usize, max: usize },
+    /// The DP table has no entry for the full relation set. With cartesian
+    /// nested-loop joins admitted this is unreachable for well-formed
+    /// queries; it is reported (not panicked) for malformed ones.
+    NoPlanFound { relations: usize },
+    /// A relation in the query resolves to a stale table id.
+    Storage(StorageError),
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::NoRelations => {
+                write!(f, "query references no relations; nothing to plan")
+            }
+            PlanError::TooManyRelations { n, max } => {
+                write!(
+                    f,
+                    "query joins {n} relations; exhaustive DP is capped at {max}"
+                )
+            }
+            PlanError::NoPlanFound { relations } => {
+                write!(
+                    f,
+                    "plan search produced no plan for {relations} relation(s)"
+                )
+            }
+            PlanError::Storage(e) => write!(f, "storage error during planning: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PlanError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StorageError> for PlanError {
+    fn from(e: StorageError) -> Self {
+        PlanError::Storage(e)
+    }
+}

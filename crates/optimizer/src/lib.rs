@@ -24,8 +24,12 @@
 //! selectivity (the paper's *cost-monotonicity* assumption, §4.1), which a
 //! property test in this crate verifies.
 
+// Library code must stay panic-free on arbitrary input; tests may unwrap.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod cache;
 pub mod cost;
+pub mod error;
 pub mod magic;
 pub mod optimize;
 pub mod plan;
@@ -33,6 +37,7 @@ pub mod selectivity;
 
 pub use cache::{CacheCounters, OptimizeCache};
 pub use cost::CostParams;
+pub use error::PlanError;
 pub use magic::MagicNumbers;
 pub use optimize::{OptimizeOptions, OptimizedQuery, Optimizer};
 pub use plan::{Operator, PlanNode};

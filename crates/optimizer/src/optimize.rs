@@ -3,6 +3,7 @@
 //! aggregation placement.
 
 use crate::cost::CostParams;
+use crate::error::PlanError;
 use crate::magic::MagicNumbers;
 use crate::plan::{Operator, PlanNode};
 use crate::selectivity::{build_profile, SelectivityProfile};
@@ -89,15 +90,16 @@ struct DpEntry {
 impl Optimizer {
     /// Optimize a bound query against the visible statistics.
     ///
-    /// # Panics
-    /// Panics if the query has no relations or more than `max_relations`.
+    /// # Errors
+    /// Returns [`PlanError`] for degenerate input: a query with no relations
+    /// or more than `max_relations`, or one whose table ids are stale.
     pub fn optimize(
         &self,
         db: &Database,
         query: &BoundSelect,
         stats: StatsView<'_>,
         options: &OptimizeOptions,
-    ) -> OptimizedQuery {
+    ) -> Result<OptimizedQuery, PlanError> {
         let profile = build_profile(db, &stats, query, &self.magic, &options.injected);
         self.optimize_with_profile(db, query, profile)
     }
@@ -111,19 +113,23 @@ impl Optimizer {
         db: &Database,
         query: &BoundSelect,
         profile: SelectivityProfile,
-    ) -> OptimizedQuery {
+    ) -> Result<OptimizedQuery, PlanError> {
         let n = query.relations.len();
-        assert!(n >= 1, "query must reference at least one relation");
-        assert!(
-            n <= self.max_relations,
-            "query joins {n} relations; max is {}",
-            self.max_relations
-        );
+        if n == 0 {
+            return Err(PlanError::NoRelations);
+        }
+        if n > self.max_relations {
+            return Err(PlanError::TooManyRelations {
+                n,
+                max: self.max_relations,
+            });
+        }
 
         // Base (filtered) cardinality per relation and best access path.
-        let (base_rows, access): (Vec<f64>, Vec<PlanNode>) = (0..n)
+        let paths: Vec<(f64, PlanNode)> = (0..n)
             .map(|rel| self.best_access_path(db, query, &profile, rel))
-            .unzip();
+            .collect::<Result<_, _>>()?;
+        let (base_rows, access): (Vec<f64>, Vec<PlanNode>) = paths.into_iter().unzip();
 
         // Join-edge selectivities.
         let edge_sel: Vec<f64> = (0..query.join_edges.len())
@@ -222,7 +228,7 @@ impl Optimizer {
                                 let rel = other.trailing_zeros() as usize;
                                 if let Some(index) = self.index_for_join(db, query, rel, &crossing)
                                 {
-                                    let raw = db.table(query.table_of(rel)).row_count() as f64;
+                                    let raw = db.try_table(query.table_of(rel))?.row_count() as f64;
                                     let edge_sel_product: f64 = crossing
                                         .iter()
                                         .map(|&e| profile.value(PredicateId::JoinEdge(e)))
@@ -254,7 +260,7 @@ impl Optimizer {
             best[mask as usize] = chosen;
         }
 
-        let mut plan = self.reconstruct(query, &best, &access, full);
+        let mut plan = self.reconstruct(query, &best, &access, full)?;
 
         // Aggregation on top.
         if !query.group_by.is_empty() || !query.aggregates.is_empty() {
@@ -291,12 +297,23 @@ impl Optimizer {
             };
         }
 
-        OptimizedQuery {
+        // Under the `strict-finite` feature every chosen plan's cost and
+        // cardinality must be finite; a violation is a cost-model bug, not a
+        // recoverable input condition.
+        #[cfg(feature = "strict-finite")]
+        assert!(
+            plan.est_cost.is_finite() && plan.est_rows.is_finite(),
+            "non-finite plan estimate: cost={} rows={}",
+            plan.est_cost,
+            plan.est_rows
+        );
+
+        Ok(OptimizedQuery {
             cost: plan.est_cost,
             magic_variables: profile.magic_variables(),
             plan,
             profile,
-        }
+        })
     }
 
     /// Best access path (seq scan vs index seek) for one relation.
@@ -306,9 +323,9 @@ impl Optimizer {
         query: &BoundSelect,
         profile: &SelectivityProfile,
         rel: usize,
-    ) -> (f64, PlanNode) {
+    ) -> Result<(f64, PlanNode), PlanError> {
         let table_id = query.table_of(rel);
-        let table = db.table(table_id);
+        let table = db.try_table(table_id)?;
         let n = table.row_count() as f64;
         let filter = profile.relation_filter(query, rel);
         let out_rows = n * filter;
@@ -360,7 +377,7 @@ impl Optimizer {
                 );
             }
         }
-        (out_rows, best)
+        Ok((out_rows, best))
     }
 
     /// An index on relation `rel` whose leading column participates in one
@@ -392,30 +409,40 @@ impl Optimizer {
     }
 
     /// Rebuild the chosen plan tree from the DP table.
+    ///
+    /// With cartesian nested-loop joins admitted, the DP table always has an
+    /// entry for every subset of a well-formed query; a missing entry is
+    /// reported as [`PlanError::NoPlanFound`] instead of panicking.
     fn reconstruct(
         &self,
         query: &BoundSelect,
         best: &[Option<DpEntry>],
         access: &[PlanNode],
         mask: u32,
-    ) -> PlanNode {
-        let entry = best[mask as usize]
-            .as_ref()
-            .expect("DP always produces a plan (cartesian NL joins are allowed)");
+    ) -> Result<PlanNode, PlanError> {
+        let entry =
+            best.get(mask as usize)
+                .and_then(|e| e.as_ref())
+                .ok_or(PlanError::NoPlanFound {
+                    relations: mask.count_ones() as usize,
+                })?;
         match &entry.split {
             None => {
                 let rel = mask.trailing_zeros() as usize;
-                access[rel].clone()
+                access
+                    .get(rel)
+                    .cloned()
+                    .ok_or(PlanError::NoPlanFound { relations: 1 })
             }
             Some((lmask, rmask, decision)) => {
-                let left = self.reconstruct(query, best, access, *lmask);
+                let left = self.reconstruct(query, best, access, *lmask)?;
                 match decision {
                     Decision::IndexNl { edges, index } => {
                         let inner_rel = rmask.trailing_zeros() as usize;
                         let inner_table = query.table_of(inner_rel);
                         let inner_preds: Vec<usize> =
                             query.selections_on(inner_rel).map(|(i, _)| i).collect();
-                        PlanNode {
+                        Ok(PlanNode {
                             op: Operator::IndexNLJoin {
                                 edges: edges.clone(),
                                 inner_rel,
@@ -426,10 +453,10 @@ impl Optimizer {
                             est_rows: entry.rows,
                             est_cost: entry.cost,
                             children: vec![left],
-                        }
+                        })
                     }
                     _ => {
-                        let right = self.reconstruct(query, best, access, *rmask);
+                        let right = self.reconstruct(query, best, access, *rmask)?;
                         let op = match decision {
                             Decision::Hash(edges) => Operator::HashJoin {
                                 edges: edges.clone(),
@@ -437,17 +464,18 @@ impl Optimizer {
                             Decision::Merge(edges) => Operator::MergeJoin {
                                 edges: edges.clone(),
                             },
-                            Decision::NestedLoop(edges) => Operator::NestedLoopJoin {
-                                edges: edges.clone(),
-                            },
-                            Decision::IndexNl { .. } => unreachable!(),
+                            Decision::NestedLoop(edges) | Decision::IndexNl { edges, .. } => {
+                                Operator::NestedLoopJoin {
+                                    edges: edges.clone(),
+                                }
+                            }
                         };
-                        PlanNode {
+                        Ok(PlanNode {
                             op,
                             est_rows: entry.rows,
                             est_cost: entry.cost,
                             children: vec![left, right],
-                        }
+                        })
                     }
                 }
             }
@@ -516,7 +544,9 @@ mod tests {
 
     fn optimize(db: &Database, cat: &StatsCatalog, sql: &str) -> OptimizedQuery {
         let q = bind(db, sql);
-        Optimizer::default().optimize(db, &q, cat.full_view(), &OptimizeOptions::default())
+        Optimizer::default()
+            .optimize(db, &q, cat.full_view(), &OptimizeOptions::default())
+            .unwrap()
     }
 
     #[test]
@@ -547,9 +577,12 @@ mod tests {
         let (db, mut cat) = setup();
         let emp = db.table_id("emp").unwrap();
         let dept = db.table_id("dept").unwrap();
-        cat.create_statistic(&db, StatDescriptor::single(emp, 2)); // age
-        cat.create_statistic(&db, StatDescriptor::single(emp, 1)); // deptid
-        cat.create_statistic(&db, StatDescriptor::single(dept, 0)); // deptid
+        cat.create_statistic(&db, StatDescriptor::single(emp, 2))
+            .unwrap(); // age
+        cat.create_statistic(&db, StatDescriptor::single(emp, 1))
+            .unwrap(); // deptid
+        cat.create_statistic(&db, StatDescriptor::single(dept, 0))
+            .unwrap(); // deptid
         let r = optimize(
             &db,
             &cat,
@@ -567,7 +600,8 @@ mod tests {
     fn index_seek_chosen_for_selective_predicate() {
         let (db, mut cat) = setup();
         let emp = db.table_id("emp").unwrap();
-        cat.create_statistic(&db, StatDescriptor::single(emp, 0));
+        cat.create_statistic(&db, StatDescriptor::single(emp, 0))
+            .unwrap();
         let r = optimize(&db, &cat, "SELECT * FROM emp WHERE empid = 17");
         assert!(
             matches!(r.plan.op, Operator::IndexScan { .. }),
@@ -590,12 +624,14 @@ mod tests {
         let vars = [PredicateId::Selection(0), PredicateId::JoinEdge(0)];
         let mut prev = 0.0;
         for (i, s) in [0.001, 0.1, 0.5, 0.999].iter().enumerate() {
-            let r = opt.optimize(
-                &db,
-                &q,
-                cat.full_view(),
-                &OptimizeOptions::inject_all(&vars, *s),
-            );
+            let r = opt
+                .optimize(
+                    &db,
+                    &q,
+                    cat.full_view(),
+                    &OptimizeOptions::inject_all(&vars, *s),
+                )
+                .unwrap();
             assert!(
                 r.magic_variables.is_empty(),
                 "injected variables are not magic"
@@ -645,7 +681,8 @@ mod tests {
         // With stats, group count is estimated from NDV.
         let (db2, mut cat2) = setup();
         let emp = db2.table_id("emp").unwrap();
-        cat2.create_statistic(&db2, StatDescriptor::single(emp, 1));
+        cat2.create_statistic(&db2, StatDescriptor::single(emp, 1))
+            .unwrap();
         let r2 = optimize(
             &db2,
             &cat2,
@@ -664,12 +701,18 @@ mod tests {
         use std::collections::HashSet;
         let (db, mut cat) = setup();
         let emp = db.table_id("emp").unwrap();
-        let sid = cat.create_statistic(&db, StatDescriptor::single(emp, 2));
+        let sid = cat
+            .create_statistic(&db, StatDescriptor::single(emp, 2))
+            .unwrap();
         let q = bind(&db, "SELECT * FROM emp WHERE age < 30");
         let opt = Optimizer::default();
-        let with = opt.optimize(&db, &q, cat.full_view(), &OptimizeOptions::default());
+        let with = opt
+            .optimize(&db, &q, cat.full_view(), &OptimizeOptions::default())
+            .unwrap();
         let ignore: HashSet<_> = [sid].into_iter().collect();
-        let without = opt.optimize(&db, &q, cat.view(&ignore), &OptimizeOptions::default());
+        let without = opt
+            .optimize(&db, &q, cat.view(&ignore), &OptimizeOptions::default())
+            .unwrap();
         assert!(with.magic_variables.is_empty());
         assert_eq!(without.magic_variables, vec![PredicateId::Selection(0)]);
         assert_ne!(with.plan.est_rows, without.plan.est_rows);
@@ -702,15 +745,23 @@ mod tests {
 
         // Independence: ~0.5 * 0.5 = 0.25 of rows survive the (empty) filter.
         let mut marginal_cat = StatsCatalog::new();
-        marginal_cat.create_statistic(&db, StatDescriptor::multi(t, vec![0, 1]));
-        marginal_cat.create_statistic(&db, StatDescriptor::single(t, 0));
-        marginal_cat.create_statistic(&db, StatDescriptor::single(t, 1));
-        let r1 = opt.optimize(
-            &db,
-            &q,
-            marginal_cat.full_view(),
-            &OptimizeOptions::default(),
-        );
+        marginal_cat
+            .create_statistic(&db, StatDescriptor::multi(t, vec![0, 1]))
+            .unwrap();
+        marginal_cat
+            .create_statistic(&db, StatDescriptor::single(t, 0))
+            .unwrap();
+        marginal_cat
+            .create_statistic(&db, StatDescriptor::single(t, 1))
+            .unwrap();
+        let r1 = opt
+            .optimize(
+                &db,
+                &q,
+                marginal_cat.full_view(),
+                &OptimizeOptions::default(),
+            )
+            .unwrap();
         assert!(
             r1.plan.est_rows > 300.0,
             "independence estimate: {}",
@@ -720,10 +771,18 @@ mod tests {
         // Joint: the contradiction is visible — almost nothing survives.
         let mut joint_cat =
             StatsCatalog::new().with_build_options(BuildOptions::default().with_joint_histograms());
-        joint_cat.create_statistic(&db, StatDescriptor::multi(t, vec![0, 1]));
-        joint_cat.create_statistic(&db, StatDescriptor::single(t, 0));
-        joint_cat.create_statistic(&db, StatDescriptor::single(t, 1));
-        let r2 = opt.optimize(&db, &q, joint_cat.full_view(), &OptimizeOptions::default());
+        joint_cat
+            .create_statistic(&db, StatDescriptor::multi(t, vec![0, 1]))
+            .unwrap();
+        joint_cat
+            .create_statistic(&db, StatDescriptor::single(t, 0))
+            .unwrap();
+        joint_cat
+            .create_statistic(&db, StatDescriptor::single(t, 1))
+            .unwrap();
+        let r2 = opt
+            .optimize(&db, &q, joint_cat.full_view(), &OptimizeOptions::default())
+            .unwrap();
         assert!(
             r2.plan.est_rows < 120.0,
             "joint estimate should be near zero: {}",
@@ -755,15 +814,18 @@ mod tests {
         let q = bind(&db, "SELECT * FROM m WHERE x < 5 AND y >= 5");
         let mut cat =
             StatsCatalog::new().with_build_options(BuildOptions::default().with_joint_histograms());
-        cat.create_statistic(&db, StatDescriptor::multi(t, vec![0, 1]));
+        cat.create_statistic(&db, StatDescriptor::multi(t, vec![0, 1]))
+            .unwrap();
         let opt = Optimizer::default();
         let vars = q.predicate_ids();
-        let r = opt.optimize(
-            &db,
-            &q,
-            cat.full_view(),
-            &OptimizeOptions::inject_all(&vars, 0.5),
-        );
+        let r = opt
+            .optimize(
+                &db,
+                &q,
+                cat.full_view(),
+                &OptimizeOptions::inject_all(&vars, 0.5),
+            )
+            .unwrap();
         for id in vars {
             assert_eq!(r.profile.value(id), 0.5, "{id} was not passed through");
         }

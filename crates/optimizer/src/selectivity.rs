@@ -26,6 +26,17 @@ use storage::Database;
 /// probe must reach the optimizer exactly.
 const MIN_STATS_SELECTIVITY: f64 = 1e-5;
 
+/// Clamp a selectivity into [0, 1], rejecting NaN (mapped to 0). Every value
+/// entering a profile passes through here so the cost model downstream can
+/// assume finite inputs.
+fn clamp01(x: f64) -> f64 {
+    if x.is_nan() {
+        0.0
+    } else {
+        x.clamp(0.0, 1.0)
+    }
+}
+
 /// How one selectivity value was obtained.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum SelectivitySource {
@@ -146,7 +157,7 @@ fn selection_from_stats(
         PredOp::Cmp(CmpOp::Ge, v) => h.selectivity_ge(v),
         PredOp::Between(lo, hi) => h.selectivity_between(lo, hi),
     };
-    Some(((sel * non_null).clamp(0.0, 1.0), vec![stat.id]))
+    Some((clamp01(sel * non_null), vec![stat.id]))
 }
 
 /// The inclusive numeric range a predicate restricts its column to, or
@@ -203,10 +214,11 @@ fn apply_joint_refinement(
             else {
                 continue;
             };
-            let joint_hist = stat
-                .joint
-                .as_ref()
-                .expect("joint_for returned a joint stat");
+            // `joint_for` only returns statistics carrying a joint histogram;
+            // tolerate a violation instead of trusting it with a panic.
+            let Some(joint_hist) = stat.joint.as_ref() else {
+                continue;
+            };
             let (xr, yr) = if flipped { (rj, ri) } else { (ri, rj) };
             let joint = joint_hist.selectivity(&stats::RangeQuery {
                 x_lo: xr.0,
@@ -214,9 +226,9 @@ fn apply_joint_refinement(
                 y_lo: yr.0,
                 y_hi: yr.1,
             });
-            let marginal_i = values[&idi];
+            let marginal_i = values.get(&idi).copied().unwrap_or(1.0);
             if marginal_i > 0.0 {
-                values.insert(idj, (joint / marginal_i).clamp(0.0, 1.0));
+                values.insert(idj, clamp01(joint / marginal_i));
                 if let Some(SelectivitySource::Statistics(ids)) = sources.get_mut(&idj) {
                     if !ids.contains(&stat.id) {
                         ids.push(stat.id);
@@ -252,7 +264,7 @@ fn join_from_stats(
         let sel = stats::join_selectivity(&ls.histogram, &rs.histogram)
             * (1.0 - ls.null_fraction)
             * (1.0 - rs.null_fraction);
-        return Some((sel.clamp(0.0, 1.0), vec![ls.id, rs.id]));
+        return Some((clamp01(sel), vec![ls.id, rs.id]));
     }
 
     let side = |table, cols: &[usize]| -> Option<(f64, StatId)> {
@@ -262,7 +274,7 @@ fn join_from_stats(
     let (lndv, lid) = side(lt, &lcols)?;
     let (rndv, rid) = side(rt, &rcols)?;
     let denom = lndv.max(rndv).max(1.0);
-    Some(((1.0 / denom).clamp(0.0, 1.0), vec![lid, rid]))
+    Some((clamp01(1.0 / denom), vec![lid, rid]))
 }
 
 /// Estimate the GROUP BY distinct fraction: estimated distinct group count
@@ -305,7 +317,7 @@ fn group_by_from_stats(
             ids.push(s.id);
         }
     }
-    let fraction = (distinct / input_rows.max(1.0)).clamp(0.0, 1.0);
+    let fraction = clamp01(distinct / input_rows.max(1.0));
     Some((fraction, ids))
 }
 
@@ -328,7 +340,7 @@ pub fn build_profile(
     for (i, pred) in query.selections.iter().enumerate() {
         let id = PredicateId::Selection(i);
         if let Some(&v) = injected.get(&id) {
-            values.insert(id, v.clamp(0.0, 1.0));
+            values.insert(id, clamp01(v));
             sources.insert(id, SelectivitySource::Injected);
         } else if let Some((v, ids)) = selection_from_stats(view, query, pred) {
             values.insert(id, v.max(MIN_STATS_SELECTIVITY));
@@ -346,7 +358,7 @@ pub fn build_profile(
     for (i, edge) in query.join_edges.iter().enumerate() {
         let id = PredicateId::JoinEdge(i);
         if let Some(&v) = injected.get(&id) {
-            values.insert(id, v.clamp(0.0, 1.0));
+            values.insert(id, clamp01(v));
             sources.insert(id, SelectivitySource::Injected);
         } else if let Some((v, ids)) = join_from_stats(view, query, edge) {
             values.insert(id, v.max(MIN_STATS_SELECTIVITY / 10.0));
@@ -362,18 +374,28 @@ pub fn build_profile(
         // Aggregate input cardinality under the values chosen so far.
         let mut input_rows = 1.0f64;
         for (rel, (tid, _)) in query.relations.iter().enumerate() {
-            let base = db.table(*tid).row_count() as f64;
+            // A stale table id contributes no rows here; the planner proper
+            // reports it as a typed error.
+            let base = db.try_table(*tid).map_or(0.0, |t| t.row_count() as f64);
             let filter: f64 = query
                 .selections_on(rel)
-                .map(|(i, _)| values[&PredicateId::Selection(i)])
+                .map(|(i, _)| {
+                    values
+                        .get(&PredicateId::Selection(i))
+                        .copied()
+                        .unwrap_or(1.0)
+                })
                 .product();
             input_rows *= base * filter;
         }
         for (i, _) in query.join_edges.iter().enumerate() {
-            input_rows *= values[&PredicateId::JoinEdge(i)];
+            input_rows *= values
+                .get(&PredicateId::JoinEdge(i))
+                .copied()
+                .unwrap_or(1.0);
         }
         if let Some(&v) = injected.get(&id) {
-            values.insert(id, v.clamp(0.0, 1.0));
+            values.insert(id, clamp01(v));
             sources.insert(id, SelectivitySource::Injected);
         } else if let Some((v, ids)) = group_by_from_stats(view, query, input_rows) {
             values.insert(id, v);

@@ -11,6 +11,9 @@
 //! * a [`render`] module that prints statements back to SQL (the parser and
 //!   renderer round-trip, which the property tests exercise).
 
+// Library code must stay panic-free on arbitrary input; tests may unwrap.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod ast;
 pub mod binder;
 pub mod bound;

@@ -528,10 +528,11 @@ impl Parser {
 /// let stmt = parse_statement(
 ///     "SELECT l_returnflag, COUNT(*) FROM lineitem \
 ///      WHERE l_quantity < 24.0 GROUP BY l_returnflag",
-/// ).unwrap();
-/// let q = stmt.as_select().unwrap();
+/// )?;
+/// let q = stmt.as_select().ok_or("not a select")?;
 /// assert_eq!(q.group_by.len(), 1);
 /// assert!(parse_statement("SELECT FROM nothing").is_err());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn parse_statement(sql: &str) -> Result<Statement, ParseError> {
     let tokens = Lexer::new(sql).tokenize()?;

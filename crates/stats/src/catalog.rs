@@ -2,6 +2,7 @@
 //! aging, and the SQL Server-style auto-maintenance policy.
 
 use crate::cost::CostModel;
+use crate::error::StatsError;
 use crate::statistic::{build_statistic, BuildOptions, StatDescriptor, StatId, Statistic};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
@@ -179,6 +180,15 @@ impl StatsCatalog {
         self
     }
 
+    /// Replace the build options on a live catalog. Only statistics built
+    /// *after* the change use the new options; existing ones keep the
+    /// content they were built with (a refresh rebuilds under the new
+    /// options). Fault-injection harnesses use this to degrade the sampler
+    /// or bucket budget mid-run.
+    pub fn set_build_options(&mut self, options: BuildOptions) {
+        self.build_options = options;
+    }
+
     pub fn build_options(&self) -> &BuildOptions {
         &self.build_options
     }
@@ -222,16 +232,37 @@ impl StatsCatalog {
     ///   can simply be removed from the drop-list").
     /// * Otherwise the statistic is built from the table data and charged to
     ///   the creation-work meter.
-    pub fn create_statistic(&mut self, db: &Database, descriptor: StatDescriptor) -> StatId {
+    ///
+    /// Errors (rather than panics) when the descriptor is degenerate: a
+    /// stale table id, an empty column list, or a column ordinal the table
+    /// does not have.
+    pub fn create_statistic(
+        &mut self,
+        db: &Database,
+        descriptor: StatDescriptor,
+    ) -> Result<StatId, StatsError> {
+        let table = db.try_table(descriptor.table)?;
+        if descriptor.columns.is_empty() {
+            return Err(StatsError::EmptyColumnSet);
+        }
+        if let Some(&c) = descriptor
+            .columns
+            .iter()
+            .find(|&&c| c >= table.schema().len())
+        {
+            return Err(StatsError::UnknownColumn {
+                table: table.name().to_string(),
+                column: c,
+            });
+        }
         if let Some(&id) = self.by_descriptor.get(&descriptor) {
             if self.drop_list.remove(&id) {
                 self.observers.notify_table(descriptor.table);
             }
-            return id;
+            return Ok(id);
         }
         let id = StatId(self.next_id);
         self.next_id += 1;
-        let table = db.table(descriptor.table);
         let seed = self.seed ^ ((id.0 as u64) << 17) ^ descriptor.table.0 as u64;
         let stat = build_statistic(
             id,
@@ -245,7 +276,7 @@ impl StatsCatalog {
         self.observers.notify_table(descriptor.table);
         self.by_descriptor.insert(descriptor, id);
         self.stats.insert(id, stat);
-        id
+        Ok(id)
     }
 
     /// Look up an **active** statistic by descriptor.
@@ -364,6 +395,9 @@ impl StatsCatalog {
     /// meter and bumping per-statistic update counts; resets the table's
     /// modification counter. Returns the number of statistics updated.
     pub fn update_table_statistics(&mut self, db: &mut Database, table: TableId) -> usize {
+        if db.try_table(table).is_err() {
+            return 0; // stale table id (e.g. restored snapshot): nothing to do
+        }
         let ids: Vec<StatId> = self
             .stats
             .values()
@@ -372,9 +406,12 @@ impl StatsCatalog {
             .collect();
         let epoch = self.epoch;
         for &id in &ids {
-            let (descriptor, update_count, created_epoch) = {
-                let s = &self.stats[&id];
-                (s.descriptor.clone(), s.update_count, s.created_epoch)
+            let Some((descriptor, update_count, created_epoch)) = self
+                .stats
+                .get(&id)
+                .map(|s| (s.descriptor.clone(), s.update_count, s.created_epoch))
+            else {
+                continue;
             };
             let seed =
                 self.seed ^ ((id.0 as u64) << 17) ^ table.0 as u64 ^ (update_count as u64 + 1);
@@ -436,7 +473,9 @@ impl StatsCatalog {
         let mut total = 0.0;
         for id in ids {
             if let Some(s) = self.stats.get(&id) {
-                let table = db.table(s.descriptor.table);
+                let Ok(table) = db.try_table(s.descriptor.table) else {
+                    continue; // stale table id: no rebuild cost to charge
+                };
                 let rows_read = self.build_options.sample.rows_read(table.row_count());
                 let col_bytes: usize = s
                     .descriptor
@@ -546,7 +585,9 @@ impl<'a> StatsView<'a> {
                 }
             }
         }
-        best.map(|s| (s, s.prefix_densities[set.len() - 1]))
+        // `.get` tolerates hand-built statistics (snapshot injection) whose
+        // density list is shorter than the descriptor claims.
+        best.and_then(|s| s.prefix_densities.get(set.len() - 1).map(|&d| (s, d)))
     }
 
     /// NDV of a single column, from the best visible statistic.
@@ -612,10 +653,14 @@ mod tests {
     fn create_is_idempotent_and_charges_once() {
         let (db, t) = test_db();
         let mut cat = StatsCatalog::new();
-        let s1 = cat.create_statistic(&db, StatDescriptor::single(t, 0));
+        let s1 = cat
+            .create_statistic(&db, StatDescriptor::single(t, 0))
+            .unwrap();
         let work = cat.creation_work();
         assert!(work > 0.0);
-        let s2 = cat.create_statistic(&db, StatDescriptor::single(t, 0));
+        let s2 = cat
+            .create_statistic(&db, StatDescriptor::single(t, 0))
+            .unwrap();
         assert_eq!(s1, s2);
         assert_eq!(cat.creation_work(), work);
     }
@@ -624,13 +669,17 @@ mod tests {
     fn drop_list_hides_and_reactivates_free() {
         let (db, t) = test_db();
         let mut cat = StatsCatalog::new();
-        let id = cat.create_statistic(&db, StatDescriptor::single(t, 0));
+        let id = cat
+            .create_statistic(&db, StatDescriptor::single(t, 0))
+            .unwrap();
         cat.move_to_drop_list(id);
         assert_eq!(cat.active_count(), 0);
         assert!(cat.find_active(&StatDescriptor::single(t, 0)).is_none());
         assert!(cat.find_built(&StatDescriptor::single(t, 0)).is_some());
         let work = cat.creation_work();
-        let again = cat.create_statistic(&db, StatDescriptor::single(t, 0));
+        let again = cat
+            .create_statistic(&db, StatDescriptor::single(t, 0))
+            .unwrap();
         assert_eq!(again, id);
         assert_eq!(cat.creation_work(), work, "reactivation must be free");
         assert_eq!(cat.active_count(), 1);
@@ -640,7 +689,9 @@ mod tests {
     fn physical_drop_registers_aging() {
         let (db, t) = test_db();
         let mut cat = StatsCatalog::new();
-        let id = cat.create_statistic(&db, StatDescriptor::single(t, 0));
+        let id = cat
+            .create_statistic(&db, StatDescriptor::single(t, 0))
+            .unwrap();
         let desc = StatDescriptor::single(t, 0);
         assert!(cat.physically_drop(id));
         assert!(!cat.physically_drop(id));
@@ -664,7 +715,9 @@ mod tests {
     fn ignore_view_hides_statistics() {
         let (db, t) = test_db();
         let mut cat = StatsCatalog::new();
-        let id = cat.create_statistic(&db, StatDescriptor::single(t, 0));
+        let id = cat
+            .create_statistic(&db, StatDescriptor::single(t, 0))
+            .unwrap();
         assert!(cat.full_view().histogram_for(t, 0).is_some());
         let ignore: HashSet<StatId> = [id].into_iter().collect();
         assert!(cat.view(&ignore).histogram_for(t, 0).is_none());
@@ -674,8 +727,12 @@ mod tests {
     fn histogram_prefers_exact_single_column() {
         let (db, t) = test_db();
         let mut cat = StatsCatalog::new();
-        let multi = cat.create_statistic(&db, StatDescriptor::multi(t, vec![0, 1]));
-        let single = cat.create_statistic(&db, StatDescriptor::single(t, 0));
+        let multi = cat
+            .create_statistic(&db, StatDescriptor::multi(t, vec![0, 1]))
+            .unwrap();
+        let single = cat
+            .create_statistic(&db, StatDescriptor::single(t, 0))
+            .unwrap();
         let view = cat.full_view();
         assert_eq!(view.histogram_for(t, 0).unwrap().id, single);
         // For leading column of only the multi stat, fallback applies.
@@ -689,7 +746,8 @@ mod tests {
     fn density_for_set_prefers_tightest() {
         let (db, t) = test_db();
         let mut cat = StatsCatalog::new();
-        cat.create_statistic(&db, StatDescriptor::multi(t, vec![0, 1]));
+        cat.create_statistic(&db, StatDescriptor::multi(t, vec![0, 1]))
+            .unwrap();
         let pair = cat.full_view().density_for_set(t, &[1, 0]).unwrap();
         // (a, b) over i%50, i%8 has lcm(50,8)=200 combos in 2000 rows.
         assert!((pair.1 - 1.0 / 200.0).abs() < 1e-9);
@@ -700,7 +758,9 @@ mod tests {
     fn maintenance_updates_and_drops() {
         let (mut db, t) = test_db();
         let mut cat = StatsCatalog::new();
-        let id = cat.create_statistic(&db, StatDescriptor::single(t, 0));
+        let id = cat
+            .create_statistic(&db, StatDescriptor::single(t, 0))
+            .unwrap();
         // Simulate heavy modification.
         let policy = MaintenancePolicy {
             update_fraction: 0.1,
@@ -740,7 +800,8 @@ mod tests {
     fn vanilla_policy_drops_useful_statistics() {
         let (mut db, t) = test_db();
         let mut cat = StatsCatalog::new();
-        cat.create_statistic(&db, StatDescriptor::single(t, 0));
+        cat.create_statistic(&db, StatDescriptor::single(t, 0))
+            .unwrap();
         let policy = MaintenancePolicy {
             update_fraction: 0.01,
             min_modified_rows: 1,
@@ -763,8 +824,12 @@ mod tests {
     fn snapshot_restore_roundtrip() {
         let (db, t) = test_db();
         let mut cat = StatsCatalog::new();
-        let a = cat.create_statistic(&db, StatDescriptor::single(t, 0));
-        let b = cat.create_statistic(&db, StatDescriptor::multi(t, vec![0, 1]));
+        let a = cat
+            .create_statistic(&db, StatDescriptor::single(t, 0))
+            .unwrap();
+        let b = cat
+            .create_statistic(&db, StatDescriptor::multi(t, vec![0, 1]))
+            .unwrap();
         cat.move_to_drop_list(b);
         cat.advance_epoch();
 
@@ -781,7 +846,9 @@ mod tests {
         assert_eq!(s.leading_ndv(), 50.0);
         // New statistics continue from the persisted id counter.
         let mut restored = restored;
-        let c = restored.create_statistic(&db, StatDescriptor::single(t, 1));
+        let c = restored
+            .create_statistic(&db, StatDescriptor::single(t, 1))
+            .unwrap();
         assert!(c.0 >= 2);
     }
 
@@ -789,7 +856,9 @@ mod tests {
     fn update_cost_of_reflects_table_growth() {
         let (mut db, t) = test_db();
         let mut cat = StatsCatalog::new();
-        let id = cat.create_statistic(&db, StatDescriptor::single(t, 0));
+        let id = cat
+            .create_statistic(&db, StatDescriptor::single(t, 0))
+            .unwrap();
         let before = cat.update_cost_of(&db, [id]);
         for i in 0..2000 {
             db.table_mut(t)

@@ -87,6 +87,16 @@ fn common_string_prefix(values: &[Value]) -> Option<String> {
     Some(prefix.to_string())
 }
 
+/// Clamp a selectivity into [0, 1], mapping NaN to 0 so a degenerate
+/// computation can never leak NaN into the optimizer's cost math.
+fn clamp01(x: f64) -> f64 {
+    if x.is_nan() {
+        0.0
+    } else {
+        x.clamp(0.0, 1.0)
+    }
+}
+
 /// 8-byte big-endian key of a byte string (order-preserving over the first
 /// eight bytes).
 fn key8(bytes: &[u8]) -> f64 {
@@ -102,7 +112,9 @@ impl Histogram {
     /// buckets. NULLs must be filtered out by the caller ([`Statistic`]
     /// accounts for the null fraction separately).
     pub fn build(kind: HistogramKind, values: &[Value], max_buckets: usize) -> Histogram {
-        assert!(max_buckets >= 1, "need at least one bucket");
+        // A zero-bucket request is degenerate input, not a caller bug worth
+        // aborting the process over: build the coarsest useful histogram.
+        let max_buckets = max_buckets.max(1);
         let str_prefix = common_string_prefix(values).filter(|p| !p.is_empty());
         let key_of = |v: &Value| -> f64 {
             match (&str_prefix, v) {
@@ -110,7 +122,15 @@ impl Histogram {
                 _ => v.numeric_key(),
             }
         };
-        let mut keys: Vec<f64> = values.iter().map(key_of).collect();
+        // NaN keys (e.g. `Value::Float(NAN)`) are excluded like NULLs —
+        // NaN-keyed buckets would poison every later estimate — and infinite
+        // keys are clamped to the finite domain edge, preserving order.
+        let mut keys: Vec<f64> = values
+            .iter()
+            .map(key_of)
+            .filter(|k| !k.is_nan())
+            .map(|k| k.clamp(f64::MIN, f64::MAX))
+            .collect();
         keys.sort_by(f64::total_cmp);
         let rows = keys.len() as f64;
         if keys.is_empty() {
@@ -303,9 +323,12 @@ impl Histogram {
     /// Estimated selectivity of `column = value` among non-null rows.
     pub fn selectivity_eq(&self, value: &Value) -> f64 {
         let key = self.key_of(value);
+        if key.is_nan() {
+            return 0.0; // NaN probes match nothing
+        }
         for b in &self.buckets {
             if key >= b.lo && key <= b.hi {
-                return (b.fraction / b.distinct.max(1.0)).clamp(0.0, 1.0);
+                return clamp01(b.fraction / b.distinct.max(1.0));
             }
         }
         0.0
@@ -315,6 +338,9 @@ impl Histogram {
     /// rows, with continuous interpolation inside the containing bucket.
     pub fn selectivity_lt(&self, value: &Value) -> f64 {
         let key = self.key_of(value);
+        if key.is_nan() {
+            return 0.0; // NaN probes match nothing
+        }
         let mut acc = 0.0;
         for b in &self.buckets {
             if key > b.hi {
@@ -327,22 +353,22 @@ impl Histogram {
                 break;
             }
         }
-        acc.clamp(0.0, 1.0)
+        clamp01(acc)
     }
 
     /// `column <= value`.
     pub fn selectivity_le(&self, value: &Value) -> f64 {
-        (self.selectivity_lt(value) + self.selectivity_eq(value)).clamp(0.0, 1.0)
+        clamp01(self.selectivity_lt(value) + self.selectivity_eq(value))
     }
 
     /// `column > value`.
     pub fn selectivity_gt(&self, value: &Value) -> f64 {
-        (1.0 - self.selectivity_le(value)).clamp(0.0, 1.0)
+        clamp01(1.0 - self.selectivity_le(value))
     }
 
     /// `column >= value`.
     pub fn selectivity_ge(&self, value: &Value) -> f64 {
-        (1.0 - self.selectivity_lt(value)).clamp(0.0, 1.0)
+        clamp01(1.0 - self.selectivity_lt(value))
     }
 
     /// `column BETWEEN low AND high` (inclusive).
@@ -350,12 +376,12 @@ impl Histogram {
         if self.key_of(low) > self.key_of(high) {
             return 0.0;
         }
-        (self.selectivity_le(high) - self.selectivity_lt(low)).clamp(0.0, 1.0)
+        clamp01(self.selectivity_le(high) - self.selectivity_lt(low))
     }
 
     /// `column <> value`.
     pub fn selectivity_ne(&self, value: &Value) -> f64 {
-        (1.0 - self.selectivity_eq(value)).clamp(0.0, 1.0)
+        clamp01(1.0 - self.selectivity_eq(value))
     }
 }
 
@@ -408,7 +434,7 @@ pub fn join_selectivity(a: &Histogram, b: &Histogram) -> f64 {
             sel += common * mass_a * mass_b;
         }
     }
-    sel.clamp(0.0, 1.0)
+    clamp01(sel)
 }
 
 #[cfg(test)]

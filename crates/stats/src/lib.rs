@@ -18,8 +18,12 @@
 //! ([`cost`]) so that the paper's "statistics creation time" and "update
 //! cost" results can be reproduced as ratios without hardware timing noise.
 
+// Library code must stay panic-free on arbitrary input; tests may unwrap.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod catalog;
 pub mod cost;
+pub mod error;
 pub mod histogram;
 pub mod mhist;
 pub mod ndv;
@@ -31,6 +35,7 @@ pub use catalog::{
     StatsCatalog, StatsView,
 };
 pub use cost::CostModel;
+pub use error::StatsError;
 pub use histogram::{join_selectivity, Histogram, HistogramKind};
 pub use mhist::{Histogram2d, RangeQuery};
 pub use ndv::estimate_ndv;

@@ -29,10 +29,59 @@ pub enum SampleSpec {
     },
 }
 
+use crate::error::StatsError;
 use serde::{Deserialize, Serialize};
 
+/// Sampling fraction restricted to its valid domain (0, 1]; NaN and other
+/// out-of-range values fall back to a full scan (fraction 1.0).
+fn sane_fraction(fraction: f64) -> f64 {
+    if fraction.is_finite() && fraction > 0.0 {
+        fraction.min(1.0)
+    } else {
+        1.0
+    }
+}
+
 impl SampleSpec {
+    /// Validated row-level sample. Errors on a fraction outside (0, 1] or a
+    /// zero row floor — a spec that could draw an *empty* sample from a
+    /// non-empty table and build a `rows: 0` histogram that silently
+    /// estimates zero for every predicate.
+    pub fn fraction(fraction: f64, min_rows: usize) -> Result<Self, StatsError> {
+        if !(fraction.is_finite() && fraction > 0.0 && fraction <= 1.0) {
+            return Err(StatsError::InvalidSampleSpec {
+                detail: format!("fraction {fraction} is outside (0, 1]"),
+            });
+        }
+        if min_rows == 0 {
+            return Err(StatsError::InvalidSampleSpec {
+                detail: "min_rows must be at least 1".to_string(),
+            });
+        }
+        Ok(SampleSpec::Fraction { fraction, min_rows })
+    }
+
+    /// Validated block-level sample; same domain rules as [`Self::fraction`]
+    /// plus a non-zero block size.
+    pub fn blocks(fraction: f64, block_rows: usize, min_rows: usize) -> Result<Self, StatsError> {
+        Self::fraction(fraction, min_rows)?; // same fraction/min_rows domain
+        if block_rows == 0 {
+            return Err(StatsError::InvalidSampleSpec {
+                detail: "block_rows must be at least 1".to_string(),
+            });
+        }
+        Ok(SampleSpec::Blocks {
+            fraction,
+            block_rows,
+            min_rows,
+        })
+    }
+
     /// Number of rows this spec reads from a table of `total_rows` rows.
+    ///
+    /// Degenerate field values in a literal-constructed spec (fraction
+    /// outside (0, 1], `min_rows: 0`) are clamped here rather than trusted:
+    /// a non-empty table always yields at least one sampled row.
     pub fn rows_read(&self, total_rows: usize) -> usize {
         match *self {
             SampleSpec::FullScan => total_rows,
@@ -40,8 +89,8 @@ impl SampleSpec {
             | SampleSpec::Blocks {
                 fraction, min_rows, ..
             } => {
-                let n = (total_rows as f64 * fraction).ceil() as usize;
-                n.max(min_rows).min(total_rows)
+                let n = (total_rows as f64 * sane_fraction(fraction)).ceil() as usize;
+                n.max(min_rows.max(1)).min(total_rows)
             }
         }
     }
@@ -133,6 +182,51 @@ mod tests {
         };
         assert_eq!(s.pick_rows(500, 9), s.pick_rows(500, 9));
         assert_ne!(s.pick_rows(500, 9), s.pick_rows(500, 10));
+    }
+
+    #[test]
+    fn degenerate_specs_rejected_at_construction() {
+        assert!(SampleSpec::fraction(0.0, 10).is_err());
+        assert!(SampleSpec::fraction(-0.5, 10).is_err());
+        assert!(SampleSpec::fraction(1.5, 10).is_err());
+        assert!(SampleSpec::fraction(f64::NAN, 10).is_err());
+        assert!(SampleSpec::fraction(0.1, 0).is_err());
+        assert!(SampleSpec::blocks(0.1, 0, 10).is_err());
+        assert!(SampleSpec::fraction(0.1, 10).is_ok());
+        assert!(SampleSpec::blocks(1.0, 64, 1).is_ok());
+    }
+
+    #[test]
+    fn literal_degenerate_spec_never_draws_empty_sample() {
+        // A hand-built spec bypassing the validating constructor is clamped:
+        // it can no longer produce the empty sample behind the "rows: 0.0
+        // histogram estimates 0 for everything" failure mode.
+        let s = SampleSpec::Fraction {
+            fraction: 0.0,
+            min_rows: 0,
+        };
+        assert_eq!(s.rows_read(1000), 1000); // zero fraction falls back to full scan
+        assert_eq!(s.pick_rows(1000, 7).len(), 1000);
+        assert_eq!(s.rows_read(0), 0);
+
+        let tiny = SampleSpec::Fraction {
+            fraction: 1e-9,
+            min_rows: 0,
+        };
+        assert_eq!(tiny.rows_read(1000), 1); // min_rows: 0 still yields one row
+
+        let nan = SampleSpec::Fraction {
+            fraction: f64::NAN,
+            min_rows: 0,
+        };
+        assert_eq!(nan.rows_read(50), 50); // NaN fraction falls back to full scan
+
+        let b = SampleSpec::Blocks {
+            fraction: -1.0,
+            block_rows: 0,
+            min_rows: 0,
+        };
+        assert_eq!(b.pick_rows(10, 3).len(), 10);
     }
 
     #[test]

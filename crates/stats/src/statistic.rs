@@ -139,10 +139,9 @@ impl Statistic {
 
     /// Density (1/NDV) over all columns of the statistic.
     pub fn full_density(&self) -> f64 {
-        *self
-            .prefix_densities
-            .last()
-            .expect("statistic has at least one column")
+        // Descriptors are validated non-empty at creation; an empty density
+        // list (hand-built statistic) degrades to "no density information".
+        self.prefix_densities.last().copied().unwrap_or(0.0)
     }
 }
 

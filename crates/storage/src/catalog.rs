@@ -57,6 +57,22 @@ impl Database {
         &mut self.tables[id.0 as usize]
     }
 
+    /// Like [`Database::table`], but returns a typed error instead of
+    /// panicking when `id` is stale or from another database.
+    pub fn try_table(&self, id: TableId) -> Result<&Table> {
+        self.tables
+            .get(id.0 as usize)
+            .ok_or(StorageError::UnknownTableId(id.0))
+    }
+
+    /// Like [`Database::table_mut`], but returns a typed error instead of
+    /// panicking when `id` is stale or from another database.
+    pub fn try_table_mut(&mut self, id: TableId) -> Result<&mut Table> {
+        self.tables
+            .get_mut(id.0 as usize)
+            .ok_or(StorageError::UnknownTableId(id.0))
+    }
+
     pub fn table_by_name(&self, name: &str) -> Result<&Table> {
         self.table_id(name)
             .map(|id| self.table(id))
@@ -90,8 +106,9 @@ impl Database {
         if self.indexes.iter().any(|i| i.name == name) {
             return Err(StorageError::DuplicateIndex(name));
         }
+        let slot = self.indexes.len();
         self.indexes.push(Index::new(name, table, columns));
-        Ok(self.indexes.last().expect("just pushed"))
+        Ok(&self.indexes[slot])
     }
 
     pub fn indexes(&self) -> &[Index] {

@@ -24,6 +24,9 @@ pub enum StorageError {
     DuplicateIndex(String),
     /// NULL was inserted into a NOT NULL column.
     NullViolation { table: String, column: String },
+    /// A [`crate::TableId`] that does not refer to any table in the database
+    /// (stale id, or an id minted against a different `Database`).
+    UnknownTableId(u32),
 }
 
 impl fmt::Display for StorageError {
@@ -52,6 +55,9 @@ impl fmt::Display for StorageError {
             StorageError::DuplicateIndex(i) => write!(f, "index '{i}' already exists"),
             StorageError::NullViolation { table, column } => {
                 write!(f, "NULL inserted into NOT NULL column {table}.{column}")
+            }
+            StorageError::UnknownTableId(id) => {
+                write!(f, "table id T{id} does not exist in this database")
             }
         }
     }

@@ -15,6 +15,9 @@
 //! Layout is columnar (`Vec` per column) because statistics construction and
 //! scan-heavy execution both read one column at a time.
 
+// Library code must stay panic-free on arbitrary input; tests may unwrap.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod catalog;
 pub mod column;
 pub mod error;

@@ -86,7 +86,9 @@ impl Table {
                 }
                 continue;
             }
-            let vt = v.data_type().expect("non-null value has a type");
+            // Non-null values always carry a type; the fallback keeps this
+            // total rather than trusting that invariant with a panic.
+            let Some(vt) = v.data_type() else { continue };
             let compatible = vt == def.data_type
                 || matches!(
                     (vt, def.data_type),

@@ -37,7 +37,9 @@ fn main() {
         shrink: Some(Equivalence::paper_default()),
         threads: 1,
     };
-    let report = tuner.tune(&db, &mut catalog, &queries);
+    let report = tuner
+        .tune(&db, &mut catalog, &queries)
+        .expect("example runs");
 
     println!("\noffline tuning pass:");
     println!(
@@ -92,7 +94,8 @@ fn main() {
         &new_queries,
         MnsaConfig::default(),
         Equivalence::paper_default(),
-    );
+    )
+    .expect("example runs");
     println!("\nwhat-if analysis for next month's workload ({new_spec}):");
     print!("{}", report.render(&db));
     println!(

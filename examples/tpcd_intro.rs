@@ -25,7 +25,9 @@ fn main() {
     // The tuned baseline: statistics only on indexed leading columns.
     let mut catalog = StatsCatalog::new();
     for idx in db.indexes() {
-        catalog.create_statistic(&db, StatDescriptor::single(idx.table, idx.leading_column()));
+        catalog
+            .create_statistic(&db, StatDescriptor::single(idx.table, idx.leading_column()))
+            .expect("example runs");
     }
     println!(
         "tuned TPC-D: {} indexes, {} baseline statistics\n",
@@ -47,17 +49,23 @@ fn main() {
         .collect();
     let before: Vec<_> = queries
         .iter()
-        .map(|q| optimizer.optimize(&db, q, catalog.full_view(), &OptimizeOptions::default()))
+        .map(|q| {
+            optimizer
+                .optimize(&db, q, catalog.full_view(), &OptimizeOptions::default())
+                .expect("example runs")
+        })
         .collect();
     for q in &queries {
         for d in candidate_statistics(q) {
-            catalog.create_statistic(&db, d);
+            catalog.create_statistic(&db, d).expect("example runs");
         }
     }
     let mut changed = 0usize;
     let mut shown = 0usize;
     for (i, (q, b)) in queries.iter().zip(&before).enumerate() {
-        let after = optimizer.optimize(&db, q, catalog.full_view(), &OptimizeOptions::default());
+        let after = optimizer
+            .optimize(&db, q, catalog.full_view(), &OptimizeOptions::default())
+            .expect("example runs");
         let did_change = !b.plan.same_tree(&after.plan);
         changed += did_change as usize;
         println!(

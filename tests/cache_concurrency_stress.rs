@@ -81,18 +81,21 @@ fn optimize_and_mutate_interleaved() {
                 for i in 0..OPTIMIZE_ITERS {
                     let q = &qs[(tid * 31 + i) % qs.len()];
                     let guard = catalog.read();
-                    let cached = optimizer.optimize_cached(
-                        db,
-                        q,
-                        guard.full_view(),
-                        &OptimizeOptions::default(),
-                        cache,
-                    );
+                    let cached = optimizer
+                        .optimize_cached(
+                            db,
+                            q,
+                            guard.full_view(),
+                            &OptimizeOptions::default(),
+                            cache,
+                        )
+                        .unwrap();
                     lookups.fetch_add(1, Ordering::Relaxed);
                     // Fresh optimization under the SAME lock: any divergence
                     // is a stale cache read.
-                    let fresh =
-                        optimizer.optimize(db, q, guard.full_view(), &OptimizeOptions::default());
+                    let fresh = optimizer
+                        .optimize(db, q, guard.full_view(), &OptimizeOptions::default())
+                        .unwrap();
                     assert_eq!(cached.cost, fresh.cost, "stale cost served");
                     assert!(cached.plan.same_tree(&fresh.plan), "stale plan served");
                     assert_eq!(cached.profile, fresh.profile, "stale profile served");
@@ -109,7 +112,7 @@ fn optimize_and_mutate_interleaved() {
                     let mut guard = catalog.write();
                     match i % 4 {
                         0 => {
-                            guard.create_statistic(db, d.clone());
+                            guard.create_statistic(db, d.clone()).unwrap();
                         }
                         1 => {
                             if let Some(id) = guard.find_active(d) {
@@ -150,14 +153,18 @@ fn optimize_and_mutate_interleaved() {
     // The cache stays coherent after the storm: one more pass, serially.
     let guard = catalog.read();
     for q in &qs {
-        let cached = optimizer.optimize_cached(
-            &db,
-            q,
-            guard.full_view(),
-            &OptimizeOptions::default(),
-            &cache,
-        );
-        let fresh = optimizer.optimize(&db, q, guard.full_view(), &OptimizeOptions::default());
+        let cached = optimizer
+            .optimize_cached(
+                &db,
+                q,
+                guard.full_view(),
+                &OptimizeOptions::default(),
+                &cache,
+            )
+            .unwrap();
+        let fresh = optimizer
+            .optimize(&db, q, guard.full_view(), &OptimizeOptions::default())
+            .unwrap();
         assert_eq!(cached.cost, fresh.cost);
         assert!(cached.plan.same_tree(&fresh.plan));
     }

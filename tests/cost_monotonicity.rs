@@ -67,10 +67,10 @@ proptest! {
         }
 
         let c_low = optimizer
-            .optimize(&db, q, catalog.full_view(), &OptimizeOptions { injected: low })
+            .optimize(&db, q, catalog.full_view(), &OptimizeOptions { injected: low }).unwrap()
             .cost;
         let c_high = optimizer
-            .optimize(&db, q, catalog.full_view(), &OptimizeOptions { injected: high })
+            .optimize(&db, q, catalog.full_view(), &OptimizeOptions { injected: high }).unwrap()
             .cost;
         prop_assert!(
             c_low <= c_high * (1.0 + 1e-9),
@@ -98,7 +98,7 @@ proptest! {
                     q,
                     catalog.full_view(),
                     &OptimizeOptions::inject_all(&vars, v),
-                )
+                ).unwrap()
                 .cost
         };
         let lo = cost_at(eps);

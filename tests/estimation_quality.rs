@@ -42,8 +42,10 @@ fn q_errors(db: &Database, catalog: &StatsCatalog, queries: &[BoundSelect]) -> V
     queries
         .iter()
         .map(|q| {
-            let r = optimizer.optimize(db, q, catalog.full_view(), &OptimizeOptions::default());
-            let out = execute_plan(db, q, &r.plan, &optimizer.params);
+            let r = optimizer
+                .optimize(db, q, catalog.full_view(), &OptimizeOptions::default())
+                .unwrap();
+            let out = execute_plan(db, q, &r.plan, &optimizer.params).unwrap();
             q_error(r.plan.est_rows, out.row_count() as f64)
         })
         .collect()
@@ -64,7 +66,7 @@ fn statistics_reduce_median_q_error_on_skewed_data() {
     let mut tuned = StatsCatalog::new();
     for q in &queries {
         for d in candidate_statistics(q) {
-            tuned.create_statistic(&db, d);
+            tuned.create_statistic(&db, d).unwrap();
         }
     }
     let with = q_errors(&db, &tuned, &queries);
@@ -96,13 +98,13 @@ fn mnsa_estimates_close_to_full_statistics() {
     let mut full = StatsCatalog::new();
     for q in &queries {
         for d in candidate_statistics(q) {
-            full.create_statistic(&db, d);
+            full.create_statistic(&db, d).unwrap();
         }
     }
     let engine = MnsaEngine::new(MnsaConfig::default());
     let mut mnsa = StatsCatalog::new();
     for q in &queries {
-        engine.run_query(&db, &mut mnsa, q);
+        engine.run_query(&db, &mut mnsa, q).unwrap();
     }
     assert!(mnsa.active_count() <= full.active_count());
 
@@ -129,7 +131,7 @@ fn skew_hurts_magic_numbers_more_than_statistics() {
         let mut tuned = StatsCatalog::new();
         for q in &queries {
             for d in candidate_statistics(q) {
-                tuned.create_statistic(&db, d);
+                tuned.create_statistic(&db, d).unwrap();
             }
         }
         median(q_errors(&db, &bare, &queries)) / median(q_errors(&db, &tuned, &queries))

@@ -209,11 +209,15 @@ fn executor_matches_reference_on_random_queries() {
         }
         if i % 2 == 0 {
             for (t, c) in q.relevant_columns() {
-                catalog.create_statistic(&db, StatDescriptor::single(t, c));
+                catalog
+                    .create_statistic(&db, StatDescriptor::single(t, c))
+                    .unwrap();
             }
         }
-        let plan = optimizer.optimize(&db, &q, catalog.full_view(), &OptimizeOptions::default());
-        let out = execute_plan(&db, &q, &plan.plan, &optimizer.params);
+        let plan = optimizer
+            .optimize(&db, &q, catalog.full_view(), &OptimizeOptions::default())
+            .unwrap();
+        let out = execute_plan(&db, &q, &plan.plan, &optimizer.params).unwrap();
         let expected = reference_eval(&db, &q);
         assert_eq!(
             sorted(out.rows.clone()),

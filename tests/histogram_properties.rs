@@ -109,3 +109,72 @@ proptest! {
         prop_assert_eq!(h.ndv(), truth);
     }
 }
+
+/// One arbitrary `Value` drawn from every shape the engine stores: ints,
+/// floats (including non-finite ones), strings with a shared prefix, strings
+/// without, and dates.
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        (-1000i64..1000).prop_map(Value::Int),
+        (-1e6f64..1e6).prop_map(Value::Float),
+        Just(Value::Float(f64::INFINITY)),
+        Just(Value::Float(f64::NEG_INFINITY)),
+        "[a-d]{0,6}".prop_map(Value::Str),
+        "pre[a-d]{0,4}".prop_map(Value::Str),
+        (-20000i32..20000).prop_map(Value::Date),
+    ]
+}
+
+/// A column of arbitrary values — possibly empty, possibly a mix of types.
+fn arb_column() -> impl Strategy<Value = Vec<Value>> {
+    prop::collection::vec(arb_value(), 0..200)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Estimator invariants over arbitrary value mixes: every estimate is a
+    /// number in [0, 1], `lt <= le`, `eq + ne == 1`, and a BETWEEN never
+    /// exceeds the one-sided bound of its upper end. Holds for empty columns,
+    /// non-finite floats, and heterogeneous type mixes alike.
+    #[test]
+    fn estimator_invariants_on_arbitrary_values(
+        vals in arb_column(),
+        probe in arb_value(),
+        probe_hi in arb_value(),
+    ) {
+        for kind in [HistogramKind::EquiDepth, HistogramKind::MaxDiff] {
+            let h = Histogram::build(kind, &vals, 16);
+            let lt = h.selectivity_lt(&probe);
+            let le = h.selectivity_le(&probe);
+            let eq = h.selectivity_eq(&probe);
+            let ne = h.selectivity_ne(&probe);
+            let gt = h.selectivity_gt(&probe);
+            let ge = h.selectivity_ge(&probe);
+            let between = h.selectivity_between(&probe, &probe_hi);
+            for est in [lt, le, eq, ne, gt, ge, between] {
+                prop_assert!(!est.is_nan(), "{kind:?}: NaN estimate");
+                prop_assert!((0.0..=1.0).contains(&est), "{kind:?}: estimate {est}");
+            }
+            prop_assert!(lt <= le + 1e-12, "{kind:?}: lt {lt} > le {le}");
+            prop_assert!((eq + ne - 1.0).abs() < 1e-9, "{kind:?}: eq {eq} + ne {ne} != 1");
+            prop_assert!(
+                between <= h.selectivity_le(&probe_hi) + 1e-12,
+                "{kind:?}: between {between} exceeds le(hi)"
+            );
+        }
+    }
+
+    /// Degenerate bucket budgets (including zero) still produce total,
+    /// in-range estimators.
+    #[test]
+    fn zero_bucket_budget_still_total(vals in arb_column(), probe in arb_value()) {
+        for buckets in [0usize, 1] {
+            let h = Histogram::build(HistogramKind::EquiDepth, &vals, buckets);
+            for est in [h.selectivity_eq(&probe), h.selectivity_le(&probe)] {
+                prop_assert!(!est.is_nan());
+                prop_assert!((0.0..=1.0).contains(&est), "buckets={buckets}: {est}");
+            }
+        }
+    }
+}

@@ -51,14 +51,16 @@ fn joint_histograms_fix_correlated_conjunctions() {
         StatDescriptor::single(t, 2),
         StatDescriptor::multi(t, vec![1, 2]),
     ] {
-        marginal.create_statistic(&db, d);
+        marginal.create_statistic(&db, d).unwrap();
     }
-    let r1 = optimizer.optimize(
-        &db,
-        &q,
-        marginal.full_view(),
-        &optimizer::OptimizeOptions::default(),
-    );
+    let r1 = optimizer
+        .optimize(
+            &db,
+            &q,
+            marginal.full_view(),
+            &optimizer::OptimizeOptions::default(),
+        )
+        .unwrap();
 
     let mut joint =
         StatsCatalog::new().with_build_options(BuildOptions::default().with_joint_histograms());
@@ -67,14 +69,16 @@ fn joint_histograms_fix_correlated_conjunctions() {
         StatDescriptor::single(t, 2),
         StatDescriptor::multi(t, vec![1, 2]),
     ] {
-        joint.create_statistic(&db, d);
+        joint.create_statistic(&db, d).unwrap();
     }
-    let r2 = optimizer.optimize(
-        &db,
-        &q,
-        joint.full_view(),
-        &optimizer::OptimizeOptions::default(),
-    );
+    let r2 = optimizer
+        .optimize(
+            &db,
+            &q,
+            joint.full_view(),
+            &optimizer::OptimizeOptions::default(),
+        )
+        .unwrap();
 
     // Actual result is empty; the joint estimate must be much closer to it.
     assert!(
@@ -91,7 +95,9 @@ fn joint_histograms_survive_snapshot_restore() {
     let t = db.table_id("sensor").unwrap();
     let mut cat =
         StatsCatalog::new().with_build_options(BuildOptions::default().with_joint_histograms());
-    let id = cat.create_statistic(&db, StatDescriptor::multi(t, vec![1, 2]));
+    let id = cat
+        .create_statistic(&db, StatDescriptor::multi(t, vec![1, 2]))
+        .unwrap();
     assert!(cat.statistic(id).unwrap().joint.is_some());
 
     let restored = StatsCatalog::restore(cat.snapshot());
@@ -108,7 +114,7 @@ fn mnsa_works_with_joint_histograms_enabled() {
     let engine = MnsaEngine::new(MnsaConfig::default());
     let mut cat =
         StatsCatalog::new().with_build_options(BuildOptions::default().with_joint_histograms());
-    let outcome = engine.run_query(&db, &mut cat, &q);
+    let outcome = engine.run_query(&db, &mut cat, &q).unwrap();
     // MNSA terminates normally and never builds outside the candidate set.
     let candidates = candidate_statistics(&q);
     for id in outcome.created {
@@ -121,10 +127,14 @@ fn joint_build_costs_more_than_plain_multicolumn() {
     let db = correlated_db();
     let t = db.table_id("sensor").unwrap();
     let mut plain = StatsCatalog::new();
-    plain.create_statistic(&db, StatDescriptor::multi(t, vec![1, 2]));
+    plain
+        .create_statistic(&db, StatDescriptor::multi(t, vec![1, 2]))
+        .unwrap();
     let mut joint =
         StatsCatalog::new().with_build_options(BuildOptions::default().with_joint_histograms());
-    joint.create_statistic(&db, StatDescriptor::multi(t, vec![1, 2]));
+    joint
+        .create_statistic(&db, StatDescriptor::multi(t, vec![1, 2]))
+        .unwrap();
     assert!(
         joint.creation_work() > plain.creation_work(),
         "the second construction phase must be charged"

@@ -30,6 +30,7 @@ fn execute_workload(db: &Database, catalog: &StatsCatalog, workload: &[BoundStat
     let mut db = db.clone();
     executor::WorkloadRunner::default()
         .run(&mut db, catalog.full_view(), workload)
+        .unwrap()
         .total_work
 }
 
@@ -57,19 +58,21 @@ fn mnsa_convergence_implies_t_equivalence_with_full_candidates() {
                 ..Default::default()
             });
             let mut catalog = StatsCatalog::new();
-            let outcome = engine.run_query(&db, &mut catalog, &q);
+            let outcome = engine.run_query(&db, &mut catalog, &q).unwrap();
             if outcome.terminated_by != Termination::CostConverged {
                 continue;
             }
             // Plan/cost with MNSA's chosen statistics.
-            let with_mnsa =
-                optimizer.optimize(&db, &q, catalog.full_view(), &OptimizeOptions::default());
+            let with_mnsa = optimizer
+                .optimize(&db, &q, catalog.full_view(), &OptimizeOptions::default())
+                .unwrap();
             // Now build ALL candidates and re-optimize.
             for d in candidate_statistics(&q) {
-                catalog.create_statistic(&db, d);
+                catalog.create_statistic(&db, d).unwrap();
             }
-            let with_all =
-                optimizer.optimize(&db, &q, catalog.full_view(), &OptimizeOptions::default());
+            let with_all = optimizer
+                .optimize(&db, &q, catalog.full_view(), &OptimizeOptions::default())
+                .unwrap();
             assert!(
                 Equivalence::TCost(t).equivalent(&with_mnsa, &with_all),
                 "MNSA declared convergence but full candidates changed cost \
@@ -89,7 +92,7 @@ fn mnsa_builds_subset_of_candidates() {
     let mut catalog = StatsCatalog::new();
     for q in workload_queries(&db, &spec) {
         let candidates: HashSet<_> = engine.candidates(&q).into_iter().collect();
-        let outcome = engine.run_query(&db, &mut catalog, &q);
+        let outcome = engine.run_query(&db, &mut catalog, &q).unwrap();
         for id in outcome.created {
             let d = &catalog.statistic(id).unwrap().descriptor;
             assert!(
@@ -112,7 +115,7 @@ fn shrinking_set_yields_workload_essential_set() {
     let mut catalog = StatsCatalog::new();
     for q in &workload {
         for d in candidate_statistics(q) {
-            catalog.create_statistic(&db, d);
+            catalog.create_statistic(&db, d).unwrap();
         }
     }
     let initial = catalog.active_ids();
@@ -124,15 +127,20 @@ fn shrinking_set_yields_workload_essential_set() {
         &initial,
         equiv,
         false,
-    );
+    )
+    .unwrap();
 
     // Definition 2: equivalent to C for every query…
     let all: HashSet<_> = initial.iter().copied().collect();
     let keep: HashSet<_> = out.essential.iter().copied().collect();
     let ignore: HashSet<_> = all.difference(&keep).copied().collect();
     for (i, q) in workload.iter().enumerate() {
-        let full = optimizer.optimize(&db, q, catalog.full_view(), &OptimizeOptions::default());
-        let shrunk = optimizer.optimize(&db, q, catalog.view(&ignore), &OptimizeOptions::default());
+        let full = optimizer
+            .optimize(&db, q, catalog.full_view(), &OptimizeOptions::default())
+            .unwrap();
+        let shrunk = optimizer
+            .optimize(&db, q, catalog.view(&ignore), &OptimizeOptions::default())
+            .unwrap();
         assert!(
             equiv.equivalent(&full, &shrunk),
             "query {i}: shrunk set not equivalent"
@@ -144,8 +152,12 @@ fn shrinking_set_yields_workload_essential_set() {
         worse.insert(s);
         let mut changed = false;
         for q in &workload {
-            let a = optimizer.optimize(&db, q, catalog.view(&ignore), &OptimizeOptions::default());
-            let b = optimizer.optimize(&db, q, catalog.view(&worse), &OptimizeOptions::default());
+            let a = optimizer
+                .optimize(&db, q, catalog.view(&ignore), &OptimizeOptions::default())
+                .unwrap();
+            let b = optimizer
+                .optimize(&db, q, catalog.view(&worse), &OptimizeOptions::default())
+                .unwrap();
             if !equiv.equivalent(&a, &b) {
                 changed = true;
                 break;
@@ -175,12 +187,12 @@ fn mnsad_rerun_cost_increase_is_bounded() {
     let mnsa = MnsaEngine::new(MnsaConfig::default());
     let mut cat_a = StatsCatalog::new();
     for q in &queries {
-        mnsa.run_query(&db, &mut cat_a, q);
+        mnsa.run_query(&db, &mut cat_a, q).unwrap();
     }
     let mnsad = MnsaEngine::new(MnsaConfig::default().with_drop_detection());
     let mut cat_b = StatsCatalog::new();
     for q in &queries {
-        mnsad.run_query(&db, &mut cat_b, q);
+        mnsad.run_query(&db, &mut cat_b, q).unwrap();
     }
 
     let exec_a = execute_workload(&db, &cat_a, &bound);

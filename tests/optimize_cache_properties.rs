@@ -52,8 +52,12 @@ fn assert_identical(
     options: &OptimizeOptions,
     cache: &OptimizeCache,
 ) {
-    let cached = optimizer.optimize_cached(db, q, catalog.full_view(), options, cache);
-    let fresh = optimizer.optimize(db, q, catalog.full_view(), options);
+    let cached = optimizer
+        .optimize_cached(db, q, catalog.full_view(), options, cache)
+        .unwrap();
+    let fresh = optimizer
+        .optimize(db, q, catalog.full_view(), options)
+        .unwrap();
     assert_eq!(cached.cost, fresh.cost);
     assert!(cached.plan.same_tree(&fresh.plan));
     assert_eq!(cached.magic_variables, fresh.magic_variables);
@@ -122,7 +126,7 @@ proptest! {
             let d = &descs[i % descs.len()];
             match op {
                 0 => {
-                    catalog.create_statistic(&db, d.clone());
+                    catalog.create_statistic(&db, d.clone()).unwrap();
                 }
                 1 => {
                     if let Some(id) = catalog.find_active(d) {
@@ -159,13 +163,15 @@ fn attached_cache_never_outlives_mutated_entries() {
     cache.attach(&mut catalog);
 
     for q in &qs {
-        optimizer.optimize_cached(
-            &db,
-            q,
-            catalog.full_view(),
-            &OptimizeOptions::default(),
-            &cache,
-        );
+        optimizer
+            .optimize_cached(
+                &db,
+                q,
+                catalog.full_view(),
+                &OptimizeOptions::default(),
+                &cache,
+            )
+            .unwrap();
     }
     let filled = cache.len();
     assert!(filled > 0);
@@ -176,7 +182,9 @@ fn attached_cache_never_outlives_mutated_entries() {
         .first()
         .copied()
         .expect("a relevant column");
-    let id = catalog.create_statistic(&db, StatDescriptor::single(t, c));
+    let id = catalog
+        .create_statistic(&db, StatDescriptor::single(t, c))
+        .unwrap();
     assert!(
         cache.len() < filled,
         "creating a statistic on a cached query's table must evict"
@@ -184,13 +192,15 @@ fn attached_cache_never_outlives_mutated_entries() {
     let after_create = cache.len();
 
     // Re-fill for q0, then drop-list: evicts again.
-    optimizer.optimize_cached(
-        &db,
-        q0,
-        catalog.full_view(),
-        &OptimizeOptions::default(),
-        &cache,
-    );
+    optimizer
+        .optimize_cached(
+            &db,
+            q0,
+            catalog.full_view(),
+            &OptimizeOptions::default(),
+            &cache,
+        )
+        .unwrap();
     catalog.move_to_drop_list(id);
     assert_eq!(cache.len(), after_create, "drop-list move must evict");
 
@@ -213,21 +223,25 @@ fn detached_cache_shares_across_catalogs() {
 
     let catalog_a = StatsCatalog::new();
     let catalog_b = StatsCatalog::new();
-    optimizer.optimize_cached(
-        &db,
-        q,
-        catalog_a.full_view(),
-        &OptimizeOptions::default(),
-        &cache,
-    );
+    optimizer
+        .optimize_cached(
+            &db,
+            q,
+            catalog_a.full_view(),
+            &OptimizeOptions::default(),
+            &cache,
+        )
+        .unwrap();
     let misses_after_a = cache.misses();
-    optimizer.optimize_cached(
-        &db,
-        q,
-        catalog_b.full_view(),
-        &OptimizeOptions::default(),
-        &cache,
-    );
+    optimizer
+        .optimize_cached(
+            &db,
+            q,
+            catalog_b.full_view(),
+            &OptimizeOptions::default(),
+            &cache,
+        )
+        .unwrap();
     assert_eq!(cache.misses(), misses_after_a, "identical state must hit");
     assert_eq!(cache.hits(), 1);
 }

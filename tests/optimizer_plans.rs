@@ -75,7 +75,9 @@ fn statistics_flip_hash_join_to_index_nl() {
     let optimizer = Optimizer::default();
 
     let empty = StatsCatalog::new();
-    let without = optimizer.optimize(&db, &q, empty.full_view(), &OptimizeOptions::default());
+    let without = optimizer
+        .optimize(&db, &q, empty.full_view(), &OptimizeOptions::default())
+        .unwrap();
     assert_eq!(
         without.magic_variables,
         vec![PredicateId::Selection(0), PredicateId::JoinEdge(0)]
@@ -84,10 +86,15 @@ fn statistics_flip_hash_join_to_index_nl() {
     let mut cat = StatsCatalog::new();
     let customer = db.table_id("customer").unwrap();
     let orders = db.table_id("orders").unwrap();
-    cat.create_statistic(&db, StatDescriptor::single(customer, 0));
-    cat.create_statistic(&db, StatDescriptor::single(customer, 1));
-    cat.create_statistic(&db, StatDescriptor::single(orders, 1));
-    let with = optimizer.optimize(&db, &q, cat.full_view(), &OptimizeOptions::default());
+    cat.create_statistic(&db, StatDescriptor::single(customer, 0))
+        .unwrap();
+    cat.create_statistic(&db, StatDescriptor::single(customer, 1))
+        .unwrap();
+    cat.create_statistic(&db, StatDescriptor::single(orders, 1))
+        .unwrap();
+    let with = optimizer
+        .optimize(&db, &q, cat.full_view(), &OptimizeOptions::default())
+        .unwrap();
 
     assert!(with.magic_variables.is_empty());
     assert!(
@@ -116,18 +123,22 @@ fn injected_selectivity_controls_join_method() {
     let cat = StatsCatalog::new();
     let vars = q.predicate_ids();
 
-    let low = optimizer.optimize(
-        &db,
-        &q,
-        cat.full_view(),
-        &OptimizeOptions::inject_all(&vars, 0.0005),
-    );
-    let high = optimizer.optimize(
-        &db,
-        &q,
-        cat.full_view(),
-        &OptimizeOptions::inject_all(&vars, 0.9995),
-    );
+    let low = optimizer
+        .optimize(
+            &db,
+            &q,
+            cat.full_view(),
+            &OptimizeOptions::inject_all(&vars, 0.0005),
+        )
+        .unwrap();
+    let high = optimizer
+        .optimize(
+            &db,
+            &q,
+            cat.full_view(),
+            &OptimizeOptions::inject_all(&vars, 0.9995),
+        )
+        .unwrap();
     assert!(low.cost < high.cost);
     assert!(
         !low.plan.same_tree(&high.plan),
@@ -146,7 +157,9 @@ fn order_by_adds_sort_node_on_top() {
     );
     let optimizer = Optimizer::default();
     let cat = StatsCatalog::new();
-    let r = optimizer.optimize(&db, &q, cat.full_view(), &OptimizeOptions::default());
+    let r = optimizer
+        .optimize(&db, &q, cat.full_view(), &OptimizeOptions::default())
+        .unwrap();
     assert!(matches!(r.plan.op, Operator::Sort { .. }));
     assert_eq!(r.plan.children.len(), 1);
     // Sort cost is included.
@@ -215,7 +228,9 @@ fn join_order_reacts_to_filtered_cardinalities() {
     let q = bind(&db, "SELECT * FROM a, b, c WHERE a.k = b.k AND b.k2 = c.k2");
     let optimizer = Optimizer::default();
     let cat = StatsCatalog::new();
-    let r = optimizer.optimize(&db, &q, cat.full_view(), &OptimizeOptions::default());
+    let r = optimizer
+        .optimize(&db, &q, cat.full_view(), &OptimizeOptions::default())
+        .unwrap();
     // Whatever the exact tree, the first join must not be a cartesian
     // product and the plan must cover all three relations.
     assert_eq!(r.plan.nodes().iter().filter(|n| n.op.is_scan()).count(), 3);
@@ -238,8 +253,12 @@ fn tree_equality_covers_new_operators() {
     let cat = StatsCatalog::new();
     let q1 = bind(&db, "SELECT * FROM customer ORDER BY c_custkey");
     let q2 = bind(&db, "SELECT * FROM customer ORDER BY c_custkey DESC");
-    let p1 = optimizer.optimize(&db, &q1, cat.full_view(), &OptimizeOptions::default());
-    let p2 = optimizer.optimize(&db, &q2, cat.full_view(), &OptimizeOptions::default());
+    let p1 = optimizer
+        .optimize(&db, &q1, cat.full_view(), &OptimizeOptions::default())
+        .unwrap();
+    let p2 = optimizer
+        .optimize(&db, &q2, cat.full_view(), &OptimizeOptions::default())
+        .unwrap();
     assert!(
         !p1.plan.same_tree(&p2.plan),
         "sort direction is part of the execution tree"
@@ -265,9 +284,11 @@ fn tpcd_profiles_always_valid() {
             panic!()
         };
         for d in autostats::candidate_statistics(&b) {
-            cat.create_statistic(&db, d);
+            cat.create_statistic(&db, d).unwrap();
         }
-        let r = optimizer.optimize(&db, &b, cat.full_view(), &OptimizeOptions::default());
+        let r = optimizer
+            .optimize(&db, &b, cat.full_view(), &OptimizeOptions::default())
+            .unwrap();
         assert!(r.cost.is_finite() && r.cost > 0.0);
         for id in b.predicate_ids() {
             let v = r.profile.value(id);

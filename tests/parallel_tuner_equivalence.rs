@@ -63,13 +63,15 @@ fn outcomes_identical_across_thread_counts() {
         let engine = MnsaEngine::new(MnsaConfig::default());
 
         let mut serial_catalog = StatsCatalog::new();
-        let serial = engine.run_workload(&db, &mut serial_catalog, &queries);
+        let serial = engine
+            .run_workload(&db, &mut serial_catalog, &queries)
+            .unwrap();
         let serial_state = catalog_state(&serial_catalog);
 
         for threads in [2usize, 4, 8] {
             let tuner = ParallelTuner::new(engine.clone(), threads);
             let mut catalog = StatsCatalog::new();
-            let outcomes = tuner.run_workload(&db, &mut catalog, &queries);
+            let outcomes = tuner.run_workload(&db, &mut catalog, &queries).unwrap();
             assert_eq!(
                 serial, outcomes,
                 "outcome divergence at seed={seed} threads={threads}"
@@ -90,12 +92,14 @@ fn mnsad_drop_lists_identical_across_thread_counts() {
     let engine = MnsaEngine::new(MnsaConfig::default().with_drop_detection());
 
     let mut serial_catalog = StatsCatalog::new();
-    let serial = engine.run_workload(&db, &mut serial_catalog, &queries);
+    let serial = engine
+        .run_workload(&db, &mut serial_catalog, &queries)
+        .unwrap();
 
     for threads in [2usize, 4, 8] {
         let tuner = ParallelTuner::new(engine.clone(), threads);
         let mut catalog = StatsCatalog::new();
-        let outcomes = tuner.run_workload(&db, &mut catalog, &queries);
+        let outcomes = tuner.run_workload(&db, &mut catalog, &queries).unwrap();
         assert_eq!(serial, outcomes, "MNSA/D divergence at threads={threads}");
         assert_eq!(
             serial_catalog.drop_list().collect::<Vec<_>>(),
@@ -116,13 +120,17 @@ fn parallel_on_pretuned_catalog_matches_serial() {
     let engine = MnsaEngine::new(MnsaConfig::default());
 
     let mut serial_catalog = StatsCatalog::new();
-    engine.run_workload(&db, &mut serial_catalog, first_half);
-    let serial = engine.run_workload(&db, &mut serial_catalog, second_half);
+    engine
+        .run_workload(&db, &mut serial_catalog, first_half)
+        .unwrap();
+    let serial = engine
+        .run_workload(&db, &mut serial_catalog, second_half)
+        .unwrap();
 
     let tuner = ParallelTuner::new(engine.clone(), 4);
     let mut catalog = StatsCatalog::new();
-    engine.run_workload(&db, &mut catalog, first_half);
-    let parallel = tuner.run_workload(&db, &mut catalog, second_half);
+    engine.run_workload(&db, &mut catalog, first_half).unwrap();
+    let parallel = tuner.run_workload(&db, &mut catalog, second_half).unwrap();
 
     assert_eq!(serial, parallel);
     assert_eq!(catalog_state(&serial_catalog), catalog_state(&catalog));
@@ -135,7 +143,9 @@ fn offline_tuner_report_identical_across_thread_counts() {
 
     let serial_tuner = OfflineTuner::default();
     let mut serial_catalog = StatsCatalog::new();
-    let serial_report = serial_tuner.tune(&db, &mut serial_catalog, &queries);
+    let serial_report = serial_tuner
+        .tune(&db, &mut serial_catalog, &queries)
+        .unwrap();
 
     for threads in [2usize, 4, 8] {
         let tuner = OfflineTuner {
@@ -143,7 +153,7 @@ fn offline_tuner_report_identical_across_thread_counts() {
             ..OfflineTuner::default()
         };
         let mut catalog = StatsCatalog::new();
-        let report = tuner.tune(&db, &mut catalog, &queries);
+        let report = tuner.tune(&db, &mut catalog, &queries).unwrap();
         assert_eq!(
             serial_report, report,
             "TuningReport divergence at threads={threads}"
@@ -161,7 +171,9 @@ fn advisor_report_identical_across_thread_counts() {
     // Pre-build one statistic the workload may not need, so Drop
     // recommendations are possible.
     let t = db.table_ids().next().unwrap();
-    catalog.create_statistic(&db, StatDescriptor::single(t, 0));
+    catalog
+        .create_statistic(&db, StatDescriptor::single(t, 0))
+        .unwrap();
 
     let serial = advise(
         &db,
@@ -169,7 +181,8 @@ fn advisor_report_identical_across_thread_counts() {
         &queries,
         MnsaConfig::default(),
         Equivalence::paper_default(),
-    );
+    )
+    .unwrap();
     for threads in [2usize, 4, 8] {
         let parallel = advise_parallel(
             &db,
@@ -178,7 +191,8 @@ fn advisor_report_identical_across_thread_counts() {
             MnsaConfig::default(),
             Equivalence::paper_default(),
             threads,
-        );
+        )
+        .unwrap();
         assert_eq!(serial, parallel, "advisor divergence at threads={threads}");
     }
 }
@@ -195,8 +209,8 @@ fn aging_config_falls_back_to_serial_semantics() {
     });
     let mut a = StatsCatalog::new();
     let mut b = StatsCatalog::new();
-    let serial = engine.run_workload(&db, &mut a, &queries);
+    let serial = engine.run_workload(&db, &mut a, &queries).unwrap();
     let tuner = ParallelTuner::new(engine, 8);
-    let parallel = tuner.run_workload(&db, &mut b, &queries);
+    let parallel = tuner.run_workload(&db, &mut b, &queries).unwrap();
     assert_eq!(serial, parallel);
 }

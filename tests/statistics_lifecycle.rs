@@ -35,7 +35,7 @@ fn drop_listed_statistics_reactivate_for_free_on_repeat_workload() {
     // Build all candidates, then shrink: removed ones land on the drop-list.
     for q in &workload {
         for d in candidate_statistics(q) {
-            catalog.create_statistic(&db, d);
+            catalog.create_statistic(&db, d).unwrap();
         }
     }
     let tuner = OfflineTuner {
@@ -43,14 +43,14 @@ fn drop_listed_statistics_reactivate_for_free_on_repeat_workload() {
         shrink: Some(Equivalence::paper_default()),
         threads: 1,
     };
-    tuner.tune(&db, &mut catalog, &workload);
+    tuner.tune(&db, &mut catalog, &workload).unwrap();
     let work_after_tune = catalog.creation_work();
 
     // The same workload repeats: whatever MNSA wants again that sits on the
     // drop-list must come back without rebuild cost.
     let engine = MnsaEngine::new(MnsaConfig::default());
     for q in &workload {
-        engine.run_query(&db, &mut catalog, q);
+        engine.run_query(&db, &mut catalog, q).unwrap();
     }
     assert_eq!(
         catalog.creation_work(),
@@ -64,7 +64,9 @@ fn update_counters_flow_into_update_work() {
     let mut database = db();
     let mut catalog = StatsCatalog::new();
     let lineitem = database.table_id("lineitem").unwrap();
-    catalog.create_statistic(&database, stats::StatDescriptor::single(lineitem, 4));
+    catalog
+        .create_statistic(&database, stats::StatDescriptor::single(lineitem, 4))
+        .unwrap();
     assert_eq!(catalog.update_work(), 0.0);
 
     // Mutate 30% of lineitem.
@@ -106,7 +108,7 @@ fn aging_window_expires() {
     // Create + physically drop everything the workload wants.
     let engine = MnsaEngine::new(MnsaConfig::default());
     for q in &workload {
-        engine.run_query(&database, &mut catalog, q);
+        engine.run_query(&database, &mut catalog, q).unwrap();
     }
     for id in catalog.active_ids() {
         catalog.physically_drop(id);
@@ -121,6 +123,7 @@ fn aging_window_expires() {
     for q in &workload {
         within += aged_engine
             .run_query(&database, &mut catalog, q)
+            .unwrap()
             .created
             .len();
     }
@@ -136,6 +139,7 @@ fn aging_window_expires() {
     for q in &workload {
         after += aged_engine
             .run_query(&database, &mut catalog, q)
+            .unwrap()
             .created
             .len();
     }
@@ -162,7 +166,7 @@ fn vanilla_drop_policy_causes_recreate_churn_improved_policy_does_not() {
         };
         for round in 0..3 {
             for q in &workload {
-                engine.run_query(&database, &mut catalog, q);
+                engine.run_query(&database, &mut catalog, q).unwrap();
             }
             // Update traffic on every table.
             let table_ids: Vec<_> = database.table_ids().collect();
