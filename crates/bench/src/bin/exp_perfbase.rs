@@ -1,0 +1,52 @@
+//! Performance baseline: columnar executor and shared-scan statistics builds
+//! vs their retained pre-tentpole implementations (see
+//! `bench::experiments::perfbase`).
+//!
+//! Usage: `cargo run --release -p bench --bin exp_perfbase
+//!         [--full | --tiny] [--reps N] [--out PATH]`
+//!
+//! Writes `BENCH_exec.json` at the repository root by default (`--out`
+//! overrides, which the CI smoke run uses to avoid clobbering the recorded
+//! numbers).
+
+use bench::common::ExperimentScale;
+use bench::experiments::perfbase;
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = if args.iter().any(|a| a == "--full") {
+        ExperimentScale::full()
+    } else if args.iter().any(|a| a == "--tiny") {
+        ExperimentScale::tiny()
+    } else {
+        ExperimentScale::default_run()
+    };
+    let reps: usize = args
+        .iter()
+        .position(|a| a == "--reps")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|n| n.parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(5);
+    let out: PathBuf = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+        .unwrap_or_else(|| {
+            // Repo root, independent of the invocation directory.
+            PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_exec.json")
+        });
+
+    println!("== Perf baseline: columnar execution + shared-scan builds ==");
+    let result = perfbase::run(&scale, reps);
+    result.print();
+    match std::fs::write(&out, result.to_json()) {
+        Ok(()) => println!("results written to {}", out.display()),
+        Err(e) => {
+            eprintln!("error: cannot write {}: {e}", out.display());
+            std::process::exit(1);
+        }
+    }
+}

@@ -4,9 +4,9 @@ use executor::{execute_plan, WorkloadRunner};
 use optimizer::{OptimizeCache, OptimizeOptions, Optimizer};
 use parking_lot::Mutex;
 use query::{bind_statement, BoundSelect, BoundStatement, Statement};
+use rustc_hash::FxHashMap;
 use serde::{Deserialize, Serialize};
 use stats::{StatDescriptor, StatsCatalog};
-use std::collections::HashMap;
 use std::sync::{Arc, OnceLock};
 use storage::Database;
 
@@ -197,7 +197,7 @@ type WorkCell = Arc<OnceLock<f64>>;
 
 #[derive(Default)]
 pub struct ExecWorkMemo {
-    per_statement: Mutex<HashMap<(usize, u64), WorkCell>>,
+    per_statement: Mutex<FxHashMap<(usize, u64), WorkCell>>,
 }
 
 impl ExecWorkMemo {

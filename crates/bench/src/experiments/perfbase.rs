@@ -1,0 +1,277 @@
+//! Performance baseline: columnar batch execution and shared-scan builds
+//! against their retained pre-tentpole implementations.
+//!
+//! Unlike the paper-figure experiments, this one measures the *harness
+//! itself*: how fast the deterministic interpreter executes a workload and
+//! how fast the catalog builds a round of statistics. Both the old and the
+//! new implementation are alive in the tree — the row-at-a-time reference
+//! interpreter ([`executor::execute_plan_reference`]) and the serial
+//! `create_statistic` loop — so the pre-/post-tentpole numbers are measured
+//! live in one run and recorded side by side in `BENCH_exec.json`.
+//!
+//! Every timed pair is also verified on the spot: identical `ExecOutput`
+//! rows and bit-identical `work` for the two executors, identical catalog
+//! snapshots and bit-identical creation work for the two build paths. The
+//! speedups are real only because the results are provably the same.
+
+use crate::common::{bind_all, queries_of, ExperimentScale};
+use autostats::candidate_statistics;
+use datagen::{build_tpcd, Complexity, RagsGenerator, TpcdConfig, WorkloadSpec, ZipfSpec};
+use executor::{execute_plan, execute_plan_reference};
+use optimizer::{OptimizeOptions, Optimizer, PlanNode};
+use query::BoundSelect;
+use stats::{StatDescriptor, StatsCatalog};
+use std::time::Instant;
+use storage::{Database, TableId};
+
+/// The measured baseline, one struct per run.
+#[derive(Debug, Clone)]
+pub struct PerfbaseResult {
+    pub scale: f64,
+    pub queries: usize,
+    pub reps: usize,
+    /// Median wall-clock milliseconds to execute the workload row-at-a-time
+    /// (pre-tentpole path).
+    pub exec_reference_ms: f64,
+    /// Median wall-clock milliseconds for the columnar batch engine.
+    pub exec_columnar_ms: f64,
+    /// Total deterministic execution work (identical for both engines,
+    /// verified to the bit).
+    pub exec_work: f64,
+    pub build_tables: usize,
+    pub build_statistics: usize,
+    /// Median wall-clock milliseconds for one-at-a-time statistic creation
+    /// (pre-tentpole path).
+    pub build_serial_ms: f64,
+    /// Median wall-clock milliseconds for shared-scan batched creation.
+    pub build_batched_ms: f64,
+    /// Total deterministic creation work (identical for both paths,
+    /// verified to the bit).
+    pub build_creation_work: f64,
+}
+
+impl PerfbaseResult {
+    pub fn exec_speedup(&self) -> f64 {
+        self.exec_reference_ms / self.exec_columnar_ms.max(1e-9)
+    }
+
+    pub fn build_speedup(&self) -> f64 {
+        self.build_serial_ms / self.build_batched_ms.max(1e-9)
+    }
+
+    /// The whole result as one JSON object (hand-rolled; no serde_json
+    /// offline).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\n",
+                "  \"experiment\": \"perfbase\",\n",
+                "  \"scale\": {},\n",
+                "  \"queries\": {},\n",
+                "  \"reps\": {},\n",
+                "  \"exec\": {{\n",
+                "    \"reference_ms\": {:.3},\n",
+                "    \"columnar_ms\": {:.3},\n",
+                "    \"speedup\": {:.2},\n",
+                "    \"work\": {}\n",
+                "  }},\n",
+                "  \"build\": {{\n",
+                "    \"tables\": {},\n",
+                "    \"statistics\": {},\n",
+                "    \"serial_ms\": {:.3},\n",
+                "    \"batched_ms\": {:.3},\n",
+                "    \"speedup\": {:.2},\n",
+                "    \"creation_work\": {}\n",
+                "  }}\n",
+                "}}\n"
+            ),
+            self.scale,
+            self.queries,
+            self.reps,
+            self.exec_reference_ms,
+            self.exec_columnar_ms,
+            self.exec_speedup(),
+            self.exec_work,
+            self.build_tables,
+            self.build_statistics,
+            self.build_serial_ms,
+            self.build_batched_ms,
+            self.build_speedup(),
+            self.build_creation_work,
+        )
+    }
+
+    pub fn print(&self) {
+        println!(
+            "exec   ({} queries): reference {:>9.3} ms | columnar {:>9.3} ms | {:>5.2}x  (work {:.0})",
+            self.queries,
+            self.exec_reference_ms,
+            self.exec_columnar_ms,
+            self.exec_speedup(),
+            self.exec_work
+        );
+        println!(
+            "build  ({} stats on {} tables): serial {:>9.3} ms | batched {:>9.3} ms | {:>5.2}x  (work {:.0})",
+            self.build_statistics,
+            self.build_tables,
+            self.build_serial_ms,
+            self.build_batched_ms,
+            self.build_speedup(),
+            self.build_creation_work
+        );
+    }
+}
+
+fn median_ms(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// Workload queries with their optimized plans (plan choice is fixed up
+/// front so the timed loops measure execution only).
+fn planned_workload(
+    db: &Database,
+    catalog: &StatsCatalog,
+    scale: &ExperimentScale,
+) -> Vec<(BoundSelect, PlanNode)> {
+    let spec = WorkloadSpec::new(0, Complexity::Complex, scale.workload_len).with_seed(scale.seed);
+    let bound = bind_all(db, &RagsGenerator::generate(db, &spec));
+    let optimizer = Optimizer::default();
+    queries_of(&bound)
+        .into_iter()
+        .filter_map(|q| {
+            optimizer
+                .optimize(db, &q, catalog.full_view(), &OptimizeOptions::default())
+                .ok()
+                .map(|o| (q, o.plan))
+        })
+        .collect()
+}
+
+/// Unique candidate descriptors of the workload, grouped per table — the
+/// shape of a `CreateAll*` pass or a sequence of MNSA rounds.
+fn build_round(queries: &[(BoundSelect, PlanNode)]) -> Vec<(TableId, Vec<StatDescriptor>)> {
+    let mut by_table: Vec<(TableId, Vec<StatDescriptor>)> = Vec::new();
+    for (q, _) in queries {
+        for d in candidate_statistics(q) {
+            match by_table.iter_mut().find(|(t, _)| *t == d.table) {
+                Some((_, ds)) => {
+                    if !ds.contains(&d) {
+                        ds.push(d);
+                    }
+                }
+                None => by_table.push((d.table, vec![d])),
+            }
+        }
+    }
+    by_table
+}
+
+/// Run the baseline at `scale`, timing `reps` repetitions of each side and
+/// reporting medians.
+pub fn run(scale: &ExperimentScale, reps: usize) -> PerfbaseResult {
+    let db = build_tpcd(&TpcdConfig {
+        scale: scale.scale,
+        zipf: ZipfSpec::Mixed,
+        seed: scale.seed,
+    });
+
+    // Statistics-informed plans: build the workload's candidate set first so
+    // the timed plans include index paths and informed join orders.
+    let prep = planned_workload(&db, &StatsCatalog::new(), scale);
+    let mut catalog = StatsCatalog::new();
+    for (q, _) in &prep {
+        for d in candidate_statistics(q) {
+            let _ = catalog.create_statistic(&db, d);
+        }
+    }
+    let planned = planned_workload(&db, &catalog, scale);
+    let optimizer = Optimizer::default();
+
+    // Verify once: identical rows, bit-identical work.
+    let mut exec_work = 0.0;
+    for (q, plan) in &planned {
+        let b = execute_plan(&db, q, plan, &optimizer.params).expect("columnar executes");
+        let r =
+            execute_plan_reference(&db, q, plan, &optimizer.params).expect("reference executes");
+        assert_eq!(b.rows, r.rows, "row divergence in bench workload");
+        assert_eq!(b.work.to_bits(), r.work.to_bits(), "work divergence");
+        exec_work += b.work;
+    }
+
+    let time_all = |f: &dyn Fn(&BoundSelect, &PlanNode)| -> f64 {
+        let t0 = Instant::now();
+        for (q, plan) in &planned {
+            f(q, plan);
+        }
+        t0.elapsed().as_secs_f64() * 1e3
+    };
+    let mut ref_ms = Vec::with_capacity(reps);
+    let mut col_ms = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        ref_ms.push(time_all(&|q, plan| {
+            execute_plan_reference(&db, q, plan, &optimizer.params).expect("reference executes");
+        }));
+        col_ms.push(time_all(&|q, plan| {
+            execute_plan(&db, q, plan, &optimizer.params).expect("columnar executes");
+        }));
+    }
+
+    // Statistics build round: serial one-at-a-time vs shared-scan batches.
+    let round = build_round(&planned);
+    let n_stats: usize = round.iter().map(|(_, ds)| ds.len()).sum();
+    let build_serial = || -> StatsCatalog {
+        let mut cat = StatsCatalog::new();
+        for (_, ds) in &round {
+            for d in ds {
+                cat.create_statistic(&db, d.clone()).expect("serial build");
+            }
+        }
+        cat
+    };
+    let build_batched = || -> StatsCatalog {
+        let mut cat = StatsCatalog::new();
+        for (table, ds) in &round {
+            cat.create_statistics_batch(&db, *table, ds)
+                .expect("batched build");
+        }
+        cat
+    };
+    // Verify once: identical snapshots, bit-identical creation work.
+    let serial_cat = build_serial();
+    let batched_cat = build_batched();
+    assert_eq!(
+        serial_cat.snapshot(),
+        batched_cat.snapshot(),
+        "batched build diverged from serial"
+    );
+    assert_eq!(
+        serial_cat.creation_work().to_bits(),
+        batched_cat.creation_work().to_bits()
+    );
+
+    let mut serial_ms = Vec::with_capacity(reps);
+    let mut batched_ms = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let _ = build_serial();
+        serial_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+        let t0 = Instant::now();
+        let _ = build_batched();
+        batched_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+    }
+
+    PerfbaseResult {
+        scale: scale.scale,
+        queries: planned.len(),
+        reps,
+        exec_reference_ms: median_ms(ref_ms),
+        exec_columnar_ms: median_ms(col_ms),
+        exec_work,
+        build_tables: round.len(),
+        build_statistics: n_stats,
+        build_serial_ms: median_ms(serial_ms),
+        build_batched_ms: median_ms(batched_ms),
+        build_creation_work: serial_cat.creation_work(),
+    }
+}

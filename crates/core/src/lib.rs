@@ -50,6 +50,7 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod advisor;
+mod batch;
 pub mod candidates;
 pub mod equivalence;
 pub mod error;

@@ -227,17 +227,23 @@ impl MnsaEngine {
             .filter(|d| db.try_table(d.table).is_ok())
             .collect();
 
-        // Small-table pre-creation (§4.3).
+        // Small-table pre-creation (§4.3). Same-table runs share one scan.
         if self.config.small_table_rows > 0 {
+            let mut small = Vec::new();
             let mut rest = Vec::with_capacity(remaining.len());
             for d in remaining {
                 let rows = db.try_table(d.table).map(|t| t.row_count())?;
                 if rows <= self.config.small_table_rows {
-                    outcome.created.push(catalog.create_statistic(db, d)?);
+                    small.push(d);
                 } else {
                     rest.push(d);
                 }
             }
+            outcome
+                .created
+                .extend(crate::batch::create_statistics_grouped(
+                    catalog, db, &small,
+                )?);
             remaining = rest;
         }
 
@@ -293,12 +299,12 @@ impl MnsaEngine {
                 break;
             };
 
-            // Step 10: build the statistic(s).
+            // Step 10: build the statistic(s). A round group may pair
+            // statistics across two joined tables; same-table runs inside it
+            // share one scan.
             let before_plan = current.plan.clone();
-            let round_ids: Vec<StatId> = group
-                .into_iter()
-                .map(|d| catalog.create_statistic(db, d))
-                .collect::<Result<_, _>>()?;
+            let round_ids: Vec<StatId> =
+                crate::batch::create_statistics_grouped(catalog, db, &group)?;
             outcome.created.extend(&round_ids);
 
             // Steps 11–12: re-optimize with the new statistics.

@@ -53,8 +53,8 @@ use crate::mnsa::{MnsaEngine, MnsaOutcome};
 use optimizer::cache::Fnv;
 use parking_lot::Mutex;
 use query::BoundSelect;
+use rustc_hash::FxHashMap;
 use stats::{SampleSpec, StatDescriptor, StatsCatalog};
-use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use storage::{Database, TableId};
@@ -229,9 +229,12 @@ fn replay(
     spec: Speculation,
 ) -> Result<MnsaOutcome, TuneError> {
     let mut outcome = spec.outcome;
-    let mut id_map = HashMap::with_capacity(outcome.created.len());
-    for (old, desc) in outcome.created.iter().zip(spec.created_descs) {
-        id_map.insert(*old, catalog.create_statistic(db, desc)?);
+    let mut id_map = FxHashMap::with_capacity_and_hasher(outcome.created.len(), Default::default());
+    // Consecutive same-table creations share one scan; the grouped call
+    // allocates exactly the ids a serial `create_statistic` loop would.
+    let live_ids = crate::batch::create_statistics_grouped(catalog, db, &spec.created_descs)?;
+    for (old, live) in outcome.created.iter().zip(live_ids) {
+        id_map.insert(*old, live);
     }
     for id in &mut outcome.created {
         if let Some(&live) = id_map.get(id) {

@@ -87,6 +87,20 @@ impl TuningReport {
     }
 }
 
+/// Candidates not yet built (nor drop-listed), deduplicated in order — the
+/// set a serial `find_built`-guarded creation loop would actually build.
+fn unbuilt(
+    catalog: &StatsCatalog,
+    candidates: Vec<stats::StatDescriptor>,
+) -> Vec<stats::StatDescriptor> {
+    let mut seen = std::collections::HashSet::new();
+    candidates
+        .into_iter()
+        .filter(|d| catalog.find_built(d).is_none())
+        .filter(|d| seen.insert(d.clone()))
+        .collect()
+}
+
 /// Apply a creation policy for one incoming query. Returns the report and
 /// the ids of statistics created.
 pub fn apply_policy(
@@ -114,18 +128,12 @@ pub fn apply_policy_cached(
     match policy {
         CreationPolicy::Manual => {}
         CreationPolicy::CreateAllSyntactic => {
-            for d in crate::candidates::single_column_candidates(query) {
-                if catalog.find_built(&d).is_none() {
-                    created.push(catalog.create_statistic(db, d)?);
-                }
-            }
+            let descs = unbuilt(catalog, crate::candidates::single_column_candidates(query));
+            created = crate::batch::create_statistics_grouped(catalog, db, &descs)?;
         }
         CreationPolicy::CreateAllCandidates => {
-            for d in crate::candidates::candidate_statistics(query) {
-                if catalog.find_built(&d).is_none() {
-                    created.push(catalog.create_statistic(db, d)?);
-                }
-            }
+            let descs = unbuilt(catalog, crate::candidates::candidate_statistics(query));
+            created = crate::batch::create_statistics_grouped(catalog, db, &descs)?;
         }
         CreationPolicy::Mnsa(cfg) => {
             let mut engine = MnsaEngine::new(*cfg);

@@ -1,9 +1,28 @@
-//! The plan interpreter.
+//! The columnar batch plan executor.
 //!
 //! Intermediate results are kept as tuples of base-table row indices (one
 //! per relation present in the subtree) so joins never copy column data;
 //! values are materialized only at the very end for the projection and
 //! aggregates.
+//!
+//! This engine is bit-identical to the retained row-at-a-time interpreter in
+//! [`crate::reference`] — same `ExecOutput.rows`, same `work` — but removes
+//! its per-row costs:
+//!
+//! * **Selections** are evaluated as selection vectors over typed column
+//!   slices ([`filter_table_columnar`]): each predicate is compiled once
+//!   against its column, so the per-row check is a primitive compare instead
+//!   of a `Value` materialization.
+//! * **Hash joins and group-bys** key on fixed-seed 64-bit fingerprints of
+//!   the key columns (an `FxHasher` over the same type-tag + payload layout
+//!   as `Value`'s `Hash` impl) instead of `HashMap<Vec<Value>, _>`. A
+//!   fingerprint bucket may mix distinct keys, so every probe hit is
+//!   verified with a typed column-to-column equality check — results stay
+//!   exact even under 64-bit collisions.
+//! * **Column resolution is hoisted**: relation → slot → table → column is
+//!   resolved once per operator, not once per value.
+//! * **Projections materialize column-wise**: one pass per output column
+//!   over the surviving tuples.
 //!
 //! The interpreter never trusts the plan tree: a node that reads a relation
 //! its input does not produce, or references a predicate/join-edge ordinal
@@ -11,11 +30,12 @@
 //! inconsistency instead of panicking.
 
 use crate::error::ExecError;
-use crate::predicate::{filter_table, row_matches};
+use crate::predicate::{filter_table_columnar, CompiledPred};
 use optimizer::{CostParams, Operator, PlanNode};
 use query::{AggFunc, BoundColumn, BoundSelect, Projection, SelectionPredicate};
-use std::collections::HashMap;
-use storage::{Database, Value};
+use rustc_hash::{FxHashMap, FxHasher};
+use std::hash::{Hash, Hasher};
+use storage::{ColumnData, Database, Value};
 
 /// The result of executing one query plan.
 #[derive(Debug, Clone)]
@@ -34,16 +54,158 @@ impl ExecOutput {
 }
 
 /// An intermediate result: which relation ordinals are present, plus one
-/// base-table row index per present relation for every tuple.
+/// base-table row index per present relation for every tuple. Tuples live
+/// back-to-back in one flat buffer (`rels.len()` indices per tuple) so
+/// operators never allocate per tuple — a scan's output *is* its selection
+/// vector, and a join appends two slices per match.
 struct Intermediate {
     rels: Vec<usize>,
-    tuples: Vec<Vec<usize>>,
+    data: Vec<usize>,
 }
 
 impl Intermediate {
     fn slot_of(&self, rel: usize) -> Option<usize> {
         self.rels.iter().position(|&r| r == rel)
     }
+
+    #[inline]
+    fn arity(&self) -> usize {
+        self.rels.len()
+    }
+
+    #[inline]
+    fn count(&self) -> usize {
+        if self.rels.is_empty() {
+            0
+        } else {
+            self.data.len() / self.rels.len()
+        }
+    }
+
+    #[inline]
+    fn tuple(&self, i: usize) -> &[usize] {
+        let a = self.arity();
+        &self.data[i * a..(i + 1) * a]
+    }
+
+    #[inline]
+    fn tuples(&self) -> std::slice::ChunksExact<'_, usize> {
+        self.data.chunks_exact(self.arity().max(1))
+    }
+}
+
+/// Hash-join build side: fingerprint → chain of tuple ordinals, stored as a
+/// head map plus an intrusive `next` vector instead of one `Vec` per
+/// distinct key. Built by prepending in *reverse* input order, so every
+/// chain walks in input order — exactly the bucket order of the reference
+/// interpreter's `HashMap<Vec<Value>, Vec<usize>>`.
+struct ChainTable {
+    head: FxHashMap<u64, usize>,
+    next: Vec<usize>,
+}
+
+impl ChainTable {
+    fn build(n: usize, fingerprint: impl Fn(usize) -> Option<u64>) -> ChainTable {
+        let mut head = FxHashMap::with_capacity_and_hasher(n, Default::default());
+        let mut next = vec![usize::MAX; n];
+        for i in (0..n).rev() {
+            if let Some(fp) = fingerprint(i) {
+                let slot = head.entry(fp).or_insert(usize::MAX);
+                next[i] = *slot;
+                *slot = i;
+            }
+        }
+        ChainTable { head, next }
+    }
+
+    /// Ordinals chained under `fp`, in input order.
+    #[inline]
+    fn probe(&self, fp: u64) -> ChainIter<'_> {
+        ChainIter {
+            next: &self.next,
+            at: self.head.get(&fp).copied().unwrap_or(usize::MAX),
+        }
+    }
+}
+
+struct ChainIter<'a> {
+    next: &'a [usize],
+    at: usize,
+}
+
+impl Iterator for ChainIter<'_> {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        if self.at == usize::MAX {
+            return None;
+        }
+        let i = self.at;
+        self.at = self.next[i];
+        Some(i)
+    }
+}
+
+/// A bound column resolved against an intermediate: the tuple slot holding
+/// the row index, and the column storage itself. Resolving once per operator
+/// replaces the reference interpreter's per-value relation → table → column
+/// chain.
+#[derive(Clone, Copy)]
+struct ResolvedCol<'a> {
+    slot: usize,
+    col: &'a ColumnData,
+}
+
+impl<'a> ResolvedCol<'a> {
+    #[inline]
+    fn row(&self, tuple: &[usize]) -> usize {
+        tuple[self.slot]
+    }
+}
+
+/// 64-bit fingerprint of a join key: `None` when any component is NULL
+/// (NULL keys never join). Uses the same type-tag + canonical-payload layout
+/// as `Value::hash`, over the fixed-seed `FxHasher`, so equal same-typed
+/// keys always collide and the map behaves like the reference
+/// `HashMap<Vec<Value>, _>`.
+#[inline]
+fn join_fingerprint(cols: &[ResolvedCol<'_>], tuple: &[usize]) -> Option<u64> {
+    let mut h = FxHasher::default();
+    for kc in cols {
+        let r = kc.row(tuple);
+        if !kc.col.is_valid(r) {
+            return None;
+        }
+        kc.col.get_ref(r).hash(&mut h);
+    }
+    Some(h.finish())
+}
+
+/// Fingerprint of a grouping key; unlike join keys, NULLs participate (they
+/// form their own group, as `Value::hash` tags them).
+#[inline]
+fn group_fingerprint(cols: &[ResolvedCol<'_>], tuple: &[usize]) -> u64 {
+    let mut h = FxHasher::default();
+    for kc in cols {
+        kc.col.get_ref(kc.row(tuple)).hash(&mut h);
+    }
+    h.finish()
+}
+
+/// Exact equality of two key tuples, checked column-to-column without
+/// materializing values — the collision fallback behind the fingerprints.
+#[inline]
+fn keys_equal(
+    a_cols: &[ResolvedCol<'_>],
+    a_tuple: &[usize],
+    b_cols: &[ResolvedCol<'_>],
+    b_tuple: &[usize],
+) -> bool {
+    a_cols
+        .iter()
+        .zip(b_cols)
+        .all(|(a, b)| a.col.get_ref(a.row(a_tuple)) == b.col.get_ref(b.row(b_tuple)))
 }
 
 struct Interp<'a> {
@@ -54,19 +216,29 @@ struct Interp<'a> {
 }
 
 impl<'a> Interp<'a> {
-    fn value_of(
+    /// Resolve bound columns against an intermediate, once per operator.
+    /// The per-column checks (slot, relation, table) run in the same order
+    /// as the reference interpreter's `value_of`, so a malformed plan
+    /// surfaces the same error.
+    fn resolve_cols(
         &self,
         inter: &Intermediate,
-        tuple: &[usize],
-        col: BoundColumn,
-    ) -> Result<Value, ExecError> {
-        let missing = ExecError::MissingRelation {
-            relation: col.relation,
-        };
-        let slot = inter.slot_of(col.relation).ok_or_else(|| missing.clone())?;
-        let &(tid, _) = self.query.relations.get(col.relation).ok_or(missing)?;
-        let table = self.db.try_table(tid)?;
-        Ok(table.value(tuple[slot], col.column))
+        cols: &[BoundColumn],
+    ) -> Result<Vec<ResolvedCol<'a>>, ExecError> {
+        cols.iter()
+            .map(|&c| {
+                let missing = ExecError::MissingRelation {
+                    relation: c.relation,
+                };
+                let slot = inter.slot_of(c.relation).ok_or_else(|| missing.clone())?;
+                let &(tid, _) = self.query.relations.get(c.relation).ok_or(missing)?;
+                let table = self.db.try_table(tid)?;
+                Ok(ResolvedCol {
+                    slot,
+                    col: table.column(c.column),
+                })
+            })
+            .collect()
     }
 
     /// The query's selection predicates at the given plan-node ordinals, or
@@ -106,10 +278,10 @@ impl<'a> Interp<'a> {
                 let t = self.db.try_table(*table)?;
                 self.work += self.params.seq_scan(t.row_count() as f64);
                 let pred_refs = self.selections(preds)?;
-                let rows = filter_table(t, &pred_refs);
+                let rows = filter_table_columnar(t, &pred_refs);
                 Ok(Intermediate {
                     rels: vec![*rel],
-                    tuples: rows.into_iter().map(|r| vec![r]).collect(),
+                    data: rows,
                 })
             }
             Operator::IndexScan {
@@ -122,18 +294,21 @@ impl<'a> Interp<'a> {
                 let t = self.db.try_table(*table)?;
                 // Rows reachable through the index seek.
                 let seek_refs = self.selections(seek_preds)?;
-                let seek_rows = filter_table(t, &seek_refs);
+                let mut rows = filter_table_columnar(t, &seek_refs);
                 self.work += self
                     .params
-                    .index_scan(t.row_count() as f64, seek_rows.len() as f64);
+                    .index_scan(t.row_count() as f64, rows.len() as f64);
                 let residual_refs = self.selections(residual)?;
-                let rows: Vec<usize> = seek_rows
-                    .into_iter()
-                    .filter(|&r| residual_refs.iter().all(|p| row_matches(t, r, p)))
-                    .collect();
+                if !rows.is_empty() && !residual_refs.is_empty() {
+                    let compiled: Vec<CompiledPred<'_>> = residual_refs
+                        .iter()
+                        .map(|p| CompiledPred::new(t, p))
+                        .collect();
+                    rows.retain(|&r| compiled.iter().all(|p| p.matches(r)));
+                }
                 Ok(Intermediate {
                     rels: vec![*rel],
-                    tuples: rows.into_iter().map(|r| vec![r]).collect(),
+                    data: rows,
                 })
             }
             Operator::HashJoin { edges } => {
@@ -141,9 +316,9 @@ impl<'a> Interp<'a> {
                 let right = self.run(&node.children[1])?;
                 let out = self.equi_join(&left, &right, edges)?;
                 self.work += self.params.hash_join(
-                    left.tuples.len() as f64,
-                    right.tuples.len() as f64,
-                    out.tuples.len() as f64,
+                    left.count() as f64,
+                    right.count() as f64,
+                    out.count() as f64,
                 );
                 Ok(out)
             }
@@ -152,9 +327,9 @@ impl<'a> Interp<'a> {
                 let right = self.run(&node.children[1])?;
                 let out = self.equi_join(&left, &right, edges)?;
                 self.work += self.params.merge_join(
-                    left.tuples.len() as f64,
-                    right.tuples.len() as f64,
-                    out.tuples.len() as f64,
+                    left.count() as f64,
+                    right.count() as f64,
+                    out.count() as f64,
                 );
                 Ok(out)
             }
@@ -169,9 +344,9 @@ impl<'a> Interp<'a> {
                 // A nested-loop join re-walks the inner input once per outer
                 // row; meter it that way even though we materialize.
                 self.work += self.params.nested_loop(
-                    left.tuples.len() as f64,
-                    self.params.seq_row * right.tuples.len() as f64,
-                    out.tuples.len() as f64,
+                    left.count() as f64,
+                    self.params.seq_row * right.count() as f64,
+                    out.count() as f64,
                 );
                 Ok(out)
             }
@@ -186,58 +361,74 @@ impl<'a> Interp<'a> {
                 let table = self.db.try_table(*inner_table)?;
                 // Outer-side and inner-side key columns per crossing edge.
                 let mut outer_keys: Vec<BoundColumn> = Vec::new();
-                let mut inner_cols: Vec<usize> = Vec::new();
+                let mut inner_ords: Vec<usize> = Vec::new();
                 for &e in edges {
                     let edge = self.edge(e)?;
                     for &(lc, rc) in &edge.pairs {
                         if edge.left_rel == *inner_rel {
-                            inner_cols.push(lc);
+                            inner_ords.push(lc);
                             outer_keys.push(BoundColumn::new(edge.right_rel, rc));
                         } else {
-                            inner_cols.push(rc);
+                            inner_ords.push(rc);
                             outer_keys.push(BoundColumn::new(edge.left_rel, lc));
                         }
                     }
                 }
                 let inner_pred_refs = self.selections(inner_preds)?;
-                // The "index": inner rows keyed by the joined columns.
-                let mut by_key: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
-                for r in 0..table.row_count() {
-                    let key: Vec<Value> = inner_cols.iter().map(|&c| table.value(r, c)).collect();
-                    if key.iter().any(Value::is_null) {
-                        continue;
-                    }
-                    by_key.entry(key).or_default().push(r);
+                // The "index": inner rows keyed by fingerprints of the joined
+                // columns. Inner-side key columns resolve directly against
+                // the base table (every tuple is its own row index).
+                let inner_rows = table.row_count();
+                let mut inner_cols: Vec<ResolvedCol<'a>> = Vec::new();
+                let mut compiled_inner: Vec<CompiledPred<'a>> = Vec::new();
+                let mut by_key = ChainTable::build(0, |_| None);
+                if inner_rows > 0 {
+                    inner_cols = inner_ords
+                        .iter()
+                        .map(|&c| ResolvedCol {
+                            slot: 0,
+                            col: table.column(c),
+                        })
+                        .collect();
+                    compiled_inner = inner_pred_refs
+                        .iter()
+                        .map(|p| CompiledPred::new(table, p))
+                        .collect();
+                    by_key = ChainTable::build(inner_rows, |r| join_fingerprint(&inner_cols, &[r]));
                 }
                 let mut rels = outer.rels.clone();
                 rels.push(*inner_rel);
-                let mut tuples = Vec::new();
+                let mut data = Vec::new();
                 let mut fetched_total = 0usize;
-                for tup in &outer.tuples {
-                    let mut key = Vec::with_capacity(outer_keys.len());
-                    for &c in &outer_keys {
-                        key.push(self.value_of(&outer, tup, c)?);
-                    }
-                    if key.iter().any(Value::is_null) {
+                let outer_cols = if outer.data.is_empty() {
+                    Vec::new()
+                } else {
+                    self.resolve_cols(&outer, &outer_keys)?
+                };
+                for tup in outer.tuples() {
+                    let Some(fp) = join_fingerprint(&outer_cols, tup) else {
                         continue;
-                    }
-                    if let Some(matches) = by_key.get(&key) {
-                        fetched_total += matches.len();
-                        for &r in matches {
-                            if inner_pred_refs.iter().all(|p| row_matches(table, r, p)) {
-                                let mut t = tup.clone();
-                                t.push(r);
-                                tuples.push(t);
-                            }
+                    };
+                    for r in by_key.probe(fp) {
+                        // Collision fallback: only exact key matches count as
+                        // fetched (mirrors the reference's exact-key map).
+                        if !keys_equal(&outer_cols, tup, &inner_cols, &[r]) {
+                            continue;
+                        }
+                        fetched_total += 1;
+                        if compiled_inner.iter().all(|p| p.matches(r)) {
+                            data.extend_from_slice(tup);
+                            data.push(r);
                         }
                     }
                 }
                 // Metering mirrors the optimizer's model: one index descent
                 // per outer tuple plus a random access per fetched row.
-                self.work += outer.tuples.len() as f64 * self.params.index_lookup
+                let out_count = data.len() / rels.len();
+                self.work += outer.count() as f64 * self.params.index_lookup
                     + fetched_total as f64 * self.params.index_row
-                    + self.params.join_output * tuples.len() as f64;
-                Ok(Intermediate { rels, tuples })
+                    + self.params.join_output * out_count as f64;
+                Ok(Intermediate { rels, data })
             }
             Operator::HashAggregate { .. } | Operator::Sort { .. } => {
                 // Aggregation and final ordering are handled at the top
@@ -285,72 +476,76 @@ impl<'a> Interp<'a> {
         edges: &[usize],
     ) -> Result<Intermediate, ExecError> {
         let (lk, rk) = self.oriented_keys(left, edges)?;
-        // Build on the right.
-        let mut table: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
-        for (i, tuple) in right.tuples.iter().enumerate() {
-            let mut key = Vec::with_capacity(rk.len());
-            for &c in &rk {
-                key.push(self.value_of(right, tuple, c)?);
-            }
-            if key.iter().any(Value::is_null) {
-                continue; // NULL keys never join
-            }
-            table.entry(key).or_default().push(i);
-        }
+        // Build on the right: fingerprint → chained right tuple ordinals, in
+        // input order (which is what makes the output order match the
+        // reference).
+        let r_cols = if right.data.is_empty() {
+            Vec::new()
+        } else {
+            self.resolve_cols(right, &rk)?
+        };
+        let table = ChainTable::build(right.count(), |i| join_fingerprint(&r_cols, right.tuple(i)));
         let mut rels = left.rels.clone();
         rels.extend(&right.rels);
-        let mut tuples = Vec::new();
-        for ltuple in &left.tuples {
-            let mut key = Vec::with_capacity(lk.len());
-            for &c in &lk {
-                key.push(self.value_of(left, ltuple, c)?);
-            }
-            if key.iter().any(Value::is_null) {
-                continue;
-            }
-            if let Some(matches) = table.get(&key) {
-                for &ri in matches {
-                    let mut t = ltuple.clone();
-                    t.extend(&right.tuples[ri]);
-                    tuples.push(t);
+        let mut data = Vec::new();
+        let l_cols = if left.data.is_empty() {
+            Vec::new()
+        } else {
+            self.resolve_cols(left, &lk)?
+        };
+        for ltuple in left.tuples() {
+            let Some(fp) = join_fingerprint(&l_cols, ltuple) else {
+                continue; // NULL keys never join
+            };
+            for ri in table.probe(fp) {
+                let rtuple = right.tuple(ri);
+                if keys_equal(&l_cols, ltuple, &r_cols, rtuple) {
+                    data.extend_from_slice(ltuple);
+                    data.extend_from_slice(rtuple);
                 }
             }
         }
-        Ok(Intermediate { rels, tuples })
+        Ok(Intermediate { rels, data })
     }
 
     fn cartesian(&self, left: &Intermediate, right: &Intermediate) -> Intermediate {
         let mut rels = left.rels.clone();
         rels.extend(&right.rels);
-        let mut tuples = Vec::with_capacity(left.tuples.len() * right.tuples.len());
-        for l in &left.tuples {
-            for r in &right.tuples {
-                let mut t = l.clone();
-                t.extend(r);
-                tuples.push(t);
+        let out = left.count() * right.count();
+        let mut data = Vec::with_capacity(out * rels.len());
+        for l in left.tuples() {
+            for r in right.tuples() {
+                data.extend_from_slice(l);
+                data.extend_from_slice(r);
             }
         }
-        Intermediate { rels, tuples }
+        Intermediate { rels, data }
     }
 }
 
+/// One aggregation group: its materialized key and member tuple ordinals
+/// (into the input intermediate), in input order.
+struct Group {
+    key: Vec<Value>,
+    members: Vec<usize>,
+}
+
 fn agg_output(
-    interp: &Interp<'_>,
-    inter: &Intermediate,
     query: &BoundSelect,
-    group_tuples: &[&Vec<usize>],
-    key: &[Value],
-) -> Result<Vec<Value>, ExecError> {
-    let mut row: Vec<Value> = key.to_vec();
-    for agg in &query.aggregates {
-        let vals: Vec<Value> = match agg.input {
+    agg_cols: &[Option<ResolvedCol<'_>>],
+    input: &Intermediate,
+    group: &Group,
+) -> Vec<Value> {
+    let mut row: Vec<Value> = group.key.clone();
+    for (agg, rc) in query.aggregates.iter().zip(agg_cols) {
+        let vals: Vec<Value> = match rc {
             None => Vec::new(),
-            Some(col) => {
-                let mut vals = Vec::with_capacity(group_tuples.len());
-                for t in group_tuples {
-                    let v = interp.value_of(inter, t, col)?;
-                    if !v.is_null() {
-                        vals.push(v);
+            Some(rc) => {
+                let mut vals = Vec::with_capacity(group.members.len());
+                for &ti in &group.members {
+                    let r = rc.row(input.tuple(ti));
+                    if rc.col.is_valid(r) {
+                        vals.push(rc.col.get(r));
                     }
                 }
                 vals
@@ -358,7 +553,7 @@ fn agg_output(
         };
         let out = match agg.func {
             AggFunc::Count => Value::Int(match agg.input {
-                None => group_tuples.len() as i64,
+                None => group.members.len() as i64,
                 Some(_) => vals.len() as i64,
             }),
             AggFunc::Min => vals.iter().min().cloned().unwrap_or(Value::Null),
@@ -378,7 +573,7 @@ fn agg_output(
         };
         row.push(out);
     }
-    Ok(row)
+    row
 }
 
 /// Execute a physical plan for `query` against `db`, returning materialized
@@ -401,23 +596,62 @@ pub fn execute_plan(
     let mut input = interp.run(plan)?;
 
     if has_agg {
-        // Group by the grouping key values.
-        let mut groups: HashMap<Vec<Value>, Vec<&Vec<usize>>> = HashMap::new();
-        for tuple in &input.tuples {
-            let mut key = Vec::with_capacity(query.group_by.len());
-            for &g in &query.group_by {
-                key.push(interp.value_of(&input, tuple, g)?);
+        // Group by fingerprints of the grouping key values, with exact-key
+        // verification inside each fingerprint bucket.
+        let g_cols = if input.data.is_empty() {
+            Vec::new()
+        } else {
+            interp.resolve_cols(&input, &query.group_by)?
+        };
+        let mut groups: Vec<Group> = Vec::new();
+        let mut buckets: FxHashMap<u64, Vec<usize>> = FxHashMap::default();
+        for (ti, tuple) in input.tuples().enumerate() {
+            let fp = group_fingerprint(&g_cols, tuple);
+            let bucket = buckets.entry(fp).or_default();
+            let found = bucket.iter().copied().find(|&g| {
+                groups[g]
+                    .key
+                    .iter()
+                    .zip(&g_cols)
+                    .all(|(k, rc)| k.as_ref() == rc.col.get_ref(rc.row(tuple)))
+            });
+            match found {
+                Some(g) => groups[g].members.push(ti),
+                None => {
+                    let key: Vec<Value> =
+                        g_cols.iter().map(|rc| rc.col.get(rc.row(tuple))).collect();
+                    bucket.push(groups.len());
+                    groups.push(Group {
+                        key,
+                        members: vec![ti],
+                    });
+                }
             }
-            groups.entry(key).or_default().push(tuple);
         }
         interp.work += interp
             .params
-            .hash_aggregate(input.tuples.len() as f64, groups.len() as f64);
-        let mut keys: Vec<&Vec<Value>> = groups.keys().collect();
-        keys.sort();
-        let mut rows = Vec::with_capacity(keys.len());
-        for k in keys {
-            rows.push(agg_output(&interp, &input, query, &groups[k], k)?);
+            .hash_aggregate(input.count() as f64, groups.len() as f64);
+        // Deterministic output: groups ordered by key, exactly as the
+        // reference sorts its map keys.
+        let mut order: Vec<usize> = (0..groups.len()).collect();
+        order.sort_by(|&a, &b| groups[a].key.cmp(&groups[b].key));
+        let agg_cols: Vec<Option<ResolvedCol<'_>>> = if groups.is_empty() {
+            Vec::new()
+        } else {
+            query
+                .aggregates
+                .iter()
+                .map(|agg| match agg.input {
+                    None => Ok(None),
+                    Some(col) => Ok(Some(
+                        interp.resolve_cols(&input, std::slice::from_ref(&col))?[0],
+                    )),
+                })
+                .collect::<Result<_, ExecError>>()?
+        };
+        let mut rows = Vec::with_capacity(order.len());
+        for g in order {
+            rows.push(agg_output(query, &agg_cols, &input, &groups[g]));
         }
         // ORDER BY over aggregate output: keys must be grouping columns;
         // their output position is their position in the GROUP BY list.
@@ -451,31 +685,39 @@ pub fn execute_plan(
     }
 
     // ORDER BY on plain queries sorts the tuples before projection (the sort
-    // key need not be projected).
+    // key need not be projected). Sorting tuple ordinals with a comparator
+    // over resolved columns skips the reference's per-tuple key
+    // materialization; the stable sort keeps tie order identical.
     if !query.order_by.is_empty() {
-        interp.work += interp.params.sort(input.tuples.len() as f64);
-        let mut keyed: Vec<(Vec<Value>, Vec<usize>)> = Vec::with_capacity(input.tuples.len());
-        for t in &input.tuples {
-            let mut k = Vec::with_capacity(query.order_by.len());
-            for &(col, _) in &query.order_by {
-                k.push(interp.value_of(&input, t, col)?);
-            }
-            keyed.push((k, t.clone()));
-        }
-        let descs: Vec<bool> = query.order_by.iter().map(|&(_, d)| d).collect();
-        keyed.sort_by(|a, b| {
-            for (i, (x, y)) in a.0.iter().zip(&b.0).enumerate() {
-                let ord = x.total_cmp(y);
-                if ord != std::cmp::Ordering::Equal {
-                    return if descs[i] { ord.reverse() } else { ord };
+        interp.work += interp.params.sort(input.count() as f64);
+        if !input.data.is_empty() {
+            let order_cols: Vec<BoundColumn> = query.order_by.iter().map(|&(c, _)| c).collect();
+            let o_cols = interp.resolve_cols(&input, &order_cols)?;
+            let descs: Vec<bool> = query.order_by.iter().map(|&(_, d)| d).collect();
+            let mut order: Vec<usize> = (0..input.count()).collect();
+            order.sort_by(|&a, &b| {
+                let (ta, tb) = (input.tuple(a), input.tuple(b));
+                for (rc, &desc) in o_cols.iter().zip(&descs) {
+                    let ord = rc
+                        .col
+                        .get_ref(rc.row(ta))
+                        .total_cmp(&rc.col.get_ref(rc.row(tb)));
+                    if ord != std::cmp::Ordering::Equal {
+                        return if desc { ord.reverse() } else { ord };
+                    }
                 }
+                std::cmp::Ordering::Equal
+            });
+            let mut sorted = Vec::with_capacity(input.data.len());
+            for i in order {
+                sorted.extend_from_slice(input.tuple(i));
             }
-            std::cmp::Ordering::Equal
-        });
-        input.tuples = keyed.into_iter().map(|(_, t)| t).collect();
+            input.data = sorted;
+        }
     }
 
-    // Plain projection.
+    // Plain projection, materialized column-wise: one pass per output
+    // column over the surviving tuples.
     let cols: Vec<BoundColumn> = match &query.projection {
         Projection::Columns(cols) => cols.clone(),
         Projection::Star => {
@@ -488,13 +730,16 @@ pub fn execute_plan(
             all
         }
     };
-    let mut rows = Vec::with_capacity(input.tuples.len());
-    for t in &input.tuples {
-        let mut row = Vec::with_capacity(cols.len());
-        for &c in &cols {
-            row.push(interp.value_of(&input, t, c)?);
+    let mut rows: Vec<Vec<Value>> = (0..input.count())
+        .map(|_| Vec::with_capacity(cols.len()))
+        .collect();
+    if !input.data.is_empty() {
+        let p_cols = interp.resolve_cols(&input, &cols)?;
+        for rc in &p_cols {
+            for (row, tuple) in rows.iter_mut().zip(input.tuples()) {
+                row.push(rc.col.get(rc.row(tuple)));
+            }
         }
-        rows.push(row);
     }
     Ok(ExecOutput {
         rows,
@@ -505,6 +750,7 @@ pub fn execute_plan(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::reference::execute_plan_reference;
     use optimizer::{OptimizeOptions, Optimizer};
     use query::{bind_statement, parse_statement, BoundStatement};
     use stats::StatsCatalog;
@@ -562,7 +808,17 @@ mod tests {
         let r = opt
             .optimize(db, &q, cat.full_view(), &OptimizeOptions::default())
             .unwrap();
-        execute_plan(db, &q, &r.plan, &opt.params).unwrap()
+        let out = execute_plan(db, &q, &r.plan, &opt.params).unwrap();
+        // Every test doubles as a differential check against the retained
+        // row-at-a-time reference.
+        let ref_out = execute_plan_reference(db, &q, &r.plan, &opt.params).unwrap();
+        assert_eq!(out.rows, ref_out.rows, "columnar rows diverge on {sql}");
+        assert_eq!(
+            out.work.to_bits(),
+            ref_out.work.to_bits(),
+            "columnar work diverges on {sql}"
+        );
+        out
     }
 
     #[test]
@@ -685,6 +941,66 @@ mod tests {
         let a = run(&db, "SELECT * FROM emp e, dept d WHERE e.deptid = d.deptid");
         let b = run(&db, "SELECT * FROM emp e, dept d WHERE e.deptid = d.deptid");
         assert_eq!(a.work, b.work);
+    }
+
+    #[test]
+    fn null_join_keys_never_match() {
+        let mut db = Database::new();
+        let a = db
+            .create_table(
+                "a",
+                Schema::new(vec![ColumnDef::new("k", DataType::Int).nullable()]),
+            )
+            .unwrap();
+        let b = db
+            .create_table(
+                "b",
+                Schema::new(vec![ColumnDef::new("k", DataType::Int).nullable()]),
+            )
+            .unwrap();
+        for v in [Value::Int(1), Value::Null, Value::Int(2)] {
+            db.table_mut(a).insert(vec![v.clone()]).unwrap();
+            db.table_mut(b).insert(vec![v]).unwrap();
+        }
+        let out = run(&db, "SELECT * FROM a, b WHERE a.k = b.k");
+        assert_eq!(out.row_count(), 2, "NULL keys must not join");
+    }
+
+    #[test]
+    fn null_group_keys_form_their_own_group() {
+        let mut db = Database::new();
+        let t = db
+            .create_table(
+                "t",
+                Schema::new(vec![
+                    ColumnDef::new("g", DataType::Int).nullable(),
+                    ColumnDef::new("v", DataType::Int),
+                ]),
+            )
+            .unwrap();
+        for (g, v) in [
+            (Value::Int(1), 10),
+            (Value::Null, 20),
+            (Value::Int(1), 30),
+            (Value::Null, 40),
+        ] {
+            db.table_mut(t).insert(vec![g, Value::Int(v)]).unwrap();
+        }
+        let out = run(&db, "SELECT g, COUNT(*) FROM t GROUP BY g");
+        assert_eq!(out.row_count(), 2);
+        // NULL sorts first.
+        assert_eq!(out.rows[0][0], Value::Null);
+        assert_eq!(out.rows[0][1], Value::Int(2));
+    }
+
+    #[test]
+    fn string_join_keys_match_exactly() {
+        let db = setup();
+        let out = run(
+            &db,
+            "SELECT e.empid FROM emp e, dept d WHERE e.deptid = d.deptid AND d.dname = 'd2'",
+        );
+        assert_eq!(out.row_count(), 20);
     }
 
     #[test]

@@ -19,8 +19,10 @@
 pub mod error;
 pub mod exec;
 pub mod predicate;
+pub mod reference;
 pub mod runner;
 
 pub use error::ExecError;
 pub use exec::{execute_plan, ExecOutput};
+pub use reference::execute_plan_reference;
 pub use runner::{run_statement, StatementOutcome, WorkloadReport, WorkloadRunner};

@@ -1,8 +1,16 @@
 //! Shared predicate evaluation over stored values.
+//!
+//! Two evaluation paths coexist. The row-at-a-time functions
+//! ([`row_matches`], [`filter_table`]) materialize one [`Value`] per probe
+//! and serve the reference interpreter. The columnar path compiles each
+//! predicate once against its column — constant pre-converted to the
+//! column's native representation, payload slice borrowed directly — and
+//! then evaluates by selection vector ([`filter_table_columnar`]), which is
+//! what the batch executor uses. Both return exactly the same row sets.
 
 use query::{CmpOp, PredOp, SelectionPredicate};
 use std::cmp::Ordering;
-use storage::{Table, Value};
+use storage::{ColumnData, DataType, Table, Value};
 
 /// SQL three-valued comparison collapsed to a boolean (NULL comparisons are
 /// false, as in a WHERE clause).
@@ -41,6 +49,161 @@ pub fn filter_table(table: &Table, preds: &[&SelectionPredicate]) -> Vec<usize> 
     (0..table.row_count())
         .filter(|&r| preds.iter().all(|p| row_matches(table, r, p)))
         .collect()
+}
+
+/// One comparison against a column, compiled: the payload slice is borrowed
+/// once and the constant is pre-converted into the column's native domain,
+/// so the per-row check is a primitive compare with no `Value`
+/// materialization. Each variant reproduces the corresponding
+/// [`Value::total_cmp`] arm exactly (including the `numeric_key` fallback
+/// for Date/Float cross-type comparisons).
+enum ColCmp<'a> {
+    /// Int/Date payload vs Int/Date constant: plain `i64` order.
+    IntInt(&'a [i64], i64),
+    /// Int/Date payload vs Float constant: widen then `f64::total_cmp`.
+    IntFloat(&'a [i64], f64),
+    /// Float payload vs numeric constant: `f64::total_cmp`.
+    FloatFloat(&'a [f64], f64),
+    /// Str payload vs Str constant: lexicographic.
+    StrStr(&'a [String], &'a str),
+    /// Cross-type oddities (e.g. Str column vs numeric constant) fall back
+    /// to the generic `ValueRef` comparison.
+    Generic(&'a ColumnData, &'a Value),
+}
+
+impl ColCmp<'_> {
+    fn compile<'a>(col: &'a ColumnData, rhs: &'a Value) -> Option<ColCmp<'a>> {
+        // NULL constants never match under SQL comparison; `None` encodes
+        // "always false".
+        let dt = col.data_type();
+        Some(match (dt, rhs) {
+            (_, Value::Null) => return None,
+            (DataType::Int | DataType::Date, Value::Int(k)) => ColCmp::IntInt(int_payload(col), *k),
+            (DataType::Int | DataType::Date, Value::Date(k)) => {
+                ColCmp::IntInt(int_payload(col), *k as i64)
+            }
+            (DataType::Int | DataType::Date, Value::Float(k)) => {
+                ColCmp::IntFloat(int_payload(col), *k)
+            }
+            (DataType::Float, Value::Int(k)) => ColCmp::FloatFloat(float_payload(col), *k as f64),
+            (DataType::Float, Value::Float(k)) => ColCmp::FloatFloat(float_payload(col), *k),
+            (DataType::Float, Value::Date(k)) => ColCmp::FloatFloat(float_payload(col), *k as f64),
+            (DataType::Str, Value::Str(k)) => ColCmp::StrStr(str_payload(col), k),
+            _ => ColCmp::Generic(col, rhs),
+        })
+    }
+
+    /// Ordering of the (non-NULL) value at `row` relative to the constant.
+    #[inline]
+    fn ord(&self, row: usize) -> Ordering {
+        match self {
+            ColCmp::IntInt(xs, k) => xs[row].cmp(k),
+            ColCmp::IntFloat(xs, k) => (xs[row] as f64).total_cmp(k),
+            ColCmp::FloatFloat(xs, k) => xs[row].total_cmp(k),
+            ColCmp::StrStr(xs, k) => xs[row].as_str().cmp(k),
+            ColCmp::Generic(col, rhs) => col.get_ref(row).total_cmp(&rhs.as_ref()),
+        }
+    }
+}
+
+/// Payload accessors: the data type was already matched, so a missing slice
+/// means `ColumnData` broke its own type invariant — fail closed with an
+/// empty slice (every row access would then panic just as an internal
+/// indexing bug would, rather than silently matching).
+fn int_payload(col: &ColumnData) -> &[i64] {
+    col.int_slice().unwrap_or(&[])
+}
+
+fn float_payload(col: &ColumnData) -> &[f64] {
+    col.float_slice().unwrap_or(&[])
+}
+
+fn str_payload(col: &ColumnData) -> &[String] {
+    col.str_slice().unwrap_or(&[])
+}
+
+#[inline]
+fn ord_matches(op: CmpOp, ord: Ordering) -> bool {
+    match op {
+        CmpOp::Eq => ord == Ordering::Equal,
+        CmpOp::Ne => ord != Ordering::Equal,
+        CmpOp::Lt => ord == Ordering::Less,
+        CmpOp::Le => ord != Ordering::Greater,
+        CmpOp::Gt => ord == Ordering::Greater,
+        CmpOp::Ge => ord != Ordering::Less,
+    }
+}
+
+enum CompiledOp<'a> {
+    /// A NULL constant somewhere: no row can match.
+    Never,
+    Cmp(CmpOp, ColCmp<'a>),
+    Between(ColCmp<'a>, ColCmp<'a>),
+}
+
+/// A selection predicate compiled against its column: resolve once, probe
+/// per row with primitive compares.
+pub struct CompiledPred<'a> {
+    validity: &'a [bool],
+    op: CompiledOp<'a>,
+}
+
+impl<'a> CompiledPred<'a> {
+    /// Compile `pred` against `table` (the predicate's column ordinal is
+    /// interpreted against that table, as in [`row_matches`]).
+    pub fn new(table: &'a Table, pred: &'a SelectionPredicate) -> CompiledPred<'a> {
+        let col = table.column(pred.column.column);
+        let op = match &pred.op {
+            PredOp::Cmp(c, rhs) => match ColCmp::compile(col, rhs) {
+                Some(cc) => CompiledOp::Cmp(*c, cc),
+                None => CompiledOp::Never,
+            },
+            PredOp::Between(lo, hi) => match (ColCmp::compile(col, lo), ColCmp::compile(col, hi)) {
+                (Some(l), Some(h)) => CompiledOp::Between(l, h),
+                _ => CompiledOp::Never,
+            },
+        };
+        CompiledPred {
+            validity: col.validity(),
+            op,
+        }
+    }
+
+    /// True when the (compiled) predicate holds at `row`; NULL entries never
+    /// match, as in a WHERE clause.
+    #[inline]
+    pub fn matches(&self, row: usize) -> bool {
+        if !self.validity[row] {
+            return false;
+        }
+        match &self.op {
+            CompiledOp::Never => false,
+            CompiledOp::Cmp(c, cmp) => ord_matches(*c, cmp.ord(row)),
+            CompiledOp::Between(lo, hi) => {
+                lo.ord(row) != Ordering::Less && hi.ord(row) != Ordering::Greater
+            }
+        }
+    }
+}
+
+/// Row indices of `table` matching all `preds`, computed by selection
+/// vector: the first predicate scans the column directly, later ones narrow
+/// the surviving vector in place. Returns exactly [`filter_table`]'s result.
+pub fn filter_table_columnar(table: &Table, preds: &[&SelectionPredicate]) -> Vec<usize> {
+    let n = table.row_count();
+    if preds.is_empty() || n == 0 {
+        return (0..n).collect();
+    }
+    let compiled: Vec<CompiledPred<'_>> =
+        preds.iter().map(|p| CompiledPred::new(table, p)).collect();
+    let mut sel: Vec<usize> = Vec::new();
+    if let Some((first, rest)) = compiled.split_first() {
+        sel = (0..n).filter(|&r| first.matches(r)).collect();
+        for p in rest {
+            sel.retain(|&r| p.matches(r));
+        }
+    }
+    sel
 }
 
 #[cfg(test)]

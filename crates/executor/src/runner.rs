@@ -8,7 +8,7 @@
 
 use crate::error::ExecError;
 use crate::exec::{execute_plan, ExecOutput};
-use crate::predicate::filter_table;
+use crate::predicate::filter_table_columnar;
 use optimizer::{OptimizeOptions, Optimizer};
 use query::{BoundDelete, BoundInsert, BoundStatement, BoundUpdate};
 use stats::StatsView;
@@ -61,7 +61,7 @@ fn run_update(
     let table = db.try_table_mut(upd.table)?;
     let scan_work = opt.params.seq_scan(table.row_count() as f64);
     let preds: Vec<_> = upd.selections.iter().collect();
-    let rows = filter_table(table, &preds);
+    let rows = filter_table_columnar(table, &preds);
     let n = table.update_rows(&rows, upd.set_column, &upd.set_value);
     Ok(StatementOutcome::Dml {
         rows_affected: n,
@@ -77,7 +77,7 @@ fn run_delete(
     let table = db.try_table_mut(del.table)?;
     let scan_work = opt.params.seq_scan(table.row_count() as f64);
     let preds: Vec<_> = del.selections.iter().collect();
-    let rows = filter_table(table, &preds);
+    let rows = filter_table_columnar(table, &preds);
     let n = table.delete_rows(rows);
     Ok(StatementOutcome::Dml {
         rows_affected: n,

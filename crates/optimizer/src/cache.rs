@@ -45,8 +45,8 @@ use crate::optimize::{OptimizeOptions, OptimizedQuery, Optimizer};
 use crate::selectivity::build_profile;
 use parking_lot::RwLock;
 use query::BoundSelect;
+use rustc_hash::FxHashMap;
 use stats::{CatalogObserver, StatsCatalog, StatsView};
-use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -149,7 +149,7 @@ impl fmt::Display for CacheCounters {
 /// Thread-safe memoization of [`Optimizer::optimize_cached`] results.
 #[derive(Default)]
 pub struct OptimizeCache {
-    entries: RwLock<HashMap<CacheKey, CacheEntry>>,
+    entries: RwLock<FxHashMap<CacheKey, CacheEntry>>,
     hits: AtomicU64,
     misses: AtomicU64,
     invalidations: AtomicU64,

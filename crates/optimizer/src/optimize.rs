@@ -8,8 +8,8 @@ use crate::magic::MagicNumbers;
 use crate::plan::{Operator, PlanNode};
 use crate::selectivity::{build_profile, SelectivityProfile};
 use query::{BoundSelect, CmpOp, PredOp, PredicateId};
+use rustc_hash::FxHashMap;
 use stats::StatsView;
-use std::collections::HashMap;
 use storage::Database;
 
 /// Per-call optimization options.
@@ -18,7 +18,7 @@ pub struct OptimizeOptions {
     /// Forced selectivity values per variable — the §7.2 server extension
     /// ("accept the selectivity of such predicates as a parameter rather
     /// than using the default magic number"). Values are clamped to [0, 1].
-    pub injected: HashMap<PredicateId, f64>,
+    pub injected: FxHashMap<PredicateId, f64>,
 }
 
 impl OptimizeOptions {

@@ -13,9 +13,9 @@
 
 use crate::magic::MagicNumbers;
 use query::{BoundSelect, CmpOp, JoinEdge, PredClass, PredOp, PredicateId, SelectionPredicate};
+use rustc_hash::FxHashMap;
 use serde::{Deserialize, Serialize};
 use stats::{StatId, StatsView};
-use std::collections::HashMap;
 use storage::Database;
 
 /// Floor applied to statistics-derived selectivities. A histogram can
@@ -49,8 +49,8 @@ pub enum SelectivitySource {
 /// The estimated selectivity of every variable of one query.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SelectivityProfile {
-    values: HashMap<PredicateId, f64>,
-    sources: HashMap<PredicateId, SelectivitySource>,
+    values: FxHashMap<PredicateId, f64>,
+    sources: FxHashMap<PredicateId, SelectivitySource>,
 }
 
 impl SelectivityProfile {
@@ -185,8 +185,8 @@ fn pred_range(op: &PredOp) -> Option<(Option<f64>, Option<f64>)> {
 fn apply_joint_refinement(
     view: &StatsView<'_>,
     query: &BoundSelect,
-    values: &mut HashMap<PredicateId, f64>,
-    sources: &mut HashMap<PredicateId, SelectivitySource>,
+    values: &mut FxHashMap<PredicateId, f64>,
+    sources: &mut FxHashMap<PredicateId, SelectivitySource>,
 ) {
     let n = query.selections.len();
     let mut consumed = vec![false; n];
@@ -332,10 +332,10 @@ pub fn build_profile(
     view: &StatsView<'_>,
     query: &BoundSelect,
     magic: &MagicNumbers,
-    injected: &HashMap<PredicateId, f64>,
+    injected: &FxHashMap<PredicateId, f64>,
 ) -> SelectivityProfile {
-    let mut values = HashMap::new();
-    let mut sources = HashMap::new();
+    let mut values = FxHashMap::default();
+    let mut sources = FxHashMap::default();
 
     for (i, pred) in query.selections.iter().enumerate() {
         let id = PredicateId::Selection(i);

@@ -14,7 +14,7 @@
 //! of values appearing exactly once, `n` the sample size, and `q = n / N` the
 //! sampling fraction.
 
-use std::collections::HashMap;
+use rustc_hash::FxHashMap;
 use storage::Value;
 
 /// Estimate the table-level NDV from a sample of `sample` values drawn from a
@@ -25,7 +25,8 @@ pub fn estimate_ndv(sample: &[Value], total_rows: usize) -> f64 {
         return 0.0;
     }
     let n = sample.len();
-    let mut freq: HashMap<&Value, usize> = HashMap::with_capacity(n);
+    let mut freq: FxHashMap<&Value, usize> =
+        FxHashMap::with_capacity_and_hasher(n, Default::default());
     for v in sample {
         *freq.entry(v).or_insert(0) += 1;
     }
@@ -52,7 +53,8 @@ pub fn estimate_tuple_ndv(columns: &[&[Value]], total_rows: usize) -> f64 {
     }
     let n = columns[0].len();
     debug_assert!(columns.iter().all(|c| c.len() == n));
-    let mut freq: HashMap<Vec<&Value>, usize> = HashMap::with_capacity(n);
+    let mut freq: FxHashMap<Vec<&Value>, usize> =
+        FxHashMap::with_capacity_and_hasher(n, Default::default());
     for i in 0..n {
         let tuple: Vec<&Value> = columns.iter().map(|c| &c[i]).collect();
         *freq.entry(tuple).or_insert(0) += 1;

@@ -5,6 +5,7 @@ use crate::mhist::Histogram2d;
 use crate::ndv::{estimate_ndv, estimate_tuple_ndv};
 use crate::sampler::SampleSpec;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 use std::fmt;
 use storage::{Table, TableId, Value};
 
@@ -96,7 +97,7 @@ impl BuildOptions {
 /// A built statistic: histogram on the leading column plus density
 /// information on every leading prefix — the SQL Server 7.0 asymmetric
 /// multi-column structure described in §7.1 of the paper.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Statistic {
     pub id: StatId,
     pub descriptor: StatDescriptor,
@@ -236,6 +237,144 @@ pub fn build_statistic(
         update_count: 0,
         created_epoch: epoch,
         joint,
+    }
+}
+
+/// Shared-scan build context for a batch of statistics on one table.
+///
+/// [`build_statistic`] extracts, filters, and sorts its columns from scratch
+/// on every call, so creating k statistics that share columns (the common
+/// case in an MNSA round: several single- and multi-column statistics on one
+/// table) re-scans the table k times. `SharedTableScan` memoizes the four
+/// expensive intermediates across calls —
+///
+/// * the extracted value vector per column ordinal,
+/// * the histogram + null fraction per leading column,
+/// * the tuple-NDV per column prefix,
+/// * the Phased 2-D histogram per leading column pair,
+///
+/// — so each is computed once per table scan no matter how many statistics
+/// need it. The result of [`SharedTableScan::build`] is **identical** to
+/// `build_statistic` under full-scan sampling (every field, including the
+/// `build_cost` charged per statistic); sharing is unsound under sampling
+/// because each statistic's sample is keyed by its own seed, which is why
+/// [`StatsCatalog::create_statistics_batch`](crate::StatsCatalog::create_statistics_batch)
+/// falls back to per-statistic builds in that case.
+pub struct SharedTableScan<'a> {
+    table: &'a Table,
+    options: BuildOptions,
+    cols: HashMap<usize, Vec<Value>>,
+    /// leading column → (histogram over non-null values, null fraction)
+    leading: HashMap<usize, (Histogram, f64)>,
+    prefix_ndvs: HashMap<Vec<usize>, f64>,
+    joints: HashMap<(usize, usize), Histogram2d>,
+}
+
+impl<'a> SharedTableScan<'a> {
+    pub fn new(table: &'a Table, options: &BuildOptions) -> Self {
+        SharedTableScan {
+            table,
+            options: options.clone(),
+            cols: HashMap::new(),
+            leading: HashMap::new(),
+            prefix_ndvs: HashMap::new(),
+            joints: HashMap::new(),
+        }
+    }
+
+    fn ensure_col(&mut self, c: usize) {
+        if !self.cols.contains_key(&c) {
+            let col = self.table.column(c);
+            let vals: Vec<Value> = (0..col.len()).map(|r| col.get(r)).collect();
+            self.cols.insert(c, vals);
+        }
+    }
+
+    /// Build one statistic from the shared pass. The caller must have
+    /// validated the descriptor (non-empty, in-range columns) exactly as
+    /// [`StatsCatalog::create_statistic`](crate::StatsCatalog::create_statistic)
+    /// does.
+    pub fn build(&mut self, id: StatId, descriptor: StatDescriptor, epoch: u64) -> Statistic {
+        let total_rows = self.table.row_count();
+        let rows_read = total_rows; // full scan
+        for &c in &descriptor.columns {
+            self.ensure_col(c);
+        }
+
+        // Leading column: histogram over non-null values + null fraction,
+        // computed once per leading column.
+        let lead = descriptor.leading_column();
+        if !self.leading.contains_key(&lead) {
+            let vals = &self.cols[&lead];
+            let non_null: Vec<Value> = vals.iter().filter(|v| !v.is_null()).cloned().collect();
+            let null_fraction = if rows_read == 0 {
+                0.0
+            } else {
+                (rows_read - non_null.len()) as f64 / rows_read as f64
+            };
+            let histogram = Histogram::build(
+                self.options.histogram_kind,
+                &non_null,
+                self.options.max_buckets,
+            );
+            // No jackknife scaling: a full scan reads every row, so the
+            // histogram's own distinct count is exact (mirrors
+            // `build_statistic`'s `rows_read < total_rows` guard).
+            self.leading.insert(lead, (histogram, null_fraction));
+        }
+        let (histogram, null_fraction) = self.leading[&lead].clone();
+
+        // Prefix densities, one tuple-NDV estimation per distinct prefix.
+        let mut prefix_densities = Vec::with_capacity(descriptor.columns.len());
+        for k in 1..=descriptor.columns.len() {
+            let prefix = &descriptor.columns[..k];
+            if !self.prefix_ndvs.contains_key(prefix) {
+                let slices: Vec<&[Value]> =
+                    prefix.iter().map(|c| self.cols[c].as_slice()).collect();
+                let ndv = estimate_tuple_ndv(&slices, total_rows);
+                self.prefix_ndvs.insert(prefix.to_vec(), ndv);
+            }
+            let ndv = self.prefix_ndvs[prefix];
+            prefix_densities.push(if ndv <= 0.0 { 0.0 } else { 1.0 / ndv });
+        }
+
+        // Optional joint (2-D) histogram over the first two columns.
+        let joint = if self.options.joint_histograms && descriptor.columns.len() >= 2 {
+            let pair = (descriptor.columns[0], descriptor.columns[1]);
+            if !self.joints.contains_key(&pair) {
+                let h = Histogram2d::build(&self.cols[&pair.0], &self.cols[&pair.1], 16, 8);
+                self.joints.insert(pair, h);
+            }
+            Some(self.joints[&pair].clone())
+        } else {
+            None
+        };
+
+        // Work is charged per statistic exactly as a standalone build would:
+        // the shared pass is a wall-clock optimization, not a discount in
+        // the deterministic cost model.
+        let col_bytes: usize = descriptor
+            .columns
+            .iter()
+            .map(|&c| self.table.schema().column(c).data_type.byte_width())
+            .sum();
+        let mut build_cost = build_work(rows_read, col_bytes, descriptor.columns.len());
+        if joint.is_some() {
+            build_cost += build_work(rows_read, 0, 1);
+        }
+
+        Statistic {
+            id,
+            descriptor,
+            histogram,
+            prefix_densities,
+            null_fraction,
+            row_count_at_build: total_rows,
+            build_cost,
+            update_count: 0,
+            created_epoch: epoch,
+            joint,
+        }
     }
 }
 

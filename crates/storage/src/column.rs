@@ -4,7 +4,7 @@
 //! compacted eagerly (tables here are small enough that shifting is cheaper
 //! than tombstone bookkeeping, and statistics builders want dense columns).
 
-use crate::value::{DataType, Value};
+use crate::value::{DataType, Value, ValueRef};
 
 /// Storage for one column of a table.
 #[derive(Debug, Clone)]
@@ -107,6 +107,56 @@ impl ColumnData {
             DataType::Date => Value::Date(self.ints[i] as i32),
             DataType::Float => Value::Float(self.floats[i]),
             DataType::Str => Value::Str(self.strs[i].clone()),
+        }
+    }
+
+    /// Borrowed view of row `i` — no `String` clone for `Str` columns. The
+    /// workhorse of the columnar executor's inner loops.
+    pub fn get_ref(&self, i: usize) -> ValueRef<'_> {
+        if !self.validity[i] {
+            return ValueRef::Null;
+        }
+        match self.data_type {
+            DataType::Int => ValueRef::Int(self.ints[i]),
+            DataType::Date => ValueRef::Date(self.ints[i] as i32),
+            DataType::Float => ValueRef::Float(self.floats[i]),
+            DataType::Str => ValueRef::Str(&self.strs[i]),
+        }
+    }
+
+    /// True when row `i` is non-NULL.
+    pub fn is_valid(&self, i: usize) -> bool {
+        self.validity[i]
+    }
+
+    /// The validity bitmap: `validity()[i] == false` means row `i` is NULL.
+    pub fn validity(&self) -> &[bool] {
+        &self.validity
+    }
+
+    /// The raw `i64` payload slice for `Int` and `Date` columns (dates are
+    /// stored as days-since-epoch widened to `i64`), or `None` for other
+    /// types. Entries at invalid rows are unspecified padding.
+    pub fn int_slice(&self) -> Option<&[i64]> {
+        match self.data_type {
+            DataType::Int | DataType::Date => Some(&self.ints),
+            _ => None,
+        }
+    }
+
+    /// The raw `f64` payload slice for `Float` columns.
+    pub fn float_slice(&self) -> Option<&[f64]> {
+        match self.data_type {
+            DataType::Float => Some(&self.floats),
+            _ => None,
+        }
+    }
+
+    /// The raw string payload slice for `Str` columns.
+    pub fn str_slice(&self) -> Option<&[String]> {
+        match self.data_type {
+            DataType::Str => Some(&self.strs),
+            _ => None,
         }
     }
 
@@ -271,6 +321,49 @@ mod tests {
     fn push_wrong_type_panics() {
         let mut c = ColumnData::new(DataType::Int);
         c.push(Value::Str("oops".into()));
+    }
+
+    #[test]
+    fn get_ref_mirrors_get() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut cols = vec![
+            ColumnData::new(DataType::Int),
+            ColumnData::new(DataType::Float),
+            ColumnData::new(DataType::Str),
+            ColumnData::new(DataType::Date),
+        ];
+        cols[0].push(Value::Int(-3));
+        cols[1].push(Value::Float(2.5));
+        cols[2].push(Value::Str("hi".into()));
+        cols[3].push(Value::Date(42));
+        for c in &mut cols {
+            c.push(Value::Null);
+        }
+        for c in &cols {
+            for i in 0..c.len() {
+                let owned = c.get(i);
+                let r = c.get_ref(i);
+                assert_eq!(r.to_value(), owned);
+                assert_eq!(c.is_valid(i), !owned.is_null());
+                // Hash parity: ref and owned fingerprints agree.
+                let mut h1 = DefaultHasher::new();
+                let mut h2 = DefaultHasher::new();
+                owned.hash(&mut h1);
+                r.hash(&mut h2);
+                assert_eq!(h1.finish(), h2.finish());
+            }
+        }
+    }
+
+    #[test]
+    fn typed_slices_expose_payloads() {
+        let mut c = ColumnData::new(DataType::Int);
+        c.push(Value::Int(7));
+        c.push(Value::Null);
+        assert_eq!(c.int_slice().unwrap()[0], 7);
+        assert!(c.float_slice().is_none());
+        assert_eq!(c.validity(), &[true, false]);
     }
 
     #[test]

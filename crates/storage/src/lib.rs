@@ -32,7 +32,7 @@ pub use error::StorageError;
 pub use index::Index;
 pub use schema::{ColumnDef, Schema};
 pub use table::Table;
-pub use value::{DataType, Value};
+pub use value::{DataType, Value, ValueRef};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, StorageError>;

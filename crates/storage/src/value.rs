@@ -168,6 +168,132 @@ impl Hash for Value {
     }
 }
 
+/// A borrowed view of a stored scalar: the columnar executor's currency.
+///
+/// `ValueRef` lets hot loops compare, hash, and fingerprint column entries
+/// without materializing a [`Value`] — which for `Str` columns means no
+/// per-row `String` clone. Its comparison and hash semantics mirror `Value`
+/// exactly: `a.as_ref().total_cmp(&b.as_ref()) == a.total_cmp(&b)` and
+/// `hash(a.as_ref()) == hash(a)` for every value, so a fingerprint computed
+/// from refs agrees with one computed from owned values.
+#[derive(Debug, Clone, Copy)]
+pub enum ValueRef<'a> {
+    Null,
+    Int(i64),
+    Float(f64),
+    Str(&'a str),
+    /// Days since the Unix epoch.
+    Date(i32),
+}
+
+impl Value {
+    /// Borrowed view of this value.
+    pub fn as_ref(&self) -> ValueRef<'_> {
+        match self {
+            Value::Null => ValueRef::Null,
+            Value::Int(i) => ValueRef::Int(*i),
+            Value::Float(f) => ValueRef::Float(*f),
+            Value::Str(s) => ValueRef::Str(s),
+            Value::Date(d) => ValueRef::Date(*d),
+        }
+    }
+}
+
+impl<'a> ValueRef<'a> {
+    pub fn is_null(&self) -> bool {
+        matches!(self, ValueRef::Null)
+    }
+
+    /// Materialize an owned [`Value`] (clones the string payload).
+    pub fn to_value(&self) -> Value {
+        match self {
+            ValueRef::Null => Value::Null,
+            ValueRef::Int(i) => Value::Int(*i),
+            ValueRef::Float(f) => Value::Float(*f),
+            ValueRef::Str(s) => Value::Str((*s).to_string()),
+            ValueRef::Date(d) => Value::Date(*d),
+        }
+    }
+
+    /// Mirror of [`Value::numeric_key`].
+    pub fn numeric_key(&self) -> f64 {
+        match self {
+            ValueRef::Null => f64::NEG_INFINITY,
+            ValueRef::Int(i) => *i as f64,
+            ValueRef::Float(f) => *f,
+            ValueRef::Date(d) => *d as f64,
+            ValueRef::Str(s) => {
+                let mut key: u64 = 0;
+                for (i, b) in s.bytes().take(8).enumerate() {
+                    key |= (b as u64) << (56 - 8 * i);
+                }
+                key as f64
+            }
+        }
+    }
+
+    /// Mirror of [`Value::total_cmp`]: the same total order, computed on
+    /// borrowed payloads.
+    pub fn total_cmp(&self, other: &ValueRef<'_>) -> Ordering {
+        use ValueRef::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Null, _) => Ordering::Less,
+            (_, Null) => Ordering::Greater,
+            (Int(a), Int(b)) => a.cmp(b),
+            (Float(a), Float(b)) => a.total_cmp(b),
+            (Int(a), Float(b)) => (*a as f64).total_cmp(b),
+            (Float(a), Int(b)) => a.total_cmp(&(*b as f64)),
+            (Date(a), Date(b)) => a.cmp(b),
+            (Int(a), Date(b)) => a.cmp(&(*b as i64)),
+            (Date(a), Int(b)) => (*a as i64).cmp(b),
+            (Str(a), Str(b)) => a.cmp(b),
+            (a, b) => a.numeric_key().total_cmp(&b.numeric_key()),
+        }
+    }
+
+    /// Mirror of [`Value::sql_cmp`]: `None` when either side is NULL.
+    pub fn sql_cmp(&self, other: &ValueRef<'_>) -> Option<Ordering> {
+        if self.is_null() || other.is_null() {
+            return None;
+        }
+        Some(self.total_cmp(other))
+    }
+}
+
+impl PartialEq for ValueRef<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        self.total_cmp(other) == Ordering::Equal
+    }
+}
+
+// Mirror of `Value`'s Hash impl (type tag + canonical payload bits), kept
+// adjacent in spirit: the two MUST stay in sync so fingerprints computed
+// from column refs agree with ones computed from owned values.
+impl Hash for ValueRef<'_> {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            ValueRef::Null => 0u8.hash(state),
+            ValueRef::Int(i) => {
+                1u8.hash(state);
+                i.hash(state);
+            }
+            ValueRef::Float(f) => {
+                2u8.hash(state);
+                f.to_bits().hash(state);
+            }
+            ValueRef::Str(s) => {
+                3u8.hash(state);
+                s.hash(state);
+            }
+            ValueRef::Date(d) => {
+                4u8.hash(state);
+                d.hash(state);
+            }
+        }
+    }
+}
+
 impl fmt::Display for Value {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

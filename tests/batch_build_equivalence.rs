@@ -1,0 +1,192 @@
+//! Differential test harness: shared-scan batched statistics creation must
+//! be **bit-identical** to one-at-a-time creation.
+//!
+//! [`StatsCatalog::create_statistics_batch`] serves every statistic that
+//! needs building on a table from one shared pass (column extraction,
+//! histogram, tuple-NDV, joint histogram each computed once). Its contract
+//! is exact equivalence with a serial `create_statistic` loop: same ids in
+//! the same order, same histograms and densities, same per-statistic
+//! `build_cost`, same creation-work total to the bit. This harness checks
+//! the contract over random column data (with NULLs), duplicate and
+//! already-built descriptors, joint-histogram builds, the sampled fallback
+//! path, and the candidate sets of RAGS workloads on seeded TPC-D.
+
+use autostats::candidate_statistics;
+use datagen::{build_tpcd, Complexity, RagsGenerator, TpcdConfig, WorkloadSpec, ZipfSpec};
+use proptest::prelude::*;
+use query::{bind_statement, BoundStatement};
+use stats::{BuildOptions, SampleSpec, StatDescriptor, StatId, StatsCatalog};
+use storage::{ColumnDef, DataType, Database, Schema, TableId, Value};
+
+/// Serial loop vs batch call on the same descriptor list: snapshots (every
+/// statistic field, work meters, id counter) must match exactly.
+fn assert_batch_matches_serial(
+    db: &Database,
+    table: TableId,
+    descriptors: &[StatDescriptor],
+    options: &BuildOptions,
+) {
+    let mut serial = StatsCatalog::new();
+    serial.set_build_options(options.clone());
+    let serial_ids: Vec<Result<StatId, _>> = descriptors
+        .iter()
+        .map(|d| serial.create_statistic(db, d.clone()))
+        .collect();
+
+    let mut batched = StatsCatalog::new();
+    batched.set_build_options(options.clone());
+    let batch_ids = batched.create_statistics_batch(db, table, descriptors);
+
+    match (&batch_ids, serial_ids.iter().find(|r| r.is_err())) {
+        (Ok(ids), None) => {
+            let serial_ok: Vec<StatId> = serial_ids.into_iter().map(|r| r.unwrap()).collect();
+            assert_eq!(*ids, serial_ok, "id divergence");
+        }
+        (Err(_), Some(_)) => {}
+        (b, s) => panic!("error divergence: batch={b:?} serial_first_err={s:?}"),
+    }
+    assert_eq!(batched.snapshot(), serial.snapshot(), "catalog divergence");
+    assert_eq!(
+        batched.creation_work().to_bits(),
+        serial.creation_work().to_bits(),
+        "creation-work divergence"
+    );
+}
+
+fn table_db(cols: &[Vec<Option<i64>>]) -> (Database, TableId) {
+    let defs: Vec<ColumnDef> = (0..cols.len())
+        .map(|i| ColumnDef::new(format!("c{i}"), DataType::Int).nullable())
+        .collect();
+    let mut db = Database::new();
+    let t = db.create_table("t", Schema::new(defs)).unwrap();
+    for r in 0..cols[0].len() {
+        db.table_mut(t)
+            .insert(
+                cols.iter()
+                    .map(|c| c[r].map_or(Value::Null, Value::Int))
+                    .collect(),
+            )
+            .unwrap();
+    }
+    (db, t)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Random NULL-bearing columns, random descriptor lists (duplicates
+    /// included), all three option regimes: default full scan, joint
+    /// histograms, and the seeded-sampling fallback.
+    #[test]
+    fn batch_matches_serial_on_random_tables(
+        a in prop::collection::vec(prop::option::of(0i64..15), 20..300),
+        perm in 0usize..6,
+        dup in 0u8..2,
+    ) {
+        let n = a.len();
+        let b: Vec<Option<i64>> = (0..n as i64).map(|i| Some(i % 9)).collect();
+        let c: Vec<Option<i64>> = (0..n as i64)
+            .map(|i| if i % 11 == 0 { None } else { Some(i % 4) })
+            .collect();
+        let (db, t) = table_db(&[a, b, c]);
+
+        let mut descs = vec![
+            StatDescriptor::single(t, 0),
+            StatDescriptor::single(t, 1),
+            StatDescriptor::multi(t, vec![0, 1]),
+            StatDescriptor::multi(t, vec![2, 0, 1]),
+            StatDescriptor::multi(t, vec![0, 2]),
+        ];
+        let k = perm % descs.len();
+        descs.rotate_left(k);
+        if dup == 1 {
+            descs.push(descs[0].clone());
+        }
+
+        for options in [
+            BuildOptions::default(),
+            BuildOptions::default().with_joint_histograms(),
+            BuildOptions {
+                sample: SampleSpec::Fraction { fraction: 0.3, min_rows: 8 },
+                ..Default::default()
+            },
+        ] {
+            assert_batch_matches_serial(&db, t, &descs, &options);
+        }
+    }
+}
+
+#[test]
+fn batch_matches_serial_on_tpcd_candidates() {
+    for seed in [3u64, 17] {
+        let db = build_tpcd(&TpcdConfig {
+            scale: 0.004,
+            zipf: ZipfSpec::Mixed,
+            seed,
+        });
+        let spec = WorkloadSpec::new(0, Complexity::Complex, 20).with_seed(seed + 5);
+        // Candidate statistics of a whole workload, grouped per table — the
+        // shape MNSA rounds and CreateAll* policies feed the batch API.
+        let mut by_table: Vec<(TableId, Vec<StatDescriptor>)> = Vec::new();
+        for stmt in RagsGenerator::generate(&db, &spec) {
+            let Ok(BoundStatement::Select(q)) = bind_statement(&db, &stmt) else {
+                continue;
+            };
+            for d in candidate_statistics(&q) {
+                match by_table.iter_mut().find(|(t, _)| *t == d.table) {
+                    Some((_, ds)) => ds.push(d),
+                    None => by_table.push((d.table, vec![d])),
+                }
+            }
+        }
+        assert!(!by_table.is_empty());
+
+        let mut serial = StatsCatalog::new();
+        let mut batched = StatsCatalog::new();
+        for (table, descs) in &by_table {
+            for d in descs {
+                serial.create_statistic(&db, d.clone()).unwrap();
+            }
+            batched.create_statistics_batch(&db, *table, descs).unwrap();
+        }
+        assert_eq!(batched.snapshot(), serial.snapshot(), "seed {seed}");
+        assert_eq!(
+            batched.creation_work().to_bits(),
+            serial.creation_work().to_bits()
+        );
+    }
+}
+
+#[test]
+fn batch_handles_mixed_tables_and_existing_statistics() {
+    let db = build_tpcd(&TpcdConfig {
+        scale: 0.002,
+        zipf: ZipfSpec::Fixed(0.0),
+        seed: 9,
+    });
+    let mut ids: Vec<TableId> = db.table_ids().collect();
+    ids.sort();
+    let (ta, tb) = (ids[0], ids[1]);
+    // Pre-build one statistic, then batch a list that mixes: the pre-built
+    // descriptor (dedup), a foreign-table descriptor (serial fallback), and
+    // fresh ones (shared scan).
+    let descs = vec![
+        StatDescriptor::single(ta, 0),
+        StatDescriptor::single(ta, 1),
+        StatDescriptor::single(tb, 0),
+        StatDescriptor::multi(ta, vec![1, 0]),
+    ];
+    let mut serial = StatsCatalog::new();
+    serial.create_statistic(&db, descs[0].clone()).unwrap();
+    let serial_ids: Vec<StatId> = descs
+        .iter()
+        .map(|d| serial.create_statistic(&db, d.clone()).unwrap())
+        .collect();
+
+    let mut batched = StatsCatalog::new();
+    batched.create_statistic(&db, descs[0].clone()).unwrap();
+    let batch_ids = batched.create_statistics_batch(&db, ta, &descs).unwrap();
+
+    assert_eq!(batch_ids, serial_ids);
+    assert_eq!(batched.snapshot(), serial.snapshot());
+}

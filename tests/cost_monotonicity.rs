@@ -9,8 +9,8 @@ use datagen::{build_tpcd, Complexity, RagsGenerator, TpcdConfig, ZipfSpec};
 use optimizer::{OptimizeOptions, Optimizer};
 use proptest::prelude::*;
 use query::{bind_statement, BoundSelect, BoundStatement};
+use rustc_hash::FxHashMap;
 use stats::StatsCatalog;
-use std::collections::HashMap;
 use storage::Database;
 
 fn test_db() -> Database {
@@ -56,7 +56,7 @@ proptest! {
         let catalog = StatsCatalog::new();
         let optimizer = Optimizer::default();
 
-        let low: HashMap<_, _> = vars
+        let low: FxHashMap<_, _> = vars
             .iter()
             .enumerate()
             .map(|(i, &v)| (v, base[i % base.len()]))

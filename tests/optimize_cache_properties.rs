@@ -12,8 +12,8 @@ use datagen::{build_tpcd, Complexity, RagsGenerator, TpcdConfig, ZipfSpec};
 use optimizer::{OptimizeCache, OptimizeOptions, Optimizer};
 use proptest::prelude::*;
 use query::{bind_statement, BoundSelect, BoundStatement};
+use rustc_hash::FxHashMap;
 use stats::{StatDescriptor, StatsCatalog};
-use std::collections::HashMap;
 use std::sync::Arc;
 use storage::Database;
 
@@ -81,7 +81,7 @@ proptest! {
         let optimizer = Optimizer::default();
         let cache = OptimizeCache::new();
 
-        let injected: HashMap<_, _> = q
+        let injected: FxHashMap<_, _> = q
             .predicate_ids()
             .into_iter()
             .zip(vals.iter().copied().cycle())
