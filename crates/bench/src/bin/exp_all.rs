@@ -1,8 +1,9 @@
 //! Runs every experiment at the default scale and collects all rows.
 //!
-//! Usage: `cargo run -p bench --bin exp_all [--full] [--threads N]`
+//! Usage: `cargo run -p bench --bin exp_all [--full] [--threads N]
+//!         [--trace-out PATH] [--metrics-out PATH] [--journal-out PATH]`
 
-use bench::common::{parse_threads, report, ExperimentScale, Row};
+use bench::common::{parse_threads, report, BenchObs, ExperimentScale, Row};
 use bench::experiments::{aging, fig3, fig4, intro, shrink, table1, tsweep};
 
 fn main() {
@@ -14,21 +15,26 @@ fn main() {
     } else {
         ExperimentScale::default_run()
     };
+    let bench_obs = BenchObs::from_args(&args);
+    let obs = &bench_obs.obs;
     let mut rows: Vec<Row> = Vec::new();
     println!("[1/7] intro");
     rows.extend(intro::rows(&intro::run(&scale)));
     println!("[2/7] figure 3");
-    rows.extend(fig3::rows(&fig3::run(&scale, threads)));
+    rows.extend(fig3::rows(&fig3::run_obs(&scale, threads, obs)));
     println!("[3/7] figure 4");
     rows.extend(fig4::rows(&fig4::run(&scale)));
     println!("[4/7] table 1");
     rows.extend(table1::rows(&table1::run(&scale)));
     println!("[5/7] t/eps sweep");
-    rows.extend(tsweep::rows(&tsweep::run(&scale, threads)));
+    let (sweep, journal) = tsweep::run_obs(&scale, threads, obs);
+    rows.extend(tsweep::rows(&sweep));
     println!("[6/7] shrinking set");
-    rows.extend(shrink::rows(&shrink::run(&scale)));
+    let (shrunk, _) = shrink::run_obs(&scale, obs);
+    rows.extend(shrink::rows(&shrunk));
     println!("[7/7] aging");
     rows.extend(aging::rows(&aging::run(&scale)));
     println!();
     report(&rows, Some("results/all.jsonl"));
+    bench_obs.finish(Some(&journal));
 }

@@ -1,20 +1,24 @@
 //! Regenerates Figure 3 (see `bench::experiments::fig3`).
 //!
-//! Usage: `cargo run -p bench --bin exp_fig3 [--full] [--threads N]`
+//! Usage: `cargo run -p bench --bin exp_fig3 [--full | --tiny] [--threads N]
+//!         [--trace-out PATH] [--metrics-out PATH]`
 
-use bench::common::{parse_threads, report, ExperimentScale};
+use bench::common::{parse_threads, report, BenchObs, ExperimentScale};
 use bench::experiments::fig3;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let full = args.iter().any(|a| a == "--full");
     let threads = parse_threads(&args);
-    let scale = if full {
+    let scale = if args.iter().any(|a| a == "--full") {
         ExperimentScale::full()
+    } else if args.iter().any(|a| a == "--tiny") {
+        ExperimentScale::tiny()
     } else {
         ExperimentScale::default_run()
     };
+    let bench_obs = BenchObs::from_args(&args);
     println!("== Figure 3: Candidate Statistics algorithm vs Exhaustive ==");
-    let results = fig3::run(&scale, threads);
+    let results = fig3::run_obs(&scale, threads, &bench_obs.obs);
     report(&fig3::rows(&results), Some("results/fig3.jsonl"));
+    bench_obs.finish(None);
 }

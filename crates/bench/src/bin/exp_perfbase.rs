@@ -3,11 +3,13 @@
 //! `bench::experiments::perfbase`).
 //!
 //! Usage: `cargo run --release -p bench --bin exp_perfbase
-//!         [--full | --tiny] [--reps N] [--out PATH]`
+//!         [--full | --tiny] [--reps N] [--out PATH] [--check]`
 //!
 //! Writes `BENCH_exec.json` at the repository root by default (`--out`
 //! overrides, which the CI smoke run uses to avoid clobbering the recorded
-//! numbers).
+//! numbers). `--check` first reloads the previous file at the output path,
+//! if any, and warns when a deterministic work counter regressed by more
+//! than 25% — making perf drift visible in CI logs before the overwrite.
 
 use bench::common::ExperimentScale;
 use bench::experiments::perfbase;
@@ -42,6 +44,30 @@ fn main() {
     println!("== Perf baseline: columnar execution + shared-scan builds ==");
     let result = perfbase::run(&scale, reps);
     result.print();
+
+    if args.iter().any(|a| a == "--check") {
+        match std::fs::read_to_string(&out) {
+            Ok(previous) => match perfbase::check_against(&previous, &result) {
+                Ok(warnings) if warnings.is_empty() => {
+                    println!(
+                        "perf check: work counters within budget of {}",
+                        out.display()
+                    );
+                }
+                Ok(warnings) => {
+                    for w in &warnings {
+                        eprintln!("warning: perf check: {w}");
+                    }
+                }
+                Err(why) => println!("perf check skipped: {why}"),
+            },
+            Err(_) => println!(
+                "perf check skipped: no previous baseline at {}",
+                out.display()
+            ),
+        }
+    }
+
     match std::fs::write(&out, result.to_json()) {
         Ok(()) => println!("results written to {}", out.display()),
         Err(e) => {

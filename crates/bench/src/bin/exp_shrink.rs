@@ -1,22 +1,27 @@
 //! Shrinking Set evaluation (see `bench::experiments::shrink`).
 //!
-//! Usage: `cargo run -p bench --bin exp_shrink [--full]`
+//! Usage: `cargo run -p bench --bin exp_shrink [--full | --tiny]
+//!         [--trace-out PATH] [--metrics-out PATH] [--journal-out PATH]`
 
-use bench::common::{report, ExperimentScale};
+use bench::common::{report, BenchObs, ExperimentScale};
 use bench::experiments::shrink;
 
 fn main() {
-    let full = std::env::args().any(|a| a == "--full");
-    let scale = if full {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = if args.iter().any(|a| a == "--full") {
         ExperimentScale::full()
+    } else if args.iter().any(|a| a == "--tiny") {
+        ExperimentScale::tiny()
     } else {
         ExperimentScale::default_run()
     };
+    let bench_obs = BenchObs::from_args(&args);
     println!("== Shrinking Set: guaranteed essential sets ==");
-    let r = shrink::run(&scale);
+    let (r, journal) = shrink::run_obs(&scale, &bench_obs.obs);
     println!(
         "optimizer calls spent by Shrinking Set: {}",
         r.shrink_optimizer_calls
     );
     report(&shrink::rows(&r), Some("results/shrink.jsonl"));
+    bench_obs.finish(Some(&journal));
 }

@@ -1,20 +1,24 @@
 //! t / ε parameter sweep (see `bench::experiments::tsweep`).
 //!
-//! Usage: `cargo run -p bench --bin exp_tsweep [--full] [--threads N]`
+//! Usage: `cargo run -p bench --bin exp_tsweep [--full | --tiny] [--threads N]
+//!         [--trace-out PATH] [--metrics-out PATH] [--journal-out PATH]`
 
-use bench::common::{parse_threads, report, ExperimentScale};
+use bench::common::{parse_threads, report, BenchObs, ExperimentScale};
 use bench::experiments::tsweep;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let full = args.iter().any(|a| a == "--full");
     let threads = parse_threads(&args);
-    let scale = if full {
+    let scale = if args.iter().any(|a| a == "--full") {
         ExperimentScale::full()
+    } else if args.iter().any(|a| a == "--tiny") {
+        ExperimentScale::tiny()
     } else {
         ExperimentScale::default_run()
     };
+    let bench_obs = BenchObs::from_args(&args);
     println!("== t-Optimizer-Cost threshold and epsilon sweep ==");
-    let results = tsweep::run(&scale, threads);
+    let (results, journal) = tsweep::run_obs(&scale, threads, &bench_obs.obs);
     report(&tsweep::rows(&results), Some("results/tsweep.jsonl"));
+    bench_obs.finish(Some(&journal));
 }

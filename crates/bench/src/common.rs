@@ -148,6 +148,96 @@ pub fn parse_threads(args: &[String]) -> usize {
         .unwrap_or(1)
 }
 
+/// The value of a `--flag VALUE` pair, if present.
+pub fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// Observability plumbing shared by the experiment drivers.
+///
+/// Parses `--trace-out PATH`, `--metrics-out PATH`, and `--journal-out PATH`
+/// and hands out one [`obsv::Obs`] for the whole run. Metrics counters are
+/// always collected (cheap atomics into the run's registry); span tracing is
+/// enabled only when `--trace-out` is given, keeping the default path on the
+/// disabled-tracer fast path. [`BenchObs::finish`] exports everything and
+/// prints the uniform end-of-run metrics summary every driver shares.
+pub struct BenchObs {
+    pub obs: obsv::Obs,
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
+    journal_out: Option<String>,
+}
+
+fn write_artifact(path: &str, what: &str, contents: &str) {
+    if let Some(parent) = std::path::Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            if let Err(e) = std::fs::create_dir_all(parent) {
+                eprintln!("error: cannot create {}: {e}", parent.display());
+                return;
+            }
+        }
+    }
+    match std::fs::write(path, contents) {
+        Ok(()) => println!("{what} written to {path}"),
+        Err(e) => eprintln!("error: cannot write {what} {path}: {e}"),
+    }
+}
+
+impl BenchObs {
+    pub fn from_args(args: &[String]) -> Self {
+        let trace_out = flag_value(args, "--trace-out");
+        let obs = if trace_out.is_some() {
+            obsv::Obs::enabled()
+        } else {
+            obsv::Obs::disabled()
+        };
+        BenchObs {
+            obs,
+            trace_out,
+            metrics_out: flag_value(args, "--metrics-out"),
+            journal_out: flag_value(args, "--journal-out"),
+        }
+    }
+
+    /// Flush + export the trace (Chrome `trace_event` format unless the path
+    /// ends in `.jsonl`), dump the metrics snapshot and the tuning-session
+    /// journal if requested, and print the end-of-run metrics summary.
+    pub fn finish(&self, journal: Option<&autostats::SessionReport>) {
+        if let Some(path) = &self.trace_out {
+            let events = self.obs.tracer.flush();
+            for defect in obsv::trace::validate(&events) {
+                eprintln!("warning: trace defect: {defect:?}");
+            }
+            let text = if path.ends_with(".jsonl") {
+                obsv::export::to_jsonl(&events)
+            } else {
+                obsv::export::to_chrome(&events)
+            };
+            write_artifact(path, &format!("trace ({} events)", events.len()), &text);
+        }
+        if let Some(path) = &self.metrics_out {
+            write_artifact(path, "metrics", &self.obs.metrics.snapshot().render_json());
+        }
+        if let Some(journal) = journal {
+            if !journal.queries.is_empty() {
+                println!("\n== tuning-session journal ==");
+                print!("{}", journal.render_text());
+            }
+            if let Some(path) = &self.journal_out {
+                write_artifact(path, "journal", &journal.to_json());
+            }
+        }
+        let snapshot = self.obs.metrics.snapshot();
+        if !snapshot.entries.is_empty() {
+            println!("\n== metrics (registry snapshot) ==");
+            print!("{}", snapshot.render_text());
+        }
+    }
+}
+
 /// Bind a workload of parsed statements, panicking on generator bugs.
 pub fn bind_all(db: &Database, stmts: &[Statement]) -> Vec<BoundStatement> {
     stmts
@@ -168,12 +258,29 @@ pub fn queries_of(bound: &[BoundStatement]) -> Vec<BoundSelect> {
 /// measurements start from identical state) under the given statistics
 /// catalog. Returns total deterministic execution work.
 pub fn execute_workload(db: &Database, catalog: &StatsCatalog, workload: &[BoundStatement]) -> f64 {
+    execute_workload_obs(db, catalog, workload, &obsv::Obs::disabled())
+}
+
+/// [`execute_workload`] under an observability context: statements run with
+/// `exec.query` / `exec.dml` span trees and the total work is mirrored into
+/// the `exec.work` meter. Returns exactly what `execute_workload` returns.
+pub fn execute_workload_obs(
+    db: &Database,
+    catalog: &StatsCatalog,
+    workload: &[BoundStatement],
+    obs: &obsv::Obs,
+) -> f64 {
     let mut db = db.clone();
-    let runner = WorkloadRunner::default();
-    runner
+    let runner = WorkloadRunner {
+        tracer: obs.tracer.clone(),
+        ..Default::default()
+    };
+    let work = runner
         .run(&mut db, catalog.full_view(), workload)
         .expect("bench workload executes")
-        .total_work
+        .total_work;
+    obs.metrics.float_counter("exec.work").add(work);
+    work
 }
 
 /// Memo of per-statement execution work, shared across the repeated
@@ -220,12 +327,13 @@ pub fn execute_workload_memo(
     workload: &[BoundStatement],
     cache: &OptimizeCache,
     memo: &ExecWorkMemo,
+    obs: &obsv::Obs,
 ) -> f64 {
     if workload
         .iter()
         .any(|s| !matches!(s, BoundStatement::Select(_)))
     {
-        return execute_workload(db, catalog, workload);
+        return execute_workload_obs(db, catalog, workload, obs);
     }
     let optimizer = Optimizer::default();
     let options = OptimizeOptions::default();
@@ -240,9 +348,13 @@ pub fn execute_workload_memo(
         let key = (i, optimized.plan.structural_fingerprint());
         let cell = Arc::clone(memo.per_statement.lock().entry(key).or_default());
         total += *cell.get_or_init(|| {
-            execute_plan(db, q, &optimized.plan, &optimizer.params)
+            // Only cold cells execute, so `exec.work` meters *physical*
+            // work: the whole point of the memo is that warm cells add none.
+            let work = execute_plan(db, q, &optimized.plan, &optimizer.params)
                 .expect("bench workload executes")
-                .work
+                .work;
+            obs.metrics.float_counter("exec.work").add(work);
+            work
         });
     }
     total

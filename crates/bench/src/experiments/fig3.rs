@@ -6,8 +6,8 @@
 //! with workload execution cost increasing by no more than 3%.
 
 use crate::common::{
-    bind_all, create_all, execute_workload, pct_change, pct_reduction, queries_of, ExperimentScale,
-    Row,
+    bind_all, create_all, execute_workload_obs, pct_change, pct_reduction, queries_of,
+    ExperimentScale, Row,
 };
 use autostats::{candidate_statistics, exhaustive_candidates};
 use datagen::{
@@ -47,23 +47,34 @@ fn workloads(db: &Database, scale: &ExperimentScale) -> Vec<(String, Vec<Stateme
 }
 
 /// Measure one (database, workload) pair.
-fn measure(db: &Database, name: &str, wl_name: &str, stmts: &[Statement]) -> Fig3Result {
+fn measure(
+    db: &Database,
+    name: &str,
+    wl_name: &str,
+    stmts: &[Statement],
+    obs: &obsv::Obs,
+) -> Fig3Result {
+    let mut span = obs.tracer.span("fig3.measure");
+    span.arg("database", name.to_string());
+    span.arg("workload", wl_name.to_string());
     let bound = bind_all(db, stmts);
     let queries = queries_of(&bound);
 
     let mut cat_ex = StatsCatalog::new();
+    cat_ex.set_obs(obs);
     let mut work_ex = 0.0;
     for q in &queries {
         work_ex += create_all(db, &mut cat_ex, exhaustive_candidates(q, 8));
     }
     let mut cat_h = StatsCatalog::new();
+    cat_h.set_obs(obs);
     let mut work_h = 0.0;
     for q in &queries {
         work_h += create_all(db, &mut cat_h, candidate_statistics(q));
     }
 
-    let exec_ex = execute_workload(db, &cat_ex, &bound);
-    let exec_h = execute_workload(db, &cat_h, &bound);
+    let exec_ex = execute_workload_obs(db, &cat_ex, &bound, obs);
+    let exec_h = execute_workload_obs(db, &cat_h, &bound, obs);
 
     Fig3Result {
         database: name.to_string(),
@@ -80,6 +91,13 @@ fn measure(db: &Database, name: &str, wl_name: &str, stmts: &[Statement]) -> Fig
 /// across worker threads; the merge is index-ordered, so output is
 /// identical for every thread count.
 pub fn run(scale: &ExperimentScale, threads: usize) -> Vec<Fig3Result> {
+    run_obs(scale, threads, &obsv::Obs::disabled())
+}
+
+/// [`run`] under an observability context: catalogs meter their builds,
+/// workload execution is traced, and each worker thread traces into its own
+/// forked buffer. Results are identical to the plain path.
+pub fn run_obs(scale: &ExperimentScale, threads: usize, obs: &obsv::Obs) -> Vec<Fig3Result> {
     let mut inputs = Vec::new();
     for (name, db) in standard_databases(scale.scale, scale.seed) {
         let wls = workloads(&db, scale);
@@ -91,22 +109,24 @@ pub fn run(scale: &ExperimentScale, threads: usize) -> Vec<Fig3Result> {
     if threads <= 1 {
         return inputs
             .iter()
-            .map(|(db, name, wl_name, stmts)| measure(db, name, wl_name, stmts))
+            .map(|(db, name, wl_name, stmts)| measure(db, name, wl_name, stmts, obs))
             .collect();
     }
     let slots: Vec<parking_lot::Mutex<Option<Fig3Result>>> = (0..inputs.len())
         .map(|_| parking_lot::Mutex::new(None))
         .collect();
     let next = std::sync::atomic::AtomicUsize::new(0);
+    let (inputs_ref, slots_ref, next_ref) = (&inputs, &slots, &next);
     crossbeam::thread::scope(|s| {
-        for _ in 0..threads.min(inputs.len()) {
-            s.spawn(|_| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= inputs.len() {
+        for w in 0..threads.min(inputs.len()) {
+            let worker_obs = obs.fork(w as u64 + 1);
+            s.spawn(move |_| loop {
+                let i = next_ref.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= inputs_ref.len() {
                     break;
                 }
-                let (db, name, wl_name, stmts) = &inputs[i];
-                *slots[i].lock() = Some(measure(db, name, wl_name, stmts));
+                let (db, name, wl_name, stmts) = &inputs_ref[i];
+                *slots_ref[i].lock() = Some(measure(db, name, wl_name, stmts, &worker_obs));
             });
         }
     })
@@ -155,7 +175,7 @@ mod tests {
             seed: scale.seed,
         });
         let (wl_name, stmts) = workloads(&db, &scale).remove(2); // complex Rags
-        let r = measure(&db, "TPCD_MIX", &wl_name, &stmts);
+        let r = measure(&db, "TPCD_MIX", &wl_name, &stmts, &obsv::Obs::disabled());
         assert!(
             r.heuristic_work <= r.exhaustive_work,
             "heuristic must not cost more than exhaustive"
@@ -176,7 +196,7 @@ mod tests {
             seed: scale.seed,
         });
         let (wl_name, stmts) = workloads(&db, &scale).remove(0);
-        let r = measure(&db, "TPCD_2", &wl_name, &stmts);
+        let r = measure(&db, "TPCD_2", &wl_name, &stmts, &obsv::Obs::disabled());
         assert!(
             r.creation_reduction_pct > 0.0,
             "reduction: {}",

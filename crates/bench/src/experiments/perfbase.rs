@@ -127,6 +127,52 @@ fn median_ms(mut samples: Vec<f64>) -> f64 {
     samples[samples.len() / 2]
 }
 
+/// Compare a fresh result against a previously recorded `BENCH_exec.json`,
+/// returning one warning line per deterministic work counter that regressed
+/// by more than 25%. Wall-clock medians are not compared — they move with
+/// the machine; the work counters may not. `Err` explains why the comparison
+/// was skipped (unparseable baseline, different scale or workload).
+pub fn check_against(previous_json: &str, current: &PerfbaseResult) -> Result<Vec<String>, String> {
+    let prev = obsv::json::parse(previous_json)
+        .map_err(|e| format!("previous baseline unparseable: {e}"))?;
+    let num = |path: &[&str]| -> Option<f64> {
+        let mut v = &prev;
+        for key in path {
+            v = v.get(key)?;
+        }
+        v.as_f64()
+    };
+    let prev_scale =
+        num(&["scale"]).ok_or_else(|| "previous baseline missing scale".to_string())?;
+    let prev_queries =
+        num(&["queries"]).ok_or_else(|| "previous baseline missing queries".to_string())?;
+    if prev_scale != current.scale || prev_queries != current.queries as f64 {
+        return Err(format!(
+            "previous baseline is a different run (scale={prev_scale} queries={prev_queries} vs \
+             scale={} queries={})",
+            current.scale, current.queries
+        ));
+    }
+    let mut warnings = Vec::new();
+    for (what, previous, measured) in [
+        ("exec work", num(&["exec", "work"]), current.exec_work),
+        (
+            "build creation work",
+            num(&["build", "creation_work"]),
+            current.build_creation_work,
+        ),
+    ] {
+        let Some(previous) = previous else { continue };
+        if previous > 0.0 && measured > previous * 1.25 {
+            warnings.push(format!(
+                "{what} regressed {previous:.0} -> {measured:.0} (+{:.1}%, budget 25%)",
+                (measured / previous - 1.0) * 100.0
+            ));
+        }
+    }
+    Ok(warnings)
+}
+
 /// Workload queries with their optimized plans (plan choice is fixed up
 /// front so the timed loops measure execution only).
 fn planned_workload(
@@ -273,5 +319,55 @@ pub fn run(scale: &ExperimentScale, reps: usize) -> PerfbaseResult {
         build_serial_ms: median_ms(serial_ms),
         build_batched_ms: median_ms(batched_ms),
         build_creation_work: serial_cat.creation_work(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PerfbaseResult {
+        PerfbaseResult {
+            scale: 0.004,
+            queries: 42,
+            reps: 5,
+            exec_reference_ms: 10.0,
+            exec_columnar_ms: 5.0,
+            exec_work: 1000.0,
+            build_tables: 4,
+            build_statistics: 20,
+            build_serial_ms: 8.0,
+            build_batched_ms: 4.0,
+            build_creation_work: 500.0,
+        }
+    }
+
+    #[test]
+    fn check_passes_against_own_json() {
+        let r = sample();
+        assert_eq!(check_against(&r.to_json(), &r), Ok(Vec::new()));
+    }
+
+    #[test]
+    fn check_warns_on_work_regression() {
+        let r = sample();
+        let mut worse = r.clone();
+        worse.exec_work = r.exec_work * 1.5; // +50%, over the 25% budget
+        let warnings = check_against(&r.to_json(), &worse).expect("comparable runs");
+        assert_eq!(warnings.len(), 1);
+        assert!(warnings[0].contains("exec work"), "{warnings:?}");
+        // Within budget: no warning.
+        let mut ok = r.clone();
+        ok.build_creation_work = r.build_creation_work * 1.2;
+        assert_eq!(check_against(&r.to_json(), &ok), Ok(Vec::new()));
+    }
+
+    #[test]
+    fn check_skips_mismatched_runs() {
+        let r = sample();
+        let mut other = r.clone();
+        other.scale = 0.01;
+        assert!(check_against(&r.to_json(), &other).is_err());
+        assert!(check_against("not json", &r).is_err());
     }
 }

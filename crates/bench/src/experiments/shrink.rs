@@ -6,8 +6,9 @@
 //! compare the residual statistics count / update cost against MNSA and
 //! MNSA/D as the offline-policy pipeline of §6 suggests.
 
-use crate::common::{bind_all, execute_workload, pct_change, queries_of, ExperimentScale, Row};
-use autostats::{shrinking_set, Equivalence, MnsaConfig, MnsaEngine};
+use crate::common::{bind_all, execute_workload_obs, pct_change, queries_of, ExperimentScale, Row};
+use autostats::policy::optimizer_call_work;
+use autostats::{shrinking_set_traced, Equivalence, MnsaConfig, MnsaEngine, SessionReport};
 use datagen::{build_tpcd, Complexity, RagsGenerator, TpcdConfig, WorkloadSpec, ZipfSpec};
 use optimizer::Optimizer;
 use stats::StatsCatalog;
@@ -26,6 +27,13 @@ pub struct ShrinkResult {
 
 /// Run the comparison on TPCD_MIX with a query-only complex workload.
 pub fn run(scale: &ExperimentScale) -> ShrinkResult {
+    run_obs(scale, &obsv::Obs::disabled()).0
+}
+
+/// [`run`] under an observability context. Also returns the tuning-session
+/// journal of the MNSA pass plus the shrinking pass, built from the
+/// per-query outcomes (bit-identical with tracing on or off).
+pub fn run_obs(scale: &ExperimentScale, obs: &obsv::Obs) -> (ShrinkResult, SessionReport) {
     let db = build_tpcd(&TpcdConfig {
         scale: scale.scale,
         zipf: ZipfSpec::Mixed,
@@ -36,26 +44,36 @@ pub fn run(scale: &ExperimentScale) -> ShrinkResult {
     let bound = bind_all(&db, &stmts);
     let queries = queries_of(&bound);
     let optimizer = Optimizer::default();
+    let mut journal = SessionReport::default();
 
     // MNSA alone.
-    let engine = MnsaEngine::new(MnsaConfig::default());
+    let engine = MnsaEngine::new(MnsaConfig::default()).with_obs(obs.clone());
     let mut cat = StatsCatalog::new();
+    cat.set_obs(obs);
     for q in &queries {
-        engine.run_query(&db, &mut cat, q).expect("mnsa tunes");
+        let outcome = engine.run_query(&db, &mut cat, q).expect("mnsa tunes");
+        journal.record_query(q.relations.len(), &outcome);
+        journal.totals.optimizer_calls += outcome.optimizer_calls;
+        journal.totals.statistics_created += outcome.created.len();
+        journal.totals.statistics_drop_listed += outcome.drop_listed.len();
+        journal.totals.overhead_work +=
+            outcome.optimizer_calls as f64 * optimizer_call_work(q.relations.len());
     }
+    journal.totals.creation_work = cat.creation_work();
     let mnsa_ids = cat.active_ids();
     let mnsa_update_cost = cat.update_cost_of(&db, mnsa_ids.iter().copied());
-    let exec_before = execute_workload(&db, &cat, &bound);
+    let exec_before = execute_workload_obs(&db, &cat, &bound, obs);
 
     // MNSA/D for comparison (independent catalog).
-    let mnsad = MnsaEngine::new(MnsaConfig::default().with_drop_detection());
+    let mnsad = MnsaEngine::new(MnsaConfig::default().with_drop_detection()).with_obs(obs.clone());
     let mut cat_d = StatsCatalog::new();
+    cat_d.set_obs(obs);
     for q in &queries {
         mnsad.run_query(&db, &mut cat_d, q).expect("mnsa tunes");
     }
 
     // Shrinking Set on top of the MNSA catalog.
-    let out = shrinking_set(
+    let out = shrinking_set_traced(
         &db,
         &mut cat,
         &optimizer,
@@ -63,12 +81,15 @@ pub fn run(scale: &ExperimentScale) -> ShrinkResult {
         &mnsa_ids,
         Equivalence::paper_default(),
         true,
+        obs,
     )
     .expect("shrinking set runs");
     let shrunk_update_cost = cat.update_cost_of(&db, out.essential.iter().copied());
-    let exec_after = execute_workload(&db, &cat, &bound);
+    let exec_after = execute_workload_obs(&db, &cat, &bound, obs);
+    journal.shrink_removed = mnsa_ids.len() - out.essential.len();
+    journal.shrink_optimizer_calls = out.optimizer_calls;
 
-    ShrinkResult {
+    let result = ShrinkResult {
         mnsa_stats: mnsa_ids.len(),
         mnsad_stats: cat_d.active_count(),
         shrunk_stats: out.essential.len(),
@@ -76,7 +97,8 @@ pub fn run(scale: &ExperimentScale) -> ShrinkResult {
         shrunk_update_cost,
         exec_increase_pct: pct_change(exec_before, exec_after),
         shrink_optimizer_calls: out.optimizer_calls,
-    }
+    };
+    (result, journal)
 }
 
 /// Convert to report rows.

@@ -29,11 +29,11 @@
 //! wall-clock and cache counters.
 
 use crate::common::{
-    bind_all, create_all, execute_workload, execute_workload_memo, pct_change, pct_reduction,
+    bind_all, create_all, execute_workload_memo, execute_workload_obs, pct_change, pct_reduction,
     queries_of, ExecWorkMemo, ExperimentScale, Row,
 };
 use autostats::policy::optimizer_call_work;
-use autostats::{candidate_statistics, MnsaConfig, MnsaEngine, MnsaOutcome};
+use autostats::{candidate_statistics, MnsaConfig, MnsaEngine, MnsaOutcome, SessionReport};
 use datagen::{build_tpcd, Complexity, RagsGenerator, TpcdConfig, WorkloadSpec, ZipfSpec};
 use optimizer::OptimizeCache;
 use parking_lot::Mutex;
@@ -62,6 +62,7 @@ fn tune_point(
     engine: &MnsaEngine,
 ) -> (StatsCatalog, f64, Vec<MnsaOutcome>) {
     let mut cat = StatsCatalog::new();
+    cat.set_obs(&engine.obs);
     let mut work = 0.0;
     let mut outcomes = Vec::with_capacity(queries.len());
     for q in queries {
@@ -93,6 +94,7 @@ fn point_result(
 }
 
 /// Reference path: tune + execute from scratch, nothing shared or memoized.
+#[allow(clippy::too_many_arguments)]
 fn measure_point_plain(
     db: &Database,
     bound: &[BoundStatement],
@@ -101,15 +103,18 @@ fn measure_point_plain(
     exec_all: f64,
     t: f64,
     eps: f64,
-) -> SweepResult {
+    obs: &obsv::Obs,
+) -> (SweepResult, Vec<MnsaOutcome>, f64) {
     let engine = MnsaEngine::new(MnsaConfig {
         t_percent: t,
         epsilon: eps,
         ..Default::default()
-    });
-    let (cat, work, _) = tune_point(db, queries, &engine);
-    let exec = execute_workload(db, &cat, bound);
-    point_result(t, eps, &cat, work, exec, work_all, exec_all)
+    })
+    .with_obs(obs.clone());
+    let (cat, work, outcomes) = tune_point(db, queries, &engine);
+    let exec = execute_workload_obs(db, &cat, bound, obs);
+    let result = point_result(t, eps, &cat, work, exec, work_all, exec_all);
+    (result, outcomes, work)
 }
 
 /// Tuning-service path: memoized optimizer + execution-work sharing, with a
@@ -125,13 +130,15 @@ fn measure_point_memo(
     eps: f64,
     cache: &Arc<OptimizeCache>,
     memo: &ExecWorkMemo,
-) -> SweepResult {
+    obs: &obsv::Obs,
+) -> (SweepResult, Vec<MnsaOutcome>, f64) {
     let engine = MnsaEngine::new(MnsaConfig {
         t_percent: t,
         epsilon: eps,
         ..Default::default()
     })
-    .with_cache(Arc::clone(cache));
+    .with_cache(Arc::clone(cache))
+    .with_obs(obs.clone());
 
     let (cat, work, outcomes) = tune_point(db, queries, &engine);
     // Differential determinism check: tuning again from an empty catalog
@@ -145,14 +152,27 @@ fn measure_point_memo(
     );
     assert_eq!(work, work_rerun, "nondeterministic work at t={t} eps={eps}");
 
-    let exec = execute_workload_memo(db, &cat, bound, cache, memo);
-    point_result(t, eps, &cat, work, exec, work_all, exec_all)
+    let exec = execute_workload_memo(db, &cat, bound, cache, memo, obs);
+    let result = point_result(t, eps, &cat, work, exec, work_all, exec_all);
+    (result, outcomes, work)
 }
 
 /// Sweep t (at ε = 0.0005) then ε (at t = 20) on TPCD_MIX, U0-C workload.
 /// `threads > 1` fans the sweep points across worker threads with shared
 /// memoization; results are identical for every thread count.
 pub fn run(scale: &ExperimentScale, threads: usize) -> Vec<SweepResult> {
+    run_obs(scale, threads, &obsv::Obs::disabled()).0
+}
+
+/// [`run`] under an observability context. Alongside the sweep results it
+/// returns the tuning-session journal of the paper-default point
+/// (t = 20, ε = 0.0005), built from that point's per-query MNSA outcomes —
+/// so it is bit-identical for every thread count.
+pub fn run_obs(
+    scale: &ExperimentScale,
+    threads: usize,
+    obs: &obsv::Obs,
+) -> (Vec<SweepResult>, SessionReport) {
     let started = Instant::now();
     let db = build_tpcd(&TpcdConfig {
         scale: scale.scale,
@@ -166,20 +186,23 @@ pub fn run(scale: &ExperimentScale, threads: usize) -> Vec<SweepResult> {
 
     // Shared, detached optimizer cache + execution-work memo for the
     // threaded path (see module docs). Created before the baseline so the
-    // baseline execution warms the memo.
-    let cache = Arc::new(OptimizeCache::new());
+    // baseline execution warms the memo. Registering the cache against the
+    // run's registry puts `optimizer.cache.{hit,miss,invalidation}` in the
+    // end-of-run summary.
+    let cache = Arc::new(OptimizeCache::with_metrics(&obs.metrics));
     let memo = ExecWorkMemo::new();
 
     // Baseline: all candidates.
     let mut cat_all = StatsCatalog::new();
+    cat_all.set_obs(obs);
     let mut work_all = 0.0;
     for q in &queries {
         work_all += create_all(&db, &mut cat_all, candidate_statistics(q));
     }
     let exec_all = if threads <= 1 {
-        execute_workload(&db, &cat_all, &bound)
+        execute_workload_obs(&db, &cat_all, &bound, obs)
     } else {
-        execute_workload_memo(&db, &cat_all, &bound, &cache, &memo)
+        execute_workload_memo(&db, &cat_all, &bound, &cache, &memo, obs)
     };
 
     let mut points: Vec<(f64, f64)> = [0.0, 5.0, 10.0, 20.0, 40.0, 80.0]
@@ -188,10 +211,12 @@ pub fn run(scale: &ExperimentScale, threads: usize) -> Vec<SweepResult> {
         .collect();
     points.extend([(20.0, 0.01), (20.0, 0.1)]);
 
-    let out: Vec<SweepResult> = if threads <= 1 {
+    let measured: Vec<(SweepResult, Vec<MnsaOutcome>, f64)> = if threads <= 1 {
         let out = points
             .iter()
-            .map(|&(t, eps)| measure_point_plain(&db, &bound, &queries, work_all, exec_all, t, eps))
+            .map(|&(t, eps)| {
+                measure_point_plain(&db, &bound, &queries, work_all, exec_all, t, eps, obs)
+            })
             .collect();
         println!(
             "tsweep: threads=1 wall-clock={:.2}s cache: off (serial reference path; \
@@ -200,19 +225,32 @@ pub fn run(scale: &ExperimentScale, threads: usize) -> Vec<SweepResult> {
         );
         out
     } else {
-        let slots: Vec<Mutex<Option<SweepResult>>> =
-            (0..points.len()).map(|_| Mutex::new(None)).collect();
+        type PointSlot = Mutex<Option<(SweepResult, Vec<MnsaOutcome>, f64)>>;
+        let slots: Vec<PointSlot> = (0..points.len()).map(|_| Mutex::new(None)).collect();
         let next = AtomicUsize::new(0);
+        let (points_ref, slots_ref, next_ref, cache_ref, memo_ref) =
+            (&points, &slots, &next, &cache, &memo);
+        let (db_ref, bound_ref, queries_ref) = (&db, &bound, &queries);
         crossbeam::thread::scope(|s| {
-            for _ in 0..threads.min(points.len()) {
-                s.spawn(|_| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= points.len() {
+            for w in 0..threads.min(points.len()) {
+                let worker_obs = obs.fork(w as u64 + 1);
+                s.spawn(move |_| loop {
+                    let i = next_ref.fetch_add(1, Ordering::Relaxed);
+                    if i >= points_ref.len() {
                         break;
                     }
-                    let (t, eps) = points[i];
-                    *slots[i].lock() = Some(measure_point_memo(
-                        &db, &bound, &queries, work_all, exec_all, t, eps, &cache, &memo,
+                    let (t, eps) = points_ref[i];
+                    *slots_ref[i].lock() = Some(measure_point_memo(
+                        db_ref,
+                        bound_ref,
+                        queries_ref,
+                        work_all,
+                        exec_all,
+                        t,
+                        eps,
+                        cache_ref,
+                        memo_ref,
+                        &worker_obs,
                     ));
                 });
             }
@@ -232,7 +270,28 @@ pub fn run(scale: &ExperimentScale, threads: usize) -> Vec<SweepResult> {
             .collect()
     };
 
-    out
+    // Journal the paper-default point from its MNSA outcomes. The split of
+    // total work into creation vs optimizer-call overhead is recomputed the
+    // same way `tune_point` accumulated it.
+    let mut journal = SessionReport::default();
+    let mut results = Vec::with_capacity(measured.len());
+    for (result, outcomes, work) in measured {
+        if result.t_percent == 20.0 && result.epsilon == 0.0005 {
+            let mut overhead = 0.0;
+            for (q, o) in queries.iter().zip(&outcomes) {
+                journal.record_query(q.relations.len(), o);
+                overhead += o.optimizer_calls as f64 * optimizer_call_work(q.relations.len());
+            }
+            journal.totals.optimizer_calls = outcomes.iter().map(|o| o.optimizer_calls).sum();
+            journal.totals.statistics_created = outcomes.iter().map(|o| o.created.len()).sum();
+            journal.totals.statistics_drop_listed =
+                outcomes.iter().map(|o| o.drop_listed.len()).sum();
+            journal.totals.creation_work = work - overhead;
+            journal.totals.overhead_work = overhead;
+        }
+        results.push(result);
+    }
+    (results, journal)
 }
 
 /// Convert to report rows.

@@ -55,6 +55,7 @@ pub mod candidates;
 pub mod equivalence;
 pub mod error;
 pub mod faults;
+pub mod journal;
 pub mod manager;
 pub mod mnsa;
 pub mod parallel;
@@ -66,8 +67,9 @@ pub use candidates::{candidate_statistics, exhaustive_candidates, single_column_
 pub use equivalence::Equivalence;
 pub use error::TuneError;
 pub use faults::{Fault, FaultPlan};
+pub use journal::{QueryRecord, SessionReport};
 pub use manager::{AutoStatsManager, ManagerConfig};
 pub use mnsa::{CandidateMode, MnsaConfig, MnsaEngine, MnsaOutcome, NextStatOrder, Termination};
 pub use parallel::ParallelTuner;
 pub use policy::{CreationPolicy, OfflineTuner, TuningReport};
-pub use shrinking::{shrinking_set, ShrinkingOutcome};
+pub use shrinking::{shrinking_set, shrinking_set_traced, ShrinkingOutcome};

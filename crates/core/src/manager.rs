@@ -6,9 +6,10 @@
 //! application would drive a server.
 
 use crate::error::TuneError;
-use crate::policy::{apply_policy_cached, CreationPolicy, TuningReport};
+use crate::journal::SessionReport;
+use crate::policy::{apply_policy_obs, CreationPolicy, TuningReport};
 use crate::Equivalence;
-use executor::{run_statement, ExecError, StatementOutcome};
+use executor::{run_statement_traced, ExecError, StatementOutcome};
 use optimizer::PlanError;
 use optimizer::{CacheCounters, OptimizeCache, OptimizeOptions, Optimizer};
 use query::{bind_statement, parse_statement, BindError, BoundStatement, ParseError, Statement};
@@ -121,13 +122,27 @@ pub struct AutoStatsManager {
     execution_work: f64,
     /// Memoized-optimizer cache for tuning calls, attached to the catalog.
     cache: Option<Arc<OptimizeCache>>,
+    /// Observability context threaded into tuning, builds, and execution.
+    obs: obsv::Obs,
+    /// Journal of every MNSA trajectory this manager ran.
+    session: SessionReport,
 }
 
 impl AutoStatsManager {
     pub fn new(db: Database, config: ManagerConfig) -> Self {
+        Self::new_with_obs(db, config, obsv::Obs::disabled())
+    }
+
+    /// [`AutoStatsManager::new`] with a live observability context: the
+    /// optimizer cache registers its `optimizer.cache.*` counters, the
+    /// catalog its `stats.*` build metrics, and execution mirrors its work
+    /// into the `exec.work` counter. Tuning outcomes are bit-identical to an
+    /// unobserved manager.
+    pub fn new_with_obs(db: Database, config: ManagerConfig, obs: obsv::Obs) -> Self {
         let mut catalog = StatsCatalog::new();
+        catalog.set_obs(&obs);
         let cache = config.optimizer_cache.then(|| {
-            let cache = Arc::new(OptimizeCache::new());
+            let cache = Arc::new(OptimizeCache::with_metrics(&obs.metrics));
             cache.attach(&mut catalog);
             cache
         });
@@ -139,6 +154,8 @@ impl AutoStatsManager {
             tuning: TuningReport::default(),
             execution_work: 0.0,
             cache,
+            obs,
+            session: SessionReport::default(),
         }
     }
 
@@ -172,6 +189,17 @@ impl AutoStatsManager {
         self.execution_work
     }
 
+    /// The observability context this manager records into.
+    pub fn obs(&self) -> &obsv::Obs {
+        &self.obs
+    }
+
+    /// The tuning-session journal: one record per MNSA trajectory this
+    /// manager ran for an incoming query.
+    pub fn session_report(&self) -> &SessionReport {
+        &self.session
+    }
+
     /// Hit/miss/invalidation counters of the tuning-time optimizer cache;
     /// `None` when `ManagerConfig::optimizer_cache` is off.
     pub fn cache_counters(&self) -> Option<CacheCounters> {
@@ -196,22 +224,32 @@ impl AutoStatsManager {
         bound: &BoundStatement,
     ) -> Result<StatementOutcome, ManagerError> {
         if let BoundStatement::Select(q) = bound {
-            let (report, _) = apply_policy_cached(
+            let (report, _, mnsa) = apply_policy_obs(
                 &self.db,
                 &mut self.catalog,
                 &self.config.creation,
                 q,
                 self.cache.as_ref(),
+                &self.obs,
             )?;
             self.tuning.absorb(&report);
+            if let Some(outcome) = mnsa {
+                self.session.record_query(q.relations.len(), &outcome);
+            }
+            self.session.totals.absorb(&report);
         }
-        let outcome = run_statement(
+        let outcome = run_statement_traced(
             &mut self.db,
             self.catalog.full_view(),
             &self.optimizer,
             bound,
+            &self.obs.tracer,
         )?;
         self.execution_work += outcome.work();
+        self.obs
+            .metrics
+            .float_counter("exec.work")
+            .add(outcome.work());
         if self.config.auto_maintain && !matches!(bound, BoundStatement::Select(_)) {
             self.maintain();
         }

@@ -130,6 +130,10 @@ pub struct MnsaOutcome {
     pub aged_out: Vec<StatDescriptor>,
     pub optimizer_calls: usize,
     pub terminated_by: Termination,
+    /// Sensitivity-probe iterations that went on to build statistics.
+    pub rounds: usize,
+    /// Estimated plan cost under the final statistics when MNSA stopped.
+    pub final_cost: f64,
 }
 
 impl MnsaOutcome {
@@ -141,6 +145,8 @@ impl MnsaOutcome {
             aged_out: Vec::new(),
             optimizer_calls: 0,
             terminated_by: Termination::CostConverged,
+            rounds: 0,
+            final_cost: 0.0,
         }
     }
 }
@@ -159,6 +165,10 @@ pub struct MnsaEngine {
     /// call: the paper's call-count economics are a property of the
     /// algorithm, not of this memoization.
     pub cache: Option<Arc<OptimizeCache>>,
+    /// Observability context. Disabled by default; purely observational —
+    /// enabling it may never change an outcome (`tests/trace_determinism.rs`
+    /// enforces bit-identical results with tracing on vs off).
+    pub obs: obsv::Obs,
 }
 
 impl MnsaEngine {
@@ -167,12 +177,19 @@ impl MnsaEngine {
             optimizer: Optimizer::default(),
             config,
             cache: None,
+            obs: obsv::Obs::disabled(),
         }
     }
 
     /// Route this engine's optimizer calls through `cache`.
     pub fn with_cache(mut self, cache: Arc<OptimizeCache>) -> Self {
         self.cache = Some(cache);
+        self
+    }
+
+    /// Record spans and counters into `obs` while tuning.
+    pub fn with_obs(mut self, obs: obsv::Obs) -> Self {
+        self.obs = obs;
         self
     }
 
@@ -187,6 +204,10 @@ impl MnsaEngine {
         }
     }
 
+    /// One logical optimizer call, counted in `outcome` and on the
+    /// `mnsa.optimizer_calls` counter, recorded as an `optimizer.call` child
+    /// span (phase label, resulting cost, cache-hit attribution).
+    #[allow(clippy::too_many_arguments)]
     fn optimize(
         &self,
         db: &Database,
@@ -194,9 +215,20 @@ impl MnsaEngine {
         query: &BoundSelect,
         options: &OptimizeOptions,
         outcome: &mut MnsaOutcome,
+        parent: &obsv::SpanGuard,
+        calls: &obsv::Counter,
+        phase: &'static str,
     ) -> Result<OptimizedQuery, PlanError> {
         outcome.optimizer_calls += 1;
-        match &self.cache {
+        calls.inc();
+        let mut span = parent.child("optimizer.call");
+        // Cache-hit attribution reads the shared hit counter around the call;
+        // only bother when the span is live.
+        let hits_before = match &self.cache {
+            Some(cache) if span.is_enabled() => Some(cache.hits()),
+            _ => None,
+        };
+        let result = match &self.cache {
             Some(cache) => {
                 self.optimizer
                     .optimize_cached(db, query, catalog.full_view(), options, cache)
@@ -204,7 +236,17 @@ impl MnsaEngine {
             None => self
                 .optimizer
                 .optimize(db, query, catalog.full_view(), options),
+        };
+        if span.is_enabled() {
+            span.arg("phase", phase);
+            if let (Some(before), Some(cache)) = (hits_before, &self.cache) {
+                span.arg("cache_hit", cache.hits() > before);
+            }
+            if let Ok(optimized) = &result {
+                span.arg("cost", optimized.cost);
+            }
         }
+        result
     }
 
     /// Run MNSA (Figure 1) for one query, creating statistics in `catalog`.
@@ -215,6 +257,10 @@ impl MnsaEngine {
         query: &BoundSelect,
     ) -> Result<MnsaOutcome, TuneError> {
         let mut outcome = MnsaOutcome::new();
+        let mut query_span = self.obs.tracer.span("mnsa.query");
+        query_span.arg("relations", query.relations.len());
+        // One registry lookup per run, not per optimizer call.
+        let calls = self.obs.metrics.counter("mnsa.optimizer_calls");
         // A drop-listed statistic is invisible to the optimizer, so for
         // candidate purposes it counts as unbuilt: if this query's
         // sensitivity loop picks it again, `create_statistic` reactivates it
@@ -254,6 +300,9 @@ impl MnsaEngine {
             query,
             &OptimizeOptions::default(),
             &mut outcome,
+            &query_span,
+            &calls,
+            "initial",
         )?;
 
         loop {
@@ -265,12 +314,17 @@ impl MnsaEngine {
                 outcome.terminated_by = Termination::CostConverged;
                 break;
             }
+            let mut round_span = query_span.child("mnsa.round");
+            round_span.arg("magic_vars", magic.len());
             let p_low = self.optimize(
                 db,
                 catalog,
                 query,
                 &OptimizeOptions::inject_all(&magic, self.config.epsilon),
                 &mut outcome,
+                &round_span,
+                &calls,
+                "probe_low",
             )?;
             let p_high = self.optimize(
                 db,
@@ -278,10 +332,16 @@ impl MnsaEngine {
                 query,
                 &OptimizeOptions::inject_all(&magic, 1.0 - self.config.epsilon),
                 &mut outcome,
+                &round_span,
+                &calls,
+                "probe_high",
             )?;
             let lo = p_low.cost.min(p_high.cost);
             let hi = p_low.cost.max(p_high.cost);
+            round_span.arg("p_low_cost", lo);
+            round_span.arg("p_high_cost", hi);
             if lo <= 0.0 || (hi - lo) / lo <= self.config.t_percent / 100.0 {
+                round_span.arg("converged", true);
                 outcome.terminated_by = Termination::CostConverged;
                 break;
             }
@@ -294,7 +354,9 @@ impl MnsaEngine {
                 &current.plan,
                 &mut remaining,
                 &mut outcome,
+                &round_span,
             ) else {
+                round_span.arg("converged", false);
                 outcome.terminated_by = Termination::NoMoreCandidates;
                 break;
             };
@@ -306,6 +368,8 @@ impl MnsaEngine {
             let round_ids: Vec<StatId> =
                 crate::batch::create_statistics_grouped(catalog, db, &group)?;
             outcome.created.extend(&round_ids);
+            outcome.rounds += 1;
+            round_span.arg("built", round_ids.len());
 
             // Steps 11–12: re-optimize with the new statistics.
             current = self.optimize(
@@ -314,7 +378,11 @@ impl MnsaEngine {
                 query,
                 &OptimizeOptions::default(),
                 &mut outcome,
+                &round_span,
+                &calls,
+                "rebuild",
             )?;
+            round_span.arg("new_cost", current.cost);
 
             // MNSA/D (§5.1): if the plan did not change, the statistics just
             // built are heuristically non-essential. The heuristic alone can
@@ -324,6 +392,12 @@ impl MnsaEngine {
             // re-optimize, and keep the drop only if the plan tree is still
             // unchanged.
             if self.config.drop_detection && current.plan.same_tree(&before_plan) {
+                if round_span.is_enabled() {
+                    round_span.instant(
+                        "mnsad.drop_probe",
+                        vec![("n", obsv::ArgValue::Int(round_ids.len() as i64))],
+                    );
+                }
                 for &id in &round_ids {
                     catalog.move_to_drop_list(id);
                 }
@@ -333,13 +407,23 @@ impl MnsaEngine {
                     query,
                     &OptimizeOptions::default(),
                     &mut outcome,
+                    &round_span,
+                    &calls,
+                    "drop_verify",
                 )?;
                 if without.plan.same_tree(&current.plan) {
+                    if round_span.is_enabled() {
+                        round_span.instant("mnsad.dropped", Vec::new());
+                    }
                     outcome.drop_listed.extend(&round_ids);
                     // The loop invariant (current == plan under active stats)
                     // holds with the re-optimized plan.
                     current = without;
                 } else {
+                    if round_span.is_enabled() {
+                        round_span.instant("mnsad.reactivated", Vec::new());
+                    }
+                    self.obs.metrics.counter("mnsa.drop_reactivated").inc();
                     for &id in &round_ids {
                         catalog.reactivate(id);
                     }
@@ -348,12 +432,42 @@ impl MnsaEngine {
         }
 
         outcome.skipped = remaining;
+        outcome.final_cost = current.cost;
+        if query_span.is_enabled() {
+            query_span.arg("optimizer_calls", outcome.optimizer_calls);
+            query_span.arg("rounds", outcome.rounds);
+            query_span.arg("created", outcome.created.len());
+            query_span.arg("drop_listed", outcome.drop_listed.len());
+            query_span.arg("skipped", outcome.skipped.len());
+            query_span.arg("final_cost", outcome.final_cost);
+            query_span.arg(
+                "terminated_by",
+                match outcome.terminated_by {
+                    Termination::CostConverged => "converged",
+                    Termination::NoMoreCandidates => "no_more_candidates",
+                },
+            );
+        }
+        self.obs.metrics.counter("mnsa.queries").inc();
+        self.obs
+            .metrics
+            .counter("mnsa.rounds")
+            .add(outcome.rounds as u64);
+        self.obs
+            .metrics
+            .counter("mnsa.stats_created")
+            .add(outcome.created.len() as u64);
+        self.obs
+            .metrics
+            .counter("mnsa.stats_drop_listed")
+            .add(outcome.drop_listed.len() as u64);
         Ok(outcome)
     }
 
     /// §4.2: rank plan operators by own cost (subtree − children) and return
     /// the unbuilt candidate statistics relevant to the most expensive
     /// operator that has any — as a group, so join statistics come in pairs.
+    #[allow(clippy::too_many_arguments)]
     fn find_next_stats(
         &self,
         db: &Database,
@@ -362,6 +476,7 @@ impl MnsaEngine {
         plan: &PlanNode,
         remaining: &mut Vec<StatDescriptor>,
         outcome: &mut MnsaOutcome,
+        span: &obsv::SpanGuard,
     ) -> Option<Vec<StatDescriptor>> {
         let mut nodes = plan.nodes();
         match self.config.next_stat_order {
@@ -400,6 +515,19 @@ impl MnsaEngine {
             }
             for d in &usable {
                 remaining.retain(|r| r != d);
+            }
+            // The chosen statistic and why: the ranked operator's own cost is
+            // the §4.2 selection criterion.
+            if let (true, Some(first)) = (span.is_enabled(), usable.first()) {
+                span.instant(
+                    "mnsa.next_stat",
+                    vec![
+                        ("op_own_cost", obsv::ArgValue::Float(node.own_cost())),
+                        ("group_size", obsv::ArgValue::Int(usable.len() as i64)),
+                        ("table", obsv::ArgValue::Int(first.table.0 as i64)),
+                        ("columns", obsv::ArgValue::Int(first.columns.len() as i64)),
+                    ],
+                );
             }
             return Some(usable);
         }

@@ -116,10 +116,21 @@ impl ParallelTuner {
         let next = AtomicUsize::new(0);
         let workers = self.threads.min(n);
 
+        let slots_ref = &slots;
+        let next_ref = &next;
+        let snapshot_ref = &snapshot;
         let scope_ok = crossbeam::thread::scope(|s| {
-            for _ in 0..workers {
-                s.spawn(|_| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
+            for w in 0..workers {
+                // Each worker records into its own forked trace buffer (tid
+                // = worker index + 1; the committing thread is tid 0), so
+                // speculative span trees never contend on one lock and carry
+                // their worker's id into the merged trace.
+                let engine = self
+                    .engine
+                    .clone()
+                    .with_obs(self.engine.obs.fork(w as u64 + 1));
+                s.spawn(move |_| loop {
+                    let i = next_ref.fetch_add(1, Ordering::Relaxed);
                     if i >= n {
                         break;
                     }
@@ -127,11 +138,12 @@ impl ParallelTuner {
                     // A panic inside one speculation must not take down the
                     // workload: catch it and leave the slot empty, which the
                     // commit loop treats as "re-run serially".
-                    let spec =
-                        catch_unwind(AssertUnwindSafe(|| self.speculate(db, &snapshot, query)))
-                            .ok()
-                            .flatten();
-                    *slots[i].lock() = spec;
+                    let spec = catch_unwind(AssertUnwindSafe(|| {
+                        speculate(&engine, db, snapshot_ref, query)
+                    }))
+                    .ok()
+                    .flatten();
+                    *slots_ref[i].lock() = spec;
                 });
             }
         })
@@ -143,51 +155,65 @@ impl ParallelTuner {
         }
 
         // Deterministic merge: commit in workload order.
+        let mut commit_span = self.engine.obs.tracer.span("tuner.commit");
+        let (mut n_replayed, mut n_rerun, mut n_failed) = (0u64, 0u64, 0u64);
         let mut results = Vec::with_capacity(n);
         for (i, slot) in slots.into_iter().enumerate() {
             match slot.into_inner() {
                 Some(spec) if tables_signature(catalog, &spec.tables) == spec.base_sig => {
+                    n_replayed += 1;
                     results.push(replay(db, catalog, spec)?);
                 }
-                _ => {
+                missed => {
                     // Either an earlier query changed this query's statistics
                     // context (stale speculation) or the speculation itself
                     // failed: run on the live catalog instead.
+                    if missed.is_none() {
+                        n_failed += 1;
+                    }
+                    n_rerun += 1;
                     results.push(self.engine.run_query(db, catalog, &queries[i])?);
                 }
             }
         }
+        commit_span.arg("replayed", n_replayed);
+        commit_span.arg("serial_rerun", n_rerun);
+        commit_span.arg("speculation_failed", n_failed);
+        let metrics = &self.engine.obs.metrics;
+        metrics.counter("tuner.commit.replayed").add(n_replayed);
+        metrics.counter("tuner.commit.serial_rerun").add(n_rerun);
+        metrics.counter("tuner.speculation.failed").add(n_failed);
         Ok(results)
     }
+}
 
-    /// One speculative per-query MNSA run against a scratch catalog restored
-    /// from `snapshot`. `None` means the speculation failed (typed error in
-    /// the scratch run); the caller falls back to the serial path.
-    fn speculate(
-        &self,
-        db: &Database,
-        snapshot: &stats::CatalogSnapshot,
-        query: &BoundSelect,
-    ) -> Option<Speculation> {
-        let tables = referenced_tables(query);
-        // The snapshot state is what this speculation reads; its fingerprint
-        // is recomputed over the live catalog at commit time to validate the
-        // speculation.
-        let mut scratch = StatsCatalog::restore(snapshot.clone());
-        let base_sig = tables_signature(&scratch, &tables);
-        let outcome = self.engine.run_query(db, &mut scratch, query).ok()?;
-        let created_descs = outcome
-            .created
-            .iter()
-            .map(|&id| Some(scratch.statistic(id)?.descriptor.clone()))
-            .collect::<Option<Vec<_>>>()?;
-        Some(Speculation {
-            outcome,
-            created_descs,
-            base_sig,
-            tables,
-        })
-    }
+/// One speculative per-query MNSA run against a scratch catalog restored
+/// from `snapshot`. `None` means the speculation failed (typed error in
+/// the scratch run); the caller falls back to the serial path.
+fn speculate(
+    engine: &MnsaEngine,
+    db: &Database,
+    snapshot: &stats::CatalogSnapshot,
+    query: &BoundSelect,
+) -> Option<Speculation> {
+    let tables = referenced_tables(query);
+    // The snapshot state is what this speculation reads; its fingerprint
+    // is recomputed over the live catalog at commit time to validate the
+    // speculation.
+    let mut scratch = StatsCatalog::restore(snapshot.clone());
+    let base_sig = tables_signature(&scratch, &tables);
+    let outcome = engine.run_query(db, &mut scratch, query).ok()?;
+    let created_descs = outcome
+        .created
+        .iter()
+        .map(|&id| Some(scratch.statistic(id)?.descriptor.clone()))
+        .collect::<Option<Vec<_>>>()?;
+    Some(Speculation {
+        outcome,
+        created_descs,
+        base_sig,
+        tables,
+    })
 }
 
 /// The query's referenced tables, sorted and deduplicated.

@@ -20,9 +20,10 @@
 
 use crate::equivalence::Equivalence;
 use crate::error::TuneError;
-use crate::mnsa::{MnsaConfig, MnsaEngine};
+use crate::journal::SessionReport;
+use crate::mnsa::{MnsaConfig, MnsaEngine, MnsaOutcome};
 use crate::parallel::ParallelTuner;
-use crate::shrinking::shrinking_set;
+use crate::shrinking::shrinking_set_traced;
 use optimizer::OptimizeCache;
 use query::BoundSelect;
 use serde::{Deserialize, Serialize};
@@ -122,9 +123,26 @@ pub fn apply_policy_cached(
     query: &BoundSelect,
     cache: Option<&Arc<OptimizeCache>>,
 ) -> Result<(TuningReport, Vec<StatId>), TuneError> {
+    apply_policy_obs(db, catalog, policy, query, cache, &obsv::Obs::disabled())
+        .map(|(report, created, _)| (report, created))
+}
+
+/// [`apply_policy_cached`] under an observability context. The MNSA arm also
+/// returns its raw [`MnsaOutcome`] so callers can journal the trajectory;
+/// `None` for the unconditional policies. Reports, created sets, and catalog
+/// state are identical with or without observation.
+pub fn apply_policy_obs(
+    db: &Database,
+    catalog: &mut StatsCatalog,
+    policy: &CreationPolicy,
+    query: &BoundSelect,
+    cache: Option<&Arc<OptimizeCache>>,
+    obs: &obsv::Obs,
+) -> Result<(TuningReport, Vec<StatId>, Option<MnsaOutcome>), TuneError> {
     let mut report = TuningReport::default();
     let before_work = catalog.creation_work();
     let mut created = Vec::new();
+    let mut mnsa_outcome = None;
     match policy {
         CreationPolicy::Manual => {}
         CreationPolicy::CreateAllSyntactic => {
@@ -136,7 +154,7 @@ pub fn apply_policy_cached(
             created = crate::batch::create_statistics_grouped(catalog, db, &descs)?;
         }
         CreationPolicy::Mnsa(cfg) => {
-            let mut engine = MnsaEngine::new(*cfg);
+            let mut engine = MnsaEngine::new(*cfg).with_obs(obs.clone());
             if let Some(cache) = cache {
                 engine = engine.with_cache(Arc::clone(cache));
             }
@@ -145,12 +163,13 @@ pub fn apply_policy_cached(
             report.overhead_work =
                 outcome.optimizer_calls as f64 * optimizer_call_work(query.relations.len());
             report.statistics_drop_listed = outcome.drop_listed.len();
-            created = outcome.created;
+            created = outcome.created.clone();
+            mnsa_outcome = Some(outcome);
         }
     }
     report.statistics_created = created.len();
     report.creation_work = catalog.creation_work() - before_work;
-    Ok((report, created))
+    Ok((report, created, mnsa_outcome))
 }
 
 /// The conservative periodic process of §6: MNSA over every workload query,
@@ -197,8 +216,28 @@ impl OfflineTuner {
         workload: &[BoundSelect],
         cache: Option<&Arc<OptimizeCache>>,
     ) -> Result<TuningReport, TuneError> {
+        self.tune_session(db, catalog, workload, cache, &obsv::Obs::disabled())
+            .map(|(report, _)| report)
+    }
+
+    /// [`OfflineTuner::tune_cached`] under an observability context, also
+    /// returning the tuning-session journal. The journal is built from the
+    /// per-query [`crate::MnsaOutcome`]s, which are bit-identical across
+    /// thread counts and with tracing on or off — so the journal is too.
+    pub fn tune_session(
+        &self,
+        db: &Database,
+        catalog: &mut StatsCatalog,
+        workload: &[BoundSelect],
+        cache: Option<&Arc<OptimizeCache>>,
+        obs: &obsv::Obs,
+    ) -> Result<(TuningReport, SessionReport), TuneError> {
+        let mut session_span = obs.tracer.span("tuner.session");
+        session_span.arg("queries", workload.len());
+        session_span.arg("threads", self.threads);
         let mut report = TuningReport::default();
-        let mut engine = MnsaEngine::new(self.mnsa);
+        let mut session = SessionReport::default();
+        let mut engine = MnsaEngine::new(self.mnsa).with_obs(obs.clone());
         if let Some(cache) = cache {
             engine = engine.with_cache(Arc::clone(cache));
         }
@@ -214,13 +253,14 @@ impl OfflineTuner {
                 outcome.optimizer_calls as f64 * optimizer_call_work(q.relations.len());
             report.statistics_created += outcome.created.len();
             report.statistics_drop_listed += outcome.drop_listed.len();
+            session.record_query(q.relations.len(), &outcome);
             created_ids.extend(outcome.created);
         }
         report.creation_work = catalog.creation_work() - before_work;
 
         if let Some(equiv) = self.shrink {
             let initial = catalog.active_ids();
-            let out = shrinking_set(
+            let out = shrinking_set_traced(
                 db,
                 catalog,
                 &engine.optimizer,
@@ -228,6 +268,7 @@ impl OfflineTuner {
                 &initial,
                 equiv,
                 true,
+                obs,
             )?;
             report.optimizer_calls += out.optimizer_calls;
             report.overhead_work += out.optimizer_calls as f64
@@ -239,9 +280,15 @@ impl OfflineTuner {
                         .unwrap_or(1),
                 );
             report.statistics_drop_listed += out.removed.len();
+            session.shrink_removed = out.removed.len();
+            session.shrink_optimizer_calls = out.optimizer_calls;
         }
         catalog.advance_epoch();
-        Ok(report)
+        session.totals = report.clone();
+        session_span.arg("optimizer_calls", report.optimizer_calls);
+        session_span.arg("statistics_created", report.statistics_created);
+        session_span.arg("statistics_drop_listed", report.statistics_drop_listed);
+        Ok((report, session))
     }
 }
 

@@ -64,17 +64,48 @@ pub fn shrinking_set(
     equivalence: Equivalence,
     apply: bool,
 ) -> Result<ShrinkingOutcome, PlanError> {
+    shrinking_set_traced(
+        db,
+        catalog,
+        optimizer,
+        workload,
+        initial,
+        equivalence,
+        apply,
+        &obsv::Obs::disabled(),
+    )
+}
+
+/// [`shrinking_set`] under an observability context: a `shrink.run` span with
+/// one `shrink.pass` child per fixed-point pass, and `shrink.*` counters.
+/// Purely observational — the outcome is bit-identical to the untraced call.
+#[allow(clippy::too_many_arguments)]
+pub fn shrinking_set_traced(
+    db: &Database,
+    catalog: &mut StatsCatalog,
+    optimizer: &Optimizer,
+    workload: &[BoundSelect],
+    initial: &[StatId],
+    equivalence: Equivalence,
+    apply: bool,
+    obs: &obsv::Obs,
+) -> Result<ShrinkingOutcome, PlanError> {
+    let mut run_span = obs.tracer.span("shrink.run");
+    run_span.arg("initial", initial.len());
+    run_span.arg("queries", workload.len());
     let all_active: HashSet<StatId> = catalog.active_ids().into_iter().collect();
     let initial_set: HashSet<StatId> = initial.iter().copied().collect();
     // Statistics outside S stay hidden for every optimization in this pass.
     let base_ignore: HashSet<StatId> = all_active.difference(&initial_set).copied().collect();
 
-    let mut calls = 0usize;
-    let mut optimize = |catalog: &StatsCatalog,
-                        q: &BoundSelect,
-                        ignore: &HashSet<StatId>|
+    // A Cell so the per-pass spans can read the running count while the
+    // closure below still holds its borrow.
+    let calls = std::cell::Cell::new(0usize);
+    let optimize = |catalog: &StatsCatalog,
+                    q: &BoundSelect,
+                    ignore: &HashSet<StatId>|
      -> Result<OptimizedQuery, PlanError> {
-        calls += 1;
+        calls.set(calls.get() + 1);
         optimizer.optimize(db, q, catalog.view(ignore), &OptimizeOptions::default())
     };
 
@@ -93,6 +124,9 @@ pub fn shrinking_set(
     // guarantee ("removing any remaining statistic breaks equivalence")
     // only holds once a full pass removes nothing.
     loop {
+        let mut pass_span = run_span.child("shrink.pass");
+        let calls_at_pass_start = calls.get();
+        let removed_at_pass_start = removed.len();
         let mut removed_this_pass = false;
         for &s in &r.clone() {
             // Trial set: R - {s} (accumulated removals stay removed —
@@ -118,6 +152,8 @@ pub fn shrinking_set(
                 removed_this_pass = true;
             }
         }
+        pass_span.arg("removed", removed.len() - removed_at_pass_start);
+        pass_span.arg("optimizer_calls", calls.get() - calls_at_pass_start);
         if !removed_this_pass {
             break;
         }
@@ -129,10 +165,20 @@ pub fn shrinking_set(
         }
     }
 
+    run_span.arg("essential", r.len());
+    run_span.arg("removed", removed.len());
+    run_span.arg("optimizer_calls", calls.get());
+    obs.metrics
+        .counter("shrink.optimizer_calls")
+        .add(calls.get() as u64);
+    obs.metrics
+        .counter("shrink.removed")
+        .add(removed.len() as u64);
+
     Ok(ShrinkingOutcome {
         essential: r,
         removed,
-        optimizer_calls: calls,
+        optimizer_calls: calls.get(),
     })
 }
 

@@ -208,6 +208,22 @@ fn keys_equal(
         .all(|(a, b)| a.col.get_ref(a.row(a_tuple)) == b.col.get_ref(b.row(b_tuple)))
 }
 
+/// Static span name per operator (`exec.op.<Operator>`): span names are
+/// `&'static str` by the tracer's contract, so the taxonomy is spelled out
+/// here rather than formatted at runtime.
+fn op_span_name(op: &Operator) -> &'static str {
+    match op {
+        Operator::SeqScan { .. } => "exec.op.SeqScan",
+        Operator::IndexScan { .. } => "exec.op.IndexScan",
+        Operator::HashJoin { .. } => "exec.op.HashJoin",
+        Operator::MergeJoin { .. } => "exec.op.MergeJoin",
+        Operator::NestedLoopJoin { .. } => "exec.op.NestedLoopJoin",
+        Operator::IndexNLJoin { .. } => "exec.op.IndexNLJoin",
+        Operator::HashAggregate { .. } => "exec.op.HashAggregate",
+        Operator::Sort { .. } => "exec.op.Sort",
+    }
+}
+
 struct Interp<'a> {
     db: &'a Database,
     query: &'a BoundSelect,
@@ -272,7 +288,27 @@ impl<'a> Interp<'a> {
             })
     }
 
-    fn run(&mut self, node: &PlanNode) -> Result<Intermediate, ExecError> {
+    /// Run one plan node under an operator span. Each operator records its
+    /// actual output cardinality next to the optimizer's estimate, so a
+    /// trace shows exactly where cardinality estimation went wrong — the
+    /// feedback signal the whole statistics-selection loop exists to serve.
+    fn run(
+        &mut self,
+        node: &PlanNode,
+        parent: &obsv::SpanGuard,
+    ) -> Result<Intermediate, ExecError> {
+        let mut span = parent.child(op_span_name(&node.op));
+        let out = self.run_node(node, &span)?;
+        span.arg("rows_out", out.count());
+        span.arg("est_rows", node.est_rows);
+        Ok(out)
+    }
+
+    fn run_node(
+        &mut self,
+        node: &PlanNode,
+        span: &obsv::SpanGuard,
+    ) -> Result<Intermediate, ExecError> {
         match &node.op {
             Operator::SeqScan { rel, table, preds } => {
                 let t = self.db.try_table(*table)?;
@@ -312,8 +348,8 @@ impl<'a> Interp<'a> {
                 })
             }
             Operator::HashJoin { edges } => {
-                let left = self.run(&node.children[0])?;
-                let right = self.run(&node.children[1])?;
+                let left = self.run(&node.children[0], span)?;
+                let right = self.run(&node.children[1], span)?;
                 let out = self.equi_join(&left, &right, edges)?;
                 self.work += self.params.hash_join(
                     left.count() as f64,
@@ -323,8 +359,8 @@ impl<'a> Interp<'a> {
                 Ok(out)
             }
             Operator::MergeJoin { edges } => {
-                let left = self.run(&node.children[0])?;
-                let right = self.run(&node.children[1])?;
+                let left = self.run(&node.children[0], span)?;
+                let right = self.run(&node.children[1], span)?;
                 let out = self.equi_join(&left, &right, edges)?;
                 self.work += self.params.merge_join(
                     left.count() as f64,
@@ -334,8 +370,8 @@ impl<'a> Interp<'a> {
                 Ok(out)
             }
             Operator::NestedLoopJoin { edges } => {
-                let left = self.run(&node.children[0])?;
-                let right = self.run(&node.children[1])?;
+                let left = self.run(&node.children[0], span)?;
+                let right = self.run(&node.children[1], span)?;
                 let out = if edges.is_empty() {
                     self.cartesian(&left, &right)
                 } else {
@@ -357,7 +393,7 @@ impl<'a> Interp<'a> {
                 inner_preds,
                 ..
             } => {
-                let outer = self.run(&node.children[0])?;
+                let outer = self.run(&node.children[0], span)?;
                 let table = self.db.try_table(*inner_table)?;
                 // Outer-side and inner-side key columns per crossing edge.
                 let mut outer_keys: Vec<BoundColumn> = Vec::new();
@@ -435,7 +471,7 @@ impl<'a> Interp<'a> {
                 // level in execute_plan; running them standalone passes the
                 // input through.
                 match node.children.first() {
-                    Some(child) => self.run(child),
+                    Some(child) => self.run(child, span),
                     None => Err(ExecError::MalformedPlan {
                         detail: "aggregate/sort node has no input".to_string(),
                     }),
@@ -585,6 +621,33 @@ pub fn execute_plan(
     plan: &PlanNode,
     params: &CostParams,
 ) -> Result<ExecOutput, ExecError> {
+    execute_plan_traced(db, query, plan, params, &obsv::Tracer::disabled())
+}
+
+/// [`execute_plan`] under a tracer: the query gets an `exec.query` span with
+/// one `exec.op.*` child span per plan node (actual vs estimated rows on
+/// each). Rows and work are bit-identical to the untraced call.
+pub fn execute_plan_traced(
+    db: &Database,
+    query: &BoundSelect,
+    plan: &PlanNode,
+    params: &CostParams,
+    tracer: &obsv::Tracer,
+) -> Result<ExecOutput, ExecError> {
+    let mut span = tracer.span("exec.query");
+    let out = execute_impl(db, query, plan, params, &span)?;
+    span.arg("rows_out", out.rows.len());
+    span.arg("work", out.work);
+    Ok(out)
+}
+
+fn execute_impl(
+    db: &Database,
+    query: &BoundSelect,
+    plan: &PlanNode,
+    params: &CostParams,
+    span: &obsv::SpanGuard,
+) -> Result<ExecOutput, ExecError> {
     let mut interp = Interp {
         db,
         query,
@@ -593,7 +656,7 @@ pub fn execute_plan(
     };
 
     let has_agg = !query.group_by.is_empty() || !query.aggregates.is_empty();
-    let mut input = interp.run(plan)?;
+    let mut input = interp.run(plan, span)?;
 
     if has_agg {
         // Group by fingerprints of the grouping key values, with exact-key
@@ -827,6 +890,42 @@ mod tests {
         let out = run(&db, "SELECT * FROM emp WHERE empid < 10");
         assert_eq!(out.row_count(), 10);
         assert!(out.work > 0.0);
+    }
+
+    #[test]
+    fn traced_execution_is_bit_identical_and_well_formed() {
+        let db = setup();
+        let q = bind(&db, "SELECT * FROM emp e, dept d WHERE e.deptid = d.deptid");
+        let cat = StatsCatalog::new();
+        let opt = Optimizer::default();
+        let r = opt
+            .optimize(&db, &q, cat.full_view(), &OptimizeOptions::default())
+            .unwrap();
+        let plain = execute_plan(&db, &q, &r.plan, &opt.params).unwrap();
+        let tracer = obsv::Tracer::enabled();
+        let traced = execute_plan_traced(&db, &q, &r.plan, &opt.params, &tracer).unwrap();
+        assert_eq!(plain.rows, traced.rows);
+        assert_eq!(plain.work.to_bits(), traced.work.to_bits());
+        let events = tracer.flush();
+        assert!(obsv::trace::validate(&events).is_empty());
+        // One span per plan node plus the exec.query root.
+        let begins: Vec<&str> = events
+            .iter()
+            .filter(|e| e.kind == obsv::EventKind::Begin)
+            .map(|e| e.name)
+            .collect();
+        assert_eq!(begins.len(), r.plan.nodes().len() + 1);
+        assert_eq!(begins[0], "exec.query");
+        assert!(begins.iter().any(|n| n.starts_with("exec.op.")));
+        // The join span reports the actual output cardinality.
+        let join_end = events
+            .iter()
+            .find(|e| e.kind == obsv::EventKind::End && e.name.contains("Join"))
+            .expect("a join span");
+        assert!(join_end
+            .args
+            .iter()
+            .any(|(k, v)| *k == "rows_out" && *v == obsv::ArgValue::Int(100)));
     }
 
     #[test]

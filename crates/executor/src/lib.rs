@@ -23,6 +23,8 @@ pub mod reference;
 pub mod runner;
 
 pub use error::ExecError;
-pub use exec::{execute_plan, ExecOutput};
+pub use exec::{execute_plan, execute_plan_traced, ExecOutput};
 pub use reference::execute_plan_reference;
-pub use runner::{run_statement, StatementOutcome, WorkloadReport, WorkloadRunner};
+pub use runner::{
+    run_statement, run_statement_traced, StatementOutcome, WorkloadReport, WorkloadRunner,
+};

@@ -7,7 +7,7 @@
 //! "execution cost of the workload" metric.
 
 use crate::error::ExecError;
-use crate::exec::{execute_plan, ExecOutput};
+use crate::exec::{execute_plan_traced, ExecOutput};
 use crate::predicate::filter_table_columnar;
 use optimizer::{OptimizeOptions, Optimizer};
 use query::{BoundDelete, BoundInsert, BoundStatement, BoundUpdate};
@@ -93,19 +93,49 @@ pub fn run_statement(
     optimizer: &Optimizer,
     stmt: &BoundStatement,
 ) -> Result<StatementOutcome, ExecError> {
+    run_statement_traced(db, stats, optimizer, stmt, &obsv::Tracer::disabled())
+}
+
+/// [`run_statement`] under a tracer: SELECTs get an `exec.query` span tree
+/// with per-operator child spans; DML gets an `exec.dml` span with the rows
+/// affected. Outcomes are bit-identical to the untraced call.
+pub fn run_statement_traced(
+    db: &mut Database,
+    stats: StatsView<'_>,
+    optimizer: &Optimizer,
+    stmt: &BoundStatement,
+    tracer: &obsv::Tracer,
+) -> Result<StatementOutcome, ExecError> {
     match stmt {
         BoundStatement::Select(q) => {
             let optimized = optimizer.optimize(db, q, stats, &OptimizeOptions::default())?;
-            let output = execute_plan(db, q, &optimized.plan, &optimizer.params)?;
+            let output = execute_plan_traced(db, q, &optimized.plan, &optimizer.params, tracer)?;
             Ok(StatementOutcome::Query {
                 output,
                 estimated_cost: optimized.cost,
             })
         }
-        BoundStatement::Insert(i) => run_insert(db, i, optimizer),
-        BoundStatement::Update(u) => run_update(db, u, optimizer),
-        BoundStatement::Delete(d) => run_delete(db, d, optimizer),
+        BoundStatement::Insert(i) => traced_dml(tracer, || run_insert(db, i, optimizer)),
+        BoundStatement::Update(u) => traced_dml(tracer, || run_update(db, u, optimizer)),
+        BoundStatement::Delete(d) => traced_dml(tracer, || run_delete(db, d, optimizer)),
     }
+}
+
+fn traced_dml(
+    tracer: &obsv::Tracer,
+    f: impl FnOnce() -> Result<StatementOutcome, ExecError>,
+) -> Result<StatementOutcome, ExecError> {
+    let mut span = tracer.span("exec.dml");
+    let outcome = f()?;
+    if let StatementOutcome::Dml {
+        rows_affected,
+        work,
+    } = &outcome
+    {
+        span.arg("rows_affected", *rows_affected);
+        span.arg("work", *work);
+    }
+    Ok(outcome)
 }
 
 /// Per-workload execution report.
@@ -123,6 +153,9 @@ pub struct WorkloadReport {
 #[derive(Default)]
 pub struct WorkloadRunner {
     pub optimizer: Optimizer,
+    /// Disabled by default; set to a live tracer to get per-statement
+    /// `exec.query` / `exec.dml` span trees. Purely observational.
+    pub tracer: obsv::Tracer,
 }
 
 impl WorkloadRunner {
@@ -138,7 +171,7 @@ impl WorkloadRunner {
     ) -> Result<WorkloadReport, ExecError> {
         let mut report = WorkloadReport::default();
         for stmt in workload {
-            let outcome = run_statement(db, stats, &self.optimizer, stmt)?;
+            let outcome = run_statement_traced(db, stats, &self.optimizer, stmt, &self.tracer)?;
             let w = outcome.work();
             report.per_statement.push(w);
             report.total_work += w;

@@ -1,0 +1,61 @@
+//! Validate exported observability artefacts.
+//!
+//! Usage:
+//!   obsv_check --jsonl trace.jsonl
+//!   obsv_check --chrome trace.json
+//!   obsv_check --metrics metrics.json
+//!
+//! Any number of flags may be combined; exits non-zero on the first file
+//! that fails its schema check. CI runs this against the artefacts of a
+//! tiny tuning session.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: obsv_check [--jsonl FILE] [--chrome FILE] [--metrics FILE]");
+        return ExitCode::FAILURE;
+    }
+    let mut i = 0;
+    let mut checked = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let Some(path) = args.get(i + 1) else {
+            eprintln!("obsv_check: {flag} needs a file argument");
+            return ExitCode::FAILURE;
+        };
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("obsv_check: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let result = match flag {
+            "--jsonl" => obsv::check::check_jsonl(&text),
+            "--chrome" => obsv::check::check_chrome(&text),
+            "--metrics" => obsv::check::check_metrics(&text),
+            other => {
+                eprintln!("obsv_check: unknown flag {other}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match result {
+            Ok(summary) => {
+                println!(
+                    "obsv_check: {path} OK ({} events, {} spans)",
+                    summary.events, summary.spans
+                );
+                checked += 1;
+            }
+            Err(msg) => {
+                eprintln!("obsv_check: {path} FAILED: {msg}");
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 2;
+    }
+    println!("obsv_check: {checked} file(s) valid");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,194 @@
+//! Schema checks for exported artefacts, shared by the `obsv_check` binary
+//! and by tests. These validate the *files* a tuning run wrote (JSONL
+//! traces, Chrome traces, metrics dumps), complementing
+//! [`crate::trace::validate`], which checks the in-memory event stream.
+
+use crate::json::{self, Json};
+
+/// Check a JSONL trace: every line parses, carries the required fields,
+/// sequence numbers are strictly increasing, and every Begin has an End.
+pub fn check_jsonl(text: &str) -> Result<CheckSummary, String> {
+    let mut last_seq: Option<f64> = None;
+    let mut open: std::collections::HashMap<i64, String> = std::collections::HashMap::new();
+    let mut events = 0usize;
+    let mut spans = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = json::parse(line).map_err(|e| format!("line {}: {}", lineno + 1, e))?;
+        let seq = field_num(&v, "seq", lineno)?;
+        let kind = field_str(&v, "kind", lineno)?;
+        let id = field_num(&v, "id", lineno)? as i64;
+        field_num(&v, "parent", lineno)?;
+        field_num(&v, "tid", lineno)?;
+        field_num(&v, "ts_ns", lineno)?;
+        let name = field_str(&v, "name", lineno)?;
+        if v.get("args").and_then(Json::as_object).is_none() {
+            return Err(format!("line {}: missing args object", lineno + 1));
+        }
+        if let Some(prev) = last_seq {
+            if seq <= prev {
+                return Err(format!(
+                    "line {}: non-monotone seq {} after {}",
+                    lineno + 1,
+                    seq,
+                    prev
+                ));
+            }
+        }
+        last_seq = Some(seq);
+        match kind.as_str() {
+            "B" => {
+                spans += 1;
+                open.insert(id, name);
+            }
+            "E" => {
+                if open.remove(&id).is_none() {
+                    return Err(format!("line {}: end of unknown span {}", lineno + 1, id));
+                }
+            }
+            "I" => {}
+            other => return Err(format!("line {}: unknown kind '{}'", lineno + 1, other)),
+        }
+        events += 1;
+    }
+    if let Some((id, name)) = open.iter().next() {
+        return Err(format!("unclosed span {id} ('{name}')"));
+    }
+    Ok(CheckSummary { events, spans })
+}
+
+/// Check a Chrome `trace_event` file: top-level object with a
+/// `traceEvents` array of well-formed `"X"`/`"i"` records.
+pub fn check_chrome(text: &str) -> Result<CheckSummary, String> {
+    let v = json::parse(text).map_err(|e| e.to_string())?;
+    let list = v
+        .get("traceEvents")
+        .and_then(Json::as_array)
+        .ok_or_else(|| "missing traceEvents array".to_string())?;
+    let mut spans = 0usize;
+    for (i, e) in list.iter().enumerate() {
+        let ph = e
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event {i}: missing ph"))?;
+        for key in ["name", "ts"] {
+            if e.get(key).is_none() {
+                return Err(format!("event {i}: missing {key}"));
+            }
+        }
+        match ph {
+            "X" => {
+                spans += 1;
+                let dur = e
+                    .get("dur")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| format!("event {i}: X event missing dur"))?;
+                if dur < 0.0 {
+                    return Err(format!("event {i}: negative duration"));
+                }
+            }
+            "i" => {}
+            other => return Err(format!("event {i}: unexpected phase '{other}'")),
+        }
+    }
+    Ok(CheckSummary {
+        events: list.len(),
+        spans,
+    })
+}
+
+/// Check a metrics dump: one JSON object whose values are numbers or
+/// histogram objects.
+pub fn check_metrics(text: &str) -> Result<CheckSummary, String> {
+    let v = json::parse(text).map_err(|e| e.to_string())?;
+    let obj = v
+        .as_object()
+        .ok_or_else(|| "metrics dump must be a JSON object".to_string())?;
+    for (name, value) in obj {
+        match value {
+            Json::Num(_) | Json::Null => {}
+            Json::Object(h) => {
+                for key in ["bounds", "counts", "sum", "count"] {
+                    if !h.contains_key(key) {
+                        return Err(format!("metric '{name}': histogram missing {key}"));
+                    }
+                }
+            }
+            _ => return Err(format!("metric '{name}': unexpected value type")),
+        }
+    }
+    Ok(CheckSummary {
+        events: obj.len(),
+        spans: 0,
+    })
+}
+
+/// What a successful check saw.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckSummary {
+    /// Lines (JSONL), trace events (Chrome), or metrics (dump).
+    pub events: usize,
+    /// Spans among them (0 for metrics dumps).
+    pub spans: usize,
+}
+
+fn field_num(v: &Json, key: &str, lineno: usize) -> Result<f64, String> {
+    v.get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("line {}: missing numeric field '{}'", lineno + 1, key))
+}
+
+fn field_str(v: &Json, key: &str, lineno: usize) -> Result<String, String> {
+    v.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("line {}: missing string field '{}'", lineno + 1, key))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::export::{to_chrome, to_jsonl};
+    use crate::trace::Tracer;
+
+    fn sample() -> Vec<crate::trace::Event> {
+        let t = Tracer::enabled();
+        {
+            let root = t.span("root");
+            root.instant("tick", vec![]);
+            let _c = root.child("child");
+        }
+        t.flush()
+    }
+
+    #[test]
+    fn exported_jsonl_passes() {
+        let s = check_jsonl(&to_jsonl(&sample())).expect("valid jsonl");
+        assert_eq!(s.spans, 2);
+        assert_eq!(s.events, 5);
+    }
+
+    #[test]
+    fn exported_chrome_passes() {
+        let s = check_chrome(&to_chrome(&sample())).expect("valid chrome trace");
+        assert_eq!(s.spans, 2);
+    }
+
+    #[test]
+    fn metrics_dump_passes() {
+        let r = crate::metrics::Registry::new();
+        r.counter("a").inc();
+        r.histogram("h", &[1.0]).observe(0.5);
+        let s = check_metrics(&r.snapshot().render_json()).expect("valid metrics");
+        assert_eq!(s.events, 2);
+    }
+
+    #[test]
+    fn corrupt_inputs_are_rejected() {
+        assert!(check_jsonl("{\"seq\": 1}\n").is_err());
+        assert!(check_chrome("{\"traceEvents\": [{\"ph\": \"Z\"}]}").is_err());
+        assert!(check_metrics("[1, 2]").is_err());
+    }
+}

@@ -1,0 +1,184 @@
+//! Trace exporters: JSONL (one event per line) and Chrome `trace_event`
+//! JSON (loadable in `chrome://tracing` / Perfetto).
+//!
+//! Both formats are hand-rolled — the workspace carries no serde — and both
+//! are pure functions of a flushed event stream, so exporting never touches
+//! live tracer state.
+
+use crate::metrics::render_f64;
+use crate::trace::{ArgValue, Event, EventKind};
+
+/// Escape a string for embedding inside a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn render_arg(value: &ArgValue) -> String {
+    match value {
+        ArgValue::Int(v) => format!("{v}"),
+        ArgValue::Float(v) => render_f64(*v),
+        ArgValue::Str(v) => format!("\"{}\"", json_escape(v)),
+        ArgValue::Bool(v) => format!("{v}"),
+    }
+}
+
+fn render_args(args: &[(&'static str, ArgValue)]) -> String {
+    let mut out = String::from("{");
+    for (i, (key, value)) in args.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!("\"{}\": {}", json_escape(key), render_arg(value)));
+    }
+    out.push('}');
+    out
+}
+
+/// One JSON object per line, in merged causal order. Greppable, diffable,
+/// and streamable; the schema is checked by `obsv_check`.
+pub fn to_jsonl(events: &[Event]) -> String {
+    let mut out = String::new();
+    for e in events {
+        let kind = match e.kind {
+            EventKind::Begin => "B",
+            EventKind::End => "E",
+            EventKind::Instant => "I",
+        };
+        out.push_str(&format!(
+            "{{\"seq\": {}, \"kind\": \"{}\", \"id\": {}, \"parent\": {}, \"name\": \"{}\", \"tid\": {}, \"ts_ns\": {}, \"args\": {}}}\n",
+            e.seq,
+            kind,
+            e.id,
+            e.parent,
+            json_escape(e.name),
+            e.tid,
+            e.ts_ns,
+            render_args(&e.args)
+        ));
+    }
+    out
+}
+
+/// Chrome `trace_event` format: spans become `"X"` complete events (one
+/// per matched Begin/End pair, duration = end − begin), instants become
+/// `"i"` events. Open in Perfetto or `chrome://tracing`.
+pub fn to_chrome(events: &[Event]) -> String {
+    use std::collections::HashMap;
+    // Span id -> (begin event index, end event index).
+    let mut ends: HashMap<u64, usize> = HashMap::new();
+    for (i, e) in events.iter().enumerate() {
+        if e.kind == EventKind::End {
+            ends.insert(e.id, i);
+        }
+    }
+    let mut out = String::from("{\"traceEvents\": [\n");
+    let mut first = true;
+    for (i, e) in events.iter().enumerate() {
+        let record = match e.kind {
+            EventKind::Begin => {
+                let Some(&end_idx) = ends.get(&e.id) else {
+                    continue; // unclosed span: skip rather than emit garbage
+                };
+                let end = &events[end_idx];
+                let dur_us = end.ts_ns.saturating_sub(e.ts_ns) / 1000;
+                // Merge begin-args with end-args so everything a span
+                // learned during its lifetime shows in one tooltip.
+                let mut args = e.args.clone();
+                args.extend(end.args.iter().cloned());
+                format!(
+                    "{{\"name\": \"{}\", \"ph\": \"X\", \"pid\": 1, \"tid\": {}, \"ts\": {}, \"dur\": {}, \"args\": {}}}",
+                    json_escape(e.name),
+                    e.tid,
+                    e.ts_ns / 1000,
+                    dur_us.max(1),
+                    render_args(&args)
+                )
+            }
+            EventKind::Instant => format!(
+                "{{\"name\": \"{}\", \"ph\": \"i\", \"pid\": 1, \"tid\": {}, \"ts\": {}, \"s\": \"t\", \"args\": {}}}",
+                json_escape(e.name),
+                e.tid,
+                e.ts_ns / 1000,
+                render_args(&e.args)
+            ),
+            EventKind::End => continue,
+        };
+        let _ = i;
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        out.push_str(&record);
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::Tracer;
+
+    fn sample_events() -> Vec<Event> {
+        let t = Tracer::enabled();
+        {
+            let root = t.span("root");
+            root.instant("tick", vec![("note", ArgValue::Str("a\"b".into()))]);
+            let mut c = root.child("child");
+            c.arg("rows", 3i64);
+        }
+        t.flush()
+    }
+
+    #[test]
+    fn jsonl_parses_line_by_line() {
+        let events = sample_events();
+        let jsonl = to_jsonl(&events);
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), events.len());
+        for line in lines {
+            let parsed = crate::json::parse(line).expect("jsonl line parses");
+            assert!(parsed.get("seq").is_some());
+            assert!(parsed
+                .get("kind")
+                .and_then(crate::json::Json::as_str)
+                .is_some());
+        }
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_complete_events() {
+        let events = sample_events();
+        let chrome = to_chrome(&events);
+        let parsed = crate::json::parse(&chrome).expect("chrome trace parses");
+        let list = parsed
+            .get("traceEvents")
+            .and_then(crate::json::Json::as_array)
+            .expect("traceEvents array");
+        // 2 spans -> 2 "X" events, 1 instant -> 1 "i" event.
+        assert_eq!(list.len(), 3);
+        let phases: Vec<&str> = list
+            .iter()
+            .filter_map(|e| e.get("ph").and_then(crate::json::Json::as_str))
+            .collect();
+        assert_eq!(phases.iter().filter(|p| **p == "X").count(), 2);
+        assert_eq!(phases.iter().filter(|p| **p == "i").count(), 1);
+    }
+
+    #[test]
+    fn escaping_survives_roundtrip() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+}

@@ -1,0 +1,442 @@
+//! Process-wide metrics registry: named counters, gauges, and fixed-bucket
+//! histograms behind atomics.
+//!
+//! A [`Registry`] is a name → metric map. Handles ([`Counter`],
+//! [`FloatCounter`], [`Gauge`], [`Histogram`]) are `Arc`-backed: cloning is
+//! cheap, updates are single atomic operations, and a handle keeps working
+//! (detached) even if it was never registered — which is what the disabled
+//! mode uses, so instrumented code never branches on "is observability on".
+//!
+//! Reads ([`Registry::snapshot`]) are wait-free with respect to writers:
+//! the snapshot locks only the name map, then loads each atomic.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+
+/// Lock a mutex, recovering from poisoning (we never leave data in an
+/// invalid state mid-lock, so the value is always usable).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Monotone integer counter.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A fresh counter not attached to any registry.
+    pub fn detached() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Monotone floating-point accumulator (for work meters measured in f64
+/// units). Stored as bit-cast `f64` behind a CAS loop.
+#[derive(Debug, Clone)]
+pub struct FloatCounter(Arc<AtomicU64>);
+
+impl Default for FloatCounter {
+    fn default() -> Self {
+        FloatCounter(Arc::new(AtomicU64::new(0f64.to_bits())))
+    }
+}
+
+impl FloatCounter {
+    pub fn detached() -> Self {
+        Self::default()
+    }
+
+    pub fn add(&self, v: f64) {
+        let mut cur = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self
+                .0
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Last-write-wins signed gauge.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    pub fn detached() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn add(&self, v: i64) {
+        self.0.fetch_add(v, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+struct HistogramCore {
+    /// Upper bounds of the finite buckets, ascending; one implicit +inf
+    /// bucket follows. Fixed at registration.
+    bounds: Vec<f64>,
+    /// One count per finite bucket plus the overflow bucket.
+    counts: Vec<AtomicU64>,
+    sum: FloatCounter,
+    total: AtomicU64,
+}
+
+/// Fixed-bucket histogram: `observe` is a binary search plus two atomic
+/// adds; no allocation after registration.
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistogramCore>);
+
+impl Histogram {
+    pub fn with_bounds(bounds: &[f64]) -> Self {
+        let mut b: Vec<f64> = bounds.iter().copied().filter(|v| v.is_finite()).collect();
+        b.sort_by(f64::total_cmp);
+        b.dedup();
+        let counts = (0..=b.len()).map(|_| AtomicU64::new(0)).collect();
+        Histogram(Arc::new(HistogramCore {
+            bounds: b,
+            counts,
+            sum: FloatCounter::default(),
+            total: AtomicU64::new(0),
+        }))
+    }
+
+    pub fn observe(&self, v: f64) {
+        let core = &self.0;
+        let idx = core.bounds.partition_point(|&b| b < v);
+        if let Some(slot) = core.counts.get(idx) {
+            slot.fetch_add(1, Ordering::Relaxed);
+        }
+        core.sum.add(v);
+        core.total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.0.total.load(Ordering::Relaxed)
+    }
+
+    pub fn sum(&self) -> f64 {
+        self.0.sum.get()
+    }
+
+    fn value(&self) -> MetricValue {
+        MetricValue::Histogram {
+            bounds: self.0.bounds.clone(),
+            counts: self
+                .0
+                .counts
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            sum: self.sum(),
+            count: self.count(),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Counter),
+    Float(FloatCounter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// A point-in-time reading of one metric.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    Counter(u64),
+    Float(f64),
+    Gauge(i64),
+    Histogram {
+        bounds: Vec<f64>,
+        counts: Vec<u64>,
+        sum: f64,
+        count: u64,
+    },
+}
+
+/// A name → metric map. Registration is get-or-create by name: asking twice
+/// for the same name returns handles over the same storage, so independent
+/// layers (optimizer cache, MNSA, executor) can meet in one namespace
+/// without passing handles around.
+#[derive(Debug, Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get-or-register a counter. If `name` is already registered as a
+    /// different kind, a detached handle is returned (the registered metric
+    /// keeps its kind; nothing panics).
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut m = lock(&self.metrics);
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Counter::default()))
+        {
+            Metric::Counter(c) => c.clone(),
+            _ => Counter::detached(),
+        }
+    }
+
+    /// Get-or-register a floating-point accumulator.
+    pub fn float_counter(&self, name: &str) -> FloatCounter {
+        let mut m = lock(&self.metrics);
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Float(FloatCounter::default()))
+        {
+            Metric::Float(c) => c.clone(),
+            _ => FloatCounter::detached(),
+        }
+    }
+
+    /// Get-or-register a gauge.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut m = lock(&self.metrics);
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Gauge::default()))
+        {
+            Metric::Gauge(g) => g.clone(),
+            _ => Gauge::detached(),
+        }
+    }
+
+    /// Get-or-register a fixed-bucket histogram. The bounds of the first
+    /// registration win; later callers share its buckets.
+    pub fn histogram(&self, name: &str, bounds: &[f64]) -> Histogram {
+        let mut m = lock(&self.metrics);
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Histogram::with_bounds(bounds)))
+        {
+            Metric::Histogram(h) => h.clone(),
+            _ => Histogram::with_bounds(bounds),
+        }
+    }
+
+    /// Read every registered metric, sorted by name.
+    pub fn snapshot(&self) -> Snapshot {
+        let m = lock(&self.metrics);
+        Snapshot {
+            entries: m
+                .iter()
+                .map(|(name, metric)| {
+                    let value = match metric {
+                        Metric::Counter(c) => MetricValue::Counter(c.get()),
+                        Metric::Float(c) => MetricValue::Float(c.get()),
+                        Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+                        Metric::Histogram(h) => h.value(),
+                    };
+                    (name.clone(), value)
+                })
+                .collect(),
+        }
+    }
+}
+
+/// The process-wide default registry.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// A sorted point-in-time reading of a whole registry.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    pub entries: BTreeMap<String, MetricValue>,
+}
+
+impl Snapshot {
+    /// One formatted table, `name value` per line, suitable for end-of-run
+    /// summaries.
+    pub fn render_text(&self) -> String {
+        let width = self.entries.keys().map(|k| k.len()).max().unwrap_or(0);
+        let mut out = String::new();
+        for (name, value) in &self.entries {
+            let rendered = match value {
+                MetricValue::Counter(v) => format!("{v}"),
+                MetricValue::Float(v) => format!("{v:.1}"),
+                MetricValue::Gauge(v) => format!("{v}"),
+                MetricValue::Histogram { sum, count, .. } => {
+                    format!("count={count} sum={sum:.1}")
+                }
+            };
+            out.push_str(&format!("  {name:<width$}  {rendered}\n"));
+        }
+        out
+    }
+
+    /// The snapshot as one JSON object keyed by metric name.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (name, value)) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n  \"{}\": ", crate::export::json_escape(name)));
+            match value {
+                MetricValue::Counter(v) => out.push_str(&format!("{v}")),
+                MetricValue::Float(v) => out.push_str(&render_f64(*v)),
+                MetricValue::Gauge(v) => out.push_str(&format!("{v}")),
+                MetricValue::Histogram {
+                    bounds,
+                    counts,
+                    sum,
+                    count,
+                } => {
+                    out.push_str(&format!(
+                        "{{\"bounds\": [{}], \"counts\": [{}], \"sum\": {}, \"count\": {}}}",
+                        bounds
+                            .iter()
+                            .map(|b| render_f64(*b))
+                            .collect::<Vec<_>>()
+                            .join(", "),
+                        counts
+                            .iter()
+                            .map(|c| c.to_string())
+                            .collect::<Vec<_>>()
+                            .join(", "),
+                        render_f64(*sum),
+                        count
+                    ));
+                }
+            }
+        }
+        out.push_str("\n}\n");
+        out
+    }
+}
+
+/// JSON-safe f64 rendering (`null` for non-finite values).
+pub(crate) fn render_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_roundtrip_and_sharing() {
+        let r = Registry::new();
+        let a = r.counter("x.calls");
+        let b = r.counter("x.calls");
+        a.inc();
+        b.add(4);
+        assert_eq!(a.get(), 5);
+        assert_eq!(
+            r.snapshot().entries.get("x.calls"),
+            Some(&MetricValue::Counter(5))
+        );
+    }
+
+    #[test]
+    fn float_counter_accumulates() {
+        let c = FloatCounter::detached();
+        c.add(1.5);
+        c.add(2.25);
+        assert_eq!(c.get(), 3.75);
+    }
+
+    #[test]
+    fn kind_mismatch_returns_detached() {
+        let r = Registry::new();
+        let c = r.counter("m");
+        let f = r.float_counter("m"); // wrong kind: detached
+        f.add(10.0);
+        c.inc();
+        assert_eq!(
+            r.snapshot().entries.get("m"),
+            Some(&MetricValue::Counter(1))
+        );
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let h = Histogram::with_bounds(&[1.0, 10.0, 100.0]);
+        for v in [0.5, 5.0, 50.0, 500.0, 5.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 560.5);
+        let MetricValue::Histogram { counts, .. } = h.value() else {
+            panic!("wrong kind");
+        };
+        assert_eq!(counts, vec![1, 2, 1, 1]);
+    }
+
+    #[test]
+    fn snapshot_renders() {
+        let r = Registry::new();
+        r.counter("a.count").add(3);
+        r.float_counter("b.work").add(1.5);
+        r.gauge("c.depth").set(-2);
+        r.histogram("d.lat", &[1.0]).observe(0.5);
+        let snap = r.snapshot();
+        let text = snap.render_text();
+        assert!(text.contains("a.count"));
+        assert!(text.contains("-2"));
+        let json = snap.render_json();
+        assert!(json.contains("\"b.work\": 1.5"));
+        let parsed = crate::json::parse(&json).expect("snapshot json parses");
+        assert_eq!(
+            parsed.get("a.count").and_then(crate::json::Json::as_f64),
+            Some(3.0)
+        );
+    }
+
+    #[test]
+    fn global_registry_is_shared() {
+        global().counter("obsv.selftest").inc();
+        assert!(global().snapshot().entries.contains_key("obsv.selftest"));
+    }
+}

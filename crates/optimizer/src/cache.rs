@@ -48,7 +48,6 @@ use query::BoundSelect;
 use rustc_hash::FxHashMap;
 use stats::{CatalogObserver, StatsCatalog, StatsView};
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use storage::{Database, TableId};
 
@@ -147,12 +146,19 @@ impl fmt::Display for CacheCounters {
 }
 
 /// Thread-safe memoization of [`Optimizer::optimize_cached`] results.
+///
+/// Counters are [`obsv::Counter`] handles owned by this cache instance —
+/// per-cache accounting keeps working as before — and can additionally be
+/// registered in an [`obsv::Registry`] under the shared naming scheme
+/// (`optimizer.cache.{hit,miss,invalidation}`) via
+/// [`OptimizeCache::with_metrics`], so a registry snapshot and the
+/// [`CacheCounters`] accessors read the *same* storage.
 #[derive(Default)]
 pub struct OptimizeCache {
     entries: RwLock<FxHashMap<CacheKey, CacheEntry>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    invalidations: AtomicU64,
+    hits: obsv::Counter,
+    misses: obsv::Counter,
+    invalidations: obsv::Counter,
 }
 
 impl fmt::Debug for OptimizeCache {
@@ -168,6 +174,20 @@ impl OptimizeCache {
         Self::default()
     }
 
+    /// A cache whose counters are registered in `registry` as
+    /// `optimizer.cache.hit`, `optimizer.cache.miss`, and
+    /// `optimizer.cache.invalidation`. The per-cache accessors
+    /// ([`OptimizeCache::hits`] etc.) read the same underlying atomics as
+    /// the registry snapshot.
+    pub fn with_metrics(registry: &obsv::Registry) -> Self {
+        OptimizeCache {
+            entries: RwLock::default(),
+            hits: registry.counter("optimizer.cache.hit"),
+            misses: registry.counter("optimizer.cache.miss"),
+            invalidations: registry.counter("optimizer.cache.invalidation"),
+        }
+    }
+
     /// Register this cache as an invalidation observer of `catalog`: every
     /// statistics mutation evicts the entries of queries touching the
     /// mutated table. The catalog holds only a weak reference; dropping the
@@ -181,11 +201,11 @@ impl OptimizeCache {
         let guard = self.entries.read();
         match guard.get(key) {
             Some(entry) => {
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.hits.inc();
                 Some(entry.result.clone())
             }
             None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.misses.inc();
                 None
             }
         }
@@ -203,16 +223,14 @@ impl OptimizeCache {
         let before = guard.len();
         guard.retain(|_, e| !e.tables.contains(&table));
         let evicted = before - guard.len();
-        self.invalidations
-            .fetch_add(evicted as u64, Ordering::Relaxed);
+        self.invalidations.add(evicted as u64);
         evicted
     }
 
     /// Drop every entry (counted as invalidations).
     pub fn clear(&self) {
         let mut guard = self.entries.write();
-        self.invalidations
-            .fetch_add(guard.len() as u64, Ordering::Relaxed);
+        self.invalidations.add(guard.len() as u64);
         guard.clear();
     }
 
@@ -225,15 +243,15 @@ impl OptimizeCache {
     }
 
     pub fn hits(&self) -> u64 {
-        self.hits.load(Ordering::Relaxed)
+        self.hits.get()
     }
 
     pub fn misses(&self) -> u64 {
-        self.misses.load(Ordering::Relaxed)
+        self.misses.get()
     }
 
     pub fn invalidations(&self) -> u64 {
-        self.invalidations.load(Ordering::Relaxed)
+        self.invalidations.get()
     }
 
     pub fn counters(&self) -> CacheCounters {
@@ -496,6 +514,38 @@ mod tests {
             .unwrap();
         assert_eq!(cache.len(), 0, "mutation must evict the table's entries");
         assert_eq!(cache.invalidations(), 1);
+    }
+
+    #[test]
+    fn with_metrics_registers_counters() {
+        let db = setup();
+        let q = bind(&db, "SELECT * FROM t WHERE a = 3");
+        let opt = Optimizer::default();
+        let registry = obsv::Registry::new();
+        let cache = OptimizeCache::with_metrics(&registry);
+        let catalog = StatsCatalog::new();
+        for _ in 0..3 {
+            opt.optimize_cached(
+                &db,
+                &q,
+                catalog.full_view(),
+                &OptimizeOptions::default(),
+                &cache,
+            )
+            .unwrap();
+        }
+        // The registry snapshot and the per-cache accessors read the same
+        // atomics.
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.entries.get("optimizer.cache.hit"),
+            Some(&obsv::MetricValue::Counter(cache.hits()))
+        );
+        assert_eq!(
+            snap.entries.get("optimizer.cache.miss"),
+            Some(&obsv::MetricValue::Counter(1))
+        );
+        assert_eq!(cache.hits(), 2);
     }
 
     #[test]

@@ -105,6 +105,19 @@ pub trait CatalogObserver: Send + Sync {
     fn on_reset(&self) {}
 }
 
+/// Cached observability handles. Disabled by default: the tracer no-ops
+/// and the counters are detached (never snapshotted). All of it is
+/// observation-only — nothing here feeds back into build results, id
+/// allocation, or work accounting, so catalogs are bit-identical with
+/// observability on or off.
+#[derive(Debug, Default)]
+struct CatalogObs {
+    tracer: obsv::Tracer,
+    builds: obsv::Counter,
+    shared_builds: obsv::Counter,
+    build_work: obsv::FloatCounter,
+}
+
 /// Weakly-held observer registry. Weak references keep the catalog from
 /// prolonging observer lifetimes; dead entries are pruned on registration.
 #[derive(Default)]
@@ -147,6 +160,7 @@ pub struct StatsCatalog {
     /// Base seed for per-statistic sampling.
     seed: u64,
     observers: ObserverList,
+    obs: CatalogObs,
 }
 
 impl Default for StatsCatalog {
@@ -170,7 +184,20 @@ impl StatsCatalog {
             build_options: BuildOptions::default(),
             seed: 0x000A_0705_2000, // ICDE 2000
             observers: ObserverList::default(),
+            obs: CatalogObs::default(),
         }
+    }
+
+    /// Attach an observability context: statistic builds get `stats.build`
+    /// spans and feed the `stats.builds` / `stats.shared_scan_builds` /
+    /// `stats.build_work` metrics. Not persisted by [`StatsCatalog::snapshot`].
+    pub fn set_obs(&mut self, obs: &obsv::Obs) {
+        self.obs = CatalogObs {
+            tracer: obs.tracer.clone(),
+            builds: obs.metrics.counter("stats.builds"),
+            shared_builds: obs.metrics.counter("stats.shared_scan_builds"),
+            build_work: obs.metrics.float_counter("stats.build_work"),
+        };
     }
 
     /// Register a mutation observer (weakly held; see [`CatalogObserver`]).
@@ -268,6 +295,10 @@ impl StatsCatalog {
         let id = StatId(self.next_id);
         self.next_id += 1;
         let seed = self.seed ^ ((id.0 as u64) << 17) ^ descriptor.table.0 as u64;
+        let mut span = self.obs.tracer.span("stats.build");
+        span.arg("table", descriptor.table.0 as i64);
+        span.arg("columns", descriptor.columns.len());
+        span.arg("shared", false);
         let stat = build_statistic(
             id,
             table,
@@ -276,6 +307,10 @@ impl StatsCatalog {
             seed,
             self.epoch,
         );
+        span.arg("build_work", stat.build_cost);
+        drop(span);
+        self.obs.builds.inc();
+        self.obs.build_work.add(stat.build_cost);
         self.creation_work += stat.build_cost;
         self.observers.notify_table(descriptor.table);
         self.by_descriptor.insert(descriptor, id);
@@ -337,8 +372,17 @@ impl StatsCatalog {
             }
             let id = StatId(self.next_id);
             self.next_id += 1;
+            let mut span = self.obs.tracer.span("stats.build");
+            span.arg("table", descriptor.table.0 as i64);
+            span.arg("columns", descriptor.columns.len());
+            span.arg("shared", true);
             let scan = shared.get_or_insert_with(|| SharedTableScan::new(t, &self.build_options));
             let stat = scan.build(id, descriptor.clone(), self.epoch);
+            span.arg("build_work", stat.build_cost);
+            drop(span);
+            self.obs.builds.inc();
+            self.obs.shared_builds.inc();
+            self.obs.build_work.add(stat.build_cost);
             self.creation_work += stat.build_cost;
             self.observers.notify_table(descriptor.table);
             self.by_descriptor.insert(descriptor.clone(), id);
@@ -838,6 +882,49 @@ mod tests {
         // The statistic created before the failing descriptor remains, as in
         // a serial ?-propagating loop.
         assert_eq!(cat.active_count(), 1);
+    }
+
+    #[test]
+    fn obs_records_builds_without_changing_outcomes() {
+        let (db, t) = test_db();
+        let descs = vec![
+            StatDescriptor::single(t, 0),
+            StatDescriptor::multi(t, vec![0, 1]),
+        ];
+        let mut plain = StatsCatalog::new();
+        for d in &descs {
+            plain.create_statistic(&db, d.clone()).unwrap();
+        }
+        let obs = obsv::Obs::enabled();
+        let mut observed = StatsCatalog::new();
+        observed.set_obs(&obs);
+        observed.create_statistics_batch(&db, t, &descs).unwrap();
+        // Observation never changes the catalog.
+        assert_eq!(observed.snapshot(), plain.snapshot());
+        // Metrics mirror the work meter bit-for-bit.
+        assert_eq!(obs.metrics.counter("stats.builds").get(), 2,);
+        assert_eq!(obs.metrics.counter("stats.shared_scan_builds").get(), 2);
+        assert_eq!(
+            obs.metrics
+                .float_counter("stats.build_work")
+                .get()
+                .to_bits(),
+            observed.creation_work().to_bits()
+        );
+        // Spans are well-formed and flagged as shared-scan builds.
+        let events = obs.tracer.flush();
+        assert!(obsv::trace::validate(&events).is_empty());
+        assert_eq!(
+            events
+                .iter()
+                .filter(|e| e.kind == obsv::EventKind::Begin && e.name == "stats.build")
+                .count(),
+            2
+        );
+        assert!(events.iter().any(|e| e
+            .args
+            .iter()
+            .any(|(k, v)| *k == "shared" && *v == obsv::ArgValue::Bool(true))));
     }
 
     #[test]
