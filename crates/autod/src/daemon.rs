@@ -1,0 +1,647 @@
+//! The lifecycle daemon: budgeted background tuning on virtual-time ticks.
+//!
+//! [`LifecycleCore`] is the daemon's deterministic heart — a pure state
+//! machine advanced by [`LifecycleCore::tick`]. Each tick, in order:
+//!
+//! 1. **fund** — deposit `budget_per_tick` work tokens into the shared
+//!    token bucket (unspent tokens carry over; overshoot becomes debt that
+//!    later ticks pay down first);
+//! 2. **monitor** — drain the workload monitor's eviction log into the
+//!    journal and enqueue its retained sample into the incremental tuner
+//!    (fingerprint-deduplicated, so a template is analyzed once);
+//! 3. **refresh** — scan modification counters, rebuild stale statistics
+//!    table by table through the catalog's shared-scan batch path, charging
+//!    each rebuild to the bucket; remaining tables wait for the next tick
+//!    once the balance runs out;
+//! 4. **tune** — run a budgeted [`OnlineTuner::step`] of MNSA over pending
+//!    templates;
+//! 5. **shrink** — every `shrink_every` ticks, an MNSA/D-complementing
+//!    Shrinking Set pass over the monitor sample (the offline `tune`
+//!    tail), also charged to the bucket;
+//! 6. **publish** — if the catalog changed, push a frozen copy through the
+//!    [`EpochHandle`] so query threads pick it up without blocking.
+//!
+//! [`LifecycleDaemon`] wraps a `LifecycleCore` in a background thread
+//! driven by explicit tick commands over a channel — virtual time, not wall
+//! clocks, so schedules are reproducible. With a fixed seed, tick schedule,
+//! and a single query thread, the whole catalog trajectory (epochs, work
+//! meters, journal) is bit-identical run to run.
+
+use crate::epoch::EpochHandle;
+use crate::monitor::{MonitorConfig, WorkloadMonitor};
+use crate::staleness::StalenessTracker;
+use autostats::{Equivalence, MnsaConfig, OnlineEvent, ServeParts, SessionReport, TuneError};
+use parking_lot::{Mutex, RwLock};
+use stats::{MaintenancePolicy, StatId, StatsCatalog};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use storage::{Database, TableId};
+
+/// Daemon policy knobs. Defaults follow the paper's magic numbers where one
+/// exists and SQL Server conventions elsewhere.
+#[derive(Debug, Clone)]
+pub struct AutodConfig {
+    /// Work tokens deposited per tick. The same deterministic work units as
+    /// the offline layers (`build_work`, `optimizer_call_work`).
+    pub budget_per_tick: f64,
+    /// MNSA configuration for the incremental tuner.
+    pub mnsa: MnsaConfig,
+    /// Equivalence notion for the periodic Shrinking Set pass; `None`
+    /// disables shrinking entirely.
+    pub shrink: Option<Equivalence>,
+    /// Run the Shrinking Set pass every this many ticks (0 = never).
+    pub shrink_every: u64,
+    /// Staleness rule: stale iff mods since build strictly exceed
+    /// `max(min_modified_rows, update_fraction × rows)`.
+    pub staleness: MaintenancePolicy,
+    /// Workload-monitor sizing and eviction seed.
+    pub monitor: MonitorConfig,
+}
+
+impl Default for AutodConfig {
+    fn default() -> Self {
+        AutodConfig {
+            budget_per_tick: 500_000.0,
+            mnsa: MnsaConfig::default(),
+            shrink: Some(Equivalence::paper_default()),
+            shrink_every: 8,
+            staleness: MaintenancePolicy::default(),
+            monitor: MonitorConfig::default(),
+        }
+    }
+}
+
+/// What one tick did.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TickReport {
+    pub tick: u64,
+    /// Stale statistics rebuilt this tick.
+    pub refreshed: usize,
+    /// Work charged for those rebuilds.
+    pub refresh_work: f64,
+    /// Query templates MNSA analyzed this tick.
+    pub queries_tuned: usize,
+    /// Work charged for tuning (creation + analysis overhead).
+    pub tuning_work: f64,
+    /// True when refreshes or tuning were deferred for lack of tokens.
+    pub budget_exhausted: bool,
+    /// `Some(n)` when a Shrinking Set pass ran and removed `n` statistics.
+    pub shrink_removed: Option<usize>,
+    /// `Some(g)` when the catalog changed and generation `g` was published.
+    pub published_generation: Option<u64>,
+}
+
+/// The deterministic daemon state machine. Owns the master catalog; query
+/// threads only ever see frozen copies through the [`EpochHandle`].
+pub struct LifecycleCore {
+    config: AutodConfig,
+    catalog: StatsCatalog,
+    tuner: autostats::OnlineTuner,
+    staleness: StalenessTracker,
+    epochs: Arc<EpochHandle>,
+    session: SessionReport,
+    obs: obsv::Obs,
+    tick: u64,
+    last_error: Option<TuneError>,
+}
+
+impl LifecycleCore {
+    /// Build a core around an existing catalog (generation 0 is published
+    /// immediately, so query threads have statistics from the start).
+    pub fn new(catalog: StatsCatalog, config: AutodConfig) -> Self {
+        Self::with_parts(
+            catalog,
+            config,
+            obsv::Obs::disabled(),
+            SessionReport::default(),
+            None,
+        )
+    }
+
+    /// Build a core from an [`AutoStatsManager::serve`] hand-off, keeping
+    /// its observability context, journal, and optimizer cache. Returns the
+    /// database back to the caller (the daemon does not own storage).
+    ///
+    /// [`AutoStatsManager::serve`]: autostats::AutoStatsManager::serve
+    pub fn from_serve(parts: ServeParts, config: AutodConfig) -> (Self, Database) {
+        let ServeParts {
+            db,
+            catalog,
+            obs,
+            session,
+            cache,
+            ..
+        } = parts;
+        (Self::with_parts(catalog, config, obs, session, cache), db)
+    }
+
+    fn with_parts(
+        catalog: StatsCatalog,
+        config: AutodConfig,
+        obs: obsv::Obs,
+        session: SessionReport,
+        cache: Option<Arc<optimizer::OptimizeCache>>,
+    ) -> Self {
+        let mut tuner = autostats::OnlineTuner::new(config.mnsa).with_obs(obs.clone());
+        if let Some(cache) = cache {
+            tuner = tuner.with_cache(cache);
+        }
+        let epochs = Arc::new(EpochHandle::new(StatsCatalog::restore(catalog.snapshot())));
+        LifecycleCore {
+            staleness: StalenessTracker::new(config.staleness),
+            config,
+            catalog,
+            tuner,
+            epochs,
+            session,
+            obs,
+            tick: 0,
+            last_error: None,
+        }
+    }
+
+    /// The publication handle query threads read from.
+    pub fn epochs(&self) -> Arc<EpochHandle> {
+        Arc::clone(&self.epochs)
+    }
+
+    /// The master catalog (authoritative; epochs are frozen copies of it).
+    pub fn catalog(&self) -> &StatsCatalog {
+        &self.catalog
+    }
+
+    /// Consume the core, yielding the master catalog and journal.
+    pub fn into_parts(self) -> (StatsCatalog, SessionReport) {
+        (self.catalog, self.session)
+    }
+
+    /// The session journal (offline history plus online events).
+    pub fn journal(&self) -> &SessionReport {
+        &self.session
+    }
+
+    /// The optimizer the tuner analyzes with (shared cost model).
+    pub fn optimizer(&self) -> &optimizer::Optimizer {
+        self.tuner.optimizer()
+    }
+
+    /// Ticks executed so far.
+    pub fn ticks(&self) -> u64 {
+        self.tick
+    }
+
+    /// Current work-token balance (negative = debt).
+    pub fn balance(&self) -> f64 {
+        self.tuner.balance()
+    }
+
+    /// The first error from a fire-and-forget tick, if any.
+    pub fn last_error(&self) -> Option<&TuneError> {
+        self.last_error.as_ref()
+    }
+
+    /// Advance virtual time by one tick. See the module docs for the exact
+    /// sequence. Deterministic: same inputs, same catalog trajectory.
+    pub fn tick(
+        &mut self,
+        db: &Database,
+        monitor: &mut WorkloadMonitor,
+    ) -> Result<TickReport, TuneError> {
+        self.tick += 1;
+        let tick = self.tick;
+        let mut span = self.obs.tracer.span("autod.tick");
+        span.arg("tick", tick);
+        let metrics = &self.obs.metrics;
+        metrics.counter("autod.ticks").inc();
+
+        // 1. Fund this tick's allowance.
+        self.tuner.fund(self.config.budget_per_tick);
+
+        // 2. Drain monitor evictions into the journal, enqueue the sample.
+        for fingerprint in monitor.drain_evictions() {
+            metrics.counter("autod.monitor.evictions").inc();
+            self.session
+                .record_online(OnlineEvent::MonitorEvict { tick, fingerprint });
+        }
+        metrics
+            .gauge("autod.monitor.templates")
+            .set(monitor.len() as i64);
+        let sample = monitor.sample();
+        for query in &sample {
+            self.tuner.enqueue(query.clone());
+        }
+
+        let mut report = TickReport {
+            tick,
+            ..TickReport::default()
+        };
+
+        // 3. Staleness-driven refresh, table by table (shared scans), while
+        //    the token balance lasts.
+        let stale = self.staleness.scan(db, &self.catalog);
+        let mut by_table: BTreeMap<TableId, Vec<StatId>> = BTreeMap::new();
+        for s in &stale {
+            by_table.entry(s.table).or_default().push(s.stat);
+        }
+        let mut deferred_refreshes = 0usize;
+        for (table, ids) in &by_table {
+            if self.tuner.balance() <= 0.0 {
+                deferred_refreshes += ids.len();
+                continue;
+            }
+            for (stat, work) in self.catalog.refresh_statistics(db, *table, ids) {
+                self.tuner.charge(work);
+                report.refreshed += 1;
+                report.refresh_work += work;
+                metrics.counter("autod.refreshes").inc();
+                metrics.float_counter("autod.refresh_work").add(work);
+                self.session.record_online(OnlineEvent::Refresh {
+                    tick,
+                    stat,
+                    table: *table,
+                    work,
+                });
+            }
+        }
+
+        // 4. A budgeted MNSA increment over the pending templates.
+        let step = self.tuner.step(db, &mut self.catalog)?;
+        for (relations, outcome) in &step.tuned {
+            self.session.record_query(*relations, outcome);
+        }
+        self.session.totals.absorb(&step.report);
+        report.queries_tuned = step.tuned.len();
+        report.tuning_work = step.work;
+        metrics
+            .counter("autod.tuned_queries")
+            .add(step.tuned.len() as u64);
+        metrics.float_counter("autod.tuning_work").add(step.work);
+        metrics
+            .gauge("autod.pending")
+            .set(self.tuner.pending() as i64);
+
+        report.budget_exhausted = step.exhausted || deferred_refreshes > 0;
+        if report.budget_exhausted {
+            metrics.counter("autod.budget_exhausted").inc();
+            self.session.record_online(OnlineEvent::BudgetExhausted {
+                tick,
+                pending: self.tuner.pending() + deferred_refreshes,
+                balance: self.tuner.balance(),
+            });
+        }
+
+        // 5. Periodic MNSA/D-complementing Shrinking Set pass.
+        if let Some(equivalence) = self.config.shrink {
+            let due = self.config.shrink_every > 0 && tick.is_multiple_of(self.config.shrink_every);
+            if due && !sample.is_empty() {
+                let out = self
+                    .tuner
+                    .shrink_pass(db, &mut self.catalog, &sample, equivalence)?;
+                self.session.shrink_removed += out.removed.len();
+                self.session.totals.optimizer_calls += out.optimizer_calls;
+                report.shrink_removed = Some(out.removed.len());
+            }
+        }
+
+        // 6. Publish a frozen copy iff the catalog changed this tick.
+        let changed = report.refreshed > 0
+            || step.report.statistics_created > 0
+            || step.report.statistics_drop_listed > 0
+            || report.shrink_removed.is_some();
+        if changed {
+            let generation = self
+                .epochs
+                .publish(StatsCatalog::restore(self.catalog.snapshot()));
+            report.published_generation = Some(generation);
+            metrics.counter("autod.epoch_swaps").inc();
+            metrics
+                .gauge("autod.epoch_generation")
+                .set(generation as i64);
+            self.session
+                .record_online(OnlineEvent::EpochSwap { tick, generation });
+        }
+
+        span.arg("refreshed", report.refreshed);
+        span.arg("tuned", report.queries_tuned);
+        span.arg("exhausted", report.budget_exhausted);
+        Ok(report)
+    }
+}
+
+enum Command {
+    Tick(Option<mpsc::Sender<Result<TickReport, TuneError>>>),
+    Shutdown,
+}
+
+/// A [`LifecycleCore`] on a background thread, advanced by explicit tick
+/// commands — the query path never waits on it, and it never runs except
+/// when ticked.
+pub struct LifecycleDaemon {
+    commands: mpsc::Sender<Command>,
+    handle: std::thread::JoinHandle<LifecycleCore>,
+    tick_cell: Arc<AtomicU64>,
+}
+
+impl LifecycleDaemon {
+    /// Spawn the daemon thread. It locks `db` for read and then `monitor`
+    /// for each tick — the same order the query path must use.
+    pub fn spawn(
+        mut core: LifecycleCore,
+        db: Arc<RwLock<Database>>,
+        monitor: Arc<Mutex<WorkloadMonitor>>,
+    ) -> LifecycleDaemon {
+        let (commands, inbox) = mpsc::channel::<Command>();
+        let tick_cell = Arc::new(AtomicU64::new(0));
+        let cell = Arc::clone(&tick_cell);
+        let handle = std::thread::spawn(move || {
+            while let Ok(command) = inbox.recv() {
+                match command {
+                    Command::Shutdown => break,
+                    Command::Tick(ack) => {
+                        let result = {
+                            // Lock order: database first, then the monitor.
+                            let db = db.read();
+                            let mut monitor = monitor.lock();
+                            core.tick(&db, &mut monitor)
+                        };
+                        cell.store(core.ticks(), Ordering::SeqCst);
+                        match ack {
+                            Some(ack) => {
+                                let _ = ack.send(result);
+                            }
+                            None => {
+                                if let Err(e) = result {
+                                    if core.last_error.is_none() {
+                                        core.last_error = Some(e);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            core
+        });
+        LifecycleDaemon {
+            commands,
+            handle,
+            tick_cell,
+        }
+    }
+
+    /// Fire-and-forget tick. Errors are retained in the core's
+    /// `last_error` and surface at shutdown.
+    pub fn tick(&self) {
+        let _ = self.commands.send(Command::Tick(None));
+    }
+
+    /// Tick and wait for the report (used by deterministic drivers).
+    pub fn tick_wait(&self) -> Result<TickReport, TuneError> {
+        let (tx, rx) = mpsc::channel();
+        if self.commands.send(Command::Tick(Some(tx))).is_err() {
+            return Ok(TickReport::default()); // daemon already gone
+        }
+        rx.recv().unwrap_or_else(|_| Ok(TickReport::default()))
+    }
+
+    /// The shared cell holding the last completed tick number (virtual
+    /// "now" for monitor observations on query threads).
+    pub fn tick_cell(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.tick_cell)
+    }
+
+    /// Stop the thread and recover the core (catalog, journal, meters).
+    /// `None` only if the daemon thread panicked, which the panic-free
+    /// lint gate makes unreachable in practice.
+    pub fn shutdown(self) -> Option<LifecycleCore> {
+        let _ = self.commands.send(Command::Shutdown);
+        self.handle.join().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autostats::OfflineTuner;
+    use query::{bind_statement, parse_statement, BoundStatement};
+    use storage::{ColumnDef, DataType, Schema, Value};
+
+    /// The paper's Example-2 shape: employees (skewed `salary`, rare > 200)
+    /// joined with departments, where MNSA reliably builds statistics.
+    fn test_db() -> Database {
+        let mut db = Database::new();
+        let emp = db
+            .create_table(
+                "employees",
+                Schema::new(vec![
+                    ColumnDef::new("empid", DataType::Int),
+                    ColumnDef::new("deptid", DataType::Int),
+                    ColumnDef::new("age", DataType::Int),
+                    ColumnDef::new("salary", DataType::Int),
+                ]),
+            )
+            .unwrap();
+        let dept = db
+            .create_table(
+                "departments",
+                Schema::new(vec![
+                    ColumnDef::new("deptid", DataType::Int),
+                    ColumnDef::new("dname", DataType::Str),
+                ]),
+            )
+            .unwrap();
+        for i in 0..3000i64 {
+            let salary = if i % 100 == 0 { 250 } else { i % 200 };
+            db.table_mut(emp)
+                .insert(vec![
+                    Value::Int(i),
+                    Value::Int(i % 20),
+                    Value::Int(20 + (i % 50)),
+                    Value::Int(salary),
+                ])
+                .unwrap();
+        }
+        for d in 0..20i64 {
+            db.table_mut(dept)
+                .insert(vec![Value::Int(d), Value::Str(format!("d{d}"))])
+                .unwrap();
+        }
+        #[allow(deprecated)]
+        db.table_mut(emp).reset_modification_counter();
+        #[allow(deprecated)]
+        db.table_mut(dept).reset_modification_counter();
+        db
+    }
+
+    fn select(db: &Database, sql: &str) -> query::BoundSelect {
+        match bind_statement(db, &parse_statement(sql).unwrap()).unwrap() {
+            BoundStatement::Select(q) => q,
+            other => panic!("expected select, got {other:?}"),
+        }
+    }
+
+    const EXAMPLE2_SQL: &str = "SELECT e.empid, d.dname FROM employees e, departments d \
+        WHERE e.deptid = d.deptid AND e.age < 30 AND e.salary > 200";
+
+    fn workload(db: &Database) -> Vec<query::BoundSelect> {
+        vec![
+            select(db, EXAMPLE2_SQL),
+            select(
+                db,
+                "SELECT e.empid FROM employees e, departments d \
+                 WHERE e.deptid = d.deptid AND e.salary > 200",
+            ),
+            select(db, "SELECT * FROM employees WHERE empid < 100"),
+        ]
+    }
+
+    /// Paused daemon ≡ offline tune: a core with an unconstrained budget
+    /// that drains its queue and runs one shrink pass leaves the master
+    /// catalog bit-identical to `OfflineTuner::tune` on the same sample.
+    #[test]
+    fn paused_daemon_matches_offline_tune() {
+        let db = test_db();
+        let queries = workload(&db);
+
+        let mut offline_catalog = StatsCatalog::new();
+        OfflineTuner::default()
+            .tune(&db, &mut offline_catalog, &queries)
+            .unwrap();
+
+        let mut monitor = WorkloadMonitor::new(MonitorConfig::default());
+        for q in &queries {
+            monitor.observe(q, 0);
+        }
+        let mut core = LifecycleCore::new(
+            StatsCatalog::new(),
+            AutodConfig {
+                budget_per_tick: f64::INFINITY,
+                shrink_every: 1,
+                ..AutodConfig::default()
+            },
+        );
+        let report = core.tick(&db, &mut monitor).unwrap();
+        assert!(!report.budget_exhausted);
+        assert!(report.shrink_removed.is_some());
+        assert_eq!(core.catalog().snapshot(), offline_catalog.snapshot());
+        // The published epoch is the same catalog.
+        assert_eq!(
+            core.epochs().load().catalog.snapshot(),
+            offline_catalog.snapshot()
+        );
+    }
+
+    #[test]
+    fn tiny_budget_defers_work_and_journals_exhaustion() {
+        let db = test_db();
+        let queries = workload(&db);
+        let mut monitor = WorkloadMonitor::new(MonitorConfig::default());
+        for q in &queries {
+            monitor.observe(q, 0);
+        }
+        let mut core = LifecycleCore::new(
+            StatsCatalog::new(),
+            AutodConfig {
+                budget_per_tick: 1.0,
+                shrink_every: 0,
+                ..AutodConfig::default()
+            },
+        );
+        let first = core.tick(&db, &mut monitor).unwrap();
+        assert!(first.budget_exhausted);
+        assert!(first.queries_tuned <= 1);
+        assert!(core.balance() < 0.0);
+        assert!(core
+            .journal()
+            .online
+            .iter()
+            .any(|e| matches!(e, OnlineEvent::BudgetExhausted { .. })));
+        // Enough later ticks pay down the debt and finish the queue.
+        let mut tuned = first.queries_tuned;
+        for _ in 0..100_000 {
+            let r = core.tick(&db, &mut monitor).unwrap();
+            tuned += r.queries_tuned;
+            if !r.budget_exhausted {
+                break;
+            }
+        }
+        assert_eq!(tuned, queries.len());
+    }
+
+    #[test]
+    fn bulk_update_triggers_refresh_and_epoch_swap() {
+        let mut db = test_db();
+        let t = db.table_id("employees").unwrap();
+        let queries = workload(&db);
+        let mut monitor = WorkloadMonitor::new(MonitorConfig::default());
+        for q in &queries {
+            monitor.observe(q, 0);
+        }
+        let mut core = LifecycleCore::new(
+            StatsCatalog::new(),
+            AutodConfig {
+                budget_per_tick: f64::INFINITY,
+                shrink_every: 0,
+                ..AutodConfig::default()
+            },
+        );
+        let first = core.tick(&db, &mut monitor).unwrap();
+        assert!(first.queries_tuned > 0);
+        let built = core.catalog().built_on_table(t).count();
+        assert!(built > 0);
+        let gen_after_build = core.epochs().generation();
+        assert!(first.published_generation.is_some());
+
+        // Nothing stale yet: the next tick publishes nothing.
+        let quiet = core.tick(&db, &mut monitor).unwrap();
+        assert_eq!(quiet.refreshed, 0);
+        assert_eq!(quiet.published_generation, None);
+
+        // A bulk modification beyond max(500, 20% of rows) makes everything
+        // on the table stale; the next tick refreshes and republishes.
+        for i in 0..900i64 {
+            db.table_mut(t)
+                .insert(vec![
+                    Value::Int(10_000 + i),
+                    Value::Int(0),
+                    Value::Int(21),
+                    Value::Int(0),
+                ])
+                .unwrap();
+        }
+        let refreshed = core.tick(&db, &mut monitor).unwrap();
+        assert_eq!(refreshed.refreshed, built);
+        assert!(refreshed.refresh_work > 0.0);
+        assert_eq!(core.epochs().generation(), gen_after_build + 1);
+        assert!(core
+            .journal()
+            .online
+            .iter()
+            .any(|e| matches!(e, OnlineEvent::Refresh { .. })));
+    }
+
+    #[test]
+    fn daemon_thread_ticks_and_returns_core() {
+        let db = Arc::new(RwLock::new(test_db()));
+        let queries = workload(&db.read());
+        let monitor = Arc::new(Mutex::new(WorkloadMonitor::new(MonitorConfig::default())));
+        {
+            let mut m = monitor.lock();
+            for q in &queries {
+                m.observe(q, 0);
+            }
+        }
+        let core = LifecycleCore::new(StatsCatalog::new(), AutodConfig::default());
+        let epochs = core.epochs();
+        let daemon = LifecycleDaemon::spawn(core, Arc::clone(&db), Arc::clone(&monitor));
+        let report = daemon.tick_wait().unwrap();
+        assert_eq!(report.tick, 1);
+        assert!(report.queries_tuned > 0);
+        assert_eq!(daemon.tick_cell().load(Ordering::SeqCst), 1);
+        assert!(epochs.generation() >= 1);
+        let core = daemon.shutdown().expect("daemon thread lives");
+        assert_eq!(core.ticks(), 1);
+        assert!(core.last_error().is_none());
+    }
+}

@@ -1,0 +1,90 @@
+//! Epoch-swap publication of tuned catalogs.
+//!
+//! The daemon tunes a private *master* [`StatsCatalog`] and, when it has
+//! something new, publishes an immutable copy behind an [`EpochHandle`]:
+//! an `ArcSwap`-style generation pointer — a `parking_lot::RwLock` holding
+//! an `Arc<CatalogEpoch>`. Query threads `load()` the current epoch (a
+//! cheap `Arc` clone under a read lock held for nanoseconds), then optimize
+//! against that frozen catalog for as long as they like; the daemon's next
+//! `publish` never blocks them and never mutates anything they can see.
+//! Generations are monotone, so readers can detect catalog changes by
+//! comparing `generation` values.
+
+use parking_lot::RwLock;
+use stats::StatsCatalog;
+use std::sync::Arc;
+
+/// One published, immutable catalog generation.
+#[derive(Debug)]
+pub struct CatalogEpoch {
+    /// Monotone publication counter (0 = the initial catalog).
+    pub generation: u64,
+    /// Frozen catalog snapshot for this generation.
+    pub catalog: StatsCatalog,
+}
+
+/// Shared handle through which the daemon publishes and queries read.
+#[derive(Debug)]
+pub struct EpochHandle {
+    slot: RwLock<Arc<CatalogEpoch>>,
+}
+
+impl EpochHandle {
+    /// Wrap an initial catalog as generation 0.
+    pub fn new(catalog: StatsCatalog) -> Self {
+        EpochHandle {
+            slot: RwLock::new(Arc::new(CatalogEpoch {
+                generation: 0,
+                catalog,
+            })),
+        }
+    }
+
+    /// The current epoch. The returned `Arc` stays valid (and immutable)
+    /// across any number of subsequent publishes.
+    pub fn load(&self) -> Arc<CatalogEpoch> {
+        Arc::clone(&self.slot.read())
+    }
+
+    /// Current generation number.
+    pub fn generation(&self) -> u64 {
+        self.slot.read().generation
+    }
+
+    /// Publish a new catalog, bumping the generation. Returns the new
+    /// generation number.
+    pub fn publish(&self, catalog: StatsCatalog) -> u64 {
+        let mut slot = self.slot.write();
+        let generation = slot.generation + 1;
+        *slot = Arc::new(CatalogEpoch {
+            generation,
+            catalog,
+        });
+        generation
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn publish_bumps_generation_and_old_epochs_stay_valid() {
+        let handle = EpochHandle::new(StatsCatalog::new());
+        let first = handle.load();
+        assert_eq!(first.generation, 0);
+        assert_eq!(handle.generation(), 0);
+
+        let g1 = handle.publish(StatsCatalog::new());
+        assert_eq!(g1, 1);
+        let second = handle.load();
+        assert_eq!(second.generation, 1);
+        // The epoch loaded before the publish is untouched.
+        assert_eq!(first.generation, 0);
+        assert_eq!(first.catalog.total_count(), 0);
+
+        let g2 = handle.publish(StatsCatalog::new());
+        assert_eq!(g2, 2);
+        assert_eq!(handle.generation(), 2);
+    }
+}

@@ -1,0 +1,53 @@
+//! # autod — the online statistics lifecycle daemon
+//!
+//! The paper frames MNSA as one piece of a *continuously running*
+//! statistics-management service: the deployed system watches the workload,
+//! notices when data changes invalidate statistics, and tunes in the
+//! background without getting in the way of queries. This crate is that
+//! service, built from three cooperating pieces:
+//!
+//! * [`WorkloadMonitor`] — a bounded, fingerprint-deduplicated reservoir of
+//!   executed query templates (frequency + recency per template,
+//!   deterministic seeded eviction). The tuning workload is this compressed
+//!   live sample, not an offline workload file.
+//! * [`StalenessTracker`] — consumes [`Database::modification_snapshot`]
+//!   counters and flags each built statistic stale under the SQL
+//!   Server-style `max(500, 20% of rows)` rule (configurable), driving
+//!   targeted refreshes through the catalog's shared-scan batch rebuilds.
+//! * [`LifecycleDaemon`] — a background thread driven by deterministic
+//!   virtual-time ticks. Each tick funds a work-token budget (carry-over,
+//!   debt allowed), refreshes stale statistics, runs a budgeted increment of
+//!   MNSA over the monitored sample ([`autostats::OnlineTuner`]), and
+//!   periodically an MNSA/D + Shrinking Set pass; catalog changes publish
+//!   through an epoch-swap handle ([`EpochHandle`], an `ArcSwap`-style
+//!   generation pointer under a `parking_lot` lock) so query threads always
+//!   read a consistent catalog and never block on tuning.
+//!
+//! [`OnlineService`] assembles the pieces over an
+//! [`AutoStatsManager::serve()`](autostats::AutoStatsManager::serve)
+//! hand-off and exposes cloneable per-thread [`QueryHandle`]s.
+//!
+//! ## Determinism contract
+//!
+//! As in the offline layers: with a fixed seed, fixed tick schedule, and one
+//! query thread, the daemon's catalog trajectory — epochs published, work
+//! meters, journal — is bit-identical run to run. A *paused* daemon (queue
+//! drained, one shrink pass) leaves the master catalog bit-identical to
+//! [`OfflineTuner::tune`](autostats::OfflineTuner) over the same sample.
+//!
+//! [`Database::modification_snapshot`]: storage::Database::modification_snapshot
+
+// Library code must stay panic-free on arbitrary input; tests may unwrap.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod daemon;
+pub mod epoch;
+pub mod monitor;
+pub mod service;
+pub mod staleness;
+
+pub use daemon::{AutodConfig, LifecycleCore, LifecycleDaemon, TickReport};
+pub use epoch::{CatalogEpoch, EpochHandle};
+pub use monitor::{MonitorConfig, TemplateStats, WorkloadMonitor};
+pub use service::{OnlineService, QueryHandle, ServiceReport};
+pub use staleness::{StaleStatistic, StalenessTracker};

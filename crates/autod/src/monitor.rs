@@ -1,0 +1,351 @@
+//! The workload monitor: a bounded reservoir of executed query templates.
+//!
+//! Every SELECT that runs through the online service is observed here,
+//! deduplicated by [`BoundSelect::fingerprint`]. The monitor keeps at most
+//! `capacity` distinct templates with per-template frequency and recency;
+//! when full, the template with the least `(frequency, last_seen_tick,
+//! seeded-hash)` is evicted — frequency-biased retention with a
+//! deterministic, seed-keyed tiebreak so two runs with the same stream
+//! evict identically.
+//!
+//! Evicting a hot-but-new template must not erase its history, or a
+//! template arriving steadily into a full reservoir would never accumulate
+//! enough frequency to displace anything. A bounded *ghost list* (ARC
+//! style) remembers the frequency of recently evicted fingerprints; a
+//! re-arriving ghost resumes its old count instead of restarting at one.
+
+use query::BoundSelect;
+use std::collections::BTreeMap;
+
+/// Monitor sizing and eviction seed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MonitorConfig {
+    /// Maximum distinct templates retained (and ghost entries remembered).
+    pub capacity: usize,
+    /// Seed for the deterministic eviction tiebreak.
+    pub seed: u64,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        MonitorConfig {
+            capacity: 256,
+            seed: 0xA07D,
+        }
+    }
+}
+
+/// Public per-template view (for diagnostics and benchmarks).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TemplateStats {
+    pub fingerprint: u64,
+    /// Times this template was observed (including ghost-restored history).
+    pub frequency: u64,
+    pub first_seen_tick: u64,
+    pub last_seen_tick: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Template {
+    query: BoundSelect,
+    frequency: u64,
+    /// Arrival index (monotone): stable "first seen" ordering for samples.
+    arrival: u64,
+    first_seen_tick: u64,
+    last_seen_tick: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Ghost {
+    frequency: u64,
+    evicted_seq: u64,
+}
+
+/// Bounded, deduplicated reservoir of executed query templates.
+#[derive(Debug)]
+pub struct WorkloadMonitor {
+    config: MonitorConfig,
+    templates: BTreeMap<u64, Template>,
+    ghosts: BTreeMap<u64, Ghost>,
+    arrivals: u64,
+    evict_seq: u64,
+    observed_total: u64,
+    evictions_total: u64,
+    /// Fingerprints evicted since the last [`WorkloadMonitor::drain_evictions`].
+    pending_evictions: Vec<u64>,
+}
+
+/// SplitMix64 finalizer: the deterministic eviction tiebreak.
+fn mix(seed: u64, x: u64) -> u64 {
+    let mut z = x ^ seed ^ 0x9E37_79B9_7F4A_7C15;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl WorkloadMonitor {
+    pub fn new(config: MonitorConfig) -> Self {
+        WorkloadMonitor {
+            config: MonitorConfig {
+                capacity: config.capacity.max(1),
+                ..config
+            },
+            templates: BTreeMap::new(),
+            ghosts: BTreeMap::new(),
+            arrivals: 0,
+            evict_seq: 0,
+            observed_total: 0,
+            evictions_total: 0,
+            pending_evictions: Vec::new(),
+        }
+    }
+
+    /// Observe one executed query at virtual time `tick`. Returns the
+    /// template fingerprint.
+    pub fn observe(&mut self, query: &BoundSelect, tick: u64) -> u64 {
+        let fp = query.fingerprint();
+        self.observed_total += 1;
+        if let Some(t) = self.templates.get_mut(&fp) {
+            t.frequency += 1;
+            t.last_seen_tick = tick;
+            return fp;
+        }
+        // Ghost restoration: a recently evicted template resumes its count.
+        let history = self.ghosts.remove(&fp).map_or(0, |g| g.frequency);
+        self.arrivals += 1;
+        self.templates.insert(
+            fp,
+            Template {
+                query: query.clone(),
+                frequency: history + 1,
+                arrival: self.arrivals,
+                first_seen_tick: tick,
+                last_seen_tick: tick,
+            },
+        );
+        if self.templates.len() > self.config.capacity {
+            self.evict_one();
+        }
+        fp
+    }
+
+    /// Evict the template with the least `(frequency, last_seen_tick,
+    /// mix(seed, fp))` — deterministic for a fixed seed and stream.
+    fn evict_one(&mut self) {
+        let seed = self.config.seed;
+        let victim = self
+            .templates
+            .iter()
+            .map(|(fp, t)| ((t.frequency, t.last_seen_tick, mix(seed, *fp)), *fp))
+            .min_by_key(|(key, _)| *key)
+            .map(|(_, fp)| fp);
+        if let Some(fp) = victim {
+            if let Some(t) = self.templates.remove(&fp) {
+                self.evict_seq += 1;
+                self.ghosts.insert(
+                    fp,
+                    Ghost {
+                        frequency: t.frequency,
+                        evicted_seq: self.evict_seq,
+                    },
+                );
+                // Ghost list is bounded too: forget the oldest eviction.
+                while self.ghosts.len() > self.config.capacity {
+                    let oldest = self
+                        .ghosts
+                        .iter()
+                        .min_by_key(|(_, g)| g.evicted_seq)
+                        .map(|(fp, _)| *fp);
+                    match oldest {
+                        Some(fp) => self.ghosts.remove(&fp),
+                        None => break,
+                    };
+                }
+                self.evictions_total += 1;
+                self.pending_evictions.push(fp);
+            }
+        }
+    }
+
+    /// The retained sample, in first-arrival order — the workload handed to
+    /// the tuner. Arrival order makes "paused daemon ≡ offline tune on the
+    /// sample" well defined.
+    pub fn sample(&self) -> Vec<BoundSelect> {
+        let mut entries: Vec<&Template> = self.templates.values().collect();
+        entries.sort_by_key(|t| t.arrival);
+        entries.iter().map(|t| t.query.clone()).collect()
+    }
+
+    /// Per-template statistics, in first-arrival order.
+    pub fn templates(&self) -> Vec<TemplateStats> {
+        let mut entries: Vec<(&u64, &Template)> = self.templates.iter().collect();
+        entries.sort_by_key(|(_, t)| t.arrival);
+        entries
+            .into_iter()
+            .map(|(fp, t)| TemplateStats {
+                fingerprint: *fp,
+                frequency: t.frequency,
+                first_seen_tick: t.first_seen_tick,
+                last_seen_tick: t.last_seen_tick,
+            })
+            .collect()
+    }
+
+    /// Fingerprints evicted since the last drain (for journaling).
+    pub fn drain_evictions(&mut self) -> Vec<u64> {
+        std::mem::take(&mut self.pending_evictions)
+    }
+
+    /// Distinct templates currently retained.
+    pub fn len(&self) -> usize {
+        self.templates.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.templates.is_empty()
+    }
+
+    /// Total observations (including duplicates of retained templates).
+    pub fn observed_total(&self) -> u64 {
+        self.observed_total
+    }
+
+    /// Total evictions over the monitor's life.
+    pub fn evictions_total(&self) -> u64 {
+        self.evictions_total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use query::{bind_statement, parse_statement, BoundStatement};
+    use storage::{ColumnDef, DataType, Database, Schema, Value};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        let t = db
+            .create_table(
+                "t",
+                Schema::new(vec![
+                    ColumnDef::new("a", DataType::Int),
+                    ColumnDef::new("b", DataType::Int),
+                ]),
+            )
+            .unwrap();
+        for i in 0..10i64 {
+            db.table_mut(t)
+                .insert(vec![Value::Int(i), Value::Int(i % 3)])
+                .unwrap();
+        }
+        db
+    }
+
+    fn select(db: &Database, sql: &str) -> BoundSelect {
+        match bind_statement(db, &parse_statement(sql).unwrap()).unwrap() {
+            BoundStatement::Select(q) => q,
+            other => panic!("expected select, got {other:?}"),
+        }
+    }
+
+    fn queries(db: &Database, n: usize) -> Vec<BoundSelect> {
+        (0..n)
+            .map(|i| select(db, &format!("SELECT * FROM t WHERE a = {i}")))
+            .collect()
+    }
+
+    #[test]
+    fn deduplicates_and_counts_frequency() {
+        let db = db();
+        let q = select(&db, "SELECT * FROM t WHERE a = 1");
+        let mut m = WorkloadMonitor::new(MonitorConfig::default());
+        m.observe(&q, 1);
+        m.observe(&q, 3);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.observed_total(), 2);
+        let t = &m.templates()[0];
+        assert_eq!(t.frequency, 2);
+        assert_eq!(t.first_seen_tick, 1);
+        assert_eq!(t.last_seen_tick, 3);
+    }
+
+    #[test]
+    fn capacity_bound_evicts_least_frequent_first() {
+        let db = db();
+        let qs = queries(&db, 4);
+        let mut m = WorkloadMonitor::new(MonitorConfig {
+            capacity: 3,
+            seed: 42,
+        });
+        // q0 is hot; q1..q3 arrive once each.
+        for _ in 0..5 {
+            m.observe(&qs[0], 1);
+        }
+        m.observe(&qs[1], 2);
+        m.observe(&qs[2], 3);
+        m.observe(&qs[3], 4); // over capacity: one frequency-1 template goes
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.evictions_total(), 1);
+        let evicted = m.drain_evictions();
+        assert_eq!(evicted.len(), 1);
+        assert!(m.drain_evictions().is_empty());
+        // The hot template survives; the evictee is the stalest freq-1 one.
+        assert!(m.templates().iter().any(|t| t.frequency == 5));
+        assert_eq!(evicted[0], qs[1].fingerprint());
+    }
+
+    #[test]
+    fn ghost_restores_frequency_of_reobserved_evictee() {
+        let db = db();
+        let qs = queries(&db, 3);
+        let mut m = WorkloadMonitor::new(MonitorConfig {
+            capacity: 2,
+            seed: 7,
+        });
+        m.observe(&qs[0], 1);
+        m.observe(&qs[0], 1);
+        m.observe(&qs[1], 1);
+        m.observe(&qs[2], 2); // evicts q1 (freq 1, oldest tick)
+        assert_eq!(m.drain_evictions(), vec![qs[1].fingerprint()]);
+        // q1 returns: its count resumes at 2, not 1.
+        m.observe(&qs[1], 3);
+        let t = m
+            .templates()
+            .into_iter()
+            .find(|t| t.fingerprint == qs[1].fingerprint());
+        assert_eq!(t.map(|t| t.frequency), Some(2));
+    }
+
+    #[test]
+    fn eviction_is_deterministic_for_fixed_seed() {
+        let db = db();
+        let qs = queries(&db, 8);
+        let run = |seed: u64| {
+            let mut m = WorkloadMonitor::new(MonitorConfig { capacity: 4, seed });
+            for (i, q) in qs.iter().enumerate() {
+                m.observe(q, i as u64);
+            }
+            (
+                m.sample()
+                    .iter()
+                    .map(|q| q.fingerprint())
+                    .collect::<Vec<_>>(),
+                m.drain_evictions(),
+            )
+        };
+        assert_eq!(run(11), run(11));
+    }
+
+    #[test]
+    fn sample_preserves_arrival_order() {
+        let db = db();
+        let qs = queries(&db, 3);
+        let mut m = WorkloadMonitor::new(MonitorConfig::default());
+        for (i, q) in qs.iter().enumerate() {
+            m.observe(q, i as u64);
+        }
+        let fps: Vec<u64> = m.sample().iter().map(|q| q.fingerprint()).collect();
+        let expect: Vec<u64> = qs.iter().map(|q| q.fingerprint()).collect();
+        assert_eq!(fps, expect);
+    }
+}

@@ -1,0 +1,354 @@
+//! The online service: queries in front, the lifecycle daemon behind.
+//!
+//! [`OnlineService::start`] takes over from an
+//! [`AutoStatsManager::serve`](autostats::AutoStatsManager::serve) hand-off:
+//! the database moves behind a `parking_lot::RwLock`, the catalog becomes
+//! the daemon's private master (queries read frozen [`CatalogEpoch`]s), and
+//! a [`LifecycleDaemon`] thread starts, waiting for ticks.
+//!
+//! Query threads hold cloneable [`QueryHandle`]s. A SELECT takes the
+//! database read lock (concurrent with other readers *and* with the
+//! daemon's tick), records itself in the workload monitor, optimizes
+//! against the current epoch's catalog, and executes; it never waits for
+//! tuning. DML takes the write lock, so modification counters advance
+//! atomically with the data. The lock order everywhere — daemon included —
+//! is database first, then monitor.
+//!
+//! [`CatalogEpoch`]: crate::epoch::CatalogEpoch
+
+use crate::daemon::{AutodConfig, LifecycleCore, LifecycleDaemon, TickReport};
+use crate::epoch::{CatalogEpoch, EpochHandle};
+use crate::monitor::{TemplateStats, WorkloadMonitor};
+use autostats::{ManagerError, SessionReport, TuneError};
+use executor::{execute_plan_traced, run_statement_traced, StatementOutcome};
+use optimizer::{OptimizeOptions, Optimizer};
+use parking_lot::{Mutex, RwLock};
+use query::{bind_statement, parse_statement, BoundStatement, Statement};
+use stats::StatsCatalog;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use storage::Database;
+
+/// Everything the daemon learned, returned at shutdown.
+#[derive(Debug)]
+pub struct ServiceReport {
+    /// The master catalog at shutdown (authoritative, includes drop-list).
+    pub catalog: StatsCatalog,
+    /// Journal: offline history from before `serve()` plus online events.
+    pub session: SessionReport,
+    /// Last published epoch generation.
+    pub generation: u64,
+    /// Ticks the daemon executed.
+    pub ticks: u64,
+    /// Monitor contents at shutdown, in first-arrival order.
+    pub templates: Vec<TemplateStats>,
+    /// Total queries the monitor observed (including duplicates).
+    pub observed: u64,
+    /// Templates the monitor evicted over its life.
+    pub evictions: u64,
+    /// First error from a fire-and-forget tick, if any occurred.
+    pub error: Option<TuneError>,
+}
+
+/// A running online statistics service. See the module docs.
+pub struct OnlineService {
+    db: Arc<RwLock<Database>>,
+    monitor: Arc<Mutex<WorkloadMonitor>>,
+    epochs: Arc<EpochHandle>,
+    optimizer: Arc<Optimizer>,
+    obs: obsv::Obs,
+    daemon: LifecycleDaemon,
+    current_tick: Arc<AtomicU64>,
+}
+
+impl OnlineService {
+    /// Start serving: wrap the manager hand-off and spawn the daemon.
+    pub fn start(parts: autostats::ServeParts, config: AutodConfig) -> OnlineService {
+        let obs = parts.obs.clone();
+        let monitor_config = config.monitor;
+        let (core, db) = LifecycleCore::from_serve(parts, config);
+        let optimizer = Arc::new(core.optimizer().clone());
+        let epochs = core.epochs();
+        let db = Arc::new(RwLock::new(db));
+        let monitor = Arc::new(Mutex::new(WorkloadMonitor::new(monitor_config)));
+        let daemon = LifecycleDaemon::spawn(core, Arc::clone(&db), Arc::clone(&monitor));
+        let current_tick = daemon.tick_cell();
+        OnlineService {
+            db,
+            monitor,
+            epochs,
+            optimizer,
+            obs,
+            daemon,
+            current_tick,
+        }
+    }
+
+    /// A cloneable per-thread query entry point. `tid` tags the handle's
+    /// trace events (use a distinct id per thread).
+    pub fn handle(&self, tid: u64) -> QueryHandle {
+        QueryHandle {
+            db: Arc::clone(&self.db),
+            monitor: Arc::clone(&self.monitor),
+            epochs: Arc::clone(&self.epochs),
+            optimizer: Arc::clone(&self.optimizer),
+            obs: self.obs.fork(tid),
+            current_tick: Arc::clone(&self.current_tick),
+        }
+    }
+
+    /// Fire-and-forget virtual-time tick.
+    pub fn tick(&self) {
+        self.daemon.tick();
+    }
+
+    /// Tick and wait for the report — the deterministic driver's clock.
+    pub fn tick_wait(&self) -> Result<TickReport, TuneError> {
+        self.daemon.tick_wait()
+    }
+
+    /// The current published epoch.
+    pub fn epoch(&self) -> Arc<CatalogEpoch> {
+        self.epochs.load()
+    }
+
+    /// Current epoch generation.
+    pub fn generation(&self) -> u64 {
+        self.epochs.generation()
+    }
+
+    /// Stop the daemon and dismantle the service, recovering the database
+    /// and a report. `None` only if the daemon thread panicked.
+    pub fn shutdown(self) -> Option<(Database, ServiceReport)> {
+        let OnlineService {
+            db,
+            monitor,
+            epochs,
+            daemon,
+            ..
+        } = self;
+        let core = daemon.shutdown()?;
+        let generation = epochs.generation();
+        let ticks = core.ticks();
+        let error = core.last_error().cloned();
+        let (catalog, session) = core.into_parts();
+        let (templates, observed, evictions) = {
+            let m = monitor.lock();
+            (m.templates(), m.observed_total(), m.evictions_total())
+        };
+        // Recover the database: sole owner in the common case, else clone.
+        let db = match Arc::try_unwrap(db) {
+            Ok(lock) => lock.into_inner(),
+            Err(shared) => shared.read().clone(),
+        };
+        Some((
+            db,
+            ServiceReport {
+                catalog,
+                session,
+                generation,
+                ticks,
+                templates,
+                observed,
+                evictions,
+                error,
+            },
+        ))
+    }
+}
+
+/// A cloneable query entry point over the running service.
+#[derive(Clone)]
+pub struct QueryHandle {
+    db: Arc<RwLock<Database>>,
+    monitor: Arc<Mutex<WorkloadMonitor>>,
+    epochs: Arc<EpochHandle>,
+    optimizer: Arc<Optimizer>,
+    obs: obsv::Obs,
+    current_tick: Arc<AtomicU64>,
+}
+
+impl QueryHandle {
+    /// Parse and run one SQL statement. SELECTs go through the concurrent
+    /// read path (monitor + epoch catalog), DML through the write path.
+    pub fn run_sql(&self, sql: &str) -> Result<StatementOutcome, ManagerError> {
+        let stmt = parse_statement(sql)?;
+        self.run(&stmt)
+    }
+
+    /// Run one parsed statement.
+    pub fn run(&self, stmt: &Statement) -> Result<StatementOutcome, ManagerError> {
+        match stmt {
+            Statement::Select(_) => {
+                let db = self.db.read();
+                let BoundStatement::Select(query) = bind_statement(&db, stmt)? else {
+                    // A SELECT binds to a select; defensive fallback only.
+                    drop(db);
+                    return self.run_write(stmt);
+                };
+                let tick = self.current_tick.load(Ordering::SeqCst);
+                self.monitor.lock().observe(&query, tick);
+                let epoch = self.epochs.load();
+                let optimized = self.optimizer.optimize(
+                    &db,
+                    &query,
+                    epoch.catalog.full_view(),
+                    &OptimizeOptions::default(),
+                )?;
+                let output = execute_plan_traced(
+                    &db,
+                    &query,
+                    &optimized.plan,
+                    &self.optimizer.params,
+                    &self.obs.tracer,
+                )?;
+                self.obs.metrics.counter("autod.queries").inc();
+                Ok(StatementOutcome::Query {
+                    output,
+                    estimated_cost: optimized.cost,
+                })
+            }
+            _ => self.run_write(stmt),
+        }
+    }
+
+    fn run_write(&self, stmt: &Statement) -> Result<StatementOutcome, ManagerError> {
+        let mut db = self.db.write();
+        let bound = bind_statement(&db, stmt)?;
+        let epoch = self.epochs.load();
+        let out = run_statement_traced(
+            &mut db,
+            epoch.catalog.full_view(),
+            &self.optimizer,
+            &bound,
+            &self.obs.tracer,
+        )?;
+        self.obs.metrics.counter("autod.dml").inc();
+        Ok(out)
+    }
+
+    /// The epoch generation this handle currently sees.
+    pub fn generation(&self) -> u64 {
+        self.epochs.generation()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autostats::{AutoStatsManager, CreationPolicy, ManagerConfig};
+    use storage::{ColumnDef, DataType, Schema, Value};
+
+    /// Example-2 shape (skewed `salary`, join with departments) so MNSA
+    /// actually builds statistics.
+    fn test_db() -> Database {
+        let mut db = Database::new();
+        let emp = db
+            .create_table(
+                "employees",
+                Schema::new(vec![
+                    ColumnDef::new("empid", DataType::Int),
+                    ColumnDef::new("deptid", DataType::Int),
+                    ColumnDef::new("age", DataType::Int),
+                    ColumnDef::new("salary", DataType::Int),
+                ]),
+            )
+            .unwrap();
+        let dept = db
+            .create_table(
+                "departments",
+                Schema::new(vec![
+                    ColumnDef::new("deptid", DataType::Int),
+                    ColumnDef::new("dname", DataType::Str),
+                ]),
+            )
+            .unwrap();
+        for i in 0..3000i64 {
+            let salary = if i % 100 == 0 { 250 } else { i % 200 };
+            db.table_mut(emp)
+                .insert(vec![
+                    Value::Int(i),
+                    Value::Int(i % 20),
+                    Value::Int(20 + (i % 50)),
+                    Value::Int(salary),
+                ])
+                .unwrap();
+        }
+        for d in 0..20i64 {
+            db.table_mut(dept)
+                .insert(vec![Value::Int(d), Value::Str(format!("d{d}"))])
+                .unwrap();
+        }
+        #[allow(deprecated)]
+        db.table_mut(emp).reset_modification_counter();
+        #[allow(deprecated)]
+        db.table_mut(dept).reset_modification_counter();
+        db
+    }
+
+    fn service(budget: f64) -> OnlineService {
+        let mgr = AutoStatsManager::new(
+            test_db(),
+            ManagerConfig {
+                creation: CreationPolicy::Manual,
+                auto_maintain: false,
+                ..ManagerConfig::default()
+            },
+        );
+        OnlineService::start(
+            mgr.serve(),
+            AutodConfig {
+                budget_per_tick: budget,
+                shrink_every: 2,
+                ..AutodConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn queries_flow_and_ticks_tune_them() {
+        let svc = service(f64::INFINITY);
+        let h = svc.handle(1);
+        let sql = "SELECT e.empid, d.dname FROM employees e, departments d \
+                   WHERE e.deptid = d.deptid AND e.age < 30 AND e.salary > 200";
+        let out = h.run_sql(sql).unwrap();
+        assert!(matches!(out, StatementOutcome::Query { .. }));
+        assert_eq!(svc.generation(), 0);
+
+        let report = svc.tick_wait().unwrap();
+        assert_eq!(report.tick, 1);
+        assert!(report.queries_tuned >= 1);
+        assert!(svc.generation() >= 1, "tuning published a new epoch");
+
+        // The same query re-observed does not re-tune (fingerprint dedup).
+        h.run_sql(sql).unwrap();
+        let again = svc.tick_wait().unwrap();
+        assert_eq!(again.queries_tuned, 0);
+
+        let (db, report) = svc.shutdown().unwrap();
+        assert!(db.table_id("employees").is_some());
+        assert!(report.catalog.total_count() > 0);
+        assert_eq!(report.observed, 2);
+        assert_eq!(report.templates.len(), 1);
+        assert_eq!(report.templates[0].frequency, 2);
+        assert!(report.error.is_none());
+        assert!(report
+            .session
+            .online
+            .iter()
+            .any(|e| matches!(e, autostats::OnlineEvent::EpochSwap { .. })));
+    }
+
+    #[test]
+    fn dml_advances_counters_through_the_service() {
+        let svc = service(f64::INFINITY);
+        let h = svc.handle(1);
+        let out = h
+            .run_sql("DELETE FROM employees WHERE empid < 100")
+            .unwrap();
+        assert!(matches!(out, StatementOutcome::Dml { .. }));
+        let (db, _) = svc.shutdown().unwrap();
+        let employees = db.table_id("employees").unwrap();
+        assert!(db.table(employees).modification_counter() > 0);
+    }
+}

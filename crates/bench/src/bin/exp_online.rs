@@ -1,0 +1,63 @@
+//! Online lifecycle daemon end to end (see `bench::experiments::online`):
+//! a seeded TPC-D query+update stream through [`autod::OnlineService`],
+//! deterministic virtual-time ticks, a mid-run bulk update that triggers
+//! staleness refreshes, convergence vs the offline tuner, and a seed-fixed
+//! bit-identical rerun.
+//!
+//! Usage: `cargo run --release -p bench --bin exp_online
+//!         [--full | --tiny] [--ticks N] [--threads N] [--budget W]
+//!         [--out PATH] [--trace-out PATH] [--metrics-out PATH]
+//!         [--journal-out PATH]`
+//!
+//! Writes `BENCH_online.json` at the repository root by default (`--out`
+//! overrides, which the CI smoke run uses). `--threads N` (N > 1) adds a
+//! wall-clock pass with N query threads racing the daemon.
+
+use bench::common::{flag_value, parse_threads, BenchObs, ExperimentScale};
+use bench::experiments::online;
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = if args.iter().any(|a| a == "--full") {
+        ExperimentScale::full()
+    } else if args.iter().any(|a| a == "--tiny") {
+        ExperimentScale::tiny()
+    } else {
+        ExperimentScale::default_run()
+    };
+    let ticks: u64 = flag_value(&args, "--ticks")
+        .and_then(|n| n.parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(6);
+    let budget: f64 = flag_value(&args, "--budget")
+        .and_then(|n| n.parse().ok())
+        .filter(|&b| b > 0.0)
+        .unwrap_or(500_000.0);
+    let threads = parse_threads(&args);
+    let out: PathBuf = flag_value(&args, "--out")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| {
+            // Repo root, independent of the invocation directory.
+            PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_online.json")
+        });
+    let bench_obs = BenchObs::from_args(&args);
+
+    println!("== Online lifecycle: monitor -> staleness -> incremental MNSA ==");
+    let (result, journal) = online::run(&scale, ticks, threads, budget, bench_obs.obs.clone());
+    result.print();
+
+    if !result.rerun_identical {
+        eprintln!("error: seed-fixed single-threaded rerun was not bit-identical");
+        std::process::exit(1);
+    }
+
+    match std::fs::write(&out, result.to_json()) {
+        Ok(()) => println!("results written to {}", out.display()),
+        Err(e) => {
+            eprintln!("error: cannot write {}: {e}", out.display());
+            std::process::exit(1);
+        }
+    }
+    bench_obs.finish(Some(&journal));
+}

@@ -4,6 +4,7 @@ pub mod aging;
 pub mod fig3;
 pub mod fig4;
 pub mod intro;
+pub mod online;
 pub mod perfbase;
 pub mod shrink;
 pub mod table1;

@@ -1,0 +1,525 @@
+//! The online lifecycle loop end to end: a seeded TPC-D query+update stream
+//! against [`autod::OnlineService`], starting from **zero** statistics.
+//!
+//! The driver interleaves the workload with deterministic virtual-time
+//! ticks. Mid-run, a whole-table bulk UPDATE makes every statistic on
+//! `lineitem` stale, so the daemon's staleness refreshes become visible in
+//! the `autod.*` metrics and the journal. After the stream, the daemon is
+//! ticked until quiescent and the run is measured three ways:
+//!
+//! * **plan quality vs time** — each published epoch's catalog is scored by
+//!   optimizing the fixed TPC-D probe queries against the final database;
+//!   the trajectory should descend from the zero-statistics baseline toward
+//!   the offline-tuned cost;
+//! * **convergence** — the final online catalog's probe cost lands within a
+//!   few percent of [`OfflineTuner::tune`](autostats::OfflineTuner) run on
+//!   the same deduplicated query sample;
+//! * **determinism** — the whole single-threaded drive is executed twice
+//!   and must agree bit-for-bit: per-tick reports, work meters
+//!   (`f64::to_bits`), epoch generations, and the journal's JSON rendering.
+//!
+//! A final multi-threaded pass (N query threads + the daemon) measures wall
+//! clock only — it exercises the epoch-swap read path under contention but
+//! makes no determinism claim.
+
+use crate::common::ExperimentScale;
+use autod::{AutodConfig, OnlineService, ServiceReport, TickReport};
+use autostats::{AutoStatsManager, CreationPolicy, ManagerConfig, OfflineTuner};
+use datagen::{
+    build_tpcd, tpcd_benchmark_queries, Complexity, RagsGenerator, TpcdConfig, WorkloadSpec,
+    ZipfSpec,
+};
+use optimizer::{OptimizeOptions, Optimizer};
+use query::{bind_statement, BoundSelect, BoundStatement, Statement};
+use stats::StatsCatalog;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+use std::time::Instant;
+use storage::Database;
+
+/// One point of the plan-quality-vs-time curve.
+#[derive(Debug, Clone)]
+pub struct TrajectoryPoint {
+    pub tick: u64,
+    pub generation: u64,
+    /// Total optimizer cost of the probe queries under this epoch's catalog.
+    pub probe_cost: f64,
+}
+
+/// Everything `exp_online` reports (and writes to `BENCH_online.json`).
+#[derive(Debug, Clone)]
+pub struct OnlineResult {
+    pub scale: f64,
+    pub statements: usize,
+    pub ticks: u64,
+    pub threads: usize,
+    pub budget_per_tick: f64,
+    pub distinct_templates: usize,
+    pub queries_tuned: u64,
+    pub tuning_work: f64,
+    pub refreshes: u64,
+    pub refresh_work: f64,
+    pub budget_exhausted_ticks: u64,
+    pub epoch_generation: u64,
+    pub statistics_built: usize,
+    /// Probe cost with no statistics at all (the starting point).
+    pub baseline_probe_cost: f64,
+    /// Probe cost under the daemon's final catalog.
+    pub online_probe_cost: f64,
+    /// Probe cost under an offline `tune` on the same deduplicated sample.
+    pub offline_probe_cost: f64,
+    pub trajectory: Vec<TrajectoryPoint>,
+    /// True when the seed-fixed single-threaded rerun was bit-identical.
+    pub rerun_identical: bool,
+    /// Wall-clock milliseconds for the multi-threaded pass (0 if skipped).
+    pub threaded_wall_ms: f64,
+    /// Queries observed by the monitor during the multi-threaded pass.
+    pub threaded_observed: u64,
+}
+
+impl OnlineResult {
+    /// Convergence gap: how far the online catalog's probe cost sits from
+    /// the offline-tuned one, in percent of the offline cost.
+    pub fn convergence_gap_pct(&self) -> f64 {
+        if self.offline_probe_cost <= 0.0 {
+            return 0.0;
+        }
+        (self.online_probe_cost - self.offline_probe_cost).abs() / self.offline_probe_cost * 100.0
+    }
+
+    /// Hand-rolled JSON (no serde_json offline).
+    pub fn to_json(&self) -> String {
+        fn num(v: f64) -> String {
+            if v.is_finite() {
+                format!("{v}")
+            } else {
+                "null".to_string()
+            }
+        }
+        let mut out = String::new();
+        out.push_str("{\n  \"experiment\": \"online\",\n");
+        out.push_str(&format!("  \"scale\": {},\n", self.scale));
+        out.push_str(&format!("  \"statements\": {},\n", self.statements));
+        out.push_str(&format!("  \"ticks\": {},\n", self.ticks));
+        out.push_str(&format!("  \"threads\": {},\n", self.threads));
+        out.push_str(&format!(
+            "  \"budget_per_tick\": {},\n",
+            num(self.budget_per_tick)
+        ));
+        out.push_str(&format!(
+            "  \"distinct_templates\": {},\n",
+            self.distinct_templates
+        ));
+        out.push_str(&format!("  \"queries_tuned\": {},\n", self.queries_tuned));
+        out.push_str(&format!("  \"tuning_work\": {},\n", num(self.tuning_work)));
+        out.push_str(&format!("  \"refreshes\": {},\n", self.refreshes));
+        out.push_str(&format!(
+            "  \"refresh_work\": {},\n",
+            num(self.refresh_work)
+        ));
+        out.push_str(&format!(
+            "  \"budget_exhausted_ticks\": {},\n",
+            self.budget_exhausted_ticks
+        ));
+        out.push_str(&format!(
+            "  \"epoch_generation\": {},\n",
+            self.epoch_generation
+        ));
+        out.push_str(&format!(
+            "  \"statistics_built\": {},\n",
+            self.statistics_built
+        ));
+        out.push_str(&format!(
+            "  \"baseline_probe_cost\": {},\n",
+            num(self.baseline_probe_cost)
+        ));
+        out.push_str(&format!(
+            "  \"online_probe_cost\": {},\n",
+            num(self.online_probe_cost)
+        ));
+        out.push_str(&format!(
+            "  \"offline_probe_cost\": {},\n",
+            num(self.offline_probe_cost)
+        ));
+        out.push_str(&format!(
+            "  \"convergence_gap_pct\": {},\n",
+            num(self.convergence_gap_pct())
+        ));
+        out.push_str("  \"trajectory\": [\n");
+        for (i, p) in self.trajectory.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"tick\": {}, \"generation\": {}, \"probe_cost\": {}}}{}\n",
+                p.tick,
+                p.generation,
+                num(p.probe_cost),
+                if i + 1 < self.trajectory.len() {
+                    ","
+                } else {
+                    ""
+                }
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str(&format!(
+            "  \"rerun_identical\": {},\n",
+            self.rerun_identical
+        ));
+        out.push_str(&format!(
+            "  \"threaded_wall_ms\": {},\n",
+            num(self.threaded_wall_ms)
+        ));
+        out.push_str(&format!(
+            "  \"threaded_observed\": {}\n",
+            self.threaded_observed
+        ));
+        out.push_str("}\n");
+        out
+    }
+
+    pub fn print(&self) {
+        println!(
+            "stream: {} statements, {} distinct templates, {} ticks (budget {}/tick)",
+            self.statements, self.distinct_templates, self.ticks, self.budget_per_tick
+        );
+        println!(
+            "daemon: tuned {} templates (work {:.0}), refreshed {} statistics (work {:.0}), {} exhausted ticks, generation {}",
+            self.queries_tuned,
+            self.tuning_work,
+            self.refreshes,
+            self.refresh_work,
+            self.budget_exhausted_ticks,
+            self.epoch_generation
+        );
+        println!(
+            "probes: baseline {:.0} -> online {:.0} vs offline {:.0}  (gap {:.2}%)",
+            self.baseline_probe_cost,
+            self.online_probe_cost,
+            self.offline_probe_cost,
+            self.convergence_gap_pct()
+        );
+        for p in &self.trajectory {
+            println!(
+                "  tick {:>4}  generation {:>3}  probe cost {:>12.0}",
+                p.tick, p.generation, p.probe_cost
+            );
+        }
+        println!(
+            "determinism: seed-fixed single-threaded rerun identical = {}",
+            self.rerun_identical
+        );
+        if self.threads > 1 {
+            println!(
+                "threads: {} query threads drove {} observations in {:.1} ms wall",
+                self.threads, self.threaded_observed, self.threaded_wall_ms
+            );
+        }
+    }
+}
+
+/// What one deterministic drive leaves behind.
+struct Drive {
+    db: Database,
+    report: ServiceReport,
+    statements: Vec<Statement>,
+    tick_reports: Vec<TickReport>,
+    /// Epoch captured after each tick, in tick order.
+    epochs: Vec<Arc<autod::CatalogEpoch>>,
+}
+
+impl Drive {
+    /// The bit-comparable fingerprint of a drive: per-tick reports, the
+    /// journal rendering, the work meters, and the final generation.
+    fn digest(&self) -> (Vec<TickReport>, String, u64, u64, u64) {
+        let refresh_bits = self
+            .tick_reports
+            .iter()
+            .map(|r| r.refresh_work)
+            .sum::<f64>()
+            .to_bits();
+        let tuning_bits = self
+            .tick_reports
+            .iter()
+            .map(|r| r.tuning_work)
+            .sum::<f64>()
+            .to_bits();
+        (
+            self.tick_reports.clone(),
+            self.report.session.to_json(),
+            self.report.generation,
+            refresh_bits,
+            tuning_bits,
+        )
+    }
+}
+
+fn service_config(budget_per_tick: f64) -> AutodConfig {
+    AutodConfig {
+        budget_per_tick,
+        shrink_every: 4,
+        ..AutodConfig::default()
+    }
+}
+
+fn manager_config() -> ManagerConfig {
+    // The daemon owns creation and maintenance; the manager hands over a
+    // database with zero statistics and no per-statement tuning.
+    ManagerConfig {
+        creation: CreationPolicy::Manual,
+        auto_maintain: false,
+        ..ManagerConfig::default()
+    }
+}
+
+fn workload(db: &Database, scale: &ExperimentScale) -> Vec<Statement> {
+    let spec = WorkloadSpec::new(20, Complexity::Simple, scale.workload_len).with_seed(scale.seed);
+    RagsGenerator::generate(db, &spec)
+}
+
+/// The mid-run bulk modification: every `lineitem` row is touched, so every
+/// statistic on the table crosses the `max(500, 20% of rows)` threshold.
+const BULK_UPDATE_SQL: &str = "UPDATE lineitem SET l_linenumber = 1";
+
+/// One deterministic single-threaded drive of the closed loop.
+fn drive(scale: &ExperimentScale, ticks: u64, budget_per_tick: f64, obs: obsv::Obs) -> Drive {
+    let db = build_tpcd(&TpcdConfig {
+        scale: scale.scale,
+        zipf: ZipfSpec::Mixed,
+        seed: scale.seed,
+    });
+    let statements = workload(&db, scale);
+    let mgr = AutoStatsManager::new_with_obs(db, manager_config(), obs);
+    let svc = OnlineService::start(mgr.serve(), service_config(budget_per_tick));
+    let handle = svc.handle(1);
+
+    let chunk = (statements.len() / ticks.max(1) as usize).max(1);
+    // Three quarters into the stream: late enough that earlier ticks have
+    // already built statistics on `lineitem`, so the bulk write makes real
+    // statistics stale instead of merely preceding their construction.
+    let bulk_at = statements.len() * 3 / 4;
+    let mut tick_reports = Vec::new();
+    let mut epochs = Vec::new();
+    let tick_now = |svc: &OnlineService,
+                    reports: &mut Vec<TickReport>,
+                    epochs: &mut Vec<Arc<autod::CatalogEpoch>>| {
+        let r = svc.tick_wait().expect("tick succeeds");
+        epochs.push(svc.epoch());
+        reports.push(r);
+    };
+
+    for (i, stmt) in statements.iter().enumerate() {
+        if i == bulk_at {
+            handle.run_sql(BULK_UPDATE_SQL).expect("bulk update runs");
+        }
+        handle.run(stmt).expect("workload statement runs");
+        if (i + 1) % chunk == 0 {
+            tick_now(&svc, &mut tick_reports, &mut epochs);
+        }
+    }
+    // Drain: tick until a fully quiet tick (nothing tuned, refreshed, or
+    // published, budget not exhausted). Deterministic — the daemon is a pure
+    // state machine — and bounded as a backstop.
+    for _ in 0..512 {
+        tick_now(&svc, &mut tick_reports, &mut epochs);
+        let last = tick_reports.last().expect("just pushed");
+        let quiet = last.queries_tuned == 0
+            && last.refreshed == 0
+            && !last.budget_exhausted
+            && last.published_generation.is_none();
+        if quiet {
+            break;
+        }
+    }
+
+    let (db, report) = svc.shutdown().expect("daemon thread lives");
+    if let Some(e) = &report.error {
+        panic!("daemon tick failed during drive: {e}");
+    }
+    Drive {
+        db,
+        report,
+        statements,
+        tick_reports,
+        epochs,
+    }
+}
+
+/// Total optimizer cost of the TPC-D probe queries under `catalog`.
+fn probe_cost(db: &Database, probes: &[BoundSelect], catalog: &StatsCatalog) -> f64 {
+    let optimizer = Optimizer::default();
+    probes
+        .iter()
+        .filter_map(|q| {
+            optimizer
+                .optimize(db, q, catalog.full_view(), &OptimizeOptions::default())
+                .ok()
+        })
+        .map(|o| o.cost)
+        .sum()
+}
+
+/// The workload's distinct SELECT templates in arrival order — exactly what
+/// the monitor retains when its capacity is not exceeded.
+fn distinct_sample(db: &Database, statements: &[Statement]) -> Vec<BoundSelect> {
+    let mut seen = BTreeSet::new();
+    let mut sample = Vec::new();
+    for stmt in statements {
+        if let Ok(BoundStatement::Select(q)) = bind_statement(db, stmt) {
+            if seen.insert(q.fingerprint()) {
+                sample.push(q);
+            }
+        }
+    }
+    sample
+}
+
+/// Wall-clock pass with `threads` query threads hammering handles while the
+/// driver ticks the daemon. Returns (wall ms, monitor observations).
+fn threaded_pass(
+    scale: &ExperimentScale,
+    ticks: u64,
+    threads: usize,
+    budget_per_tick: f64,
+) -> (f64, u64) {
+    let db = build_tpcd(&TpcdConfig {
+        scale: scale.scale,
+        zipf: ZipfSpec::Mixed,
+        seed: scale.seed,
+    });
+    let statements = workload(&db, scale);
+    let mgr = AutoStatsManager::new(db, manager_config());
+    let svc = OnlineService::start(mgr.serve(), service_config(budget_per_tick));
+
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for tid in 0..threads {
+            let handle = svc.handle(tid as u64 + 1);
+            let mine: Vec<&Statement> = statements.iter().skip(tid).step_by(threads).collect();
+            s.spawn(move || {
+                for stmt in mine {
+                    handle.run(stmt).expect("workload statement runs");
+                }
+            });
+        }
+        for _ in 0..ticks {
+            svc.tick_wait().expect("tick succeeds");
+        }
+    });
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let (_, report) = svc.shutdown().expect("daemon thread lives");
+    if let Some(e) = &report.error {
+        panic!("daemon tick failed during threaded pass: {e}");
+    }
+    (wall_ms, report.observed)
+}
+
+/// Run the whole experiment. `obs` instruments the *first* deterministic
+/// drive (the rerun and the threaded pass run unobserved — by the
+/// determinism contract, instrumentation may not change any outcome).
+pub fn run(
+    scale: &ExperimentScale,
+    ticks: u64,
+    threads: usize,
+    budget_per_tick: f64,
+    obs: obsv::Obs,
+) -> (OnlineResult, autostats::SessionReport) {
+    let first = drive(scale, ticks, budget_per_tick, obs);
+    let second = drive(scale, ticks, budget_per_tick, obsv::Obs::disabled());
+    let rerun_identical = first.digest() == second.digest();
+
+    let probes: Vec<BoundSelect> = tpcd_benchmark_queries()
+        .iter()
+        .filter_map(|s| {
+            bind_statement(&first.db, &Statement::Select(s.clone()))
+                .ok()
+                .and_then(|b| b.as_select().cloned())
+        })
+        .collect();
+
+    let baseline_probe_cost = probe_cost(&first.db, &probes, &StatsCatalog::new());
+    let online_probe_cost = probe_cost(&first.db, &probes, &first.report.catalog);
+    let trajectory: Vec<TrajectoryPoint> = first
+        .tick_reports
+        .iter()
+        .zip(&first.epochs)
+        .map(|(r, e)| TrajectoryPoint {
+            tick: r.tick,
+            generation: e.generation,
+            probe_cost: probe_cost(&first.db, &probes, &e.catalog),
+        })
+        .collect();
+
+    // Offline baseline: tune from scratch on the same deduplicated sample
+    // against the final database.
+    let sample = distinct_sample(&first.db, &first.statements);
+    let mut offline_catalog = StatsCatalog::new();
+    OfflineTuner::default()
+        .tune(&first.db, &mut offline_catalog, &sample)
+        .expect("offline tune succeeds");
+    let offline_probe_cost = probe_cost(&first.db, &probes, &offline_catalog);
+
+    let (threaded_wall_ms, threaded_observed) = if threads > 1 {
+        threaded_pass(scale, ticks, threads, budget_per_tick)
+    } else {
+        (0.0, 0)
+    };
+
+    let result = OnlineResult {
+        scale: scale.scale,
+        statements: first.statements.len(),
+        ticks: first.tick_reports.len() as u64,
+        threads,
+        budget_per_tick,
+        distinct_templates: first.report.templates.len(),
+        queries_tuned: first
+            .tick_reports
+            .iter()
+            .map(|r| r.queries_tuned as u64)
+            .sum(),
+        tuning_work: first.tick_reports.iter().map(|r| r.tuning_work).sum(),
+        refreshes: first.tick_reports.iter().map(|r| r.refreshed as u64).sum(),
+        refresh_work: first.tick_reports.iter().map(|r| r.refresh_work).sum(),
+        budget_exhausted_ticks: first
+            .tick_reports
+            .iter()
+            .filter(|r| r.budget_exhausted)
+            .count() as u64,
+        epoch_generation: first.report.generation,
+        statistics_built: first.report.catalog.total_count(),
+        baseline_probe_cost,
+        online_probe_cost,
+        offline_probe_cost,
+        trajectory,
+        rerun_identical,
+        threaded_wall_ms,
+        threaded_observed,
+    };
+    (result, first.report.session)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_online_run_is_deterministic_and_converges() {
+        let scale = ExperimentScale::tiny();
+        let (result, session) = run(&scale, 3, 1, f64::INFINITY, obsv::Obs::disabled());
+        assert!(result.rerun_identical, "seed-fixed rerun diverged");
+        assert!(result.statements > 0);
+        assert!(result.refreshes > 0, "bulk update must trigger refreshes");
+        assert!(!session.online.is_empty(), "journal records online events");
+        // With an unconstrained budget the online catalog should match the
+        // offline one closely (same MNSA, same sample, shared shrink tail).
+        assert!(
+            result.convergence_gap_pct() <= 20.0,
+            "gap {:.2}% (online {:.0} vs offline {:.0})",
+            result.convergence_gap_pct(),
+            result.online_probe_cost,
+            result.offline_probe_cost
+        );
+        // JSON renders and contains the headline counters.
+        let json = result.to_json();
+        assert!(json.contains("\"rerun_identical\": true"));
+        assert!(json.contains("\"trajectory\""));
+    }
+}

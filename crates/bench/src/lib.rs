@@ -15,6 +15,7 @@
 //! | `exp_tsweep` | §3.2/§8.2 — sensitivity to the t and ε parameters       |
 //! | `exp_shrink` | §5.2 — Shrinking Set essential sets                     |
 //! | `exp_all`    | everything above, at the default scale                  |
+//! | `exp_online` | online lifecycle daemon — convergence vs offline tuning |
 
 pub mod common;
 pub mod experiments;

@@ -11,7 +11,35 @@
 use crate::mnsa::{MnsaOutcome, Termination};
 use crate::policy::TuningReport;
 use serde::{Deserialize, Serialize};
+use stats::StatId;
 use std::fmt::Write as _;
+use storage::TableId;
+
+/// One event in an *online* tuning session (the `autod` lifecycle daemon).
+///
+/// Offline sessions never record these, and the renderers below emit the
+/// online section only when at least one event exists, so offline journals
+/// stay byte-identical with or without this feature compiled in.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum OnlineEvent {
+    /// A stale statistic was rebuilt by the staleness tracker.
+    Refresh {
+        tick: u64,
+        stat: StatId,
+        table: TableId,
+        work: f64,
+    },
+    /// The workload monitor evicted a query template from its reservoir.
+    MonitorEvict { tick: u64, fingerprint: u64 },
+    /// A tick ran out of work-token budget with tuning still pending.
+    BudgetExhausted {
+        tick: u64,
+        pending: usize,
+        balance: f64,
+    },
+    /// The daemon published a new catalog epoch to query threads.
+    EpochSwap { tick: u64, generation: u64 },
+}
 
 /// One workload query's tuning trajectory.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -44,6 +72,9 @@ pub struct SessionReport {
     pub shrink_removed: usize,
     /// Optimizer calls spent by the Shrinking Set pass.
     pub shrink_optimizer_calls: usize,
+    /// Online lifecycle events, in occurrence order (empty for offline
+    /// sessions).
+    pub online: Vec<OnlineEvent>,
 }
 
 impl SessionReport {
@@ -66,6 +97,11 @@ impl SessionReport {
     /// cost trajectory.
     pub fn cost_trajectory(&self) -> Vec<f64> {
         self.queries.iter().map(|q| q.final_cost).collect()
+    }
+
+    /// Append one online lifecycle event.
+    pub fn record_online(&mut self, event: OnlineEvent) {
+        self.online.push(event);
     }
 
     fn termination_str(t: Termination) -> &'static str {
@@ -116,6 +152,36 @@ impl SessionReport {
                 self.shrink_removed, self.shrink_optimizer_calls
             );
         }
+        if !self.online.is_empty() {
+            let _ = writeln!(out, "online events: {}", self.online.len());
+            for e in &self.online {
+                let _ = match e {
+                    OnlineEvent::Refresh {
+                        tick,
+                        stat,
+                        table,
+                        work,
+                    } => writeln!(
+                        out,
+                        "  tick {tick:>4} refresh {stat} on {table} (work {work:.2})"
+                    ),
+                    OnlineEvent::MonitorEvict { tick, fingerprint } => {
+                        writeln!(out, "  tick {tick:>4} evict template {fingerprint:016x}")
+                    }
+                    OnlineEvent::BudgetExhausted {
+                        tick,
+                        pending,
+                        balance,
+                    } => writeln!(
+                        out,
+                        "  tick {tick:>4} budget exhausted ({pending} pending, balance {balance:.2})"
+                    ),
+                    OnlineEvent::EpochSwap { tick, generation } => {
+                        writeln!(out, "  tick {tick:>4} epoch swap -> generation {generation}")
+                    }
+                };
+            }
+        }
         out
     }
 
@@ -164,9 +230,58 @@ impl SessionReport {
         );
         let _ = write!(
             out,
-            "  \"shrink_removed\": {},\n  \"shrink_optimizer_calls\": {}\n}}\n",
+            "  \"shrink_removed\": {},\n  \"shrink_optimizer_calls\": {}",
             self.shrink_removed, self.shrink_optimizer_calls,
         );
+        // Conditional section: offline journals (no online events) render
+        // exactly as they did before the online lifecycle existed.
+        if !self.online.is_empty() {
+            out.push_str(",\n  \"online\": [\n");
+            for (i, e) in self.online.iter().enumerate() {
+                let entry = match e {
+                    OnlineEvent::Refresh {
+                        tick,
+                        stat,
+                        table,
+                        work,
+                    } => format!(
+                        "    {{\"event\": \"refresh\", \"tick\": {}, \"stat\": {}, \
+                         \"table\": {}, \"work\": {}}}",
+                        tick,
+                        stat.0,
+                        table.0,
+                        num(*work)
+                    ),
+                    OnlineEvent::MonitorEvict { tick, fingerprint } => format!(
+                        "    {{\"event\": \"monitor_evict\", \"tick\": {tick}, \
+                         \"fingerprint\": {fingerprint}}}"
+                    ),
+                    OnlineEvent::BudgetExhausted {
+                        tick,
+                        pending,
+                        balance,
+                    } => format!(
+                        "    {{\"event\": \"budget_exhausted\", \"tick\": {}, \
+                         \"pending\": {}, \"balance\": {}}}",
+                        tick,
+                        pending,
+                        num(*balance)
+                    ),
+                    OnlineEvent::EpochSwap { tick, generation } => format!(
+                        "    {{\"event\": \"epoch_swap\", \"tick\": {tick}, \
+                         \"generation\": {generation}}}"
+                    ),
+                };
+                out.push_str(&entry);
+                out.push_str(if i + 1 < self.online.len() {
+                    ",\n"
+                } else {
+                    "\n"
+                });
+            }
+            out.push_str("  ]");
+        }
+        out.push_str("\n}\n");
         out
     }
 }
@@ -225,6 +340,51 @@ mod tests {
                 .and_then(|v| v.as_f64()),
             Some(8.0)
         );
+    }
+
+    #[test]
+    fn online_events_render_only_when_present() {
+        let mut offline = SessionReport::default();
+        offline.record_query(2, &outcome(5, 2, 100.0));
+        let offline_json = offline.to_json();
+        assert!(!offline_json.contains("\"online\""));
+        assert!(obsv::json::parse(&offline_json)
+            .expect("parses")
+            .get("online")
+            .is_none());
+
+        let mut online = offline.clone();
+        online.record_online(OnlineEvent::Refresh {
+            tick: 3,
+            stat: stats::StatId(7),
+            table: TableId(1),
+            work: 42.5,
+        });
+        online.record_online(OnlineEvent::MonitorEvict {
+            tick: 4,
+            fingerprint: 0xdead_beef,
+        });
+        online.record_online(OnlineEvent::BudgetExhausted {
+            tick: 5,
+            pending: 2,
+            balance: -10.0,
+        });
+        online.record_online(OnlineEvent::EpochSwap {
+            tick: 5,
+            generation: 2,
+        });
+        let text = online.render_text();
+        assert!(text.contains("online events: 4"));
+        assert!(text.contains("epoch swap -> generation 2"));
+
+        let parsed = obsv::json::parse(&online.to_json()).expect("parses");
+        let events = parsed.get("online").and_then(|o| o.as_array()).unwrap();
+        assert_eq!(events.len(), 4);
+        assert_eq!(
+            events[0].get("event").and_then(|v| v.as_str()),
+            Some("refresh")
+        );
+        assert_eq!(events[0].get("work").and_then(|v| v.as_f64()), Some(42.5));
     }
 
     #[test]

@@ -58,6 +58,7 @@ pub mod faults;
 pub mod journal;
 pub mod manager;
 pub mod mnsa;
+pub mod online;
 pub mod parallel;
 pub mod policy;
 pub mod shrinking;
@@ -67,9 +68,10 @@ pub use candidates::{candidate_statistics, exhaustive_candidates, single_column_
 pub use equivalence::Equivalence;
 pub use error::TuneError;
 pub use faults::{Fault, FaultPlan};
-pub use journal::{QueryRecord, SessionReport};
-pub use manager::{AutoStatsManager, ManagerConfig};
+pub use journal::{OnlineEvent, QueryRecord, SessionReport};
+pub use manager::{AutoStatsManager, ManagerConfig, ManagerError, ServeParts};
 pub use mnsa::{CandidateMode, MnsaConfig, MnsaEngine, MnsaOutcome, NextStatOrder, Termination};
+pub use online::{OnlineStep, OnlineTuner};
 pub use parallel::ParallelTuner;
 pub use policy::{CreationPolicy, OfflineTuner, TuningReport};
 pub use shrinking::{shrinking_set, shrinking_set_traced, ShrinkingOutcome};

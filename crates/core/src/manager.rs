@@ -110,6 +110,19 @@ impl Default for ManagerConfig {
     }
 }
 
+/// Ownership bundle produced by [`AutoStatsManager::serve`]: everything an
+/// online lifecycle daemon needs to take over a tuned (or fresh) manager.
+pub struct ServeParts {
+    pub db: Database,
+    pub catalog: StatsCatalog,
+    pub config: ManagerConfig,
+    /// Memoized-optimizer cache, if the manager had one attached.
+    pub cache: Option<Arc<OptimizeCache>>,
+    pub obs: obsv::Obs,
+    /// Journal accumulated before serving began; online events append here.
+    pub session: SessionReport,
+}
+
 /// A self-tuning database: storage + statistics + optimizer + policy.
 pub struct AutoStatsManager {
     db: Database,
@@ -206,6 +219,27 @@ impl AutoStatsManager {
         self.cache.as_ref().map(|c| c.counters())
     }
 
+    /// Decompose the manager into the parts an online lifecycle daemon
+    /// needs — the front door to serving mode.
+    ///
+    /// The manager's one-thread facade cannot host a background tuner, so
+    /// instead of threading `&mut self` through a daemon, `serve()` hands
+    /// over ownership of the database, catalog, policy configuration,
+    /// observability context, and the journal accumulated so far. The
+    /// `autod` crate assembles these into a running
+    /// `OnlineService`/`LifecycleDaemon`; everything tuned while serving
+    /// lands in the returned journal's continuation.
+    pub fn serve(self) -> ServeParts {
+        ServeParts {
+            db: self.db,
+            catalog: self.catalog,
+            config: self.config,
+            cache: self.cache,
+            obs: self.obs,
+            session: self.session,
+        }
+    }
+
     /// Parse, bind, tune (per policy), and execute one SQL statement.
     pub fn execute_sql(&mut self, sql: &str) -> Result<StatementOutcome, ManagerError> {
         let stmt = parse_statement(sql)?;
@@ -258,8 +292,7 @@ impl AutoStatsManager {
 
     /// One pass of the §6 auto-update/auto-drop maintenance policy.
     pub fn maintain(&mut self) -> MaintenanceReport {
-        self.catalog
-            .maintain(&mut self.db, &self.config.maintenance)
+        self.catalog.maintain(&self.db, &self.config.maintenance)
     }
 
     /// EXPLAIN: the plan the optimizer currently picks for a query, without
@@ -308,6 +341,7 @@ mod tests {
                 .insert(vec![Value::Int(i), Value::Int(i % 9), Value::Int(price)])
                 .unwrap();
         }
+        #[allow(deprecated)]
         db.table_mut(t).reset_modification_counter();
         db
     }
@@ -357,9 +391,15 @@ mod tests {
             .unwrap();
         let stats_before = mgr.catalog().total_count();
         mgr.execute_sql("DELETE FROM items WHERE id < 30").unwrap();
-        // Maintenance ran: modification counter was reset by the update.
+        // Maintenance ran: every statistic on items was refreshed (its
+        // staleness baseline is the current, never-reset counter value).
         let t = mgr.database().table_id("items").unwrap();
-        assert_eq!(mgr.database().table(t).modification_counter(), 0);
+        let counter = mgr.database().table(t).modification_counter();
+        assert!(counter > 0);
+        assert!(mgr
+            .catalog()
+            .built_on_table(t)
+            .all(|s| s.update_count >= 1 && s.mods_at_build == counter));
         assert_eq!(mgr.catalog().total_count(), stats_before);
     }
 

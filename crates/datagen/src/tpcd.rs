@@ -158,6 +158,9 @@ fn fill_table(db: &mut Database, id: TableId, rows: usize, cols: Vec<ColGen>, rn
             .insert(values)
             .expect("generated row is valid");
     }
+    // Bulk load: zero the counter so the generated data is the staleness
+    // baseline, not "everything was just modified".
+    #[allow(deprecated)]
     db.table_mut(id).reset_modification_counter();
 }
 
@@ -200,6 +203,7 @@ pub fn build_tpcd(config: &TpcdConfig) -> Database {
                 .insert(vec![Value::Int(i as i64), Value::Str(n.to_string())])
                 .unwrap();
         }
+        #[allow(deprecated)]
         db.table_mut(region).reset_modification_counter();
     }
 
@@ -225,6 +229,7 @@ pub fn build_tpcd(config: &TpcdConfig) -> Database {
             ]);
         }
         db.table_mut(nation).insert_many(cols).unwrap();
+        #[allow(deprecated)]
         db.table_mut(nation).reset_modification_counter();
     }
 

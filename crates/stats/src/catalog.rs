@@ -66,6 +66,16 @@ impl Default for MaintenancePolicy {
     }
 }
 
+impl MaintenancePolicy {
+    /// Modified-row threshold for a table with `rows` rows — the SQL
+    /// Server-style `max(500, 20% of rows)` rule. A statistic is stale when
+    /// the modifications since its build are **strictly greater** than this
+    /// (exactly the threshold is still fresh).
+    pub fn threshold(&self, rows: usize) -> u64 {
+        ((rows as f64 * self.update_fraction) as u64).max(self.min_modified_rows)
+    }
+}
+
 /// What one `maintain` pass did.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct MaintenanceReport {
@@ -504,21 +514,47 @@ impl StatsCatalog {
         self.aging.get(descriptor).map(|e| e.build_cost)
     }
 
-    /// Rebuild every built statistic on `table`, charging the update-work
-    /// meter and bumping per-statistic update counts; resets the table's
-    /// modification counter. Returns the number of statistics updated.
-    pub fn update_table_statistics(&mut self, db: &mut Database, table: TableId) -> usize {
-        if db.try_table(table).is_err() {
-            return 0; // stale table id (e.g. restored snapshot): nothing to do
-        }
-        let ids: Vec<StatId> = self
-            .stats
-            .values()
-            .filter(|s| s.descriptor.table == table)
-            .map(|s| s.id)
+    /// Rebuild the given built statistics on `table`, charging the
+    /// update-work meter and bumping per-statistic update counts. Each
+    /// rebuilt statistic records the table's *current* modification counter
+    /// as its new staleness baseline (`mods_at_build`); the shared table
+    /// counter itself is left untouched, so other statistics on the table
+    /// keep aging independently.
+    ///
+    /// Ids that are not built statistics on `table` are silently skipped.
+    /// Under full-scan build options a batch of two or more rebuilds shares
+    /// one table scan ([`SharedTableScan`], bit-identical to the serial
+    /// path); sampled builds fall back to per-statistic seeded builds.
+    ///
+    /// Returns `(id, work)` per refreshed statistic, in the order given.
+    pub fn refresh_statistics(
+        &mut self,
+        db: &Database,
+        table: TableId,
+        ids: &[StatId],
+    ) -> Vec<(StatId, f64)> {
+        let Ok(t) = db.try_table(table) else {
+            return Vec::new(); // stale table id (e.g. restored snapshot)
+        };
+        let targets: Vec<StatId> = ids
+            .iter()
+            .copied()
+            .filter(|id| {
+                self.stats
+                    .get(id)
+                    .is_some_and(|s| s.descriptor.table == table)
+            })
             .collect();
-        let epoch = self.epoch;
-        for &id in &ids {
+        if targets.is_empty() {
+            return Vec::new();
+        }
+        let mut span = self.obs.tracer.span("stats.refresh");
+        span.arg("table", table.0 as u64);
+        span.arg("count", targets.len());
+        let mut scan = (self.build_options.sample == SampleSpec::FullScan && targets.len() > 1)
+            .then(|| SharedTableScan::new(t, &self.build_options));
+        let mut refreshed = Vec::with_capacity(targets.len());
+        for id in targets {
             let Some((descriptor, update_count, created_epoch)) = self
                 .stats
                 .get(&id)
@@ -526,41 +562,71 @@ impl StatsCatalog {
             else {
                 continue;
             };
-            let seed =
-                self.seed ^ ((id.0 as u64) << 17) ^ table.0 as u64 ^ (update_count as u64 + 1);
-            let mut rebuilt = build_statistic(
-                id,
-                db.table(table),
-                descriptor,
-                &self.build_options,
-                seed,
-                created_epoch,
-            );
+            let mut rebuilt = match &mut scan {
+                Some(scan) => scan.build(id, descriptor, created_epoch),
+                None => {
+                    let seed = self.seed
+                        ^ ((id.0 as u64) << 17)
+                        ^ table.0 as u64
+                        ^ (update_count as u64 + 1);
+                    build_statistic(id, t, descriptor, &self.build_options, seed, created_epoch)
+                }
+            };
             rebuilt.update_count = update_count + 1;
-            let _ = epoch;
             self.update_work += rebuilt.build_cost;
+            refreshed.push((id, rebuilt.build_cost));
             self.stats.insert(id, rebuilt);
         }
-        if !ids.is_empty() {
-            self.observers.notify_table(table);
-        }
-        db.table_mut(table).reset_modification_counter();
-        ids.len()
+        self.observers.notify_table(table);
+        refreshed
+    }
+
+    /// Rebuild every built statistic on `table` (active and drop-listed).
+    /// Returns the number of statistics updated. See
+    /// [`StatsCatalog::refresh_statistics`] for the staleness-baseline
+    /// semantics.
+    pub fn update_table_statistics(&mut self, db: &Database, table: TableId) -> usize {
+        let ids: Vec<StatId> = self
+            .stats
+            .values()
+            .filter(|s| s.descriptor.table == table)
+            .map(|s| s.id)
+            .collect();
+        self.refresh_statistics(db, table, &ids).len()
+    }
+
+    /// Built statistics (active and drop-listed) that are stale under
+    /// `policy`: more table modifications since their build than
+    /// `max(min_modified_rows, update_fraction × rows)`, strictly greater.
+    /// Returned in id order so scans are deterministic.
+    pub fn stale_statistics(&self, db: &Database, policy: &MaintenancePolicy) -> Vec<StatId> {
+        self.stats
+            .values()
+            .filter(|s| {
+                let Ok(t) = db.try_table(s.descriptor.table) else {
+                    return false;
+                };
+                t.modification_counter().saturating_sub(s.mods_at_build)
+                    > policy.threshold(t.row_count())
+            })
+            .map(|s| s.id)
+            .collect()
     }
 
     /// One pass of the auto-maintenance policy (§6) over every table.
-    pub fn maintain(&mut self, db: &mut Database, policy: &MaintenancePolicy) -> MaintenanceReport {
+    pub fn maintain(&mut self, db: &Database, policy: &MaintenancePolicy) -> MaintenanceReport {
         let mut report = MaintenanceReport::default();
         let before_update_work = self.update_work;
-        let tables: Vec<TableId> = db.table_ids().collect();
-        for table in tables {
-            let t = db.table(table);
-            let threshold = ((t.row_count() as f64 * policy.update_fraction) as u64)
-                .max(policy.min_modified_rows);
-            if t.modification_counter() > threshold {
-                report.statistics_updated += self.update_table_statistics(db, table);
-                report.tables_updated.push(table);
+        let stale = self.stale_statistics(db, policy);
+        let mut by_table: BTreeMap<TableId, Vec<StatId>> = BTreeMap::new();
+        for id in stale {
+            if let Some(s) = self.stats.get(&id) {
+                by_table.entry(s.descriptor.table).or_default().push(id);
             }
+        }
+        for (table, ids) in by_table {
+            report.statistics_updated += self.refresh_statistics(db, table, &ids).len();
+            report.tables_updated.push(table);
         }
         // Physical drop of over-updated statistics.
         let to_drop: Vec<StatId> = self
@@ -1035,11 +1101,16 @@ mod tests {
                 .insert(vec![Value::Int(i), Value::Int(i)])
                 .unwrap();
         }
-        let r1 = cat.maintain(&mut db, &policy);
+        let r1 = cat.maintain(&db, &policy);
         assert_eq!(r1.statistics_updated, 1);
         assert!(r1.update_work > 0.0);
         assert_eq!(r1.statistics_dropped, 0);
-        assert_eq!(db.table(t).modification_counter(), 0);
+        // The shared table counter is no longer reset; the refreshed
+        // statistic instead records it as its new staleness baseline.
+        let counter = db.table(t).modification_counter();
+        assert!(counter > 0);
+        assert_eq!(cat.statistic(id).unwrap().mods_at_build, counter);
+        assert!(cat.stale_statistics(&db, &policy).is_empty());
 
         // Second heavy modification round: update_count exceeds max_updates,
         // but the stat is not drop-listed, so the improved policy keeps it.
@@ -1048,14 +1119,43 @@ mod tests {
                 .insert(vec![Value::Int(i), Value::Int(i)])
                 .unwrap();
         }
-        let r2 = cat.maintain(&mut db, &policy);
+        let r2 = cat.maintain(&db, &policy);
         assert_eq!(r2.statistics_dropped, 0);
 
         // Drop-list it; the next maintenance pass may drop it physically.
         cat.move_to_drop_list(id);
-        let r3 = cat.maintain(&mut db, &policy);
+        let r3 = cat.maintain(&db, &policy);
         assert_eq!(r3.statistics_dropped, 1);
         assert_eq!(cat.total_count(), 0);
+    }
+
+    #[test]
+    fn statistics_on_one_table_age_independently() {
+        let (mut db, t) = test_db();
+        let mut cat = StatsCatalog::new();
+        let policy = MaintenancePolicy {
+            update_fraction: 0.1,
+            min_modified_rows: 10,
+            max_updates: 10,
+            drop_only_droplisted: true,
+        };
+        let s1 = cat
+            .create_statistic(&db, StatDescriptor::single(t, 0))
+            .unwrap();
+        // DML between the two builds: only s1 sees it as aging.
+        for i in 0..500 {
+            db.table_mut(t)
+                .insert(vec![Value::Int(i), Value::Int(i)])
+                .unwrap();
+        }
+        let s2 = cat
+            .create_statistic(&db, StatDescriptor::single(t, 1))
+            .unwrap();
+        assert_eq!(cat.stale_statistics(&db, &policy), vec![s1]);
+        let r = cat.maintain(&db, &policy);
+        assert_eq!(r.statistics_updated, 1);
+        assert_eq!(cat.statistic(s1).unwrap().update_count, 1);
+        assert_eq!(cat.statistic(s2).unwrap().update_count, 0);
     }
 
     #[test]
@@ -1075,7 +1175,7 @@ mod tests {
                 .insert(vec![Value::Int(i), Value::Int(i)])
                 .unwrap();
         }
-        let r = cat.maintain(&mut db, &policy);
+        let r = cat.maintain(&db, &policy);
         assert_eq!(
             r.statistics_dropped, 1,
             "vanilla policy drops regardless of usefulness"

@@ -115,6 +115,11 @@ pub struct Statistic {
     /// Times this statistic has been updated since creation (drives the
     /// auto-drop policy of §6).
     pub update_count: u32,
+    /// Value of the table's row-modification counter when this statistic was
+    /// (re)built. Staleness is `counter_now - mods_at_build`, so two
+    /// statistics on one table age independently instead of sharing an
+    /// all-or-nothing counter reset.
+    pub mods_at_build: u64,
     /// Catalog epoch at which this statistic was created.
     pub created_epoch: u64,
     /// Optional Phased 2-D histogram over the first two columns (only on
@@ -235,6 +240,7 @@ pub fn build_statistic(
         row_count_at_build: total_rows,
         build_cost,
         update_count: 0,
+        mods_at_build: table.modification_counter(),
         created_epoch: epoch,
         joint,
     }
@@ -372,6 +378,7 @@ impl<'a> SharedTableScan<'a> {
             row_count_at_build: total_rows,
             build_cost,
             update_count: 0,
+            mods_at_build: self.table.modification_counter(),
             created_epoch: epoch,
             joint,
         }

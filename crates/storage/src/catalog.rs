@@ -124,6 +124,17 @@ impl Database {
     pub fn total_rows(&self) -> usize {
         self.tables.iter().map(|t| t.row_count()).sum()
     }
+
+    /// A point-in-time snapshot of every table's row-modification counter,
+    /// keyed by table id. `BTreeMap` so iteration order (and anything
+    /// derived from it, e.g. staleness scans) is deterministic.
+    pub fn modification_snapshot(&self) -> std::collections::BTreeMap<TableId, u64> {
+        self.tables
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (TableId(i as u32), t.modification_counter()))
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -174,6 +185,21 @@ mod tests {
         assert_eq!(db.indexes_on(id).count(), 1);
         assert_eq!(db.indexes().len(), 2);
         assert!(db.create_index("i1", id, vec![1]).is_err());
+    }
+
+    #[test]
+    fn modification_snapshot_covers_all_tables() {
+        let (mut db, id) = db_with_table();
+        let id2 = db
+            .create_table("u", Schema::new(vec![ColumnDef::new("x", DataType::Int)]))
+            .unwrap();
+        db.table_mut(id)
+            .insert(vec![Value::Int(1), Value::Int(2)])
+            .unwrap();
+        let snap = db.modification_snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[&id], 1);
+        assert_eq!(snap[&id2], 0);
     }
 
     #[test]

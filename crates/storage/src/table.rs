@@ -62,8 +62,19 @@ impl Table {
         self.modification_counter
     }
 
-    /// Reset the modification counter (called when statistics on this table
-    /// are rebuilt).
+    /// Reset the modification counter.
+    ///
+    /// Historically the statistics layer reset this shared counter whenever
+    /// *any* statistic on the table was rebuilt, which made two statistics on
+    /// one table age together. Staleness is now tracked per statistic (each
+    /// records the counter value at build time), so the counter only ever
+    /// grows and nothing needs to reset it; bulk loaders may still call this
+    /// to mark freshly loaded data as the baseline.
+    #[deprecated(
+        since = "0.5.0",
+        note = "staleness is tracked per statistic via the counter value at build \
+                time; the shared table counter no longer needs resetting"
+    )]
     pub fn reset_modification_counter(&mut self) {
         self.modification_counter = 0;
     }
@@ -200,6 +211,7 @@ mod tests {
         assert_eq!(t.modification_counter(), 7);
         t.update_rows(&[0], 2, &Value::Int(99));
         assert_eq!(t.modification_counter(), 8);
+        #[allow(deprecated)]
         t.reset_modification_counter();
         assert_eq!(t.modification_counter(), 0);
     }

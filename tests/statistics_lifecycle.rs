@@ -82,15 +82,19 @@ fn update_counters_flow_into_update_work() {
         max_updates: 10,
         drop_only_droplisted: true,
     };
-    let report = catalog.maintain(&mut database, &policy);
+    let report = catalog.maintain(&database, &policy);
     assert_eq!(report.statistics_updated, 1);
     assert!(catalog.update_work() > 0.0);
-    assert_eq!(database.table(lineitem).modification_counter(), 0);
 
-    // The refreshed statistic reflects the new data.
+    // The refreshed statistic reflects the new data; its staleness baseline
+    // is the (never reset) counter value at rebuild time.
+    let counter = database.table(lineitem).modification_counter();
+    assert!(counter > 0);
     let sid = catalog.active_ids()[0];
     let stat = catalog.statistic(sid).unwrap();
     assert_eq!(stat.update_count, 1);
+    assert_eq!(stat.mods_at_build, counter);
+    assert!(catalog.stale_statistics(&database, &policy).is_empty());
     let hot = stat.histogram.selectivity_eq(&Value::Float(1.0));
     assert!(hot > 0.25, "refreshed histogram missed the update: {hot}");
 }
@@ -178,7 +182,7 @@ fn vanilla_drop_policy_causes_recreate_churn_improved_policy_does_not() {
                     database.table_mut(t).update_rows(&victims, col, &v);
                 }
             }
-            catalog.maintain(&mut database, &policy);
+            catalog.maintain(&database, &policy);
         }
         catalog.creation_work()
     };
