@@ -1,0 +1,50 @@
+//! Estimation-quality benchmark: per-operator q-error quantiles and
+//! plan-cost regret on the four adversarial workload regimes (uniform /
+//! zipf / correlated / star), each under bare, heuristic, and MNSA-tuned
+//! statistics catalogs (see `bench::experiments::cardbench`).
+//!
+//! Usage: `cargo run --release -p bench --bin exp_cardbench
+//!         [--full | --tiny] [--out PATH]
+//!         [--trace-out PATH] [--metrics-out PATH]`
+//!
+//! Writes `BENCH_cardbench.json` at the repository root by default (`--out`
+//! overrides, which the CI smoke run uses to avoid clobbering the recorded
+//! numbers). The run is deterministic under the built-in seed and audits
+//! itself: a re-run of one regime must reproduce its cells bit-identically,
+//! and the process exits non-zero if it does not.
+
+use bench::common::BenchObs;
+use bench::experiments::cardbench;
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = cardbench::cli_scale(&args);
+    let out: PathBuf = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+        .unwrap_or_else(|| {
+            // Repo root, independent of the invocation directory.
+            PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_cardbench.json")
+        });
+
+    let bench_obs = BenchObs::from_args(&args);
+    println!("== Estimation quality: q-error + plan-cost regret ==");
+    let result = cardbench::run_with_obs(&scale, &bench_obs.obs);
+    result.print();
+    bench_obs.finish(None);
+
+    match std::fs::write(&out, result.to_json()) {
+        Ok(()) => println!("results written to {}", out.display()),
+        Err(e) => {
+            eprintln!("error: cannot write {}: {e}", out.display());
+            std::process::exit(1);
+        }
+    }
+    if !result.deterministic {
+        eprintln!("error: determinism audit failed: regime re-run changed the numbers");
+        std::process::exit(1);
+    }
+}

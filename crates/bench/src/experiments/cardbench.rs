@@ -1,0 +1,627 @@
+//! Estimation-quality benchmark: q-error and plan-cost regret on
+//! adversarial workloads.
+//!
+//! The paper scores MNSA by plan cost on TPC-D-style data; the cardinality-
+//! estimation benchmark literature (PAPERS.md) argues the sharper lens is
+//! **q-error against ground truth**, measured per operator, on the regimes
+//! where estimation actually breaks: heavy skew, correlated columns, and
+//! many-way star joins. This experiment runs the four adversarial regimes
+//! of [`datagen::adversarial`] under three statistics configurations and
+//! reports, per `(regime, catalog)` cell:
+//!
+//! * **q-error quantiles** (p50/p90/p99/max) pooled over every plan
+//!   operator of every query. Truth comes from the executor's `exec.op.*`
+//!   spans (each carries `est_rows` and the observed `rows_out`), so the
+//!   comparison is per-operator, not just at the root.
+//! * **plan-cost regret**: executed work of the chosen plan divided by the
+//!   executed work of the *true-cardinality plan* — the plan the optimizer
+//!   picks when every selectivity variable is injected with its measured
+//!   ground-truth value ([`optimizer::OptimizeOptions`]'s §7.2 extension).
+//!   Regret is a pure plan-choice metric: both plans are executed on the
+//!   same data, so estimation errors only matter where they change the
+//!   plan.
+//!
+//! The three catalogs ladder the statistics investment: `bare` (magic
+//! numbers only), `heuristic` (every single-column candidate of every
+//! query, built unconditionally), and `mnsa` (the paper's sensitivity-
+//! driven tuner with joint 2-D histograms enabled, so correlated pairs can
+//! be refined).
+//!
+//! Ground truth for the injected plan is computed from the data itself —
+//! selection selectivities by scanning with the executor's predicate
+//! kernels, join selectivities by exact key-pair counting, and the GROUP BY
+//! distinct fraction from the aggregate's observed input/output rows —
+//! making the true plan independent of any catalog under test.
+
+use crate::common::{flag_value, ExperimentScale};
+use autostats::{single_column_candidates, MnsaConfig, MnsaEngine};
+use datagen::{adversarial_queries, build_adversarial, AdversarialConfig, Regime};
+use executor::{execute_plan, execute_plan_traced, predicate::row_matches};
+use obsv::{ArgValue, EventKind};
+use optimizer::{OptimizeOptions, Optimizer};
+use query::{bind_statement, BoundSelect, JoinEdge, PredicateId, Statement};
+use rustc_hash::FxHashMap;
+use stats::{BuildOptions, StatsCatalog};
+use std::collections::HashMap;
+use storage::{Database, Value};
+
+/// The statistics configurations, in reporting order.
+pub const CATALOGS: [&str; 3] = ["bare", "heuristic", "mnsa"];
+
+/// One `(regime, catalog)` measurement cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CatalogCell {
+    pub catalog: &'static str,
+    /// Active statistics in the catalog after tuning/building.
+    pub stats_built: usize,
+    /// Number of `(est, actual)` operator pairs pooled into the quantiles.
+    pub operators: usize,
+    pub q_p50: f64,
+    pub q_p90: f64,
+    pub q_p99: f64,
+    pub q_max: f64,
+    /// Geometric mean over queries of `work_chosen / work_true`.
+    pub regret_mean: f64,
+    pub regret_max: f64,
+}
+
+/// All catalogs for one workload regime.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegimeResult {
+    pub regime: &'static str,
+    pub cells: Vec<CatalogCell>,
+}
+
+/// The whole run, as serialized to `BENCH_cardbench.json`.
+#[derive(Debug, Clone)]
+pub struct CardbenchResult {
+    pub rows: usize,
+    pub queries_per_regime: usize,
+    pub seed: u64,
+    /// Whether re-running a regime reproduced its cells bit-identically.
+    pub deterministic: bool,
+    pub regimes: Vec<RegimeResult>,
+}
+
+impl CardbenchResult {
+    pub fn cell(&self, regime: &str, catalog: &str) -> Option<&CatalogCell> {
+        self.regimes
+            .iter()
+            .find(|r| r.regime == regime)?
+            .cells
+            .iter()
+            .find(|c| c.catalog == catalog)
+    }
+}
+
+/// The q-error of one estimate, with the benchmark literature's degenerate
+/// conventions: both sides are floored at 0.5 so `est = 0` vs `actual = 0`
+/// gives exactly 1 (a correct empty estimate), and an empty-vs-nonempty
+/// mismatch stays finite.
+pub fn q_error(est: f64, actual: f64) -> f64 {
+    let e = est.max(0.5);
+    let a = actual.max(0.5);
+    (e / a).max(a / e)
+}
+
+/// The adversarial generator configuration for a bench scale: the paper-
+/// style `scale` knob maps to fact rows (0.001 → 1 000).
+pub fn config_for(scale: &ExperimentScale) -> AdversarialConfig {
+    let rows = ((scale.scale * 1_000_000.0).round() as usize).max(200);
+    let base = if rows <= 1_200 {
+        AdversarialConfig::tiny()
+    } else {
+        AdversarialConfig::default()
+    };
+    AdversarialConfig {
+        rows,
+        seed: scale.seed,
+        ..base
+    }
+}
+
+/// Run the full benchmark: four regimes × three catalogs.
+pub fn run(scale: &ExperimentScale) -> CardbenchResult {
+    run_with_obs(scale, &obsv::Obs::disabled())
+}
+
+/// [`run`] with harness-level observability: one `cardbench.regime` span per
+/// regime pass (cells recorded as args) and per-regime query counters, so
+/// the driver's `--trace-out` export has a validated span tree. Purely
+/// observational — results are bit-identical with tracing on or off.
+pub fn run_with_obs(scale: &ExperimentScale, obs: &obsv::Obs) -> CardbenchResult {
+    let cfg = config_for(scale);
+    let mut root = obs.tracer.span("cardbench.run");
+    root.arg("rows", cfg.rows as i64);
+    root.arg("queries_per_regime", scale.workload_len as i64);
+    let regimes: Vec<RegimeResult> = Regime::ALL
+        .iter()
+        .map(|&r| {
+            let mut span = root.child("cardbench.regime");
+            span.arg("regime", r.name());
+            obs.metrics
+                .counter("cardbench.queries")
+                .add(scale.workload_len as u64);
+            let result = run_regime(&cfg, r, scale.workload_len);
+            for cell in &result.cells {
+                span.arg(cell.catalog, cell.q_p50);
+            }
+            result
+        })
+        .collect();
+    // Determinism audit: a regime re-run from the same seed must reproduce
+    // every cell bit-identically (the whole pipeline is seeded and the
+    // executor's work metric is deterministic).
+    let again = {
+        let mut span = root.child("cardbench.regime");
+        span.arg("regime", "zipf-recheck");
+        run_regime(&cfg, Regime::Zipf, scale.workload_len)
+    };
+    let deterministic = regimes
+        .iter()
+        .find(|r| r.regime == Regime::Zipf.name())
+        .map(|r| *r == again)
+        .unwrap_or(false);
+    root.arg("deterministic", deterministic);
+    CardbenchResult {
+        rows: cfg.rows,
+        queries_per_regime: scale.workload_len,
+        seed: cfg.seed,
+        deterministic,
+        regimes,
+    }
+}
+
+/// Everything measured about one query that does not depend on the catalog
+/// under test: the bound query, its ground-truth selectivities, and the
+/// executed work of the true-cardinality plan.
+struct QueryCase {
+    query: BoundSelect,
+    work_true: f64,
+}
+
+fn run_regime(cfg: &AdversarialConfig, regime: Regime, n_queries: usize) -> RegimeResult {
+    let db = build_adversarial(cfg, regime);
+    let optimizer = Optimizer::default();
+    let queries: Vec<BoundSelect> = adversarial_queries(&db, cfg, regime, n_queries)
+        .into_iter()
+        .map(|q| {
+            match bind_statement(&db, &Statement::Select(q)).expect("adversarial query binds") {
+                query::BoundStatement::Select(b) => b,
+                other => panic!("adversarial workload is SELECT-only, got {other:?}"),
+            }
+        })
+        .collect();
+
+    let cases: Vec<QueryCase> = queries
+        .into_iter()
+        .map(|q| {
+            let truth = true_selectivities(&db, &q, &optimizer);
+            let injected = OptimizeOptions { injected: truth };
+            let true_plan = optimizer
+                .optimize(&db, &q, StatsCatalog::new().full_view(), &injected)
+                .expect("true-cardinality optimization succeeds");
+            let work_true = execute_plan(&db, &q, &true_plan.plan, &optimizer.params)
+                .expect("true plan executes")
+                .work;
+            QueryCase {
+                query: q,
+                work_true,
+            }
+        })
+        .collect();
+
+    let cells = CATALOGS
+        .iter()
+        .map(|&name| {
+            let catalog = build_catalog(name, &db, &cases);
+            measure_catalog(name, &db, &catalog, &cases, &optimizer)
+        })
+        .collect();
+    RegimeResult {
+        regime: regime.name(),
+        cells,
+    }
+}
+
+/// Build one of the three statistics configurations for a regime's workload.
+fn build_catalog(name: &str, db: &Database, cases: &[QueryCase]) -> StatsCatalog {
+    match name {
+        "bare" => StatsCatalog::new(),
+        "heuristic" => {
+            let mut catalog = StatsCatalog::new();
+            for case in cases {
+                for d in single_column_candidates(&case.query) {
+                    if catalog.find_active(&d).is_none() {
+                        catalog
+                            .create_statistic(db, d)
+                            .expect("heuristic statistic builds");
+                    }
+                }
+            }
+            catalog
+        }
+        "mnsa" => {
+            // Joint 2-D histograms let MNSA's multi-column candidates refine
+            // correlated predicate pairs — the §3.1 case the correlated
+            // regime is built to stress.
+            let mut catalog = StatsCatalog::new()
+                .with_build_options(BuildOptions::default().with_joint_histograms());
+            let engine = MnsaEngine::new(MnsaConfig::default());
+            for case in cases {
+                engine
+                    .run_query(db, &mut catalog, &case.query)
+                    .expect("mnsa tuning succeeds");
+            }
+            catalog
+        }
+        other => panic!("unknown catalog configuration {other}"),
+    }
+}
+
+/// Optimize and execute every query under `catalog`, pooling per-operator
+/// q-errors and per-query regret into one cell.
+fn measure_catalog(
+    name: &'static str,
+    db: &Database,
+    catalog: &StatsCatalog,
+    cases: &[QueryCase],
+    optimizer: &Optimizer,
+) -> CatalogCell {
+    let mut q_errors: Vec<f64> = Vec::new();
+    let mut regrets: Vec<f64> = Vec::new();
+    for case in cases {
+        let chosen = optimizer
+            .optimize(
+                db,
+                &case.query,
+                catalog.full_view(),
+                &OptimizeOptions::default(),
+            )
+            .expect("optimization succeeds");
+        let tracer = obsv::Tracer::enabled();
+        let out = execute_plan_traced(db, &case.query, &chosen.plan, &optimizer.params, &tracer)
+            .expect("plan executes");
+        let events = tracer.flush();
+        q_errors.extend(operator_q_errors(&events));
+        // Floor the denominator: a true plan with (near-)zero work would
+        // otherwise make the ratio blow up on trivial queries.
+        regrets.push(out.work / case.work_true.max(1.0));
+    }
+    q_errors.sort_by(f64::total_cmp);
+    let geomean = if regrets.is_empty() {
+        1.0
+    } else {
+        (regrets.iter().map(|r| r.max(1e-9).ln()).sum::<f64>() / regrets.len() as f64).exp()
+    };
+    CatalogCell {
+        catalog: name,
+        stats_built: catalog.active_count(),
+        operators: q_errors.len(),
+        q_p50: quantile(&q_errors, 0.50),
+        q_p90: quantile(&q_errors, 0.90),
+        q_p99: quantile(&q_errors, 0.99),
+        q_max: q_errors.last().copied().unwrap_or(f64::NAN),
+        regret_mean: geomean,
+        regret_max: regrets.iter().copied().fold(f64::NAN, f64::max),
+    }
+}
+
+/// Per-operator `(est, actual)` q-errors from one traced execution: every
+/// `exec.op.*` End span carries `est_rows` (the optimizer's estimate for
+/// that node) and `rows_out` (the observed cardinality).
+pub fn operator_q_errors(events: &[obsv::Event]) -> Vec<f64> {
+    events
+        .iter()
+        .filter(|e| e.kind == EventKind::End && e.name.starts_with("exec.op."))
+        .filter_map(|e| {
+            let est = arg_f64(e, "est_rows")?;
+            let actual = arg_f64(e, "rows_out")?;
+            Some(q_error(est, actual))
+        })
+        .collect()
+}
+
+fn arg_f64(e: &obsv::Event, key: &str) -> Option<f64> {
+    e.args
+        .iter()
+        .find(|(k, _)| *k == key)
+        .map(|(_, v)| match v {
+            ArgValue::Int(i) => *i as f64,
+            ArgValue::Float(f) => *f,
+            ArgValue::Bool(b) => f64::from(u8::from(*b)),
+            ArgValue::Str(_) => f64::NAN,
+        })
+}
+
+/// Nearest-rank quantile of an ascending-sorted slice.
+fn quantile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Measure every selectivity variable of `query` directly against the data.
+fn true_selectivities(
+    db: &Database,
+    query: &BoundSelect,
+    optimizer: &Optimizer,
+) -> FxHashMap<PredicateId, f64> {
+    let mut truth = FxHashMap::default();
+    for (i, pred) in query.selections.iter().enumerate() {
+        let table = db
+            .try_table(query.table_of(pred.column.relation))
+            .expect("bound relation exists");
+        let n = table.row_count();
+        let sel = if n == 0 {
+            0.0
+        } else {
+            (0..n).filter(|&r| row_matches(table, r, pred)).count() as f64 / n as f64
+        };
+        truth.insert(PredicateId::Selection(i), sel);
+    }
+    for (i, edge) in query.join_edges.iter().enumerate() {
+        truth.insert(PredicateId::JoinEdge(i), join_selectivity(db, query, edge));
+    }
+    if !query.group_by.is_empty() {
+        truth.insert(
+            PredicateId::GroupBy,
+            group_by_fraction(db, query, optimizer),
+        );
+    }
+    truth
+}
+
+/// Exact join selectivity: matching key pairs over the cross-product size.
+/// NULL keys never match (SQL equi-join semantics).
+fn join_selectivity(db: &Database, query: &BoundSelect, edge: &JoinEdge) -> f64 {
+    let left = db
+        .try_table(query.table_of(edge.left_rel))
+        .expect("bound relation exists");
+    let right = db
+        .try_table(query.table_of(edge.right_rel))
+        .expect("bound relation exists");
+    let (nl, nr) = (left.row_count(), right.row_count());
+    if nl == 0 || nr == 0 {
+        return 0.0;
+    }
+    let mut build: HashMap<Vec<Value>, usize> = HashMap::new();
+    'rows: for r in 0..nr {
+        let mut key = Vec::with_capacity(edge.pairs.len());
+        for &(_, rc) in &edge.pairs {
+            let v = right.value(r, rc);
+            if v == Value::Null {
+                continue 'rows;
+            }
+            key.push(v);
+        }
+        *build.entry(key).or_insert(0) += 1;
+    }
+    let mut matches = 0usize;
+    'probe: for r in 0..nl {
+        let mut key = Vec::with_capacity(edge.pairs.len());
+        for &(lc, _) in &edge.pairs {
+            let v = left.value(r, lc);
+            if v == Value::Null {
+                continue 'probe;
+            }
+            key.push(v);
+        }
+        matches += build.get(&key).copied().unwrap_or(0);
+    }
+    matches as f64 / (nl as f64 * nr as f64)
+}
+
+/// Ground-truth GROUP BY distinct fraction: observed groups over observed
+/// aggregate input rows, read off the `exec.op.HashAggregate` span of one
+/// traced execution (both counts are plan-invariant, so any plan serves).
+fn group_by_fraction(db: &Database, query: &BoundSelect, optimizer: &Optimizer) -> f64 {
+    let plan = optimizer
+        .optimize(
+            db,
+            query,
+            StatsCatalog::new().full_view(),
+            &OptimizeOptions::default(),
+        )
+        .expect("probe optimization succeeds");
+    let tracer = obsv::Tracer::enabled();
+    execute_plan_traced(db, query, &plan.plan, &optimizer.params, &tracer)
+        .expect("probe execution succeeds");
+    let events = tracer.flush();
+    // Spans: End events carry counts, Begin events carry parent linkage.
+    let mut rows_out: FxHashMap<u64, f64> = FxHashMap::default();
+    for e in &events {
+        if e.kind == EventKind::End {
+            if let Some(v) = arg_f64(e, "rows_out") {
+                rows_out.insert(e.id, v);
+            }
+        }
+    }
+    let agg = events
+        .iter()
+        .find(|e| e.kind == EventKind::Begin && e.name == "exec.op.HashAggregate");
+    let Some(agg) = agg else {
+        return 1.0;
+    };
+    let groups = rows_out.get(&agg.id).copied().unwrap_or(0.0);
+    let input: f64 = events
+        .iter()
+        .filter(|e| {
+            e.kind == EventKind::Begin && e.parent == agg.id && e.name.starts_with("exec.op.")
+        })
+        .filter_map(|e| rows_out.get(&e.id))
+        .sum();
+    if input <= 0.0 {
+        1.0
+    } else {
+        (groups / input).clamp(0.0, 1.0)
+    }
+}
+
+impl CardbenchResult {
+    /// Hand-rolled JSON (no serde_json offline); numbers render as `null`
+    /// when non-finite so the document always parses.
+    pub fn to_json(&self) -> String {
+        fn num(x: f64) -> String {
+            if x.is_finite() {
+                format!("{x}")
+            } else {
+                "null".to_string()
+            }
+        }
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str(&format!(
+            "  \"experiment\": \"cardbench\",\n  \"rows\": {},\n  \"queries_per_regime\": {},\n  \"seed\": {},\n  \"deterministic\": {},\n  \"regimes\": [\n",
+            self.rows, self.queries_per_regime, self.seed, self.deterministic
+        ));
+        for (i, regime) in self.regimes.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"regime\": \"{}\", \"catalogs\": [\n",
+                regime.regime
+            ));
+            for (j, c) in regime.cells.iter().enumerate() {
+                s.push_str(&format!(
+                    "      {{\"catalog\": \"{}\", \"stats_built\": {}, \"operators\": {}, \"q_error\": {{\"p50\": {}, \"p90\": {}, \"p99\": {}, \"max\": {}}}, \"regret\": {{\"geomean\": {}, \"max\": {}}}}}{}\n",
+                    c.catalog,
+                    c.stats_built,
+                    c.operators,
+                    num(c.q_p50),
+                    num(c.q_p90),
+                    num(c.q_p99),
+                    num(c.q_max),
+                    num(c.regret_mean),
+                    num(c.regret_max),
+                    if j + 1 < regime.cells.len() { "," } else { "" }
+                ));
+            }
+            s.push_str(&format!(
+                "    ]}}{}\n",
+                if i + 1 < self.regimes.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    pub fn print(&self) {
+        println!(
+            "cardbench: {} rows, {} queries/regime, seed {} (deterministic: {})",
+            self.rows, self.queries_per_regime, self.seed, self.deterministic
+        );
+        println!(
+            "{:<12} {:<10} {:>6} {:>5} {:>9} {:>9} {:>9} {:>10} {:>8} {:>8}",
+            "regime",
+            "catalog",
+            "stats",
+            "ops",
+            "q-p50",
+            "q-p90",
+            "q-p99",
+            "q-max",
+            "regret",
+            "rgt-max"
+        );
+        for regime in &self.regimes {
+            for c in &regime.cells {
+                println!(
+                    "{:<12} {:<10} {:>6} {:>5} {:>9.2} {:>9.2} {:>9.2} {:>10.2} {:>8.3} {:>8.3}",
+                    regime.regime,
+                    c.catalog,
+                    c.stats_built,
+                    c.operators,
+                    c.q_p50,
+                    c.q_p90,
+                    c.q_p99,
+                    c.q_max,
+                    c.regret_mean,
+                    c.regret_max
+                );
+            }
+        }
+    }
+}
+
+/// CLI entry shared by `exp_cardbench` and its tests.
+pub fn cli_scale(args: &[String]) -> ExperimentScale {
+    if args.iter().any(|a| a == "--tiny") {
+        ExperimentScale::tiny()
+    } else if args.iter().any(|a| a == "--full") {
+        ExperimentScale::full()
+    } else {
+        ExperimentScale::default_run()
+    }
+}
+
+/// The `--out` path (default `BENCH_cardbench.json`).
+pub fn cli_out(args: &[String]) -> String {
+    flag_value(args, "--out").unwrap_or_else(|| "BENCH_cardbench.json".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn q_error_conventions() {
+        assert_eq!(q_error(0.0, 0.0), 1.0);
+        assert_eq!(q_error(10.0, 10.0), 1.0);
+        assert_eq!(q_error(1.0, 100.0), 100.0);
+        assert_eq!(q_error(100.0, 1.0), 100.0);
+        // est = 0 vs actual = 8: floored at 0.5, finite.
+        assert_eq!(q_error(0.0, 8.0), 16.0);
+        assert!(q_error(1e9, 0.0).is_finite());
+    }
+
+    #[test]
+    fn quantiles_nearest_rank() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&v, 0.0), 1.0);
+        assert_eq!(quantile(&v, 1.0), 4.0);
+        assert_eq!(quantile(&v, 0.5), 3.0);
+        assert!(quantile(&[], 0.5).is_nan());
+    }
+
+    #[test]
+    fn tiny_run_is_deterministic_and_mnsa_beats_bare_where_it_matters() {
+        let result = run(&ExperimentScale::tiny());
+        assert!(result.deterministic, "regime re-run changed the numbers");
+        assert_eq!(result.regimes.len(), 4);
+        for regime in &result.regimes {
+            assert_eq!(regime.cells.len(), 3);
+            for c in &regime.cells {
+                assert!(
+                    c.operators > 0,
+                    "{}/{}: no operator pairs",
+                    regime.regime,
+                    c.catalog
+                );
+                assert!(
+                    c.q_p50 >= 1.0,
+                    "{}/{}: q-error below 1",
+                    regime.regime,
+                    c.catalog
+                );
+                assert!(c.q_max.is_finite());
+            }
+        }
+        // The acceptance bar: tuned statistics must strictly cut the median
+        // per-operator q-error on the skewed and correlated regimes.
+        for regime in ["zipf", "correlated"] {
+            let bare = result.cell(regime, "bare").unwrap();
+            let mnsa = result.cell(regime, "mnsa").unwrap();
+            assert!(
+                mnsa.q_p50 < bare.q_p50,
+                "{regime}: mnsa p50 {} not below bare p50 {}",
+                mnsa.q_p50,
+                bare.q_p50
+            );
+            assert!(mnsa.stats_built > 0, "{regime}: mnsa built nothing");
+        }
+        // JSON artifact parses.
+        let json = result.to_json();
+        obsv::json::parse(&json).expect("BENCH_cardbench.json parses");
+    }
+}

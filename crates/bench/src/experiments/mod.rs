@@ -1,6 +1,7 @@
 //! One module per paper table/figure.
 
 pub mod aging;
+pub mod cardbench;
 pub mod fig3;
 pub mod fig4;
 pub mod intro;

@@ -34,6 +34,21 @@ impl Zipf {
         Zipf { cdf }
     }
 
+    /// [`Zipf::new`] with degenerate parameters sanitized instead of
+    /// panicking: an empty domain becomes a single rank, a negative or
+    /// non-finite `z` (including NaN) falls back to `0` (uniform), and `z`
+    /// is capped at `8` — beyond that the mass is numerically all on rank 0
+    /// anyway. The adversarial generator accepts arbitrary user/proptest
+    /// knobs, so it routes every construction through here.
+    pub fn clamped(n: usize, z: f64) -> Zipf {
+        let z = if z.is_finite() {
+            z.clamp(0.0, 8.0)
+        } else {
+            0.0
+        };
+        Zipf::new(n.max(1), z)
+    }
+
     /// Number of ranks.
     pub fn domain(&self) -> usize {
         self.cdf.len()
@@ -122,5 +137,35 @@ mod tests {
     #[should_panic(expected = "non-empty")]
     fn empty_domain_panics() {
         let _ = Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    fn clamped_sanitizes_degenerate_parameters() {
+        // Regression: the adversarial generator feeds arbitrary knobs here;
+        // none of these may panic or produce a non-distribution.
+        for (n, z) in [
+            (0, 1.0),
+            (1, 0.0),
+            (10, -3.0),
+            (10, f64::NAN),
+            (10, f64::INFINITY),
+            (10, 100.0),
+        ] {
+            let d = Zipf::clamped(n, z);
+            assert!(d.domain() >= 1);
+            let total: f64 = (0..d.domain()).map(|r| d.pmf(r)).sum();
+            assert!((total - 1.0).abs() < 1e-9, "n={n} z={z}: {total}");
+        }
+        // Negative and NaN fall back to uniform.
+        let u = Zipf::clamped(4, -1.0);
+        for r in 0..4 {
+            assert!((u.pmf(r) - 0.25).abs() < 1e-12);
+        }
+        // A single-rank domain always samples rank 0.
+        let one = Zipf::clamped(0, 2.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10 {
+            assert_eq!(one.sample(&mut rng), 0);
+        }
     }
 }

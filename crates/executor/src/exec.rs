@@ -655,8 +655,58 @@ fn execute_impl(
         work: 0.0,
     };
 
+    // Aggregation and final ordering execute at this level, not in
+    // `run_node`, so the top-level Sort/HashAggregate wrappers are peeled
+    // here and given spans of their own: each records its *post*-operator
+    // cardinality. Running them through `run` would pass through the input
+    // count, and any consumer joining estimated vs actual rows per operator
+    // (the cardbench harness) would read a pre-aggregation count as the
+    // aggregate's truth.
+    let mut tree = plan;
+    fn first_child(n: &PlanNode) -> Result<&PlanNode, ExecError> {
+        n.children.first().ok_or_else(|| ExecError::MalformedPlan {
+            detail: "aggregate/sort node has no input".to_string(),
+        })
+    }
+    let mut sort_node: Option<&PlanNode> = None;
+    let mut agg_node: Option<&PlanNode> = None;
+    if matches!(tree.op, Operator::Sort { .. }) {
+        sort_node = Some(tree);
+        tree = first_child(tree)?;
+    }
+    if matches!(tree.op, Operator::HashAggregate { .. }) {
+        agg_node = Some(tree);
+        tree = first_child(tree)?;
+    }
+    let mut sort_span = sort_node.map(|n| span.child(op_span_name(&n.op)));
+    let mut agg_span = agg_node.map(|n| {
+        sort_span
+            .as_ref()
+            .unwrap_or(span)
+            .child(op_span_name(&n.op))
+    });
+
     let has_agg = !query.group_by.is_empty() || !query.aggregates.is_empty();
-    let mut input = interp.run(plan, span)?;
+    let mut input = {
+        let tree_parent = agg_span.as_ref().or(sort_span.as_ref()).unwrap_or(span);
+        interp.run(tree, tree_parent)?
+    };
+    // Close each wrapper span with its actual output cardinality alongside
+    // the optimizer's estimate, mirroring `Interp::run`. A Sort never
+    // changes the cardinality of its input; an aggregate's output is its
+    // group count, finalized below.
+    let mut close_wrappers = |rows_out: usize| {
+        if let (Some(s), Some(n)) = (agg_span.as_mut(), agg_node) {
+            s.arg("rows_out", rows_out);
+            s.arg("est_rows", n.est_rows);
+        }
+        drop(agg_span.take());
+        if let (Some(s), Some(n)) = (sort_span.as_mut(), sort_node) {
+            s.arg("rows_out", rows_out);
+            s.arg("est_rows", n.est_rows);
+        }
+        drop(sort_span.take());
+    };
 
     if has_agg {
         // Group by fingerprints of the grouping key values, with exact-key
@@ -741,6 +791,7 @@ fn execute_impl(
                 std::cmp::Ordering::Equal
             });
         }
+        close_wrappers(rows.len());
         return Ok(ExecOutput {
             rows,
             work: interp.work,
@@ -778,6 +829,8 @@ fn execute_impl(
             input.data = sorted;
         }
     }
+
+    close_wrappers(input.count());
 
     // Plain projection, materialized column-wise: one pass per output
     // column over the surviving tuples.
@@ -926,6 +979,52 @@ mod tests {
             .args
             .iter()
             .any(|(k, v)| *k == "rows_out" && *v == obsv::ArgValue::Int(100)));
+    }
+
+    #[test]
+    fn aggregate_and_sort_spans_report_actual_output_counts() {
+        // Regression: the top-level HashAggregate/Sort wrappers execute in
+        // `execute_impl`, and their spans used to pass through the *input*
+        // cardinality. Per-operator truth capture needs the group count.
+        let db = setup();
+        let q = bind(
+            &db,
+            "SELECT deptid, COUNT(*) FROM emp GROUP BY deptid ORDER BY deptid DESC",
+        );
+        let cat = StatsCatalog::new();
+        let opt = Optimizer::default();
+        let r = opt
+            .optimize(&db, &q, cat.full_view(), &OptimizeOptions::default())
+            .unwrap();
+        let tracer = obsv::Tracer::enabled();
+        let out = execute_plan_traced(&db, &q, &r.plan, &opt.params, &tracer).unwrap();
+        assert_eq!(out.row_count(), 5);
+        let events = tracer.flush();
+        assert!(obsv::trace::validate(&events).is_empty());
+        let begins: Vec<&str> = events
+            .iter()
+            .filter(|e| e.kind == obsv::EventKind::Begin)
+            .map(|e| e.name)
+            .collect();
+        assert_eq!(begins.len(), r.plan.nodes().len() + 1);
+        assert_eq!(
+            &begins[..3],
+            &["exec.query", "exec.op.Sort", "exec.op.HashAggregate"],
+            "wrapper spans keep the plan's pre-order"
+        );
+        for name in ["exec.op.HashAggregate", "exec.op.Sort"] {
+            let end = events
+                .iter()
+                .find(|e| e.kind == obsv::EventKind::End && e.name == name)
+                .expect("wrapper span present");
+            assert!(
+                end.args
+                    .iter()
+                    .any(|(k, v)| *k == "rows_out" && *v == obsv::ArgValue::Int(5)),
+                "{name} must report the 5 groups, not the 100 input rows: {:?}",
+                end.args
+            );
+        }
     }
 
     #[test]
