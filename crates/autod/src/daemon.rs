@@ -32,7 +32,7 @@ use crate::monitor::{MonitorConfig, WorkloadMonitor};
 use crate::staleness::StalenessTracker;
 use autostats::{Equivalence, MnsaConfig, OnlineEvent, ServeParts, SessionReport, TuneError};
 use parking_lot::{Mutex, RwLock};
-use stats::{MaintenancePolicy, StatId, StatsCatalog};
+use stats::{FeedbackConfig, FeedbackStore, MaintenancePolicy, StatId, StatsCatalog};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
@@ -57,6 +57,13 @@ pub struct AutodConfig {
     pub staleness: MaintenancePolicy,
     /// Workload-monitor sizing and eviction seed.
     pub monitor: MonitorConfig,
+    /// Feedback-driven refresh: when `Some`, the daemon exposes an enabled
+    /// [`obsv::FeedbackLog`] for query threads, digests its records each
+    /// tick, and corrects stale statistics from observed cardinalities
+    /// before falling back to scan rebuilds. `None` (the default) keeps the
+    /// whole channel disabled and the catalog trajectory bit-identical to a
+    /// daemon without this feature.
+    pub feedback: Option<FeedbackConfig>,
 }
 
 impl Default for AutodConfig {
@@ -68,6 +75,7 @@ impl Default for AutodConfig {
             shrink_every: 8,
             staleness: MaintenancePolicy::default(),
             monitor: MonitorConfig::default(),
+            feedback: None,
         }
     }
 }
@@ -80,6 +88,10 @@ pub struct TickReport {
     pub refreshed: usize,
     /// Work charged for those rebuilds.
     pub refresh_work: f64,
+    /// Stale statistics corrected from feedback (no scan) this tick.
+    pub feedback_refreshed: usize,
+    /// Work charged for those corrections (tiny next to `refresh_work`).
+    pub feedback_work: f64,
     /// Query templates MNSA analyzed this tick.
     pub queries_tuned: usize,
     /// Work charged for tuning (creation + analysis overhead).
@@ -104,6 +116,9 @@ pub struct LifecycleCore {
     obs: obsv::Obs,
     tick: u64,
     last_error: Option<TuneError>,
+    /// Shared with query threads; enabled iff `config.feedback` is set.
+    feedback_log: obsv::FeedbackLog,
+    feedback_store: FeedbackStore,
 }
 
 impl LifecycleCore {
@@ -148,6 +163,11 @@ impl LifecycleCore {
             tuner = tuner.with_cache(cache);
         }
         let epochs = Arc::new(EpochHandle::new(StatsCatalog::restore(catalog.snapshot())));
+        let feedback_log = if config.feedback.is_some() {
+            obsv::FeedbackLog::enabled()
+        } else {
+            obsv::FeedbackLog::disabled()
+        };
         LifecycleCore {
             staleness: StalenessTracker::new(config.staleness),
             config,
@@ -158,6 +178,8 @@ impl LifecycleCore {
             obs,
             tick: 0,
             last_error: None,
+            feedback_log,
+            feedback_store: FeedbackStore::new(),
         }
     }
 
@@ -201,6 +223,13 @@ impl LifecycleCore {
         self.last_error.as_ref()
     }
 
+    /// The cardinality-feedback channel query threads should execute under
+    /// (clones share one buffer). Disabled — and free to pass around — when
+    /// `config.feedback` is `None`.
+    pub fn feedback_log(&self) -> obsv::FeedbackLog {
+        self.feedback_log.clone()
+    }
+
     /// Advance virtual time by one tick. See the module docs for the exact
     /// sequence. Deterministic: same inputs, same catalog trajectory.
     pub fn tick(
@@ -238,7 +267,19 @@ impl LifecycleCore {
         };
 
         // 3. Staleness-driven refresh, table by table (shared scans), while
-        //    the token balance lasts.
+        //    the token balance lasts. With feedback enabled, stale
+        //    statistics whose (table, column) has enough digested
+        //    observations are corrected in place first — near-zero work —
+        //    and only the remainder pays for a scan rebuild.
+        if self.config.feedback.is_some() {
+            let drained = self.feedback_log.drain();
+            if !drained.is_empty() {
+                metrics
+                    .counter("stats.feedback.records")
+                    .add(drained.len() as u64);
+                self.feedback_store.ingest(&drained);
+            }
+        }
         let stale = self.staleness.scan(db, &self.catalog);
         let mut by_table: BTreeMap<TableId, Vec<StatId>> = BTreeMap::new();
         for s in &stale {
@@ -250,7 +291,53 @@ impl LifecycleCore {
                 deferred_refreshes += ids.len();
                 continue;
             }
-            for (stat, work) in self.catalog.refresh_statistics(db, *table, ids) {
+            let mut remaining: Vec<StatId> = Vec::with_capacity(ids.len());
+            if let Some(feedback_config) = &self.config.feedback {
+                for &id in ids {
+                    if !self
+                        .catalog
+                        .feedback_refreshable(id, &self.feedback_store, feedback_config)
+                    {
+                        remaining.push(id);
+                        continue;
+                    }
+                    let observations = self.feedback_store.count(
+                        table.0 as u64,
+                        self.catalog
+                            .statistic(id)
+                            .map(|s| s.descriptor.leading_column() as u32)
+                            .unwrap_or(0),
+                    );
+                    let corrected = self.catalog.feedback_refresh(
+                        db,
+                        *table,
+                        &[id],
+                        &mut self.feedback_store,
+                        feedback_config,
+                    );
+                    if corrected.is_empty() {
+                        remaining.push(id);
+                        continue;
+                    }
+                    for (stat, work) in corrected {
+                        self.tuner.charge(work);
+                        report.feedback_refreshed += 1;
+                        report.feedback_work += work;
+                        metrics.counter("stats.feedback.refreshes").inc();
+                        metrics.float_counter("stats.feedback.work").add(work);
+                        self.session.record_online(OnlineEvent::FeedbackRefresh {
+                            tick,
+                            stat,
+                            table: *table,
+                            work,
+                            observations,
+                        });
+                    }
+                }
+            } else {
+                remaining.extend_from_slice(ids);
+            }
+            for (stat, work) in self.catalog.refresh_statistics(db, *table, &remaining) {
                 self.tuner.charge(work);
                 report.refreshed += 1;
                 report.refresh_work += work;
@@ -306,6 +393,7 @@ impl LifecycleCore {
 
         // 6. Publish a frozen copy iff the catalog changed this tick.
         let changed = report.refreshed > 0
+            || report.feedback_refreshed > 0
             || step.report.statistics_created > 0
             || step.report.statistics_drop_listed > 0
             || report.shrink_removed.is_some();
@@ -323,6 +411,7 @@ impl LifecycleCore {
         }
 
         span.arg("refreshed", report.refreshed);
+        span.arg("feedback_refreshed", report.feedback_refreshed);
         span.arg("tuned", report.queries_tuned);
         span.arg("exhausted", report.budget_exhausted);
         Ok(report)
@@ -619,6 +708,125 @@ mod tests {
             .online
             .iter()
             .any(|e| matches!(e, OnlineEvent::Refresh { .. })));
+    }
+
+    const SALARY_SCAN_SQL: &str = "SELECT * FROM employees WHERE salary > 200";
+
+    #[test]
+    fn feedback_refresh_replaces_scan_rebuild_cheaply() {
+        let mut db = test_db();
+        let t = db.table_id("employees").unwrap();
+        let queries = workload(&db);
+        let mut monitor = WorkloadMonitor::new(MonitorConfig::default());
+        for q in &queries {
+            monitor.observe(q, 0);
+        }
+        let mut core = LifecycleCore::new(
+            StatsCatalog::new(),
+            AutodConfig {
+                budget_per_tick: f64::INFINITY,
+                shrink_every: 0,
+                feedback: Some(FeedbackConfig::default()),
+                ..AutodConfig::default()
+            },
+        );
+        core.tick(&db, &mut monitor).unwrap();
+        let built = core.catalog().built_on_table(t).count();
+        assert!(built > 0);
+
+        // Query threads execute under the shared feedback log; single-
+        // predicate scans on salary feed observations for its statistic.
+        let log = core.feedback_log();
+        assert!(log.is_enabled());
+        let stmt = bind_statement(&db, &parse_statement(SALARY_SCAN_SQL).unwrap()).unwrap();
+        let opt = optimizer::Optimizer::default();
+        for _ in 0..6 {
+            executor::run_statement_observed(
+                &mut db,
+                core.catalog().full_view(),
+                &opt,
+                &stmt,
+                &obsv::Tracer::disabled(),
+                &log,
+            )
+            .unwrap();
+        }
+        assert!(!log.is_empty());
+
+        // Drift: bulk inserts age every statistic on the table.
+        for i in 0..900i64 {
+            db.table_mut(t)
+                .insert(vec![
+                    Value::Int(10_000 + i),
+                    Value::Int(0),
+                    Value::Int(21),
+                    Value::Int(300),
+                ])
+                .unwrap();
+        }
+        let report = core.tick(&db, &mut monitor).unwrap();
+        assert!(
+            report.feedback_refreshed >= 1,
+            "salary statistic should take the feedback path: {report:?}"
+        );
+        assert_eq!(report.feedback_refreshed + report.refreshed, built);
+        assert!(report.feedback_work > 0.0);
+        if report.refreshed > 0 {
+            assert!(
+                report.feedback_work < report.refresh_work / 10.0,
+                "feedback corrections must be far cheaper than scan rebuilds"
+            );
+        }
+        assert!(core
+            .journal()
+            .online
+            .iter()
+            .any(|e| matches!(e, OnlineEvent::FeedbackRefresh { .. })));
+        // The corrected statistics reset their staleness baseline: a quiet
+        // tick refreshes nothing (no starvation, no thrash).
+        let quiet = core.tick(&db, &mut monitor).unwrap();
+        assert_eq!(quiet.refreshed + quiet.feedback_refreshed, 0);
+    }
+
+    /// Feedback enabled but never fed ≡ feedback disabled: identical
+    /// catalog trajectory and tick reports.
+    #[test]
+    fn empty_feedback_channel_changes_nothing() {
+        let run = |feedback: Option<FeedbackConfig>| {
+            let mut db = test_db();
+            let t = db.table_id("employees").unwrap();
+            let queries = workload(&db);
+            let mut monitor = WorkloadMonitor::new(MonitorConfig::default());
+            for q in &queries {
+                monitor.observe(q, 0);
+            }
+            let mut core = LifecycleCore::new(
+                StatsCatalog::new(),
+                AutodConfig {
+                    budget_per_tick: f64::INFINITY,
+                    shrink_every: 0,
+                    feedback,
+                    ..AutodConfig::default()
+                },
+            );
+            let mut reports = vec![core.tick(&db, &mut monitor).unwrap()];
+            for i in 0..900i64 {
+                db.table_mut(t)
+                    .insert(vec![
+                        Value::Int(10_000 + i),
+                        Value::Int(0),
+                        Value::Int(21),
+                        Value::Int(0),
+                    ])
+                    .unwrap();
+            }
+            reports.push(core.tick(&db, &mut monitor).unwrap());
+            (core.catalog().snapshot(), reports)
+        };
+        let (off_catalog, off_reports) = run(None);
+        let (on_catalog, on_reports) = run(Some(FeedbackConfig::default()));
+        assert_eq!(off_catalog, on_catalog);
+        assert_eq!(off_reports, on_reports);
     }
 
     #[test]

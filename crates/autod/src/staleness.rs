@@ -168,4 +168,89 @@ mod tests {
         modify(&mut db, t, 1);
         assert_eq!(tracker.scan(&db, &cat).len(), 1);
     }
+
+    #[test]
+    fn single_row_table_boundary() {
+        let (mut db, t) = db_with(1);
+        let mut cat = StatsCatalog::new();
+        let id = cat
+            .create_statistic(&db, StatDescriptor::single(t, 0))
+            .unwrap();
+        let mut tracker = StalenessTracker::new(MaintenancePolicy::default());
+        // threshold = max(500, 0.2 × 1) = 500, fraction term never NaN.
+        modify(&mut db, t, 500);
+        assert!(tracker.scan(&db, &cat).is_empty());
+        modify(&mut db, t, 1);
+        let stale = tracker.scan(&db, &cat);
+        assert_eq!(stale.len(), 1);
+        assert_eq!(stale[0].stat, id);
+        assert_eq!(stale[0].threshold, 500);
+    }
+
+    #[test]
+    fn table_shrinking_to_zero_rows_mid_epoch_refreshes_cleanly() {
+        let (mut db, t) = db_with(1000);
+        let mut cat = StatsCatalog::new();
+        let id = cat
+            .create_statistic(&db, StatDescriptor::single(t, 0))
+            .unwrap();
+        let mut tracker = StalenessTracker::new(MaintenancePolicy::default());
+        // Deleting every row counts 1000 modifications against a now-empty
+        // table: threshold(0) = 500, so the statistic is stale — and the
+        // math must not divide by the zero row count anywhere.
+        let all: Vec<usize> = (0..1000).collect();
+        db.table_mut(t).delete_rows(all);
+        assert_eq!(db.table(t).row_count(), 0);
+        let stale = tracker.scan(&db, &cat);
+        assert_eq!(stale.len(), 1);
+        assert_eq!(stale[0].mods_since_build, 1000);
+        assert_eq!(stale[0].threshold, 500);
+        // A refresh over the empty table succeeds and restores freshness —
+        // no starvation loop where the statistic stays stale forever.
+        let refreshed = cat.refresh_statistics(&db, t, &[id]);
+        assert_eq!(refreshed.len(), 1);
+        assert!(tracker.scan(&db, &cat).is_empty());
+        let s = cat.statistic(id).unwrap();
+        assert_eq!(s.row_count_at_build, 0);
+        // Estimates on the empty statistic stay finite.
+        assert!(s.histogram.selectivity_lt(&Value::Int(10)).is_finite());
+    }
+
+    #[test]
+    fn feedback_correction_resets_baseline_without_starvation() {
+        let (mut db, t) = db_with(2000);
+        let mut cat = StatsCatalog::new();
+        let id = cat
+            .create_statistic(&db, StatDescriptor::single(t, 0))
+            .unwrap();
+        let mut tracker = StalenessTracker::new(MaintenancePolicy::default());
+        modify(&mut db, t, 600);
+        assert_eq!(tracker.scan(&db, &cat).len(), 1);
+
+        // A feedback correction must count as a refresh for staleness: the
+        // corrected statistic records the current counter as its baseline.
+        let mut store = stats::FeedbackStore::new();
+        let records: Vec<obsv::FeedbackRecord> = (0..6)
+            .map(|i| obsv::FeedbackRecord {
+                fingerprint: 0,
+                table: t.0 as u64,
+                column: 0,
+                lo: 0.0,
+                hi: 10.0 + i as f64,
+                est_rows: 100.0,
+                rows_out: 120.0,
+                input_rows: 2600.0,
+            })
+            .collect();
+        store.ingest(&records);
+        let corrected =
+            cat.feedback_refresh(&db, t, &[id], &mut store, &stats::FeedbackConfig::default());
+        assert_eq!(corrected.len(), 1);
+        // Not stale immediately after the correction (no thrash) ...
+        assert!(tracker.scan(&db, &cat).is_empty());
+        // ... and still eligible for future refreshes once drift resumes
+        // (no starvation: the baseline moved forward, not to infinity).
+        modify(&mut db, t, 700);
+        assert_eq!(tracker.scan(&db, &cat).len(), 1);
+    }
 }

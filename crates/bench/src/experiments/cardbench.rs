@@ -35,15 +35,18 @@
 
 use crate::common::{flag_value, ExperimentScale};
 use autostats::{single_column_candidates, MnsaConfig, MnsaEngine};
-use datagen::{adversarial_queries, build_adversarial, AdversarialConfig, Regime};
-use executor::{execute_plan, execute_plan_traced, predicate::row_matches};
+use datagen::{adversarial_queries, build_adversarial, AdversarialConfig, Regime, FACTS};
+use executor::{execute_plan, execute_plan_observed, execute_plan_traced, predicate::row_matches};
 use obsv::{ArgValue, EventKind};
 use optimizer::{OptimizeOptions, Optimizer};
-use query::{bind_statement, BoundSelect, JoinEdge, PredicateId, Statement};
+use query::{
+    bind_statement, BoundSelect, CmpOp, ColumnRef, Condition, JoinEdge, PredicateId, SelectItem,
+    SelectStmt, Statement, TableRef,
+};
 use rustc_hash::FxHashMap;
-use stats::{BuildOptions, StatsCatalog};
+use stats::{BuildOptions, FeedbackConfig, FeedbackStore, StatDescriptor, StatId, StatsCatalog};
 use std::collections::HashMap;
-use storage::{Database, Value};
+use storage::{Database, TableId, Value};
 
 /// The statistics configurations, in reporting order.
 pub const CATALOGS: [&str; 3] = ["bare", "heuristic", "mnsa"];
@@ -72,15 +75,58 @@ pub struct RegimeResult {
     pub cells: Vec<CatalogCell>,
 }
 
+/// The refresh strategies of the drift regime, in reporting order.
+pub const DRIFT_STRATEGIES: [&str; 3] = ["bare", "scan-refresh", "feedback-refresh"];
+
+/// One refresh strategy's post-drift measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftCell {
+    pub strategy: &'static str,
+    /// Statistics refreshed/corrected after the drift (0 for `bare`).
+    pub refreshed: usize,
+    /// Total statistics work charged by the refresh, in the same
+    /// deterministic units as `build_cost` — the "total build work" axis of
+    /// the comparison.
+    pub refresh_work: f64,
+    /// `(est, actual)` operator pairs pooled into the quantiles.
+    pub operators: usize,
+    pub q_p50: f64,
+    pub q_p90: f64,
+    pub q_p99: f64,
+    pub q_max: f64,
+}
+
+/// The drift regime: build → bulk DML shifting the distribution → re-query,
+/// under three catalog-refresh strategies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftResult {
+    /// Rows appended by the drift DML (all in a previously-unseen key
+    /// range, so stale histograms are out-of-domain for half the data).
+    pub drift_rows: usize,
+    /// Scan-built statistics shared by every strategy before the drift.
+    pub stats_built: usize,
+    pub cells: Vec<DriftCell>,
+}
+
+impl DriftResult {
+    pub fn cell(&self, strategy: &str) -> Option<&DriftCell> {
+        self.cells.iter().find(|c| c.strategy == strategy)
+    }
+}
+
 /// The whole run, as serialized to `BENCH_cardbench.json`.
 #[derive(Debug, Clone)]
 pub struct CardbenchResult {
     pub rows: usize,
     pub queries_per_regime: usize,
     pub seed: u64,
-    /// Whether re-running a regime reproduced its cells bit-identically.
+    /// Whether re-running a regime (and the drift pass) reproduced its
+    /// cells bit-identically.
     pub deterministic: bool,
     pub regimes: Vec<RegimeResult>,
+    /// The statistics-lifecycle regime: post-drift estimation quality vs
+    /// refresh cost for bare / scan-refresh / feedback-refresh catalogs.
+    pub drift: DriftResult,
 }
 
 impl CardbenchResult {
@@ -149,19 +195,38 @@ pub fn run_with_obs(scale: &ExperimentScale, obs: &obsv::Obs) -> CardbenchResult
             result
         })
         .collect();
+    let drift = {
+        let mut span = root.child("cardbench.regime");
+        span.arg("regime", "drift");
+        obs.metrics
+            .counter("cardbench.queries")
+            .add(scale.workload_len as u64);
+        let result = run_drift(&cfg, scale.workload_len);
+        for cell in &result.cells {
+            span.arg(cell.strategy, cell.q_p50);
+        }
+        result
+    };
     // Determinism audit: a regime re-run from the same seed must reproduce
-    // every cell bit-identically (the whole pipeline is seeded and the
-    // executor's work metric is deterministic).
+    // every cell bit-identically (the whole pipeline is seeded, feedback
+    // corrections apply in ingest order, and the executor's work metric is
+    // deterministic).
     let again = {
         let mut span = root.child("cardbench.regime");
         span.arg("regime", "zipf-recheck");
         run_regime(&cfg, Regime::Zipf, scale.workload_len)
     };
+    let drift_again = {
+        let mut span = root.child("cardbench.regime");
+        span.arg("regime", "drift-recheck");
+        run_drift(&cfg, scale.workload_len)
+    };
     let deterministic = regimes
         .iter()
         .find(|r| r.regime == Regime::Zipf.name())
         .map(|r| *r == again)
-        .unwrap_or(false);
+        .unwrap_or(false)
+        && drift == drift_again;
     root.arg("deterministic", deterministic);
     CardbenchResult {
         rows: cfg.rows,
@@ -169,6 +234,7 @@ pub fn run_with_obs(scale: &ExperimentScale, obs: &obsv::Obs) -> CardbenchResult
         seed: cfg.seed,
         deterministic,
         regimes,
+        drift,
     }
 }
 
@@ -304,6 +370,222 @@ fn measure_catalog(
         q_max: q_errors.last().copied().unwrap_or(f64::NAN),
         regret_mean: geomean,
         regret_max: regrets.iter().copied().fold(f64::NAN, f64::max),
+    }
+}
+
+/// The drifting columns of `facts`: the four data columns every strategy
+/// keeps a scan-built statistic on.
+const DRIFT_COLUMNS: [&str; 4] = ["c_a", "c_b", "c_c", "c_d"];
+
+/// Build the shared pre-drift catalog: one scan-built histogram per data
+/// column. Rebuilt per strategy (the catalog is deliberately not `Clone`);
+/// creation is deterministic, so every strategy starts bit-identical.
+fn pre_drift_catalog(db: &Database, table: TableId) -> (StatsCatalog, Vec<StatId>) {
+    let mut catalog = StatsCatalog::new();
+    let ids = DRIFT_COLUMNS
+        .iter()
+        .map(|col| {
+            let c = db
+                .table(table)
+                .schema()
+                .index_of(col)
+                .expect("facts column exists");
+            catalog
+                .create_statistic(db, StatDescriptor::single(table, c))
+                .expect("pre-drift statistic builds")
+        })
+        .collect();
+    (catalog, ids)
+}
+
+/// Append `cfg.rows` rows whose data columns draw from the previously-unseen
+/// range `[domain, 2 × domain)` — the bulk-load / new-partition drift case:
+/// afterwards half of every column's values lie beyond the stale histograms'
+/// key domain. Plain arithmetic (no RNG), so the drift is trivially
+/// deterministic and independent of the generator's seed stream.
+fn apply_drift(db: &mut Database, table: TableId, cfg: &AdversarialConfig) -> usize {
+    let base = db.table(table).row_count();
+    let d = cfg.domain.max(1);
+    let rows: Vec<Vec<Value>> = (0..cfg.rows)
+        .map(|i| {
+            let v = |salt: usize| (d + (i * 7919 + salt * 104_729) % d) as i64;
+            vec![
+                Value::Int((base + i) as i64),
+                Value::Int(v(1)),
+                Value::Int(v(2)),
+                Value::Int(v(3)),
+                Value::Int(v(4)),
+                Value::Float((i % 1000) as f64 / 10.0),
+            ]
+        })
+        .collect();
+    db.table_mut(table)
+        .insert_many(rows)
+        .expect("drift rows insert");
+    cfg.rows
+}
+
+/// The post-drift correction workload: single-predicate range probes per
+/// drifting column, spanning the full (drifted) key domain. Exactly the
+/// query shape the executor's feedback channel records, with enough
+/// observations per column (6 ≥ `min_observations`) to make every statistic
+/// feedback-refreshable, and finite upper bounds so out-of-domain
+/// observations can extend the stale histograms.
+fn drift_probes(cfg: &AdversarialConfig) -> Vec<SelectStmt> {
+    let d = cfg.domain.max(1) as i64;
+    let mut probes = Vec::new();
+    for col in DRIFT_COLUMNS {
+        let column = ColumnRef::new(FACTS, col);
+        let mut conditions: Vec<Condition> = (1..=4)
+            .map(|k| Condition::Compare {
+                column: column.clone(),
+                op: CmpOp::Le,
+                value: Value::Int(2 * d * k / 4),
+            })
+            .collect();
+        conditions.push(Condition::Between {
+            column: column.clone(),
+            low: Value::Int(d),
+            high: Value::Int(2 * d),
+        });
+        conditions.push(Condition::Between {
+            column,
+            low: Value::Int(0),
+            high: Value::Int(d / 2),
+        });
+        probes.extend(conditions.into_iter().map(|c| SelectStmt {
+            items: vec![SelectItem::Star],
+            from: vec![TableRef::new(FACTS)],
+            conditions: vec![c],
+            group_by: Vec::new(),
+            order_by: Vec::new(),
+        }));
+    }
+    probes
+}
+
+fn bind_select(db: &Database, stmt: SelectStmt) -> BoundSelect {
+    match bind_statement(db, &Statement::Select(stmt)).expect("drift query binds") {
+        query::BoundStatement::Select(b) => b,
+        other => panic!("drift workload is SELECT-only, got {other:?}"),
+    }
+}
+
+/// The drift regime: a zipf `facts` table with scan-built statistics, a bulk
+/// DML burst shifting half the data into an unseen key range, then a
+/// post-drift evaluation workload under three refresh strategies:
+///
+/// * `bare` — never refreshes; stale histograms estimate the new range at
+///   the out-of-domain floor.
+/// * `scan-refresh` — rebuilds every statistic with a full scan, paying the
+///   full `build_cost` again.
+/// * `feedback-refresh` — re-runs a probe workload under an enabled
+///   [`obsv::FeedbackLog`] (plans still come from its own stale catalog)
+///   and corrects the histograms from the observed cardinalities at
+///   correction-work prices.
+fn run_drift(cfg: &AdversarialConfig, n_queries: usize) -> DriftResult {
+    let optimizer = Optimizer::default();
+    let mut db = build_adversarial(cfg, Regime::Zipf);
+    let table = db.table_id(FACTS).expect("facts table exists");
+    let (bare_cat, _) = pre_drift_catalog(&db, table);
+    let (mut scan_cat, scan_ids) = pre_drift_catalog(&db, table);
+    let (mut fb_cat, fb_ids) = pre_drift_catalog(&db, table);
+    let stats_built = scan_ids.len();
+
+    let drift_rows = apply_drift(&mut db, table, cfg);
+
+    let scan_refreshed = scan_cat.refresh_statistics(&db, table, &scan_ids);
+    let scan_work: f64 = scan_refreshed.iter().map(|(_, w)| w).sum();
+
+    let probes: Vec<BoundSelect> = drift_probes(cfg)
+        .into_iter()
+        .map(|q| bind_select(&db, q))
+        .collect();
+    let log = obsv::FeedbackLog::enabled();
+    let quiet = obsv::Tracer::disabled();
+    for q in &probes {
+        let plan = optimizer
+            .optimize(&db, q, fb_cat.full_view(), &OptimizeOptions::default())
+            .expect("probe optimization succeeds");
+        execute_plan_observed(&db, q, &plan.plan, &optimizer.params, &quiet, &log)
+            .expect("probe executes");
+    }
+    let mut store = FeedbackStore::new();
+    store.ingest(&log.drain());
+    let corrected =
+        fb_cat.feedback_refresh(&db, table, &fb_ids, &mut store, &FeedbackConfig::default());
+    let fb_work: f64 = corrected.iter().map(|(_, w)| w).sum();
+
+    // The evaluation workload samples its constants from the *drifted*
+    // data, so roughly half the predicates land in the new key range.
+    let eval_cfg = AdversarialConfig {
+        seed: cfg.seed.wrapping_add(0xD1F7),
+        ..cfg.clone()
+    };
+    let eval: Vec<BoundSelect> = adversarial_queries(&db, &eval_cfg, Regime::Zipf, n_queries)
+        .into_iter()
+        .map(|q| bind_select(&db, q))
+        .collect();
+
+    let cells = vec![
+        measure_drift("bare", &db, &bare_cat, 0, 0.0, &eval, &optimizer),
+        measure_drift(
+            "scan-refresh",
+            &db,
+            &scan_cat,
+            scan_refreshed.len(),
+            scan_work,
+            &eval,
+            &optimizer,
+        ),
+        measure_drift(
+            "feedback-refresh",
+            &db,
+            &fb_cat,
+            corrected.len(),
+            fb_work,
+            &eval,
+            &optimizer,
+        ),
+    ];
+    DriftResult {
+        drift_rows,
+        stats_built,
+        cells,
+    }
+}
+
+/// Optimize and execute the evaluation workload under one strategy's
+/// catalog, pooling per-operator q-errors.
+fn measure_drift(
+    strategy: &'static str,
+    db: &Database,
+    catalog: &StatsCatalog,
+    refreshed: usize,
+    refresh_work: f64,
+    eval: &[BoundSelect],
+    optimizer: &Optimizer,
+) -> DriftCell {
+    let mut q_errors: Vec<f64> = Vec::new();
+    for query in eval {
+        let chosen = optimizer
+            .optimize(db, query, catalog.full_view(), &OptimizeOptions::default())
+            .expect("drift optimization succeeds");
+        let tracer = obsv::Tracer::enabled();
+        execute_plan_traced(db, query, &chosen.plan, &optimizer.params, &tracer)
+            .expect("drift plan executes");
+        q_errors.extend(operator_q_errors(&tracer.flush()));
+    }
+    q_errors.sort_by(f64::total_cmp);
+    DriftCell {
+        strategy,
+        refreshed,
+        refresh_work,
+        operators: q_errors.len(),
+        q_p50: quantile(&q_errors, 0.50),
+        q_p90: quantile(&q_errors, 0.90),
+        q_p99: quantile(&q_errors, 0.99),
+        q_max: q_errors.last().copied().unwrap_or(f64::NAN),
     }
 }
 
@@ -502,7 +784,26 @@ impl CardbenchResult {
                 if i + 1 < self.regimes.len() { "," } else { "" }
             ));
         }
-        s.push_str("  ]\n}\n");
+        s.push_str("  ],\n");
+        s.push_str(&format!(
+            "  \"drift\": {{\"drift_rows\": {}, \"stats_built\": {}, \"strategies\": [\n",
+            self.drift.drift_rows, self.drift.stats_built
+        ));
+        for (j, c) in self.drift.cells.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"strategy\": \"{}\", \"refreshed\": {}, \"refresh_work\": {}, \"operators\": {}, \"q_error\": {{\"p50\": {}, \"p90\": {}, \"p99\": {}, \"max\": {}}}}}{}\n",
+                c.strategy,
+                c.refreshed,
+                num(c.refresh_work),
+                c.operators,
+                num(c.q_p50),
+                num(c.q_p90),
+                num(c.q_p99),
+                num(c.q_max),
+                if j + 1 < self.drift.cells.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ]}\n}\n");
         s
     }
 
@@ -540,6 +841,27 @@ impl CardbenchResult {
                     c.regret_max
                 );
             }
+        }
+        println!(
+            "drift: {} rows appended, {} stats per strategy",
+            self.drift.drift_rows, self.drift.stats_built
+        );
+        println!(
+            "{:<18} {:>9} {:>12} {:>5} {:>9} {:>9} {:>9} {:>10}",
+            "strategy", "refreshed", "refresh-work", "ops", "q-p50", "q-p90", "q-p99", "q-max"
+        );
+        for c in &self.drift.cells {
+            println!(
+                "{:<18} {:>9} {:>12.1} {:>5} {:>9.2} {:>9.2} {:>9.2} {:>10.2}",
+                c.strategy,
+                c.refreshed,
+                c.refresh_work,
+                c.operators,
+                c.q_p50,
+                c.q_p90,
+                c.q_p99,
+                c.q_max
+            );
         }
     }
 }
@@ -620,6 +942,49 @@ mod tests {
             );
             assert!(mnsa.stats_built > 0, "{regime}: mnsa built nothing");
         }
+        // The drift regime: feedback correction must be far cheaper than a
+        // scan rebuild while keeping post-drift estimates comparable.
+        let drift = &result.drift;
+        assert_eq!(drift.cells.len(), 3);
+        assert!(drift.drift_rows > 0);
+        for c in &drift.cells {
+            assert!(c.operators > 0, "{}: no operator pairs", c.strategy);
+            assert!(c.q_p50 >= 1.0 && c.q_max.is_finite(), "{}", c.strategy);
+        }
+        let bare = drift.cell("bare").unwrap();
+        let scan = drift.cell("scan-refresh").unwrap();
+        let feedback = drift.cell("feedback-refresh").unwrap();
+        assert_eq!(bare.refreshed, 0);
+        assert_eq!(bare.refresh_work, 0.0);
+        assert_eq!(scan.refreshed, drift.stats_built);
+        assert_eq!(feedback.refreshed, drift.stats_built);
+        assert!(
+            feedback.refresh_work < scan.refresh_work / 10.0,
+            "feedback work {} not well below scan work {}",
+            feedback.refresh_work,
+            scan.refresh_work
+        );
+        // Post-drift estimation: both refresh strategies must clearly beat
+        // the stale catalog at the median, and feedback must stay in the
+        // same band as the full rebuild.
+        assert!(
+            scan.q_p50 < bare.q_p50,
+            "scan refresh did not improve on stale stats: {} vs {}",
+            scan.q_p50,
+            bare.q_p50
+        );
+        assert!(
+            feedback.q_p50 < bare.q_p50,
+            "feedback refresh did not improve on stale stats: {} vs {}",
+            feedback.q_p50,
+            bare.q_p50
+        );
+        assert!(
+            feedback.q_p50 <= scan.q_p50 * 2.0,
+            "feedback p50 {} not comparable to scan p50 {}",
+            feedback.q_p50,
+            scan.q_p50
+        );
         // JSON artifact parses.
         let json = result.to_json();
         obsv::json::parse(&json).expect("BENCH_cardbench.json parses");

@@ -29,6 +29,15 @@ pub enum OnlineEvent {
         table: TableId,
         work: f64,
     },
+    /// A stale statistic was corrected in place from execution feedback
+    /// instead of a scan rebuild (the cheap refresh path).
+    FeedbackRefresh {
+        tick: u64,
+        stat: StatId,
+        table: TableId,
+        work: f64,
+        observations: usize,
+    },
     /// The workload monitor evicted a query template from its reservoir.
     MonitorEvict { tick: u64, fingerprint: u64 },
     /// A tick ran out of work-token budget with tuning still pending.
@@ -165,6 +174,17 @@ impl SessionReport {
                         out,
                         "  tick {tick:>4} refresh {stat} on {table} (work {work:.2})"
                     ),
+                    OnlineEvent::FeedbackRefresh {
+                        tick,
+                        stat,
+                        table,
+                        work,
+                        observations,
+                    } => writeln!(
+                        out,
+                        "  tick {tick:>4} feedback-refresh {stat} on {table} \
+                         ({observations} observations, work {work:.2})"
+                    ),
                     OnlineEvent::MonitorEvict { tick, fingerprint } => {
                         writeln!(out, "  tick {tick:>4} evict template {fingerprint:016x}")
                     }
@@ -251,6 +271,21 @@ impl SessionReport {
                         stat.0,
                         table.0,
                         num(*work)
+                    ),
+                    OnlineEvent::FeedbackRefresh {
+                        tick,
+                        stat,
+                        table,
+                        work,
+                        observations,
+                    } => format!(
+                        "    {{\"event\": \"feedback_refresh\", \"tick\": {}, \"stat\": {}, \
+                         \"table\": {}, \"work\": {}, \"observations\": {}}}",
+                        tick,
+                        stat.0,
+                        table.0,
+                        num(*work),
+                        observations
                     ),
                     OnlineEvent::MonitorEvict { tick, fingerprint } => format!(
                         "    {{\"event\": \"monitor_evict\", \"tick\": {tick}, \

@@ -70,7 +70,9 @@ pub use error::TuneError;
 pub use faults::{Fault, FaultPlan};
 pub use journal::{OnlineEvent, QueryRecord, SessionReport};
 pub use manager::{AutoStatsManager, ManagerConfig, ManagerError, ServeParts};
-pub use mnsa::{CandidateMode, MnsaConfig, MnsaEngine, MnsaOutcome, NextStatOrder, Termination};
+pub use mnsa::{
+    CandidateMode, FeedbackSource, MnsaConfig, MnsaEngine, MnsaOutcome, NextStatOrder, Termination,
+};
 pub use online::{OnlineStep, OnlineTuner};
 pub use parallel::ParallelTuner;
 pub use policy::{CreationPolicy, OfflineTuner, TuningReport};

@@ -27,7 +27,10 @@ pub mod tpcd_queries;
 pub mod workload_io;
 pub mod zipf;
 
-pub use adversarial::{adversarial_queries, build_adversarial, AdversarialConfig, Regime};
+pub use adversarial::{
+    adversarial_queries, build_adversarial, dim_name, AdversarialConfig, Regime, FACT, FACTS,
+    SUBDIM,
+};
 pub use rags::{Complexity, RagsGenerator, WorkloadSpec};
 pub use tpcd::{build_tpcd, create_tuned_indexes, standard_databases, TpcdConfig, ZipfSpec};
 pub use tpcd_queries::tpcd_benchmark_queries;

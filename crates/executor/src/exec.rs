@@ -32,10 +32,10 @@
 use crate::error::ExecError;
 use crate::predicate::{filter_table_columnar, CompiledPred};
 use optimizer::{CostParams, Operator, PlanNode};
-use query::{AggFunc, BoundColumn, BoundSelect, Projection, SelectionPredicate};
+use query::{AggFunc, BoundColumn, BoundSelect, CmpOp, PredOp, Projection, SelectionPredicate};
 use rustc_hash::{FxHashMap, FxHasher};
 use std::hash::{Hash, Hasher};
-use storage::{ColumnData, Database, Value};
+use storage::{ColumnData, Database, TableId, Value};
 
 /// The result of executing one query plan.
 #[derive(Debug, Clone)]
@@ -229,6 +229,46 @@ struct Interp<'a> {
     query: &'a BoundSelect,
     params: &'a CostParams,
     work: f64,
+    /// Execution-feedback channel: scans with a single supported predicate
+    /// report (template, est, actual) records here. Disabled by default —
+    /// one branch per scan, and never any effect on rows or work.
+    feedback: &'a obsv::FeedbackLog,
+}
+
+/// The numeric key of a literal, for feedback ranges. Strings are excluded:
+/// their histogram keys depend on a stored common prefix the executor cannot
+/// know, so a raw `numeric_key` would not align with the histogram domain.
+fn feedback_key(v: &Value) -> Option<f64> {
+    match v {
+        Value::Int(_) | Value::Float(_) => {
+            let k = v.numeric_key();
+            k.is_finite().then_some(k)
+        }
+        _ => None,
+    }
+}
+
+/// The inclusive numeric-key range a predicate selects, plus a stable
+/// operator-class byte for template fingerprinting. `None` for predicates
+/// feedback cannot describe as one interval (Ne, string literals).
+fn feedback_range(op: &PredOp) -> Option<(f64, f64, u8)> {
+    match op {
+        PredOp::Cmp(CmpOp::Eq, v) => {
+            let k = feedback_key(v)?;
+            Some((k, k, 0))
+        }
+        PredOp::Cmp(CmpOp::Lt, v) | PredOp::Cmp(CmpOp::Le, v) => {
+            Some((f64::NEG_INFINITY, feedback_key(v)?, 2))
+        }
+        PredOp::Cmp(CmpOp::Gt, v) | PredOp::Cmp(CmpOp::Ge, v) => {
+            Some((feedback_key(v)?, f64::INFINITY, 2))
+        }
+        PredOp::Cmp(CmpOp::Ne, _) => None,
+        PredOp::Between(a, b) => {
+            let (ka, kb) = (feedback_key(a)?, feedback_key(b)?);
+            (ka <= kb).then_some((ka, kb, 3))
+        }
+    }
 }
 
 impl<'a> Interp<'a> {
@@ -276,6 +316,38 @@ impl<'a> Interp<'a> {
             .collect()
     }
 
+    /// Report one scan's observed cardinality to the feedback log, when the
+    /// scan is a clean feedback template: exactly one predicate, describable
+    /// as a single numeric-key interval. Anything else is skipped — partial
+    /// feedback on a conjunction would mis-attribute the filtering.
+    fn record_scan_feedback(
+        &self,
+        node: &PlanNode,
+        table: TableId,
+        preds: &[&SelectionPredicate],
+        rows_out: usize,
+        input_rows: usize,
+    ) {
+        if !self.feedback.is_enabled() || preds.len() != 1 {
+            return;
+        }
+        let Some(&pred) = preds.first() else { return };
+        let Some((lo, hi, op_class)) = feedback_range(&pred.op) else {
+            return;
+        };
+        let (table_raw, column) = (table.0 as u64, pred.column.column as u32);
+        self.feedback.push(obsv::FeedbackRecord {
+            fingerprint: obsv::template_fingerprint(table_raw, column, op_class),
+            table: table_raw,
+            column,
+            lo,
+            hi,
+            est_rows: node.est_rows,
+            rows_out: rows_out as f64,
+            input_rows: input_rows as f64,
+        });
+    }
+
     fn edge(&self, e: usize) -> Result<&'a query::JoinEdge, ExecError> {
         self.query
             .join_edges
@@ -315,6 +387,7 @@ impl<'a> Interp<'a> {
                 self.work += self.params.seq_scan(t.row_count() as f64);
                 let pred_refs = self.selections(preds)?;
                 let rows = filter_table_columnar(t, &pred_refs);
+                self.record_scan_feedback(node, *table, &pred_refs, rows.len(), t.row_count());
                 Ok(Intermediate {
                     rels: vec![*rel],
                     data: rows,
@@ -342,6 +415,9 @@ impl<'a> Interp<'a> {
                         .collect();
                     rows.retain(|&r| compiled.iter().all(|p| p.matches(r)));
                 }
+                let all_refs: Vec<&SelectionPredicate> =
+                    seek_refs.iter().chain(&residual_refs).copied().collect();
+                self.record_scan_feedback(node, *table, &all_refs, rows.len(), t.row_count());
                 Ok(Intermediate {
                     rels: vec![*rel],
                     data: rows,
@@ -634,8 +710,30 @@ pub fn execute_plan_traced(
     params: &CostParams,
     tracer: &obsv::Tracer,
 ) -> Result<ExecOutput, ExecError> {
+    execute_plan_observed(
+        db,
+        query,
+        plan,
+        params,
+        tracer,
+        &obsv::FeedbackLog::disabled(),
+    )
+}
+
+/// [`execute_plan_traced`] with an execution-feedback channel: scans with a
+/// single supported predicate additionally push (predicate template,
+/// est_rows, rows_out) records into `feedback`. Rows and work stay
+/// bit-identical to the unobserved call — the log is write-only here.
+pub fn execute_plan_observed(
+    db: &Database,
+    query: &BoundSelect,
+    plan: &PlanNode,
+    params: &CostParams,
+    tracer: &obsv::Tracer,
+    feedback: &obsv::FeedbackLog,
+) -> Result<ExecOutput, ExecError> {
     let mut span = tracer.span("exec.query");
-    let out = execute_impl(db, query, plan, params, &span)?;
+    let out = execute_impl(db, query, plan, params, &span, feedback)?;
     span.arg("rows_out", out.rows.len());
     span.arg("work", out.work);
     Ok(out)
@@ -647,12 +745,14 @@ fn execute_impl(
     plan: &PlanNode,
     params: &CostParams,
     span: &obsv::SpanGuard,
+    feedback: &obsv::FeedbackLog,
 ) -> Result<ExecOutput, ExecError> {
     let mut interp = Interp {
         db,
         query,
         params,
         work: 0.0,
+        feedback,
     };
 
     // Aggregation and final ordering execute at this level, not in
@@ -1025,6 +1125,125 @@ mod tests {
                 end.args
             );
         }
+    }
+
+    #[test]
+    fn wrapper_span_chains_differential_against_reference() {
+        // Audit of the wrapper-peeling path: for every top-level wrapper
+        // chain the planner can emit (Sort over HashAggregate, each alone,
+        // neither), the traced execution must (a) stay bit-identical to the
+        // row-at-a-time reference in rows and work, and (b) stamp each
+        // wrapper span with its *post*-operator cardinality — the final
+        // output count, never the pre-aggregation input count.
+        let db = setup();
+        let cases: [(&str, bool, bool); 4] = [
+            (
+                "SELECT deptid, COUNT(*) FROM emp GROUP BY deptid",
+                false,
+                true,
+            ),
+            (
+                "SELECT deptid, COUNT(*) FROM emp WHERE empid < 37 \
+                 GROUP BY deptid ORDER BY deptid DESC",
+                true,
+                true,
+            ),
+            (
+                "SELECT * FROM emp WHERE deptid = 2 ORDER BY salary",
+                true,
+                false,
+            ),
+            ("SELECT * FROM emp WHERE empid < 12", false, false),
+        ];
+        let cat = StatsCatalog::new();
+        let opt = Optimizer::default();
+        for (sql, want_sort, want_agg) in cases {
+            let q = bind(&db, sql);
+            let r = opt
+                .optimize(&db, &q, cat.full_view(), &OptimizeOptions::default())
+                .unwrap();
+            let reference = execute_plan_reference(&db, &q, &r.plan, &opt.params).unwrap();
+            let tracer = obsv::Tracer::enabled();
+            let traced = execute_plan_traced(&db, &q, &r.plan, &opt.params, &tracer).unwrap();
+            assert_eq!(traced.rows, reference.rows, "rows diverge on {sql}");
+            assert_eq!(
+                traced.work.to_bits(),
+                reference.work.to_bits(),
+                "work diverges on {sql}"
+            );
+            let events = tracer.flush();
+            assert!(obsv::trace::validate(&events).is_empty(), "{sql}");
+            for (name, wanted) in [
+                ("exec.op.Sort", want_sort),
+                ("exec.op.HashAggregate", want_agg),
+            ] {
+                let end = events
+                    .iter()
+                    .find(|e| e.kind == obsv::EventKind::End && e.name == name);
+                assert_eq!(end.is_some(), wanted, "{sql}: span {name}");
+                if let Some(end) = end {
+                    let expected = obsv::ArgValue::Int(traced.row_count() as i64);
+                    assert!(
+                        end.args
+                            .iter()
+                            .any(|(k, v)| *k == "rows_out" && *v == expected),
+                        "{sql}: {name} must report the post-operator count \
+                         {}: {:?}",
+                        traced.row_count(),
+                        end.args
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn feedback_log_captures_single_predicate_scans() {
+        let db = setup();
+        let opt = Optimizer::default();
+        let cat = StatsCatalog::new();
+        let run_observed = |sql: &str, log: &obsv::FeedbackLog| {
+            let q = bind(&db, sql);
+            let r = opt
+                .optimize(&db, &q, cat.full_view(), &OptimizeOptions::default())
+                .unwrap();
+            let plain = execute_plan(&db, &q, &r.plan, &opt.params).unwrap();
+            let observed = execute_plan_observed(
+                &db,
+                &q,
+                &r.plan,
+                &opt.params,
+                &obsv::Tracer::disabled(),
+                log,
+            )
+            .unwrap();
+            // The write-only channel may never perturb execution.
+            assert_eq!(plain.rows, observed.rows);
+            assert_eq!(plain.work.to_bits(), observed.work.to_bits());
+            observed
+        };
+
+        let log = obsv::FeedbackLog::enabled();
+        run_observed("SELECT * FROM emp WHERE empid < 10", &log);
+        let records = log.drain();
+        assert_eq!(records.len(), 1, "one single-predicate scan, one record");
+        let r = records[0];
+        assert_eq!(r.column, 0);
+        assert_eq!(r.rows_out, 10.0);
+        assert_eq!(r.input_rows, 100.0);
+        assert_eq!(r.lo, f64::NEG_INFINITY);
+        assert_eq!(r.hi, 10.0);
+        assert!(r.est_rows > 0.0);
+
+        // Conjunctions and string literals are not clean templates: skipped.
+        run_observed("SELECT * FROM emp WHERE empid < 10 AND deptid = 3", &log);
+        run_observed("SELECT * FROM dept WHERE dname = 'd2'", &log);
+        assert!(log.is_empty(), "unsupported scans must record nothing");
+
+        // A disabled log costs one branch and stays empty.
+        let disabled = obsv::FeedbackLog::disabled();
+        run_observed("SELECT * FROM emp WHERE empid = 7", &disabled);
+        assert!(disabled.is_empty());
     }
 
     #[test]

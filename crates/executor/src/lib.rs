@@ -23,8 +23,9 @@ pub mod reference;
 pub mod runner;
 
 pub use error::ExecError;
-pub use exec::{execute_plan, execute_plan_traced, ExecOutput};
+pub use exec::{execute_plan, execute_plan_observed, execute_plan_traced, ExecOutput};
 pub use reference::execute_plan_reference;
 pub use runner::{
-    run_statement, run_statement_traced, StatementOutcome, WorkloadReport, WorkloadRunner,
+    run_statement, run_statement_observed, run_statement_traced, StatementOutcome, WorkloadReport,
+    WorkloadRunner,
 };

@@ -7,7 +7,7 @@
 //! "execution cost of the workload" metric.
 
 use crate::error::ExecError;
-use crate::exec::{execute_plan_traced, ExecOutput};
+use crate::exec::{execute_plan_observed, ExecOutput};
 use crate::predicate::filter_table_columnar;
 use optimizer::{OptimizeOptions, Optimizer};
 use query::{BoundDelete, BoundInsert, BoundStatement, BoundUpdate};
@@ -106,10 +106,32 @@ pub fn run_statement_traced(
     stmt: &BoundStatement,
     tracer: &obsv::Tracer,
 ) -> Result<StatementOutcome, ExecError> {
+    run_statement_observed(
+        db,
+        stats,
+        optimizer,
+        stmt,
+        tracer,
+        &obsv::FeedbackLog::disabled(),
+    )
+}
+
+/// [`run_statement_traced`] with a cardinality-feedback channel: SELECT scans
+/// additionally record (estimate, observed) pairs into `feedback` when it is
+/// enabled. With a disabled log this is bit-identical to the traced call.
+pub fn run_statement_observed(
+    db: &mut Database,
+    stats: StatsView<'_>,
+    optimizer: &Optimizer,
+    stmt: &BoundStatement,
+    tracer: &obsv::Tracer,
+    feedback: &obsv::FeedbackLog,
+) -> Result<StatementOutcome, ExecError> {
     match stmt {
         BoundStatement::Select(q) => {
             let optimized = optimizer.optimize(db, q, stats, &OptimizeOptions::default())?;
-            let output = execute_plan_traced(db, q, &optimized.plan, &optimizer.params, tracer)?;
+            let output =
+                execute_plan_observed(db, q, &optimized.plan, &optimizer.params, tracer, feedback)?;
             Ok(StatementOutcome::Query {
                 output,
                 estimated_cost: optimized.cost,
@@ -156,6 +178,10 @@ pub struct WorkloadRunner {
     /// Disabled by default; set to a live tracer to get per-statement
     /// `exec.query` / `exec.dml` span trees. Purely observational.
     pub tracer: obsv::Tracer,
+    /// Disabled by default; set to an enabled log to capture per-scan
+    /// cardinality feedback records. Purely observational: results and
+    /// metered work are bit-identical either way.
+    pub feedback: obsv::FeedbackLog,
 }
 
 impl WorkloadRunner {
@@ -171,7 +197,14 @@ impl WorkloadRunner {
     ) -> Result<WorkloadReport, ExecError> {
         let mut report = WorkloadReport::default();
         for stmt in workload {
-            let outcome = run_statement_traced(db, stats, &self.optimizer, stmt, &self.tracer)?;
+            let outcome = run_statement_observed(
+                db,
+                stats,
+                &self.optimizer,
+                stmt,
+                &self.tracer,
+                &self.feedback,
+            )?;
             let w = outcome.work();
             report.per_statement.push(w);
             report.total_work += w;
@@ -275,6 +308,73 @@ mod tests {
         assert_eq!(report.queries, 2);
         assert_eq!(report.dml_statements, 1);
         assert!((report.total_work - report.per_statement.iter().sum::<f64>()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn traced_dml_reports_post_operator_rows_and_matches_untraced() {
+        // Audit of the UPDATE/DELETE paths: the `exec.dml` span must carry
+        // the rows the statement actually affected (post-operator, after the
+        // filter and the mutation), and tracing may not perturb the
+        // mutation — same outcome, work, and final table state as the
+        // untraced path, including the zero-match edge.
+        let base = setup();
+        let cases: [(&str, usize); 4] = [
+            ("UPDATE t SET b = 9 WHERE a >= 40", 10),
+            ("DELETE FROM t WHERE b = 1", 10),
+            ("UPDATE t SET b = 7 WHERE a < 0", 0),
+            ("DELETE FROM t WHERE a >= 999", 0),
+        ];
+        let cat = StatsCatalog::new();
+        let opt = Optimizer::default();
+        let t = base.table_id("t").unwrap();
+        for (sql, expected) in cases {
+            let stmt = bound(&base, sql);
+            let mut db_plain = base.clone();
+            let mut db_traced = base.clone();
+            let plain = run_statement(&mut db_plain, cat.full_view(), &opt, &stmt).unwrap();
+            let tracer = obsv::Tracer::enabled();
+            let traced =
+                run_statement_traced(&mut db_traced, cat.full_view(), &opt, &stmt, &tracer)
+                    .unwrap();
+            let (
+                StatementOutcome::Dml {
+                    rows_affected: n_plain,
+                    work: w_plain,
+                },
+                StatementOutcome::Dml {
+                    rows_affected: n_traced,
+                    work: w_traced,
+                },
+            ) = (plain, traced)
+            else {
+                panic!("{sql}: expected DML outcomes");
+            };
+            assert_eq!(n_plain, expected, "{sql}");
+            assert_eq!(n_plain, n_traced, "{sql}: tracing changed the outcome");
+            assert_eq!(w_plain.to_bits(), w_traced.to_bits(), "{sql}");
+            let (a, b) = (db_plain.table(t), db_traced.table(t));
+            assert_eq!(a.row_count(), b.row_count(), "{sql}");
+            for r in 0..a.row_count() {
+                for c in 0..a.schema().len() {
+                    assert_eq!(a.value(r, c), b.value(r, c), "{sql} r{r} c{c}");
+                }
+            }
+            assert_eq!(a.modification_counter(), b.modification_counter());
+            let events = tracer.flush();
+            assert!(obsv::trace::validate(&events).is_empty());
+            let end = events
+                .iter()
+                .find(|e| e.kind == obsv::EventKind::End && e.name == "exec.dml")
+                .expect("exec.dml span present");
+            assert!(
+                end.args
+                    .iter()
+                    .any(|(k, v)| *k == "rows_affected"
+                        && *v == obsv::ArgValue::Int(expected as i64)),
+                "{sql}: span must report the post-operator count {expected}: {:?}",
+                end.args
+            );
+        }
     }
 
     #[test]

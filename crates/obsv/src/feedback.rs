@@ -1,0 +1,175 @@
+//! Execution-feedback channel: observed cardinalities per predicate
+//! template.
+//!
+//! The executor knows, for every scan it runs, both the optimizer's estimate
+//! (`est_rows`) and the truth (`rows_out`). A [`FeedbackLog`] is the typed
+//! side channel that carries those pairs — together with the predicate's
+//! numeric-key range — out of the executor and into the statistics layer,
+//! where `stats::feedback` corrects self-tuning histograms from them.
+//!
+//! Same cost contract as the rest of this crate: a disabled log costs one
+//! branch per call site (no allocation, no lock), and enabling it may never
+//! change an execution result. Records use plain scalars only — this crate
+//! knows nothing about tables or values; producers key records by the raw
+//! table id and column ordinal, and ranges by the workspace-wide
+//! `numeric_key` projection.
+
+use std::sync::{Arc, Mutex};
+
+/// One observed (predicate template, estimate, truth) triple from a scan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FeedbackRecord {
+    /// Fingerprint of the predicate template (table, column, operator
+    /// class) — stable across literal values, so repeated parameterized
+    /// queries pool into one template.
+    pub fingerprint: u64,
+    /// Raw table id of the scanned table.
+    pub table: u64,
+    /// Column ordinal the predicate filters on.
+    pub column: u32,
+    /// Numeric-key range the predicate selects, inclusive on both ends
+    /// (equality probes have `lo == hi`; open ranges use ±infinity).
+    pub lo: f64,
+    pub hi: f64,
+    /// The optimizer's row estimate for the scan output.
+    pub est_rows: f64,
+    /// The observed scan output cardinality.
+    pub rows_out: f64,
+    /// Rows the scan read (the table's live row count), so consumers can
+    /// turn `rows_out` into a selectivity fraction.
+    pub input_rows: f64,
+}
+
+/// A shared, optionally-enabled buffer of [`FeedbackRecord`]s.
+///
+/// Clones share one buffer (the executor and its consumer hold clones of the
+/// same log). The default/`disabled` log holds no buffer: `push` is a single
+/// branch and `drain` returns nothing.
+#[derive(Debug, Clone, Default)]
+pub struct FeedbackLog {
+    buffer: Option<Arc<Mutex<Vec<FeedbackRecord>>>>,
+}
+
+impl FeedbackLog {
+    /// A log that drops everything at one branch per push.
+    pub fn disabled() -> FeedbackLog {
+        FeedbackLog::default()
+    }
+
+    /// A live log with a fresh shared buffer.
+    pub fn enabled() -> FeedbackLog {
+        FeedbackLog {
+            buffer: Some(Arc::new(Mutex::new(Vec::new()))),
+        }
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.buffer.is_some()
+    }
+
+    /// Append one record (no-op when disabled). Records are kept in push
+    /// order; consumers rely on that order for deterministic correction.
+    pub fn push(&self, record: FeedbackRecord) {
+        if let Some(buffer) = &self.buffer {
+            if let Ok(mut buf) = buffer.lock() {
+                buf.push(record);
+            }
+        }
+    }
+
+    /// Take every buffered record, leaving the log empty (and still
+    /// enabled). Disabled logs return an empty vec.
+    pub fn drain(&self) -> Vec<FeedbackRecord> {
+        match &self.buffer {
+            Some(buffer) => match buffer.lock() {
+                Ok(mut buf) => std::mem::take(&mut *buf),
+                Err(_) => Vec::new(),
+            },
+            None => Vec::new(),
+        }
+    }
+
+    /// Number of buffered records (0 when disabled).
+    pub fn len(&self) -> usize {
+        match &self.buffer {
+            Some(buffer) => buffer.lock().map(|b| b.len()).unwrap_or(0),
+            None => 0,
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// FNV-1a over the fields that define a predicate template. Kept here so
+/// every producer fingerprints identically.
+pub fn template_fingerprint(table: u64, column: u32, op_class: u8) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for byte in table
+        .to_le_bytes()
+        .into_iter()
+        .chain(column.to_le_bytes())
+        .chain([op_class])
+    {
+        h ^= u64::from(byte);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(rows_out: f64) -> FeedbackRecord {
+        FeedbackRecord {
+            fingerprint: template_fingerprint(1, 2, 0),
+            table: 1,
+            column: 2,
+            lo: 10.0,
+            hi: 20.0,
+            est_rows: 5.0,
+            rows_out,
+            input_rows: 100.0,
+        }
+    }
+
+    #[test]
+    fn disabled_log_is_inert() {
+        let log = FeedbackLog::disabled();
+        assert!(!log.is_enabled());
+        log.push(record(7.0));
+        assert!(log.is_empty());
+        assert!(log.drain().is_empty());
+    }
+
+    #[test]
+    fn enabled_log_buffers_in_order_and_shares_across_clones() {
+        let log = FeedbackLog::enabled();
+        let writer = log.clone();
+        writer.push(record(1.0));
+        writer.push(record(2.0));
+        assert_eq!(log.len(), 2);
+        let drained = log.drain();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(drained[0].rows_out, 1.0);
+        assert_eq!(drained[1].rows_out, 2.0);
+        // Drain empties but keeps the log live.
+        assert!(log.is_empty());
+        assert!(log.is_enabled());
+        writer.push(record(3.0));
+        assert_eq!(log.len(), 1);
+    }
+
+    #[test]
+    fn fingerprints_distinguish_templates() {
+        let a = template_fingerprint(1, 2, 0);
+        assert_eq!(a, template_fingerprint(1, 2, 0));
+        assert_ne!(a, template_fingerprint(1, 2, 1));
+        assert_ne!(a, template_fingerprint(1, 3, 0));
+        assert_ne!(a, template_fingerprint(2, 2, 0));
+    }
+}

@@ -20,12 +20,14 @@
 
 pub mod check;
 pub mod export;
+pub mod feedback;
 pub mod json;
 pub mod metrics;
 pub mod trace;
 
 use std::sync::Arc;
 
+pub use feedback::{template_fingerprint, FeedbackLog, FeedbackRecord};
 pub use metrics::{Counter, FloatCounter, Gauge, Histogram, MetricValue, Registry, Snapshot};
 pub use trace::{ArgValue, Event, EventKind, SpanGuard, TraceDefect, Tracer};
 

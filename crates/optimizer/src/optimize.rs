@@ -573,6 +573,45 @@ mod tests {
     }
 
     #[test]
+    fn stale_statistics_floor_out_of_domain_plan_estimates() {
+        // Regression (plan level): a histogram built before a bulk append
+        // used to estimate exactly zero selectivity for predicates beyond
+        // its key domain, zeroing `est_rows` for the whole plan and letting
+        // the optimizer treat the scan as free. With the out-of-domain
+        // floor, probes into the appended region keep a non-degenerate
+        // estimate: positive, finite, and carrying real plan cost.
+        let (mut db, mut cat) = setup();
+        let emp = db.table_id("emp").unwrap();
+        cat.create_statistic(&db, StatDescriptor::single(emp, 0))
+            .unwrap(); // empid, domain [0, 999] at build time
+        for i in 1000..1400i64 {
+            db.table_mut(emp)
+                .insert(vec![
+                    Value::Int(i),
+                    Value::Int(i % 10),
+                    Value::Int(i % 30),
+                    Value::Float(0.0),
+                ])
+                .unwrap();
+        }
+        for sql in [
+            "SELECT * FROM emp WHERE empid = 1200",
+            "SELECT * FROM emp WHERE empid > 1100",
+            "SELECT * FROM emp WHERE empid BETWEEN 1050 AND 1350",
+        ] {
+            let r = optimize(&db, &cat, sql);
+            assert!(
+                r.plan.est_rows > 0.0 && r.plan.est_rows.is_finite(),
+                "{sql}: degenerate estimate {}",
+                r.plan.est_rows
+            );
+            assert!(r.cost > 0.0, "{sql}: free plan");
+            // The stale statistic still answers — no magic-number fallback.
+            assert!(r.magic_variables.is_empty(), "{sql}");
+        }
+    }
+
+    #[test]
     fn statistics_remove_magic_variables() {
         let (db, mut cat) = setup();
         let emp = db.table_id("emp").unwrap();

@@ -3,6 +3,7 @@
 
 use crate::cost::CostModel;
 use crate::error::StatsError;
+use crate::feedback::{build_from_feedback, correct_histogram, FeedbackConfig, FeedbackStore};
 use crate::sampler::SampleSpec;
 use crate::statistic::{
     build_statistic, BuildOptions, SharedTableScan, StatDescriptor, StatId, Statistic,
@@ -126,6 +127,9 @@ struct CatalogObs {
     builds: obsv::Counter,
     shared_builds: obsv::Counter,
     build_work: obsv::FloatCounter,
+    feedback_refreshes: obsv::Counter,
+    feedback_builds: obsv::Counter,
+    feedback_work: obsv::FloatCounter,
 }
 
 /// Weakly-held observer registry. Weak references keep the catalog from
@@ -207,6 +211,9 @@ impl StatsCatalog {
             builds: obs.metrics.counter("stats.builds"),
             shared_builds: obs.metrics.counter("stats.shared_scan_builds"),
             build_work: obs.metrics.float_counter("stats.build_work"),
+            feedback_refreshes: obs.metrics.counter("stats.feedback.refreshes"),
+            feedback_builds: obs.metrics.counter("stats.feedback.builds"),
+            feedback_work: obs.metrics.float_counter("stats.feedback.work"),
         };
     }
 
@@ -579,6 +586,173 @@ impl StatsCatalog {
         }
         self.observers.notify_table(table);
         refreshed
+    }
+
+    /// True when `id` is a built statistic that could be refreshed from
+    /// feedback instead of a scan: single-column, numeric histogram with at
+    /// least one bucket, and `store` holds at least
+    /// `config.min_observations` observations for its (table, column).
+    pub fn feedback_refreshable(
+        &self,
+        id: StatId,
+        store: &FeedbackStore,
+        config: &FeedbackConfig,
+    ) -> bool {
+        let Some(s) = self.stats.get(&id) else {
+            return false;
+        };
+        !s.descriptor.is_multi_column()
+            && crate::feedback::correctable(&s.histogram)
+            && store.count(
+                s.descriptor.table.0 as u64,
+                s.descriptor.leading_column() as u32,
+            ) >= config.min_observations
+    }
+
+    /// Feedback-correct the given built statistics on `table` in place —
+    /// the STGrid-style cheap refresh path. Instead of re-scanning the
+    /// table, each statistic's histogram is corrected from the observed
+    /// cardinalities accumulated in `store` (which are consumed). The
+    /// corrected statistic records the table's current modification counter
+    /// as its new staleness baseline, exactly like a scan refresh, but the
+    /// work charged to the update meter is the tiny correction work (bucket
+    /// touches), not a table scan.
+    ///
+    /// Ids that are not feedback-refreshable (see
+    /// [`StatsCatalog::feedback_refreshable`]) or whose observations fail to
+    /// apply are silently skipped — callers fall back to
+    /// [`StatsCatalog::refresh_statistics`] for those.
+    ///
+    /// Returns `(id, work)` per corrected statistic, in the order given.
+    pub fn feedback_refresh(
+        &mut self,
+        db: &Database,
+        table: TableId,
+        ids: &[StatId],
+        store: &mut FeedbackStore,
+        config: &FeedbackConfig,
+    ) -> Vec<(StatId, f64)> {
+        let Ok(t) = db.try_table(table) else {
+            return Vec::new();
+        };
+        let mut refreshed = Vec::new();
+        for &id in ids {
+            if !self.feedback_refreshable(id, store, config) {
+                continue;
+            }
+            let Some(s) = self.stats.get(&id) else {
+                continue;
+            };
+            if s.descriptor.table != table {
+                continue;
+            }
+            let column = s.descriptor.leading_column() as u32;
+            let observations = store.take(table.0 as u64, column);
+            let Some(s) = self.stats.get_mut(&id) else {
+                continue;
+            };
+            let mut span = self.obs.tracer.span("stats.feedback_refresh");
+            span.arg("table", table.0 as u64);
+            span.arg("stat", id.0 as u64);
+            span.arg("observations", observations.len());
+            let outcome = correct_histogram(&mut s.histogram, &observations, config);
+            span.arg("applied", outcome.applied);
+            span.arg("work", outcome.work);
+            drop(span);
+            if outcome.applied == 0 {
+                continue;
+            }
+            s.update_count += 1;
+            s.mods_at_build = t.modification_counter();
+            s.row_count_at_build = t.row_count();
+            self.update_work += outcome.work;
+            self.obs.feedback_refreshes.inc();
+            self.obs.feedback_work.add(outcome.work);
+            refreshed.push((id, outcome.work));
+        }
+        if !refreshed.is_empty() {
+            self.observers.notify_table(table);
+        }
+        refreshed
+    }
+
+    /// Create a single-column statistic synthesized purely from feedback
+    /// observations — no table scan at all. Used when `FindNextStatToBuild`
+    /// selects a candidate whose (table, column) already has enough observed
+    /// cardinalities: the build cost is the correction work, which is orders
+    /// of magnitude below a scan build.
+    ///
+    /// Returns `Ok(None)` when the store lacks `config.min_observations`
+    /// observations for the column or no usable histogram can be seeded from
+    /// them (the caller should fall back to a scan build). Like
+    /// [`StatsCatalog::create_statistic`], an existing statistic with this
+    /// descriptor is reused/reactivated for free.
+    pub fn create_statistic_from_feedback(
+        &mut self,
+        db: &Database,
+        descriptor: StatDescriptor,
+        store: &mut FeedbackStore,
+        config: &FeedbackConfig,
+    ) -> Result<Option<StatId>, StatsError> {
+        let table = db.try_table(descriptor.table)?;
+        if descriptor.columns.is_empty() {
+            return Err(StatsError::EmptyColumnSet);
+        }
+        if let Some(&c) = descriptor
+            .columns
+            .iter()
+            .find(|&&c| c >= table.schema().len())
+        {
+            return Err(StatsError::UnknownColumn {
+                table: table.name().to_string(),
+                column: c,
+            });
+        }
+        if let Some(&id) = self.by_descriptor.get(&descriptor) {
+            if self.drop_list.remove(&id) {
+                self.observers.notify_table(descriptor.table);
+            }
+            return Ok(Some(id));
+        }
+        if descriptor.is_multi_column() {
+            return Ok(None); // density prefixes need a real scan
+        }
+        let column = descriptor.leading_column() as u32;
+        if store.count(descriptor.table.0 as u64, column) < config.min_observations {
+            return Ok(None);
+        }
+        let observations = store.take(descriptor.table.0 as u64, column);
+        let Some((histogram, outcome)) = build_from_feedback(&observations, config) else {
+            return Ok(None);
+        };
+        let id = StatId(self.next_id);
+        self.next_id += 1;
+        let ndv = histogram.ndv();
+        let stat = Statistic {
+            id,
+            descriptor: descriptor.clone(),
+            histogram,
+            prefix_densities: vec![if ndv > 0.0 { 1.0 / ndv } else { 0.0 }],
+            null_fraction: 0.0,
+            row_count_at_build: table.row_count(),
+            build_cost: outcome.work,
+            update_count: 0,
+            mods_at_build: table.modification_counter(),
+            created_epoch: self.epoch,
+            joint: None,
+        };
+        let mut span = self.obs.tracer.span("stats.feedback_build");
+        span.arg("table", descriptor.table.0 as i64);
+        span.arg("observations", observations.len());
+        span.arg("build_work", stat.build_cost);
+        drop(span);
+        self.obs.feedback_builds.inc();
+        self.obs.feedback_work.add(stat.build_cost);
+        self.creation_work += stat.build_cost;
+        self.observers.notify_table(descriptor.table);
+        self.by_descriptor.insert(descriptor, id);
+        self.stats.insert(id, stat);
+        Ok(Some(id))
     }
 
     /// Rebuild every built statistic on `table` (active and drop-listed).
@@ -1212,6 +1386,114 @@ mod tests {
             .create_statistic(&db, StatDescriptor::single(t, 1))
             .unwrap();
         assert!(c.0 >= 2);
+    }
+
+    fn feedback_records(t: TableId, column: u32, n: usize) -> Vec<obsv::FeedbackRecord> {
+        (0..n)
+            .map(|i| obsv::FeedbackRecord {
+                fingerprint: obsv::template_fingerprint(t.0 as u64, column, 2),
+                table: t.0 as u64,
+                column,
+                lo: 0.0,
+                hi: 10.0 + (i % 3) as f64,
+                est_rows: 400.0,
+                rows_out: 440.0,
+                input_rows: 2000.0,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn feedback_refresh_corrects_in_place_and_resets_staleness() {
+        let (mut db, t) = test_db();
+        let mut cat = StatsCatalog::new();
+        let id = cat
+            .create_statistic(&db, StatDescriptor::single(t, 0))
+            .unwrap();
+        // Age the statistic with DML so it shows up stale.
+        for i in 0..600 {
+            db.table_mut(t)
+                .insert(vec![Value::Int(i % 50), Value::Int(i)])
+                .unwrap();
+        }
+        let policy = MaintenancePolicy::default();
+        assert_eq!(cat.stale_statistics(&db, &policy), vec![id]);
+
+        let mut store = FeedbackStore::new();
+        store.ingest(&feedback_records(t, 0, 6));
+        let config = FeedbackConfig::default();
+        assert!(cat.feedback_refreshable(id, &store, &config));
+        let scan_cost = cat.update_cost_of(&db, [id]);
+        let refreshed = cat.feedback_refresh(&db, t, &[id], &mut store, &config);
+        assert_eq!(refreshed.len(), 1);
+        let (rid, work) = refreshed[0];
+        assert_eq!(rid, id);
+        assert!(
+            work > 0.0 && work < scan_cost / 100.0,
+            "feedback work {work} must be far below scan cost {scan_cost}"
+        );
+        // Observations are consumed; staleness baseline reset like a rebuild.
+        assert_eq!(store.total(), 0);
+        let s = cat.statistic(id).unwrap();
+        assert_eq!(s.update_count, 1);
+        assert_eq!(s.mods_at_build, db.table(t).modification_counter());
+        assert!(cat.stale_statistics(&db, &policy).is_empty());
+        assert_eq!(cat.update_work(), work);
+    }
+
+    #[test]
+    fn feedback_refresh_skips_ineligible_statistics() {
+        let (db, t) = test_db();
+        let mut cat = StatsCatalog::new();
+        let multi = cat
+            .create_statistic(&db, StatDescriptor::multi(t, vec![0, 1]))
+            .unwrap();
+        let mut store = FeedbackStore::new();
+        store.ingest(&feedback_records(t, 0, 6));
+        let config = FeedbackConfig::default();
+        // Multi-column statistics need scans (prefix densities).
+        assert!(!cat.feedback_refreshable(multi, &store, &config));
+        assert!(cat
+            .feedback_refresh(&db, t, &[multi], &mut store, &config)
+            .is_empty());
+        // Too few observations.
+        let single = cat
+            .create_statistic(&db, StatDescriptor::single(t, 1))
+            .unwrap();
+        let mut sparse = FeedbackStore::new();
+        sparse.ingest(&feedback_records(t, 1, 2));
+        assert!(!cat.feedback_refreshable(single, &sparse, &config));
+        assert_eq!(cat.update_work(), 0.0);
+    }
+
+    #[test]
+    fn create_statistic_from_feedback_is_near_free_and_idempotent() {
+        let (db, t) = test_db();
+        let mut cat = StatsCatalog::new();
+        let mut store = FeedbackStore::new();
+        store.ingest(&feedback_records(t, 1, 8));
+        let config = FeedbackConfig::default();
+        let desc = StatDescriptor::single(t, 1);
+
+        let id = cat
+            .create_statistic_from_feedback(&db, desc.clone(), &mut store, &config)
+            .unwrap()
+            .expect("enough observations to synthesize");
+        let s = cat.statistic(id).unwrap();
+        assert!(s.build_cost > 0.0);
+        assert!(s.build_cost < cat.update_cost_of(&db, [id]) / 100.0);
+        assert!(s.histogram.selectivity_lt(&Value::Int(11)) > 0.0);
+        assert_eq!(cat.find_active(&desc), Some(id));
+        // Observations were consumed; a second call reuses the built stat.
+        let again = cat
+            .create_statistic_from_feedback(&db, desc, &mut store, &config)
+            .unwrap();
+        assert_eq!(again, Some(id));
+        // Insufficient observations: decline rather than build garbage.
+        let none = cat
+            .create_statistic_from_feedback(&db, StatDescriptor::single(t, 0), &mut store, &config)
+            .unwrap();
+        assert_eq!(none, None);
     }
 
     #[test]

@@ -26,7 +26,7 @@ pub enum HistogramKind {
 }
 
 /// One histogram bucket over the numeric-key domain `[lo, hi]` (inclusive).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Bucket {
     pub lo: f64,
     pub hi: f64,
@@ -313,6 +313,44 @@ impl Histogram {
         self.ndv = ndv.max(1.0);
     }
 
+    /// Mutable bucket access for the feedback corrector (crate-internal:
+    /// arbitrary mutation can violate the sorted/disjoint invariant, so only
+    /// [`crate::feedback`] may do it).
+    pub(crate) fn buckets_mut(&mut self) -> &mut Vec<Bucket> {
+        &mut self.buckets
+    }
+
+    /// Re-anchor the summarized row count (crate-internal: the feedback
+    /// corrector retargets a stale histogram at the table's live row count).
+    pub(crate) fn set_rows(&mut self, rows: f64) {
+        self.rows = rows.max(0.0);
+    }
+
+    /// The stored common string prefix, if any (crate-internal: feedback
+    /// records carry raw numeric keys, which only align with histograms that
+    /// key values directly).
+    pub(crate) fn str_prefix(&self) -> Option<&str> {
+        self.str_prefix.as_deref()
+    }
+
+    /// Assemble a histogram directly from parts (crate-internal: used to
+    /// synthesize feedback-built histograms without a table scan). Buckets
+    /// must already be sorted and disjoint.
+    pub(crate) fn from_parts(
+        kind: HistogramKind,
+        buckets: Vec<Bucket>,
+        ndv: f64,
+        rows: f64,
+    ) -> Histogram {
+        Histogram {
+            kind,
+            buckets,
+            ndv: ndv.max(0.0),
+            rows: rows.max(0.0),
+            str_prefix: None,
+        }
+    }
+
     /// Minimum and maximum keys covered.
     pub fn bounds(&self) -> Option<(f64, f64)> {
         let first = self.buckets.first()?;
@@ -320,7 +358,35 @@ impl Histogram {
         Some((first.lo, last.hi))
     }
 
+    /// The magic-number floor for probes outside the bucket domain. A
+    /// histogram only witnesses the rows it was built from; a probe beyond
+    /// its max (or below its min) key may simply postdate the build, so
+    /// out-of-domain estimates are clamped to roughly one row instead of a
+    /// hard zero — a hard zero makes the optimizer cost plans on zero rows
+    /// for exactly the post-insert drift case.
+    fn out_of_domain_floor(&self) -> f64 {
+        if self.rows > 0.0 {
+            clamp01(1.0 / self.rows)
+        } else {
+            0.0
+        }
+    }
+
+    /// Whether `key` falls strictly outside the covered key domain.
+    /// Empty histograms have no domain and report `false`: they summarize an
+    /// empty table, where a zero estimate is exact, not stale.
+    fn outside_domain(&self, key: f64) -> bool {
+        match self.bounds() {
+            Some((lo, hi)) => key < lo || key > hi,
+            None => false,
+        }
+    }
+
     /// Estimated selectivity of `column = value` among non-null rows.
+    ///
+    /// In-domain gaps (a key between two buckets) estimate `0.0`: the build
+    /// scan witnessed their absence. Out-of-domain probes are floored by
+    /// [`Self::out_of_domain_floor`].
     pub fn selectivity_eq(&self, value: &Value) -> f64 {
         let key = self.key_of(value);
         if key.is_nan() {
@@ -331,11 +397,16 @@ impl Histogram {
                 return clamp01(b.fraction / b.distinct.max(1.0));
             }
         }
-        0.0
+        if self.outside_domain(key) {
+            self.out_of_domain_floor()
+        } else {
+            0.0
+        }
     }
 
     /// Estimated selectivity of `column < value` (strict) among non-null
     /// rows, with continuous interpolation inside the containing bucket.
+    /// Probes below the domain are floored by [`Self::out_of_domain_floor`].
     pub fn selectivity_lt(&self, value: &Value) -> f64 {
         let key = self.key_of(value);
         if key.is_nan() {
@@ -353,6 +424,9 @@ impl Histogram {
                 break;
             }
         }
+        if self.outside_domain(key) && key < f64::INFINITY {
+            acc = acc.max(self.out_of_domain_floor());
+        }
         clamp01(acc)
     }
 
@@ -361,22 +435,42 @@ impl Histogram {
         clamp01(self.selectivity_lt(value) + self.selectivity_eq(value))
     }
 
-    /// `column > value`.
+    /// `column > value`. Probes above the domain are floored symmetrically
+    /// to [`Self::selectivity_lt`].
     pub fn selectivity_gt(&self, value: &Value) -> f64 {
-        clamp01(1.0 - self.selectivity_le(value))
+        let raw = clamp01(1.0 - self.selectivity_le(value));
+        let key = self.key_of(value);
+        if self.outside_domain(key) && key > f64::NEG_INFINITY {
+            raw.max(self.out_of_domain_floor())
+        } else {
+            raw
+        }
     }
 
     /// `column >= value`.
     pub fn selectivity_ge(&self, value: &Value) -> f64 {
-        clamp01(1.0 - self.selectivity_lt(value))
+        let raw = clamp01(1.0 - self.selectivity_lt(value));
+        let key = self.key_of(value);
+        if self.outside_domain(key) && key > f64::NEG_INFINITY {
+            raw.max(self.out_of_domain_floor())
+        } else {
+            raw
+        }
     }
 
-    /// `column BETWEEN low AND high` (inclusive).
+    /// `column BETWEEN low AND high` (inclusive). A valid range lying
+    /// entirely outside the domain is floored like the other estimators.
     pub fn selectivity_between(&self, low: &Value, high: &Value) -> f64 {
-        if self.key_of(low) > self.key_of(high) {
+        let (klo, khi) = (self.key_of(low), self.key_of(high));
+        if klo > khi {
             return 0.0;
         }
-        clamp01(self.selectivity_le(high) - self.selectivity_lt(low))
+        let raw = clamp01(self.selectivity_le(high) - self.selectivity_lt(low));
+        match self.bounds() {
+            // The whole range lies beyond one edge of the domain.
+            Some((lo, hi)) if khi < lo || klo > hi => raw.max(self.out_of_domain_floor()),
+            _ => raw,
+        }
     }
 
     /// `column <> value`.
@@ -480,7 +574,9 @@ mod tests {
         let h = Histogram::build(HistogramKind::EquiDepth, &uniform_0_99(), 20);
         let est = h.selectivity_lt(&Value::Int(50));
         assert!((est - 0.5).abs() < 0.08, "est={est}");
-        assert!(h.selectivity_lt(&Value::Int(-5)).abs() < 1e-12);
+        // Below-domain probes are floored at ~one row (1/1000), not zero:
+        // the histogram cannot prove rows below its min never appeared.
+        assert!((h.selectivity_lt(&Value::Int(-5)) - 0.001).abs() < 1e-12);
         assert!((h.selectivity_lt(&Value::Int(1000)) - 1.0).abs() < 1e-12);
     }
 
@@ -587,9 +683,10 @@ mod tests {
         assert!((eq - 0.01).abs() < 0.01, "eq={eq}");
         let ne = h.selectivity_ne(&Value::Str("Supplier#000000042".into()));
         assert!(ne > 0.9, "ne={ne}");
-        // A probe outside the shared prefix misses entirely.
-        assert_eq!(h.selectivity_eq(&Value::Str("Customer#1".into())), 0.0);
-        assert_eq!(h.selectivity_lt(&Value::Str("A".into())), 0.0);
+        // A probe outside the shared prefix falls outside the key domain and
+        // gets the out-of-domain floor (1/100 here), not a hard zero.
+        assert_eq!(h.selectivity_eq(&Value::Str("Customer#1".into())), 0.01);
+        assert_eq!(h.selectivity_lt(&Value::Str("A".into())), 0.01);
         assert!((h.selectivity_lt(&Value::Str("Z".into())) - 1.0).abs() < 1e-9);
     }
 
@@ -601,6 +698,52 @@ mod tests {
         let hb = Histogram::build(HistogramKind::EquiDepth, &b, 16);
         let sel = join_selectivity(&ha, &hb);
         assert!((sel - 1.0 / 50.0).abs() < 1e-9, "sel={sel}");
+    }
+
+    #[test]
+    fn out_of_domain_probes_are_floored_not_zero() {
+        // Build over 0..=99, then probe keys the build never saw — the
+        // post-insert drift case. Every out-of-domain estimator must return
+        // the ~one-row floor (1/1000), never a hard 0.0.
+        let h = Histogram::build(HistogramKind::EquiDepth, &uniform_0_99(), 20);
+        let floor = 1.0 / 1000.0;
+        for probe in [Value::Int(150), Value::Int(-7)] {
+            let eq = h.selectivity_eq(&probe);
+            assert!((eq - floor).abs() < 1e-12, "eq({probe:?})={eq}");
+        }
+        assert!((h.selectivity_gt(&Value::Int(150)) - floor).abs() < 1e-12);
+        assert!((h.selectivity_ge(&Value::Int(150)) - floor).abs() < 1e-12);
+        assert!((h.selectivity_lt(&Value::Int(-7)) - floor).abs() < 1e-12);
+        let btw = h.selectivity_between(&Value::Int(120), &Value::Int(140));
+        assert!((btw - floor).abs() < 1e-12, "between={btw}");
+        // In-domain gaps stay exact zeros: the build scan witnessed absence.
+        let sparse = ints([1, 1, 1, 5, 5, 9]);
+        let g = Histogram::build(HistogramKind::MaxDiff, &sparse, 10);
+        assert_eq!(g.selectivity_eq(&Value::Int(3)), 0.0);
+        // Empty histograms have no domain and keep their exact zeros.
+        let e = Histogram::build(HistogramKind::EquiDepth, &[], 4);
+        assert_eq!(e.selectivity_eq(&Value::Int(1)), 0.0);
+        assert_eq!(e.selectivity_lt(&Value::Int(1)), 0.0);
+    }
+
+    #[test]
+    fn stale_histogram_estimates_survive_domain_extension() {
+        // The regression scenario from the drift bugfix: a histogram built
+        // before an append only covers the old domain, but probes on the
+        // appended range must still estimate at least one row.
+        let old: Vec<Value> = (0..500).map(Value::Int).collect();
+        let h = Histogram::build(HistogramKind::EquiDepth, &old, 16);
+        // "Append" 500..1000 to the table; the stale histogram never sees it.
+        for v in [500i64, 750, 999] {
+            assert!(
+                h.selectivity_eq(&Value::Int(v)) > 0.0,
+                "eq({v}) collapsed to zero on stale histogram"
+            );
+            assert!(
+                h.selectivity_ge(&Value::Int(v)) > 0.0,
+                "ge({v}) collapsed to zero on stale histogram"
+            );
+        }
     }
 
     #[test]

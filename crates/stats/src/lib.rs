@@ -24,6 +24,7 @@
 pub mod catalog;
 pub mod cost;
 pub mod error;
+pub mod feedback;
 pub mod histogram;
 pub mod mhist;
 pub mod ndv;
@@ -36,6 +37,10 @@ pub use catalog::{
 };
 pub use cost::CostModel;
 pub use error::StatsError;
+pub use feedback::{
+    build_from_feedback, correct_histogram, CorrectionOutcome, FeedbackConfig, FeedbackStore,
+    Observation,
+};
 pub use histogram::{join_selectivity, Histogram, HistogramKind};
 pub use mhist::{Histogram2d, RangeQuery};
 pub use ndv::estimate_ndv;
