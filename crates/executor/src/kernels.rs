@@ -1,0 +1,242 @@
+//! Branch-free selection-vector kernels.
+//!
+//! Every comparison the columnar engine supports against a constant reduces
+//! to an inclusive **range test over totally ordered `i64` keys** (optionally
+//! negated, for `Ne`):
+//!
+//! * `Int`/`Date` payloads are their own keys (`x.cmp(&k)` is plain integer
+//!   order).
+//! * `Float` payloads map through [`f64_total_key`], the sign-magnitude bit
+//!   flip `f64::total_cmp` itself is specified by — so `a.total_cmp(&b)`
+//!   equals `key(a).cmp(&key(b))` for every bit pattern, NaNs and `-0.0`
+//!   included.
+//! * `Int`-vs-`Float` comparisons widen per row (`x as f64`) before keying,
+//!   mirroring `Value::total_cmp`'s `(Int, Float)` arm exactly.
+//!
+//! The kernels then evaluate `keep = valid & ((key >= lo) & (key <= hi) ^
+//! negate)` per row and append surviving row ids with a data-independent
+//! store (`out[w] = row; w += keep`). No branch in the loop body depends on
+//! row data, so rustc/LLVM autovectorizes the compare+mask computation and
+//! the store never mispredicts. The null mask is handled per chunk: columns
+//! known to be NULL-free (and NULL-free chunks of mixed columns) run a loop
+//! that never loads validity at all.
+
+use std::ops::Range;
+
+/// Rows per chunk for the per-chunk null-mask specialization. Also the unit
+/// at which a mixed column's validity is summarized before the inner loop.
+const CHUNK: usize = 512;
+
+/// The totally ordered `i64` key of an `f64`: flips the low 63 bits on
+/// negatives so that the integer order of keys is exactly `f64::total_cmp`
+/// (negative NaNs < -inf < ... < -0.0 < +0.0 < ... < +inf < positive NaNs).
+#[inline(always)]
+pub(crate) fn f64_total_key(x: f64) -> i64 {
+    let bits = x.to_bits() as i64;
+    bits ^ (((bits >> 63) as u64) >> 1) as i64
+}
+
+/// An inclusive key range with optional negation — the compiled form of one
+/// comparison. An empty range (`lo > hi`) with `negate = false` matches
+/// nothing; with `negate = true` it matches every non-NULL row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct KeyRange {
+    pub lo: i64,
+    pub hi: i64,
+    pub negate: bool,
+}
+
+impl KeyRange {
+    #[inline(always)]
+    pub fn hit(&self, key: i64) -> bool {
+        ((key >= self.lo) & (key <= self.hi)) ^ self.negate
+    }
+}
+
+/// Append `base + i` for every `i` with `valid[i] && range.hit(key(xs[i]))`.
+///
+/// `all_valid` is the column-level summary (callers compute it once per
+/// operator); when false, validity is re-summarized per [`CHUNK`] so long
+/// NULL-free stretches of a mixed column still take the unmasked loop.
+#[inline]
+pub(crate) fn select_keys<T: Copy>(
+    xs: &[T],
+    valid: &[bool],
+    all_valid: bool,
+    key: impl Fn(T) -> i64,
+    range: KeyRange,
+    base: usize,
+    out: &mut Vec<usize>,
+) {
+    let n = xs.len();
+    let start = out.len();
+    out.resize(start + n, 0);
+    let mut w = start;
+    if all_valid {
+        for (i, &x) in xs.iter().enumerate() {
+            let keep = range.hit(key(x));
+            out[w] = base + i;
+            w += keep as usize;
+        }
+    } else {
+        debug_assert_eq!(valid.len(), n);
+        let mut at = 0;
+        while at < n {
+            let end = (at + CHUNK).min(n);
+            let chunk_valid = &valid[at..end];
+            if chunk_valid.iter().all(|&v| v) {
+                for (i, &x) in xs[at..end].iter().enumerate() {
+                    let keep = range.hit(key(x));
+                    out[w] = base + at + i;
+                    w += keep as usize;
+                }
+            } else {
+                for (i, (&x, &v)) in xs[at..end].iter().zip(chunk_valid).enumerate() {
+                    let keep = v & range.hit(key(x));
+                    out[w] = base + at + i;
+                    w += keep as usize;
+                }
+            }
+            at = end;
+        }
+    }
+    out.truncate(w);
+}
+
+/// Append `base + i` for every `i` in `span` where `hit(base + i)` — the
+/// row-wise fallback (strings, cross-type comparisons) with the same
+/// branch-free store as the typed kernels. `hit` must include the validity
+/// check.
+#[inline]
+pub(crate) fn select_rowwise(
+    span: Range<usize>,
+    hit: impl Fn(usize) -> bool,
+    out: &mut Vec<usize>,
+) {
+    let n = span.len();
+    let start = out.len();
+    out.resize(start + n, 0);
+    let mut w = start;
+    for r in span {
+        let keep = hit(r);
+        out[w] = r;
+        w += keep as usize;
+    }
+    out.truncate(w);
+}
+
+/// Narrow a selection vector in place to the rows with
+/// `valid[r] && range.hit(key(xs[r]))`, preserving order. Gathered loads
+/// don't vectorize, but the compaction store stays data-independent.
+#[inline]
+pub(crate) fn refine_keys<T: Copy>(
+    xs: &[T],
+    valid: &[bool],
+    key: impl Fn(T) -> i64,
+    range: KeyRange,
+    sel: &mut Vec<usize>,
+) {
+    let mut w = 0;
+    for i in 0..sel.len() {
+        let r = sel[i];
+        let keep = valid[r] & range.hit(key(xs[r]));
+        sel[w] = r;
+        w += keep as usize;
+    }
+    sel.truncate(w);
+}
+
+/// Row-wise in-place narrowing; `hit` must include the validity check.
+#[inline]
+pub(crate) fn refine_rowwise(hit: impl Fn(usize) -> bool, sel: &mut Vec<usize>) {
+    let mut w = 0;
+    for i in 0..sel.len() {
+        let r = sel[i];
+        let keep = hit(r);
+        sel[w] = r;
+        w += keep as usize;
+    }
+    sel.truncate(w);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_key_orders_like_total_cmp() {
+        let samples = [
+            f64::NEG_INFINITY,
+            -1.5,
+            -0.0,
+            0.0,
+            1.0e-300,
+            2.5,
+            f64::INFINITY,
+            f64::NAN,
+            -f64::NAN,
+            f64::MIN_POSITIVE,
+        ];
+        for &a in &samples {
+            for &b in &samples {
+                assert_eq!(
+                    f64_total_key(a).cmp(&f64_total_key(b)),
+                    a.total_cmp(&b),
+                    "{a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn select_matches_naive_with_nulls() {
+        let xs: Vec<i64> = (0..1300).map(|i| (i * 7) % 97).collect();
+        let valid: Vec<bool> = (0..1300).map(|i| i % 11 != 0).collect();
+        let range = KeyRange {
+            lo: 10,
+            hi: 50,
+            negate: false,
+        };
+        let mut out = vec![999usize]; // kernels append after existing content
+        select_keys(&xs, &valid, false, |x| x, range, 100, &mut out);
+        let naive: Vec<usize> = (0..1300)
+            .filter(|&i| valid[i] && (10..=50).contains(&xs[i]))
+            .map(|i| i + 100)
+            .collect();
+        assert_eq!(out[0], 999);
+        assert_eq!(&out[1..], &naive[..]);
+    }
+
+    #[test]
+    fn negated_range_excludes_nulls() {
+        let xs = [1i64, 2, 3, 2, 5];
+        let valid = [true, false, true, true, true];
+        let range = KeyRange {
+            lo: 2,
+            hi: 2,
+            negate: true,
+        };
+        let mut out = Vec::new();
+        select_keys(&xs, &valid, false, |x| x, range, 0, &mut out);
+        // row 1 has value 2 but is NULL → excluded; row 3 matches the range
+        // so the negation drops it.
+        assert_eq!(out, vec![0, 2, 4]);
+        let mut sel: Vec<usize> = (0..5).collect();
+        refine_keys(&xs, &valid, |x| x, range, &mut sel);
+        assert_eq!(sel, vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn empty_range_with_negate_matches_all_valid() {
+        let xs = [7i64, 8];
+        let valid = [true, true];
+        let range = KeyRange {
+            lo: 1,
+            hi: 0,
+            negate: true,
+        };
+        let mut out = Vec::new();
+        select_keys(&xs, &valid, true, |x| x, range, 0, &mut out);
+        assert_eq!(out, vec![0, 1]);
+    }
+}

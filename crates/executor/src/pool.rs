@@ -1,0 +1,257 @@
+//! Persistent worker pool for morsel dispatch.
+//!
+//! [`ExecPool::parallel_for`] runs `task(0..n)` across the pool with
+//! dynamic (work-stealing) claiming: every participant — the calling thread
+//! included — repeatedly grabs the next unclaimed index from a shared
+//! atomic counter. Which thread runs which index is nondeterministic; the
+//! executor keeps results deterministic by writing each index's output into
+//! its own pre-allocated slot and merging slots in index order afterwards.
+//!
+//! Unlike the scoped-thread fan-out the tuner uses (spawn + join per batch),
+//! the pool's workers are spawned once and parked on a condvar between
+//! rounds, so per-operator dispatch costs a wakeup rather than a thread
+//! spawn — morsel dispatch happens per scan/join, far too often to pay
+//! spawn cost.
+//!
+//! Pools are interned per thread count ([`ExecPool::global`]) and live for
+//! the process; workers park when idle and hold no job state between
+//! rounds.
+//!
+//! Calls must not nest: a `task` must never call `parallel_for` on any
+//! pool (the executor only dispatches from coordinator code, never from
+//! inside a morsel).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread;
+
+/// Recover a possibly-poisoned std lock result. A panic inside a morsel
+/// task propagates to the coordinator via the worker's own unwind (tests)
+/// or aborts; recovering the guard here matches parking_lot's no-poisoning
+/// semantics used elsewhere in the workspace.
+pub(crate) fn relock<T>(r: Result<T, std::sync::PoisonError<T>>) -> T {
+    r.unwrap_or_else(|e| e.into_inner())
+}
+
+/// Borrowed task pointer smuggled to the workers for one round.
+///
+/// Safety: the pointee lives on the `parallel_for` caller's stack and is
+/// only dereferenced for claimed indices `i < n`. `parallel_for` does not
+/// return until `completed == n`, i.e. every dereference has finished;
+/// after that workers may still hold the `Arc<Job>` briefly but can only
+/// claim indices `>= n`, which are never executed.
+struct TaskPtr(*const (dyn Fn(usize) + Sync));
+unsafe impl Send for TaskPtr {}
+unsafe impl Sync for TaskPtr {}
+
+/// One dispatched round.
+struct Job {
+    task: TaskPtr,
+    n: usize,
+    /// Next unclaimed index.
+    next: AtomicUsize,
+    /// Indices whose task invocation has returned.
+    completed: AtomicUsize,
+    /// Set (under the lock) by whichever thread completes the last index;
+    /// the coordinator waits on it for stragglers.
+    done: Mutex<bool>,
+    done_cv: Condvar,
+}
+
+impl Job {
+    /// Claim and run indices until none remain.
+    fn run(&self) {
+        loop {
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            if i >= self.n {
+                return;
+            }
+            // Safety: i < n and the round is still live (see TaskPtr).
+            unsafe { (*self.task.0)(i) };
+            // AcqRel: the thread that observes completed == n has acquired
+            // every other participant's writes, so its done-flag store
+            // publishes them to the waiting coordinator.
+            let finished = self.completed.fetch_add(1, Ordering::AcqRel) + 1;
+            if finished == self.n {
+                *relock(self.done.lock()) = true;
+                self.done_cv.notify_all();
+            }
+        }
+    }
+}
+
+/// Where workers pick up rounds: a generation counter plus the current job.
+/// Workers sleep on the condvar until the generation moves.
+struct Inbox {
+    slot: Mutex<(u64, Option<Arc<Job>>)>,
+    cv: Condvar,
+}
+
+/// A persistent pool of `threads - 1` workers plus the calling thread.
+pub struct ExecPool {
+    threads: usize,
+    inbox: Arc<Inbox>,
+}
+
+impl ExecPool {
+    /// Spawn a pool that runs rounds on `threads` threads total (the caller
+    /// participates, so `threads - 1` workers are spawned; `threads <= 1`
+    /// spawns none and `parallel_for` degenerates to a serial loop).
+    pub fn new(threads: usize) -> ExecPool {
+        let threads = threads.max(1);
+        let inbox = Arc::new(Inbox {
+            slot: Mutex::new((0, None)),
+            cv: Condvar::new(),
+        });
+        for _ in 1..threads {
+            let inbox = Arc::clone(&inbox);
+            // Workers are detached; pool instances are interned for the
+            // process lifetime (see `global`).
+            let builder = thread::Builder::new().name("exec-morsel".into());
+            if builder.spawn(move || worker_loop(&inbox)).is_err() {
+                // Spawn failure (resource exhaustion): the pool still works
+                // with fewer workers; rounds just run with less overlap.
+                break;
+            }
+        }
+        ExecPool { threads, inbox }
+    }
+
+    /// The interned pool for `threads`, spawning it on first use. All
+    /// executor invocations at the same thread count share one pool.
+    pub fn global(threads: usize) -> Arc<ExecPool> {
+        static POOLS: OnceLock<Mutex<HashMap<usize, Arc<ExecPool>>>> = OnceLock::new();
+        let pools = POOLS.get_or_init(|| Mutex::new(HashMap::new()));
+        let mut map = relock(pools.lock());
+        Arc::clone(
+            map.entry(threads.max(1))
+                .or_insert_with(|| Arc::new(ExecPool::new(threads))),
+        )
+    }
+
+    /// Total participating threads (callers size per-worker scratch by it).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run `task(i)` for every `i in 0..n`, returning once all invocations
+    /// have finished. Indices are claimed dynamically; `task` must be safe
+    /// to call concurrently from multiple threads and must not call back
+    /// into any pool.
+    pub fn parallel_for(&self, n: usize, task: &(dyn Fn(usize) + Sync)) {
+        if n == 0 {
+            return;
+        }
+        if self.threads <= 1 || n == 1 {
+            for i in 0..n {
+                task(i);
+            }
+            return;
+        }
+        // Safety: erases the borrow's lifetime into the raw pointer; the
+        // TaskPtr contract above guarantees no dereference outlives this
+        // call, during which `task` is borrowed.
+        let task: &(dyn Fn(usize) + Sync + 'static) = unsafe { std::mem::transmute(task) };
+        let job = Arc::new(Job {
+            task: TaskPtr(task as *const _),
+            n,
+            next: AtomicUsize::new(0),
+            completed: AtomicUsize::new(0),
+            done: Mutex::new(false),
+            done_cv: Condvar::new(),
+        });
+        {
+            let mut slot = relock(self.inbox.slot.lock());
+            slot.0 += 1;
+            slot.1 = Some(Arc::clone(&job));
+            self.inbox.cv.notify_all();
+        }
+        // The coordinator claims morsels like any worker…
+        job.run();
+        // …then waits out stragglers still finishing their last claim.
+        let mut flag = relock(job.done.lock());
+        while !*flag {
+            flag = relock(job.done_cv.wait(flag));
+        }
+    }
+}
+
+fn worker_loop(inbox: &Inbox) {
+    let mut seen = 0u64;
+    loop {
+        let job = {
+            let mut slot = relock(inbox.slot.lock());
+            loop {
+                if slot.0 != seen {
+                    seen = slot.0;
+                    break slot.1.clone();
+                }
+                slot = relock(inbox.cv.wait(slot));
+            }
+        };
+        match job {
+            // A stale round is harmless: its indices are exhausted, so
+            // `run` returns immediately and the worker re-parks.
+            Some(job) => job.run(),
+            None => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn covers_every_index_exactly_once() {
+        let pool = ExecPool::new(4);
+        for round in 0..50 {
+            let n = 1 + (round * 13) % 97;
+            let hits: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+            pool.parallel_for(n, &|i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+            for (i, h) in hits.iter().enumerate() {
+                assert_eq!(h.load(Ordering::Relaxed), 1, "index {i} round {round}");
+            }
+        }
+    }
+
+    #[test]
+    fn serial_pool_runs_inline() {
+        let pool = ExecPool::new(1);
+        let mut order = Vec::new();
+        let cell = Mutex::new(&mut order);
+        pool.parallel_for(5, &|i| {
+            relock(cell.lock()).push(i);
+        });
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn global_interns_by_thread_count() {
+        let a = ExecPool::global(3);
+        let b = ExecPool::global(3);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(a.threads(), 3);
+        assert_eq!(ExecPool::global(0).threads(), 1);
+    }
+
+    #[test]
+    fn writes_into_disjoint_slots_are_visible() {
+        let pool = ExecPool::new(3);
+        let n = 1000;
+        let mut out = vec![0u64; n];
+        {
+            let slots: Vec<Mutex<&mut u64>> = out.iter_mut().map(Mutex::new).collect();
+            pool.parallel_for(n, &|i| {
+                **relock(slots[i].lock()) = (i as u64) * 3 + 1;
+            });
+        }
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, (i as u64) * 3 + 1);
+        }
+    }
+}

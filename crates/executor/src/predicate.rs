@@ -7,9 +7,18 @@
 //! column's native representation, payload slice borrowed directly — and
 //! then evaluates by selection vector ([`filter_table_columnar`]), which is
 //! what the batch executor uses. Both return exactly the same row sets.
+//!
+//! Numeric comparisons additionally compile down to the branch-free range
+//! kernels in [`crate::kernels`]: each `Cmp`/`Between` over an `Int`/`Date`/
+//! `Float` column canonicalizes to an inclusive range test over totally
+//! ordered `i64` keys (with a negate flag for `Ne`), which the kernels
+//! evaluate without data-dependent branches so rustc autovectorizes the
+//! loop. Strings and cross-type oddities keep the row-wise `ord` path.
 
+use crate::kernels::{self, f64_total_key, KeyRange};
 use query::{CmpOp, PredOp, SelectionPredicate};
 use std::cmp::Ordering;
+use std::ops::Range;
 use storage::{ColumnData, DataType, Table, Value};
 
 /// SQL three-valued comparison collapsed to a boolean (NULL comparisons are
@@ -141,11 +150,123 @@ enum CompiledOp<'a> {
     Between(ColCmp<'a>, ColCmp<'a>),
 }
 
+/// The vectorizable form of a compiled predicate: an inclusive key-range
+/// test over the column's payload slice, or a marker that the row-wise
+/// `ord` path must be used.
+enum Kernel<'a> {
+    /// No row can match (NULL constant, or a range that canonicalized to
+    /// empty at the domain boundary, e.g. `x < i64::MIN`).
+    Never,
+    /// Int/Date payload: the value is its own key.
+    Int(&'a [i64], KeyRange),
+    /// Int/Date payload vs Float constant: widen per row, then key.
+    IntAsFloat(&'a [i64], KeyRange),
+    /// Float payload: key via [`f64_total_key`].
+    Float(&'a [f64], KeyRange),
+    /// Strings, cross-type comparisons, mixed-variant BETWEEN: evaluate
+    /// row-wise through [`CompiledPred::matches`].
+    RowWise,
+}
+
+/// The inclusive key range equivalent to `value <c> key` (keys already in
+/// the totally ordered domain). `None` when the range is empty because the
+/// constant sits at the domain boundary (`< MIN`, `> MAX`).
+fn range_for(c: CmpOp, key: i64) -> Option<KeyRange> {
+    Some(match c {
+        CmpOp::Eq => KeyRange {
+            lo: key,
+            hi: key,
+            negate: false,
+        },
+        CmpOp::Ne => KeyRange {
+            lo: key,
+            hi: key,
+            negate: true,
+        },
+        CmpOp::Lt => KeyRange {
+            lo: i64::MIN,
+            hi: key.checked_sub(1)?,
+            negate: false,
+        },
+        CmpOp::Le => KeyRange {
+            lo: i64::MIN,
+            hi: key,
+            negate: false,
+        },
+        CmpOp::Gt => KeyRange {
+            lo: key.checked_add(1)?,
+            hi: i64::MAX,
+            negate: false,
+        },
+        CmpOp::Ge => KeyRange {
+            lo: key,
+            hi: i64::MAX,
+            negate: false,
+        },
+    })
+}
+
+fn kernel_of<'a>(op: &CompiledOp<'a>) -> Kernel<'a> {
+    match op {
+        CompiledOp::Never => Kernel::Never,
+        CompiledOp::Cmp(c, cmp) => match cmp {
+            ColCmp::IntInt(xs, k) => match range_for(*c, *k) {
+                Some(r) => Kernel::Int(xs, r),
+                None => Kernel::Never,
+            },
+            ColCmp::IntFloat(xs, k) => match range_for(*c, f64_total_key(*k)) {
+                Some(r) => Kernel::IntAsFloat(xs, r),
+                None => Kernel::Never,
+            },
+            ColCmp::FloatFloat(xs, k) => match range_for(*c, f64_total_key(*k)) {
+                Some(r) => Kernel::Float(xs, r),
+                None => Kernel::Never,
+            },
+            ColCmp::StrStr(..) | ColCmp::Generic(..) => Kernel::RowWise,
+        },
+        // BETWEEN is `x >= lo && x <= hi`; when both bounds compile to the
+        // same typed variant that is one inclusive key range. Mixed variants
+        // (e.g. Int lo, Float hi) compare in different domains per bound and
+        // stay row-wise.
+        CompiledOp::Between(lo, hi) => match (lo, hi) {
+            (ColCmp::IntInt(xs, l), ColCmp::IntInt(_, h)) => Kernel::Int(
+                xs,
+                KeyRange {
+                    lo: *l,
+                    hi: *h,
+                    negate: false,
+                },
+            ),
+            (ColCmp::IntFloat(xs, l), ColCmp::IntFloat(_, h)) => Kernel::IntAsFloat(
+                xs,
+                KeyRange {
+                    lo: f64_total_key(*l),
+                    hi: f64_total_key(*h),
+                    negate: false,
+                },
+            ),
+            (ColCmp::FloatFloat(xs, l), ColCmp::FloatFloat(_, h)) => Kernel::Float(
+                xs,
+                KeyRange {
+                    lo: f64_total_key(*l),
+                    hi: f64_total_key(*h),
+                    negate: false,
+                },
+            ),
+            _ => Kernel::RowWise,
+        },
+    }
+}
+
 /// A selection predicate compiled against its column: resolve once, probe
-/// per row with primitive compares.
+/// per row with primitive compares ([`matches`](Self::matches)) or sweep
+/// whole row spans through the branch-free kernels
+/// ([`select_into`](Self::select_into) / [`refine`](Self::refine)).
 pub struct CompiledPred<'a> {
     validity: &'a [bool],
+    all_valid: bool,
     op: CompiledOp<'a>,
+    kernel: Kernel<'a>,
 }
 
 impl<'a> CompiledPred<'a> {
@@ -163,9 +284,12 @@ impl<'a> CompiledPred<'a> {
                 _ => CompiledOp::Never,
             },
         };
+        let kernel = kernel_of(&op);
         CompiledPred {
             validity: col.validity(),
+            all_valid: col.all_valid(),
             op,
+            kernel,
         }
     }
 
@@ -184,11 +308,64 @@ impl<'a> CompiledPred<'a> {
             }
         }
     }
+
+    /// Append the matching row ids within `span` to `out`, in ascending
+    /// order — the scan entry point of the kernel path. Equivalent to
+    /// `out.extend(span.filter(|&r| self.matches(r)))`.
+    pub fn select_into(&self, span: Range<usize>, out: &mut Vec<usize>) {
+        match &self.kernel {
+            Kernel::Never => {}
+            Kernel::Int(xs, r) => kernels::select_keys(
+                &xs[span.clone()],
+                &self.validity[span.clone()],
+                self.all_valid,
+                |x| x,
+                *r,
+                span.start,
+                out,
+            ),
+            Kernel::IntAsFloat(xs, r) => kernels::select_keys(
+                &xs[span.clone()],
+                &self.validity[span.clone()],
+                self.all_valid,
+                |x| f64_total_key(x as f64),
+                *r,
+                span.start,
+                out,
+            ),
+            Kernel::Float(xs, r) => kernels::select_keys(
+                &xs[span.clone()],
+                &self.validity[span.clone()],
+                self.all_valid,
+                f64_total_key,
+                *r,
+                span.start,
+                out,
+            ),
+            Kernel::RowWise => kernels::select_rowwise(span, |row| self.matches(row), out),
+        }
+    }
+
+    /// Narrow a selection vector in place to the rows that also satisfy this
+    /// predicate, preserving order. Equivalent to
+    /// `sel.retain(|&r| self.matches(r))`.
+    pub fn refine(&self, sel: &mut Vec<usize>) {
+        match &self.kernel {
+            Kernel::Never => sel.clear(),
+            Kernel::Int(xs, r) => kernels::refine_keys(xs, self.validity, |x| x, *r, sel),
+            Kernel::IntAsFloat(xs, r) => {
+                kernels::refine_keys(xs, self.validity, |x| f64_total_key(x as f64), *r, sel)
+            }
+            Kernel::Float(xs, r) => kernels::refine_keys(xs, self.validity, f64_total_key, *r, sel),
+            Kernel::RowWise => kernels::refine_rowwise(|row| self.matches(row), sel),
+        }
+    }
 }
 
 /// Row indices of `table` matching all `preds`, computed by selection
-/// vector: the first predicate scans the column directly, later ones narrow
-/// the surviving vector in place. Returns exactly [`filter_table`]'s result.
+/// vector: the first predicate sweeps the column through its branch-free
+/// kernel, later ones narrow the surviving vector in place. Returns exactly
+/// [`filter_table`]'s result.
 pub fn filter_table_columnar(table: &Table, preds: &[&SelectionPredicate]) -> Vec<usize> {
     let n = table.row_count();
     if preds.is_empty() || n == 0 {
@@ -198,9 +375,9 @@ pub fn filter_table_columnar(table: &Table, preds: &[&SelectionPredicate]) -> Ve
         preds.iter().map(|p| CompiledPred::new(table, p)).collect();
     let mut sel: Vec<usize> = Vec::new();
     if let Some((first, rest)) = compiled.split_first() {
-        sel = (0..n).filter(|&r| first.matches(r)).collect();
+        first.select_into(0..n, &mut sel);
         for p in rest {
-            sel.retain(|&r| p.matches(r));
+            p.refine(&mut sel);
         }
     }
     sel

@@ -40,6 +40,30 @@ pub struct FeedbackRecord {
     pub input_rows: f64,
 }
 
+impl FeedbackRecord {
+    /// Canonical 64-byte encoding: every field little-endian, floats by bit
+    /// pattern. Two records are byte-equal iff they are indistinguishable
+    /// to every consumer — the comparison key for the executor's contract
+    /// that feedback streams are identical at every thread count.
+    pub fn canonical_bytes(&self) -> [u8; 64] {
+        let mut out = [0u8; 64];
+        let fields: [u64; 8] = [
+            self.fingerprint,
+            self.table,
+            u64::from(self.column),
+            self.lo.to_bits(),
+            self.hi.to_bits(),
+            self.est_rows.to_bits(),
+            self.rows_out.to_bits(),
+            self.input_rows.to_bits(),
+        ];
+        for (chunk, field) in out.chunks_exact_mut(8).zip(fields) {
+            chunk.copy_from_slice(&field.to_le_bytes());
+        }
+        out
+    }
+}
+
 /// A shared, optionally-enabled buffer of [`FeedbackRecord`]s.
 ///
 /// Clones share one buffer (the executor and its consumer hold clones of the
@@ -87,6 +111,25 @@ impl FeedbackLog {
             },
             None => Vec::new(),
         }
+    }
+
+    /// Copy of every buffered record in push order, leaving the buffer
+    /// intact — for comparing two logs without consuming either.
+    pub fn snapshot(&self) -> Vec<FeedbackRecord> {
+        match &self.buffer {
+            Some(buffer) => buffer.lock().map(|b| b.clone()).unwrap_or_default(),
+            None => Vec::new(),
+        }
+    }
+
+    /// The concatenated [`FeedbackRecord::canonical_bytes`] of every
+    /// buffered record, in push order.
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        for r in self.snapshot() {
+            out.extend_from_slice(&r.canonical_bytes());
+        }
+        out
     }
 
     /// Number of buffered records (0 when disabled).
@@ -162,6 +205,24 @@ mod tests {
         assert!(log.is_enabled());
         writer.push(record(3.0));
         assert_eq!(log.len(), 1);
+    }
+
+    #[test]
+    fn canonical_bytes_distinguish_fields_and_preserve_order() {
+        let log = FeedbackLog::enabled();
+        log.push(record(1.0));
+        log.push(record(2.0));
+        let bytes = log.canonical_bytes();
+        assert_eq!(bytes.len(), 128);
+        // snapshot leaves the buffer intact, unlike drain.
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.snapshot().len(), 2);
+        // Field changes show up in the encoding; equal records agree.
+        assert_eq!(record(1.0).canonical_bytes(), record(1.0).canonical_bytes());
+        assert_ne!(record(1.0).canonical_bytes(), record(2.0).canonical_bytes());
+        let mut r = record(1.0);
+        r.column += 1;
+        assert_ne!(r.canonical_bytes(), record(1.0).canonical_bytes());
     }
 
     #[test]

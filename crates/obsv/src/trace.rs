@@ -405,6 +405,56 @@ pub fn validate(events: &[Event]) -> Vec<TraceDefect> {
     defects
 }
 
+/// Deterministic textual signature of a flushed event stream: one line per
+/// event in merge order, with span ids renumbered by first appearance and
+/// wall-clock timestamps excluded. Two traces with the same structure, names,
+/// and args — regardless of when or how fast they ran — produce byte-equal
+/// signatures, so this is the comparison key for "same span tree" checks
+/// (e.g. the executor's thread-count determinism contract). `Float` args
+/// render by bit pattern, so even NaN payloads must agree.
+pub fn canonical_signature(events: &[Event]) -> String {
+    use std::collections::HashMap;
+    use std::fmt::Write as _;
+    // Renumber ids in order of first appearance: raw span ids come from a
+    // shared counter whose values could differ between runs that interleave
+    // with other tracer users, while the structure may still be identical.
+    let mut dense: HashMap<u64, usize> = HashMap::new();
+    dense.insert(0, 0);
+    let of = |raw: u64, dense: &mut HashMap<u64, usize>| -> usize {
+        let next = dense.len();
+        *dense.entry(raw).or_insert(next)
+    };
+    let mut out = String::new();
+    for e in events {
+        let id = of(e.id, &mut dense);
+        let parent = of(e.parent, &mut dense);
+        let kind = match e.kind {
+            EventKind::Begin => 'B',
+            EventKind::End => 'E',
+            EventKind::Instant => 'I',
+        };
+        let _ = write!(out, "{kind} {id} {parent} {}", e.name);
+        for (k, v) in &e.args {
+            match v {
+                ArgValue::Int(i) => {
+                    let _ = write!(out, " {k}=i{i}");
+                }
+                ArgValue::Float(f) => {
+                    let _ = write!(out, " {k}=f{:016x}", f.to_bits());
+                }
+                ArgValue::Str(s) => {
+                    let _ = write!(out, " {k}=s{s:?}");
+                }
+                ArgValue::Bool(b) => {
+                    let _ = write!(out, " {k}=b{b}");
+                }
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -480,6 +530,44 @@ mod tests {
         assert!(defects
             .iter()
             .any(|d| matches!(d, TraceDefect::UnclosedSpan { .. })));
+    }
+
+    #[test]
+    fn canonical_signature_ignores_time_and_raw_ids() {
+        let run = || {
+            let t = Tracer::enabled();
+            {
+                let mut root = t.span("root");
+                root.arg("est", 2.5f64);
+                {
+                    let mut c = root.child("child");
+                    c.arg("rows", 42u64);
+                }
+                root.instant("tick", vec![("ok", ArgValue::Bool(true))]);
+            }
+            t.flush()
+        };
+        let (a, b) = (run(), run());
+        // Wall-clock timestamps differ between the runs; the signature
+        // must not.
+        assert_eq!(canonical_signature(&a), canonical_signature(&b));
+        // Renumbering: shifting every raw id must not change the signature.
+        let shifted: Vec<Event> = a
+            .iter()
+            .map(|e| {
+                let mut e = e.clone();
+                e.id += 100;
+                if e.parent != 0 {
+                    e.parent += 100;
+                }
+                e
+            })
+            .collect();
+        assert_eq!(canonical_signature(&a), canonical_signature(&shifted));
+        // Structure is load-bearing: a different arg changes it.
+        let mut c = a.clone();
+        c[0].args.push(("extra", ArgValue::Int(1)));
+        assert_ne!(canonical_signature(&a), canonical_signature(&c));
     }
 
     #[test]

@@ -134,6 +134,12 @@ impl ColumnData {
         &self.validity
     }
 
+    /// True when no entry is NULL. One vectorizable pass; predicate kernels
+    /// use it to pick the null-free inner loop for a whole column.
+    pub fn all_valid(&self) -> bool {
+        self.validity.iter().all(|&v| v)
+    }
+
     /// The raw `i64` payload slice for `Int` and `Date` columns (dates are
     /// stored as days-since-epoch widened to `i64`), or `None` for other
     /// types. Entries at invalid rows are unspecified padding.
