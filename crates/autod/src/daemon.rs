@@ -38,6 +38,33 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use storage::{Database, TableId};
 
+/// Always-on telemetry knobs for the online service: span sampling and the
+/// slow-query reservoir (see [`obsv::slowlog`]). Latency histograms and the
+/// per-tick [`obsv::HealthSnapshot`] are unconditional — they cost a few
+/// relaxed atomics per query and one small struct per tick.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TelemetryConfig {
+    /// Retain the K worst (slowest) sampled queries per tick window with
+    /// their full span trees. 0 disables the slow-query log.
+    pub slowlog_k: usize,
+    /// Trace roughly one in this many query fingerprints (deterministic in
+    /// the fingerprint, see [`obsv::SpanSampler`]). 0 disables sampling,
+    /// 1 traces everything.
+    pub sample_one_in: u64,
+    /// Seed of the fingerprint sampler.
+    pub sample_seed: u64,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig {
+            slowlog_k: 8,
+            sample_one_in: 16,
+            sample_seed: 0x0B5E,
+        }
+    }
+}
+
 /// Daemon policy knobs. Defaults follow the paper's magic numbers where one
 /// exists and SQL Server conventions elsewhere.
 #[derive(Debug, Clone)]
@@ -64,6 +91,10 @@ pub struct AutodConfig {
     /// whole channel disabled and the catalog trajectory bit-identical to a
     /// daemon without this feature.
     pub feedback: Option<FeedbackConfig>,
+    /// Span sampling and slow-query capture. Observation-only: telemetry on
+    /// vs off never changes catalogs, plans, or journals (pinned by
+    /// `tests/telemetry_determinism.rs`).
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for AutodConfig {
@@ -76,6 +107,7 @@ impl Default for AutodConfig {
             staleness: MaintenancePolicy::default(),
             monitor: MonitorConfig::default(),
             feedback: None,
+            telemetry: TelemetryConfig::default(),
         }
     }
 }
@@ -119,6 +151,15 @@ pub struct LifecycleCore {
     /// Shared with query threads; enabled iff `config.feedback` is set.
     feedback_log: obsv::FeedbackLog,
     feedback_store: FeedbackStore,
+    /// Kept for health reporting; the tuner holds its own clone.
+    cache: Option<Arc<optimizer::OptimizeCache>>,
+    /// Tick of the last epoch publication (0 = generation 0 at start).
+    last_publish_tick: u64,
+    /// Written at the end of every tick, read by [`OnlineService::health`]
+    /// without touching the daemon. Observation only.
+    ///
+    /// [`OnlineService::health`]: crate::service::OnlineService::health
+    health: Arc<Mutex<obsv::HealthSnapshot>>,
 }
 
 impl LifecycleCore {
@@ -159,8 +200,8 @@ impl LifecycleCore {
         cache: Option<Arc<optimizer::OptimizeCache>>,
     ) -> Self {
         let mut tuner = autostats::OnlineTuner::new(config.mnsa).with_obs(obs.clone());
-        if let Some(cache) = cache {
-            tuner = tuner.with_cache(cache);
+        if let Some(cache) = &cache {
+            tuner = tuner.with_cache(Arc::clone(cache));
         }
         let epochs = Arc::new(EpochHandle::new(StatsCatalog::restore(catalog.snapshot())));
         let feedback_log = if config.feedback.is_some() {
@@ -180,6 +221,9 @@ impl LifecycleCore {
             last_error: None,
             feedback_log,
             feedback_store: FeedbackStore::new(),
+            cache,
+            last_publish_tick: 0,
+            health: Arc::new(Mutex::new(obsv::HealthSnapshot::default())),
         }
     }
 
@@ -228,6 +272,18 @@ impl LifecycleCore {
     /// `config.feedback` is `None`.
     pub fn feedback_log(&self) -> obsv::FeedbackLog {
         self.feedback_log.clone()
+    }
+
+    /// The shared cell the core writes an [`obsv::HealthSnapshot`] into at
+    /// the end of every tick. Observation only — nothing reads it back into
+    /// tuning decisions.
+    pub fn health_cell(&self) -> Arc<Mutex<obsv::HealthSnapshot>> {
+        Arc::clone(&self.health)
+    }
+
+    /// The latest end-of-tick health snapshot (default before tick 1).
+    pub fn health(&self) -> obsv::HealthSnapshot {
+        self.health.lock().clone()
     }
 
     /// Advance virtual time by one tick. See the module docs for the exact
@@ -402,6 +458,7 @@ impl LifecycleCore {
                 .epochs
                 .publish(StatsCatalog::restore(self.catalog.snapshot()));
             report.published_generation = Some(generation);
+            self.last_publish_tick = tick;
             metrics.counter("autod.epoch_swaps").inc();
             metrics
                 .gauge("autod.epoch_generation")
@@ -409,6 +466,41 @@ impl LifecycleCore {
             self.session
                 .record_online(OnlineEvent::EpochSwap { tick, generation });
         }
+
+        // Assemble and publish the end-of-tick health snapshot. Pure
+        // observation: every input is a counter or gauge read; nothing here
+        // feeds back into tuning, so the catalog trajectory is untouched.
+        let latency = metrics.latency("autod.query.latency_ns").snapshot();
+        let (cache_hits, cache_misses, cache_invalidations) = self
+            .cache
+            .as_ref()
+            .map(|c| (c.hits(), c.misses(), c.invalidations()))
+            .unwrap_or((0, 0, 0));
+        *self.health.lock() = obsv::HealthSnapshot {
+            tick,
+            epoch_generation: self.epochs.generation(),
+            epoch_age_ticks: tick.saturating_sub(self.last_publish_tick),
+            staleness_backlog: deferred_refreshes as u64,
+            pending_templates: self.tuner.pending() as u64,
+            monitor_templates: monitor.len() as u64,
+            monitor_capacity: monitor.capacity() as u64,
+            monitor_observed: monitor.observed_total(),
+            monitor_evictions: monitor.evictions_total(),
+            monitor_ghost_hits: monitor.ghost_hits_total(),
+            feedback_queue_depth: self.feedback_log.len() as u64,
+            budget_balance: self.tuner.balance(),
+            cache_hits,
+            cache_misses,
+            cache_invalidations,
+            queries: metrics.counter("autod.queries").get(),
+            dml: metrics.counter("autod.dml").get(),
+            latency_count: latency.count,
+            latency_p50_ns: latency.quantile(0.50),
+            latency_p90_ns: latency.quantile(0.90),
+            latency_p99_ns: latency.quantile(0.99),
+            latency_p999_ns: latency.quantile(0.999),
+            latency_max_ns: latency.max,
+        };
 
         span.arg("refreshed", report.refreshed);
         span.arg("feedback_refreshed", report.feedback_refreshed);
@@ -430,6 +522,7 @@ pub struct LifecycleDaemon {
     commands: mpsc::Sender<Command>,
     handle: std::thread::JoinHandle<LifecycleCore>,
     tick_cell: Arc<AtomicU64>,
+    health_cell: Arc<Mutex<obsv::HealthSnapshot>>,
 }
 
 impl LifecycleDaemon {
@@ -443,6 +536,7 @@ impl LifecycleDaemon {
         let (commands, inbox) = mpsc::channel::<Command>();
         let tick_cell = Arc::new(AtomicU64::new(0));
         let cell = Arc::clone(&tick_cell);
+        let health_cell = core.health_cell();
         let handle = std::thread::spawn(move || {
             while let Ok(command) = inbox.recv() {
                 match command {
@@ -476,6 +570,7 @@ impl LifecycleDaemon {
             commands,
             handle,
             tick_cell,
+            health_cell,
         }
     }
 
@@ -498,6 +593,12 @@ impl LifecycleDaemon {
     /// "now" for monitor observations on query threads).
     pub fn tick_cell(&self) -> Arc<AtomicU64> {
         Arc::clone(&self.tick_cell)
+    }
+
+    /// The shared cell holding the core's latest end-of-tick
+    /// [`obsv::HealthSnapshot`].
+    pub fn health_cell(&self) -> Arc<Mutex<obsv::HealthSnapshot>> {
+        Arc::clone(&self.health_cell)
     }
 
     /// Stop the thread and recover the core (catalog, journal, meters).

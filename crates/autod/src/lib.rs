@@ -46,7 +46,7 @@ pub mod monitor;
 pub mod service;
 pub mod staleness;
 
-pub use daemon::{AutodConfig, LifecycleCore, LifecycleDaemon, TickReport};
+pub use daemon::{AutodConfig, LifecycleCore, LifecycleDaemon, TelemetryConfig, TickReport};
 pub use epoch::{CatalogEpoch, EpochHandle};
 pub use monitor::{MonitorConfig, TemplateStats, WorkloadMonitor};
 pub use service::{OnlineService, QueryHandle, ServiceReport};

@@ -71,6 +71,7 @@ pub struct WorkloadMonitor {
     evict_seq: u64,
     observed_total: u64,
     evictions_total: u64,
+    ghost_hits_total: u64,
     /// Fingerprints evicted since the last [`WorkloadMonitor::drain_evictions`].
     pending_evictions: Vec<u64>,
 }
@@ -96,6 +97,7 @@ impl WorkloadMonitor {
             evict_seq: 0,
             observed_total: 0,
             evictions_total: 0,
+            ghost_hits_total: 0,
             pending_evictions: Vec::new(),
         }
     }
@@ -112,6 +114,9 @@ impl WorkloadMonitor {
         }
         // Ghost restoration: a recently evicted template resumes its count.
         let history = self.ghosts.remove(&fp).map_or(0, |g| g.frequency);
+        if history > 0 {
+            self.ghost_hits_total += 1;
+        }
         self.arrivals += 1;
         self.templates.insert(
             fp,
@@ -214,6 +219,17 @@ impl WorkloadMonitor {
     pub fn evictions_total(&self) -> u64 {
         self.evictions_total
     }
+
+    /// Evicted templates whose history was restored on re-arrival (ARC
+    /// ghost hits) over the monitor's life.
+    pub fn ghost_hits_total(&self) -> u64 {
+        self.ghost_hits_total
+    }
+
+    /// Configured capacity (distinct templates retained).
+    pub fn capacity(&self) -> usize {
+        self.config.capacity
+    }
 }
 
 #[cfg(test)]
@@ -314,6 +330,8 @@ mod tests {
             .into_iter()
             .find(|t| t.fingerprint == qs[1].fingerprint());
         assert_eq!(t.map(|t| t.frequency), Some(2));
+        assert_eq!(m.ghost_hits_total(), 1);
+        assert_eq!(m.capacity(), 2);
     }
 
     #[test]

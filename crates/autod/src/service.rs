@@ -21,6 +21,7 @@ use crate::epoch::{CatalogEpoch, EpochHandle};
 use crate::monitor::{TemplateStats, WorkloadMonitor};
 use autostats::{ManagerError, SessionReport, TuneError};
 use executor::{execute_plan_traced, run_statement_traced, StatementOutcome};
+use obsv::{HealthSnapshot, LatencyHistogram, SlowQuery, SlowQueryLog, SpanSampler, WindowDelta};
 use optimizer::{OptimizeOptions, Optimizer};
 use parking_lot::{Mutex, RwLock};
 use query::{bind_statement, parse_statement, BoundStatement, Statement};
@@ -28,6 +29,20 @@ use stats::StatsCatalog;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use storage::Database;
+
+/// Shared always-on telemetry for the query path: latency histograms in
+/// the service registry, the deterministic span sampler, the slow-query
+/// reservoir, and per-tick windowed rollups. Everything here is
+/// observation-only — wall-clock flavoured values are outside the
+/// bit-identity determinism contract, and nothing reads them back into
+/// tuning or execution.
+pub(crate) struct ServiceTelemetry {
+    pub(crate) sampler: SpanSampler,
+    pub(crate) slowlog: SlowQueryLog,
+    pub(crate) query_latency: LatencyHistogram,
+    pub(crate) dml_latency: LatencyHistogram,
+    windows: obsv::WindowedRegistry,
+}
 
 /// Everything the daemon learned, returned at shutdown.
 #[derive(Debug)]
@@ -59,6 +74,8 @@ pub struct OnlineService {
     obs: obsv::Obs,
     daemon: LifecycleDaemon,
     current_tick: Arc<AtomicU64>,
+    telemetry: Arc<ServiceTelemetry>,
+    health: Arc<Mutex<HealthSnapshot>>,
 }
 
 impl OnlineService {
@@ -66,13 +83,22 @@ impl OnlineService {
     pub fn start(parts: autostats::ServeParts, config: AutodConfig) -> OnlineService {
         let obs = parts.obs.clone();
         let monitor_config = config.monitor;
+        let telemetry_config = config.telemetry;
         let (core, db) = LifecycleCore::from_serve(parts, config);
         let optimizer = Arc::new(core.optimizer().clone());
         let epochs = core.epochs();
         let db = Arc::new(RwLock::new(db));
         let monitor = Arc::new(Mutex::new(WorkloadMonitor::new(monitor_config)));
+        let telemetry = Arc::new(ServiceTelemetry {
+            sampler: SpanSampler::new(telemetry_config.sample_seed, telemetry_config.sample_one_in),
+            slowlog: SlowQueryLog::new(telemetry_config.slowlog_k),
+            query_latency: obs.metrics.latency("autod.query.latency_ns"),
+            dml_latency: obs.metrics.latency("autod.dml.latency_ns"),
+            windows: obsv::WindowedRegistry::new(Arc::clone(&obs.metrics)),
+        });
         let daemon = LifecycleDaemon::spawn(core, Arc::clone(&db), Arc::clone(&monitor));
         let current_tick = daemon.tick_cell();
+        let health = daemon.health_cell();
         OnlineService {
             db,
             monitor,
@@ -81,6 +107,8 @@ impl OnlineService {
             obs,
             daemon,
             current_tick,
+            telemetry,
+            health,
         }
     }
 
@@ -94,17 +122,56 @@ impl OnlineService {
             optimizer: Arc::clone(&self.optimizer),
             obs: self.obs.fork(tid),
             current_tick: Arc::clone(&self.current_tick),
+            telemetry: Arc::clone(&self.telemetry),
         }
     }
 
-    /// Fire-and-forget virtual-time tick.
+    /// Fire-and-forget virtual-time tick. Telemetry windows do not advance
+    /// on this path (use [`OnlineService::tick_wait`] for windowed rollups).
     pub fn tick(&self) {
         self.daemon.tick();
     }
 
     /// Tick and wait for the report — the deterministic driver's clock.
+    /// Also rolls the slow-query reservoir's window over at this tick;
+    /// pair with [`OnlineService::roll_window`] to emit the tick's metric
+    /// deltas.
     pub fn tick_wait(&self) -> Result<TickReport, TuneError> {
-        self.daemon.tick_wait()
+        let report = self.daemon.tick_wait()?;
+        if report.tick > 0 {
+            self.telemetry.slowlog.roll(report.tick);
+        }
+        Ok(report)
+    }
+
+    /// Close the current metrics window as `window`, returning its deltas
+    /// (QPS, refreshes, feedback ingest, budget spend, cache hits, latency
+    /// quantiles — everything registered in the service metrics registry).
+    /// Drivers call this once per tick, with the tick as the window id, so
+    /// the window schedule is as deterministic as the tick schedule.
+    pub fn roll_window(&self, window: u64) -> WindowDelta {
+        self.telemetry.windows.roll(window)
+    }
+
+    /// The daemon's latest end-of-tick health snapshot (default before the
+    /// first tick completes).
+    pub fn health(&self) -> HealthSnapshot {
+        self.health.lock().clone()
+    }
+
+    /// Drain the slow-query reservoir: closes the current window at the
+    /// latest completed tick and takes every retained entry (the K worst
+    /// sampled queries per window, each with its full span tree).
+    pub fn drain_slow_queries(&self) -> Vec<SlowQuery> {
+        self.telemetry
+            .slowlog
+            .roll(self.current_tick.load(Ordering::SeqCst));
+        self.telemetry.slowlog.drain()
+    }
+
+    /// The service metrics registry (shared with the daemon and handles).
+    pub fn metrics(&self) -> Arc<obsv::Registry> {
+        Arc::clone(&self.obs.metrics)
     }
 
     /// The current published epoch.
@@ -166,6 +233,7 @@ pub struct QueryHandle {
     optimizer: Arc<Optimizer>,
     obs: obsv::Obs,
     current_tick: Arc<AtomicU64>,
+    telemetry: Arc<ServiceTelemetry>,
 }
 
 impl QueryHandle {
@@ -187,21 +255,49 @@ impl QueryHandle {
                     return self.run_write(stmt);
                 };
                 let tick = self.current_tick.load(Ordering::SeqCst);
-                self.monitor.lock().observe(&query, tick);
+                let fp = self.monitor.lock().observe(&query, tick);
                 let epoch = self.epochs.load();
+                let start = std::time::Instant::now();
                 let optimized = self.optimizer.optimize(
                     &db,
                     &query,
                     epoch.catalog.full_view(),
                     &OptimizeOptions::default(),
                 )?;
-                let output = execute_plan_traced(
-                    &db,
-                    &query,
-                    &optimized.plan,
-                    &self.optimizer.params,
-                    &self.obs.tracer,
-                )?;
+                // Sampled fingerprints execute under a private tracer so the
+                // slow-query reservoir can keep their full span tree. Tracing
+                // is observation-only, so the output is identical either way
+                // (pinned by tests/telemetry_determinism.rs).
+                let sampled =
+                    self.telemetry.slowlog.is_enabled() && self.telemetry.sampler.sample(fp);
+                let output = if sampled {
+                    let tracer = obsv::Tracer::enabled();
+                    let output = execute_plan_traced(
+                        &db,
+                        &query,
+                        &optimized.plan,
+                        &self.optimizer.params,
+                        &tracer,
+                    )?;
+                    let latency_ns = start.elapsed().as_nanos() as u64;
+                    self.telemetry.query_latency.observe(latency_ns);
+                    self.telemetry
+                        .slowlog
+                        .record(fp, latency_ns, tracer.flush());
+                    output
+                } else {
+                    let output = execute_plan_traced(
+                        &db,
+                        &query,
+                        &optimized.plan,
+                        &self.optimizer.params,
+                        &self.obs.tracer,
+                    )?;
+                    self.telemetry
+                        .query_latency
+                        .observe(start.elapsed().as_nanos() as u64);
+                    output
+                };
                 self.obs.metrics.counter("autod.queries").inc();
                 Ok(StatementOutcome::Query {
                     output,
@@ -216,6 +312,7 @@ impl QueryHandle {
         let mut db = self.db.write();
         let bound = bind_statement(&db, stmt)?;
         let epoch = self.epochs.load();
+        let start = std::time::Instant::now();
         let out = run_statement_traced(
             &mut db,
             epoch.catalog.full_view(),
@@ -223,6 +320,9 @@ impl QueryHandle {
             &bound,
             &self.obs.tracer,
         )?;
+        self.telemetry
+            .dml_latency
+            .observe(start.elapsed().as_nanos() as u64);
         self.obs.metrics.counter("autod.dml").inc();
         Ok(out)
     }
@@ -337,6 +437,98 @@ mod tests {
             .online
             .iter()
             .any(|e| matches!(e, autostats::OnlineEvent::EpochSwap { .. })));
+    }
+
+    /// Service with every query sampled into the slow-query reservoir.
+    fn traced_service() -> OnlineService {
+        let mgr = AutoStatsManager::new(
+            test_db(),
+            ManagerConfig {
+                creation: CreationPolicy::Manual,
+                auto_maintain: false,
+                ..ManagerConfig::default()
+            },
+        );
+        OnlineService::start(
+            mgr.serve(),
+            AutodConfig {
+                budget_per_tick: f64::INFINITY,
+                telemetry: crate::daemon::TelemetryConfig {
+                    sample_one_in: 1,
+                    ..crate::daemon::TelemetryConfig::default()
+                },
+                ..AutodConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn health_snapshot_tracks_the_tick() {
+        // Finite budget: the JSON round-trip below is exact only for finite
+        // floats (non-finite renders as null and reads back as 0).
+        let svc = service(1_000_000.0);
+        let h = svc.handle(1);
+        assert_eq!(svc.health(), obsv::HealthSnapshot::default());
+        h.run_sql("SELECT * FROM employees WHERE salary > 200")
+            .unwrap();
+        h.run_sql("DELETE FROM employees WHERE empid = 0").unwrap();
+        svc.tick_wait().unwrap();
+        let health = svc.health();
+        assert_eq!(health.tick, 1);
+        assert_eq!(health.queries, 1);
+        assert_eq!(health.dml, 1);
+        assert_eq!(health.monitor_templates, 1);
+        assert_eq!(health.latency_count, 1);
+        assert!(health.latency_p99_ns > 0, "wall-clock latency observed");
+        assert_eq!(health.epoch_generation, svc.generation());
+        let line = health.to_json_line();
+        assert_eq!(obsv::HealthSnapshot::from_json_line(&line), Ok(health));
+        svc.shutdown().unwrap();
+    }
+
+    #[test]
+    fn window_rollups_isolate_per_tick_activity() {
+        let svc = service(f64::INFINITY);
+        let h = svc.handle(1);
+        for _ in 0..3 {
+            h.run_sql("SELECT * FROM employees WHERE age < 30").unwrap();
+        }
+        svc.tick_wait().unwrap();
+        let w1 = svc.roll_window(1);
+        assert_eq!(w1.count("autod.queries"), 3);
+        let lat = w1.latency("autod.query.latency_ns").unwrap();
+        assert_eq!(lat.count, 3);
+        assert!(lat.quantile(0.99) >= lat.quantile(0.5));
+
+        // Nothing ran since: the next window reports zero activity.
+        svc.tick_wait().unwrap();
+        let w2 = svc.roll_window(2);
+        assert_eq!(w2.count("autod.queries"), 0);
+        assert_eq!(w2.latency("autod.query.latency_ns").unwrap().count, 0);
+        svc.shutdown().unwrap();
+    }
+
+    #[test]
+    fn slow_query_reservoir_retains_full_span_trees() {
+        let svc = traced_service();
+        let h = svc.handle(1);
+        h.run_sql("SELECT * FROM employees WHERE salary > 200")
+            .unwrap();
+        h.run_sql(
+            "SELECT e.empid FROM employees e, departments d \
+             WHERE e.deptid = d.deptid",
+        )
+        .unwrap();
+        svc.tick_wait().unwrap();
+        let slow = svc.drain_slow_queries();
+        assert_eq!(slow.len(), 2, "every query sampled at one_in=1");
+        assert!(slow.iter().all(|q| !q.events.is_empty()));
+        assert!(slow.iter().all(|q| q.window == 1));
+        let jsonl = obsv::slowlog::to_jsonl(&slow);
+        obsv::check::check_jsonl(&jsonl).expect("slowlog export is a valid trace");
+        // Drained means drained.
+        assert!(svc.drain_slow_queries().is_empty());
+        svc.shutdown().unwrap();
     }
 
     #[test]

@@ -7,11 +7,18 @@
 //! Usage: `cargo run --release -p bench --bin exp_online
 //!         [--full | --tiny] [--ticks N] [--threads N] [--budget W]
 //!         [--out PATH] [--trace-out PATH] [--metrics-out PATH]
-//!         [--journal-out PATH]`
+//!         [--journal-out PATH] [--windows-out PATH] [--health-out PATH]
+//!         [--slowlog-out PATH]`
 //!
 //! Writes `BENCH_online.json` at the repository root by default (`--out`
 //! overrides, which the CI smoke run uses). `--threads N` (N > 1) adds a
 //! wall-clock pass with N query threads racing the daemon.
+//!
+//! The telemetry flags export the instrumented drive's production streams:
+//! per-tick windowed metric deltas (`--windows-out`, `obsv_check
+//! --windows`), per-tick health snapshots (`--health-out`, `obsv_check
+//! --health`, rendered by `obsv_top`), and the slow-query reservoir's span
+//! trees (`--slowlog-out`, `obsv_check --jsonl`).
 
 use bench::common::{flag_value, parse_threads, BenchObs, ExperimentScale};
 use bench::experiments::online;
@@ -44,7 +51,8 @@ fn main() {
     let bench_obs = BenchObs::from_args(&args);
 
     println!("== Online lifecycle: monitor -> staleness -> incremental MNSA ==");
-    let (result, journal) = online::run(&scale, ticks, threads, budget, bench_obs.obs.clone());
+    let (result, journal, telemetry) =
+        online::run(&scale, ticks, threads, budget, bench_obs.obs.clone());
     result.print();
 
     if !result.rerun_identical {
@@ -57,6 +65,25 @@ fn main() {
         Err(e) => {
             eprintln!("error: cannot write {}: {e}", out.display());
             std::process::exit(1);
+        }
+    }
+    for (flag, contents, what) in [
+        ("--windows-out", &telemetry.windows_jsonl, "window deltas"),
+        ("--health-out", &telemetry.health_jsonl, "health snapshots"),
+        (
+            "--slowlog-out",
+            &telemetry.slowlog_jsonl,
+            "slow-query trace",
+        ),
+    ] {
+        if let Some(path) = flag_value(&args, flag) {
+            match std::fs::write(&path, contents) {
+                Ok(()) => println!("{what} written to {path}"),
+                Err(e) => {
+                    eprintln!("error: cannot write {path}: {e}");
+                    std::process::exit(1);
+                }
+            }
         }
     }
     bench_obs.finish(Some(&journal));

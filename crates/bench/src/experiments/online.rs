@@ -23,7 +23,7 @@
 //! makes no determinism claim.
 
 use crate::common::ExperimentScale;
-use autod::{AutodConfig, OnlineService, ServiceReport, TickReport};
+use autod::{AutodConfig, OnlineService, ServiceReport, TelemetryConfig, TickReport};
 use autostats::{AutoStatsManager, CreationPolicy, ManagerConfig, OfflineTuner};
 use datagen::{
     build_tpcd, tpcd_benchmark_queries, Complexity, RagsGenerator, TpcdConfig, WorkloadSpec,
@@ -44,6 +44,34 @@ pub struct TrajectoryPoint {
     pub generation: u64,
     /// Total optimizer cost of the probe queries under this epoch's catalog.
     pub probe_cost: f64,
+}
+
+/// Query-latency quantiles over one epoch's lifetime (publication to
+/// publication), from the service's log-linear latency histogram. Values
+/// are wall-clock nanoseconds — outside the bit-identity contract.
+#[derive(Debug, Clone)]
+pub struct EpochLatency {
+    pub generation: u64,
+    /// The tick at which this epoch was published (closing the interval).
+    pub tick: u64,
+    /// Queries observed during the epoch interval.
+    pub queries: u64,
+    pub p50_ns: u64,
+    pub p90_ns: u64,
+    pub p99_ns: u64,
+    pub p999_ns: u64,
+}
+
+/// The telemetry streams one instrumented drive exports (JSONL, validated
+/// by `obsv_check --windows / --health / --jsonl`).
+#[derive(Debug, Clone, Default)]
+pub struct TelemetryExport {
+    /// One [`obsv::WindowDelta`] per tick.
+    pub windows_jsonl: String,
+    /// One [`obsv::HealthSnapshot`] per tick.
+    pub health_jsonl: String,
+    /// The slow-query reservoir as one valid trace stream.
+    pub slowlog_jsonl: String,
 }
 
 /// Everything `exp_online` reports (and writes to `BENCH_online.json`).
@@ -69,6 +97,8 @@ pub struct OnlineResult {
     /// Probe cost under an offline `tune` on the same deduplicated sample.
     pub offline_probe_cost: f64,
     pub trajectory: Vec<TrajectoryPoint>,
+    /// Per-epoch query-latency quantiles (publication to publication).
+    pub epoch_latency: Vec<EpochLatency>,
     /// True when the seed-fixed single-threaded rerun was bit-identical.
     pub rerun_identical: bool,
     /// Wall-clock milliseconds for the multi-threaded pass (0 if skipped).
@@ -160,6 +190,25 @@ impl OnlineResult {
             ));
         }
         out.push_str("  ],\n");
+        out.push_str("  \"epoch_latency\": [\n");
+        for (i, e) in self.epoch_latency.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"generation\": {}, \"tick\": {}, \"queries\": {}, \"p50_ns\": {}, \"p90_ns\": {}, \"p99_ns\": {}, \"p999_ns\": {}}}{}\n",
+                e.generation,
+                e.tick,
+                e.queries,
+                e.p50_ns,
+                e.p90_ns,
+                e.p99_ns,
+                e.p999_ns,
+                if i + 1 < self.epoch_latency.len() {
+                    ","
+                } else {
+                    ""
+                }
+            ));
+        }
+        out.push_str("  ],\n");
         out.push_str(&format!(
             "  \"rerun_identical\": {},\n",
             self.rerun_identical
@@ -203,6 +252,12 @@ impl OnlineResult {
                 p.tick, p.generation, p.probe_cost
             );
         }
+        for e in &self.epoch_latency {
+            println!(
+                "  epoch {:>3} (tick {:>4})  {:>6} queries  p50 {:>10} ns  p90 {:>10} ns  p99 {:>10} ns  p999 {:>10} ns",
+                e.generation, e.tick, e.queries, e.p50_ns, e.p90_ns, e.p99_ns, e.p999_ns
+            );
+        }
         println!(
             "determinism: seed-fixed single-threaded rerun identical = {}",
             self.rerun_identical
@@ -224,6 +279,9 @@ struct Drive {
     tick_reports: Vec<TickReport>,
     /// Epoch captured after each tick, in tick order.
     epochs: Vec<Arc<autod::CatalogEpoch>>,
+    /// Per-epoch latency quantiles and the exported telemetry streams.
+    epoch_latency: Vec<EpochLatency>,
+    telemetry: TelemetryExport,
 }
 
 impl Drive {
@@ -256,6 +314,12 @@ fn service_config(budget_per_tick: f64) -> AutodConfig {
     AutodConfig {
         budget_per_tick,
         shrink_every: 4,
+        // Sample every template: the bench slow-query export should always
+        // contain executor span trees, whatever the workload's fingerprints.
+        telemetry: TelemetryConfig {
+            sample_one_in: 1,
+            ..TelemetryConfig::default()
+        },
         ..AutodConfig::default()
     }
 }
@@ -298,11 +362,39 @@ fn drive(scale: &ExperimentScale, ticks: u64, budget_per_tick: f64, obs: obsv::O
     let bulk_at = statements.len() * 3 / 4;
     let mut tick_reports = Vec::new();
     let mut epochs = Vec::new();
-    let tick_now = |svc: &OnlineService,
-                    reports: &mut Vec<TickReport>,
-                    epochs: &mut Vec<Arc<autod::CatalogEpoch>>| {
+    let mut epoch_latency = Vec::new();
+    let mut telemetry = TelemetryExport::default();
+    // Cumulative latency distribution at the last epoch publication; the
+    // delta to the next publication is that epoch's own distribution.
+    let mut last_epoch_sample = obsv::LatencySample::default();
+    let query_latency = svc.metrics().latency("autod.query.latency_ns");
+    let mut tick_now = |svc: &OnlineService,
+                        reports: &mut Vec<TickReport>,
+                        epochs: &mut Vec<Arc<autod::CatalogEpoch>>| {
         let r = svc.tick_wait().expect("tick succeeds");
         epochs.push(svc.epoch());
+        telemetry
+            .windows_jsonl
+            .push_str(&svc.roll_window(r.tick).to_json_line());
+        telemetry.windows_jsonl.push('\n');
+        telemetry
+            .health_jsonl
+            .push_str(&svc.health().to_json_line());
+        telemetry.health_jsonl.push('\n');
+        if let Some(generation) = r.published_generation {
+            let cumulative = query_latency.snapshot();
+            let sample = cumulative.delta_from(&last_epoch_sample);
+            epoch_latency.push(EpochLatency {
+                generation,
+                tick: r.tick,
+                queries: sample.count,
+                p50_ns: sample.quantile(0.50),
+                p90_ns: sample.quantile(0.90),
+                p99_ns: sample.quantile(0.99),
+                p999_ns: sample.quantile(0.999),
+            });
+            last_epoch_sample = cumulative;
+        }
         reports.push(r);
     };
 
@@ -330,6 +422,7 @@ fn drive(scale: &ExperimentScale, ticks: u64, budget_per_tick: f64, obs: obsv::O
         }
     }
 
+    telemetry.slowlog_jsonl = obsv::slowlog::to_jsonl(&svc.drain_slow_queries());
     let (db, report) = svc.shutdown().expect("daemon thread lives");
     if let Some(e) = &report.error {
         panic!("daemon tick failed during drive: {e}");
@@ -340,6 +433,8 @@ fn drive(scale: &ExperimentScale, ticks: u64, budget_per_tick: f64, obs: obsv::O
         statements,
         tick_reports,
         epochs,
+        epoch_latency,
+        telemetry,
     }
 }
 
@@ -421,7 +516,7 @@ pub fn run(
     threads: usize,
     budget_per_tick: f64,
     obs: obsv::Obs,
-) -> (OnlineResult, autostats::SessionReport) {
+) -> (OnlineResult, autostats::SessionReport, TelemetryExport) {
     let first = drive(scale, ticks, budget_per_tick, obs);
     let second = drive(scale, ticks, budget_per_tick, obsv::Obs::disabled());
     let rerun_identical = first.digest() == second.digest();
@@ -489,11 +584,12 @@ pub fn run(
         online_probe_cost,
         offline_probe_cost,
         trajectory,
+        epoch_latency: first.epoch_latency.clone(),
         rerun_identical,
         threaded_wall_ms,
         threaded_observed,
     };
-    (result, first.report.session)
+    (result, first.report.session, first.telemetry)
 }
 
 #[cfg(test)]
@@ -503,11 +599,25 @@ mod tests {
     #[test]
     fn tiny_online_run_is_deterministic_and_converges() {
         let scale = ExperimentScale::tiny();
-        let (result, session) = run(&scale, 3, 1, f64::INFINITY, obsv::Obs::disabled());
+        let (result, session, telemetry) = run(&scale, 3, 1, f64::INFINITY, obsv::Obs::disabled());
         assert!(result.rerun_identical, "seed-fixed rerun diverged");
         assert!(result.statements > 0);
         assert!(result.refreshes > 0, "bulk update must trigger refreshes");
         assert!(!session.online.is_empty(), "journal records online events");
+        // The telemetry streams validate under their own checkers.
+        obsv::check::check_windows(&telemetry.windows_jsonl).expect("windows JSONL valid");
+        obsv::check::check_health(&telemetry.health_jsonl).expect("health JSONL valid");
+        let slow = obsv::check::check_jsonl(&telemetry.slowlog_jsonl).expect("slowlog JSONL valid");
+        assert!(slow.spans > 0, "slow-query reservoir captured span trees");
+        assert!(
+            telemetry.slowlog_jsonl.contains("exec."),
+            "slowlog spans include executor operators"
+        );
+        // Every published epoch reports its own latency quantiles.
+        assert!(!result.epoch_latency.is_empty(), "epochs were published");
+        for e in &result.epoch_latency {
+            assert!(e.p50_ns <= e.p99_ns && e.p99_ns <= e.p999_ns);
+        }
         // With an unconstrained budget the online catalog should match the
         // offline one closely (same MNSA, same sample, shared shrink tail).
         assert!(
@@ -521,5 +631,7 @@ mod tests {
         let json = result.to_json();
         assert!(json.contains("\"rerun_identical\": true"));
         assert!(json.contains("\"trajectory\""));
+        assert!(json.contains("\"epoch_latency\""));
+        assert!(json.contains("\"p99_ns\""));
     }
 }

@@ -4,6 +4,8 @@
 //!   obsv_check --jsonl trace.jsonl
 //!   obsv_check --chrome trace.json
 //!   obsv_check --metrics metrics.json
+//!   obsv_check --windows windows.jsonl
+//!   obsv_check --health health.jsonl
 //!
 //! Any number of flags may be combined; exits non-zero on the first file
 //! that fails its schema check. CI runs this against the artefacts of a
@@ -14,7 +16,9 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
-        eprintln!("usage: obsv_check [--jsonl FILE] [--chrome FILE] [--metrics FILE]");
+        eprintln!(
+            "usage: obsv_check [--jsonl FILE] [--chrome FILE] [--metrics FILE] [--windows FILE] [--health FILE]"
+        );
         return ExitCode::FAILURE;
     }
     let mut i = 0;
@@ -36,6 +40,8 @@ fn main() -> ExitCode {
             "--jsonl" => obsv::check::check_jsonl(&text),
             "--chrome" => obsv::check::check_chrome(&text),
             "--metrics" => obsv::check::check_metrics(&text),
+            "--windows" => obsv::check::check_windows(&text),
+            "--health" => obsv::check::check_health(&text),
             other => {
                 eprintln!("obsv_check: unknown flag {other}");
                 return ExitCode::FAILURE;

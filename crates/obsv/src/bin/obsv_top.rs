@@ -1,0 +1,78 @@
+//! One-screen health dashboard for the online statistics service.
+//!
+//! Usage:
+//!   obsv_top HEALTH_JSONL            # latest snapshot as a dashboard
+//!   obsv_top --watch HEALTH_JSONL    # re-render every second (Ctrl-C to stop)
+//!
+//! The input is the health JSONL stream the `autod` lifecycle daemon
+//! exports (one [`obsv::HealthSnapshot`] per line; `exp_online
+//! --health-out` writes one). The dashboard shows the latest snapshot plus
+//! per-tick rates derived from the previous line.
+
+use obsv::HealthSnapshot;
+use std::process::ExitCode;
+
+fn load(path: &str) -> Result<Vec<HealthSnapshot>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut snapshots = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        snapshots.push(
+            HealthSnapshot::from_json_line(line)
+                .map_err(|e| format!("line {}: {e}", lineno + 1))?,
+        );
+    }
+    Ok(snapshots)
+}
+
+fn render(snapshots: &[HealthSnapshot]) -> String {
+    let Some(latest) = snapshots.last() else {
+        return "obsv_top: no health snapshots yet\n".to_string();
+    };
+    let mut out = latest.render_text();
+    if snapshots.len() >= 2 {
+        let prev = &snapshots[snapshots.len() - 2];
+        let ticks = latest.tick.saturating_sub(prev.tick).max(1);
+        let qps = latest.queries.saturating_sub(prev.queries) as f64 / ticks as f64;
+        let dml = latest.dml.saturating_sub(prev.dml) as f64 / ticks as f64;
+        out.push_str(&format!(
+            "  rates      {qps:.1} queries/tick   {dml:.1} dml/tick   (over last {ticks} tick{})\n",
+            if ticks == 1 { "" } else { "s" },
+        ));
+    }
+    out.push_str(&format!("  history    {} snapshot(s)\n", snapshots.len()));
+    out
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (watch, path) = match args.as_slice() {
+        [path] => (false, path.clone()),
+        [flag, path] if flag == "--watch" => (true, path.clone()),
+        _ => {
+            eprintln!("usage: obsv_top [--watch] HEALTH_JSONL");
+            return ExitCode::FAILURE;
+        }
+    };
+    loop {
+        match load(&path) {
+            Ok(snapshots) => {
+                if watch {
+                    // ANSI clear-screen + home, so the dashboard stays put.
+                    print!("\x1b[2J\x1b[H");
+                }
+                print!("{}", render(&snapshots));
+            }
+            Err(e) => {
+                eprintln!("obsv_top: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        if !watch {
+            return ExitCode::SUCCESS;
+        }
+        std::thread::sleep(std::time::Duration::from_secs(1));
+    }
+}

@@ -99,8 +99,9 @@ pub fn check_chrome(text: &str) -> Result<CheckSummary, String> {
     })
 }
 
-/// Check a metrics dump: one JSON object whose values are numbers or
-/// histogram objects.
+/// Check a metrics dump: one JSON object whose values are numbers,
+/// fixed-bucket histogram objects (`bounds`/`counts`/`sum`/`count`), or
+/// latency histogram objects (`count`/`p50`/`p90`/`p99`/`p999`/`max`).
 pub fn check_metrics(text: &str) -> Result<CheckSummary, String> {
     let v = json::parse(text).map_err(|e| e.to_string())?;
     let obj = v
@@ -110,9 +111,17 @@ pub fn check_metrics(text: &str) -> Result<CheckSummary, String> {
         match value {
             Json::Num(_) | Json::Null => {}
             Json::Object(h) => {
-                for key in ["bounds", "counts", "sum", "count"] {
-                    if !h.contains_key(key) {
-                        return Err(format!("metric '{name}': histogram missing {key}"));
+                if h.contains_key("bounds") {
+                    for key in ["bounds", "counts", "sum", "count"] {
+                        if !h.contains_key(key) {
+                            return Err(format!("metric '{name}': histogram missing {key}"));
+                        }
+                    }
+                } else {
+                    for key in ["count", "p50", "p90", "p99", "p999", "max"] {
+                        if !h.contains_key(key) {
+                            return Err(format!("metric '{name}': latency object missing {key}"));
+                        }
                     }
                 }
             }
@@ -121,6 +130,103 @@ pub fn check_metrics(text: &str) -> Result<CheckSummary, String> {
     }
     Ok(CheckSummary {
         events: obj.len(),
+        spans: 0,
+    })
+}
+
+/// Check a windowed-rollup JSONL stream: every line is a flat JSON object
+/// with a numeric `window` field, windows strictly increase, and every
+/// value is a number or null.
+pub fn check_windows(text: &str) -> Result<CheckSummary, String> {
+    let mut last_window: Option<f64> = None;
+    let mut lines = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = json::parse(line).map_err(|e| format!("line {}: {}", lineno + 1, e))?;
+        let obj = v
+            .as_object()
+            .ok_or_else(|| format!("line {}: window entry must be an object", lineno + 1))?;
+        let window = obj
+            .get("window")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("line {}: missing numeric 'window'", lineno + 1))?;
+        if let Some(prev) = last_window {
+            if window <= prev {
+                return Err(format!(
+                    "line {}: non-monotone window {} after {}",
+                    lineno + 1,
+                    window,
+                    prev
+                ));
+            }
+        }
+        last_window = Some(window);
+        for (name, value) in obj {
+            if !matches!(value, Json::Num(_) | Json::Null) {
+                return Err(format!(
+                    "line {}: metric '{}' is not a number",
+                    lineno + 1,
+                    name
+                ));
+            }
+        }
+        lines += 1;
+    }
+    Ok(CheckSummary {
+        events: lines,
+        spans: 0,
+    })
+}
+
+/// Check a health JSONL stream: every line parses as a
+/// [`crate::health::HealthSnapshot`] with the core fields present, and
+/// ticks strictly increase.
+pub fn check_health(text: &str) -> Result<CheckSummary, String> {
+    let mut last_tick: Option<u64> = None;
+    let mut lines = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = json::parse(line).map_err(|e| format!("line {}: {}", lineno + 1, e))?;
+        for key in [
+            "tick",
+            "epoch_generation",
+            "epoch_age_ticks",
+            "staleness_backlog",
+            "budget_balance",
+            "queries",
+            "latency_p99_ns",
+        ] {
+            // Non-finite floats render as null (e.g. an unlimited budget's
+            // balance), which reads back as 0 — present, just not a Num.
+            match v.get(key) {
+                Some(Json::Null) => {}
+                Some(n) if n.as_f64().is_some() => {}
+                _ => {
+                    return Err(format!("line {}: missing numeric '{}'", lineno + 1, key));
+                }
+            }
+        }
+        let snap = crate::health::HealthSnapshot::from_json_line(line)
+            .map_err(|e| format!("line {}: {}", lineno + 1, e))?;
+        if let Some(prev) = last_tick {
+            if snap.tick <= prev {
+                return Err(format!(
+                    "line {}: non-monotone tick {} after {}",
+                    lineno + 1,
+                    snap.tick,
+                    prev
+                ));
+            }
+        }
+        last_tick = Some(snap.tick);
+        lines += 1;
+    }
+    Ok(CheckSummary {
+        events: lines,
         spans: 0,
     })
 }
@@ -190,5 +296,59 @@ mod tests {
         assert!(check_jsonl("{\"seq\": 1}\n").is_err());
         assert!(check_chrome("{\"traceEvents\": [{\"ph\": \"Z\"}]}").is_err());
         assert!(check_metrics("[1, 2]").is_err());
+    }
+
+    #[test]
+    fn latency_metrics_dump_passes() {
+        let r = crate::metrics::Registry::new();
+        r.latency("q.latency_ns").observe(1234);
+        let s = check_metrics(&r.snapshot().render_json()).expect("valid metrics");
+        assert_eq!(s.events, 1);
+        // A latency object missing its quantiles is rejected.
+        assert!(check_metrics("{\"m\": {\"count\": 1}}").is_err());
+    }
+
+    #[test]
+    fn window_stream_checks() {
+        let r = std::sync::Arc::new(crate::metrics::Registry::new());
+        let c = r.counter("qps");
+        let lat = r.latency("q.latency_ns");
+        let w = crate::window::WindowedRegistry::new(std::sync::Arc::clone(&r));
+        let mut text = String::new();
+        for window in 1..=3u64 {
+            c.add(window);
+            lat.observe(1000 * window);
+            text.push_str(&w.roll(window).to_json_line());
+            text.push('\n');
+        }
+        let s = check_windows(&text).expect("valid window stream");
+        assert_eq!(s.events, 3);
+        assert!(check_windows("{\"no_window\": 1}\n").is_err());
+        assert!(
+            check_windows("{\"window\": 2}\n{\"window\": 1}\n").is_err(),
+            "non-monotone windows must fail"
+        );
+        assert!(check_windows("{\"window\": 1, \"m\": \"str\"}\n").is_err());
+    }
+
+    #[test]
+    fn health_stream_checks() {
+        let mut a = crate::health::HealthSnapshot {
+            tick: 1,
+            queries: 10,
+            latency_p99_ns: 500,
+            ..Default::default()
+        };
+        let mut text = a.to_json_line();
+        text.push('\n');
+        a.tick = 2;
+        text.push_str(&a.to_json_line());
+        text.push('\n');
+        let s = check_health(&text).expect("valid health stream");
+        assert_eq!(s.events, 2);
+        // Repeated tick fails; missing core field fails.
+        text.push_str(&a.to_json_line());
+        assert!(check_health(&text).is_err());
+        assert!(check_health("{\"tick\": 1}\n").is_err());
     }
 }

@@ -34,7 +34,7 @@ fn render_arg(value: &ArgValue) -> String {
     }
 }
 
-fn render_args(args: &[(&'static str, ArgValue)]) -> String {
+pub(crate) fn render_args(args: &[(&'static str, ArgValue)]) -> String {
     let mut out = String::from("{");
     for (i, (key, value)) in args.iter().enumerate() {
         if i > 0 {
@@ -180,5 +180,30 @@ mod tests {
     #[test]
     fn escaping_survives_roundtrip() {
         assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn control_characters_are_escaped_as_unicode() {
+        // Chrome's trace loader rejects raw control bytes: every char
+        // below 0x20 must leave json_escape as an escape sequence.
+        for code in 0u32..0x20 {
+            let c = char::from_u32(code).expect("control char");
+            let escaped = json_escape(&c.to_string());
+            assert!(
+                escaped.chars().all(|c| (c as u32) >= 0x20),
+                "raw control byte {code:#04x} leaked through: {escaped:?}"
+            );
+            let quoted = format!("{{\"k\": \"{escaped}\"}}");
+            let parsed = crate::json::parse(&quoted).expect("escaped control char parses");
+            assert!(parsed.get("k").is_some());
+        }
+        assert_eq!(json_escape("\u{0}"), "\\u0000");
+        assert_eq!(json_escape("\u{1b}[31m"), "\\u001b[31m");
+        assert_eq!(json_escape("a\u{7}b"), "a\\u0007b");
+        // An adversarial span name mixing every class of escape.
+        let nasty = "q\"\\\n\r\t\u{0}\u{1f}\u{7f}é✓";
+        let quoted = format!("{{\"name\": \"{}\"}}", json_escape(nasty));
+        let parsed = crate::json::parse(&quoted).expect("adversarial name parses");
+        assert!(parsed.get("name").is_some());
     }
 }

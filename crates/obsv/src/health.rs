@@ -1,0 +1,321 @@
+//! A one-struct health snapshot of the online statistics service.
+//!
+//! [`HealthSnapshot`] is the "is the self-tuning loop keeping up?" readout:
+//! epoch freshness, refresh backlog, monitor occupancy, feedback queue
+//! depth, budget position, optimizer-cache effectiveness, and query-latency
+//! quantiles — assembled by the `autod` lifecycle daemon at the end of each
+//! tick and exported as JSONL (one snapshot per line, validated by
+//! [`crate::check::check_health`]). The `obsv_top` binary renders the
+//! latest snapshot as a one-screen dashboard.
+//!
+//! Fields are plain scalars so a snapshot round-trips through JSON without
+//! this crate knowing anything about the daemon's types. Latency fields are
+//! wall-clock flavoured and outside the bit-identity determinism contract;
+//! everything else is a deterministic function of the tick schedule.
+
+use crate::json::{self, Json};
+
+/// Point-in-time health of the online service. All counters are cumulative
+/// since service start except where named otherwise.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HealthSnapshot {
+    /// Virtual-time tick this snapshot was assembled at.
+    pub tick: u64,
+    /// Last published catalog epoch.
+    pub epoch_generation: u64,
+    /// Ticks since the last epoch publication (0 = published this tick).
+    pub epoch_age_ticks: u64,
+    /// Stale statistics whose refresh was deferred for lack of budget.
+    pub staleness_backlog: u64,
+    /// Query templates queued for MNSA analysis.
+    pub pending_templates: u64,
+    /// Distinct templates currently retained by the workload monitor.
+    pub monitor_templates: u64,
+    /// Monitor capacity (occupancy = templates / capacity).
+    pub monitor_capacity: u64,
+    /// Total queries the monitor observed (including duplicates).
+    pub monitor_observed: u64,
+    /// Templates evicted from the monitor over its life.
+    pub monitor_evictions: u64,
+    /// Evicted templates whose history was restored on re-arrival.
+    pub monitor_ghost_hits: u64,
+    /// Undigested cardinality-feedback records.
+    pub feedback_queue_depth: u64,
+    /// Work-token balance (negative = debt to pay down).
+    pub budget_balance: f64,
+    /// Optimizer-cache counters.
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    pub cache_invalidations: u64,
+    /// Statements served.
+    pub queries: u64,
+    pub dml: u64,
+    /// Query-latency distribution (wall clock; outside bit-identity).
+    pub latency_count: u64,
+    pub latency_p50_ns: u64,
+    pub latency_p90_ns: u64,
+    pub latency_p99_ns: u64,
+    pub latency_p999_ns: u64,
+    pub latency_max_ns: u64,
+}
+
+impl HealthSnapshot {
+    /// Monitor occupancy in `[0, 1]`.
+    pub fn monitor_occupancy(&self) -> f64 {
+        if self.monitor_capacity == 0 {
+            0.0
+        } else {
+            self.monitor_templates as f64 / self.monitor_capacity as f64
+        }
+    }
+
+    /// Fraction of evictions whose history was later restored.
+    pub fn ghost_hit_rate(&self) -> f64 {
+        if self.monitor_evictions == 0 {
+            0.0
+        } else {
+            self.monitor_ghost_hits as f64 / self.monitor_evictions as f64
+        }
+    }
+
+    /// Optimizer-cache hit rate in `[0, 1]`.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Outstanding work debt (0 when the balance is non-negative).
+    pub fn budget_debt(&self) -> f64 {
+        (-self.budget_balance).max(0.0)
+    }
+
+    /// One flat JSON object — one line of the health JSONL stream.
+    pub fn to_json_line(&self) -> String {
+        format!(
+            "{{\"tick\": {}, \"epoch_generation\": {}, \"epoch_age_ticks\": {}, \
+             \"staleness_backlog\": {}, \"pending_templates\": {}, \
+             \"monitor_templates\": {}, \"monitor_capacity\": {}, \
+             \"monitor_observed\": {}, \"monitor_evictions\": {}, \
+             \"monitor_ghost_hits\": {}, \"feedback_queue_depth\": {}, \
+             \"budget_balance\": {}, \"cache_hits\": {}, \"cache_misses\": {}, \
+             \"cache_invalidations\": {}, \"queries\": {}, \"dml\": {}, \
+             \"latency_count\": {}, \"latency_p50_ns\": {}, \"latency_p90_ns\": {}, \
+             \"latency_p99_ns\": {}, \"latency_p999_ns\": {}, \"latency_max_ns\": {}}}",
+            self.tick,
+            self.epoch_generation,
+            self.epoch_age_ticks,
+            self.staleness_backlog,
+            self.pending_templates,
+            self.monitor_templates,
+            self.monitor_capacity,
+            self.monitor_observed,
+            self.monitor_evictions,
+            self.monitor_ghost_hits,
+            self.feedback_queue_depth,
+            crate::metrics::render_f64(self.budget_balance),
+            self.cache_hits,
+            self.cache_misses,
+            self.cache_invalidations,
+            self.queries,
+            self.dml,
+            self.latency_count,
+            self.latency_p50_ns,
+            self.latency_p90_ns,
+            self.latency_p99_ns,
+            self.latency_p999_ns,
+            self.latency_max_ns,
+        )
+    }
+
+    /// Parse one JSONL line back into a snapshot (missing fields read 0).
+    pub fn from_json_line(line: &str) -> Result<HealthSnapshot, String> {
+        let v = json::parse(line).map_err(|e| e.to_string())?;
+        if v.as_object().is_none() {
+            return Err("health line must be a JSON object".to_string());
+        }
+        let num = |key: &str| -> u64 { v.get(key).and_then(Json::as_f64).unwrap_or(0.0) as u64 };
+        Ok(HealthSnapshot {
+            tick: num("tick"),
+            epoch_generation: num("epoch_generation"),
+            epoch_age_ticks: num("epoch_age_ticks"),
+            staleness_backlog: num("staleness_backlog"),
+            pending_templates: num("pending_templates"),
+            monitor_templates: num("monitor_templates"),
+            monitor_capacity: num("monitor_capacity"),
+            monitor_observed: num("monitor_observed"),
+            monitor_evictions: num("monitor_evictions"),
+            monitor_ghost_hits: num("monitor_ghost_hits"),
+            feedback_queue_depth: num("feedback_queue_depth"),
+            budget_balance: v
+                .get("budget_balance")
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0),
+            cache_hits: num("cache_hits"),
+            cache_misses: num("cache_misses"),
+            cache_invalidations: num("cache_invalidations"),
+            queries: num("queries"),
+            dml: num("dml"),
+            latency_count: num("latency_count"),
+            latency_p50_ns: num("latency_p50_ns"),
+            latency_p90_ns: num("latency_p90_ns"),
+            latency_p99_ns: num("latency_p99_ns"),
+            latency_p999_ns: num("latency_p999_ns"),
+            latency_max_ns: num("latency_max_ns"),
+        })
+    }
+
+    /// A one-screen text dashboard of this snapshot (what `obsv_top`
+    /// prints).
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "autostats health — tick {} · epoch {} (age {} tick{})\n",
+            self.tick,
+            self.epoch_generation,
+            self.epoch_age_ticks,
+            if self.epoch_age_ticks == 1 { "" } else { "s" },
+        ));
+        out.push_str(&format!(
+            "  traffic    queries {:>10}   dml {:>8}\n",
+            self.queries, self.dml
+        ));
+        out.push_str(&format!(
+            "  latency    p50 {}   p90 {}   p99 {}   p999 {}   max {}   (n={})\n",
+            fmt_ns(self.latency_p50_ns),
+            fmt_ns(self.latency_p90_ns),
+            fmt_ns(self.latency_p99_ns),
+            fmt_ns(self.latency_p999_ns),
+            fmt_ns(self.latency_max_ns),
+            self.latency_count,
+        ));
+        out.push_str(&format!(
+            "  monitor    {}/{} templates ({:.0}% full)   observed {}   evictions {}   ghost-hit {:.0}%\n",
+            self.monitor_templates,
+            self.monitor_capacity,
+            self.monitor_occupancy() * 100.0,
+            self.monitor_observed,
+            self.monitor_evictions,
+            self.ghost_hit_rate() * 100.0,
+        ));
+        out.push_str(&format!(
+            "  tuning     pending {}   stale backlog {}   budget balance {:.1}{}\n",
+            self.pending_templates,
+            self.staleness_backlog,
+            self.budget_balance,
+            if self.budget_debt() > 0.0 {
+                " (IN DEBT)"
+            } else {
+                ""
+            },
+        ));
+        out.push_str(&format!(
+            "  feedback   queue depth {}\n",
+            self.feedback_queue_depth
+        ));
+        out.push_str(&format!(
+            "  opt cache  {} hits / {} misses ({:.0}% hit)   {} invalidations\n",
+            self.cache_hits,
+            self.cache_misses,
+            self.cache_hit_rate() * 100.0,
+            self.cache_invalidations,
+        ));
+        out
+    }
+}
+
+/// Human-scale nanoseconds: `950ns`, `12.3µs`, `4.5ms`, `1.2s`.
+fn fmt_ns(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}µs", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.1}ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2}s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> HealthSnapshot {
+        HealthSnapshot {
+            tick: 12,
+            epoch_generation: 3,
+            epoch_age_ticks: 2,
+            staleness_backlog: 1,
+            pending_templates: 4,
+            monitor_templates: 96,
+            monitor_capacity: 256,
+            monitor_observed: 5000,
+            monitor_evictions: 40,
+            monitor_ghost_hits: 10,
+            feedback_queue_depth: 17,
+            budget_balance: -1500.5,
+            cache_hits: 900,
+            cache_misses: 100,
+            cache_invalidations: 3,
+            queries: 4800,
+            dml: 200,
+            latency_count: 4800,
+            latency_p50_ns: 45_000,
+            latency_p90_ns: 120_000,
+            latency_p99_ns: 900_000,
+            latency_p999_ns: 2_500_000,
+            latency_max_ns: 9_000_000,
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_is_lossless() {
+        let s = sample();
+        let line = s.to_json_line();
+        let parsed = HealthSnapshot::from_json_line(&line).expect("health line parses");
+        assert_eq!(parsed, s);
+        assert!(HealthSnapshot::from_json_line("[1]").is_err());
+        assert!(HealthSnapshot::from_json_line("{nope").is_err());
+    }
+
+    #[test]
+    fn derived_rates() {
+        let s = sample();
+        assert!((s.monitor_occupancy() - 96.0 / 256.0).abs() < 1e-12);
+        assert!((s.ghost_hit_rate() - 0.25).abs() < 1e-12);
+        assert!((s.cache_hit_rate() - 0.9).abs() < 1e-12);
+        assert!((s.budget_debt() - 1500.5).abs() < 1e-12);
+        assert_eq!(HealthSnapshot::default().cache_hit_rate(), 0.0);
+        assert_eq!(HealthSnapshot::default().budget_debt(), 0.0);
+    }
+
+    #[test]
+    fn dashboard_renders_every_section() {
+        let text = sample().render_text();
+        for needle in [
+            "tick 12",
+            "epoch 3",
+            "p99 900.0µs",
+            "96/256 templates",
+            "ghost-hit 25%",
+            "IN DEBT",
+            "queue depth 17",
+            "90% hit",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+        assert!(text.lines().count() <= 12, "dashboard must fit one screen");
+    }
+
+    #[test]
+    fn ns_formatting_scales() {
+        assert_eq!(fmt_ns(950), "950ns");
+        assert_eq!(fmt_ns(12_345), "12.3µs");
+        assert_eq!(fmt_ns(4_500_000), "4.5ms");
+        assert_eq!(fmt_ns(1_200_000_000), "1.20s");
+    }
+}

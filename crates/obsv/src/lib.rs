@@ -21,15 +21,23 @@
 pub mod check;
 pub mod export;
 pub mod feedback;
+pub mod health;
 pub mod json;
+pub mod latency;
 pub mod metrics;
+pub mod slowlog;
 pub mod trace;
+pub mod window;
 
 use std::sync::Arc;
 
 pub use feedback::{template_fingerprint, FeedbackLog, FeedbackRecord};
+pub use health::HealthSnapshot;
+pub use latency::{LatencyHistogram, LatencySample, RELATIVE_ERROR_BOUND};
 pub use metrics::{Counter, FloatCounter, Gauge, Histogram, MetricValue, Registry, Snapshot};
+pub use slowlog::{SlowQuery, SlowQueryLog, SpanSampler};
 pub use trace::{ArgValue, Event, EventKind, SpanGuard, TraceDefect, Tracer};
+pub use window::{WindowDelta, WindowValue, WindowedRegistry};
 
 /// The observability context threaded through the pipeline: one tracer plus
 /// one metrics registry. Cheap to clone; [`Obs::default`] is fully disabled

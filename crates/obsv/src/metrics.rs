@@ -10,6 +10,7 @@
 //! Reads ([`Registry::snapshot`]) are wait-free with respect to writers:
 //! the snapshot locks only the name map, then loads each atomic.
 
+use crate::latency::{LatencyHistogram, LatencySample};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
@@ -178,6 +179,7 @@ enum Metric {
     Float(FloatCounter),
     Gauge(Gauge),
     Histogram(Histogram),
+    Latency(LatencyHistogram),
 }
 
 /// A point-in-time reading of one metric.
@@ -192,6 +194,7 @@ pub enum MetricValue {
         sum: f64,
         count: u64,
     },
+    Latency(LatencySample),
 }
 
 /// A name → metric map. Registration is get-or-create by name: asking twice
@@ -201,6 +204,11 @@ pub enum MetricValue {
 #[derive(Debug, Default)]
 pub struct Registry {
     metrics: Mutex<BTreeMap<String, Metric>>,
+    /// Name/kind collisions seen by the accessors. A collision means some
+    /// call site got a detached handle and its observations are invisible
+    /// in snapshots — surfaced as the `obsv.collisions` counter so the loss
+    /// is no longer silent.
+    collisions: AtomicU64,
 }
 
 impl Registry {
@@ -208,9 +216,19 @@ impl Registry {
         Self::default()
     }
 
+    /// Number of name/kind collisions seen so far (each one handed out a
+    /// detached handle whose observations are lost).
+    pub fn collisions(&self) -> u64 {
+        self.collisions.load(Ordering::Relaxed)
+    }
+
+    fn record_collision(&self) {
+        self.collisions.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Get-or-register a counter. If `name` is already registered as a
     /// different kind, a detached handle is returned (the registered metric
-    /// keeps its kind; nothing panics).
+    /// keeps its kind; nothing panics) and `obsv.collisions` is bumped.
     pub fn counter(&self, name: &str) -> Counter {
         let mut m = lock(&self.metrics);
         match m
@@ -218,7 +236,10 @@ impl Registry {
             .or_insert_with(|| Metric::Counter(Counter::default()))
         {
             Metric::Counter(c) => c.clone(),
-            _ => Counter::detached(),
+            _ => {
+                self.record_collision();
+                Counter::detached()
+            }
         }
     }
 
@@ -230,7 +251,10 @@ impl Registry {
             .or_insert_with(|| Metric::Float(FloatCounter::default()))
         {
             Metric::Float(c) => c.clone(),
-            _ => FloatCounter::detached(),
+            _ => {
+                self.record_collision();
+                FloatCounter::detached()
+            }
         }
     }
 
@@ -242,7 +266,10 @@ impl Registry {
             .or_insert_with(|| Metric::Gauge(Gauge::default()))
         {
             Metric::Gauge(g) => g.clone(),
-            _ => Gauge::detached(),
+            _ => {
+                self.record_collision();
+                Gauge::detached()
+            }
         }
     }
 
@@ -255,27 +282,56 @@ impl Registry {
             .or_insert_with(|| Metric::Histogram(Histogram::with_bounds(bounds)))
         {
             Metric::Histogram(h) => h.clone(),
-            _ => Histogram::with_bounds(bounds),
+            _ => {
+                self.record_collision();
+                Histogram::with_bounds(bounds)
+            }
         }
     }
 
-    /// Read every registered metric, sorted by name.
+    /// Get-or-register a log-linear latency histogram (see
+    /// [`crate::latency`]).
+    pub fn latency(&self, name: &str) -> LatencyHistogram {
+        let mut m = lock(&self.metrics);
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Latency(LatencyHistogram::new()))
+        {
+            Metric::Latency(h) => h.clone(),
+            _ => {
+                self.record_collision();
+                LatencyHistogram::detached()
+            }
+        }
+    }
+
+    /// Read every registered metric, sorted by name. If any accessor has
+    /// seen a name/kind collision, an `obsv.collisions` counter appears in
+    /// the snapshot.
     pub fn snapshot(&self) -> Snapshot {
         let m = lock(&self.metrics);
-        Snapshot {
-            entries: m
-                .iter()
-                .map(|(name, metric)| {
-                    let value = match metric {
-                        Metric::Counter(c) => MetricValue::Counter(c.get()),
-                        Metric::Float(c) => MetricValue::Float(c.get()),
-                        Metric::Gauge(g) => MetricValue::Gauge(g.get()),
-                        Metric::Histogram(h) => h.value(),
-                    };
-                    (name.clone(), value)
-                })
-                .collect(),
+        let mut entries: BTreeMap<String, MetricValue> = m
+            .iter()
+            .map(|(name, metric)| {
+                let value = match metric {
+                    Metric::Counter(c) => MetricValue::Counter(c.get()),
+                    Metric::Float(c) => MetricValue::Float(c.get()),
+                    Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Metric::Histogram(h) => h.value(),
+                    Metric::Latency(h) => MetricValue::Latency(h.snapshot()),
+                };
+                (name.clone(), value)
+            })
+            .collect();
+        drop(m);
+        let collisions = self.collisions();
+        if collisions > 0 {
+            entries.insert(
+                "obsv.collisions".to_string(),
+                MetricValue::Counter(collisions),
+            );
         }
+        Snapshot { entries }
     }
 }
 
@@ -305,6 +361,15 @@ impl Snapshot {
                 MetricValue::Histogram { sum, count, .. } => {
                     format!("count={count} sum={sum:.1}")
                 }
+                MetricValue::Latency(s) => format!(
+                    "count={} p50={} p90={} p99={} p999={} max={}",
+                    s.count,
+                    s.quantile(0.50),
+                    s.quantile(0.90),
+                    s.quantile(0.99),
+                    s.quantile(0.999),
+                    s.max,
+                ),
             };
             out.push_str(&format!("  {name:<width$}  {rendered}\n"));
         }
@@ -343,6 +408,19 @@ impl Snapshot {
                             .join(", "),
                         render_f64(*sum),
                         count
+                    ));
+                }
+                MetricValue::Latency(s) => {
+                    out.push_str(&format!(
+                        "{{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}, \"p999\": {}}}",
+                        s.count,
+                        s.sum,
+                        s.min,
+                        s.max,
+                        s.quantile(0.50),
+                        s.quantile(0.90),
+                        s.quantile(0.99),
+                        s.quantile(0.999),
                     ));
                 }
             }
@@ -398,6 +476,54 @@ mod tests {
             r.snapshot().entries.get("m"),
             Some(&MetricValue::Counter(1))
         );
+    }
+
+    #[test]
+    fn kind_mismatch_is_counted_not_silent() {
+        let r = Registry::new();
+        assert_eq!(r.collisions(), 0);
+        assert!(!r.snapshot().entries.contains_key("obsv.collisions"));
+        let _ = r.counter("m");
+        let _ = r.float_counter("m"); // collision 1
+        let _ = r.gauge("m"); // collision 2
+        let _ = r.histogram("m", &[1.0]); // collision 3
+        let _ = r.latency("m"); // collision 4
+        assert_eq!(r.collisions(), 4);
+        assert_eq!(
+            r.snapshot().entries.get("obsv.collisions"),
+            Some(&MetricValue::Counter(4))
+        );
+        // Matching-kind re-registration is not a collision.
+        let _ = r.counter("m");
+        assert_eq!(r.collisions(), 4);
+    }
+
+    #[test]
+    fn latency_metric_registers_and_renders() {
+        let r = Registry::new();
+        let h = r.latency("q.latency_ns");
+        let shared = r.latency("q.latency_ns");
+        h.observe(1000);
+        shared.observe(2000);
+        assert_eq!(h.count(), 2);
+        let snap = r.snapshot();
+        let Some(MetricValue::Latency(sample)) = snap.entries.get("q.latency_ns") else {
+            panic!("latency metric missing from snapshot");
+        };
+        assert_eq!(sample.count, 2);
+        let text = snap.render_text();
+        assert!(text.contains("p99="), "no quantile row: {text}");
+        let json = snap.render_json();
+        let parsed = crate::json::parse(&json).expect("snapshot json parses");
+        let entry = parsed.get("q.latency_ns").expect("latency entry");
+        assert_eq!(
+            entry.get("count").and_then(crate::json::Json::as_f64),
+            Some(2.0)
+        );
+        assert!(entry
+            .get("p99")
+            .and_then(crate::json::Json::as_f64)
+            .is_some());
     }
 
     #[test]

@@ -1,0 +1,156 @@
+//! Property-based tests of the log-linear latency histogram (proptest):
+//! the relative-error bound against exact sorted-sample order statistics,
+//! exact associativity/commutativity of merges, the empty/single-sample
+//! conventions, and determinism of window rollups built from sample deltas.
+
+use obsv::{LatencyHistogram, LatencySample, RELATIVE_ERROR_BOUND};
+use proptest::prelude::*;
+
+/// Latency-shaped values: spread across many orders of magnitude so both
+/// the exact (< 64) and log-linear bucket regimes are exercised.
+fn latency_values() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(
+        prop_oneof![
+            0u64..64,                   // exact buckets
+            64u64..100_000,             // log-linear, microsecond-ish
+            100_000u64..10_000_000_000, // milliseconds to seconds
+            Just(u64::MAX),             // topmost bucket
+        ],
+        0..300,
+    )
+}
+
+fn build(values: &[u64]) -> LatencyHistogram {
+    let h = LatencyHistogram::new();
+    for &v in values {
+        h.observe(v);
+    }
+    h
+}
+
+/// The exact sample quantile under the histogram's own rank convention:
+/// the `ceil(q·n)`-th smallest value, rank clamped to `[1, n]`.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every reported quantile is ≥ the exact sample quantile and
+    /// overshoots it by at most `RELATIVE_ERROR_BOUND` relatively.
+    #[test]
+    fn quantiles_obey_the_relative_error_bound(values in latency_values()) {
+        prop_assume!(!values.is_empty());
+        let h = build(&values);
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for q in [0.0, 0.01, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            let exact = exact_quantile(&sorted, q);
+            let got = h.quantile(q);
+            prop_assert!(got >= exact, "q={q}: {got} underestimates {exact}");
+            prop_assert!(
+                (got - exact) as f64 <= exact as f64 * RELATIVE_ERROR_BOUND + 1e-9,
+                "q={q}: {got} overshoots {exact} beyond the bound"
+            );
+        }
+        // min/max accumulators are exact, not bucket-rounded.
+        prop_assert_eq!(h.min(), sorted[0]);
+        prop_assert_eq!(h.max(), *sorted.last().unwrap());
+        prop_assert_eq!(h.count(), values.len() as u64);
+    }
+
+    /// Merging is exactly commutative: A+B and B+A agree bit for bit (the
+    /// snapshot derives `Eq` over buckets, counts, wrapping sums, min, max).
+    #[test]
+    fn merge_is_commutative(a in latency_values(), b in latency_values()) {
+        let (ha, hb) = (build(&a), build(&b));
+        let ab = LatencyHistogram::new();
+        ab.merge_from(&ha);
+        ab.merge_from(&hb);
+        let ba = LatencyHistogram::new();
+        ba.merge_from(&hb);
+        ba.merge_from(&ha);
+        prop_assert_eq!(ab.snapshot(), ba.snapshot());
+    }
+
+    /// Merging is exactly associative — (A+B)+C equals A+(B+C) — and both
+    /// equal the histogram of the concatenated sample.
+    #[test]
+    fn merge_is_associative_and_matches_union(
+        a in latency_values(),
+        b in latency_values(),
+        c in latency_values(),
+    ) {
+        let (ha, hb, hc) = (build(&a), build(&b), build(&c));
+        let left = LatencyHistogram::new(); // (A+B)+C
+        left.merge_from(&ha);
+        left.merge_from(&hb);
+        left.merge_from(&hc);
+        let bc = LatencyHistogram::new();
+        bc.merge_from(&hb);
+        bc.merge_from(&hc);
+        let right = LatencyHistogram::new(); // A+(B+C)
+        right.merge_from(&ha);
+        right.merge_from(&bc);
+        prop_assert_eq!(left.snapshot(), right.snapshot());
+        let union: Vec<u64> = a.iter().chain(&b).chain(&c).copied().collect();
+        prop_assert_eq!(left.snapshot(), build(&union).snapshot());
+    }
+
+    /// A single-sample histogram reports that sample (within the bound) for
+    /// every quantile, including q = 0 and q = 1.
+    #[test]
+    fn single_sample_convention(v in any::<u64>(), q in 0.0f64..=1.0) {
+        let h = build(&[v]);
+        let got = h.quantile(q);
+        prop_assert!(got >= v);
+        prop_assert!((got - v) as f64 <= v as f64 * RELATIVE_ERROR_BOUND + 1e-9);
+        prop_assert_eq!(h.min(), v);
+        prop_assert_eq!(h.max(), v);
+        prop_assert_eq!(h.count(), 1);
+    }
+
+    /// Window rollups are deterministic: splitting one observation stream
+    /// into cumulative snapshots and taking deltas yields the same
+    /// per-window distributions on every run, and each delta matches a
+    /// histogram built from that window's values alone.
+    #[test]
+    fn window_rollup_is_deterministic_and_isolating(
+        windows in prop::collection::vec(latency_values(), 1..5),
+    ) {
+        let roll = |windows: &[Vec<u64>]| -> Vec<LatencySample> {
+            let h = LatencyHistogram::new();
+            let mut prev = LatencySample::default();
+            let mut deltas = Vec::new();
+            for w in windows {
+                for &v in w {
+                    h.observe(v);
+                }
+                let cum = h.snapshot();
+                deltas.push(cum.delta_from(&prev));
+                prev = cum;
+            }
+            deltas
+        };
+        let first = roll(&windows);
+        prop_assert_eq!(&first, &roll(&windows), "rollup not deterministic");
+        for (delta, w) in first.iter().zip(&windows) {
+            prop_assert_eq!(delta.count, w.len() as u64);
+            // Bucket counts match a histogram of the window's values alone.
+            prop_assert_eq!(&delta.buckets, &build(w).snapshot().buckets);
+        }
+    }
+}
+
+/// The empty-histogram convention, pinned outside proptest: all zeros.
+#[test]
+fn empty_histogram_convention() {
+    let h = LatencyHistogram::new();
+    for q in [0.0, 0.5, 1.0] {
+        assert_eq!(h.quantile(q), 0);
+    }
+    assert_eq!((h.count(), h.sum(), h.min(), h.max()), (0, 0, 0, 0));
+    assert!(h.snapshot().is_empty());
+}
