@@ -95,6 +95,10 @@ pub struct AutodConfig {
     /// vs off never changes catalogs, plans, or journals (pinned by
     /// `tests/telemetry_determinism.rs`).
     pub telemetry: TelemetryConfig,
+    /// Serving-shard label stamped on health snapshots (0 for an unsharded
+    /// service). Pure observability plumbing for the `serve` layer — it
+    /// never influences tuning.
+    pub shard: u32,
 }
 
 impl Default for AutodConfig {
@@ -108,6 +112,7 @@ impl Default for AutodConfig {
             monitor: MonitorConfig::default(),
             feedback: None,
             telemetry: TelemetryConfig::default(),
+            shard: 0,
         }
     }
 }
@@ -130,6 +135,10 @@ pub struct TickReport {
     pub tuning_work: f64,
     /// True when refreshes or tuning were deferred for lack of tokens.
     pub budget_exhausted: bool,
+    /// Work left over at end of tick: templates still queued for MNSA plus
+    /// refreshes deferred for lack of tokens. The budget arbiter in the
+    /// `serve` layer reads this as the shard's demand signal.
+    pub pending: usize,
     /// `Some(n)` when a Shrinking Set pass ran and removed `n` statistics.
     pub shrink_removed: Option<usize>,
     /// `Some(g)` when the catalog changed and generation `g` was published.
@@ -293,6 +302,19 @@ impl LifecycleCore {
         db: &Database,
         monitor: &mut WorkloadMonitor,
     ) -> Result<TickReport, TuneError> {
+        self.tick_budgeted(db, monitor, self.config.budget_per_tick)
+    }
+
+    /// [`LifecycleCore::tick`] with this tick's funding chosen by the
+    /// caller instead of `config.budget_per_tick` — the hook a cluster-level
+    /// budget arbiter uses to split one global allowance across shards.
+    /// Unspent tokens and debt still carry over in the shard's own bucket.
+    pub fn tick_budgeted(
+        &mut self,
+        db: &Database,
+        monitor: &mut WorkloadMonitor,
+        budget: f64,
+    ) -> Result<TickReport, TuneError> {
         self.tick += 1;
         let tick = self.tick;
         let mut span = self.obs.tracer.span("autod.tick");
@@ -301,7 +323,7 @@ impl LifecycleCore {
         metrics.counter("autod.ticks").inc();
 
         // 1. Fund this tick's allowance.
-        self.tuner.fund(self.config.budget_per_tick);
+        self.tuner.fund(budget);
 
         // 2. Drain monitor evictions into the journal, enqueue the sample.
         for fingerprint in monitor.drain_evictions() {
@@ -425,6 +447,7 @@ impl LifecycleCore {
             .set(self.tuner.pending() as i64);
 
         report.budget_exhausted = step.exhausted || deferred_refreshes > 0;
+        report.pending = self.tuner.pending() + deferred_refreshes;
         if report.budget_exhausted {
             metrics.counter("autod.budget_exhausted").inc();
             self.session.record_online(OnlineEvent::BudgetExhausted {
@@ -478,6 +501,7 @@ impl LifecycleCore {
             .unwrap_or((0, 0, 0));
         *self.health.lock() = obsv::HealthSnapshot {
             tick,
+            shard: self.config.shard as u64,
             epoch_generation: self.epochs.generation(),
             epoch_age_ticks: tick.saturating_sub(self.last_publish_tick),
             staleness_backlog: deferred_refreshes as u64,
@@ -511,7 +535,12 @@ impl LifecycleCore {
 }
 
 enum Command {
-    Tick(Option<mpsc::Sender<Result<TickReport, TuneError>>>),
+    /// Tick with an optional budget override (None = `config.budget_per_tick`)
+    /// and an optional ack channel.
+    Tick(
+        Option<f64>,
+        Option<mpsc::Sender<Result<TickReport, TuneError>>>,
+    ),
     Shutdown,
 }
 
@@ -541,12 +570,15 @@ impl LifecycleDaemon {
             while let Ok(command) = inbox.recv() {
                 match command {
                     Command::Shutdown => break,
-                    Command::Tick(ack) => {
+                    Command::Tick(budget, ack) => {
                         let result = {
                             // Lock order: database first, then the monitor.
                             let db = db.read();
                             let mut monitor = monitor.lock();
-                            core.tick(&db, &mut monitor)
+                            match budget {
+                                Some(b) => core.tick_budgeted(&db, &mut monitor, b),
+                                None => core.tick(&db, &mut monitor),
+                            }
                         };
                         cell.store(core.ticks(), Ordering::SeqCst);
                         match ack {
@@ -577,16 +609,38 @@ impl LifecycleDaemon {
     /// Fire-and-forget tick. Errors are retained in the core's
     /// `last_error` and surface at shutdown.
     pub fn tick(&self) {
-        let _ = self.commands.send(Command::Tick(None));
+        let _ = self.commands.send(Command::Tick(None, None));
     }
 
     /// Tick and wait for the report (used by deterministic drivers).
     pub fn tick_wait(&self) -> Result<TickReport, TuneError> {
         let (tx, rx) = mpsc::channel();
-        if self.commands.send(Command::Tick(Some(tx))).is_err() {
+        if self.commands.send(Command::Tick(None, Some(tx))).is_err() {
             return Ok(TickReport::default()); // daemon already gone
         }
         rx.recv().unwrap_or_else(|_| Ok(TickReport::default()))
+    }
+
+    /// Begin a tick funded with `budget` work tokens instead of the
+    /// configured per-tick allowance, returning immediately with the ack
+    /// channel. A cluster driver fires all shards' ticks, then collects acks
+    /// in shard order — shards tick in parallel while the collection order
+    /// stays deterministic.
+    pub fn tick_begin_budgeted(
+        &self,
+        budget: f64,
+    ) -> mpsc::Receiver<Result<TickReport, TuneError>> {
+        let (tx, rx) = mpsc::channel();
+        let _ = self.commands.send(Command::Tick(Some(budget), Some(tx)));
+        rx
+    }
+
+    /// [`LifecycleDaemon::tick_wait`] with a caller-chosen budget for this
+    /// tick (see [`LifecycleCore::tick_budgeted`]).
+    pub fn tick_wait_budgeted(&self, budget: f64) -> Result<TickReport, TuneError> {
+        self.tick_begin_budgeted(budget)
+            .recv()
+            .unwrap_or_else(|_| Ok(TickReport::default()))
     }
 
     /// The shared cell holding the last completed tick number (virtual

@@ -49,5 +49,5 @@ pub mod staleness;
 pub use daemon::{AutodConfig, LifecycleCore, LifecycleDaemon, TelemetryConfig, TickReport};
 pub use epoch::{CatalogEpoch, EpochHandle};
 pub use monitor::{MonitorConfig, TemplateStats, WorkloadMonitor};
-pub use service::{OnlineService, QueryHandle, ServiceReport};
+pub use service::{OnlineService, PendingTick, QueryHandle, ServiceReport};
 pub use staleness::{StaleStatistic, StalenessTracker};

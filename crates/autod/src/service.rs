@@ -144,6 +144,41 @@ impl OnlineService {
         Ok(report)
     }
 
+    /// [`OnlineService::tick_wait`] with a caller-chosen work-token budget
+    /// for this tick — the hook a cluster-level budget arbiter uses to split
+    /// one global allowance across shards.
+    pub fn tick_wait_budgeted(&self, budget: f64) -> Result<TickReport, TuneError> {
+        self.tick_collect(self.tick_begin_budgeted(budget))
+    }
+
+    /// Fire a budgeted tick without waiting. A cluster driver begins all
+    /// shards' ticks, then collects each with [`OnlineService::tick_collect`]
+    /// in shard order — the shards tune in parallel while the observable
+    /// collection order stays deterministic.
+    pub fn tick_begin_budgeted(&self, budget: f64) -> PendingTick {
+        PendingTick(self.daemon.tick_begin_budgeted(budget))
+    }
+
+    /// Wait for a tick begun with [`OnlineService::tick_begin_budgeted`].
+    pub fn tick_collect(&self, pending: PendingTick) -> Result<TickReport, TuneError> {
+        let report = pending
+            .0
+            .recv()
+            .unwrap_or_else(|_| Ok(TickReport::default()))?;
+        if report.tick > 0 {
+            self.telemetry.slowlog.roll(report.tick);
+        }
+        Ok(report)
+    }
+
+    /// The shared database behind this service. For cross-shard readers in
+    /// the serving layer; callers must respect the service-wide lock order
+    /// (database first, then any monitor) and never hold the write lock
+    /// across a tick.
+    pub fn database(&self) -> Arc<RwLock<Database>> {
+        Arc::clone(&self.db)
+    }
+
     /// Close the current metrics window as `window`, returning its deltas
     /// (QPS, refreshes, feedback ingest, budget spend, cache hits, latency
     /// quantiles — everything registered in the service metrics registry).
@@ -223,6 +258,10 @@ impl OnlineService {
         ))
     }
 }
+
+/// A tick in flight, begun with [`OnlineService::tick_begin_budgeted`] and
+/// finished with [`OnlineService::tick_collect`].
+pub struct PendingTick(std::sync::mpsc::Receiver<Result<TickReport, TuneError>>);
 
 /// A cloneable query entry point over the running service.
 #[derive(Clone)]

@@ -1,0 +1,95 @@
+//! Sharded serving layer under sustained load (see
+//! `bench::experiments::serve`): a seeded TPC-D query+update stream routed
+//! across N shards by [`serve::ServeCluster`], the largest table
+//! hash-partitioned, tuning funded by the shared budget arbiter. Measures
+//! steady-state throughput (QPS + cluster-merged p50/p99/p999), per-shard
+//! tuning convergence under load, the 1-shard == unsharded bit-identity,
+//! and a seed-fixed bit-identical replay at the requested shard count.
+//!
+//! Usage: `cargo run --release -p bench --bin exp_serve
+//!         [--full | --tiny] [--shards N] [--ticks N] [--threads N]
+//!         [--rounds N] [--budget W] [--out PATH]
+//!         [--windows-out PATH] [--health-out PATH]`
+//!
+//! Writes `BENCH_serve.json` at the repository root by default (`--out`
+//! overrides, which the CI smoke run uses). `--health-out` exports the
+//! interleaved per-shard health stream (`obsv_check --health` validates it;
+//! `obsv_top` renders the multi-shard dashboard); `--windows-out` exports
+//! shard 0's per-tick windowed metric deltas (`obsv_check --windows`).
+
+use bench::common::{flag_value, parse_threads, ExperimentScale};
+use bench::experiments::serve;
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = if args.iter().any(|a| a == "--full") {
+        ExperimentScale::full()
+    } else if args.iter().any(|a| a == "--tiny") {
+        ExperimentScale::tiny()
+    } else {
+        ExperimentScale::default_run()
+    };
+    let shards: usize = flag_value(&args, "--shards")
+        .and_then(|n| n.parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(2);
+    let ticks: u64 = flag_value(&args, "--ticks")
+        .and_then(|n| n.parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(6);
+    let rounds: usize = flag_value(&args, "--rounds")
+        .and_then(|n| n.parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(3);
+    let budget: f64 = flag_value(&args, "--budget")
+        .and_then(|n| n.parse().ok())
+        .filter(|&b| b > 0.0)
+        .unwrap_or(500_000.0);
+    let threads = parse_threads(&args).max(2);
+    let out: PathBuf = flag_value(&args, "--out")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| {
+            // Repo root, independent of the invocation directory.
+            PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_serve.json")
+        });
+
+    println!("== Sharded serving: router -> budget arbiter -> per-shard daemons ==");
+    let (result, telemetry) = serve::run(&scale, shards, ticks, threads, rounds, budget);
+    result.print();
+
+    if !result.replay_identical {
+        eprintln!("error: seed-fixed sharded replay was not bit-identical");
+        std::process::exit(1);
+    }
+    if !result.one_shard_identical {
+        eprintln!("error: 1-shard cluster diverged from the unsharded service");
+        std::process::exit(1);
+    }
+
+    match std::fs::write(&out, result.to_json()) {
+        Ok(()) => println!("results written to {}", out.display()),
+        Err(e) => {
+            eprintln!("error: cannot write {}: {e}", out.display());
+            std::process::exit(1);
+        }
+    }
+    for (flag, contents, what) in [
+        ("--windows-out", &telemetry.windows_jsonl, "window deltas"),
+        (
+            "--health-out",
+            &telemetry.health_jsonl,
+            "per-shard health snapshots",
+        ),
+    ] {
+        if let Some(path) = flag_value(&args, flag) {
+            match std::fs::write(&path, contents) {
+                Ok(()) => println!("{what} written to {path}"),
+                Err(e) => {
+                    eprintln!("error: cannot write {path}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
+}

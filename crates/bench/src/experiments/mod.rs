@@ -7,6 +7,7 @@ pub mod fig4;
 pub mod intro;
 pub mod online;
 pub mod perfbase;
+pub mod serve;
 pub mod shrink;
 pub mod table1;
 pub mod tsweep;

@@ -48,6 +48,20 @@ pub enum OnlineEvent {
     },
     /// The daemon published a new catalog epoch to query threads.
     EpochSwap { tick: u64, generation: u64 },
+    /// A serving shard took ownership of a table (or of one hash-partition
+    /// slice of it). Recorded at cluster start (tick 0), before any tuning,
+    /// so multi-shard replays are auditable and bit-identity tests can pin
+    /// the exact placement.
+    ShardAssigned {
+        tick: u64,
+        shard: u32,
+        table: TableId,
+        /// Rows this shard holds for the table (the slice size when
+        /// partitioned, the whole table otherwise).
+        rows: u64,
+        /// True when the table is hash-partitioned across all shards.
+        partitioned: bool,
+    },
 }
 
 /// One workload query's tuning trajectory.
@@ -199,6 +213,17 @@ impl SessionReport {
                     OnlineEvent::EpochSwap { tick, generation } => {
                         writeln!(out, "  tick {tick:>4} epoch swap -> generation {generation}")
                     }
+                    OnlineEvent::ShardAssigned {
+                        tick,
+                        shard,
+                        table,
+                        rows,
+                        partitioned,
+                    } => writeln!(
+                        out,
+                        "  tick {tick:>4} shard {shard} owns {table} ({rows} rows{})",
+                        if *partitioned { ", partitioned" } else { "" }
+                    ),
                 };
             }
         }
@@ -306,6 +331,17 @@ impl SessionReport {
                         "    {{\"event\": \"epoch_swap\", \"tick\": {tick}, \
                          \"generation\": {generation}}}"
                     ),
+                    OnlineEvent::ShardAssigned {
+                        tick,
+                        shard,
+                        table,
+                        rows,
+                        partitioned,
+                    } => format!(
+                        "    {{\"event\": \"shard_assigned\", \"tick\": {}, \"shard\": {}, \
+                         \"table\": {}, \"rows\": {}, \"partitioned\": {}}}",
+                        tick, shard, table.0, rows, partitioned
+                    ),
                 };
                 out.push_str(&entry);
                 out.push_str(if i + 1 < self.online.len() {
@@ -408,13 +444,26 @@ mod tests {
             tick: 5,
             generation: 2,
         });
+        online.record_online(OnlineEvent::ShardAssigned {
+            tick: 0,
+            shard: 1,
+            table: TableId(3),
+            rows: 1200,
+            partitioned: true,
+        });
         let text = online.render_text();
-        assert!(text.contains("online events: 4"));
+        assert!(text.contains("online events: 5"));
         assert!(text.contains("epoch swap -> generation 2"));
+        assert!(text.contains("shard 1 owns T3 (1200 rows, partitioned)"));
 
         let parsed = obsv::json::parse(&online.to_json()).expect("parses");
         let events = parsed.get("online").and_then(|o| o.as_array()).unwrap();
-        assert_eq!(events.len(), 4);
+        assert_eq!(events.len(), 5);
+        assert_eq!(
+            events[4].get("event").and_then(|v| v.as_str()),
+            Some("shard_assigned")
+        );
+        assert_eq!(events[4].get("rows").and_then(|v| v.as_f64()), Some(1200.0));
         assert_eq!(
             events[0].get("event").and_then(|v| v.as_str()),
             Some("refresh")

@@ -182,9 +182,10 @@ pub fn check_windows(text: &str) -> Result<CheckSummary, String> {
 
 /// Check a health JSONL stream: every line parses as a
 /// [`crate::health::HealthSnapshot`] with the core fields present, and
-/// ticks strictly increase.
+/// ticks strictly increase *per shard* (a sharded service interleaves one
+/// snapshot per shard per tick into a single stream).
 pub fn check_health(text: &str) -> Result<CheckSummary, String> {
-    let mut last_tick: Option<u64> = None;
+    let mut last_tick: std::collections::BTreeMap<u64, u64> = std::collections::BTreeMap::new();
     let mut lines = 0usize;
     for (lineno, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
@@ -212,17 +213,18 @@ pub fn check_health(text: &str) -> Result<CheckSummary, String> {
         }
         let snap = crate::health::HealthSnapshot::from_json_line(line)
             .map_err(|e| format!("line {}: {}", lineno + 1, e))?;
-        if let Some(prev) = last_tick {
+        if let Some(&prev) = last_tick.get(&snap.shard) {
             if snap.tick <= prev {
                 return Err(format!(
-                    "line {}: non-monotone tick {} after {}",
+                    "line {}: non-monotone tick {} after {} (shard {})",
                     lineno + 1,
                     snap.tick,
-                    prev
+                    prev,
+                    snap.shard
                 ));
             }
         }
-        last_tick = Some(snap.tick);
+        last_tick.insert(snap.shard, snap.tick);
         lines += 1;
     }
     Ok(CheckSummary {

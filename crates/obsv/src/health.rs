@@ -21,6 +21,9 @@ use crate::json::{self, Json};
 pub struct HealthSnapshot {
     /// Virtual-time tick this snapshot was assembled at.
     pub tick: u64,
+    /// Serving shard that assembled this snapshot (0 for an unsharded
+    /// service; pre-shard streams parse back as shard 0).
+    pub shard: u64,
     /// Last published catalog epoch.
     pub epoch_generation: u64,
     /// Ticks since the last epoch publication (0 = published this tick).
@@ -96,7 +99,7 @@ impl HealthSnapshot {
     /// One flat JSON object — one line of the health JSONL stream.
     pub fn to_json_line(&self) -> String {
         format!(
-            "{{\"tick\": {}, \"epoch_generation\": {}, \"epoch_age_ticks\": {}, \
+            "{{\"tick\": {}, \"shard\": {}, \"epoch_generation\": {}, \"epoch_age_ticks\": {}, \
              \"staleness_backlog\": {}, \"pending_templates\": {}, \
              \"monitor_templates\": {}, \"monitor_capacity\": {}, \
              \"monitor_observed\": {}, \"monitor_evictions\": {}, \
@@ -106,6 +109,7 @@ impl HealthSnapshot {
              \"latency_count\": {}, \"latency_p50_ns\": {}, \"latency_p90_ns\": {}, \
              \"latency_p99_ns\": {}, \"latency_p999_ns\": {}, \"latency_max_ns\": {}}}",
             self.tick,
+            self.shard,
             self.epoch_generation,
             self.epoch_age_ticks,
             self.staleness_backlog,
@@ -140,6 +144,7 @@ impl HealthSnapshot {
         let num = |key: &str| -> u64 { v.get(key).and_then(Json::as_f64).unwrap_or(0.0) as u64 };
         Ok(HealthSnapshot {
             tick: num("tick"),
+            shard: num("shard"),
             epoch_generation: num("epoch_generation"),
             epoch_age_ticks: num("epoch_age_ticks"),
             staleness_backlog: num("staleness_backlog"),
@@ -166,6 +171,47 @@ impl HealthSnapshot {
             latency_p999_ns: num("latency_p999_ns"),
             latency_max_ns: num("latency_max_ns"),
         })
+    }
+
+    /// Merge per-shard snapshots into one cluster-level view. Counters,
+    /// backlogs, and balances sum across shards; `tick`, the epoch fields,
+    /// and `monitor_capacity`-relative occupancy take the worst (largest)
+    /// shard. Latency quantiles take the per-shard maximum — an upper bound,
+    /// since quantiles have no exact merge at snapshot granularity (the
+    /// serving layer merges the underlying histograms exactly; see
+    /// [`crate::latency::LatencyHistogram::merge_from`]). The merged
+    /// snapshot's `shard` field is the number of shards merged.
+    pub fn merge(shards: &[HealthSnapshot]) -> HealthSnapshot {
+        let mut out = HealthSnapshot {
+            shard: shards.len() as u64,
+            ..HealthSnapshot::default()
+        };
+        for s in shards {
+            out.tick = out.tick.max(s.tick);
+            out.epoch_generation = out.epoch_generation.max(s.epoch_generation);
+            out.epoch_age_ticks = out.epoch_age_ticks.max(s.epoch_age_ticks);
+            out.staleness_backlog += s.staleness_backlog;
+            out.pending_templates += s.pending_templates;
+            out.monitor_templates += s.monitor_templates;
+            out.monitor_capacity += s.monitor_capacity;
+            out.monitor_observed += s.monitor_observed;
+            out.monitor_evictions += s.monitor_evictions;
+            out.monitor_ghost_hits += s.monitor_ghost_hits;
+            out.feedback_queue_depth += s.feedback_queue_depth;
+            out.budget_balance += s.budget_balance;
+            out.cache_hits += s.cache_hits;
+            out.cache_misses += s.cache_misses;
+            out.cache_invalidations += s.cache_invalidations;
+            out.queries += s.queries;
+            out.dml += s.dml;
+            out.latency_count += s.latency_count;
+            out.latency_p50_ns = out.latency_p50_ns.max(s.latency_p50_ns);
+            out.latency_p90_ns = out.latency_p90_ns.max(s.latency_p90_ns);
+            out.latency_p99_ns = out.latency_p99_ns.max(s.latency_p99_ns);
+            out.latency_p999_ns = out.latency_p999_ns.max(s.latency_p999_ns);
+            out.latency_max_ns = out.latency_max_ns.max(s.latency_max_ns);
+        }
+        out
     }
 
     /// A one-screen text dashboard of this snapshot (what `obsv_top`
@@ -247,6 +293,7 @@ mod tests {
     fn sample() -> HealthSnapshot {
         HealthSnapshot {
             tick: 12,
+            shard: 2,
             epoch_generation: 3,
             epoch_age_ticks: 2,
             staleness_backlog: 1,
@@ -309,6 +356,35 @@ mod tests {
             assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
         }
         assert!(text.lines().count() <= 12, "dashboard must fit one screen");
+    }
+
+    #[test]
+    fn merge_sums_counters_and_bounds_quantiles() {
+        let a = sample();
+        let mut b = sample();
+        b.shard = 1;
+        b.tick = 14;
+        b.queries = 200;
+        b.latency_p99_ns = 2_000_000;
+        b.budget_balance = 500.0;
+        let merged = HealthSnapshot::merge(&[a.clone(), b.clone()]);
+        assert_eq!(merged.shard, 2, "shard field counts merged shards");
+        assert_eq!(merged.tick, 14);
+        assert_eq!(merged.queries, a.queries + b.queries);
+        assert_eq!(merged.monitor_capacity, 512);
+        assert_eq!(merged.latency_count, a.latency_count + b.latency_count);
+        assert_eq!(merged.latency_p99_ns, 2_000_000, "quantile upper bound");
+        assert!((merged.budget_balance - (a.budget_balance + b.budget_balance)).abs() < 1e-9);
+        assert_eq!(HealthSnapshot::merge(&[]), HealthSnapshot::default());
+    }
+
+    #[test]
+    fn pre_shard_lines_parse_as_shard_zero() {
+        let line = "{\"tick\": 3, \"epoch_generation\": 1, \"queries\": 9}";
+        let snap = HealthSnapshot::from_json_line(line).expect("parses");
+        assert_eq!(snap.shard, 0);
+        assert_eq!(snap.tick, 3);
+        assert_eq!(snap.queries, 9);
     }
 
     #[test]

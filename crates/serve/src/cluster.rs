@@ -1,0 +1,454 @@
+//! The sharded cluster: one [`autod::OnlineService`] per shard behind a
+//! deterministic router, with a shared budget arbiter funding every tick.
+//!
+//! Each shard is a complete, independent serving stack — its own database
+//! RwLock, workload monitor, lifecycle daemon, epoch handle, and private
+//! telemetry registry — so shards never contend on locks or counters.
+//! Cross-shard state exists in exactly three places: the immutable
+//! [`ShardPlan`], the arbiter's demand vector (updated once per tick from
+//! collected [`TickReport`]s), and the fallback path's ordered read locks.
+//!
+//! ## Tick protocol
+//!
+//! [`ServeCluster::tick_wait`] splits the global budget over the demand
+//! each shard reported at the end of its previous tick (`1 + pending`),
+//! fires `tick_begin_budgeted` on *every* daemon so shards tune in
+//! parallel, then collects acknowledgements in shard order — the observable
+//! order is deterministic even though the tuning work overlaps in time.
+//!
+//! ## Fallback execution
+//!
+//! Cross-shard SELECTs reassemble their referenced tables into a scratch
+//! database built from the schema skeleton: read locks are taken in
+//! ascending shard order (the cluster-wide lock order; writers only ever
+//! hold one shard lock, so no cycle is possible), owned tables are cloned
+//! from their owner, and partition slices are gathered in shard order. The
+//! statement then binds, optimizes against an *empty* statistics catalog
+//! (magic-number selectivities), and executes locally. Fallback queries are
+//! deliberately invisible to every shard's workload monitor: they are not
+//! single-shard statements, so no shard's tuner should chase them.
+
+use crate::arbiter::BudgetArbiter;
+use crate::plan::{Placement, ShardPlan, ShardPlanConfig};
+use crate::router::{Route, Router};
+use autod::{AutodConfig, OnlineService, QueryHandle, ServiceReport, TickReport};
+use autostats::{AutoStatsManager, ManagerConfig, ManagerError, OnlineEvent, TuneError};
+use executor::{execute_plan, ExecOutput, StatementOutcome};
+use obsv::{HealthSnapshot, LatencyHistogram, LatencySample};
+use optimizer::{OptimizeOptions, Optimizer};
+use parking_lot::{Mutex, RwLock};
+use query::{bind_statement, parse_statement, BoundStatement, Statement};
+use stats::StatsCatalog;
+use std::sync::Arc;
+use storage::{Database, Result as StorageResult};
+
+/// Cluster configuration: the placement knobs plus the per-shard service
+/// configuration and the *global* tuning budget the arbiter splits.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    pub shards: usize,
+    /// Tables with at least this many rows are hash-partitioned across all
+    /// shards (no effect on a 1-shard cluster).
+    pub partition_threshold: usize,
+    /// Seed of the partition row hash.
+    pub partition_seed: u64,
+    /// Global tuning budget per tick, split across shards by demand. The
+    /// per-shard `autod.budget_per_tick` is ignored in favour of this.
+    pub global_budget_per_tick: f64,
+    /// Template for each shard's daemon configuration (`shard` is stamped
+    /// per shard by the cluster).
+    pub autod: AutodConfig,
+    /// Manager configuration each shard's `AutoStatsManager` starts from.
+    pub manager: ManagerConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        let autod = AutodConfig::default();
+        ServeConfig {
+            shards: 1,
+            partition_threshold: usize::MAX,
+            partition_seed: ShardPlanConfig::default().partition_seed,
+            global_budget_per_tick: autod.budget_per_tick,
+            autod,
+            manager: ManagerConfig {
+                creation: autostats::CreationPolicy::Manual,
+                auto_maintain: false,
+                ..ManagerConfig::default()
+            },
+        }
+    }
+}
+
+/// A running sharded cluster. See the module docs.
+pub struct ServeCluster {
+    plan: Arc<ShardPlan>,
+    router: Router,
+    services: Vec<OnlineService>,
+    /// Cached database handles, indexed by shard (fallback readers).
+    dbs: Vec<Arc<RwLock<Database>>>,
+    /// Empty structural clone of the original database: the scratch-space
+    /// template of the fallback path.
+    skeleton: Arc<Database>,
+    /// Stateless optimizer for fallback queries.
+    optimizer: Arc<Optimizer>,
+    arbiter: BudgetArbiter,
+    /// Demand vector for the next tick split, updated from collected
+    /// reports; starts at the arbiter's floor (1.0 per shard).
+    demands: Mutex<Vec<f64>>,
+}
+
+impl ServeCluster {
+    /// Plan placement, split the database, and start one online service per
+    /// shard. Shard assignments are journaled as tick-0
+    /// [`OnlineEvent::ShardAssigned`] events in each shard's session before
+    /// the daemon starts, so every journal begins with an auditable
+    /// manifest of what the shard owns.
+    pub fn start(db: Database, config: ServeConfig) -> StorageResult<ServeCluster> {
+        let plan = Arc::new(ShardPlan::build(
+            &db,
+            &ShardPlanConfig {
+                shards: config.shards,
+                partition_threshold: config.partition_threshold,
+                partition_seed: config.partition_seed,
+            },
+        ));
+        let skeleton = Arc::new(db.schema_skeleton());
+        let shard_dbs = plan.shard_databases(&db)?;
+
+        let mut services = Vec::with_capacity(plan.shards());
+        for (s, shard_db) in shard_dbs.into_iter().enumerate() {
+            let manifest = plan.shard_manifest(s, &shard_db);
+            // A fresh (private) registry per shard: telemetry merges happen
+            // at the cluster level, never through a shared registry.
+            let obs = obsv::Obs::disabled();
+            let manager = AutoStatsManager::new_with_obs(shard_db, config.manager.clone(), obs);
+            let mut parts = manager.serve();
+            for (table, rows, partitioned) in manifest {
+                parts.session.record_online(OnlineEvent::ShardAssigned {
+                    tick: 0,
+                    shard: s as u32,
+                    table,
+                    rows,
+                    partitioned,
+                });
+            }
+            let shard_config = AutodConfig {
+                shard: s as u32,
+                ..config.autod.clone()
+            };
+            services.push(OnlineService::start(parts, shard_config));
+        }
+
+        let dbs = services.iter().map(OnlineService::database).collect();
+        let demands = Mutex::new(vec![BudgetArbiter::demand(0); plan.shards()]);
+        Ok(ServeCluster {
+            router: Router::new(Arc::clone(&plan)),
+            plan,
+            services,
+            dbs,
+            skeleton,
+            optimizer: Arc::new(Optimizer::default()),
+            arbiter: BudgetArbiter::new(config.global_budget_per_tick),
+            demands,
+        })
+    }
+
+    pub fn shards(&self) -> usize {
+        self.plan.shards()
+    }
+
+    pub fn plan(&self) -> &ShardPlan {
+        &self.plan
+    }
+
+    pub fn router(&self) -> &Router {
+        &self.router
+    }
+
+    /// The shard services, indexed by shard id (telemetry, epochs, windows).
+    pub fn services(&self) -> &[OnlineService] {
+        &self.services
+    }
+
+    pub fn service(&self, shard: usize) -> &OnlineService {
+        &self.services[shard]
+    }
+
+    /// A cloneable client for one query thread. `tid` tags the thread's
+    /// trace events on every shard handle it touches.
+    pub fn client(&self, tid: u64) -> ClusterClient {
+        ClusterClient {
+            router: self.router.clone(),
+            handles: self.services.iter().map(|s| s.handle(tid)).collect(),
+            dbs: self.dbs.clone(),
+            skeleton: Arc::clone(&self.skeleton),
+            optimizer: Arc::clone(&self.optimizer),
+        }
+    }
+
+    /// Run one synchronized cluster tick: split the global budget over the
+    /// current demand vector, fire every shard's tick concurrently, then
+    /// collect reports in shard order. Returns the per-shard reports.
+    ///
+    /// # Errors
+    /// Returns the first shard error in shard order; later shards still
+    /// complete their tick (their reports are dropped for this round but
+    /// their demand floor resets).
+    pub fn tick_wait(&self) -> Result<Vec<TickReport>, TuneError> {
+        let shares = {
+            let demands = self.demands.lock();
+            self.arbiter.split(&demands)
+        };
+        let pending: Vec<_> = self
+            .services
+            .iter()
+            .zip(&shares)
+            .map(|(svc, &share)| svc.tick_begin_budgeted(share))
+            .collect();
+        let mut reports = Vec::with_capacity(pending.len());
+        let mut first_err = None;
+        for (s, p) in pending.into_iter().enumerate() {
+            match self.services[s].tick_collect(p) {
+                Ok(report) => reports.push(report),
+                Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                    reports.push(TickReport::default());
+                }
+            }
+        }
+        {
+            let mut demands = self.demands.lock();
+            for (d, r) in demands.iter_mut().zip(&reports) {
+                *d = BudgetArbiter::demand(r.pending);
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(reports),
+        }
+    }
+
+    /// The demand vector the next tick will split over (snapshot).
+    pub fn demands(&self) -> Vec<f64> {
+        self.demands.lock().clone()
+    }
+
+    pub fn arbiter(&self) -> &BudgetArbiter {
+        &self.arbiter
+    }
+
+    /// Per-shard health snapshots, in shard order.
+    pub fn health(&self) -> Vec<HealthSnapshot> {
+        self.services.iter().map(OnlineService::health).collect()
+    }
+
+    /// Cluster-level health: counters summed, quantiles bounded (see
+    /// [`HealthSnapshot::merge`]). For exact merged latency quantiles use
+    /// [`ServeCluster::merged_query_latency`].
+    pub fn merged_health(&self) -> HealthSnapshot {
+        HealthSnapshot::merge(&self.health())
+    }
+
+    /// Exact cluster-wide query-latency distribution: a fresh histogram
+    /// merged from every shard's `autod.query.latency_ns`. Histogram merge
+    /// is exactly associative (bucket-count addition), so this equals the
+    /// histogram a single shared registry would have recorded.
+    pub fn merged_query_latency(&self) -> LatencySample {
+        let merged = LatencyHistogram::detached();
+        for svc in &self.services {
+            merged.merge_from(&svc.metrics().latency("autod.query.latency_ns"));
+        }
+        merged.snapshot()
+    }
+
+    /// Same merge for DML latency.
+    pub fn merged_dml_latency(&self) -> LatencySample {
+        let merged = LatencyHistogram::detached();
+        for svc in &self.services {
+            merged.merge_from(&svc.metrics().latency("autod.dml.latency_ns"));
+        }
+        merged.snapshot()
+    }
+
+    /// Per-shard epoch generations, in shard order.
+    pub fn generations(&self) -> Vec<u64> {
+        self.services
+            .iter()
+            .map(OnlineService::generation)
+            .collect()
+    }
+
+    /// Shut every shard down in shard order. Returns the per-shard final
+    /// `(database, report)` pairs, or `None` if any daemon already died.
+    pub fn shutdown(self) -> Option<Vec<(Database, ServiceReport)>> {
+        self.services
+            .into_iter()
+            .map(OnlineService::shutdown)
+            .collect()
+    }
+}
+
+/// A per-thread cluster client: routes each statement and executes it on
+/// the owning shard(s). Cheap to clone.
+#[derive(Clone)]
+pub struct ClusterClient {
+    router: Router,
+    handles: Vec<QueryHandle>,
+    dbs: Vec<Arc<RwLock<Database>>>,
+    skeleton: Arc<Database>,
+    optimizer: Arc<Optimizer>,
+}
+
+impl ClusterClient {
+    pub fn router(&self) -> &Router {
+        &self.router
+    }
+
+    /// Parse and run one SQL statement.
+    ///
+    /// # Errors
+    /// Parse, bind, optimize, and execution errors, exactly as the
+    /// unsharded [`QueryHandle::run_sql`].
+    pub fn run_sql(&self, sql: &str) -> Result<StatementOutcome, ManagerError> {
+        let stmt = parse_statement(sql)?;
+        self.run(&stmt)
+    }
+
+    /// Run one parsed statement on whatever shard(s) the router picks.
+    ///
+    /// # Errors
+    /// Same surface as [`QueryHandle::run`]; multi-shard routes fail on the
+    /// first shard error in shard order.
+    pub fn run(&self, stmt: &Statement) -> Result<StatementOutcome, ManagerError> {
+        match self.router.route(stmt) {
+            Route::Single(s) | Route::PartitionedInsert(s) => self.handles[s].run(stmt),
+            Route::Broadcast => self.run_broadcast(stmt),
+            Route::Scatter => self.run_scatter(stmt),
+            Route::Fallback => self.run_fallback(stmt),
+        }
+    }
+
+    /// UPDATE/DELETE on a partitioned table: the slices are disjoint, so
+    /// applying the statement on every shard touches each row exactly once
+    /// and per-shard counts sum to the single-database answer.
+    fn run_broadcast(&self, stmt: &Statement) -> Result<StatementOutcome, ManagerError> {
+        let mut rows_affected = 0usize;
+        let mut work = 0.0f64;
+        for handle in &self.handles {
+            match handle.run(stmt)? {
+                StatementOutcome::Dml {
+                    rows_affected: r,
+                    work: w,
+                } => {
+                    rows_affected += r;
+                    work += w;
+                }
+                // Broadcast only routes DML; a Query outcome cannot happen.
+                other => return Ok(other),
+            }
+        }
+        Ok(StatementOutcome::Dml {
+            rows_affected,
+            work,
+        })
+    }
+
+    /// Projection-only single-table SELECT over a partitioned table: run on
+    /// every shard through its own handle (so each shard's monitor observes
+    /// its slice of the workload) and concatenate rows in shard order.
+    fn run_scatter(&self, stmt: &Statement) -> Result<StatementOutcome, ManagerError> {
+        let mut rows = Vec::new();
+        let mut work = 0.0f64;
+        let mut estimated_cost = 0.0f64;
+        for handle in &self.handles {
+            match handle.run(stmt)? {
+                StatementOutcome::Query {
+                    output,
+                    estimated_cost: cost,
+                } => {
+                    rows.extend(output.rows);
+                    work += output.work;
+                    estimated_cost += cost;
+                }
+                other => return Ok(other),
+            }
+        }
+        Ok(StatementOutcome::Query {
+            output: ExecOutput { rows, work },
+            estimated_cost,
+        })
+    }
+
+    /// Cross-shard SELECT: reassemble the referenced tables into a scratch
+    /// database and execute there (see the module docs for the locking and
+    /// statistics story).
+    fn run_fallback(&self, stmt: &Statement) -> Result<StatementOutcome, ManagerError> {
+        let Statement::Select(select) = stmt else {
+            // The router only falls back on SELECTs; route anything else to
+            // shard 0 defensively.
+            return self.handles[0].run(stmt);
+        };
+
+        // Ascending shard order — the cluster-wide lock order. Writers hold
+        // at most one shard lock at a time, so ordered readers cannot
+        // deadlock against them.
+        let shards = self.router.involved_shards(stmt);
+        let guards: Vec<_> = shards.iter().map(|&s| self.dbs[s].read()).collect();
+
+        let mut scratch = (*self.skeleton).clone();
+        let mut materialized: Vec<storage::TableId> = Vec::new();
+        for table_ref in &select.from {
+            let Some(p) = self.router.plan().placement_by_name(&table_ref.table) else {
+                continue; // unknown table: let the binder report it below
+            };
+            if materialized.contains(&p.table) {
+                continue;
+            }
+            materialized.push(p.table);
+            match p.placement {
+                Placement::Owned(owner) => {
+                    if let Some(gi) = shards.iter().position(|&s| s == owner) {
+                        *scratch.table_mut(p.table) = guards[gi].table(p.table).clone();
+                    }
+                }
+                Placement::Partitioned => {
+                    // Gather slices in shard order for a deterministic row
+                    // order in the scratch table.
+                    for (gi, _) in shards.iter().enumerate() {
+                        let source = guards[gi].table(p.table);
+                        for row in 0..source.row_count() {
+                            scratch
+                                .table_mut(p.table)
+                                .insert(source.row_values(row))
+                                .map_err(|e| ManagerError::Exec(e.into()))?;
+                        }
+                    }
+                }
+            }
+        }
+        drop(guards);
+
+        let BoundStatement::Select(query) = bind_statement(&scratch, stmt)? else {
+            return self.handles[0].run(stmt);
+        };
+        // No shard's statistics describe the reassembled tables, so the
+        // fallback optimizes against an empty catalog (magic numbers) — the
+        // honest cost model for a path the tuner never sees.
+        let catalog = StatsCatalog::new();
+        let optimized = self.optimizer.optimize(
+            &scratch,
+            &query,
+            catalog.full_view(),
+            &OptimizeOptions::default(),
+        )?;
+        let output = execute_plan(&scratch, &query, &optimized.plan, &self.optimizer.params)
+            .map_err(ManagerError::Exec)?;
+        Ok(StatementOutcome::Query {
+            output,
+            estimated_cost: optimized.cost,
+        })
+    }
+}

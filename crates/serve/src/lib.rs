@@ -1,0 +1,58 @@
+//! # serve — the sharded multi-tenant serving layer
+//!
+//! `autod`'s epoch-snapshot catalogs let readers run lock-free, but one
+//! `Database` RwLock and one [`LifecycleDaemon`] remain a whole-system
+//! bottleneck under heavy traffic. This crate removes it by sharding:
+//!
+//! * [`ShardPlan`] — a deterministic table → shard placement. Tables are
+//!   assigned greedily by size to the least-loaded shard; tables at or above
+//!   a row threshold are hash-partitioned across *all* shards by a seeded
+//!   row hash. Every shard database is a [`Database::schema_skeleton`] of
+//!   the original filled with only its owned tables, so [`TableId`]s,
+//!   column ordinals, and index metadata are identical on every shard and
+//!   bound statements need no translation.
+//! * [`Router`] — a pure statement → [`Route`] function over the plan.
+//!   Single-shard SELECTs and all DML on owned tables go straight to their
+//!   shard's [`QueryHandle`]; INSERTs into partitioned tables row-hash to
+//!   one shard; UPDATE/DELETE on partitioned tables broadcast (slices are
+//!   disjoint); everything else takes the explicit reassembly fallback.
+//! * [`BudgetArbiter`] — one global tuning budget per tick, split across
+//!   shards proportionally to demand (pending work reported by each shard's
+//!   last [`TickReport`]). Unspent tokens and debt carry over inside each
+//!   shard's own token bucket, exactly as in the unsharded daemon.
+//! * [`ServeCluster`] — one [`autod::OnlineService`] (database, monitor,
+//!   lifecycle daemon, epoch handle, telemetry registry) per shard, plus
+//!   cloneable [`ClusterClient`]s for query threads and merge-based
+//!   cluster telemetry (exact latency-histogram merges, summed health).
+//!
+//! ## Determinism contract
+//!
+//! A 1-shard cluster is bit-identical — catalog trajectory, epoch
+//! generations, tick reports, and journal (after its `ShardAssigned`
+//! prelude) — to a plain [`autod::OnlineService`] over the same database,
+//! because shard 0's database is a structural clone and the arbiter's
+//! single-shard split returns the global budget exactly. At any shard
+//! count, a fixed seed and fixed tick schedule replay bit-identically:
+//! placement, routing, and per-shard tick funding are all pure functions of
+//! the inputs. Shard assignments are journaled as typed
+//! [`autostats::OnlineEvent::ShardAssigned`] events at tick 0 so replays
+//! stay auditable.
+//!
+//! [`LifecycleDaemon`]: autod::LifecycleDaemon
+//! [`QueryHandle`]: autod::QueryHandle
+//! [`TickReport`]: autod::TickReport
+//! [`Database::schema_skeleton`]: storage::Database::schema_skeleton
+//! [`TableId`]: storage::TableId
+
+// Library code must stay panic-free on arbitrary input; tests may unwrap.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod arbiter;
+pub mod cluster;
+pub mod plan;
+pub mod router;
+
+pub use arbiter::BudgetArbiter;
+pub use cluster::{ClusterClient, ServeCluster, ServeConfig};
+pub use plan::{Placement, ShardPlan, ShardPlanConfig, TablePlacement};
+pub use router::{Route, Router};

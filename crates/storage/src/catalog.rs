@@ -91,6 +91,19 @@ impl Database {
         (0..self.tables.len() as u32).map(TableId)
     }
 
+    /// An empty structural clone for shard-scoped databases: every table and
+    /// index exists under the same [`TableId`] and ordinals, but no table
+    /// holds rows. A sharded serving layer fills in only the tables a shard
+    /// owns, so bound statements, statistics, and plans refer to identical
+    /// ids on every shard (and on the original database).
+    pub fn schema_skeleton(&self) -> Database {
+        Database {
+            tables: self.tables.iter().map(Table::empty_like).collect(),
+            by_name: self.by_name.clone(),
+            indexes: self.indexes.clone(),
+        }
+    }
+
     pub fn table_count(&self) -> usize {
         self.tables.len()
     }

@@ -62,6 +62,18 @@ impl Table {
         self.modification_counter
     }
 
+    /// A same-shape empty table: identical name and schema, zero rows, and a
+    /// fresh modification counter. Shard-scoped databases start from these so
+    /// every shard shares the original's table ids and column ordinals.
+    pub fn empty_like(&self) -> Table {
+        Table::new(self.name.clone(), self.schema.clone())
+    }
+
+    /// Materialize one row (one value per column, in schema order).
+    pub fn row_values(&self, row: usize) -> Vec<Value> {
+        (0..self.schema.len()).map(|c| self.value(row, c)).collect()
+    }
+
     /// Reset the modification counter.
     ///
     /// Historically the statistics layer reset this shared counter whenever

@@ -1,0 +1,374 @@
+//! Integration tests for the sharded serving layer (`serve`).
+//!
+//! The contracts under test, end to end through the public crate APIs:
+//!
+//! * **router determinism** (proptest) — routing is a pure function of the
+//!   statement and the plan: independently built plans route a generated
+//!   workload identically, single-shard routes stay in range, and the
+//!   fallback's lock-acquisition order is strictly ascending;
+//! * **1-shard identity** — a 1-shard cluster fed a statement/tick schedule
+//!   produces bit-identical tick reports, epoch generations, and journal
+//!   JSON to a plain `autod::OnlineService` over the same database (with
+//!   the same `ShardAssigned` prelude journaled);
+//! * **scatter/broadcast/fallback vs oracle** — every routed execution path
+//!   returns the same rows (as a multiset; exact order under ORDER BY) and
+//!   the same DML counts as an unsharded service over the same database;
+//! * **admission stress** — several client threads hammer cloned
+//!   `ClusterClient`s while the driver ticks the cluster; nothing errors,
+//!   every shard's daemon survives, and the monitors observe traffic.
+
+use autod::{AutodConfig, OnlineService};
+use autostats::{AutoStatsManager, CreationPolicy, ManagerConfig, OnlineEvent};
+use executor::StatementOutcome;
+use proptest::prelude::*;
+use query::{parse_statement, Statement};
+use serve::{Route, Router, ServeCluster, ServeConfig, ShardPlan, ShardPlanConfig};
+use std::sync::Arc;
+use storage::{ColumnDef, DataType, Database, Schema, Value};
+
+/// Three tables sized so a partition threshold of 100 splits `big` while
+/// `mid` and `small` land whole on (usually different) shards.
+fn test_db() -> Database {
+    let mut db = Database::new();
+    for (name, rows) in [("big", 600usize), ("mid", 80), ("small", 10)] {
+        let id = db
+            .create_table(
+                name,
+                Schema::new(vec![
+                    ColumnDef::new("k", DataType::Int),
+                    ColumnDef::new("v", DataType::Int),
+                ]),
+            )
+            .unwrap();
+        for i in 0..rows {
+            db.table_mut(id)
+                .insert(vec![Value::Int(i as i64), Value::Int((i % 7) as i64)])
+                .unwrap();
+        }
+    }
+    db
+}
+
+fn manager_config() -> ManagerConfig {
+    ManagerConfig {
+        creation: CreationPolicy::Manual,
+        auto_maintain: false,
+        ..ManagerConfig::default()
+    }
+}
+
+fn cluster_config(shards: usize, partition_threshold: usize) -> ServeConfig {
+    ServeConfig {
+        shards,
+        partition_threshold,
+        global_budget_per_tick: f64::INFINITY,
+        autod: AutodConfig::default(),
+        manager: manager_config(),
+        ..ServeConfig::default()
+    }
+}
+
+/// Rows of a query outcome as sortable strings (Value has no Ord).
+fn row_strings(outcome: &StatementOutcome) -> Vec<String> {
+    match outcome {
+        StatementOutcome::Query { output, .. } => {
+            output.rows.iter().map(|r| format!("{r:?}")).collect()
+        }
+        StatementOutcome::Dml { .. } => panic!("expected a query outcome"),
+    }
+}
+
+fn rows_affected(outcome: &StatementOutcome) -> usize {
+    match outcome {
+        StatementOutcome::Dml { rows_affected, .. } => *rows_affected,
+        StatementOutcome::Query { .. } => panic!("expected a DML outcome"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Router determinism (proptest)
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn router_is_a_pure_function_of_statement_and_plan(
+        seed in 0u64..400,
+        shards in 1usize..5,
+        partition in any::<bool>(),
+    ) {
+        // Rags generates against TPC-D table names; build the database once.
+        static TPCD: std::sync::OnceLock<Database> = std::sync::OnceLock::new();
+        let db = TPCD.get_or_init(|| {
+            datagen::build_tpcd(&datagen::TpcdConfig {
+                scale: 0.001,
+                zipf: datagen::ZipfSpec::Mixed,
+                seed: 7,
+            })
+        });
+        // Partition the largest table when asked.
+        let threshold = if partition {
+            db.table_ids().map(|id| db.table(id).row_count()).max().unwrap_or(1)
+        } else {
+            usize::MAX
+        };
+        let config = ShardPlanConfig {
+            shards,
+            partition_threshold: threshold,
+            ..ShardPlanConfig::default()
+        };
+        // Two independently built plans must agree on everything.
+        let router_a = Router::new(Arc::new(ShardPlan::build(db, &config)));
+        let router_b = Router::new(Arc::new(ShardPlan::build(db, &config)));
+
+        let spec = datagen::WorkloadSpec::new(8, datagen::Complexity::Simple, 30)
+            .with_seed(seed);
+        let statements = datagen::RagsGenerator::generate(db, &spec);
+        prop_assert!(!statements.is_empty());
+
+        for stmt in &statements {
+            let route = router_a.route(stmt);
+            prop_assert_eq!(&route, &router_b.route(stmt));
+            match route {
+                Route::Single(s) | Route::PartitionedInsert(s) => prop_assert!(s < shards),
+                Route::Broadcast | Route::Scatter => prop_assert!(shards > 1),
+                Route::Fallback => {}
+            }
+            let involved = router_a.involved_shards(stmt);
+            prop_assert_eq!(involved.clone(), router_b.involved_shards(stmt));
+            prop_assert!(involved.windows(2).all(|w| w[0] < w[1]),
+                "lock order must be strictly ascending: {involved:?}");
+            prop_assert!(involved.iter().all(|&s| s < shards));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 1-shard identity
+// ---------------------------------------------------------------------------
+
+const IDENTITY_STATEMENTS: &[&str] = &[
+    "SELECT k FROM big WHERE k < 120",
+    "SELECT b.k FROM big b, mid m WHERE b.k = m.k AND m.v = 3",
+    "UPDATE mid SET v = 9 WHERE k < 40",
+    "SELECT k FROM mid WHERE v = 9",
+    "INSERT INTO small VALUES (99, 99)",
+    "SELECT COUNT(*) FROM small",
+    "SELECT s.k FROM small s, mid m WHERE s.k = m.k",
+    "DELETE FROM big WHERE k >= 590",
+    "SELECT k FROM big WHERE v = 2",
+];
+
+#[test]
+fn one_shard_cluster_is_bit_identical_to_the_unsharded_service() {
+    let budget = 500.0; // finite: the arbiter must hand it over exactly
+    let statements: Vec<Statement> = IDENTITY_STATEMENTS
+        .iter()
+        .map(|s| parse_statement(s).unwrap())
+        .collect();
+
+    // The cluster side.
+    let cluster = ServeCluster::start(
+        test_db(),
+        ServeConfig {
+            global_budget_per_tick: budget,
+            ..cluster_config(1, usize::MAX)
+        },
+    )
+    .unwrap();
+    let client = cluster.client(1);
+    let mut cluster_reports = Vec::new();
+    for (i, stmt) in statements.iter().enumerate() {
+        client.run(stmt).unwrap();
+        if (i + 1) % 3 == 0 {
+            cluster_reports.extend(cluster.tick_wait().unwrap());
+        }
+    }
+    for _ in 0..16 {
+        cluster_reports.extend(cluster.tick_wait().unwrap());
+    }
+    let cluster_generations = cluster.generations();
+    let mut pairs = cluster.shutdown().unwrap();
+    let (_, cluster_report) = pairs.remove(0);
+    assert!(cluster_report.error.is_none());
+
+    // The unsharded baseline, with the same `ShardAssigned` prelude.
+    let db = test_db();
+    let plan = ShardPlan::build(&db, &ShardPlanConfig::default());
+    let mut shard_dbs = plan.shard_databases(&db).unwrap();
+    let shard_db = shard_dbs.remove(0);
+    let manifest = plan.shard_manifest(0, &shard_db);
+    let mgr = AutoStatsManager::new_with_obs(shard_db, manager_config(), obsv::Obs::disabled());
+    let mut parts = mgr.serve();
+    for (table, rows, partitioned) in manifest {
+        parts.session.record_online(OnlineEvent::ShardAssigned {
+            tick: 0,
+            shard: 0,
+            table,
+            rows,
+            partitioned,
+        });
+    }
+    let svc = OnlineService::start(parts, AutodConfig::default());
+    let handle = svc.handle(1);
+    let mut plain_reports = Vec::new();
+    for (i, stmt) in statements.iter().enumerate() {
+        handle.run(stmt).unwrap();
+        if (i + 1) % 3 == 0 {
+            plain_reports.push(svc.tick_wait_budgeted(budget).unwrap());
+        }
+    }
+    for _ in 0..16 {
+        plain_reports.push(svc.tick_wait_budgeted(budget).unwrap());
+    }
+    let plain_generation = svc.generation();
+    let (_, plain_report) = svc.shutdown().unwrap();
+    assert!(plain_report.error.is_none());
+
+    assert_eq!(cluster_reports, plain_reports, "tick reports diverged");
+    assert_eq!(cluster_generations, vec![plain_generation]);
+    assert_eq!(
+        cluster_report.session.to_json(),
+        plain_report.session.to_json(),
+        "journal JSON diverged"
+    );
+    assert_eq!(cluster_report.observed, plain_report.observed);
+}
+
+// ---------------------------------------------------------------------------
+// Scatter / broadcast / fallback vs the single-database oracle
+// ---------------------------------------------------------------------------
+
+#[test]
+fn sharded_execution_matches_the_single_database_oracle() {
+    let cluster = ServeCluster::start(test_db(), cluster_config(3, 100)).unwrap();
+    let client = cluster.client(1);
+    let oracle_svc = OnlineService::start(
+        AutoStatsManager::new(test_db(), manager_config()).serve(),
+        AutodConfig::default(),
+    );
+    let oracle = oracle_svc.handle(1);
+
+    // `big` partitions across all three shards; `mid`/`small` are owned.
+    assert_eq!(
+        cluster.plan().placement_by_name("big").unwrap().placement,
+        serve::Placement::Partitioned
+    );
+
+    // Interleave queries and DML; after every statement both sides must
+    // agree (multiset of rows for queries, counts for DML).
+    let script: &[(&str, bool)] = &[
+        // (sql, ordered) — ordered compares row order exactly.
+        ("SELECT * FROM big WHERE k < 50", false), // scatter
+        ("SELECT COUNT(*) FROM big", false),       // fallback: aggregate
+        ("SELECT k FROM big ORDER BY k", true),    // fallback: order by
+        (
+            "SELECT b.k FROM big b, mid m WHERE b.k = m.k AND m.v = 3",
+            false,
+        ), // fallback: join
+        ("SELECT m.k FROM mid m, small s WHERE m.k = s.k", false), // owned join
+        ("SELECT k FROM mid WHERE v = 5", false),  // single shard
+    ];
+    for (sql, ordered) in script {
+        let ours = client.run_sql(sql).unwrap();
+        let theirs = oracle.run_sql(sql).unwrap();
+        let mut a = row_strings(&ours);
+        let mut b = row_strings(&theirs);
+        if !ordered {
+            a.sort();
+            b.sort();
+        }
+        assert_eq!(a, b, "rows diverged for {sql}");
+    }
+
+    // DML paths: broadcast update/delete on the partitioned table, a
+    // row-hashed insert, and an owned-table update.
+    for sql in [
+        "UPDATE big SET v = 7 WHERE k < 100", // broadcast
+        "DELETE FROM big WHERE k >= 550",     // broadcast
+        "INSERT INTO big VALUES (9999, 1)",   // partitioned insert
+        "UPDATE mid SET v = 1 WHERE k >= 70", // single shard
+    ] {
+        let ours = client.run_sql(sql).unwrap();
+        let theirs = oracle.run_sql(sql).unwrap();
+        assert_eq!(
+            rows_affected(&ours),
+            rows_affected(&theirs),
+            "rows_affected diverged for {sql}"
+        );
+    }
+    // And the data converged to the same state.
+    for sql in ["SELECT COUNT(*) FROM big", "SELECT * FROM big WHERE v = 7"] {
+        let mut a = row_strings(&client.run_sql(sql).unwrap());
+        let mut b = row_strings(&oracle.run_sql(sql).unwrap());
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "post-DML state diverged for {sql}");
+    }
+
+    assert!(cluster.shutdown().is_some());
+    assert!(oracle_svc.shutdown().is_some());
+}
+
+// ---------------------------------------------------------------------------
+// Multi-thread admission stress
+// ---------------------------------------------------------------------------
+
+#[test]
+fn concurrent_clients_and_ticks_stress_the_cluster() {
+    let cluster = ServeCluster::start(test_db(), cluster_config(3, 100)).unwrap();
+    let statements: Vec<Statement> = [
+        "SELECT k FROM big WHERE k < 200",
+        "SELECT * FROM big WHERE v = 3",
+        "SELECT COUNT(*) FROM big",
+        "SELECT b.k FROM big b, mid m WHERE b.k = m.k",
+        "SELECT k FROM mid WHERE v = 2",
+        "SELECT s.k FROM small s, mid m WHERE s.k = m.k",
+        "UPDATE big SET v = 5 WHERE k < 10",
+        "INSERT INTO big VALUES (7777, 3)",
+        "UPDATE mid SET v = 2 WHERE k < 20",
+    ]
+    .iter()
+    .map(|s| parse_statement(s).unwrap())
+    .collect();
+
+    let threads = 4;
+    std::thread::scope(|scope| {
+        for tid in 0..threads {
+            let client = cluster.client(tid as u64 + 1);
+            let mine: Vec<&Statement> = statements.iter().skip(tid).step_by(threads).collect();
+            scope.spawn(move || {
+                for _ in 0..8 {
+                    for stmt in &mine {
+                        client.run(stmt).expect("statement runs under contention");
+                    }
+                }
+            });
+        }
+        // The driver ticks while clients hammer: epochs publish mid-flight.
+        let mut last = vec![0u64; cluster.shards()];
+        for _ in 0..6 {
+            cluster.tick_wait().expect("tick under contention");
+            let gens = cluster.generations();
+            for (g, l) in gens.iter().zip(&last) {
+                assert!(g >= l, "generations must be monotone");
+            }
+            last = gens;
+        }
+    });
+
+    let merged = cluster.merged_health();
+    assert!(merged.queries > 0, "merged health saw query traffic");
+    let sample = cluster.merged_query_latency();
+    assert!(sample.count > 0, "merged latency histogram saw queries");
+
+    let pairs = cluster.shutdown().expect("every shard daemon survives");
+    assert_eq!(pairs.len(), 3);
+    let mut observed = 0;
+    for (_, report) in &pairs {
+        assert!(report.error.is_none(), "no shard recorded a tick error");
+        observed += report.observed;
+    }
+    assert!(observed > 0, "monitors observed the workload");
+}
